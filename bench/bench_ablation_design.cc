@@ -1,0 +1,126 @@
+// Ablations for the design choices DESIGN.md calls out:
+//   (a) group count G — the paper treats G as a free hyper-parameter
+//       (Sec. 3.1: from 1 to the layer width);
+//   (b) subnets sampled per pass k for the weighted random scheduler
+//       (Table 1 compares k = 2 vs 3);
+//   (c) normalization under slicing — GroupNorm (the paper's choice) vs
+//       multi-BatchNorm (SlimmableNet's) vs plain BatchNorm (broken);
+//   (d) output rescaling for the NNLM dense/recurrent layers (Sec. 5.2.2).
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/evaluator.h"
+#include "src/models/nnlm.h"
+
+namespace ms {
+namespace {
+
+void SweepRow(const char* label, Module* net, const ImageDataset& test,
+              const std::vector<double>& rates) {
+  const auto acc = EvalAccuracySweep(net, test, rates);
+  std::printf("  %-24s", label);
+  for (size_t i = rates.size(); i-- > 0;) {
+    std::printf(" %8.2f", acc[i] * 100.0f);
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+int Main() {
+  const ImageDataSplit split = bench::StandardImages();
+  const SliceConfig lattice = bench::QuarterLattice();
+  const std::vector<double>& rates = lattice.rates();
+
+  bench::PrintTitle("Ablation (a): slicing group count G (VGG, R-min-max)");
+  std::printf("  %-24s", "G \\ r");
+  for (size_t i = rates.size(); i-- > 0;) std::printf(" %8.2f", rates[i]);
+  std::printf("\n");
+  for (int64_t groups : bench::FastMode() ? std::vector<int64_t>{4}
+                                          : std::vector<int64_t>{2, 8, 16}) {
+    CnnConfig cfg = bench::StandardVgg();
+    cfg.slice_groups = groups;
+    auto net = MakeVggSmall(cfg).MoveValueOrDie();
+    RandomStaticScheduler sched(lattice, true, true);
+    TrainImageClassifier(net.get(), split.train, &sched,
+                         bench::StandardTrain());
+    SweepRow(("G=" + std::to_string(groups)).c_str(), net.get(), split.test,
+             rates);
+  }
+
+  bench::PrintTitle(
+      "Ablation (b): subnets sampled per pass k (weighted random)");
+  for (int k : bench::FastMode() ? std::vector<int>{2}
+                                 : std::vector<int>{1, 3}) {
+    auto net = MakeVggSmall(bench::StandardVgg()).MoveValueOrDie();
+    RandomScheduler sched(lattice, k, DefaultRateWeights(rates.size()));
+    TrainImageClassifier(net.get(), split.train, &sched,
+                         bench::StandardTrain());
+    SweepRow(("k=" + std::to_string(k)).c_str(), net.get(), split.test,
+             rates);
+  }
+
+  bench::PrintTitle(
+      "Ablation (c): normalization under slicing (R-min-max training)");
+  for (int kind = 0; kind < 3; ++kind) {
+    CnnConfig cfg = bench::StandardVgg();
+    const char* label;
+    if (kind == 0) {
+      cfg.norm = NormKind::kGroup;
+      label = "group-norm (paper)";
+    } else if (kind == 1) {
+      cfg.norm = NormKind::kMultiBatch;
+      cfg.multi_bn_rates = rates;
+      label = "multi-BN (slimmable)";
+    } else {
+      cfg.norm = NormKind::kBatch;
+      label = "single BN (broken)";
+    }
+    auto net = MakeVggSmall(cfg).MoveValueOrDie();
+    RandomStaticScheduler sched(lattice, true, true);
+    TrainImageClassifier(net.get(), split.train, &sched,
+                         bench::StandardTrain());
+    SweepRow(label, net.get(), split.test, rates);
+  }
+
+  bench::PrintTitle(
+      "Ablation (d): output rescaling in the sliced NNLM (Sec. 5.2.2)");
+  {
+    SyntheticTextOptions topts;
+    topts.vocab_size = 80;
+    topts.train_tokens = bench::FastMode() ? 6000 : 20000;
+    topts.valid_tokens = 2000;
+    topts.test_tokens = 2000;
+    auto corpus = MakeSyntheticCorpus(topts).MoveValueOrDie();
+    const SliceConfig lm_lattice = bench::EighthLattice();
+    for (bool rescale : {true, false}) {
+      NnlmConfig cfg;
+      cfg.vocab_size = 80;
+      cfg.embed_dim = 40;
+      cfg.hidden = 40;
+      cfg.slice_groups = 8;
+      cfg.dropout = 0.1;
+      cfg.rescale = rescale;
+      auto model = Nnlm::Make(cfg).MoveValueOrDie();
+      RandomStaticScheduler sched(lm_lattice, true, true);
+      NnlmTrainOptions nopts;
+      nopts.epochs = bench::FastMode() ? 2 : 8;
+      nopts.sgd.lr = 4.0;
+      nopts.sgd.clip_grad_norm = 1.0;
+      TrainNnlm(model.get(), corpus, &sched, nopts);
+      std::printf("  rescale=%-5s test perplexity:", rescale ? "on" : "off");
+      for (double r : lm_lattice.rates()) {
+        std::printf("  r=%.3f: %.2f", r,
+                    EvalPerplexity(model.get(), corpus.test, r));
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ms
+
+int main() { return ms::Main(); }

@@ -1,0 +1,97 @@
+// Reproduces Figure 6: evolution of the group-norm scale factors (γ) during
+// model slicing training. The per-group mean |γ| stratifies: the base
+// groups (G1..) learn the largest scales — the fundamental representation —
+// while later groups carry residual detail with smaller scales.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/evaluator.h"
+#include "src/nn/norm.h"
+
+namespace ms {
+namespace {
+
+// Mean |gamma| per slicing group of one GroupNorm layer.
+std::vector<float> GroupGammaMeans(const GroupNorm& gn, int64_t groups) {
+  const Tensor& gamma = gn.gamma();
+  SliceSpec spec(gamma.size(), groups);
+  std::vector<float> means;
+  for (int64_t g = 0; g < groups; ++g) {
+    const int64_t c0 = spec.GroupBoundary(g);
+    const int64_t c1 = spec.GroupBoundary(g + 1);
+    float acc = 0.0f;
+    for (int64_t c = c0; c < c1; ++c) acc += std::abs(gamma[c]);
+    means.push_back(acc / static_cast<float>(c1 - c0));
+  }
+  return means;
+}
+
+int Main() {
+  const ImageDataSplit split = bench::StandardImages();
+  CnnConfig cfg = bench::StandardVgg();
+  auto net = MakeVggSmall(cfg).MoveValueOrDie();
+
+  // Locate the first conv's norm in stage 1 ("conv3" analogue, low-level
+  // features) and stage 2 ("conv5" analogue, high-level features).
+  GroupNorm* low = nullptr;
+  GroupNorm* high = nullptr;
+  for (size_t i = 0; i < net->size(); ++i) {
+    if (auto* gn = dynamic_cast<GroupNorm*>(net->child(i))) {
+      if (gn->name() == "norm_s1b0") low = gn;
+      if (gn->name() == "norm_s2b0") high = gn;
+    }
+  }
+  MS_CHECK(low != nullptr && high != nullptr);
+
+  const SliceConfig lattice = bench::QuarterLattice();
+  RandomStaticScheduler sched(lattice, true, true);
+  ImageTrainOptions train = bench::StandardTrain(12);
+
+  bench::PrintTitle(
+      "Figure 6: per-group mean |gamma| over training epochs "
+      "(rows = groups G1..G8, cols = epochs)");
+
+  std::vector<std::vector<float>> low_history, high_history;
+  TrainImageClassifier(net.get(), split.train, &sched, train,
+                       [&](const EpochStats&) {
+                         low_history.push_back(
+                             GroupGammaMeans(*low, cfg.slice_groups));
+                         high_history.push_back(
+                             GroupGammaMeans(*high, cfg.slice_groups));
+                       });
+
+  auto print_matrix = [&](const char* name,
+                          const std::vector<std::vector<float>>& hist) {
+    std::printf("\n%s\n", name);
+    for (int64_t g = 0; g < cfg.slice_groups; ++g) {
+      std::printf("  G%-3lld", static_cast<long long>(g + 1));
+      for (const auto& epoch : hist) {
+        std::printf(" %5.2f", epoch[static_cast<size_t>(g)]);
+      }
+      std::printf("\n");
+    }
+  };
+  print_matrix("(a) norm_s1b0 — low-level features (conv3 analogue)",
+               low_history);
+  print_matrix("(b) norm_s2b0 — high-level features (conv5 analogue)",
+               high_history);
+
+  // Quantify the stratification: base-group scales should dominate.
+  const auto& final_low = low_history.back();
+  float base = 0.0f, tail = 0.0f;
+  for (int g = 0; g < 2; ++g) base += final_low[static_cast<size_t>(g)];
+  for (int g = 6; g < 8; ++g) tail += final_low[static_cast<size_t>(g)];
+  std::printf(
+      "\nStratification (final epoch, low layer): mean|gamma| of base "
+      "groups G1-2 = %.3f\nvs tail groups G7-8 = %.3f — expected base > "
+      "tail (paper Fig. 6's bright-to-dim\ngradient from G1 to G8).\n",
+      base / 2.0f, tail / 2.0f);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ms
+
+int main() { return ms::Main(); }

@@ -1,0 +1,95 @@
+// Reproduces Figure 8: the inclusion coefficient of wrongly-predicted
+// samples between (a) independently trained fixed models of varying width
+// and (b) sliced subnets of one model trained with model slicing. Sliced
+// subnets err far more consistently — the property cascade ranking exploits.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/evaluator.h"
+
+namespace ms {
+namespace {
+
+void PrintMatrix(const char* title, const std::vector<double>& rates,
+                 const std::vector<std::vector<uint8_t>>& masks) {
+  std::printf("\n%s\n        ", title);
+  for (double r : rates) std::printf(" %7.3f", r);
+  std::printf("\n");
+  for (size_t i = 0; i < masks.size(); ++i) {
+    std::printf("  %-6.3f", rates[i]);
+    for (size_t j = 0; j < masks.size(); ++j) {
+      std::printf(" %7.3f", InclusionCoefficient(masks[i], masks[j]));
+    }
+    std::printf("\n");
+  }
+}
+
+double MeanOffDiagonal(const std::vector<std::vector<uint8_t>>& masks) {
+  double total = 0.0;
+  int count = 0;
+  for (size_t i = 0; i < masks.size(); ++i) {
+    for (size_t j = 0; j < masks.size(); ++j) {
+      if (i == j) continue;
+      total += InclusionCoefficient(masks[i], masks[j]);
+      ++count;
+    }
+  }
+  return total / count;
+}
+
+int Main() {
+  // Harder data: comparable error counts across systems (bench_util.h).
+  const ImageDataSplit split = bench::HardImages();
+  const std::vector<double> rates =
+      bench::FastMode() ? std::vector<double>{0.5, 1.0}
+                        : std::vector<double>{0.375, 0.5, 0.625, 0.75,
+                                              0.875, 1.0};
+  const SliceConfig lattice = SliceConfig::FromList(rates).MoveValueOrDie();
+
+  bench::PrintTitle(
+      "Figure 8: inclusion coefficient of wrong predictions between model "
+      "pairs");
+
+  // (a) independently trained fixed models.
+  std::vector<std::vector<uint8_t>> fixed_masks;
+  for (double r : rates) {
+    CnnConfig cfg = bench::StandardVgg();
+    cfg.width_mult = r;
+    cfg.seed += static_cast<uint64_t>(r * 1000);
+    auto net = MakeVggSmall(cfg).MoveValueOrDie();
+    FixedRateScheduler sched(1.0);
+    TrainImageClassifier(net.get(), split.train, &sched,
+                         bench::StandardTrain());
+    fixed_masks.push_back(WrongPredictionMask(net.get(), split.test, 1.0));
+    std::fprintf(stderr, "[fixed %.3f] done\n", r);
+  }
+
+  // (b) sliced subnets of one model.
+  std::vector<std::vector<uint8_t>> sliced_masks;
+  {
+    auto net = MakeVggSmall(bench::StandardVgg()).MoveValueOrDie();
+    RandomStaticScheduler sched(lattice, true, true);
+    TrainImageClassifier(net.get(), split.train, &sched,
+                         bench::StandardTrain(16));
+    for (double r : rates) {
+      sliced_masks.push_back(WrongPredictionMask(net.get(), split.test, r));
+    }
+    std::fprintf(stderr, "[sliced] done\n");
+  }
+
+  PrintMatrix("(a) independently trained fixed models", rates, fixed_masks);
+  PrintMatrix("(b) sliced subnets of one model", rates, sliced_masks);
+
+  std::printf(
+      "\nMean off-diagonal inclusion: fixed models %.3f vs sliced subnets "
+      "%.3f\nExpected shape (paper Fig. 8): sliced subnets' errors overlap "
+      "far more\n(~0.75-0.97) than independent models' (~0.55-0.62).\n",
+      MeanOffDiagonal(fixed_masks), MeanOffDiagonal(sliced_masks));
+  return 0;
+}
+
+}  // namespace
+}  // namespace ms
+
+int main() { return ms::Main(); }

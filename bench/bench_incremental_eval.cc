@@ -1,0 +1,64 @@
+// Microbenchmark for the Sec. 3.5 group-residual feature reuse: upgrading a
+// cached subnet to a larger rate (computing only the new groups) vs a full
+// re-evaluation at the larger rate. Uses google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/core/incremental_eval.h"
+#include "src/models/mlp.h"
+#include "src/util/rng.h"
+
+namespace ms {
+namespace {
+
+std::unique_ptr<Sequential> BigMlp() {
+  MlpConfig cfg;
+  cfg.in_features = 256;
+  cfg.hidden = {512, 512, 512};
+  cfg.num_classes = 10;
+  cfg.slice_groups = 8;
+  cfg.rescale = false;
+  return MakeMlp(cfg).MoveValueOrDie();
+}
+
+void BM_FullEvalAtRate(benchmark::State& state) {
+  static std::unique_ptr<Sequential> net = BigMlp();
+  auto eval = IncrementalMlpEvaluator::Make(net.get()).MoveValueOrDie();
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(1);
+  Tensor x = Tensor::Randn({16, 256}, &rng);
+  for (auto _ : state) {
+    Tensor y = eval.EvalAtRate(x, rate);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["MFLOPs"] = static_cast<double>(eval.last_flops()) / 1e6;
+}
+BENCHMARK(BM_FullEvalAtRate)->Arg(75)->Arg(100);
+
+void BM_IncrementalUpgrade(benchmark::State& state) {
+  static std::unique_ptr<Sequential> net = BigMlp();
+  auto eval = IncrementalMlpEvaluator::Make(net.get()).MoveValueOrDie();
+  const double from = static_cast<double>(state.range(0)) / 100.0;
+  const double to = static_cast<double>(state.range(1)) / 100.0;
+  Rng rng(2);
+  Tensor x = Tensor::Randn({16, 256}, &rng);
+  for (auto _ : state) {
+    state.PauseTiming();
+    eval.EvalAtRate(x, from);  // populate the cache at the lower rate
+    state.ResumeTiming();
+    auto upgraded = eval.UpgradeTo(to);
+    benchmark::DoNotOptimize(upgraded.ok());
+  }
+  state.counters["upgrade_MFLOPs"] =
+      static_cast<double>(eval.last_flops()) / 1e6;
+}
+BENCHMARK(BM_IncrementalUpgrade)
+    ->Args({50, 75})
+    ->Args({50, 100})
+    ->Args({75, 100});
+
+}  // namespace
+}  // namespace ms
+
+BENCHMARK_MAIN();

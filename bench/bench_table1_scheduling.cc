@@ -1,0 +1,101 @@
+// Reproduces Table 1: accuracy of VGG trained with the slice-rate
+// scheduling schemes of Sec. 3.4, evaluated at r in {1.0, 0.75, 0.5, 0.25}.
+// Columns: Fixed (ensemble of standalone models), R-uniform-2,
+// R-weighted-2, R-weighted-3, Static, R-min, R-max, R-min-max, Slimmable
+// (static scheduling + one BatchNorm per rate, as in SlimmableNet [52]).
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/evaluator.h"
+
+namespace ms {
+namespace {
+
+using bench::PrintRule;
+using bench::PrintTitle;
+
+std::vector<float> TrainAndSweep(const CnnConfig& cfg,
+                                 SliceRateScheduler* sched,
+                                 const ImageDataSplit& split,
+                                 const std::vector<double>& eval_rates) {
+  auto net = MakeVggSmall(cfg).MoveValueOrDie();
+  TrainImageClassifier(net.get(), split.train, sched, bench::StandardTrain());
+  return EvalAccuracySweep(net.get(), split.test, eval_rates);
+}
+
+int Main() {
+  const ImageDataSplit split = bench::StandardImages();
+  const SliceConfig lattice = bench::QuarterLattice();
+  const std::vector<double> rates = lattice.rates();  // ascending
+
+  PrintTitle(
+      "Table 1: VGG accuracy (%) by slice-rate scheduling scheme "
+      "(synthetic CIFAR analogue)");
+
+  std::vector<std::string> scheme_names = {
+      "r-uniform-2", "r-weighted-2", "r-weighted-3", "static",
+      "r-min",       "r-max",        "r-min-max"};
+  std::map<std::string, std::vector<float>> results;
+
+  // Fixed-model column: one standalone network per rate (width multiplier).
+  {
+    std::vector<float> accs;
+    for (double r : rates) {
+      CnnConfig cfg = bench::StandardVgg();
+      cfg.width_mult = r;
+      cfg.seed += static_cast<uint64_t>(r * 100);
+      FixedRateScheduler sched(1.0);
+      auto net = MakeVggSmall(cfg).MoveValueOrDie();
+      TrainImageClassifier(net.get(), split.train, &sched,
+                           bench::StandardTrain());
+      accs.push_back(EvalAccuracy(net.get(), split.test, 1.0));
+      std::fprintf(stderr, "[fixed %.2f] acc %.4f\n", r, accs.back());
+    }
+    results["fixed"] = accs;
+  }
+
+  for (const auto& name : scheme_names) {
+    auto sched = MakeScheduler(name, lattice).MoveValueOrDie();
+    results[name] =
+        TrainAndSweep(bench::StandardVgg(), sched.get(), split, rates);
+    std::fprintf(stderr, "[%s] done\n", name.c_str());
+  }
+
+  // Slimmable column: static scheduling + multi-BN.
+  {
+    CnnConfig cfg = bench::StandardVgg();
+    cfg.norm = NormKind::kMultiBatch;
+    cfg.multi_bn_rates = rates;
+    StaticScheduler sched(lattice);
+    results["slimmable"] = TrainAndSweep(cfg, &sched, split, rates);
+    std::fprintf(stderr, "[slimmable] done\n");
+  }
+
+  // Print: rows = slice rates descending, columns = schemes.
+  std::vector<std::string> columns = {"fixed"};
+  columns.insert(columns.end(), scheme_names.begin(), scheme_names.end());
+  columns.push_back("slimmable");
+  std::printf("%-6s", "r");
+  for (const auto& c : columns) std::printf(" %12s", c.c_str());
+  std::printf("\n");
+  PrintRule(6 + 13 * static_cast<int>(columns.size()));
+  for (size_t i = rates.size(); i-- > 0;) {
+    std::printf("%-6.2f", rates[i]);
+    for (const auto& c : columns) {
+      std::printf(" %12.2f", results[c][i] * 100.0f);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape (paper): weighted random > uniform ~ static for "
+      "small subnets;\nslimmable strongest at r=1.0 but weaker at r=0.25; "
+      "fixed models are the per-rate\nupper baseline trained in isolation.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ms
+
+int main() { return ms::Main(); }

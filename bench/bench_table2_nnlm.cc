@@ -1,0 +1,126 @@
+// Reproduces Table 2 and Figure 4: NNLM perplexity on the synthetic PTB
+// analogue w.r.t. the slice rate, for
+//   NNLM-1.0    — conventionally trained, sliced post hoc (collapses),
+//   NNLM-0.375  — trained with model slicing, lower bound 0.375,
+//   NNLM-fixed  — an ensemble of standalone models, one per width.
+// The Ct row is the remaining fraction of computation (~r^2, Eq. 3).
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/evaluator.h"
+#include "src/models/nnlm.h"
+
+namespace ms {
+namespace {
+
+SyntheticTextOptions CorpusOptions() {
+  SyntheticTextOptions opts;
+  opts.vocab_size = 100;
+  opts.train_tokens = bench::FastMode() ? 8000 : 40000;
+  opts.valid_tokens = bench::FastMode() ? 1000 : 4000;
+  opts.test_tokens = bench::FastMode() ? 1000 : 4000;
+  opts.seed = 13;
+  return opts;
+}
+
+NnlmConfig ModelConfig() {
+  NnlmConfig cfg;
+  cfg.vocab_size = 100;
+  cfg.embed_dim = 48;
+  cfg.hidden = 48;
+  cfg.num_layers = 2;
+  cfg.slice_groups = 8;
+  cfg.dropout = 0.15;
+  cfg.seed = 3;
+  return cfg;
+}
+
+NnlmTrainOptions TrainOptions() {
+  NnlmTrainOptions opts;
+  opts.epochs = bench::FastMode() ? 2 : 10;
+  opts.batch_size = 16;
+  opts.bptt = 16;
+  opts.sgd.lr = 4.0;
+  opts.sgd.clip_grad_norm = 1.0;
+  opts.plateau_factor = 0.25;
+  return opts;
+}
+
+int Main() {
+  const TextCorpus corpus = MakeSyntheticCorpus(CorpusOptions())
+                                .MoveValueOrDie();
+  const SliceConfig lattice = bench::EighthLattice();
+  const std::vector<double>& rates = lattice.rates();
+
+  bench::PrintTitle(
+      "Table 2 / Figure 4: NNLM perplexity vs slice rate "
+      "(synthetic PTB analogue)");
+
+  // NNLM-1.0: conventional training, sliced post hoc.
+  std::vector<double> ppl_conventional;
+  {
+    auto model = Nnlm::Make(ModelConfig()).MoveValueOrDie();
+    FullOnlyScheduler sched;
+    TrainNnlm(model.get(), corpus, &sched, TrainOptions());
+    for (double r : rates) {
+      ppl_conventional.push_back(
+          EvalPerplexity(model.get(), corpus.test, r, 16, 16));
+    }
+    std::fprintf(stderr, "[nnlm-1.0] done\n");
+  }
+
+  // NNLM-0.375: model slicing training (R-min-max over the lattice).
+  std::vector<double> ppl_sliced;
+  {
+    auto model = Nnlm::Make(ModelConfig()).MoveValueOrDie();
+    RandomStaticScheduler sched(lattice, /*include_min=*/true,
+                                /*include_max=*/true);
+    TrainNnlm(model.get(), corpus, &sched, TrainOptions());
+    for (double r : rates) {
+      ppl_sliced.push_back(
+          EvalPerplexity(model.get(), corpus.test, r, 16, 16));
+    }
+    std::fprintf(stderr, "[nnlm-0.375] done\n");
+  }
+
+  // NNLM-fixed: a standalone model per width.
+  std::vector<double> ppl_fixed;
+  for (double r : rates) {
+    NnlmConfig cfg = ModelConfig();
+    cfg.hidden = std::max<int64_t>(4, static_cast<int64_t>(cfg.hidden * r));
+    cfg.seed = 3 + static_cast<uint64_t>(r * 100);
+    auto model = Nnlm::Make(cfg).MoveValueOrDie();
+    FullOnlyScheduler sched;
+    TrainNnlm(model.get(), corpus, &sched, TrainOptions());
+    ppl_fixed.push_back(EvalPerplexity(model.get(), corpus.test, 1.0, 16, 16));
+    std::fprintf(stderr, "[fixed %.3f] ppl %.2f\n", r, ppl_fixed.back());
+  }
+
+  std::printf("%-14s", "Slice rate r");
+  for (size_t i = rates.size(); i-- > 0;) std::printf(" %8.3f", rates[i]);
+  std::printf("\n%-14s", "Ct (%)");
+  for (size_t i = rates.size(); i-- > 0;) {
+    std::printf(" %8.2f", rates[i] * rates[i] * 100.0);
+  }
+  std::printf("\n");
+  bench::PrintRule(14 + 9 * static_cast<int>(rates.size()));
+  auto print_row = [&](const char* name, const std::vector<double>& ppl) {
+    std::printf("%-14s", name);
+    for (size_t i = rates.size(); i-- > 0;) std::printf(" %8.2f", ppl[i]);
+    std::printf("\n");
+  };
+  print_row("NNLM-1.0", ppl_conventional);
+  print_row("NNLM-0.375", ppl_sliced);
+  print_row("NNLM-fixed", ppl_fixed);
+  std::printf(
+      "\nExpected shape (paper): NNLM-1.0 degrades drastically as r "
+      "shrinks; NNLM-0.375\nstays close to the per-width fixed models, and "
+      "its full-rate perplexity matches\nor beats the full fixed model.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ms
+
+int main() { return ms::Main(); }

@@ -1,0 +1,114 @@
+// Shared setup for the experiment benches: standard datasets, training
+// presets and table printing. Every bench regenerates one table or figure
+// of the paper; EXPERIMENTS.md records paper-vs-measured.
+//
+// Environment knobs:
+//   MS_BENCH_FAST=1  — quarter-size runs for smoke-testing the harness.
+#ifndef MODELSLICING_BENCH_BENCH_UTIL_H_
+#define MODELSLICING_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/core/scheduler.h"
+#include "src/core/trainer.h"
+#include "src/data/synthetic_images.h"
+#include "src/data/synthetic_text.h"
+#include "src/models/cnn.h"
+
+namespace ms {
+namespace bench {
+
+inline bool FastMode() {
+  const char* v = std::getenv("MS_BENCH_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+/// CIFAR-10 analogue used by the CNN benches (see DESIGN.md substitutions).
+inline ImageDataSplit StandardImages() {
+  SyntheticImageOptions opts;
+  opts.num_classes = 10;
+  opts.modes_per_class = 3;
+  opts.channels = 3;
+  opts.height = 12;
+  opts.width = 12;
+  opts.train_size = FastMode() ? 400 : 1500;
+  opts.test_size = FastMode() ? 200 : 400;
+  opts.noise = 0.5;
+  opts.max_shift = 2;
+  opts.seed = 7;
+  return MakeSyntheticImages(opts).MoveValueOrDie();
+}
+
+/// A harder variant (more intra-class modes, more noise) for experiments
+/// that need per-stage precision in the paper's ~85-95% band — with the
+/// easy standard set, fixed models saturate and consistency effects vanish.
+inline ImageDataSplit HardImages() {
+  SyntheticImageOptions opts;
+  opts.num_classes = 10;
+  opts.modes_per_class = 4;
+  opts.channels = 3;
+  opts.height = 12;
+  opts.width = 12;
+  opts.train_size = FastMode() ? 400 : 1500;
+  opts.test_size = FastMode() ? 200 : 500;
+  opts.noise = 0.85;
+  opts.max_shift = 2;
+  opts.seed = 7;
+  return MakeSyntheticImages(opts).MoveValueOrDie();
+}
+
+inline ImageTrainOptions StandardTrain(int epochs = 8) {
+  ImageTrainOptions opts;
+  opts.epochs = FastMode() ? 2 : epochs;
+  opts.batch_size = 32;
+  opts.sgd.lr = 0.05;
+  opts.sgd.momentum = 0.9;
+  opts.sgd.weight_decay = 1e-4;
+  opts.lr_milestones = {FastMode() ? 1 : (epochs * 3) / 4};
+  opts.augment = true;
+  opts.max_shift = 2;
+  opts.seed = 42;
+  return opts;
+}
+
+/// The coarse lattice used for Table 1-style experiments.
+inline SliceConfig QuarterLattice() {
+  return SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+}
+
+/// The paper's reporting granularity: 0.375 to 1.0 in steps of 1/8.
+inline SliceConfig EighthLattice() {
+  return SliceConfig::Make(0.375, 0.125).MoveValueOrDie();
+}
+
+inline CnnConfig StandardVgg() {
+  CnnConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 10;
+  cfg.base_width = 16;
+  cfg.stages = 3;
+  cfg.blocks_per_stage = 2;
+  cfg.slice_groups = 8;
+  cfg.norm = NormKind::kGroup;
+  cfg.seed = 5;
+  return cfg;
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void PrintTitle(const std::string& title) {
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+}  // namespace bench
+}  // namespace ms
+
+#endif  // MODELSLICING_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,85 @@
+// Reproduces the Sec. 4.1 dynamic-workload experiment: a latency-SLO'd
+// service under a peaky workload (up to 16x volatility), comparing
+//   - elastic serving (model slicing; per-batch slice rate from Eq. 3),
+//   - a fixed full-width model (accurate but misses deadlines at peak),
+//   - a fixed base-width model (safe but inaccurate all day).
+// The accuracy table comes from a model actually trained with slicing.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/evaluator.h"
+#include "src/serving/latency_scheduler.h"
+#include "src/serving/workload.h"
+
+namespace ms {
+namespace {
+
+int Main() {
+  bench::PrintTitle(
+      "Sec. 4.1: dynamic workload serving under a latency SLO "
+      "(elastic vs fixed)");
+
+  // Train the sliced model to obtain a real accuracy-per-rate table.
+  const ImageDataSplit split = bench::StandardImages();
+  const SliceConfig lattice = bench::QuarterLattice();
+  auto net = MakeVggSmall(bench::StandardVgg()).MoveValueOrDie();
+  RandomStaticScheduler sched_train(lattice, true, true);
+  TrainImageClassifier(net.get(), split.train, &sched_train,
+                       bench::StandardTrain());
+  std::vector<double> accuracy;
+  for (double r : lattice.rates()) {
+    accuracy.push_back(EvalAccuracy(net.get(), split.test, r));
+  }
+  std::printf("accuracy per rate:");
+  for (size_t i = 0; i < accuracy.size(); ++i) {
+    std::printf("  r=%.2f: %.2f%%", lattice.rates()[i],
+                accuracy[i] * 100.0);
+  }
+  std::printf("\n\n");
+
+  ServingConfig cfg;
+  cfg.full_sample_time = 1.0;
+  cfg.latency_budget = 32.0;  // per tick: up to 16 full-model samples
+  cfg.lattice = lattice;
+  cfg.accuracy_per_rate = accuracy;
+  auto scheduler = LatencyScheduler::Make(cfg).MoveValueOrDie();
+
+  WorkloadOptions wopts;
+  wopts.num_ticks = 500;
+  wopts.base_arrivals = 6.0;
+  wopts.peak_multiplier = 10.0;
+  wopts.spike_probability = 0.02;
+  wopts.spike_multiplier = 16.0;
+  const auto workload = GenerateWorkload(wopts).MoveValueOrDie();
+
+  const ServingSummary elastic = SimulateServing(scheduler, workload);
+  const ServingSummary fixed_full =
+      SimulateFixedServing(scheduler, workload, 1.0);
+  const ServingSummary fixed_base =
+      SimulateFixedServing(scheduler, workload, 0.25);
+
+  std::printf("%-24s %12s %12s %12s %12s\n", "policy", "SLO misses",
+              "mean rate", "mean acc %", "utilization");
+  bench::PrintRule(76);
+  auto row = [&](const char* name, const ServingSummary& s) {
+    std::printf("%-24s %12lld %12.3f %12.2f %12.3f\n", name,
+                static_cast<long long>(s.slo_violations), s.mean_rate,
+                s.mean_accuracy * 100.0, s.utilization);
+  };
+  row("elastic (model slicing)", elastic);
+  row("fixed full model", fixed_full);
+  row("fixed base model", fixed_base);
+
+  std::printf(
+      "\nExpected shape (paper Sec. 4.1): the elastic policy meets the SLO "
+      "at every\ntick while delivering near-full accuracy off-peak; the "
+      "full model violates\nduring peaks; the base model wastes accuracy "
+      "all day.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ms
+
+int main() { return ms::Main(); }

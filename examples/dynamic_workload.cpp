@@ -1,0 +1,84 @@
+// Example: fine-grained system degradation for a latency-SLO'd inference
+// service (paper Sec. 4.1).
+//
+//   $ ./example_dynamic_workload
+//
+// Simulates a day of traffic with a 10x peak and 16x spikes. Every T/2
+// interval the scheduler batches the queued queries and picks the largest
+// trained slice rate r with n * r^2 * t <= T/2, so all queries meet the SLO
+// while accuracy degrades only as much as the load demands.
+#include <cstdio>
+
+#include "src/core/evaluator.h"
+#include "src/core/trainer.h"
+#include "src/models/cnn.h"
+#include "src/serving/latency_scheduler.h"
+#include "src/serving/workload.h"
+
+using namespace ms;  // NOLINT — example brevity
+
+int main() {
+  // A sliced model provides the accuracy table (shortened training here;
+  // see bench_workload_serving for the full experiment).
+  SyntheticImageOptions data_opts;
+  data_opts.num_classes = 10;
+  data_opts.height = 12;
+  data_opts.width = 12;
+  data_opts.train_size = 800;
+  data_opts.test_size = 300;
+  auto split = MakeSyntheticImages(data_opts).MoveValueOrDie();
+
+  CnnConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 10;
+  cfg.base_width = 16;
+  cfg.stages = 3;
+  cfg.blocks_per_stage = 2;
+  cfg.slice_groups = 8;
+  auto net = MakeVggSmall(cfg).MoveValueOrDie();
+  auto lattice = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  RandomStaticScheduler train_sched(lattice, true, true);
+  ImageTrainOptions train_opts;
+  train_opts.epochs = 6;
+  train_opts.sgd.lr = 0.05;
+  TrainImageClassifier(net.get(), split.train, &train_sched, train_opts);
+
+  ServingConfig serving;
+  serving.full_sample_time = 1.0;   // t: time units per sample, full model
+  serving.latency_budget = 32.0;    // T: the SLO
+  serving.lattice = lattice;
+  for (double r : lattice.rates()) {
+    serving.accuracy_per_rate.push_back(
+        EvalAccuracy(net.get(), split.test, r));
+  }
+  auto scheduler = LatencyScheduler::Make(serving).MoveValueOrDie();
+
+  WorkloadOptions wl;
+  wl.num_ticks = 48;          // a "day" of half-hour ticks
+  wl.base_arrivals = 5.0;
+  wl.peak_multiplier = 10.0;
+  wl.peak_begin = 0.4;
+  wl.peak_end = 0.7;
+  wl.spike_probability = 0.04;
+  wl.spike_multiplier = 16.0;
+  auto arrivals = GenerateWorkload(wl).MoveValueOrDie();
+
+  std::printf("%-6s %-9s %-7s %-12s %-8s %s\n", "tick", "queries", "rate",
+              "proc time", "SLO", "expected acc");
+  std::vector<TickDecision> decisions;
+  const ServingSummary summary =
+      SimulateServing(scheduler, arrivals, &decisions);
+  for (size_t t = 0; t < decisions.size(); ++t) {
+    const TickDecision& d = decisions[t];
+    std::printf("%-6zu %-9d %-7.2f %-12.2f %-8s %.3f\n", t, d.num_samples,
+                d.rate, d.processing_time, d.slo_met ? "met" : "MISSED",
+                d.accuracy);
+  }
+  std::printf(
+      "\nsummary: %lld samples, %lld SLO violations, mean rate %.3f, "
+      "mean accuracy %.3f, utilization %.3f\n",
+      static_cast<long long>(summary.total_samples),
+      static_cast<long long>(summary.slo_violations), summary.mean_rate,
+      summary.mean_accuracy, summary.utilization);
+  return 0;
+}

@@ -1,0 +1,222 @@
+// mscli — command-line front end for the model slicing library.
+//
+//   $ ./example_mscli train --model=vgg13 --scheduler=r-min-max \
+//       --epochs=8 --lr=0.05 --lb=0.25 --granularity=0.25 --out=model.ckpt
+//   $ ./example_mscli eval --model=vgg13 --ckpt=model.ckpt --rate=0.5
+//   $ ./example_mscli profile --model=vgg13
+//   $ ./example_mscli summary --model=vgg13 --rate=0.5
+//   $ ./example_mscli serve --model=vgg13 --ckpt=model.ckpt --budget=32
+//
+// Models come from the zoo (vgg13, resnet164, resnet56-2, vgg16, resnet50);
+// data is the matching synthetic benchmark split.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/core/anytime.h"
+#include "src/core/cost_model.h"
+#include "src/core/evaluator.h"
+#include "src/core/trainer.h"
+#include "src/models/zoo.h"
+#include "src/nn/serialize.h"
+#include "src/nn/summary.h"
+#include "src/serving/latency_scheduler.h"
+#include "src/serving/workload.h"
+#include "src/util/flags.h"
+
+using namespace ms;  // NOLINT — tool brevity
+
+namespace {
+
+int Usage() {
+  std::printf(
+      "usage: mscli <train|eval|profile|serve> [--model=vgg13]\n"
+      "  train:   --scheduler=r-min-max --epochs=8 --lr=0.05 --lb=0.25\n"
+      "           --granularity=0.25 --out=model.ckpt\n"
+      "  eval:    --ckpt=model.ckpt --rate=0.5\n"
+      "  profile: (prints the rate/FLOPs/params lattice)\n"
+      "  summary: --rate=0.5 (per-layer table at one slice rate)\n"
+      "  serve:   --ckpt=model.ckpt --budget=<samples per tick at full "
+      "cost>\n");
+  return 2;
+}
+
+struct Loaded {
+  ZooEntry entry;
+  std::unique_ptr<Sequential> net;
+  ImageDataSplit split;
+  SliceConfig lattice;
+};
+
+Result<Loaded> Load(const Flags& flags) {
+  const std::string model = flags.GetString("model", "vgg13");
+  auto entry_result = GetZooModel(model);
+  MS_RETURN_NOT_OK(entry_result.status());
+  Loaded loaded{entry_result.MoveValueOrDie(), nullptr, {}, {}};
+  auto net_result = loaded.entry.is_resnet
+                        ? MakeResNet(loaded.entry.config)
+                        : MakeVggSmall(loaded.entry.config);
+  MS_RETURN_NOT_OK(net_result.status());
+  loaded.net = net_result.MoveValueOrDie();
+  auto split_result =
+      MakeSyntheticImages(ZooDatasetOptions(loaded.entry.dataset));
+  MS_RETURN_NOT_OK(split_result.status());
+  loaded.split = split_result.MoveValueOrDie();
+  auto lattice_result = SliceConfig::Make(flags.GetDouble("lb", 0.25),
+                                          flags.GetDouble("granularity",
+                                                          0.25));
+  MS_RETURN_NOT_OK(lattice_result.status());
+  loaded.lattice = lattice_result.MoveValueOrDie();
+  if (flags.Has("ckpt")) {
+    std::vector<ParamRef> params;
+    loaded.net->CollectParams(&params);
+    MS_RETURN_NOT_OK(LoadParams(params, flags.GetString("ckpt")));
+  }
+  return loaded;
+}
+
+int Train(const Flags& flags) {
+  auto loaded_result = Load(flags);
+  if (!loaded_result.ok()) {
+    std::fprintf(stderr, "%s\n", loaded_result.status().ToString().c_str());
+    return 1;
+  }
+  Loaded loaded = loaded_result.MoveValueOrDie();
+  auto sched_result =
+      MakeScheduler(flags.GetString("scheduler", "r-min-max"),
+                    loaded.lattice);
+  if (!sched_result.ok()) {
+    std::fprintf(stderr, "%s\n", sched_result.status().ToString().c_str());
+    return 1;
+  }
+  auto sched = sched_result.MoveValueOrDie();
+  ImageTrainOptions opts;
+  opts.epochs = static_cast<int>(flags.GetInt("epochs", 8));
+  opts.batch_size = flags.GetInt("batch", 32);
+  opts.sgd.lr = flags.GetDouble("lr", 0.05);
+  opts.lr_milestones = {(opts.epochs * 3) / 4};
+  TrainImageClassifier(loaded.net.get(), loaded.split.train, sched.get(),
+                       opts, [](const EpochStats& s) {
+                         std::printf("epoch %d loss %.4f (%.1fs)\n", s.epoch,
+                                     s.train_loss, s.seconds);
+                       });
+  for (double r : loaded.lattice.rates()) {
+    std::printf("rate %.3f accuracy %.4f\n", r,
+                EvalAccuracy(loaded.net.get(), loaded.split.test, r));
+  }
+  if (flags.Has("out")) {
+    std::vector<ParamRef> params;
+    loaded.net->CollectParams(&params);
+    const Status s = SaveParams(params, flags.GetString("out"));
+    std::printf("checkpoint %s: %s\n", flags.GetString("out").c_str(),
+                s.ToString().c_str());
+    if (!s.ok()) return 1;
+  }
+  return 0;
+}
+
+int Eval(const Flags& flags) {
+  auto loaded_result = Load(flags);
+  if (!loaded_result.ok()) {
+    std::fprintf(stderr, "%s\n", loaded_result.status().ToString().c_str());
+    return 1;
+  }
+  Loaded loaded = loaded_result.MoveValueOrDie();
+  const double rate = flags.GetDouble("rate", 1.0);
+  std::printf("model %s rate %.3f accuracy %.4f\n",
+              loaded.entry.name.c_str(), rate,
+              EvalAccuracy(loaded.net.get(), loaded.split.test, rate));
+  return 0;
+}
+
+int Profile(const Flags& flags) {
+  auto loaded_result = Load(flags);
+  if (!loaded_result.ok()) {
+    std::fprintf(stderr, "%s\n", loaded_result.status().ToString().c_str());
+    return 1;
+  }
+  Loaded loaded = loaded_result.MoveValueOrDie();
+  auto predictor_result = AnytimePredictor::Make(
+      loaded.net.get(), loaded.lattice,
+      {1, loaded.split.test.channels, loaded.split.test.height,
+       loaded.split.test.width});
+  if (!predictor_result.ok()) return 1;
+  auto predictor = predictor_result.MoveValueOrDie();
+  std::printf("%-8s %-12s %-12s %s\n", "rate", "MFLOPs", "params(K)",
+              "fwd ms (1 sample)");
+  for (size_t i = 0; i < predictor.profiles().size(); ++i) {
+    const auto& p = predictor.profiles()[i];
+    std::printf("%-8.3f %-12.4f %-12.1f %.3f\n", p.rate, p.flops / 1e6,
+                p.params / 1e3, predictor.seconds_per_rate()[i] * 1e3);
+  }
+  return 0;
+}
+
+int Summary(const Flags& flags) {
+  auto loaded_result = Load(flags);
+  if (!loaded_result.ok()) {
+    std::fprintf(stderr, "%s\n", loaded_result.status().ToString().c_str());
+    return 1;
+  }
+  Loaded loaded = loaded_result.MoveValueOrDie();
+  Tensor sample({1, loaded.split.test.channels, loaded.split.test.height,
+                 loaded.split.test.width});
+  const ModelSummary summary = Summarize(
+      loaded.net.get(), sample, flags.GetDouble("rate", 1.0));
+  std::fputs(FormatSummary(summary).c_str(), stdout);
+  return 0;
+}
+
+int Serve(const Flags& flags) {
+  auto loaded_result = Load(flags);
+  if (!loaded_result.ok()) {
+    std::fprintf(stderr, "%s\n", loaded_result.status().ToString().c_str());
+    return 1;
+  }
+  Loaded loaded = loaded_result.MoveValueOrDie();
+  ServingConfig cfg;
+  cfg.full_sample_time = 1.0;
+  cfg.latency_budget = 2.0 * flags.GetDouble("budget", 16.0);
+  cfg.lattice = loaded.lattice;
+  for (double r : loaded.lattice.rates()) {
+    cfg.accuracy_per_rate.push_back(
+        EvalAccuracy(loaded.net.get(), loaded.split.test, r));
+  }
+  auto sched_result = LatencyScheduler::Make(cfg);
+  if (!sched_result.ok()) return 1;
+  auto scheduler = sched_result.MoveValueOrDie();
+  WorkloadOptions wl;
+  wl.num_ticks = static_cast<int64_t>(flags.GetInt("ticks", 200));
+  wl.base_arrivals = flags.GetDouble("arrivals", 5.0);
+  wl.peak_multiplier = flags.GetDouble("peak", 10.0);
+  auto workload_result = GenerateWorkload(wl);
+  if (!workload_result.ok()) return 1;
+  const ServingSummary s =
+      SimulateServing(scheduler, workload_result.MoveValueOrDie());
+  std::printf(
+      "served %lld samples: %lld SLO violations, mean rate %.3f, mean "
+      "accuracy %.4f, utilization %.3f\n",
+      static_cast<long long>(s.total_samples),
+      static_cast<long long>(s.slo_violations), s.mean_rate,
+      s.mean_accuracy, s.utilization);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_result = Flags::Parse(argc, argv);
+  if (!flags_result.ok()) {
+    std::fprintf(stderr, "%s\n", flags_result.status().ToString().c_str());
+    return Usage();
+  }
+  const Flags flags = flags_result.MoveValueOrDie();
+  if (flags.positional().empty()) return Usage();
+  const std::string command = flags.positional().front();
+  if (command == "train") return Train(flags);
+  if (command == "eval") return Eval(flags);
+  if (command == "profile") return Profile(flags);
+  if (command == "summary") return Summary(flags);
+  if (command == "serve") return Serve(flags);
+  return Usage();
+}

@@ -1,0 +1,56 @@
+#include "src/baselines/fixed_ensemble.h"
+
+#include <cmath>
+
+#include "src/core/cost_model.h"
+#include "src/core/evaluator.h"
+
+namespace ms {
+
+Result<std::vector<EnsembleMember>> TrainFixedEnsemble(
+    const EnsembleOptions& opts, const ImageDataset& train,
+    const ImageDataset& test) {
+  if (opts.scales.empty()) {
+    return Status::InvalidArgument("ensemble needs at least one scale");
+  }
+  std::vector<EnsembleMember> members;
+  for (double scale : opts.scales) {
+    if (scale <= 0.0 || scale > 1.0) {
+      return Status::InvalidArgument("scales must be in (0, 1]");
+    }
+    CnnConfig config = opts.base;
+    config.norm = NormKind::kBatch;
+    if (opts.axis == EnsembleAxis::kWidth) {
+      config.width_mult = opts.base.width_mult * scale;
+    } else {
+      config.blocks_per_stage = std::max<int64_t>(
+          1, static_cast<int64_t>(
+                 std::llround(opts.base.blocks_per_stage * scale)));
+    }
+    // Distinct init per member: otherwise "ensemble" members correlate.
+    config.seed = opts.base.seed + static_cast<uint64_t>(
+                                       std::llround(scale * 1000));
+
+    auto net_result =
+        opts.use_resnet ? MakeResNet(config) : MakeVggSmall(config);
+    MS_RETURN_NOT_OK(net_result.status());
+    std::unique_ptr<Sequential> net = net_result.MoveValueOrDie();
+
+    FullOnlyScheduler scheduler;
+    TrainImageClassifier(net.get(), train, &scheduler, opts.train);
+
+    EnsembleMember member;
+    member.scale = scale;
+    member.test_accuracy = EvalAccuracy(net.get(), test, /*rate=*/1.0);
+    // Profile compute/params at the full rate of this (smaller) model.
+    Tensor sample({1, train.channels, train.height, train.width});
+    const auto profile = ProfileNet(net.get(), sample, {1.0});
+    member.flops = profile[0].flops;
+    member.params = profile[0].params;
+    member.net = std::move(net);
+    members.push_back(std::move(member));
+  }
+  return members;
+}
+
+}  // namespace ms

@@ -1,0 +1,41 @@
+// Ensemble-of-fixed-models baselines (paper Fig. 2 / Table 4): a separate
+// conventionally-trained network per operating point, varying either the
+// width multiplier or the depth. Strong baselines that cost one full model
+// of storage per point — exactly the overhead model slicing removes.
+#ifndef MODELSLICING_BASELINES_FIXED_ENSEMBLE_H_
+#define MODELSLICING_BASELINES_FIXED_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/trainer.h"
+#include "src/models/cnn.h"
+
+namespace ms {
+
+struct EnsembleMember {
+  double scale = 1.0;  ///< width multiplier or depth fraction.
+  std::unique_ptr<Sequential> net;
+  int64_t flops = 0;    ///< profiled at full rate.
+  int64_t params = 0;
+  float test_accuracy = 0.0f;
+};
+
+enum class EnsembleAxis { kWidth, kDepth };
+
+struct EnsembleOptions {
+  CnnConfig base;                    ///< norm is forced to kBatch.
+  std::vector<double> scales;        ///< e.g. {0.375, 0.5, ..., 1.0}.
+  EnsembleAxis axis = EnsembleAxis::kWidth;
+  bool use_resnet = false;           ///< VGG otherwise.
+  ImageTrainOptions train;
+};
+
+/// Trains one conventional model per scale and profiles it on `test`.
+Result<std::vector<EnsembleMember>> TrainFixedEnsemble(
+    const EnsembleOptions& opts, const ImageDataset& train,
+    const ImageDataset& test);
+
+}  // namespace ms
+
+#endif  // MODELSLICING_BASELINES_FIXED_ENSEMBLE_H_

@@ -1,0 +1,221 @@
+#include "src/baselines/multi_classifier.h"
+
+#include <algorithm>
+
+#include "src/core/evaluator.h"
+#include "src/nn/activations.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/dense.h"
+#include "src/nn/loss.h"
+#include "src/nn/norm.h"
+#include "src/nn/pooling.h"
+#include "src/nn/residual.h"
+#include "src/optim/sgd.h"
+#include "src/util/stopwatch.h"
+
+namespace ms {
+namespace {
+
+// One pre-activation basic residual block (BN flavor, full width).
+std::unique_ptr<Module> MakeBasicBlock(int64_t in_ch, int64_t out_ch,
+                                       int64_t stride, const std::string& tag,
+                                       Rng* rng) {
+  auto body = std::make_unique<Sequential>("body_" + tag);
+  NormOptions nopts;
+  nopts.channels = in_ch;
+  body->Emplace<BatchNorm>(nopts, "n1_" + tag);
+  body->Emplace<ReLU>();
+  {
+    Conv2dOptions c;
+    c.in_channels = in_ch;
+    c.out_channels = out_ch;
+    c.kernel = 3;
+    c.stride = stride;
+    c.pad = 1;
+    body->Emplace<Conv2d>(c, rng, "c1_" + tag);
+  }
+  nopts.channels = out_ch;
+  body->Emplace<BatchNorm>(nopts, "n2_" + tag);
+  body->Emplace<ReLU>();
+  {
+    Conv2dOptions c;
+    c.in_channels = out_ch;
+    c.out_channels = out_ch;
+    c.kernel = 3;
+    c.stride = 1;
+    c.pad = 1;
+    body->Emplace<Conv2d>(c, rng, "c2_" + tag);
+  }
+  std::unique_ptr<Module> shortcut;
+  if (in_ch != out_ch || stride != 1) {
+    auto proj = std::make_unique<Sequential>("proj_" + tag);
+    Conv2dOptions c;
+    c.in_channels = in_ch;
+    c.out_channels = out_ch;
+    c.kernel = 1;
+    c.stride = stride;
+    c.pad = 0;
+    proj->Emplace<Conv2d>(c, rng, "sc_" + tag);
+    shortcut = std::move(proj);
+  }
+  return std::make_unique<ResidualBlock>(std::move(body),
+                                         std::move(shortcut), "res_" + tag);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MultiExitCnn>> MultiExitCnn::Make(
+    const CnnConfig& config) {
+  if (config.in_channels < 1 || config.num_classes < 2 ||
+      config.base_width < 1 || config.stages < 1 ||
+      config.blocks_per_stage < 1) {
+    return Status::InvalidArgument("bad multi-exit config");
+  }
+  Rng rng(config.seed);
+  auto model = std::unique_ptr<MultiExitCnn>(new MultiExitCnn());
+
+  model->stem_ = std::make_unique<Sequential>("stem");
+  const int64_t stem_width = ScaledWidth(config.base_width, config.width_mult);
+  {
+    Conv2dOptions c;
+    c.in_channels = config.in_channels;
+    c.out_channels = stem_width;
+    c.kernel = 3;
+    c.stride = 1;
+    c.pad = 1;
+    model->stem_->Emplace<Conv2d>(c, &rng, "stem_conv");
+  }
+
+  int64_t in_ch = stem_width;
+  for (int64_t s = 0; s < config.stages; ++s) {
+    const int64_t out_ch =
+        ScaledWidth(config.base_width << s, config.width_mult);
+    auto stage = std::make_unique<Sequential>("stage" + std::to_string(s));
+    for (int64_t b = 0; b < config.blocks_per_stage; ++b) {
+      const int64_t stride = (s > 0 && b == 0) ? 2 : 1;
+      stage->Add(MakeBasicBlock(in_ch, out_ch, stride,
+                                std::to_string(s) + "_" + std::to_string(b),
+                                &rng));
+      in_ch = out_ch;
+    }
+    model->stages_.push_back(std::move(stage));
+
+    auto head = std::make_unique<Sequential>("head" + std::to_string(s));
+    NormOptions n;
+    n.channels = in_ch;
+    head->Emplace<BatchNorm>(n, "head_norm" + std::to_string(s));
+    head->Emplace<ReLU>();
+    head->Emplace<GlobalAvgPool>();
+    DenseOptions d;
+    d.in_features = in_ch;
+    d.out_features = config.num_classes;
+    d.slice_in = false;
+    d.slice_out = false;
+    head->Emplace<Dense>(d, &rng, "head_fc" + std::to_string(s));
+    model->heads_.push_back(std::move(head));
+  }
+  return model;
+}
+
+std::vector<Tensor> MultiExitCnn::ForwardAll(const Tensor& x, bool training) {
+  stage_outputs_.clear();
+  std::vector<Tensor> logits;
+  Tensor h = stem_->Forward(x, training);
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    h = stages_[s]->Forward(h, training);
+    stage_outputs_.push_back(h);
+    logits.push_back(heads_[s]->Forward(h, training));
+  }
+  return logits;
+}
+
+float MultiExitCnn::TrainStep(const Tensor& x, const std::vector<int>& labels) {
+  const std::vector<Tensor> logits = ForwardAll(x, /*training=*/true);
+  float total_loss = 0.0f;
+  std::vector<Tensor> head_grads(heads_.size());
+  for (size_t e = 0; e < heads_.size(); ++e) {
+    SoftmaxCrossEntropy loss;
+    total_loss += loss.Forward(logits[e], labels);
+    head_grads[e] = heads_[e]->Backward(loss.Backward());
+  }
+  // Backward through stages, merging head gradient with downstream gradient.
+  Tensor grad;  // gradient flowing into the output of the current stage.
+  for (size_t s = stages_.size(); s-- > 0;) {
+    if (grad.empty()) {
+      grad = head_grads[s];
+    } else {
+      ops::AddInPlace(&grad, head_grads[s]);
+    }
+    grad = stages_[s]->Backward(grad);
+  }
+  stem_->Backward(grad);
+  return total_loss / static_cast<float>(heads_.size());
+}
+
+std::vector<ParamRef> MultiExitCnn::Params() {
+  std::vector<ParamRef> params;
+  stem_->CollectParams(&params);
+  for (auto& s : stages_) s->CollectParams(&params);
+  for (auto& h : heads_) h->CollectParams(&params);
+  return params;
+}
+
+int64_t MultiExitCnn::FlopsUpToExit(int e) const {
+  MS_CHECK(e >= 0 && e < static_cast<int>(stages_.size()));
+  int64_t flops = stem_->FlopsPerSample();
+  for (int s = 0; s <= e; ++s) flops += stages_[static_cast<size_t>(s)]
+                                            ->FlopsPerSample();
+  flops += heads_[static_cast<size_t>(e)]->FlopsPerSample();
+  return flops;
+}
+
+void MultiExitCnn::Train(const ImageDataset& data,
+                         const ImageTrainOptions& opts) {
+  Sgd optimizer(Params(), opts.sgd);
+  StepLrSchedule lr_schedule(opts.sgd.lr, opts.lr_milestones);
+  Rng rng(opts.seed);
+  std::vector<int64_t> order(static_cast<size_t>(data.size()));
+  for (int64_t i = 0; i < data.size(); ++i) order[static_cast<size_t>(i)] = i;
+
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    optimizer.set_lr(lr_schedule.LrAtEpoch(epoch));
+    rng.Shuffle(&order);
+    std::vector<int64_t> indices;
+    std::vector<int> labels;
+    for (int64_t start = 0; start < data.size(); start += opts.batch_size) {
+      const int64_t end = std::min(data.size(), start + opts.batch_size);
+      indices.assign(order.begin() + start, order.begin() + end);
+      Tensor x = GatherImages(data, indices);
+      GatherLabels(data, indices, &labels);
+      if (opts.augment) AugmentBatch(&x, opts.max_shift, &rng);
+      TrainStep(x, labels);
+      optimizer.Step();
+    }
+  }
+}
+
+float MultiExitCnn::EvalExitAccuracy(const ImageDataset& data, int e,
+                                     int64_t batch_size) {
+  MS_CHECK(e >= 0 && e < num_exits());
+  int64_t correct = 0;
+  std::vector<int64_t> indices;
+  std::vector<int> labels;
+  for (int64_t start = 0; start < data.size(); start += batch_size) {
+    const int64_t end = std::min(data.size(), start + batch_size);
+    indices.clear();
+    for (int64_t i = start; i < end; ++i) indices.push_back(i);
+    Tensor x = GatherImages(data, indices);
+    GatherLabels(data, indices, &labels);
+    const std::vector<Tensor> logits = ForwardAll(x, /*training=*/false);
+    std::vector<int> pred;
+    ops::ArgmaxRows(logits[static_cast<size_t>(e)],
+                    logits[static_cast<size_t>(e)].dim(0),
+                    logits[static_cast<size_t>(e)].dim(1), &pred);
+    for (size_t i = 0; i < pred.size(); ++i) {
+      if (pred[i] == labels[i]) ++correct;
+    }
+  }
+  return static_cast<float>(correct) / static_cast<float>(data.size());
+}
+
+}  // namespace ms

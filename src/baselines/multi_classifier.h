@@ -1,0 +1,57 @@
+// Multi-classifier (early-exit) baseline — the depth-slicing alternative the
+// paper compares against ("ResNet with Multi-Classifiers", MSDNet-style
+// anytime prediction [22]). Auxiliary classifier heads after each stage let
+// inference stop early under a compute budget.
+#ifndef MODELSLICING_BASELINES_MULTI_CLASSIFIER_H_
+#define MODELSLICING_BASELINES_MULTI_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/trainer.h"
+#include "src/models/cnn.h"
+
+namespace ms {
+
+/// \brief A ResNet whose stages each feed an auxiliary classifier head;
+/// trained with an equally-weighted sum of all exit losses (a simplified
+/// Adaptive Loss Balancing [21]).
+class MultiExitCnn {
+ public:
+  static Result<std::unique_ptr<MultiExitCnn>> Make(const CnnConfig& config);
+
+  /// Logits at every exit; index i uses stem + stages [0, i].
+  std::vector<Tensor> ForwardAll(const Tensor& x, bool training);
+
+  /// Forward + backward on the summed exit losses; accumulates gradients
+  /// and returns the mean per-exit loss.
+  float TrainStep(const Tensor& x, const std::vector<int>& labels);
+
+  std::vector<ParamRef> Params();
+
+  int num_exits() const { return static_cast<int>(heads_.size()); }
+
+  /// Compute up to (and including) exit `e`, profiled by the last forward.
+  int64_t FlopsUpToExit(int e) const;
+
+  /// Conventional full-width training over the dataset.
+  void Train(const ImageDataset& data, const ImageTrainOptions& opts);
+
+  /// Test accuracy of exit `e`.
+  float EvalExitAccuracy(const ImageDataset& data, int e,
+                         int64_t batch_size = 64);
+
+ private:
+  MultiExitCnn() = default;
+
+  std::unique_ptr<Sequential> stem_;
+  std::vector<std::unique_ptr<Sequential>> stages_;
+  std::vector<std::unique_ptr<Sequential>> heads_;
+
+  // Cached stage outputs from the last ForwardAll (for TrainStep backward).
+  std::vector<Tensor> stage_outputs_;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_BASELINES_MULTI_CLASSIFIER_H_

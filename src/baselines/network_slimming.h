@@ -1,0 +1,48 @@
+// Network Slimming baseline [35]: train with an L1 penalty on batch-norm
+// scale factors, prune the globally-smallest channels, physically rebuild a
+// compact network, and fine-tune. The paper contrasts this with model
+// slicing: it yields one good small model but needs retraining per operating
+// point and gives no inference-time control.
+#ifndef MODELSLICING_BASELINES_NETWORK_SLIMMING_H_
+#define MODELSLICING_BASELINES_NETWORK_SLIMMING_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/trainer.h"
+#include "src/models/cnn.h"
+
+namespace ms {
+
+struct SlimmingOptions {
+  CnnConfig base;                ///< VGG template; norm forced to kBatch.
+  double l1_lambda = 1e-4;       ///< sparsity strength on γ.
+  double prune_fraction = 0.5;   ///< global fraction of channels removed.
+  ImageTrainOptions pretrain;
+  ImageTrainOptions finetune;
+};
+
+struct SlimmingResult {
+  std::unique_ptr<Sequential> pruned_net;
+  float accuracy_before_finetune = 0.0f;
+  float accuracy = 0.0f;   ///< after fine-tuning.
+  int64_t flops = 0;
+  int64_t params = 0;
+  std::vector<int64_t> kept_per_layer;
+};
+
+/// Runs the full slimming pipeline (sparse train -> prune -> fine-tune) on a
+/// plain VGG-style chain.
+Result<SlimmingResult> RunNetworkSlimming(const SlimmingOptions& opts,
+                                          const ImageDataset& train,
+                                          const ImageDataset& test);
+
+/// Trains a conventional (full-only) model while adding lambda * sign(γ) to
+/// every BatchNorm scale gradient — the sub-gradient of the L1 penalty.
+/// Exposed separately for testing.
+void TrainWithGammaL1(Sequential* net, const ImageDataset& data,
+                      const ImageTrainOptions& opts, double l1_lambda);
+
+}  // namespace ms
+
+#endif  // MODELSLICING_BASELINES_NETWORK_SLIMMING_H_

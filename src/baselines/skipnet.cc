@@ -1,0 +1,282 @@
+#include "src/baselines/skipnet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/nn/activations.h"
+#include "src/nn/loss.h"
+#include "src/nn/norm.h"
+#include "src/nn/pooling.h"
+#include "src/optim/sgd.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace ms {
+
+GatedResidualBlock::GatedResidualBlock(std::unique_ptr<Module> body,
+                                       int64_t channels, Rng* rng,
+                                       std::string name)
+    : body_(std::move(body)), name_(std::move(name)), channels_(channels) {
+  gate_w_ = Tensor::Randn({channels_}, rng,
+                          1.0f / std::sqrt(static_cast<float>(channels_)));
+  gate_b_ = Tensor::Full({1}, 1.0f);  // Bias toward executing at init.
+  gate_w_grad_ = Tensor::Zeros({channels_});
+  gate_b_grad_ = Tensor::Zeros({1});
+}
+
+Tensor GatedResidualBlock::Forward(const Tensor& x, bool training) {
+  MS_CHECK(x.ndim() == 4 && x.dim(1) == channels_);
+  const int64_t batch = x.dim(0);
+  const int64_t area = x.dim(2) * x.dim(3);
+  cached_x_ = x;
+  last_training_ = training;
+
+  // Per-sample gate from global average pooled features.
+  cached_gap_ = Tensor({batch, channels_});
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float* plane = x.data() + (b * channels_ + c) * area;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < area; ++p) acc += plane[p];
+      cached_gap_.at2(b, c) = acc / static_cast<float>(area);
+    }
+  }
+  gates_.assign(static_cast<size_t>(batch), 0.0f);
+  gate_grad_acc_.assign(static_cast<size_t>(batch), 0.0f);
+  double gate_sum = 0.0;
+  int64_t executed = 0;
+  for (int64_t b = 0; b < batch; ++b) {
+    float pre = gate_b_[0];
+    for (int64_t c = 0; c < channels_; ++c) {
+      pre += cached_gap_.at2(b, c) * gate_w_[c];
+    }
+    const float g = 1.0f / (1.0f + std::exp(-pre));
+    gates_[static_cast<size_t>(b)] = g;
+    gate_sum += g;
+    if (g > 0.5f) ++executed;
+  }
+  mean_gate_ = static_cast<float>(gate_sum / static_cast<double>(batch));
+  executed_fraction_ =
+      static_cast<float>(executed) / static_cast<float>(batch);
+
+  cached_f_ = body_->Forward(x, training);
+  MS_CHECK(cached_f_.SameShape(x));
+
+  Tensor y = x;
+  for (int64_t b = 0; b < batch; ++b) {
+    // Soft gate during training; hard execute/skip at inference.
+    const float g = training ? gates_[static_cast<size_t>(b)]
+                             : (gates_[static_cast<size_t>(b)] > 0.5f ? 1.0f
+                                                                      : 0.0f);
+    if (g == 0.0f) continue;
+    const float* f = cached_f_.data() + b * channels_ * area;
+    float* yo = y.data() + b * channels_ * area;
+    for (int64_t i = 0; i < channels_ * area; ++i) yo[i] += g * f[i];
+  }
+  return y;
+}
+
+void GatedResidualBlock::AddSparsityGradient(float alpha) {
+  // d(alpha * mean_gate)/d(g_b) = alpha / B.
+  const float per_sample =
+      alpha / static_cast<float>(gate_grad_acc_.size());
+  for (auto& g : gate_grad_acc_) g += per_sample;
+}
+
+Tensor GatedResidualBlock::Backward(const Tensor& grad_out) {
+  MS_CHECK(last_training_);
+  const int64_t batch = cached_x_.dim(0);
+  const int64_t area = cached_x_.dim(2) * cached_x_.dim(3);
+  const int64_t per_sample = channels_ * area;
+
+  // Gradient into the body output: g_b * dy; gradient into the gate:
+  // <dy, F_b> plus any external (sparsity) term.
+  Tensor grad_f(grad_out.shape());
+  std::vector<float> dpre(static_cast<size_t>(batch), 0.0f);
+  for (int64_t b = 0; b < batch; ++b) {
+    const float g = gates_[static_cast<size_t>(b)];
+    const float* dy = grad_out.data() + b * per_sample;
+    const float* f = cached_f_.data() + b * per_sample;
+    float* df = grad_f.data() + b * per_sample;
+    double dg = gate_grad_acc_[static_cast<size_t>(b)];
+    for (int64_t i = 0; i < per_sample; ++i) {
+      df[i] = g * dy[i];
+      dg += static_cast<double>(dy[i]) * f[i];
+    }
+    dpre[static_cast<size_t>(b)] = static_cast<float>(dg) * g * (1.0f - g);
+  }
+
+  Tensor grad_in = body_->Backward(grad_f);
+  ops::AddInPlace(&grad_in, grad_out);  // identity path
+
+  // Gate parameter grads and the gate's input-path gradient through GAP.
+  for (int64_t b = 0; b < batch; ++b) {
+    const float dp = dpre[static_cast<size_t>(b)];
+    if (dp == 0.0f) continue;
+    gate_b_grad_[0] += dp;
+    for (int64_t c = 0; c < channels_; ++c) {
+      gate_w_grad_[c] += dp * cached_gap_.at2(b, c);
+      const float dgap = dp * gate_w_[c] / static_cast<float>(area);
+      float* gi = grad_in.data() + (b * channels_ + c) * area;
+      for (int64_t p = 0; p < area; ++p) gi[p] += dgap;
+    }
+  }
+  return grad_in;
+}
+
+void GatedResidualBlock::CollectParams(std::vector<ParamRef>* out) {
+  body_->CollectParams(out);
+  out->push_back({name_ + ".gate_w", &gate_w_, &gate_w_grad_,
+                  /*no_decay=*/false});
+  out->push_back({name_ + ".gate_b", &gate_b_, &gate_b_grad_,
+                  /*no_decay=*/true});
+}
+
+namespace {
+
+std::unique_ptr<Module> MakeBody(int64_t channels, const std::string& tag,
+                                 Rng* rng) {
+  auto body = std::make_unique<Sequential>("body_" + tag);
+  NormOptions n;
+  n.channels = channels;
+  body->Emplace<BatchNorm>(n, "n1_" + tag);
+  body->Emplace<ReLU>();
+  Conv2dOptions c;
+  c.in_channels = channels;
+  c.out_channels = channels;
+  c.kernel = 3;
+  c.pad = 1;
+  body->Emplace<Conv2d>(c, rng, "c1_" + tag);
+  body->Emplace<BatchNorm>(n, "n2_" + tag);
+  body->Emplace<ReLU>();
+  body->Emplace<Conv2d>(c, rng, "c2_" + tag);
+  return body;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SkipNet>> SkipNet::Make(const Options& opts) {
+  if (opts.cnn.base_width < 1 || opts.cnn.num_classes < 2 ||
+      opts.cnn.stages < 1 || opts.cnn.blocks_per_stage < 1) {
+    return Status::InvalidArgument("bad SkipNet config");
+  }
+  if (opts.sparsity_alpha < 0.0) {
+    return Status::InvalidArgument("sparsity alpha must be >= 0");
+  }
+  auto net = std::unique_ptr<SkipNet>(new SkipNet());
+  net->opts_ = opts;
+  Rng rng(opts.cnn.seed);
+
+  const int64_t width = ScaledWidth(opts.cnn.base_width * 2,
+                                    opts.cnn.width_mult);
+  net->stem_ = std::make_unique<Sequential>("stem");
+  {
+    Conv2dOptions c;
+    c.in_channels = opts.cnn.in_channels;
+    c.out_channels = width;
+    c.kernel = 3;
+    c.pad = 1;
+    net->stem_->Emplace<Conv2d>(c, &rng, "stem_conv");
+    net->stem_->Emplace<MaxPool2d>(2, 2);
+  }
+
+  const int64_t depth = opts.cnn.stages * opts.cnn.blocks_per_stage;
+  for (int64_t i = 0; i < depth; ++i) {
+    net->blocks_.push_back(std::make_unique<GatedResidualBlock>(
+        MakeBody(width, std::to_string(i), &rng), width, &rng,
+        "gated" + std::to_string(i)));
+  }
+
+  net->head_ = std::make_unique<Sequential>("head");
+  NormOptions n;
+  n.channels = width;
+  net->head_->Emplace<BatchNorm>(n, "head_norm");
+  net->head_->Emplace<ReLU>();
+  net->head_->Emplace<GlobalAvgPool>();
+  DenseOptions d;
+  d.in_features = width;
+  d.out_features = opts.cnn.num_classes;
+  d.slice_in = false;
+  d.slice_out = false;
+  net->head_->Emplace<Dense>(d, &rng, "head_fc");
+  return net;
+}
+
+Tensor SkipNet::ForwardLogits(const Tensor& x, bool training) {
+  Tensor h = stem_->Forward(x, training);
+  for (auto& block : blocks_) h = block->Forward(h, training);
+  Tensor logits = head_->Forward(h, training);
+  fixed_flops_ = stem_->FlopsPerSample() + head_->FlopsPerSample();
+  return logits;
+}
+
+void SkipNet::Train(const ImageDataset& data, const ImageTrainOptions& opts) {
+  std::vector<ParamRef> params;
+  stem_->CollectParams(&params);
+  for (auto& b : blocks_) b->CollectParams(&params);
+  head_->CollectParams(&params);
+  Sgd optimizer(params, opts.sgd);
+  StepLrSchedule lr_schedule(opts.sgd.lr, opts.lr_milestones);
+  Rng rng(opts.seed);
+  SoftmaxCrossEntropy loss;
+
+  std::vector<int64_t> order(static_cast<size_t>(data.size()));
+  for (int64_t i = 0; i < data.size(); ++i) order[static_cast<size_t>(i)] = i;
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    optimizer.set_lr(lr_schedule.LrAtEpoch(epoch));
+    rng.Shuffle(&order);
+    std::vector<int64_t> indices;
+    std::vector<int> labels;
+    for (int64_t start = 0; start < data.size(); start += opts.batch_size) {
+      const int64_t end = std::min(data.size(), start + opts.batch_size);
+      indices.assign(order.begin() + start, order.begin() + end);
+      Tensor x = GatherImages(data, indices);
+      GatherLabels(data, indices, &labels);
+      if (opts.augment) AugmentBatch(&x, opts.max_shift, &rng);
+
+      Tensor logits = ForwardLogits(x, /*training=*/true);
+      loss.Forward(logits, labels);
+      for (auto& b : blocks_) {
+        b->AddSparsityGradient(static_cast<float>(opts_.sparsity_alpha));
+      }
+      Tensor g = head_->Backward(loss.Backward());
+      for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+        g = (*it)->Backward(g);
+      }
+      stem_->Backward(g);
+      optimizer.Step();
+    }
+  }
+}
+
+float SkipNet::EvalAccuracy(const ImageDataset& data, int64_t batch_size) {
+  int64_t correct = 0;
+  double flops_acc = 0.0;
+  int64_t batches = 0;
+  std::vector<int64_t> indices;
+  std::vector<int> labels;
+  for (int64_t start = 0; start < data.size(); start += batch_size) {
+    const int64_t end = std::min(data.size(), start + batch_size);
+    indices.clear();
+    for (int64_t i = start; i < end; ++i) indices.push_back(i);
+    Tensor x = GatherImages(data, indices);
+    GatherLabels(data, indices, &labels);
+    Tensor logits = ForwardLogits(x, /*training=*/false);
+    std::vector<int> pred;
+    ops::ArgmaxRows(logits, logits.dim(0), logits.dim(1), &pred);
+    for (size_t i = 0; i < pred.size(); ++i) {
+      if (pred[i] == labels[i]) ++correct;
+    }
+    double batch_flops = static_cast<double>(fixed_flops_);
+    for (auto& b : blocks_) {
+      batch_flops += static_cast<double>(b->body_flops()) *
+                     b->executed_fraction();
+      batch_flops += static_cast<double>(x.dim(1));  // gate cost
+    }
+    flops_acc += batch_flops;
+    ++batches;
+  }
+  measured_eval_flops_ = batches > 0 ? flops_acc / batches : 0.0;
+  return static_cast<float>(correct) / static_cast<float>(data.size());
+}
+
+}  // namespace ms

@@ -1,0 +1,102 @@
+// SkipNet-style dynamic-routing baseline [48]: each residual block carries a
+// tiny gate that decides, per sample, whether to execute the block or skip
+// it. The original uses hybrid reinforcement learning; we use the standard
+// soft-gate relaxation (sigmoid gate, sparsity penalty, hard threshold at
+// inference), which preserves the behaviour the paper contrasts against:
+// efficient but "less controlled" — the achieved FLOPs are an emergent
+// property of the gates, not a dialable knob.
+#ifndef MODELSLICING_BASELINES_SKIPNET_H_
+#define MODELSLICING_BASELINES_SKIPNET_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/trainer.h"
+#include "src/models/cnn.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/dense.h"
+
+namespace ms {
+
+/// \brief Residual block with a learned per-sample execution gate:
+/// y = x + g(x) * F(x), g(x) = sigmoid(w · GAP(x) + b).
+class GatedResidualBlock : public Module {
+ public:
+  GatedResidualBlock(std::unique_ptr<Module> body, int64_t channels,
+                     Rng* rng, std::string name = "gated_block");
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  void CollectParams(std::vector<ParamRef>* out) override;
+  std::string name() const override { return name_; }
+
+  /// Mean gate activation of the last forward (the sparsity-penalty input
+  /// and the skip-statistics probe).
+  float mean_gate() const { return mean_gate_; }
+
+  /// Adds the sparsity-penalty gradient alpha/d(mean gate) for the last
+  /// forward batch (call between Forward and Backward of the outer loss).
+  void AddSparsityGradient(float alpha);
+
+  /// In inference mode gates threshold at 0.5; returns the fraction of
+  /// samples that executed the block in the last forward.
+  float executed_fraction() const { return executed_fraction_; }
+
+  int64_t body_flops() const { return body_->FlopsPerSample(); }
+
+ private:
+  std::unique_ptr<Module> body_;
+  std::string name_;
+  int64_t channels_;
+
+  Tensor gate_w_;  ///< (channels)
+  Tensor gate_b_;  ///< (1)
+  Tensor gate_w_grad_;
+  Tensor gate_b_grad_;
+
+  // Forward caches.
+  Tensor cached_x_;
+  Tensor cached_f_;       ///< body output
+  Tensor cached_gap_;     ///< (B, channels)
+  std::vector<float> gates_;       ///< per-sample gate value
+  std::vector<float> gate_grad_acc_;  ///< external (sparsity) gradient
+  bool last_training_ = false;
+  float mean_gate_ = 0.0f;
+  float executed_fraction_ = 0.0f;
+};
+
+/// \brief A small gated ResNet with a configurable skip-penalty weight; the
+/// penalty strength trades accuracy against executed FLOPs.
+class SkipNet {
+ public:
+  struct Options {
+    CnnConfig cnn;       ///< width/depth template (norm forced to kBatch).
+    double sparsity_alpha = 0.05;  ///< penalty on mean gate activation.
+  };
+
+  static Result<std::unique_ptr<SkipNet>> Make(const Options& opts);
+
+  void Train(const ImageDataset& data, const ImageTrainOptions& opts);
+
+  float EvalAccuracy(const ImageDataset& data, int64_t batch_size = 64);
+
+  /// Average per-sample FLOPs actually executed during the last EvalAccuracy
+  /// (hard gates: skipped blocks cost nothing but the gate itself).
+  double MeasuredEvalFlops() const { return measured_eval_flops_; }
+
+ private:
+  SkipNet() = default;
+
+  Tensor ForwardLogits(const Tensor& x, bool training);
+
+  Options opts_;
+  std::unique_ptr<Sequential> stem_;
+  std::vector<std::unique_ptr<GatedResidualBlock>> blocks_;
+  std::unique_ptr<Sequential> head_;
+  int64_t fixed_flops_ = 0;  ///< stem + head, profiled after first forward.
+  double measured_eval_flops_ = 0.0;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_BASELINES_SKIPNET_H_

@@ -1,0 +1,68 @@
+#include "src/core/anytime.h"
+
+#include "src/util/stopwatch.h"
+
+namespace ms {
+
+Result<AnytimePredictor> AnytimePredictor::Make(
+    Module* net, const SliceConfig& lattice,
+    const std::vector<int64_t>& sample_shape) {
+  if (net == nullptr) {
+    return Status::InvalidArgument("null model");
+  }
+  if (sample_shape.empty()) {
+    return Status::InvalidArgument("empty sample shape");
+  }
+  for (int64_t d : sample_shape) {
+    if (d < 1) return Status::InvalidArgument("bad sample shape dim");
+  }
+  AnytimePredictor predictor(net, lattice);
+  Tensor sample(sample_shape);
+  predictor.profiles_ = ProfileNet(net, sample, lattice.rates());
+  predictor.seconds_per_rate_.reserve(lattice.num_rates());
+  for (double r : lattice.rates()) {
+    net->SetSliceRate(r);
+    Stopwatch watch;
+    (void)net->Forward(sample, /*training=*/false);
+    predictor.seconds_per_rate_.push_back(watch.ElapsedSeconds());
+  }
+  return predictor;
+}
+
+double AnytimePredictor::RateForBudget(int64_t budget_flops) const {
+  double best = lattice_.lower_bound();
+  for (const auto& p : profiles_) {
+    if (p.flops <= budget_flops) best = p.rate;
+  }
+  return best;
+}
+
+double AnytimePredictor::RateForDeadline(double deadline_seconds) const {
+  double best = lattice_.lower_bound();
+  for (size_t i = 0; i < seconds_per_rate_.size(); ++i) {
+    if (seconds_per_rate_[i] <= deadline_seconds) {
+      best = lattice_.rates()[i];
+    }
+  }
+  return best;
+}
+
+Tensor AnytimePredictor::PredictWithBudget(const Tensor& x,
+                                           int64_t budget_flops,
+                                           double* rate_used) {
+  const double r = RateForBudget(budget_flops);
+  if (rate_used != nullptr) *rate_used = r;
+  net_->SetSliceRate(r);
+  return net_->Forward(x, /*training=*/false);
+}
+
+Tensor AnytimePredictor::PredictWithDeadline(const Tensor& x,
+                                             double deadline_seconds,
+                                             double* rate_used) {
+  const double r = RateForDeadline(deadline_seconds);
+  if (rate_used != nullptr) *rate_used = r;
+  net_->SetSliceRate(r);
+  return net_->Forward(x, /*training=*/false);
+}
+
+}  // namespace ms

@@ -1,0 +1,57 @@
+// Anytime / budgeted prediction (paper Sec. 1 & 2.1): serve each request at
+// the widest trained subnet that fits a per-request compute budget or
+// wall-clock deadline. The predictor profiles the model once per input
+// shape, then maps budgets onto the slice-rate lattice via Eq. 3.
+#ifndef MODELSLICING_CORE_ANYTIME_H_
+#define MODELSLICING_CORE_ANYTIME_H_
+
+#include <vector>
+
+#include "src/core/cost_model.h"
+#include "src/core/slice_config.h"
+#include "src/nn/module.h"
+#include "src/util/status.h"
+
+namespace ms {
+
+/// \brief Budget-aware front end over a sliced model.
+class AnytimePredictor {
+ public:
+  /// Profiles `net` at every lattice rate on `sample_shape` (batch dim is
+  /// taken from the shape's first entry; use 1 for per-sample budgets).
+  static Result<AnytimePredictor> Make(Module* net, const SliceConfig& lattice,
+                                       const std::vector<int64_t>& sample_shape);
+
+  /// Widest rate whose profiled FLOPs fit `budget_flops` (clamped to the
+  /// lattice lower bound).
+  double RateForBudget(int64_t budget_flops) const;
+
+  /// Widest rate whose *calibrated* wall-clock fits `deadline_seconds`.
+  /// Calibration: one timed forward pass per rate during Make.
+  double RateForDeadline(double deadline_seconds) const;
+
+  /// Forward at the widest rate fitting the budget; reports the rate used.
+  Tensor PredictWithBudget(const Tensor& x, int64_t budget_flops,
+                           double* rate_used = nullptr);
+
+  Tensor PredictWithDeadline(const Tensor& x, double deadline_seconds,
+                             double* rate_used = nullptr);
+
+  const std::vector<CostProfile>& profiles() const { return profiles_; }
+  const std::vector<double>& seconds_per_rate() const {
+    return seconds_per_rate_;
+  }
+
+ private:
+  AnytimePredictor(Module* net, SliceConfig lattice)
+      : net_(net), lattice_(std::move(lattice)) {}
+
+  Module* net_;
+  SliceConfig lattice_;
+  std::vector<CostProfile> profiles_;        ///< aligned with lattice rates.
+  std::vector<double> seconds_per_rate_;     ///< calibrated forward times.
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_CORE_ANYTIME_H_

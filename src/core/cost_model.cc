@@ -1,0 +1,37 @@
+#include "src/core/cost_model.h"
+
+#include <cmath>
+
+namespace ms {
+
+std::vector<CostProfile> ProfileNet(Module* net, const Tensor& sample,
+                                    const std::vector<double>& rates) {
+  std::vector<CostProfile> profiles;
+  profiles.reserve(rates.size());
+  for (double r : rates) {
+    net->SetSliceRate(r);
+    (void)net->Forward(sample, /*training=*/false);
+    CostProfile p;
+    p.rate = r;
+    p.flops = net->FlopsPerSample();
+    p.params = net->ActiveParams();
+    profiles.push_back(p);
+  }
+  return profiles;
+}
+
+double BudgetToRateContinuous(int64_t budget_flops, int64_t full_flops) {
+  MS_CHECK(full_flops > 0);
+  if (budget_flops <= 0) return 0.0;
+  const double r = std::sqrt(static_cast<double>(budget_flops) /
+                             static_cast<double>(full_flops));
+  return std::min(r, 1.0);
+}
+
+double BudgetToRate(int64_t budget_flops, int64_t full_flops,
+                    const SliceConfig& config) {
+  const double r = BudgetToRateContinuous(budget_flops, full_flops);
+  return config.FloorRate(r);
+}
+
+}  // namespace ms

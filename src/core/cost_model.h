@@ -1,0 +1,34 @@
+// Inference cost model (paper Eq. 3): compute and parameter profiles per
+// subnet, and the budget -> slice-rate mapping  r <= min(sqrt(Ct / C0), 1).
+#ifndef MODELSLICING_CORE_COST_MODEL_H_
+#define MODELSLICING_CORE_COST_MODEL_H_
+
+#include <vector>
+
+#include "src/core/slice_config.h"
+#include "src/nn/module.h"
+
+namespace ms {
+
+struct CostProfile {
+  double rate = 0.0;
+  int64_t flops = 0;   ///< multiply-accumulates per sample.
+  int64_t params = 0;  ///< parameters touched at this rate.
+};
+
+/// Profiles `net` at each rate by running one eval-mode forward pass on
+/// `sample` (needed so conv layers know their spatial extents).
+std::vector<CostProfile> ProfileNet(Module* net, const Tensor& sample,
+                                    const std::vector<double>& rates);
+
+/// Eq. 3: the largest rate whose cost fits `budget_flops`, i.e.
+/// min(sqrt(Ct/C0), 1), then floored onto the trained rate lattice.
+double BudgetToRate(int64_t budget_flops, int64_t full_flops,
+                    const SliceConfig& config);
+
+/// Continuous form of Eq. 3 (no lattice snapping).
+double BudgetToRateContinuous(int64_t budget_flops, int64_t full_flops);
+
+}  // namespace ms
+
+#endif  // MODELSLICING_CORE_COST_MODEL_H_

@@ -1,0 +1,93 @@
+#include "src/core/evaluator.h"
+
+#include <cmath>
+
+#include "src/nn/loss.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace ms {
+
+std::vector<int> PredictLabels(Module* net, const ImageDataset& data,
+                               double rate, int64_t batch_size) {
+  net->SetSliceRate(rate);
+  std::vector<int> predictions;
+  predictions.reserve(static_cast<size_t>(data.size()));
+  std::vector<int64_t> indices;
+  for (int64_t start = 0; start < data.size(); start += batch_size) {
+    const int64_t end = std::min(data.size(), start + batch_size);
+    indices.clear();
+    for (int64_t i = start; i < end; ++i) indices.push_back(i);
+    Tensor x = GatherImages(data, indices);
+    Tensor logits = net->Forward(x, /*training=*/false);
+    std::vector<int> pred;
+    ops::ArgmaxRows(logits, logits.dim(0), logits.dim(1), &pred);
+    predictions.insert(predictions.end(), pred.begin(), pred.end());
+  }
+  return predictions;
+}
+
+float EvalAccuracy(Module* net, const ImageDataset& data, double rate,
+                   int64_t batch_size) {
+  const std::vector<int> pred = PredictLabels(net, data, rate, batch_size);
+  int64_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == data.labels[i]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(data.size());
+}
+
+std::vector<float> EvalAccuracySweep(Module* net, const ImageDataset& data,
+                                     const std::vector<double>& rates,
+                                     int64_t batch_size) {
+  std::vector<float> acc;
+  acc.reserve(rates.size());
+  for (double r : rates) acc.push_back(EvalAccuracy(net, data, r, batch_size));
+  return acc;
+}
+
+std::vector<uint8_t> WrongPredictionMask(Module* net, const ImageDataset& data,
+                                         double rate, int64_t batch_size) {
+  const std::vector<int> pred = PredictLabels(net, data, rate, batch_size);
+  std::vector<uint8_t> wrong(pred.size(), 0);
+  for (size_t i = 0; i < pred.size(); ++i) {
+    wrong[i] = pred[i] != data.labels[i] ? 1 : 0;
+  }
+  return wrong;
+}
+
+double InclusionCoefficient(const std::vector<uint8_t>& wrong_a,
+                            const std::vector<uint8_t>& wrong_b) {
+  MS_CHECK(wrong_a.size() == wrong_b.size());
+  int64_t na = 0, nb = 0, both = 0;
+  for (size_t i = 0; i < wrong_a.size(); ++i) {
+    na += wrong_a[i];
+    nb += wrong_b[i];
+    both += (wrong_a[i] && wrong_b[i]) ? 1 : 0;
+  }
+  const int64_t denom = std::min(na, nb);
+  if (denom == 0) return 1.0;
+  return static_cast<double>(both) / static_cast<double>(denom);
+}
+
+double EvalPerplexity(Nnlm* model, const std::vector<int>& stream,
+                      double rate, int64_t batch_size, int64_t bptt) {
+  model->SetSliceRate(rate);
+  TextBatcher batcher(stream, batch_size, bptt);
+  SequenceNll loss;
+  std::vector<int> inputs, targets;
+  double total_nll = 0.0;
+  int64_t total_tokens = 0;
+  for (int64_t k = 0; k < batcher.num_chunks(); ++k) {
+    batcher.Chunk(k, &inputs, &targets);
+    Tensor logits = model->Forward(inputs, bptt, batch_size,
+                                   /*training=*/false);
+    const float nll = loss.Forward(logits, targets);
+    total_nll += static_cast<double>(nll) *
+                 static_cast<double>(inputs.size());
+    total_tokens += static_cast<int64_t>(inputs.size());
+  }
+  MS_CHECK(total_tokens > 0);
+  return std::exp(total_nll / static_cast<double>(total_tokens));
+}
+
+}  // namespace ms

@@ -1,0 +1,44 @@
+// Evaluation helpers: subnet accuracy sweeps, perplexity, and the
+// wrong-prediction inclusion coefficient of Figure 8.
+#ifndef MODELSLICING_CORE_EVALUATOR_H_
+#define MODELSLICING_CORE_EVALUATOR_H_
+
+#include <vector>
+
+#include "src/data/synthetic_images.h"
+#include "src/data/synthetic_text.h"
+#include "src/models/nnlm.h"
+#include "src/nn/module.h"
+
+namespace ms {
+
+/// Test accuracy of `net` sliced to `rate`.
+float EvalAccuracy(Module* net, const ImageDataset& data, double rate,
+                   int64_t batch_size = 64);
+
+/// Accuracy at each rate (ascending, aligned with `rates`).
+std::vector<float> EvalAccuracySweep(Module* net, const ImageDataset& data,
+                                     const std::vector<double>& rates,
+                                     int64_t batch_size = 64);
+
+/// Per-sample wrong-prediction mask (1 = misclassified) at `rate`.
+std::vector<uint8_t> WrongPredictionMask(Module* net, const ImageDataset& data,
+                                         double rate, int64_t batch_size = 64);
+
+/// Overlap coefficient |A ∩ B| / min(|A|, |B|) of two error sets — the
+/// prediction-consistency measure visualized in Figure 8 (1.0 on the
+/// diagonal; higher = more consistent errors).
+double InclusionCoefficient(const std::vector<uint8_t>& wrong_a,
+                            const std::vector<uint8_t>& wrong_b);
+
+/// Test perplexity of the NNLM sliced to `rate` over a token stream.
+double EvalPerplexity(Nnlm* model, const std::vector<int>& stream,
+                      double rate, int64_t batch_size = 16, int64_t bptt = 20);
+
+/// Per-sample predicted labels at `rate` (used by cascade ranking).
+std::vector<int> PredictLabels(Module* net, const ImageDataset& data,
+                               double rate, int64_t batch_size = 64);
+
+}  // namespace ms
+
+#endif  // MODELSLICING_CORE_EVALUATOR_H_

@@ -1,0 +1,171 @@
+#include "src/core/incremental_eval.h"
+
+#include "src/nn/activations.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace ms {
+namespace {
+
+void ReluInPlace(Tensor* t) {
+  for (int64_t i = 0; i < t->size(); ++i) {
+    if ((*t)[i] < 0.0f) (*t)[i] = 0.0f;
+  }
+}
+
+}  // namespace
+
+Result<IncrementalMlpEvaluator> IncrementalMlpEvaluator::Make(
+    Sequential* mlp) {
+  std::vector<Dense*> layers;
+  for (size_t i = 0; i < mlp->size(); ++i) {
+    Module* child = mlp->child(i);
+    if (auto* dense = dynamic_cast<Dense*>(child)) {
+      if (dense->options().rescale) {
+        return Status::InvalidArgument(
+            "incremental evaluation requires rescale=false dense layers");
+      }
+      if (dense->options().in_unit != 1) {
+        return Status::InvalidArgument(
+            "incremental evaluation supports in_unit == 1 only");
+      }
+      layers.push_back(dense);
+      continue;
+    }
+    if (dynamic_cast<ReLU*>(child) != nullptr) continue;
+    if (auto* seq = dynamic_cast<Sequential*>(child)) {
+      // Allow one level of nesting (e.g. Flatten wrapper nets are not
+      // supported; nested Sequentials of dense/relu are).
+      for (size_t j = 0; j < seq->size(); ++j) {
+        if (auto* dense = dynamic_cast<Dense*>(seq->child(j))) {
+          if (dense->options().rescale || dense->options().in_unit != 1) {
+            return Status::InvalidArgument("unsupported nested dense layer");
+          }
+          layers.push_back(dense);
+        } else if (dynamic_cast<ReLU*>(seq->child(j)) == nullptr) {
+          return Status::InvalidArgument("unsupported nested layer: " +
+                                         seq->child(j)->name());
+        }
+      }
+      continue;
+    }
+    return Status::InvalidArgument("unsupported layer for incremental eval: " +
+                                   child->name());
+  }
+  if (layers.empty()) {
+    return Status::InvalidArgument("no dense layers found");
+  }
+  return IncrementalMlpEvaluator(std::move(layers));
+}
+
+Tensor IncrementalMlpEvaluator::EvalAtRate(const Tensor& x, double rate) {
+  MS_CHECK(x.ndim() == 2);
+  current_rate_ = rate;
+  activations_.clear();
+  last_flops_ = 0;
+
+  Tensor h = x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    Dense* layer = layers_[l];
+    layer->SetSliceRate(rate);
+    activations_.push_back(h);
+    const int64_t m = layer->active_in();
+    const int64_t n = layer->active_out();
+    MS_CHECK_MSG(h.dim(1) == m, "input width mismatch in incremental eval");
+    Tensor y({h.dim(0), n});
+    ops::Gemm(false, true, h.dim(0), n, m, 1.0f, h.data(), m,
+              layer->weight().data(), layer->options().in_features, 0.0f,
+              y.data(), n);
+    if (layer->options().bias) {
+      for (int64_t b = 0; b < y.dim(0); ++b) {
+        for (int64_t j = 0; j < n; ++j) y.at2(b, j) += layer->bias()[j];
+      }
+    }
+    last_flops_ += h.dim(0) * m * n;
+    if (l + 1 < layers_.size()) ReluInPlace(&y);
+    h = y;
+  }
+  logits_ = h;
+  return h;
+}
+
+Result<Tensor> IncrementalMlpEvaluator::UpgradeTo(double rate) {
+  if (activations_.empty()) {
+    return Status::FailedPrecondition("call EvalAtRate first");
+  }
+  if (rate < current_rate_) {
+    return Status::InvalidArgument("can only upgrade to a larger rate");
+  }
+  last_flops_ = 0;
+  const int64_t batch = activations_.front().dim(0);
+
+  // new_part: the freshly-computed activation columns of the previous layer.
+  Tensor new_part;  // (B, m_b - m_a) — empty for the first layer.
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    Dense* layer = layers_[l];
+    layer->SetSliceRate(current_rate_);
+    const int64_t m_a = layer->active_in();
+    const int64_t n_a = layer->active_out();
+    layer->SetSliceRate(rate);
+    const int64_t m_b = layer->active_in();
+    const int64_t n_b = layer->active_out();
+    Tensor& x_a = activations_[l];
+    MS_CHECK(x_a.dim(1) == m_a);
+    MS_CHECK(new_part.empty() ||
+             new_part.dim(1) == m_b - m_a);
+
+    // Assemble x_b = [x_a ; new_part] (only if the layer grew its fan-in).
+    Tensor x_b({batch, m_b});
+    for (int64_t b = 0; b < batch; ++b) {
+      std::copy(x_a.data() + b * m_a, x_a.data() + (b + 1) * m_a,
+                x_b.data() + b * m_b);
+      if (m_b > m_a) {
+        MS_CHECK(!new_part.empty());
+        std::copy(new_part.data() + b * (m_b - m_a),
+                  new_part.data() + (b + 1) * (m_b - m_a),
+                  x_b.data() + b * m_b + m_a);
+      }
+    }
+
+    const bool is_output = l + 1 == layers_.size();
+    if (is_output) {
+      // Output layer keeps full width (n_a == n_b); update the cached
+      // logits with only the new input columns:
+      // y += W[:, m_a:m_b] x_new.
+      MS_CHECK(n_a == n_b);
+      if (m_b > m_a) {
+        ops::Gemm(false, true, batch, n_b, m_b - m_a, 1.0f,
+                  x_b.data() + m_a, m_b,
+                  layer->weight().data() + m_a,
+                  layer->options().in_features, 1.0f, logits_.data(), n_b);
+        last_flops_ += batch * (m_b - m_a) * n_b;
+      }
+      activations_[l] = x_b;
+      new_part = Tensor();
+      continue;
+    }
+
+    // Hidden layer: y_new = [C D] [x_a; x_new] over output rows [n_a, n_b).
+    Tensor y_new({batch, n_b - n_a});
+    if (n_b > n_a) {
+      ops::Gemm(false, true, batch, n_b - n_a, m_b, 1.0f, x_b.data(), m_b,
+                layer->weight().data() +
+                    n_a * layer->options().in_features,
+                layer->options().in_features, 0.0f, y_new.data(), n_b - n_a);
+      if (layer->options().bias) {
+        for (int64_t b = 0; b < batch; ++b) {
+          for (int64_t j = 0; j < n_b - n_a; ++j) {
+            y_new.at2(b, j) += layer->bias()[n_a + j];
+          }
+        }
+      }
+      last_flops_ += batch * m_b * (n_b - n_a);
+      ReluInPlace(&y_new);
+    }
+    activations_[l] = x_b;
+    new_part = y_new;
+  }
+  current_rate_ = rate;
+  return logits_;
+}
+
+}  // namespace ms

@@ -1,0 +1,53 @@
+// Incremental subnet upgrade via group residual learning (paper Sec. 3.5).
+//
+// For sub-layers at rates ra < rb the block transformation is
+//   [y_a~; y_b] = [[A B]; [C D]] [x_a; x_b].
+// Using the approximation y_a~ ≈ y_a, the cached base features are reused
+// and only the new output group y_b = C x_a + D x_b is computed — the
+// upgrade costs (n_b - n_a) * m_b MACs per layer instead of n_b * m_b.
+// Exposed for plain Dense/ReLU chains (MLPs).
+#ifndef MODELSLICING_CORE_INCREMENTAL_EVAL_H_
+#define MODELSLICING_CORE_INCREMENTAL_EVAL_H_
+
+#include <vector>
+
+#include "src/nn/dense.h"
+#include "src/nn/module.h"
+#include "src/util/status.h"
+
+namespace ms {
+
+class IncrementalMlpEvaluator {
+ public:
+  /// `mlp` must be a flat Sequential of Dense and ReLU layers with
+  /// rescale disabled (rescaling changes scale factors across rates, which
+  /// would silently break feature reuse).
+  static Result<IncrementalMlpEvaluator> Make(Sequential* mlp);
+
+  /// Full forward at `rate`; caches per-layer activations. Returns logits.
+  Tensor EvalAtRate(const Tensor& x, double rate);
+
+  /// Upgrade from the cached state (at the last EvalAtRate/UpgradeTo rate)
+  /// to the larger `rate`, computing only the new output groups. Returns
+  /// the (approximate) logits at `rate`.
+  Result<Tensor> UpgradeTo(double rate);
+
+  /// MACs spent by the last EvalAtRate or UpgradeTo call.
+  int64_t last_flops() const { return last_flops_; }
+
+ private:
+  explicit IncrementalMlpEvaluator(std::vector<Dense*> layers)
+      : layers_(std::move(layers)) {}
+
+  std::vector<Dense*> layers_;
+  double current_rate_ = 0.0;
+  // Post-activation output of each dense layer (the input to the next),
+  // plus pre-activation logits of the final layer.
+  std::vector<Tensor> activations_;  ///< activations_[l]: input of layer l.
+  Tensor logits_;
+  int64_t last_flops_ = 0;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_CORE_INCREMENTAL_EVAL_H_

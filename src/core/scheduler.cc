@@ -1,0 +1,136 @@
+#include "src/core/scheduler.h"
+
+#include <algorithm>
+
+namespace ms {
+
+RandomScheduler::RandomScheduler(SliceConfig config, int samples_per_pass)
+    : config_(std::move(config)), samples_per_pass_(samples_per_pass) {
+  MS_CHECK(samples_per_pass_ >= 1);
+  weights_.assign(config_.num_rates(), 1.0);
+  name_ = "r-uniform-" + std::to_string(samples_per_pass_);
+}
+
+RandomScheduler::RandomScheduler(SliceConfig config, int samples_per_pass,
+                                 std::vector<double> weights)
+    : config_(std::move(config)),
+      samples_per_pass_(samples_per_pass),
+      weights_(std::move(weights)) {
+  MS_CHECK(samples_per_pass_ >= 1);
+  MS_CHECK_MSG(weights_.size() == config_.num_rates(),
+               "weights must align with the rate list");
+  name_ = "r-weighted-" + std::to_string(samples_per_pass_);
+}
+
+std::vector<double> RandomScheduler::NextBatch(Rng* rng) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(samples_per_pass_));
+  for (int i = 0; i < samples_per_pass_; ++i) {
+    const size_t idx = rng->Categorical(weights_);
+    out.push_back(config_.rates()[idx]);
+  }
+  // Dedup within the pass (sampling the same subnet twice in one pass just
+  // doubles its gradient); train distinct subnets, largest first.
+  std::sort(out.begin(), out.end(), std::greater<double>());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+RandomStaticScheduler::RandomStaticScheduler(SliceConfig config,
+                                             bool include_min,
+                                             bool include_max,
+                                             int random_extra)
+    : config_(std::move(config)),
+      include_min_(include_min),
+      include_max_(include_max),
+      random_extra_(random_extra) {
+  MS_CHECK(include_min_ || include_max_);
+  MS_CHECK(random_extra_ >= 0);
+  for (double r : config_.rates()) {
+    const bool is_min = std::abs(r - config_.lower_bound()) < 1e-9;
+    const bool is_max = std::abs(r - config_.full_rate()) < 1e-9;
+    if ((is_min && include_min_) || (is_max && include_max_)) continue;
+    middle_rates_.push_back(r);
+  }
+  if (include_min_ && include_max_) {
+    name_ = "r-min-max";
+  } else if (include_min_) {
+    name_ = "r-min";
+  } else {
+    name_ = "r-max";
+  }
+}
+
+std::vector<double> RandomStaticScheduler::NextBatch(Rng* rng) {
+  std::vector<double> out;
+  if (include_max_) out.push_back(config_.full_rate());
+  const int extras = std::min<int>(
+      random_extra_, static_cast<int>(middle_rates_.size()));
+  std::vector<double> pool = middle_rates_;
+  for (int i = 0; i < extras; ++i) {
+    const size_t idx = static_cast<size_t>(rng->UniformInt(pool.size()));
+    out.push_back(pool[idx]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  if (include_min_) out.push_back(config_.lower_bound());
+  std::sort(out.begin(), out.end(), std::greater<double>());
+  return out;
+}
+
+std::vector<double> DefaultRateWeights(size_t num_rates) {
+  MS_CHECK(num_rates >= 1);
+  std::vector<double> w(num_rates, 0.0);
+  if (num_rates == 1) {
+    w[0] = 1.0;
+    return w;
+  }
+  // Ascending rate list: w.front() is the base network, w.back() the full.
+  w.back() = 0.5;
+  w.front() = 0.25;
+  const size_t middle = num_rates - 2;
+  if (middle > 0) {
+    for (size_t i = 1; i + 1 < num_rates; ++i) {
+      w[i] = 0.25 / static_cast<double>(middle);
+    }
+  } else {
+    w.front() = 0.5;
+  }
+  return w;
+}
+
+Result<std::unique_ptr<SliceRateScheduler>> MakeScheduler(
+    const std::string& name, const SliceConfig& config) {
+  if (name == "full-only") {
+    return std::unique_ptr<SliceRateScheduler>(new FullOnlyScheduler());
+  }
+  if (name == "r-uniform-2") {
+    return std::unique_ptr<SliceRateScheduler>(
+        new RandomScheduler(config, 2));
+  }
+  if (name == "r-weighted-2" || name == "r-weighted-3") {
+    const int k = name.back() - '0';
+    return std::unique_ptr<SliceRateScheduler>(new RandomScheduler(
+        config, k, DefaultRateWeights(config.num_rates())));
+  }
+  if (name == "static" || name == "slimmable") {
+    return std::unique_ptr<SliceRateScheduler>(new StaticScheduler(config));
+  }
+  if (name == "r-min") {
+    return std::unique_ptr<SliceRateScheduler>(
+        new RandomStaticScheduler(config, /*include_min=*/true,
+                                  /*include_max=*/false));
+  }
+  if (name == "r-max") {
+    return std::unique_ptr<SliceRateScheduler>(
+        new RandomStaticScheduler(config, /*include_min=*/false,
+                                  /*include_max=*/true));
+  }
+  if (name == "r-min-max") {
+    return std::unique_ptr<SliceRateScheduler>(
+        new RandomStaticScheduler(config, /*include_min=*/true,
+                                  /*include_max=*/true));
+  }
+  return Status::NotFound("unknown scheduler: " + name);
+}
+
+}  // namespace ms

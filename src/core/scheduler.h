@@ -1,0 +1,132 @@
+// Slice-rate scheduling schemes (paper Sec. 3.4, evaluated in Table 1).
+//
+// Each training pass draws a list L_t of slice rates; Algorithm 1 then
+// accumulates the gradients of the corresponding subnets. Three families:
+//   - Random scheduling: sample k rates from a categorical distribution
+//     (uniform or weighted — the weighted variant encodes that the full and
+//     base subnets matter most).
+//   - Static scheduling: every valid rate, every pass (SlimmableNet style).
+//   - Random-static: a fixed subset (base and/or full) plus sampled extras.
+#ifndef MODELSLICING_CORE_SCHEDULER_H_
+#define MODELSLICING_CORE_SCHEDULER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/slice_config.h"
+#include "src/util/rng.h"
+
+namespace ms {
+
+/// \brief Produces the slice-rate list for each training pass.
+class SliceRateScheduler {
+ public:
+  virtual ~SliceRateScheduler() = default;
+
+  /// The rates to train on this pass (paper: next_slice_rate_batch(L, F)).
+  virtual std::vector<double> NextBatch(Rng* rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// \brief Always the full network — conventional (non-slicing) training,
+/// the paper's "lb = 1.0" baseline.
+class FullOnlyScheduler : public SliceRateScheduler {
+ public:
+  std::vector<double> NextBatch(Rng* rng) override {
+    (void)rng;
+    return {1.0};
+  }
+  std::string name() const override { return "full-only"; }
+};
+
+/// \brief A single fixed rate every pass; trains one standalone narrow model
+/// (the "fixed models" ensemble members).
+class FixedRateScheduler : public SliceRateScheduler {
+ public:
+  explicit FixedRateScheduler(double rate) : rate_(rate) {}
+  std::vector<double> NextBatch(Rng* rng) override {
+    (void)rng;
+    return {rate_};
+  }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  double rate_;
+};
+
+/// \brief Random scheduling: k rates per pass sampled from a categorical
+/// distribution over the valid rate list.
+class RandomScheduler : public SliceRateScheduler {
+ public:
+  /// Uniform sampling ("R-uniform-k").
+  RandomScheduler(SliceConfig config, int samples_per_pass);
+
+  /// Weighted sampling ("R-weighted-k"); weights align with config.rates()
+  /// ascending (weights[0] is the base network).
+  RandomScheduler(SliceConfig config, int samples_per_pass,
+                  std::vector<double> weights);
+
+  std::vector<double> NextBatch(Rng* rng) override;
+  std::string name() const override { return name_; }
+
+ private:
+  SliceConfig config_;
+  int samples_per_pass_;
+  std::vector<double> weights_;
+  std::string name_;
+};
+
+/// \brief Static scheduling: all valid rates, every pass.
+class StaticScheduler : public SliceRateScheduler {
+ public:
+  explicit StaticScheduler(SliceConfig config) : config_(std::move(config)) {}
+  std::vector<double> NextBatch(Rng* rng) override {
+    (void)rng;
+    // Descending so the full network leads each accumulation, matching the
+    // SlimmableNet training order.
+    std::vector<double> rates(config_.rates().rbegin(),
+                              config_.rates().rend());
+    return rates;
+  }
+  std::string name() const override { return "static"; }
+
+ private:
+  SliceConfig config_;
+};
+
+/// \brief Random-static scheduling: always train a fixed subset (the base
+/// and/or the full network) and add uniformly sampled remaining rates
+/// ("R-min", "R-max", "R-min-max").
+class RandomStaticScheduler : public SliceRateScheduler {
+ public:
+  RandomStaticScheduler(SliceConfig config, bool include_min,
+                        bool include_max, int random_extra = 1);
+
+  std::vector<double> NextBatch(Rng* rng) override;
+  std::string name() const override { return name_; }
+
+ private:
+  SliceConfig config_;
+  bool include_min_;
+  bool include_max_;
+  int random_extra_;
+  std::vector<double> middle_rates_;  ///< rates not statically included.
+  std::string name_;
+};
+
+/// Builds the paper's reporting configurations by name:
+/// "r-uniform-2", "r-weighted-2", "r-weighted-3", "static", "r-min",
+/// "r-max", "r-min-max", "full-only".
+Result<std::unique_ptr<SliceRateScheduler>> MakeScheduler(
+    const std::string& name, const SliceConfig& config);
+
+/// The paper's default weighted distribution: half the mass on the full
+/// network, a quarter on the base, the rest spread uniformly (mirrors the
+/// weight list (0.5, 0.125, 0.125, 0.25) of Sec. 5.1.2 for 4 rates).
+std::vector<double> DefaultRateWeights(size_t num_rates);
+
+}  // namespace ms
+
+#endif  // MODELSLICING_CORE_SCHEDULER_H_

@@ -1,0 +1,92 @@
+// Network-wide slicing configuration: the valid slice-rate list L shared by
+// all sliceable layers (paper Sec. 5.1.1).
+#ifndef MODELSLICING_CORE_SLICE_CONFIG_H_
+#define MODELSLICING_CORE_SLICE_CONFIG_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace ms {
+
+/// \brief The slice-rate list L: rates from a lower bound r1 to 1.0 in steps
+/// of the slice granularity, ascending.
+class SliceConfig {
+ public:
+  SliceConfig() = default;
+
+  /// \param lower_bound r1, the smallest (base-network) rate, in (0, 1].
+  /// \param granularity rate step, e.g. 1/4, 1/8, 1/16 (Sec. 5.1.1).
+  static Result<SliceConfig> Make(double lower_bound, double granularity) {
+    if (lower_bound <= 0.0 || lower_bound > 1.0) {
+      return Status::InvalidArgument("lower bound must be in (0, 1]");
+    }
+    if (granularity <= 0.0 || granularity > 1.0) {
+      return Status::InvalidArgument("granularity must be in (0, 1]");
+    }
+    SliceConfig cfg;
+    // Rates: 1.0, 1.0 - g, ... down to the first value >= lower_bound,
+    // then ensure the lower bound itself is present.
+    for (double r = 1.0; r > lower_bound + 1e-9; r -= granularity) {
+      cfg.rates_.push_back(r);
+    }
+    cfg.rates_.push_back(lower_bound);
+    std::sort(cfg.rates_.begin(), cfg.rates_.end());
+    cfg.rates_.erase(std::unique(cfg.rates_.begin(), cfg.rates_.end(),
+                                 [](double a, double b) {
+                                   return std::abs(a - b) < 1e-9;
+                                 }),
+                     cfg.rates_.end());
+    return cfg;
+  }
+
+  static Result<SliceConfig> FromList(std::vector<double> rates) {
+    if (rates.empty()) {
+      return Status::InvalidArgument("slice rate list is empty");
+    }
+    for (double r : rates) {
+      if (r <= 0.0 || r > 1.0) {
+        return Status::InvalidArgument("slice rates must be in (0, 1]");
+      }
+    }
+    std::sort(rates.begin(), rates.end());
+    rates.erase(std::unique(rates.begin(), rates.end()), rates.end());
+    SliceConfig cfg;
+    cfg.rates_ = std::move(rates);
+    return cfg;
+  }
+
+  /// Ascending list of valid rates (r1 ... 1.0).
+  const std::vector<double>& rates() const { return rates_; }
+  double lower_bound() const { return rates_.front(); }
+  double full_rate() const { return rates_.back(); }
+  size_t num_rates() const { return rates_.size(); }
+
+  /// Largest valid rate <= r (clamped to the lower bound). Used to map a
+  /// budget-derived continuous rate onto the trained subnet lattice.
+  double FloorRate(double r) const {
+    double best = rates_.front();
+    for (double cand : rates_) {
+      if (cand <= r + 1e-9) best = cand;
+    }
+    return best;
+  }
+
+  /// Nearest valid rate to r.
+  double NearestRate(double r) const {
+    double best = rates_.front();
+    for (double cand : rates_) {
+      if (std::abs(cand - r) < std::abs(best - r)) best = cand;
+    }
+    return best;
+  }
+
+ private:
+  std::vector<double> rates_;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_CORE_SLICE_CONFIG_H_

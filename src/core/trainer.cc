@@ -1,0 +1,118 @@
+#include "src/core/trainer.h"
+
+#include <algorithm>
+
+#include "src/core/evaluator.h"
+#include "src/util/logging.h"
+#include "src/util/stopwatch.h"
+
+namespace ms {
+
+void TrainImageClassifier(Module* net, const ImageDataset& data,
+                          SliceRateScheduler* scheduler,
+                          const ImageTrainOptions& opts,
+                          const EpochCallback& callback) {
+  std::vector<ParamRef> params;
+  net->CollectParams(&params);
+  Sgd optimizer(params, opts.sgd);
+  StepLrSchedule lr_schedule(opts.sgd.lr, opts.lr_milestones);
+  Rng rng(opts.seed);
+  SoftmaxCrossEntropy loss;
+
+  std::vector<int64_t> order(static_cast<size_t>(data.size()));
+  for (int64_t i = 0; i < data.size(); ++i) {
+    order[static_cast<size_t>(i)] = i;
+  }
+
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    Stopwatch watch;
+    optimizer.set_lr(lr_schedule.LrAtEpoch(epoch));
+    rng.Shuffle(&order);
+    double loss_sum = 0.0;
+    int64_t loss_count = 0;
+
+    std::vector<int64_t> indices;
+    std::vector<int> labels;
+    for (int64_t start = 0; start < data.size();
+         start += opts.batch_size) {
+      const int64_t end = std::min(data.size(), start + opts.batch_size);
+      indices.assign(order.begin() + start, order.begin() + end);
+      Tensor x = GatherImages(data, indices);
+      GatherLabels(data, indices, &labels);
+      if (opts.augment) AugmentBatch(&x, opts.max_shift, &rng);
+
+      // Algorithm 1 inner loop: accumulate subnet gradients.
+      const std::vector<double> rates = scheduler->NextBatch(&rng);
+      for (double r : rates) {
+        net->SetSliceRate(r);
+        Tensor logits = net->Forward(x, /*training=*/true);
+        const float batch_loss = loss.Forward(logits, labels);
+        net->Backward(loss.Backward());
+        loss_sum += batch_loss;
+        ++loss_count;
+      }
+      optimizer.Step();
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = loss_count > 0 ? loss_sum / loss_count : 0.0;
+    stats.seconds = watch.ElapsedSeconds();
+    if (callback) callback(stats);
+  }
+}
+
+void TrainNnlm(Nnlm* model, const TextCorpus& corpus,
+               SliceRateScheduler* scheduler, const NnlmTrainOptions& opts,
+               const EpochCallback& callback) {
+  Sgd optimizer(model->Params(), opts.sgd);
+  PlateauLrSchedule lr_schedule(opts.sgd.lr, opts.plateau_factor);
+  Rng rng(opts.seed);
+  SequenceNll loss;
+  TextBatcher batcher(corpus.train, opts.batch_size, opts.bptt);
+
+  std::vector<int64_t> chunk_order(
+      static_cast<size_t>(batcher.num_chunks()));
+  for (int64_t i = 0; i < batcher.num_chunks(); ++i) {
+    chunk_order[static_cast<size_t>(i)] = i;
+  }
+
+  std::vector<int> inputs, targets;
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    Stopwatch watch;
+    rng.Shuffle(&chunk_order);
+    double loss_sum = 0.0;
+    int64_t loss_count = 0;
+    for (int64_t k : chunk_order) {
+      batcher.Chunk(k, &inputs, &targets);
+      const std::vector<double> rates = scheduler->NextBatch(&rng);
+      for (double r : rates) {
+        model->SetSliceRate(r);
+        Tensor logits =
+            model->Forward(inputs, opts.bptt, opts.batch_size,
+                           /*training=*/true);
+        const float chunk_loss = loss.Forward(logits, targets);
+        model->Backward(loss.Backward());
+        loss_sum += chunk_loss;
+        ++loss_count;
+      }
+      optimizer.Step();
+    }
+
+    // Plateau schedule on validation perplexity at the full rate.
+    if (opts.plateau_factor < 1.0) {
+      const double valid_ppl =
+          EvalPerplexity(model, corpus.valid, /*rate=*/1.0, opts.batch_size,
+                         opts.bptt);
+      optimizer.set_lr(lr_schedule.Observe(valid_ppl));
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = loss_count > 0 ? loss_sum / loss_count : 0.0;
+    stats.seconds = watch.ElapsedSeconds();
+    if (callback) callback(stats);
+  }
+}
+
+}  // namespace ms

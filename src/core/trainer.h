@@ -1,0 +1,66 @@
+// Algorithm 1 of the paper: train with model slicing. For every mini-batch
+// the scheduler emits a slice-rate list L_t; the gradients of each
+// corresponding subnet are accumulated before a single optimizer step.
+#ifndef MODELSLICING_CORE_TRAINER_H_
+#define MODELSLICING_CORE_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/core/scheduler.h"
+#include "src/data/synthetic_images.h"
+#include "src/data/synthetic_text.h"
+#include "src/models/nnlm.h"
+#include "src/nn/loss.h"
+#include "src/nn/module.h"
+#include "src/optim/sgd.h"
+
+namespace ms {
+
+struct ImageTrainOptions {
+  int epochs = 10;
+  int64_t batch_size = 32;
+  SgdOptions sgd = {.lr = 0.1, .momentum = 0.9, .weight_decay = 1e-4};
+  std::vector<int> lr_milestones = {};  ///< epochs at which lr *= 0.1.
+  bool augment = true;
+  int max_shift = 2;
+  uint64_t seed = 42;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;   ///< mean per-subnet loss over the epoch.
+  double seconds = 0.0;
+};
+
+/// Called after each epoch; return value ignored.
+using EpochCallback = std::function<void(const EpochStats&)>;
+
+/// Trains `net` on `data` with Algorithm 1. The optimizer is created
+/// internally from opts.sgd over the net's parameters.
+void TrainImageClassifier(Module* net, const ImageDataset& data,
+                          SliceRateScheduler* scheduler,
+                          const ImageTrainOptions& opts,
+                          const EpochCallback& callback = nullptr);
+
+struct NnlmTrainOptions {
+  int epochs = 8;
+  int64_t batch_size = 16;
+  int64_t bptt = 20;
+  SgdOptions sgd = {.lr = 2.0, .momentum = 0.0, .weight_decay = 0.0,
+                    .clip_grad_norm = 0.5};
+  /// Quarter the LR when validation perplexity stops improving
+  /// (Sec. 5.2.2); set factor 1.0 to disable.
+  double plateau_factor = 0.25;
+  uint64_t seed = 42;
+};
+
+/// Trains the NNLM with Algorithm 1 over BPTT chunks; evaluates validation
+/// perplexity (at the full rate) each epoch for the plateau LR schedule.
+void TrainNnlm(Nnlm* model, const TextCorpus& corpus,
+               SliceRateScheduler* scheduler, const NnlmTrainOptions& opts,
+               const EpochCallback& callback = nullptr);
+
+}  // namespace ms
+
+#endif  // MODELSLICING_CORE_TRAINER_H_

@@ -1,0 +1,213 @@
+#include "src/data/synthetic_images.h"
+
+#include <cmath>
+
+namespace ms {
+namespace {
+
+// Smooth a (C, H, W) pattern with a 3x3 box filter, `passes` times, to give
+// prototypes spatial structure (convolutional nets can exploit locality).
+void BoxSmooth(std::vector<float>* img, int64_t c, int64_t h, int64_t w,
+               int passes) {
+  std::vector<float> tmp(img->size());
+  for (int pass = 0; pass < passes; ++pass) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* src = img->data() + ch * h * w;
+      float* dst = tmp.data() + ch * h * w;
+      for (int64_t i = 0; i < h; ++i) {
+        for (int64_t j = 0; j < w; ++j) {
+          float acc = 0.0f;
+          int cnt = 0;
+          for (int64_t di = -1; di <= 1; ++di) {
+            for (int64_t dj = -1; dj <= 1; ++dj) {
+              const int64_t ii = i + di, jj = j + dj;
+              if (ii < 0 || ii >= h || jj < 0 || jj >= w) continue;
+              acc += src[ii * w + jj];
+              ++cnt;
+            }
+          }
+          dst[i * w + j] = acc / static_cast<float>(cnt);
+        }
+      }
+    }
+    img->swap(tmp);
+  }
+}
+
+// Render one sample of class `label`: shifted mode + clutter + noise.
+void RenderSample(const std::vector<std::vector<float>>& modes,
+                  const SyntheticImageOptions& opts, int label, Rng* rng,
+                  float* out) {
+  const int64_t c = opts.channels, h = opts.height, w = opts.width;
+  const int64_t mode_idx =
+      static_cast<int64_t>(rng->UniformInt(
+          static_cast<uint64_t>(opts.modes_per_class)));
+  const auto& proto =
+      modes[static_cast<size_t>(label * opts.modes_per_class + mode_idx)];
+  const int shift_i = static_cast<int>(rng->UniformInt(
+                          static_cast<uint64_t>(2 * opts.max_shift + 1))) -
+                      opts.max_shift;
+  const int shift_j = static_cast<int>(rng->UniformInt(
+                          static_cast<uint64_t>(2 * opts.max_shift + 1))) -
+                      opts.max_shift;
+  const float gain = static_cast<float>(rng->Uniform(0.8, 1.2));
+  // Class-agnostic clutter: a smooth random field shared across channels.
+  std::vector<float> clutter(static_cast<size_t>(h * w));
+  for (auto& v : clutter) v = static_cast<float>(rng->Gaussian());
+  // Cheap smoothing of the clutter field.
+  std::vector<float> clutter3(static_cast<size_t>(h * w));
+  for (int64_t i = 0; i < h; ++i) {
+    for (int64_t j = 0; j < w; ++j) {
+      float acc = 0.0f;
+      int cnt = 0;
+      for (int di = -1; di <= 1; ++di) {
+        for (int dj = -1; dj <= 1; ++dj) {
+          const int64_t ii = i + di, jj = j + dj;
+          if (ii < 0 || ii >= h || jj < 0 || jj >= w) continue;
+          acc += clutter[static_cast<size_t>(ii * w + jj)];
+          ++cnt;
+        }
+      }
+      clutter3[static_cast<size_t>(i * w + j)] =
+          acc / static_cast<float>(cnt);
+    }
+  }
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t i = 0; i < h; ++i) {
+      for (int64_t j = 0; j < w; ++j) {
+        // Toroidal shift keeps energy constant across samples.
+        const int64_t si = ((i + shift_i) % h + h) % h;
+        const int64_t sj = ((j + shift_j) % w + w) % w;
+        float v = gain * proto[static_cast<size_t>((ch * h + si) * w + sj)];
+        v += static_cast<float>(opts.distractor) *
+             clutter3[static_cast<size_t>(i * w + j)];
+        v += static_cast<float>(opts.noise * rng->Gaussian());
+        out[(ch * h + i) * w + j] = v;
+      }
+    }
+  }
+}
+
+void FillDataset(const std::vector<std::vector<float>>& modes,
+                 const SyntheticImageOptions& opts, int64_t n, Rng* rng,
+                 ImageDataset* ds) {
+  ds->num_classes = opts.num_classes;
+  ds->channels = opts.channels;
+  ds->height = opts.height;
+  ds->width = opts.width;
+  ds->images = Tensor({n, opts.channels, opts.height, opts.width});
+  ds->labels.resize(static_cast<size_t>(n));
+  const int64_t sample_size = opts.channels * opts.height * opts.width;
+  for (int64_t i = 0; i < n; ++i) {
+    const int label =
+        static_cast<int>(rng->UniformInt(
+            static_cast<uint64_t>(opts.num_classes)));
+    ds->labels[static_cast<size_t>(i)] = label;
+    RenderSample(modes, opts, label, rng, ds->images.data() + i * sample_size);
+  }
+}
+
+}  // namespace
+
+Result<ImageDataSplit> MakeSyntheticImages(const SyntheticImageOptions& opts) {
+  if (opts.num_classes < 2) {
+    return Status::InvalidArgument("need at least 2 classes");
+  }
+  if (opts.channels < 1 || opts.height < 4 || opts.width < 4) {
+    return Status::InvalidArgument("image dims too small");
+  }
+  if (opts.train_size < 1 || opts.test_size < 1) {
+    return Status::InvalidArgument("dataset sizes must be positive");
+  }
+  if (opts.modes_per_class < 1) {
+    return Status::InvalidArgument("modes_per_class must be >= 1");
+  }
+  if (opts.max_shift < 0 || opts.max_shift >= opts.height ||
+      opts.max_shift >= opts.width) {
+    return Status::InvalidArgument("max_shift out of range");
+  }
+
+  Rng rng(opts.seed);
+  // Class prototypes: smooth unit-scale random fields.
+  const size_t num_modes =
+      static_cast<size_t>(opts.num_classes * opts.modes_per_class);
+  std::vector<std::vector<float>> modes(num_modes);
+  const size_t proto_size =
+      static_cast<size_t>(opts.channels * opts.height * opts.width);
+  for (auto& m : modes) {
+    m.resize(proto_size);
+    for (auto& v : m) v = static_cast<float>(rng.Gaussian());
+    BoxSmooth(&m, opts.channels, opts.height, opts.width, /*passes=*/2);
+    // Renormalize to unit RMS so smoothing doesn't shrink signal power.
+    double ss = 0.0;
+    for (float v : m) ss += static_cast<double>(v) * v;
+    const float scale =
+        static_cast<float>(1.0 / std::sqrt(ss / static_cast<double>(
+                                               m.size()) + 1e-12));
+    for (auto& v : m) v *= scale;
+  }
+
+  ImageDataSplit split;
+  Rng train_rng = rng.Fork();
+  Rng test_rng = rng.Fork();
+  FillDataset(modes, opts, opts.train_size, &train_rng, &split.train);
+  FillDataset(modes, opts, opts.test_size, &test_rng, &split.test);
+  return split;
+}
+
+Tensor GatherImages(const ImageDataset& data,
+                    const std::vector<int64_t>& indices) {
+  const int64_t sample_size = data.channels * data.height * data.width;
+  Tensor batch({static_cast<int64_t>(indices.size()), data.channels,
+                data.height, data.width});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t idx = indices[i];
+    MS_CHECK(idx >= 0 && idx < data.size());
+    const float* src = data.images.data() + idx * sample_size;
+    std::copy(src, src + sample_size,
+              batch.data() + static_cast<int64_t>(i) * sample_size);
+  }
+  return batch;
+}
+
+void GatherLabels(const ImageDataset& data,
+                  const std::vector<int64_t>& indices,
+                  std::vector<int>* labels) {
+  labels->resize(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    (*labels)[i] = data.labels[static_cast<size_t>(indices[i])];
+  }
+}
+
+void AugmentBatch(Tensor* batch, int max_shift, Rng* rng, bool allow_flip) {
+  MS_CHECK(batch->ndim() == 4);
+  const int64_t n = batch->dim(0);
+  const int64_t c = batch->dim(1);
+  const int64_t h = batch->dim(2);
+  const int64_t w = batch->dim(3);
+  std::vector<float> tmp(static_cast<size_t>(c * h * w));
+  for (int64_t img = 0; img < n; ++img) {
+    float* px = batch->data() + img * c * h * w;
+    const int si = static_cast<int>(rng->UniformInt(
+                       static_cast<uint64_t>(2 * max_shift + 1))) -
+                   max_shift;
+    const int sj = static_cast<int>(rng->UniformInt(
+                       static_cast<uint64_t>(2 * max_shift + 1))) -
+                   max_shift;
+    const bool flip = allow_flip && rng->Bernoulli(0.5);
+    for (int64_t ch = 0; ch < c; ++ch) {
+      for (int64_t i = 0; i < h; ++i) {
+        for (int64_t j = 0; j < w; ++j) {
+          const int64_t ii = ((i + si) % h + h) % h;
+          int64_t jj = ((j + sj) % w + w) % w;
+          if (flip) jj = w - 1 - jj;
+          tmp[static_cast<size_t>((ch * h + i) * w + j)] =
+              px[(ch * h + ii) * w + jj];
+        }
+      }
+    }
+    std::copy(tmp.begin(), tmp.end(), px);
+  }
+}
+
+}  // namespace ms

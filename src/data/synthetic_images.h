@@ -1,0 +1,68 @@
+// Procedural image-classification dataset standing in for CIFAR-10/ImageNet
+// (offline substitution; see DESIGN.md). Each class owns several smooth
+// prototype "modes"; a sample is a randomly shifted, scaled and noised mode.
+// More modes and higher noise demand more model capacity, so accuracy
+// degrades smoothly with network width — the property the paper's
+// accuracy-vs-FLOPs figures rely on.
+#ifndef MODELSLICING_DATA_SYNTHETIC_IMAGES_H_
+#define MODELSLICING_DATA_SYNTHETIC_IMAGES_H_
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace ms {
+
+struct ImageDataset {
+  Tensor images;            ///< (N, C, H, W), roughly zero-mean unit-scale.
+  std::vector<int> labels;  ///< length N, in [0, num_classes).
+  int64_t num_classes = 0;
+  int64_t channels = 0;
+  int64_t height = 0;
+  int64_t width = 0;
+
+  int64_t size() const { return static_cast<int64_t>(labels.size()); }
+};
+
+struct SyntheticImageOptions {
+  int64_t num_classes = 10;
+  int64_t modes_per_class = 3;   ///< intra-class diversity.
+  int64_t channels = 3;
+  int64_t height = 12;
+  int64_t width = 12;
+  int64_t train_size = 2000;
+  int64_t test_size = 500;
+  double noise = 0.6;            ///< additive Gaussian noise stddev.
+  double distractor = 0.4;       ///< strength of class-agnostic clutter.
+  int max_shift = 2;             ///< random translation in pixels.
+  uint64_t seed = 7;
+};
+
+struct ImageDataSplit {
+  ImageDataset train;
+  ImageDataset test;
+};
+
+/// Build the train/test split. Fails on non-positive dimensions.
+Result<ImageDataSplit> MakeSyntheticImages(const SyntheticImageOptions& opts);
+
+/// Assemble a batch (with optional shift/flip augmentation) from dataset
+/// rows `indices`.
+Tensor GatherImages(const ImageDataset& data,
+                    const std::vector<int64_t>& indices);
+void GatherLabels(const ImageDataset& data,
+                  const std::vector<int64_t>& indices,
+                  std::vector<int>* labels);
+
+/// Random toroidal shift (and optionally horizontal flip), the analogue of
+/// the paper's pad-crop-flip augmentation. Applied in place to a
+/// (B, C, H, W) batch. Flips are off by default: the synthetic class
+/// prototypes are not mirror-symmetric, so flipping acts as label noise.
+void AugmentBatch(Tensor* batch, int max_shift, Rng* rng,
+                  bool flip = false);
+
+}  // namespace ms
+
+#endif  // MODELSLICING_DATA_SYNTHETIC_IMAGES_H_

@@ -1,0 +1,176 @@
+#include "src/data/synthetic_text.h"
+
+#include <cmath>
+
+namespace ms {
+namespace {
+
+struct BigramSource {
+  // Per (topic, token): branch_factor candidate successors + cumulative
+  // probabilities.
+  std::vector<int> candidates;    ///< (topics * vocab, branch)
+  std::vector<double> cum_probs;  ///< (topics * vocab, branch), cumulative.
+  std::vector<double> zipf_cdf;   ///< unigram fallback CDF.
+  int vocab = 0;
+  int branch = 0;
+  int topics = 0;
+  double smoothing = 0.1;
+  double switch_prob = 0.01;
+
+  int SampleZipf(Rng* rng) const {
+    const double u = rng->Uniform();
+    size_t lo = 0, hi = zipf_cdf.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (zipf_cdf[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<int>(std::min(lo, zipf_cdf.size() - 1));
+  }
+
+  int SampleNext(int topic, int prev, Rng* rng) const {
+    if (rng->Bernoulli(smoothing)) return SampleZipf(rng);
+    const size_t row =
+        (static_cast<size_t>(topic) * static_cast<size_t>(vocab) +
+         static_cast<size_t>(prev)) *
+        static_cast<size_t>(branch);
+    const double u = rng->Uniform();
+    for (int i = 0; i < branch; ++i) {
+      if (u <= cum_probs[row + static_cast<size_t>(i)]) {
+        return candidates[row + static_cast<size_t>(i)];
+      }
+    }
+    return candidates[row + static_cast<size_t>(branch) - 1];
+  }
+};
+
+BigramSource BuildSource(const SyntheticTextOptions& opts, Rng* rng) {
+  BigramSource src;
+  src.vocab = opts.vocab_size;
+  src.branch = opts.branch_factor;
+  src.topics = opts.num_topics;
+  src.smoothing = opts.smoothing;
+  src.switch_prob = opts.topic_switch_prob;
+
+  // Zipfian unigram prior.
+  src.zipf_cdf.resize(static_cast<size_t>(opts.vocab_size));
+  double total = 0.0;
+  for (int i = 0; i < opts.vocab_size; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), opts.zipf_exponent);
+  }
+  double acc = 0.0;
+  for (int i = 0; i < opts.vocab_size; ++i) {
+    acc += 1.0 /
+           std::pow(static_cast<double>(i + 1), opts.zipf_exponent) / total;
+    src.zipf_cdf[static_cast<size_t>(i)] = acc;
+  }
+
+  const size_t rows =
+      static_cast<size_t>(opts.num_topics) *
+      static_cast<size_t>(opts.vocab_size);
+  const size_t bf = static_cast<size_t>(opts.branch_factor);
+  src.candidates.resize(rows * bf);
+  src.cum_probs.resize(rows * bf);
+  for (size_t r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    std::vector<double> w(bf);
+    for (size_t i = 0; i < bf; ++i) {
+      // Successors biased toward frequent tokens via the Zipf prior.
+      src.candidates[r * bf + i] = src.SampleZipf(rng);
+      w[i] = rng->Uniform(0.2, 1.0);
+      sum += w[i];
+    }
+    double run = 0.0;
+    for (size_t i = 0; i < bf; ++i) {
+      run += w[i] / sum;
+      src.cum_probs[r * bf + i] = run;
+    }
+    src.cum_probs[r * bf + bf - 1] = 1.0;
+  }
+  return src;
+}
+
+std::vector<int> Emit(const BigramSource& src, int64_t n, Rng* rng) {
+  std::vector<int> out(static_cast<size_t>(n));
+  int topic = 0;
+  int prev = src.SampleZipf(rng);
+  for (int64_t t = 0; t < n; ++t) {
+    if (rng->Bernoulli(src.switch_prob)) {
+      topic = static_cast<int>(
+          rng->UniformInt(static_cast<uint64_t>(src.topics)));
+    }
+    const int tok = src.SampleNext(topic, prev, rng);
+    out[static_cast<size_t>(t)] = tok;
+    prev = tok;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<TextCorpus> MakeSyntheticCorpus(const SyntheticTextOptions& opts) {
+  if (opts.vocab_size < 4) {
+    return Status::InvalidArgument("vocab too small");
+  }
+  if (opts.branch_factor < 1 || opts.branch_factor > opts.vocab_size) {
+    return Status::InvalidArgument("branch factor out of range");
+  }
+  if (opts.train_tokens < 4 || opts.valid_tokens < 4 ||
+      opts.test_tokens < 4) {
+    return Status::InvalidArgument("token counts too small");
+  }
+  if (opts.num_topics < 1) {
+    return Status::InvalidArgument("need at least one topic");
+  }
+  if (opts.topic_switch_prob < 0.0 || opts.topic_switch_prob > 1.0 ||
+      opts.smoothing < 0.0 || opts.smoothing >= 1.0) {
+    return Status::InvalidArgument("bad mixture probabilities");
+  }
+  Rng rng(opts.seed);
+  const BigramSource src = BuildSource(opts, &rng);
+  TextCorpus corpus;
+  corpus.vocab_size = opts.vocab_size;
+  Rng r1 = rng.Fork(), r2 = rng.Fork(), r3 = rng.Fork();
+  corpus.train = Emit(src, opts.train_tokens, &r1);
+  corpus.valid = Emit(src, opts.valid_tokens, &r2);
+  corpus.test = Emit(src, opts.test_tokens, &r3);
+  return corpus;
+}
+
+TextBatcher::TextBatcher(const std::vector<int>& stream, int64_t batch_size,
+                         int64_t bptt)
+    : batch_size_(batch_size), bptt_(bptt) {
+  MS_CHECK(batch_size >= 1 && bptt >= 1);
+  track_len_ = static_cast<int64_t>(stream.size()) / batch_size;
+  MS_CHECK_MSG(track_len_ >= 2, "stream too short for this batch size");
+  tracks_.resize(static_cast<size_t>(batch_size * track_len_));
+  for (int64_t b = 0; b < batch_size; ++b) {
+    for (int64_t t = 0; t < track_len_; ++t) {
+      tracks_[static_cast<size_t>(b * track_len_ + t)] =
+          stream[static_cast<size_t>(b * track_len_ + t)];
+    }
+  }
+  num_chunks_ = (track_len_ - 1) / bptt_;
+  MS_CHECK_MSG(num_chunks_ >= 1, "stream too short for this bptt");
+}
+
+void TextBatcher::Chunk(int64_t k, std::vector<int>* inputs,
+                        std::vector<int>* targets) const {
+  MS_CHECK(k >= 0 && k < num_chunks_);
+  const int64_t start = k * bptt_;
+  inputs->resize(static_cast<size_t>(bptt_ * batch_size_));
+  targets->resize(static_cast<size_t>(bptt_ * batch_size_));
+  for (int64_t t = 0; t < bptt_; ++t) {
+    for (int64_t b = 0; b < batch_size_; ++b) {
+      (*inputs)[static_cast<size_t>(t * batch_size_ + b)] =
+          tracks_[static_cast<size_t>(b * track_len_ + start + t)];
+      (*targets)[static_cast<size_t>(t * batch_size_ + b)] =
+          tracks_[static_cast<size_t>(b * track_len_ + start + t + 1)];
+    }
+  }
+}
+
+}  // namespace ms

@@ -1,0 +1,71 @@
+// Convolutional model builders mirroring the paper's Table 3 families at
+// laptop scale: a plain VGG-style stack ("VGG-13"), and pre-activation
+// ResNets with bottleneck blocks and a widening factor (ResNet-164 /
+// ResNet-56-2 / ResNet-50 analogues).
+#ifndef MODELSLICING_MODELS_CNN_H_
+#define MODELSLICING_MODELS_CNN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace ms {
+
+enum class NormKind {
+  kGroup,       ///< the paper's choice for model slicing.
+  kBatch,       ///< conventional training / fixed models.
+  kMultiBatch,  ///< SlimmableNet: one BN per candidate rate.
+};
+
+struct CnnConfig {
+  int64_t in_channels = 3;
+  int64_t num_classes = 10;
+  int64_t base_width = 16;      ///< channels of the first stage.
+  double width_mult = 1.0;      ///< ensemble-of-width baselines scale this.
+  int64_t stages = 3;
+  int64_t blocks_per_stage = 2; ///< conv pairs (VGG) or residual blocks.
+  int64_t slice_groups = 8;     ///< G ordered groups per layer.
+  NormKind norm = NormKind::kGroup;
+  /// Candidate rates for MultiBatchNorm (ignored otherwise).
+  std::vector<double> multi_bn_rates;
+  uint64_t seed = 1;
+};
+
+/// Plain VGG-style CNN: per stage `blocks_per_stage` conv3x3+norm+ReLU with
+/// width base*2^stage, then 2x2 max-pool; global average pool + classifier.
+Result<std::unique_ptr<Sequential>> MakeVggSmall(const CnnConfig& config);
+
+/// Pre-activation bottleneck ResNet: stem conv, `stages` stages of
+/// `blocks_per_stage` bottleneck blocks (expansion 4), stride-2 projections
+/// between stages; final norm+ReLU+GAP+classifier.
+Result<std::unique_ptr<Sequential>> MakeResNet(const CnnConfig& config);
+
+/// ResNeXt-style CNN: pre-activation residual blocks whose 3x3 stage is a
+/// grouped convolution with conv groups == slicing groups (the homogeneous
+/// multi-branch transformation the paper calls ideally suited to group
+/// residual learning, Sec. 3.5). Slicing keeps a prefix of whole branches.
+Result<std::unique_ptr<Sequential>> MakeResNeXtSmall(const CnnConfig& config);
+
+/// MobileNet-style CNN of depthwise-separable blocks (depthwise 3x3 +
+/// pointwise 1x1), the efficient-architecture family the paper highlights
+/// as ideally suited to group residual learning (Sec. 3.5). Depthwise
+/// layers cost O(r); pointwise layers O(r^2).
+Result<std::unique_ptr<Sequential>> MakeMobileNetSmall(
+    const CnnConfig& config);
+
+/// Scaled channel count helper (width multiplier, min 1 channel).
+int64_t ScaledWidth(int64_t width, double mult);
+
+/// Norm-layer factory shared by the model builders and baselines.
+std::unique_ptr<Module> MakeNorm(NormKind kind, int64_t channels,
+                                 int64_t groups,
+                                 const std::vector<double>& multi_bn_rates,
+                                 const std::string& name);
+
+}  // namespace ms
+
+#endif  // MODELSLICING_MODELS_CNN_H_

@@ -1,0 +1,54 @@
+#include "src/models/mlp.h"
+
+#include "src/nn/activations.h"
+#include "src/nn/dense.h"
+#include "src/nn/norm.h"
+#include "src/util/rng.h"
+
+namespace ms {
+
+Result<std::unique_ptr<Sequential>> MakeMlp(const MlpConfig& config) {
+  if (config.in_features < 1 || config.num_classes < 2) {
+    return Status::InvalidArgument("bad MLP dimensions");
+  }
+  if (config.hidden.empty()) {
+    return Status::InvalidArgument("MLP needs at least one hidden layer");
+  }
+  for (int64_t h : config.hidden) {
+    if (h < 1) return Status::InvalidArgument("bad hidden width");
+  }
+  Rng rng(config.seed);
+  auto net = std::make_unique<Sequential>("mlp");
+  int64_t in = config.in_features;
+  for (size_t i = 0; i < config.hidden.size(); ++i) {
+    DenseOptions d;
+    d.in_features = in;
+    d.out_features = config.hidden[i];
+    d.groups = config.slice_groups;
+    d.slice_in = i > 0;  // Network input stays full.
+    d.slice_out = true;
+    d.bias = !config.group_norm;
+    d.rescale = config.rescale && i > 0 && !config.group_norm;
+    net->Emplace<Dense>(d, &rng, "fc" + std::to_string(i));
+    if (config.group_norm) {
+      NormOptions n;
+      n.channels = config.hidden[i];
+      n.groups = config.slice_groups;
+      net->Emplace<GroupNorm>(n, "gn" + std::to_string(i));
+    }
+    net->Emplace<ReLU>();
+    in = config.hidden[i];
+  }
+  DenseOptions d;
+  d.in_features = in;
+  d.out_features = config.num_classes;
+  d.groups = config.slice_groups;
+  d.slice_in = true;
+  d.slice_out = false;
+  d.bias = true;
+  d.rescale = config.rescale;
+  net->Emplace<Dense>(d, &rng, "classifier");
+  return net;
+}
+
+}  // namespace ms

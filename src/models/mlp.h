@@ -1,0 +1,30 @@
+// Small fully-connected classifier; the quickstart model and the testbed
+// for dense-layer slicing semantics.
+#ifndef MODELSLICING_MODELS_MLP_H_
+#define MODELSLICING_MODELS_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/util/status.h"
+
+namespace ms {
+
+struct MlpConfig {
+  int64_t in_features = 0;
+  std::vector<int64_t> hidden = {64, 64};
+  int64_t num_classes = 0;
+  int64_t slice_groups = 8;
+  bool rescale = true;   ///< output rescaling on sliced dense layers.
+  bool group_norm = false;  ///< insert GroupNorm after each hidden layer.
+  uint64_t seed = 1;
+};
+
+/// Input and output layers stay full-width; hidden layers are sliced
+/// (paper Sec. 5.1.1).
+Result<std::unique_ptr<Sequential>> MakeMlp(const MlpConfig& config);
+
+}  // namespace ms
+
+#endif  // MODELSLICING_MODELS_MLP_H_

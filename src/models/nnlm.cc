@@ -1,0 +1,113 @@
+#include "src/models/nnlm.h"
+
+namespace ms {
+
+Result<std::unique_ptr<Nnlm>> Nnlm::Make(const NnlmConfig& config) {
+  if (config.vocab_size < 2) {
+    return Status::InvalidArgument("vocab too small");
+  }
+  if (config.embed_dim < 1 || config.hidden < 1 || config.num_layers < 1) {
+    return Status::InvalidArgument("bad NNLM dimensions");
+  }
+  if (config.dropout < 0.0 || config.dropout >= 1.0) {
+    return Status::InvalidArgument("dropout must be in [0, 1)");
+  }
+  return std::unique_ptr<Nnlm>(new Nnlm(config));
+}
+
+Nnlm::Nnlm(const NnlmConfig& config) : config_(config), rng_(config.seed) {
+  EmbeddingOptions eopts;
+  eopts.vocab_size = config_.vocab_size;
+  eopts.dim = config_.embed_dim;
+  eopts.slice_out = false;  // Input layer stays full (Sec. 5.1.1).
+  embed_ = std::make_unique<Embedding>(eopts, &rng_);
+
+  int64_t in = config_.embed_dim;
+  for (int64_t l = 0; l < config_.num_layers; ++l) {
+    LstmOptions lopts;
+    lopts.input_size = in;
+    lopts.hidden_size = config_.hidden;
+    lopts.groups = config_.slice_groups;
+    lopts.slice_in = l > 0;  // First LSTM reads the unsliced embedding.
+    lopts.slice_out = true;
+    lopts.rescale = config_.rescale;
+    lstms_.push_back(std::make_unique<Lstm>(lopts, &rng_,
+                                            "lstm" + std::to_string(l)));
+    in = config_.hidden;
+  }
+  // Dropout after the embedding and after each LSTM layer (Sec. 5.2.2).
+  for (int64_t l = 0; l <= config_.num_layers; ++l) {
+    dropouts_.push_back(std::make_unique<Dropout>(config_.dropout, &rng_));
+  }
+
+  DenseOptions dopts;
+  dopts.in_features = config_.hidden;
+  dopts.out_features = config_.vocab_size;
+  dopts.groups = config_.slice_groups;
+  dopts.slice_in = true;
+  dopts.slice_out = false;  // Softmax over the full vocabulary.
+  dopts.bias = true;
+  dopts.rescale = config_.rescale;  // "with output rescaling" (Sec. 5.2.2).
+  output_ = std::make_unique<Dense>(dopts, &rng_, "decoder");
+}
+
+void Nnlm::SetSliceRate(double r) {
+  embed_->SetSliceRate(r);
+  for (auto& l : lstms_) l->SetSliceRate(r);
+  output_->SetSliceRate(r);
+}
+
+Tensor Nnlm::Forward(const std::vector<int>& tokens, int64_t t_steps,
+                     int64_t batch, bool training) {
+  MS_CHECK(static_cast<int64_t>(tokens.size()) == t_steps * batch);
+  cached_t_ = t_steps;
+  cached_b_ = batch;
+
+  Tensor h = embed_->Forward(tokens);  // (T*B, E)
+  h = dropouts_[0]->Forward(h, training);
+  h.Reshape({t_steps, batch, h.dim(1)});
+  for (size_t l = 0; l < lstms_.size(); ++l) {
+    h = lstms_[l]->Forward(h, training);
+    const auto shape = h.shape();
+    h.Reshape({t_steps * batch, shape[2]});
+    h = dropouts_[l + 1]->Forward(h, training);
+    if (l + 1 < lstms_.size()) h.Reshape({t_steps, batch, shape[2]});
+  }
+  return output_->Forward(h, training);  // (T*B, vocab)
+}
+
+void Nnlm::Backward(const Tensor& grad_logits) {
+  Tensor g = output_->Backward(grad_logits);  // (T*B, H)
+  for (size_t l = lstms_.size(); l-- > 0;) {
+    g = dropouts_[l + 1]->Backward(g);
+    g.Reshape({cached_t_, cached_b_, g.size() / (cached_t_ * cached_b_)});
+    g = lstms_[l]->Backward(g);
+    g.Reshape({cached_t_ * cached_b_, g.dim(2)});
+  }
+  g = dropouts_[0]->Backward(g);
+  embed_->Backward(g);
+}
+
+std::vector<ParamRef> Nnlm::Params() {
+  std::vector<ParamRef> params;
+  embed_->CollectParams(&params);
+  for (auto& l : lstms_) l->CollectParams(&params);
+  output_->CollectParams(&params);
+  return params;
+}
+
+int64_t Nnlm::FlopsPerToken() const {
+  int64_t flops = 0;
+  for (const auto& l : lstms_) flops += l->FlopsPerSample();
+  flops += output_->FlopsPerSample();
+  return flops;
+}
+
+int64_t Nnlm::ActiveParams() const {
+  int64_t p = 0;
+  for (const auto& l : lstms_) p += l->ActiveParams();
+  p += output_->ActiveParams();
+  return p;
+}
+
+}  // namespace ms

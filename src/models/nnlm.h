@@ -1,0 +1,70 @@
+// Neural network language model (paper Sec. 5.2): embedding, two LSTM
+// layers and an output projection, with dropout between layers. Model
+// slicing applies to the recurrent layers and the output dense layer (with
+// output rescaling); the embedding and softmax vocabulary stay full.
+#ifndef MODELSLICING_MODELS_NNLM_H_
+#define MODELSLICING_MODELS_NNLM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/dense.h"
+#include "src/nn/dropout.h"
+#include "src/nn/embedding.h"
+#include "src/nn/lstm.h"
+#include "src/util/status.h"
+
+namespace ms {
+
+struct NnlmConfig {
+  int64_t vocab_size = 0;
+  int64_t embed_dim = 64;
+  int64_t hidden = 64;
+  int64_t num_layers = 2;
+  int64_t slice_groups = 8;
+  double dropout = 0.2;
+  /// Output rescaling on the sliced recurrent and decoder layers
+  /// (Sec. 5.2.2). Disable to ablate its effect on subnet stability.
+  bool rescale = true;
+  uint64_t seed = 1;
+};
+
+class Nnlm {
+ public:
+  static Result<std::unique_ptr<Nnlm>> Make(const NnlmConfig& config);
+
+  void SetSliceRate(double r);
+
+  /// tokens: length T*B time-major ((t, b) -> t*B + b). Returns logits
+  /// (T*B, vocab).
+  Tensor Forward(const std::vector<int>& tokens, int64_t t_steps,
+                 int64_t batch, bool training);
+
+  /// grad_logits: (T*B, vocab) from the sequence loss.
+  void Backward(const Tensor& grad_logits);
+
+  std::vector<ParamRef> Params();
+
+  /// Multiply-accumulates per token at the current slice rate.
+  int64_t FlopsPerToken() const;
+  int64_t ActiveParams() const;
+
+  const NnlmConfig& config() const { return config_; }
+
+ private:
+  explicit Nnlm(const NnlmConfig& config);
+
+  NnlmConfig config_;
+  Rng rng_;
+  std::unique_ptr<Embedding> embed_;
+  std::vector<std::unique_ptr<Lstm>> lstms_;
+  std::vector<std::unique_ptr<Dropout>> dropouts_;  ///< one per LSTM + embed.
+  std::unique_ptr<Dense> output_;
+
+  int64_t cached_t_ = 0;
+  int64_t cached_b_ = 0;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_MODELS_NNLM_H_

@@ -1,0 +1,92 @@
+#include "src/models/zoo.h"
+
+namespace ms {
+
+Result<ZooEntry> GetZooModel(const std::string& name) {
+  ZooEntry entry;
+  entry.name = name;
+  CnnConfig& c = entry.config;
+  c.in_channels = 3;
+  c.num_classes = 10;
+  c.slice_groups = 8;
+  c.norm = NormKind::kGroup;
+  c.seed = 17;
+
+  if (name == "vgg13") {
+    // Plain conv3x3 stack of medium width (Table 3 left, VGG-13).
+    c.base_width = 16;
+    c.stages = 3;
+    c.blocks_per_stage = 2;
+    entry.is_resnet = false;
+    entry.dataset = "cifar";
+    return entry;
+  }
+  if (name == "resnet164") {
+    // Deep and narrow bottleneck ResNet: 16-channel first stage in the
+    // paper; narrow enough that small slice rates starve the base subnet.
+    c.base_width = 4;  // bottleneck expansion 4 -> stage widths 16/32/64.
+    c.stages = 3;
+    c.blocks_per_stage = 3;
+    entry.is_resnet = true;
+    entry.dataset = "cifar";
+    return entry;
+  }
+  if (name == "resnet56-2") {
+    // The widened variant (widening factor 2) that slices gracefully.
+    c.base_width = 4;
+    c.width_mult = 2.0;
+    c.stages = 3;
+    c.blocks_per_stage = 2;
+    entry.is_resnet = true;
+    entry.dataset = "cifar";
+    return entry;
+  }
+  if (name == "vgg16") {
+    c.base_width = 24;
+    c.stages = 3;
+    c.blocks_per_stage = 3;
+    entry.is_resnet = false;
+    entry.dataset = "imagenet";
+    return entry;
+  }
+  if (name == "resnet50") {
+    c.base_width = 8;
+    c.stages = 3;
+    c.blocks_per_stage = 3;
+    entry.is_resnet = true;
+    entry.dataset = "imagenet";
+    return entry;
+  }
+  return Status::NotFound("unknown zoo model: " + name);
+}
+
+std::vector<std::string> ListZooModels() {
+  return {"vgg13", "resnet164", "resnet56-2", "vgg16", "resnet50"};
+}
+
+SyntheticImageOptions ZooDatasetOptions(const std::string& dataset) {
+  SyntheticImageOptions opts;
+  if (dataset == "imagenet") {
+    opts.num_classes = 10;
+    opts.modes_per_class = 4;
+    opts.height = 16;
+    opts.width = 16;
+    opts.train_size = 3000;
+    opts.test_size = 600;
+    opts.noise = 0.7;
+    opts.seed = 23;
+  } else {
+    // "cifar" analogue.
+    opts.num_classes = 10;
+    opts.modes_per_class = 3;
+    opts.height = 12;
+    opts.width = 12;
+    opts.train_size = 2000;
+    opts.test_size = 500;
+    opts.noise = 0.6;
+    opts.seed = 7;
+  }
+  return opts;
+}
+
+}  // namespace ms

@@ -1,0 +1,35 @@
+// Named model configurations mirroring the paper's Table 3 at laptop scale
+// (see DESIGN.md for the scaling substitution). The names keep the paper's
+// identities so benches print recognizable rows.
+#ifndef MODELSLICING_MODELS_ZOO_H_
+#define MODELSLICING_MODELS_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/synthetic_images.h"
+#include "src/models/cnn.h"
+
+namespace ms {
+
+struct ZooEntry {
+  std::string name;
+  CnnConfig config;
+  bool is_resnet = false;
+  /// The dataset this configuration is evaluated on ("cifar" analogue:
+  /// 12x12, 10-class; "imagenet" analogue: 16x16, 10-class, more modes).
+  std::string dataset;
+};
+
+/// Known names: "vgg13", "resnet164", "resnet56-2" (CIFAR analogues);
+/// "vgg16", "resnet50" (ImageNet analogues).
+Result<ZooEntry> GetZooModel(const std::string& name);
+
+std::vector<std::string> ListZooModels();
+
+/// Dataset options matching a zoo entry's `dataset` field.
+SyntheticImageOptions ZooDatasetOptions(const std::string& dataset);
+
+}  // namespace ms
+
+#endif  // MODELSLICING_MODELS_ZOO_H_

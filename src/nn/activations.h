@@ -1,0 +1,71 @@
+// Stateless activation layers (shape-agnostic; pass compact slices through).
+#ifndef MODELSLICING_NN_ACTIVATIONS_H_
+#define MODELSLICING_NN_ACTIVATIONS_H_
+
+#include <cmath>
+
+#include "src/nn/module.h"
+
+namespace ms {
+
+/// \brief max(0, x); caches the activation mask for backward.
+class ReLU : public Module {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override {
+    (void)training;
+    mask_.assign(static_cast<size_t>(x.size()), 0);
+    Tensor y = x;
+    for (int64_t i = 0; i < y.size(); ++i) {
+      if (y[i] > 0.0f) {
+        mask_[static_cast<size_t>(i)] = 1;
+      } else {
+        y[i] = 0.0f;
+      }
+    }
+    return y;
+  }
+
+  Tensor Backward(const Tensor& grad_out) override {
+    MS_CHECK(grad_out.size() == static_cast<int64_t>(mask_.size()));
+    Tensor g = grad_out;
+    for (int64_t i = 0; i < g.size(); ++i) {
+      if (!mask_[static_cast<size_t>(i)]) g[i] = 0.0f;
+    }
+    return g;
+  }
+
+  std::string name() const override { return "relu"; }
+
+ private:
+  std::vector<uint8_t> mask_;
+};
+
+/// \brief tanh(x); backward uses 1 - tanh^2 from the cached output.
+class Tanh : public Module {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override {
+    (void)training;
+    Tensor y = x;
+    for (int64_t i = 0; i < y.size(); ++i) y[i] = std::tanh(y[i]);
+    cached_y_ = y;
+    return y;
+  }
+
+  Tensor Backward(const Tensor& grad_out) override {
+    Tensor g = grad_out;
+    for (int64_t i = 0; i < g.size(); ++i) {
+      const float t = cached_y_[i];
+      g[i] *= 1.0f - t * t;
+    }
+    return g;
+  }
+
+  std::string name() const override { return "tanh"; }
+
+ private:
+  Tensor cached_y_;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_NN_ACTIVATIONS_H_

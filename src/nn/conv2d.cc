@@ -1,0 +1,141 @@
+#include "src/nn/conv2d.h"
+
+#include <cmath>
+
+namespace ms {
+
+Conv2d::Conv2d(Conv2dOptions opts, Rng* rng, std::string name)
+    : opts_(opts), name_(std::move(name)) {
+  MS_CHECK(opts_.in_channels >= 1 && opts_.out_channels >= 1);
+  MS_CHECK(opts_.kernel >= 1 && opts_.stride >= 1 && opts_.pad >= 0);
+  in_spec_ = SliceSpec(opts_.in_channels,
+                       std::min<int64_t>(opts_.groups, opts_.in_channels));
+  out_spec_ = SliceSpec(opts_.out_channels,
+                        std::min<int64_t>(opts_.groups, opts_.out_channels));
+  active_in_ = opts_.in_channels;
+  active_out_ = opts_.out_channels;
+
+  const int64_t fan_in = opts_.in_channels * opts_.kernel * opts_.kernel;
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  w_ = Tensor::Randn({opts_.out_channels, fan_in}, rng, stddev);
+  w_grad_ = Tensor::Zeros({opts_.out_channels, fan_in});
+  if (opts_.bias) {
+    b_ = Tensor::Zeros({opts_.out_channels});
+    b_grad_ = Tensor::Zeros({opts_.out_channels});
+  }
+}
+
+void Conv2d::SetSliceRate(double r) {
+  active_in_ =
+      opts_.slice_in ? in_spec_.ActiveWidth(r) : in_spec_.full_width();
+  active_out_ =
+      opts_.slice_out ? out_spec_.ActiveWidth(r) : out_spec_.full_width();
+}
+
+Tensor Conv2d::Forward(const Tensor& x, bool training) {
+  (void)training;
+  MS_CHECK(x.ndim() == 4);
+  const int64_t batch = x.dim(0);
+  MS_CHECK_MSG(x.dim(1) == active_in_, "Conv2d input channels != active_in");
+  const int64_t h = x.dim(2);
+  const int64_t w = x.dim(3);
+  const int64_t k = opts_.kernel;
+  const int64_t oh = (h + 2 * opts_.pad - k) / opts_.stride + 1;
+  const int64_t ow = (w + 2 * opts_.pad - k) / opts_.stride + 1;
+  MS_CHECK(oh >= 1 && ow >= 1);
+
+  cached_x_ = x;
+  cached_h_ = h;
+  cached_w_ = w;
+  last_oh_ = oh;
+  last_ow_ = ow;
+
+  const int64_t m = active_in_;
+  const int64_t n = active_out_;
+  const int64_t col_rows = m * k * k;
+  const int64_t out_area = oh * ow;
+
+  Tensor y({batch, n, oh, ow});
+  Tensor cols({col_rows, out_area});
+  for (int64_t img = 0; img < batch; ++img) {
+    ops::Im2Col(x.data() + img * m * h * w, m, h, w, k, opts_.stride,
+                opts_.pad, cols.data());
+    // y_img(n, out_area) = W[0:n, 0:m*k*k] * cols. Full row stride keeps the
+    // inactive input-channel columns out of the product.
+    ops::Gemm(false, false, n, out_area, col_rows, 1.0f, w_.data(),
+              opts_.in_channels * k * k, cols.data(), out_area, 0.0f,
+              y.data() + img * n * out_area, out_area);
+    if (opts_.bias) {
+      float* yi = y.data() + img * n * out_area;
+      for (int64_t c = 0; c < n; ++c) {
+        const float bv = b_[c];
+        float* plane = yi + c * out_area;
+        for (int64_t p = 0; p < out_area; ++p) plane[p] += bv;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_out) {
+  const int64_t batch = cached_x_.dim(0);
+  const int64_t m = active_in_;
+  const int64_t n = active_out_;
+  const int64_t h = cached_h_;
+  const int64_t w = cached_w_;
+  const int64_t k = opts_.kernel;
+  const int64_t oh = last_oh_;
+  const int64_t ow = last_ow_;
+  const int64_t out_area = oh * ow;
+  const int64_t col_rows = m * k * k;
+  MS_CHECK(grad_out.ndim() == 4 && grad_out.dim(0) == batch &&
+           grad_out.dim(1) == n && grad_out.dim(2) == oh &&
+           grad_out.dim(3) == ow);
+
+  Tensor grad_in({batch, m, h, w});
+  Tensor cols({col_rows, out_area});
+  Tensor grad_cols({col_rows, out_area});
+  for (int64_t img = 0; img < batch; ++img) {
+    const float* g = grad_out.data() + img * n * out_area;
+    // dW[0:n, 0:col_rows] += g(n, out_area) * cols^T(out_area, col_rows)
+    ops::Im2Col(cached_x_.data() + img * m * h * w, m, h, w, k, opts_.stride,
+                opts_.pad, cols.data());
+    ops::Gemm(false, true, n, col_rows, out_area, 1.0f, g, out_area,
+              cols.data(), out_area, 1.0f, w_grad_.data(),
+              opts_.in_channels * k * k);
+    // dcols = W^T(col_rows, n) * g(n, out_area)
+    ops::Gemm(true, false, col_rows, out_area, n, 1.0f, w_.data(),
+              opts_.in_channels * k * k, g, out_area, 0.0f, grad_cols.data(),
+              out_area);
+    ops::Col2Im(grad_cols.data(), m, h, w, k, opts_.stride, opts_.pad,
+                grad_in.data() + img * m * h * w);
+    if (opts_.bias) {
+      for (int64_t c = 0; c < n; ++c) {
+        const float* plane = g + c * out_area;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < out_area; ++p) acc += plane[p];
+        b_grad_[c] += acc;
+      }
+    }
+  }
+  return grad_in;
+}
+
+void Conv2d::CollectParams(std::vector<ParamRef>* out) {
+  out->push_back({name_ + ".w", &w_, &w_grad_, /*no_decay=*/false});
+  if (opts_.bias) {
+    out->push_back({name_ + ".b", &b_, &b_grad_, /*no_decay=*/true});
+  }
+}
+
+int64_t Conv2d::FlopsPerSample() const {
+  const int64_t out_area = (last_oh_ > 0) ? last_oh_ * last_ow_ : 1;
+  return active_in_ * active_out_ * opts_.kernel * opts_.kernel * out_area;
+}
+
+int64_t Conv2d::ActiveParams() const {
+  return active_in_ * active_out_ * opts_.kernel * opts_.kernel +
+         (opts_.bias ? active_out_ : 0);
+}
+
+}  // namespace ms

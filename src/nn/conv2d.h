@@ -1,0 +1,77 @@
+// 2-D convolution with model slicing over channels (paper Sec. 3.2, Eq. 4).
+#ifndef MODELSLICING_NN_CONV2D_H_
+#define MODELSLICING_NN_CONV2D_H_
+
+#include <string>
+
+#include "src/nn/module.h"
+#include "src/nn/slice_spec.h"
+#include "src/tensor/tensor_ops.h"
+#include "src/util/rng.h"
+
+namespace ms {
+
+struct Conv2dOptions {
+  int64_t in_channels = 0;
+  int64_t out_channels = 0;
+  int64_t kernel = 3;
+  int64_t stride = 1;
+  int64_t pad = 1;
+  int64_t groups = 1;     ///< G slicing groups (not conv groups).
+  bool slice_in = true;
+  bool slice_out = true;
+  bool bias = false;      ///< Usually false: a norm layer follows.
+};
+
+/// \brief Channel-sliced convolution.
+///
+/// Weight layout is (N, M, k, k) flattened row-major, so the first
+/// m_active*k*k entries of each filter row correspond exactly to the first
+/// m_active input channels — slicing both dimensions reduces to prefix GEMMs
+/// over im2col buffers.
+class Conv2d : public Module {
+ public:
+  Conv2d(Conv2dOptions opts, Rng* rng, std::string name = "conv");
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  void CollectParams(std::vector<ParamRef>* out) override;
+  void SetSliceRate(double r) override;
+  int64_t FlopsPerSample() const override;
+  int64_t ActiveParams() const override;
+  std::string name() const override { return name_; }
+
+  int64_t active_in() const { return active_in_; }
+  int64_t active_out() const { return active_out_; }
+  const Conv2dOptions& options() const { return opts_; }
+
+  /// Weight matrix (out_channels, in_channels * k * k); exposed for the
+  /// channel-pruning baseline which rebuilds compact networks.
+  const Tensor& weight() const { return w_; }
+  Tensor* mutable_weight() { return &w_; }
+  const Tensor& bias() const { return b_; }
+  Tensor* mutable_bias() { return &b_; }
+
+ private:
+  Conv2dOptions opts_;
+  std::string name_;
+  SliceSpec in_spec_;
+  SliceSpec out_spec_;
+  int64_t active_in_ = 0;
+  int64_t active_out_ = 0;
+
+  Tensor w_;       ///< (out_channels, in_channels * k * k)
+  Tensor b_;
+  Tensor w_grad_;
+  Tensor b_grad_;
+
+  Tensor cached_x_;       ///< compact input (B, m, H, W)
+  int64_t cached_h_ = 0;
+  int64_t cached_w_ = 0;
+  int64_t last_oh_ = 0;   ///< spatial dims of last output, for FLOPs.
+  int64_t last_ow_ = 0;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_NN_CONV2D_H_

@@ -1,0 +1,109 @@
+#include "src/nn/dense.h"
+
+#include <cmath>
+
+#include "src/tensor/tensor_ops.h"
+
+namespace ms {
+
+Dense::Dense(DenseOptions opts, Rng* rng, std::string name)
+    : opts_(opts), name_(std::move(name)) {
+  MS_CHECK(opts_.in_features >= 1 && opts_.out_features >= 1);
+  MS_CHECK(opts_.in_unit >= 1);
+  MS_CHECK_MSG(opts_.in_features % opts_.in_unit == 0,
+               "in_features must be a multiple of in_unit");
+  const int64_t in_units = opts_.in_features / opts_.in_unit;
+  in_spec_ = SliceSpec(in_units, std::min<int64_t>(opts_.groups, in_units));
+  out_spec_ = SliceSpec(opts_.out_features,
+                        std::min<int64_t>(opts_.groups, opts_.out_features));
+  active_in_units_ = in_units;
+  active_out_ = opts_.out_features;
+
+  // Kaiming-uniform fan-in init, matching common practice for ReLU nets.
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(opts_.in_features));
+  w_ = Tensor::RandUniform({opts_.out_features, opts_.in_features}, rng,
+                           -bound, bound);
+  w_grad_ = Tensor::Zeros({opts_.out_features, opts_.in_features});
+  if (opts_.bias) {
+    b_ = Tensor::Zeros({opts_.out_features});
+    b_grad_ = Tensor::Zeros({opts_.out_features});
+  }
+}
+
+void Dense::SetSliceRate(double r) {
+  active_in_units_ =
+      opts_.slice_in ? in_spec_.ActiveWidth(r) : in_spec_.full_width();
+  active_out_ =
+      opts_.slice_out ? out_spec_.ActiveWidth(r) : out_spec_.full_width();
+  rescale_factor_ =
+      opts_.rescale
+          ? static_cast<float>(in_spec_.full_width()) /
+                static_cast<float>(active_in_units_)
+          : 1.0f;
+}
+
+Tensor Dense::Forward(const Tensor& x, bool training) {
+  (void)training;
+  const int64_t m = active_in();
+  const int64_t n = active_out_;
+  MS_CHECK(x.ndim() == 2);
+  MS_CHECK_MSG(x.dim(1) == m, "Dense input width != active_in");
+  const int64_t batch = x.dim(0);
+  cached_x_ = x;
+
+  Tensor y({batch, n});
+  // y(B,n) = x(B,m) * W[0:n, 0:m]^T
+  ops::Gemm(/*trans_a=*/false, /*trans_b=*/true, batch, n, m, rescale_factor_,
+            x.data(), m, w_.data(), opts_.in_features, 0.0f, y.data(), n);
+  if (opts_.bias) {
+    for (int64_t i = 0; i < batch; ++i) {
+      float* row = y.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) row[j] += b_[j];
+    }
+  }
+  return y;
+}
+
+Tensor Dense::Backward(const Tensor& grad_out) {
+  const int64_t m = active_in();
+  const int64_t n = active_out_;
+  MS_CHECK(grad_out.ndim() == 2 && grad_out.dim(1) == n);
+  const int64_t batch = grad_out.dim(0);
+  MS_CHECK(cached_x_.dim(0) == batch);
+
+  // dW[0:n, 0:m] += g^T(n,B) * x(B,m), scaled by the rescale factor.
+  ops::Gemm(/*trans_a=*/true, /*trans_b=*/false, n, m, batch,
+            rescale_factor_, grad_out.data(), n, cached_x_.data(), m, 1.0f,
+            w_grad_.data(), opts_.in_features);
+  if (opts_.bias) {
+    for (int64_t i = 0; i < batch; ++i) {
+      const float* row = grad_out.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) b_grad_[j] += row[j];
+    }
+  }
+
+  // dx(B,m) = g(B,n) * W[0:n, 0:m]
+  Tensor grad_in({batch, m});
+  ops::Gemm(/*trans_a=*/false, /*trans_b=*/false, batch, m, n,
+            rescale_factor_, grad_out.data(), n, w_.data(),
+            opts_.in_features, 0.0f, grad_in.data(), m);
+  return grad_in;
+}
+
+void Dense::CollectParams(std::vector<ParamRef>* out) {
+  out->push_back({name_ + ".w", &w_, &w_grad_, /*no_decay=*/false});
+  if (opts_.bias) {
+    out->push_back({name_ + ".b", &b_, &b_grad_, /*no_decay=*/true});
+  }
+}
+
+int64_t Dense::FlopsPerSample() const {
+  return active_in() * active_out_;
+}
+
+int64_t Dense::ActiveParams() const {
+  return active_in() * active_out_ + (opts_.bias ? active_out_ : 0);
+}
+
+}  // namespace ms

@@ -1,0 +1,126 @@
+#include "src/nn/depthwise_conv.h"
+
+#include <cmath>
+
+namespace ms {
+
+DepthwiseConv2d::DepthwiseConv2d(DepthwiseConv2dOptions opts, Rng* rng,
+                                 std::string name)
+    : opts_(opts), name_(std::move(name)) {
+  MS_CHECK(opts_.channels >= 1 && opts_.kernel >= 1);
+  MS_CHECK(opts_.stride >= 1 && opts_.pad >= 0);
+  spec_ = SliceSpec(opts_.channels,
+                    std::min<int64_t>(opts_.groups, opts_.channels));
+  active_channels_ = opts_.channels;
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(opts_.kernel * opts_.kernel));
+  w_ = Tensor::Randn({opts_.channels, opts_.kernel * opts_.kernel}, rng,
+                     stddev);
+  w_grad_ = Tensor::Zeros(w_.shape());
+}
+
+void DepthwiseConv2d::SetSliceRate(double r) {
+  if (!opts_.slice) return;
+  active_channels_ = spec_.ActiveWidth(r);
+}
+
+Tensor DepthwiseConv2d::Forward(const Tensor& x, bool training) {
+  (void)training;
+  MS_CHECK(x.ndim() == 4);
+  MS_CHECK_MSG(x.dim(1) == active_channels_,
+               "DepthwiseConv2d channels != active prefix");
+  const int64_t batch = x.dim(0);
+  const int64_t h = x.dim(2);
+  const int64_t w = x.dim(3);
+  const int64_t k = opts_.kernel;
+  const int64_t oh = (h + 2 * opts_.pad - k) / opts_.stride + 1;
+  const int64_t ow = (w + 2 * opts_.pad - k) / opts_.stride + 1;
+  MS_CHECK(oh >= 1 && ow >= 1);
+  cached_x_ = x;
+  cached_h_ = h;
+  cached_w_ = w;
+  last_oh_ = oh;
+  last_ow_ = ow;
+
+  Tensor y({batch, active_channels_, oh, ow});
+  for (int64_t img = 0; img < batch; ++img) {
+    for (int64_t c = 0; c < active_channels_; ++c) {
+      const float* xc = x.data() + (img * active_channels_ + c) * h * w;
+      const float* wc = w_.data() + c * k * k;
+      float* yc = y.data() + (img * active_channels_ + c) * oh * ow;
+      for (int64_t oi = 0; oi < oh; ++oi) {
+        for (int64_t oj = 0; oj < ow; ++oj) {
+          float acc = 0.0f;
+          for (int64_t ki = 0; ki < k; ++ki) {
+            const int64_t ii = oi * opts_.stride - opts_.pad + ki;
+            if (ii < 0 || ii >= h) continue;
+            for (int64_t kj = 0; kj < k; ++kj) {
+              const int64_t jj = oj * opts_.stride - opts_.pad + kj;
+              if (jj < 0 || jj >= w) continue;
+              acc += xc[ii * w + jj] * wc[ki * k + kj];
+            }
+          }
+          yc[oi * ow + oj] = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor DepthwiseConv2d::Backward(const Tensor& grad_out) {
+  const int64_t batch = cached_x_.dim(0);
+  const int64_t h = cached_h_;
+  const int64_t w = cached_w_;
+  const int64_t k = opts_.kernel;
+  const int64_t oh = last_oh_;
+  const int64_t ow = last_ow_;
+  MS_CHECK(grad_out.ndim() == 4 && grad_out.dim(1) == active_channels_ &&
+           grad_out.dim(2) == oh && grad_out.dim(3) == ow);
+
+  Tensor grad_in({batch, active_channels_, h, w});
+  grad_in.Zero();
+  for (int64_t img = 0; img < batch; ++img) {
+    for (int64_t c = 0; c < active_channels_; ++c) {
+      const float* xc =
+          cached_x_.data() + (img * active_channels_ + c) * h * w;
+      const float* gc =
+          grad_out.data() + (img * active_channels_ + c) * oh * ow;
+      const float* wc = w_.data() + c * k * k;
+      float* wg = w_grad_.data() + c * k * k;
+      float* gi = grad_in.data() + (img * active_channels_ + c) * h * w;
+      for (int64_t oi = 0; oi < oh; ++oi) {
+        for (int64_t oj = 0; oj < ow; ++oj) {
+          const float g = gc[oi * ow + oj];
+          if (g == 0.0f) continue;
+          for (int64_t ki = 0; ki < k; ++ki) {
+            const int64_t ii = oi * opts_.stride - opts_.pad + ki;
+            if (ii < 0 || ii >= h) continue;
+            for (int64_t kj = 0; kj < k; ++kj) {
+              const int64_t jj = oj * opts_.stride - opts_.pad + kj;
+              if (jj < 0 || jj >= w) continue;
+              wg[ki * k + kj] += g * xc[ii * w + jj];
+              gi[ii * w + jj] += g * wc[ki * k + kj];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+void DepthwiseConv2d::CollectParams(std::vector<ParamRef>* out) {
+  out->push_back({name_ + ".w", &w_, &w_grad_, /*no_decay=*/false});
+}
+
+int64_t DepthwiseConv2d::FlopsPerSample() const {
+  const int64_t out_area = (last_oh_ > 0) ? last_oh_ * last_ow_ : 1;
+  return active_channels_ * opts_.kernel * opts_.kernel * out_area;
+}
+
+int64_t DepthwiseConv2d::ActiveParams() const {
+  return active_channels_ * opts_.kernel * opts_.kernel;
+}
+
+}  // namespace ms

@@ -1,0 +1,57 @@
+// Depthwise 2-D convolution with model slicing. The paper (Sec. 3.5) notes
+// that group residual learning is "ideally suited for networks with layer
+// transformation of multiple branches, e.g. group convolution [and]
+// depth-wise convolution": each channel's filter touches only that channel,
+// so slicing the channel prefix slices filters one-for-one and the cost
+// scales *linearly* (not quadratically) with the slice rate.
+#ifndef MODELSLICING_NN_DEPTHWISE_CONV_H_
+#define MODELSLICING_NN_DEPTHWISE_CONV_H_
+
+#include <string>
+
+#include "src/nn/module.h"
+#include "src/nn/slice_spec.h"
+#include "src/util/rng.h"
+
+namespace ms {
+
+struct DepthwiseConv2dOptions {
+  int64_t channels = 0;
+  int64_t kernel = 3;
+  int64_t stride = 1;
+  int64_t pad = 1;
+  int64_t groups = 1;   ///< slicing groups G.
+  bool slice = true;
+};
+
+class DepthwiseConv2d : public Module {
+ public:
+  DepthwiseConv2d(DepthwiseConv2dOptions opts, Rng* rng,
+                  std::string name = "dwconv");
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  void CollectParams(std::vector<ParamRef>* out) override;
+  void SetSliceRate(double r) override;
+  int64_t FlopsPerSample() const override;
+  int64_t ActiveParams() const override;
+  std::string name() const override { return name_; }
+
+  int64_t active_channels() const { return active_channels_; }
+
+ private:
+  DepthwiseConv2dOptions opts_;
+  std::string name_;
+  SliceSpec spec_;
+  int64_t active_channels_ = 0;
+
+  Tensor w_;       ///< (channels, k * k)
+  Tensor w_grad_;
+
+  Tensor cached_x_;
+  int64_t cached_h_ = 0, cached_w_ = 0, last_oh_ = 0, last_ow_ = 0;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_NN_DEPTHWISE_CONV_H_

@@ -1,0 +1,57 @@
+// Inverted dropout: scales kept units by 1/(1-p) at training time so
+// inference is a no-op.
+#ifndef MODELSLICING_NN_DROPOUT_H_
+#define MODELSLICING_NN_DROPOUT_H_
+
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+
+namespace ms {
+
+/// \brief Inverted dropout with keep-probability 1 - p.
+class Dropout : public Module {
+ public:
+  Dropout(double p, Rng* rng) : p_(p), rng_(rng) {
+    MS_CHECK(p >= 0.0 && p < 1.0);
+  }
+
+  Tensor Forward(const Tensor& x, bool training) override {
+    if (!training || p_ == 0.0) {
+      mask_.clear();
+      return x;
+    }
+    const float scale = static_cast<float>(1.0 / (1.0 - p_));
+    mask_.assign(static_cast<size_t>(x.size()), 0.0f);
+    Tensor y = x;
+    for (int64_t i = 0; i < y.size(); ++i) {
+      if (rng_->Bernoulli(1.0 - p_)) {
+        mask_[static_cast<size_t>(i)] = scale;
+        y[i] *= scale;
+      } else {
+        y[i] = 0.0f;
+      }
+    }
+    return y;
+  }
+
+  Tensor Backward(const Tensor& grad_out) override {
+    if (mask_.empty()) return grad_out;
+    MS_CHECK(grad_out.size() == static_cast<int64_t>(mask_.size()));
+    Tensor g = grad_out;
+    for (int64_t i = 0; i < g.size(); ++i) {
+      g[i] *= mask_[static_cast<size_t>(i)];
+    }
+    return g;
+  }
+
+  std::string name() const override { return "dropout"; }
+
+ private:
+  double p_;
+  Rng* rng_;
+  std::vector<float> mask_;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_NN_DROPOUT_H_

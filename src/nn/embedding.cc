@@ -1,0 +1,50 @@
+#include "src/nn/embedding.h"
+
+namespace ms {
+
+Embedding::Embedding(EmbeddingOptions opts, Rng* rng, std::string name)
+    : opts_(opts), name_(std::move(name)) {
+  MS_CHECK(opts_.vocab_size >= 1 && opts_.dim >= 1);
+  dim_spec_ = SliceSpec(opts_.dim, std::min<int64_t>(opts_.groups, opts_.dim));
+  active_dim_ = opts_.dim;
+  table_ = Tensor::RandUniform({opts_.vocab_size, opts_.dim}, rng, -0.1f,
+                               0.1f);
+  grad_ = Tensor::Zeros(table_.shape());
+}
+
+void Embedding::SetSliceRate(double r) {
+  active_dim_ =
+      opts_.slice_out ? dim_spec_.ActiveWidth(r) : dim_spec_.full_width();
+}
+
+Tensor Embedding::Forward(const std::vector<int>& tokens) {
+  cached_tokens_ = tokens;
+  const int64_t rows = static_cast<int64_t>(tokens.size());
+  Tensor out({rows, active_dim_});
+  for (int64_t r = 0; r < rows; ++r) {
+    const int tok = tokens[static_cast<size_t>(r)];
+    MS_CHECK(tok >= 0 && tok < opts_.vocab_size);
+    const float* src = table_.data() + tok * opts_.dim;
+    float* dst = out.data() + r * active_dim_;
+    std::copy(src, src + active_dim_, dst);
+  }
+  return out;
+}
+
+void Embedding::Backward(const Tensor& grad_out) {
+  const int64_t rows = static_cast<int64_t>(cached_tokens_.size());
+  MS_CHECK(grad_out.ndim() == 2 && grad_out.dim(0) == rows &&
+           grad_out.dim(1) == active_dim_);
+  for (int64_t r = 0; r < rows; ++r) {
+    const int tok = cached_tokens_[static_cast<size_t>(r)];
+    float* dst = grad_.data() + tok * opts_.dim;
+    const float* src = grad_out.data() + r * active_dim_;
+    for (int64_t d = 0; d < active_dim_; ++d) dst[d] += src[d];
+  }
+}
+
+void Embedding::CollectParams(std::vector<ParamRef>* out) {
+  out->push_back({name_ + ".table", &table_, &grad_, /*no_decay=*/false});
+}
+
+}  // namespace ms

@@ -1,0 +1,52 @@
+// Token embedding lookup table. Input and output layers are excluded from
+// slicing in the paper (Sec. 5.1.1); the embedding output dimension is
+// nevertheless sliceable so stacked LSTMs above it can shrink their fan-in.
+#ifndef MODELSLICING_NN_EMBEDDING_H_
+#define MODELSLICING_NN_EMBEDDING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/nn/slice_spec.h"
+#include "src/util/rng.h"
+
+namespace ms {
+
+struct EmbeddingOptions {
+  int64_t vocab_size = 0;
+  int64_t dim = 0;
+  int64_t groups = 1;
+  bool slice_out = false;  ///< Slice the embedding dimension.
+};
+
+class Embedding {
+ public:
+  Embedding(EmbeddingOptions opts, Rng* rng, std::string name = "embed");
+
+  /// tokens laid out (T, B) flattened; returns (T*B, active_dim).
+  Tensor Forward(const std::vector<int>& tokens);
+
+  /// Accumulates gradient rows for the tokens of the last Forward.
+  void Backward(const Tensor& grad_out);
+
+  void CollectParams(std::vector<ParamRef>* out);
+  void SetSliceRate(double r);
+
+  int64_t active_dim() const { return active_dim_; }
+  int64_t vocab_size() const { return opts_.vocab_size; }
+
+ private:
+  EmbeddingOptions opts_;
+  std::string name_;
+  SliceSpec dim_spec_;
+  int64_t active_dim_ = 0;
+
+  Tensor table_;  ///< (vocab, dim)
+  Tensor grad_;
+  std::vector<int> cached_tokens_;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_NN_EMBEDDING_H_

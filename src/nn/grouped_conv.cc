@@ -1,0 +1,127 @@
+#include "src/nn/grouped_conv.h"
+
+#include <cmath>
+
+#include "src/tensor/tensor_ops.h"
+
+namespace ms {
+
+GroupedConv2d::GroupedConv2d(GroupedConv2dOptions opts, Rng* rng,
+                             std::string name)
+    : opts_(opts), name_(std::move(name)) {
+  MS_CHECK(opts_.groups >= 1);
+  MS_CHECK_MSG(opts_.in_channels % opts_.groups == 0,
+               "in_channels must divide by groups");
+  MS_CHECK_MSG(opts_.out_channels % opts_.groups == 0,
+               "out_channels must divide by groups");
+  in_per_group_ = opts_.in_channels / opts_.groups;
+  out_per_group_ = opts_.out_channels / opts_.groups;
+  active_groups_ = opts_.groups;
+
+  const int64_t fan_in = in_per_group_ * opts_.kernel * opts_.kernel;
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  w_ = Tensor::Randn({opts_.groups, out_per_group_, fan_in}, rng, stddev);
+  w_grad_ = Tensor::Zeros(w_.shape());
+}
+
+void GroupedConv2d::SetSliceRate(double r) {
+  if (!opts_.slice) return;
+  SliceSpec spec(opts_.groups, opts_.groups);
+  active_groups_ = spec.ActiveWidth(r);
+}
+
+Tensor GroupedConv2d::Forward(const Tensor& x, bool training) {
+  (void)training;
+  MS_CHECK(x.ndim() == 4);
+  MS_CHECK_MSG(x.dim(1) == active_in(),
+               "GroupedConv2d channels != active prefix");
+  const int64_t batch = x.dim(0);
+  const int64_t h = x.dim(2);
+  const int64_t w = x.dim(3);
+  const int64_t k = opts_.kernel;
+  const int64_t oh = (h + 2 * opts_.pad - k) / opts_.stride + 1;
+  const int64_t ow = (w + 2 * opts_.pad - k) / opts_.stride + 1;
+  MS_CHECK(oh >= 1 && ow >= 1);
+  cached_x_ = x;
+  cached_h_ = h;
+  cached_w_ = w;
+  last_oh_ = oh;
+  last_ow_ = ow;
+
+  const int64_t out_area = oh * ow;
+  const int64_t col_rows = in_per_group_ * k * k;
+  Tensor y({batch, active_out(), oh, ow});
+  Tensor cols({col_rows, out_area});
+  for (int64_t img = 0; img < batch; ++img) {
+    for (int64_t g = 0; g < active_groups_; ++g) {
+      const float* xg =
+          x.data() + (img * active_in() + g * in_per_group_) * h * w;
+      ops::Im2Col(xg, in_per_group_, h, w, k, opts_.stride, opts_.pad,
+                  cols.data());
+      const float* wg = w_.data() + g * out_per_group_ * col_rows;
+      float* yg = y.data() +
+                  (img * active_out() + g * out_per_group_) * out_area;
+      ops::Gemm(false, false, out_per_group_, out_area, col_rows, 1.0f, wg,
+                col_rows, cols.data(), out_area, 0.0f, yg, out_area);
+    }
+  }
+  return y;
+}
+
+Tensor GroupedConv2d::Backward(const Tensor& grad_out) {
+  const int64_t batch = cached_x_.dim(0);
+  const int64_t h = cached_h_;
+  const int64_t w = cached_w_;
+  const int64_t k = opts_.kernel;
+  const int64_t oh = last_oh_;
+  const int64_t ow = last_ow_;
+  const int64_t out_area = oh * ow;
+  const int64_t col_rows = in_per_group_ * k * k;
+  MS_CHECK(grad_out.ndim() == 4 && grad_out.dim(1) == active_out() &&
+           grad_out.dim(2) == oh && grad_out.dim(3) == ow);
+
+  Tensor grad_in({batch, active_in(), h, w});
+  Tensor cols({col_rows, out_area});
+  Tensor grad_cols({col_rows, out_area});
+  for (int64_t img = 0; img < batch; ++img) {
+    for (int64_t g = 0; g < active_groups_; ++g) {
+      const float* xg = cached_x_.data() +
+                        (img * active_in() + g * in_per_group_) * h * w;
+      const float* gg = grad_out.data() +
+                        (img * active_out() + g * out_per_group_) * out_area;
+      float* wg_grad = w_grad_.data() + g * out_per_group_ * col_rows;
+      const float* wg = w_.data() + g * out_per_group_ * col_rows;
+
+      ops::Im2Col(xg, in_per_group_, h, w, k, opts_.stride, opts_.pad,
+                  cols.data());
+      // dW_g += g(out_pg, area) * cols^T(area, col_rows)
+      ops::Gemm(false, true, out_per_group_, col_rows, out_area, 1.0f, gg,
+                out_area, cols.data(), out_area, 1.0f, wg_grad, col_rows);
+      // dcols = W_g^T * g
+      ops::Gemm(true, false, col_rows, out_area, out_per_group_, 1.0f, wg,
+                col_rows, gg, out_area, 0.0f, grad_cols.data(), out_area);
+      ops::Col2Im(grad_cols.data(), in_per_group_, h, w, k, opts_.stride,
+                  opts_.pad,
+                  grad_in.data() +
+                      (img * active_in() + g * in_per_group_) * h * w);
+    }
+  }
+  return grad_in;
+}
+
+void GroupedConv2d::CollectParams(std::vector<ParamRef>* out) {
+  out->push_back({name_ + ".w", &w_, &w_grad_, /*no_decay=*/false});
+}
+
+int64_t GroupedConv2d::FlopsPerSample() const {
+  const int64_t out_area = (last_oh_ > 0) ? last_oh_ * last_ow_ : 1;
+  return active_groups_ * in_per_group_ * out_per_group_ * opts_.kernel *
+         opts_.kernel * out_area;
+}
+
+int64_t GroupedConv2d::ActiveParams() const {
+  return active_groups_ * in_per_group_ * out_per_group_ * opts_.kernel *
+         opts_.kernel;
+}
+
+}  // namespace ms

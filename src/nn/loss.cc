@@ -1,0 +1,79 @@
+#include "src/nn/loss.h"
+
+#include <cmath>
+
+#include "src/tensor/tensor_ops.h"
+#include "src/util/status.h"
+
+namespace ms {
+namespace {
+
+float XentForward(const Tensor& logits, const std::vector<int>& labels,
+                  Tensor* probs) {
+  MS_CHECK(logits.ndim() == 2);
+  const int64_t rows = logits.dim(0);
+  const int64_t cols = logits.dim(1);
+  MS_CHECK(static_cast<int64_t>(labels.size()) == rows);
+  *probs = Tensor({rows, cols});
+  ops::SoftmaxRows(logits, rows, cols, probs);
+  double loss = 0.0;
+  for (int64_t r = 0; r < rows; ++r) {
+    const int y = labels[static_cast<size_t>(r)];
+    MS_CHECK(y >= 0 && y < cols);
+    const float p = probs->at2(r, y);
+    loss -= std::log(std::max(p, 1e-12f));
+  }
+  return static_cast<float>(loss / static_cast<double>(rows));
+}
+
+Tensor XentBackward(const Tensor& probs, const std::vector<int>& labels) {
+  const int64_t rows = probs.dim(0);
+  const int64_t cols = probs.dim(1);
+  Tensor grad = probs;
+  const float inv = 1.0f / static_cast<float>(rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = grad.data() + r * cols;
+    row[labels[static_cast<size_t>(r)]] -= 1.0f;
+    for (int64_t c = 0; c < cols; ++c) row[c] *= inv;
+  }
+  return grad;
+}
+
+}  // namespace
+
+float SoftmaxCrossEntropy::Forward(const Tensor& logits,
+                                   const std::vector<int>& labels) {
+  labels_ = labels;
+  return XentForward(logits, labels, &probs_);
+}
+
+Tensor SoftmaxCrossEntropy::Backward() const {
+  return XentBackward(probs_, labels_);
+}
+
+float SequenceNll::Forward(const Tensor& logits,
+                           const std::vector<int>& targets) {
+  targets_ = targets;
+  return XentForward(logits, targets, &probs_);
+}
+
+Tensor SequenceNll::Backward() const {
+  return XentBackward(probs_, targets_);
+}
+
+float Accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  MS_CHECK(logits.ndim() == 2);
+  const int64_t rows = logits.dim(0);
+  MS_CHECK(static_cast<int64_t>(labels.size()) == rows);
+  std::vector<int> pred;
+  ops::ArgmaxRows(logits, rows, logits.dim(1), &pred);
+  int64_t correct = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    if (pred[static_cast<size_t>(r)] == labels[static_cast<size_t>(r)]) {
+      ++correct;
+    }
+  }
+  return static_cast<float>(correct) / static_cast<float>(rows);
+}
+
+}  // namespace ms

@@ -1,0 +1,47 @@
+// Losses. Not Modules: they take labels and terminate the backward chain.
+#ifndef MODELSLICING_NN_LOSS_H_
+#define MODELSLICING_NN_LOSS_H_
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace ms {
+
+/// \brief Numerically-stable softmax cross-entropy over class logits.
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: (B, num_classes); labels: length-B class indices.
+  /// Returns mean loss over the batch and caches softmax for Backward.
+  float Forward(const Tensor& logits, const std::vector<int>& labels);
+
+  /// Returns dL/dlogits (mean-reduced).
+  Tensor Backward() const;
+
+  /// Softmax probabilities from the last Forward, (B, num_classes).
+  const Tensor& probs() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+};
+
+/// \brief Per-token negative log-likelihood for language modeling.
+/// logits: (T*B, vocab); targets: length T*B. Mean NLL; perplexity is
+/// exp(mean NLL).
+class SequenceNll {
+ public:
+  float Forward(const Tensor& logits, const std::vector<int>& targets);
+  Tensor Backward() const;
+
+ private:
+  Tensor probs_;
+  std::vector<int> targets_;
+};
+
+/// \brief Fraction of rows whose argmax equals the label.
+float Accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace ms
+
+#endif  // MODELSLICING_NN_LOSS_H_

@@ -1,0 +1,225 @@
+#include "src/nn/lstm.h"
+
+#include <cmath>
+
+#include "src/tensor/tensor_ops.h"
+
+namespace ms {
+namespace {
+
+inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+Lstm::Lstm(LstmOptions opts, Rng* rng, std::string name)
+    : opts_(opts), name_(std::move(name)) {
+  MS_CHECK(opts_.input_size >= 1 && opts_.hidden_size >= 1);
+  in_spec_ = SliceSpec(opts_.input_size,
+                       std::min<int64_t>(opts_.groups, opts_.input_size));
+  hidden_spec_ = SliceSpec(opts_.hidden_size,
+                           std::min<int64_t>(opts_.groups, opts_.hidden_size));
+  active_in_ = opts_.input_size;
+  active_hidden_ = opts_.hidden_size;
+
+  const float bound =
+      1.0f / std::sqrt(static_cast<float>(opts_.hidden_size));
+  wx_ = Tensor::RandUniform({4 * opts_.hidden_size, opts_.input_size}, rng,
+                            -bound, bound);
+  wh_ = Tensor::RandUniform({4 * opts_.hidden_size, opts_.hidden_size}, rng,
+                            -bound, bound);
+  b_ = Tensor::Zeros({4 * opts_.hidden_size});
+  // Forget-gate bias init to 1: standard trick for gradient flow.
+  for (int64_t i = opts_.hidden_size; i < 2 * opts_.hidden_size; ++i) {
+    b_[i] = 1.0f;
+  }
+  wx_grad_ = Tensor::Zeros(wx_.shape());
+  wh_grad_ = Tensor::Zeros(wh_.shape());
+  b_grad_ = Tensor::Zeros(b_.shape());
+}
+
+void Lstm::SetSliceRate(double r) {
+  active_in_ =
+      opts_.slice_in ? in_spec_.ActiveWidth(r) : in_spec_.full_width();
+  active_hidden_ = opts_.slice_out ? hidden_spec_.ActiveWidth(r)
+                                   : hidden_spec_.full_width();
+  if (opts_.rescale) {
+    rescale_x_ = static_cast<float>(in_spec_.full_width()) /
+                 static_cast<float>(active_in_);
+    rescale_h_ = static_cast<float>(hidden_spec_.full_width()) /
+                 static_cast<float>(active_hidden_);
+  } else {
+    rescale_x_ = rescale_h_ = 1.0f;
+  }
+}
+
+void Lstm::GateGemm(int gate, const float* x, int64_t m, const float* h,
+                    int64_t batch, float* z) const {
+  const int64_t n = active_hidden_;
+  const float* wx = wx_.data() + gate * opts_.hidden_size * opts_.input_size;
+  const float* wh = wh_.data() + gate * opts_.hidden_size * opts_.hidden_size;
+  const float* bias = b_.data() + gate * opts_.hidden_size;
+  // z(B, n) = rescale_x * x(B, m) * Wx[0:n, 0:m]^T
+  ops::Gemm(false, true, batch, n, m, rescale_x_, x, m, wx,
+            opts_.input_size, 0.0f, z, n);
+  // z += rescale_h * h(B, n) * Wh[0:n, 0:n]^T
+  ops::Gemm(false, true, batch, n, n, rescale_h_, h, n, wh,
+            opts_.hidden_size, 1.0f, z, n);
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    float* row = z + bi * n;
+    for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
+  }
+}
+
+Tensor Lstm::Forward(const Tensor& x, bool training) {
+  (void)training;
+  MS_CHECK(x.ndim() == 3);
+  const int64_t t_steps = x.dim(0);
+  const int64_t batch = x.dim(1);
+  MS_CHECK_MSG(x.dim(2) == active_in_, "Lstm input width != active_in");
+  const int64_t m = active_in_;
+  const int64_t n = active_hidden_;
+
+  cached_x_ = x;
+  cached_t_ = t_steps;
+  cached_b_ = batch;
+  steps_.assign(static_cast<size_t>(t_steps), StepCache{});
+
+  Tensor out({t_steps, batch, n});
+  Tensor h_prev = Tensor::Zeros({batch, n});
+  Tensor c_prev = Tensor::Zeros({batch, n});
+  Tensor zi({batch, n}), zf({batch, n}), zg({batch, n}), zo({batch, n});
+
+  for (int64_t t = 0; t < t_steps; ++t) {
+    const float* xt = x.data() + t * batch * m;
+    GateGemm(0, xt, m, h_prev.data(), batch, zi.data());
+    GateGemm(1, xt, m, h_prev.data(), batch, zf.data());
+    GateGemm(2, xt, m, h_prev.data(), batch, zg.data());
+    GateGemm(3, xt, m, h_prev.data(), batch, zo.data());
+
+    StepCache& sc = steps_[static_cast<size_t>(t)];
+    sc.i = Tensor({batch, n});
+    sc.f = Tensor({batch, n});
+    sc.g = Tensor({batch, n});
+    sc.o = Tensor({batch, n});
+    sc.c = Tensor({batch, n});
+    sc.tanh_c = Tensor({batch, n});
+    for (int64_t idx = 0; idx < batch * n; ++idx) {
+      const float iv = Sigmoid(zi[idx]);
+      const float fv = Sigmoid(zf[idx]);
+      const float gv = std::tanh(zg[idx]);
+      const float ov = Sigmoid(zo[idx]);
+      const float cv = fv * c_prev[idx] + iv * gv;
+      const float tc = std::tanh(cv);
+      sc.i[idx] = iv;
+      sc.f[idx] = fv;
+      sc.g[idx] = gv;
+      sc.o[idx] = ov;
+      sc.c[idx] = cv;
+      sc.tanh_c[idx] = tc;
+      out[t * batch * n + idx] = ov * tc;
+    }
+    sc.h = Tensor({batch, n});
+    std::copy(out.data() + t * batch * n, out.data() + (t + 1) * batch * n,
+              sc.h.data());
+    h_prev = sc.h;
+    c_prev = sc.c;
+  }
+  return out;
+}
+
+Tensor Lstm::Backward(const Tensor& grad_out) {
+  const int64_t t_steps = cached_t_;
+  const int64_t batch = cached_b_;
+  const int64_t m = active_in_;
+  const int64_t n = active_hidden_;
+  MS_CHECK(grad_out.ndim() == 3 && grad_out.dim(0) == t_steps &&
+           grad_out.dim(1) == batch && grad_out.dim(2) == n);
+
+  Tensor grad_in({t_steps, batch, m});
+  Tensor dh_next = Tensor::Zeros({batch, n});
+  Tensor dc_next = Tensor::Zeros({batch, n});
+  Tensor dzi({batch, n}), dzf({batch, n}), dzg({batch, n}), dzo({batch, n});
+
+  for (int64_t t = t_steps - 1; t >= 0; --t) {
+    const StepCache& sc = steps_[static_cast<size_t>(t)];
+    const float* c_prev =
+        (t > 0) ? steps_[static_cast<size_t>(t - 1)].c.data() : nullptr;
+    const float* h_prev =
+        (t > 0) ? steps_[static_cast<size_t>(t - 1)].h.data() : nullptr;
+
+    for (int64_t idx = 0; idx < batch * n; ++idx) {
+      const float dh = grad_out[t * batch * n + idx] + dh_next[idx];
+      const float iv = sc.i[idx];
+      const float fv = sc.f[idx];
+      const float gv = sc.g[idx];
+      const float ov = sc.o[idx];
+      const float tc = sc.tanh_c[idx];
+      const float dov = dh * tc;
+      float dc = dh * ov * (1.0f - tc * tc) + dc_next[idx];
+      const float div = dc * gv;
+      const float dgv = dc * iv;
+      const float cp = c_prev ? c_prev[idx] : 0.0f;
+      const float dfv = dc * cp;
+      dc_next[idx] = dc * fv;
+      dzi[idx] = div * iv * (1.0f - iv);
+      dzf[idx] = dfv * fv * (1.0f - fv);
+      dzg[idx] = dgv * (1.0f - gv * gv);
+      dzo[idx] = dov * ov * (1.0f - ov);
+    }
+
+    const float* xt = cached_x_.data() + t * batch * m;
+    float* dxt = grad_in.data() + t * batch * m;
+    std::fill(dxt, dxt + batch * m, 0.0f);
+    dh_next.Zero();
+
+    const Tensor* dzs[4] = {&dzi, &dzf, &dzg, &dzo};
+    for (int gate = 0; gate < 4; ++gate) {
+      const float* dz = dzs[gate]->data();
+      float* wxg =
+          wx_grad_.data() + gate * opts_.hidden_size * opts_.input_size;
+      float* whg =
+          wh_grad_.data() + gate * opts_.hidden_size * opts_.hidden_size;
+      float* bg = b_grad_.data() + gate * opts_.hidden_size;
+      // dWx[0:n, 0:m] += rescale_x * dz^T(n, B) * x(B, m)
+      ops::Gemm(true, false, n, m, batch, rescale_x_, dz, n, xt, m, 1.0f,
+                wxg, opts_.input_size);
+      if (h_prev != nullptr) {
+        ops::Gemm(true, false, n, n, batch, rescale_h_, dz, n, h_prev, n,
+                  1.0f, whg, opts_.hidden_size);
+      }
+      for (int64_t bi = 0; bi < batch; ++bi) {
+        const float* row = dz + bi * n;
+        for (int64_t j = 0; j < n; ++j) bg[j] += row[j];
+      }
+      // dx += rescale_x * dz(B, n) * Wx[0:n, 0:m]
+      const float* wx =
+          wx_.data() + gate * opts_.hidden_size * opts_.input_size;
+      ops::Gemm(false, false, batch, m, n, rescale_x_, dz, n, wx,
+                opts_.input_size, 1.0f, dxt, m);
+      // dh_prev += rescale_h * dz(B, n) * Wh[0:n, 0:n]
+      const float* wh =
+          wh_.data() + gate * opts_.hidden_size * opts_.hidden_size;
+      ops::Gemm(false, false, batch, n, n, rescale_h_, dz, n, wh,
+                opts_.hidden_size, 1.0f, dh_next.data(), n);
+    }
+  }
+  return grad_in;
+}
+
+void Lstm::CollectParams(std::vector<ParamRef>* out) {
+  out->push_back({name_ + ".wx", &wx_, &wx_grad_, /*no_decay=*/false});
+  out->push_back({name_ + ".wh", &wh_, &wh_grad_, /*no_decay=*/false});
+  out->push_back({name_ + ".b", &b_, &b_grad_, /*no_decay=*/true});
+}
+
+int64_t Lstm::FlopsPerSample() const {
+  // Per timestep: 4 gate GEMMs over input and hidden contributions.
+  return 4 * (active_in_ * active_hidden_ + active_hidden_ * active_hidden_);
+}
+
+int64_t Lstm::ActiveParams() const {
+  return 4 * (active_in_ * active_hidden_ +
+              active_hidden_ * active_hidden_ + active_hidden_);
+}
+
+}  // namespace ms

@@ -1,0 +1,125 @@
+// Base class for neural-network layers with manual backprop and dynamic
+// width slicing. Activations flowing between layers are *compact*: a layer
+// sliced to m of M input channels receives a tensor whose channel dimension
+// is m, exactly mirroring the paper's claim that only active components
+// reside in memory / participate in computation.
+#ifndef MODELSLICING_NN_MODULE_H_
+#define MODELSLICING_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace ms {
+
+/// \brief A named (parameter, gradient) pair exposed to optimizers.
+///
+/// Parameters and gradients are always full-size; a sliced forward/backward
+/// touches only the active prefix, leaving the rest of the gradient zero —
+/// which is exactly Algorithm 1's accumulation semantics.
+struct ParamRef {
+  std::string name;
+  Tensor* param = nullptr;
+  Tensor* grad = nullptr;
+  /// Parameters flagged no_decay (biases, norm scales) skip weight decay.
+  bool no_decay = false;
+};
+
+/// \brief Abstract layer: forward, backward, parameters, slicing.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Compute the layer output. `training` toggles dropout / batch-stat
+  /// collection. Input/output are compact w.r.t. the current slice rate.
+  virtual Tensor Forward(const Tensor& x, bool training) = 0;
+
+  /// Given dL/d(output), accumulate parameter gradients (into the active
+  /// prefix) and return dL/d(input). Must be called after Forward with the
+  /// same slice rate; layers cache what they need.
+  virtual Tensor Backward(const Tensor& grad_out) = 0;
+
+  /// Append this layer's parameters (if any).
+  virtual void CollectParams(std::vector<ParamRef>* out) { (void)out; }
+
+  /// Set the current slice rate r in (0, 1]. Non-sliceable layers ignore it.
+  virtual void SetSliceRate(double r) { (void)r; }
+
+  /// Multiply-accumulate count for one sample at the current slice rate.
+  virtual int64_t FlopsPerSample() const { return 0; }
+
+  /// Number of parameters touched at the current slice rate.
+  virtual int64_t ActiveParams() const { return 0; }
+
+  virtual std::string name() const = 0;
+};
+
+/// \brief Runs child modules in order; the workhorse container for CNN/MLP
+/// models.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::string name) : name_(std::move(name)) {}
+
+  Sequential* Add(std::unique_ptr<Module> m) {
+    children_.push_back(std::move(m));
+    return this;
+  }
+
+  template <typename T, typename... Args>
+  T* Emplace(Args&&... args) {
+    auto m = std::make_unique<T>(std::forward<Args>(args)...);
+    T* ptr = m.get();
+    children_.push_back(std::move(m));
+    return ptr;
+  }
+
+  Tensor Forward(const Tensor& x, bool training) override {
+    Tensor h = x;
+    for (auto& child : children_) h = child->Forward(h, training);
+    return h;
+  }
+
+  Tensor Backward(const Tensor& grad_out) override {
+    Tensor g = grad_out;
+    for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+      g = (*it)->Backward(g);
+    }
+    return g;
+  }
+
+  void CollectParams(std::vector<ParamRef>* out) override {
+    for (auto& child : children_) child->CollectParams(out);
+  }
+
+  void SetSliceRate(double r) override {
+    for (auto& child : children_) child->SetSliceRate(r);
+  }
+
+  int64_t FlopsPerSample() const override {
+    int64_t total = 0;
+    for (const auto& child : children_) total += child->FlopsPerSample();
+    return total;
+  }
+
+  int64_t ActiveParams() const override {
+    int64_t total = 0;
+    for (const auto& child : children_) total += child->ActiveParams();
+    return total;
+  }
+
+  size_t size() const { return children_.size(); }
+  Module* child(size_t i) { return children_[i].get(); }
+
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_ = "sequential";
+  std::vector<std::unique_ptr<Module>> children_;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_NN_MODULE_H_

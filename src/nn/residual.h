@@ -1,0 +1,85 @@
+// Pre-activation residual block (He et al. [17]) under model slicing.
+// y = shortcut(x) + body(x); the identity shortcut requires equal active
+// widths on both sides, which holds because all sliced layers share one
+// network-wide rate.
+#ifndef MODELSLICING_NN_RESIDUAL_H_
+#define MODELSLICING_NN_RESIDUAL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/nn/module.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace ms {
+
+class ResidualBlock : public Module {
+ public:
+  /// \param body the residual transformation F(x).
+  /// \param shortcut nullptr for identity, or a projection (e.g. 1x1 conv
+  ///        with stride) when width/resolution changes.
+  ResidualBlock(std::unique_ptr<Module> body,
+                std::unique_ptr<Module> shortcut, std::string name = "resblock")
+      : body_(std::move(body)),
+        shortcut_(std::move(shortcut)),
+        name_(std::move(name)) {}
+
+  Tensor Forward(const Tensor& x, bool training) override {
+    Tensor f = body_->Forward(x, training);
+    if (shortcut_ != nullptr) {
+      Tensor s = shortcut_->Forward(x, training);
+      MS_CHECK_MSG(s.SameShape(f), "residual shapes diverge");
+      ops::AddInPlace(&f, s);
+      return f;
+    }
+    MS_CHECK_MSG(f.SameShape(x), "identity residual needs matching shapes");
+    ops::AddInPlace(&f, x);
+    return f;
+  }
+
+  Tensor Backward(const Tensor& grad_out) override {
+    Tensor g = body_->Backward(grad_out);
+    if (shortcut_ != nullptr) {
+      Tensor gs = shortcut_->Backward(grad_out);
+      ops::AddInPlace(&g, gs);
+      return g;
+    }
+    ops::AddInPlace(&g, grad_out);
+    return g;
+  }
+
+  void CollectParams(std::vector<ParamRef>* out) override {
+    body_->CollectParams(out);
+    if (shortcut_ != nullptr) shortcut_->CollectParams(out);
+  }
+
+  void SetSliceRate(double r) override {
+    body_->SetSliceRate(r);
+    if (shortcut_ != nullptr) shortcut_->SetSliceRate(r);
+  }
+
+  int64_t FlopsPerSample() const override {
+    int64_t f = body_->FlopsPerSample();
+    if (shortcut_ != nullptr) f += shortcut_->FlopsPerSample();
+    return f;
+  }
+
+  int64_t ActiveParams() const override {
+    int64_t p = body_->ActiveParams();
+    if (shortcut_ != nullptr) p += shortcut_->ActiveParams();
+    return p;
+  }
+
+  Module* body() { return body_.get(); }
+
+  std::string name() const override { return name_; }
+
+ private:
+  std::unique_ptr<Module> body_;
+  std::unique_ptr<Module> shortcut_;
+  std::string name_;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_NN_RESIDUAL_H_

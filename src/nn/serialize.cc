@@ -1,0 +1,99 @@
+#include "src/nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace ms {
+namespace {
+
+constexpr uint32_t kMagic = 0x4D534C43;  // "MSLC"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveParams(const std::vector<ParamRef>& params,
+                  const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  WritePod(out, kMagic);
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint64_t>(params.size()));
+  for (const auto& p : params) {
+    WritePod(out, static_cast<uint32_t>(p.name.size()));
+    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    WritePod(out, static_cast<uint32_t>(p.param->ndim()));
+    for (int i = 0; i < p.param->ndim(); ++i) {
+      WritePod(out, static_cast<int64_t>(p.param->dim(i)));
+    }
+    out.write(reinterpret_cast<const char*>(p.param->data()),
+              static_cast<std::streamsize>(p.param->size() * sizeof(float)));
+  }
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status LoadParams(const std::vector<ParamRef>& params,
+                  const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  uint32_t magic = 0, version = 0;
+  uint64_t count = 0;
+  if (!ReadPod(in, &magic) || magic != kMagic) {
+    return Status::InvalidArgument("bad checkpoint magic: " + path);
+  }
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  if (!ReadPod(in, &count) || count != params.size()) {
+    return Status::InvalidArgument(
+        "checkpoint parameter count mismatch: expected " +
+        std::to_string(params.size()) + ", got " + std::to_string(count));
+  }
+  for (const auto& p : params) {
+    uint32_t name_len = 0;
+    if (!ReadPod(in, &name_len) || name_len > 4096) {
+      return Status::InvalidArgument("corrupt name record");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (!in || name != p.name) {
+      return Status::InvalidArgument("parameter name mismatch: expected '" +
+                                     p.name + "', got '" + name + "'");
+    }
+    uint32_t rank = 0;
+    if (!ReadPod(in, &rank) || rank != static_cast<uint32_t>(p.param->ndim())) {
+      return Status::InvalidArgument("rank mismatch for " + p.name);
+    }
+    for (int i = 0; i < p.param->ndim(); ++i) {
+      int64_t dim = 0;
+      if (!ReadPod(in, &dim) || dim != p.param->dim(i)) {
+        return Status::InvalidArgument("shape mismatch for " + p.name);
+      }
+    }
+    in.read(reinterpret_cast<char*>(p.param->data()),
+            static_cast<std::streamsize>(p.param->size() * sizeof(float)));
+    if (!in) {
+      return Status::IoError("truncated payload for " + p.name);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ms

@@ -1,0 +1,26 @@
+// Minimal binary checkpoint format for model parameters. A checkpoint is a
+// sequence of records: name length, name bytes, rank, dims, float payload —
+// little-endian, no alignment. Loading validates names and shapes.
+#ifndef MODELSLICING_NN_SERIALIZE_H_
+#define MODELSLICING_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/util/status.h"
+
+namespace ms {
+
+/// Writes every parameter (not gradients) to `path`.
+Status SaveParams(const std::vector<ParamRef>& params,
+                  const std::string& path);
+
+/// Restores parameters in place. Fails if names, order or shapes differ
+/// from the checkpoint.
+Status LoadParams(const std::vector<ParamRef>& params,
+                  const std::string& path);
+
+}  // namespace ms
+
+#endif  // MODELSLICING_NN_SERIALIZE_H_

@@ -1,0 +1,84 @@
+// Group-boundary math for model slicing (paper Sec. 3.1).
+//
+// A layer's basic components (neurons / channels / hidden units) are divided
+// into G contiguous, ordered groups. A slice rate r selects the prefix of
+// groups whose rightmost boundary g_i satisfies r_i = g_i / width. All
+// sliced layers share the network-wide rate; each layer maps it to its own
+// active width through a SliceSpec.
+#ifndef MODELSLICING_NN_SLICE_SPEC_H_
+#define MODELSLICING_NN_SLICE_SPEC_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace ms {
+
+/// \brief Maps a slice rate to an active-width prefix aligned to group
+/// boundaries for one dimension of one layer.
+class SliceSpec {
+ public:
+  SliceSpec() = default;
+
+  /// \param full_width total number of components (neurons/channels).
+  /// \param num_groups number of ordered groups G (1 <= G <= full_width).
+  SliceSpec(int64_t full_width, int64_t num_groups)
+      : full_(full_width), groups_(num_groups) {
+    MS_CHECK(full_width >= 1);
+    MS_CHECK(num_groups >= 1 && num_groups <= full_width);
+    boundaries_.resize(static_cast<size_t>(groups_) + 1);
+    for (int64_t k = 0; k <= groups_; ++k) {
+      boundaries_[static_cast<size_t>(k)] = static_cast<int64_t>(
+          std::llround(static_cast<double>(full_) * static_cast<double>(k) /
+                       static_cast<double>(groups_)));
+    }
+    MS_CHECK(boundaries_.front() == 0 && boundaries_.back() == full_);
+  }
+
+  int64_t full_width() const { return full_; }
+  int64_t num_groups() const { return groups_; }
+
+  /// Number of active groups for rate r: round(r * G), clamped to [1, G].
+  int64_t ActiveGroups(double r) const {
+    MS_CHECK_MSG(r > 0.0 && r <= 1.0, "slice rate must be in (0, 1]");
+    int64_t k = static_cast<int64_t>(std::llround(r * static_cast<double>(groups_)));
+    if (k < 1) k = 1;
+    if (k > groups_) k = groups_;
+    return k;
+  }
+
+  /// Active component count (prefix width) for rate r.
+  int64_t ActiveWidth(double r) const {
+    return boundaries_[static_cast<size_t>(ActiveGroups(r))];
+  }
+
+  /// Rightmost component index (exclusive) of group k, 0 <= k <= G.
+  int64_t GroupBoundary(int64_t k) const {
+    MS_CHECK(k >= 0 && k <= groups_);
+    return boundaries_[static_cast<size_t>(k)];
+  }
+
+  /// Width of group k (0-based).
+  int64_t GroupWidth(int64_t k) const {
+    MS_CHECK(k >= 0 && k < groups_);
+    return boundaries_[static_cast<size_t>(k + 1)] -
+           boundaries_[static_cast<size_t>(k)];
+  }
+
+  /// The exact rate realised by k active groups (g_k / width may differ
+  /// slightly from the requested r when widths don't divide evenly).
+  double RealizedRate(double r) const {
+    return static_cast<double>(ActiveWidth(r)) / static_cast<double>(full_);
+  }
+
+ private:
+  int64_t full_ = 1;
+  int64_t groups_ = 1;
+  std::vector<int64_t> boundaries_;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_NN_SLICE_SPEC_H_

@@ -1,0 +1,39 @@
+// Human-readable model summaries: a per-layer table of active widths,
+// parameters and FLOPs at a chosen slice rate — the "what am I deploying at
+// r = 0.5?" view.
+#ifndef MODELSLICING_NN_SUMMARY_H_
+#define MODELSLICING_NN_SUMMARY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nn/module.h"
+
+namespace ms {
+
+struct LayerSummary {
+  std::string name;
+  std::string kind;        ///< "dense", "conv", "norm", ... ("" = untyped).
+  int64_t active_params = 0;
+  int64_t flops = 0;       ///< per sample, at the summarized rate.
+  int depth = 0;           ///< nesting depth inside Sequential containers.
+};
+
+struct ModelSummary {
+  double rate = 1.0;
+  std::vector<LayerSummary> layers;
+  int64_t total_params = 0;   ///< active at `rate`.
+  int64_t total_flops = 0;
+};
+
+/// Walks `net` (recursing into Sequential and ResidualBlock containers)
+/// after slicing it to `rate` and running one forward pass on `sample` so
+/// spatial extents are known.
+ModelSummary Summarize(Module* net, const Tensor& sample, double rate);
+
+/// Renders the summary as an aligned text table.
+std::string FormatSummary(const ModelSummary& summary);
+
+}  // namespace ms
+
+#endif  // MODELSLICING_NN_SUMMARY_H_

@@ -1,0 +1,53 @@
+#include "src/optim/sgd.h"
+
+#include <cmath>
+
+#include "src/tensor/tensor_ops.h"
+
+namespace ms {
+
+Sgd::Sgd(std::vector<ParamRef> params, SgdOptions opts)
+    : params_(std::move(params)), opts_(opts) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.push_back(Tensor::Zeros(p.param->shape()));
+  }
+}
+
+void Sgd::Step() {
+  if (opts_.clip_grad_norm > 0.0) {
+    double total = 0.0;
+    for (const auto& p : params_) {
+      total += static_cast<double>(ops::SumSquares(*p.grad));
+    }
+    const double norm = std::sqrt(total);
+    if (norm > opts_.clip_grad_norm) {
+      const float scale = static_cast<float>(opts_.clip_grad_norm / norm);
+      for (auto& p : params_) ops::Scale(p.grad, scale);
+    }
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ParamRef& p = params_[i];
+    Tensor& v = velocity_[i];
+    float* w = p.param->data();
+    float* g = p.grad->data();
+    float* vel = v.data();
+    const float wd =
+        p.no_decay ? 0.0f : static_cast<float>(opts_.weight_decay);
+    const float mu = static_cast<float>(opts_.momentum);
+    const float lr = static_cast<float>(opts_.lr);
+    const int64_t n = p.param->size();
+    for (int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + wd * w[j];
+      vel[j] = mu * vel[j] + grad;
+      w[j] -= lr * vel[j];
+    }
+  }
+  ZeroGrad();
+}
+
+void Sgd::ZeroGrad() {
+  for (auto& p : params_) p.grad->Zero();
+}
+
+}  // namespace ms

@@ -1,0 +1,100 @@
+// SGD with momentum and decoupled milestone learning-rate schedule, the
+// optimizer used throughout the paper's experiments (Sec. 5.2.2 / 5.3.2).
+#ifndef MODELSLICING_OPTIM_SGD_H_
+#define MODELSLICING_OPTIM_SGD_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/nn/module.h"
+
+namespace ms {
+
+struct SgdOptions {
+  double lr = 0.1;
+  double momentum = 0.9;
+  double weight_decay = 0.0;
+  /// Clip the global gradient norm before the update (used for LSTM LMs);
+  /// <= 0 disables clipping.
+  double clip_grad_norm = 0.0;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<ParamRef> params, SgdOptions opts);
+
+  /// Apply one update from the accumulated gradients, then zero them.
+  void Step();
+
+  void ZeroGrad();
+
+  double lr() const { return opts_.lr; }
+  void set_lr(double lr) { opts_.lr = lr; }
+
+  const std::vector<ParamRef>& params() const { return params_; }
+
+ private:
+  std::vector<ParamRef> params_;
+  SgdOptions opts_;
+  std::vector<Tensor> velocity_;
+};
+
+/// \brief Piecewise-constant LR: lr * gamma^(number of passed milestones),
+/// with optional linear warmup over the first `warmup_epochs`.
+class StepLrSchedule {
+ public:
+  StepLrSchedule(double base_lr, std::vector<int> milestones,
+                 double gamma = 0.1, int warmup_epochs = 0)
+      : base_lr_(base_lr),
+        milestones_(std::move(milestones)),
+        gamma_(gamma),
+        warmup_epochs_(warmup_epochs) {}
+
+  double LrAtEpoch(int epoch) const {
+    if (warmup_epochs_ > 0 && epoch < warmup_epochs_) {
+      return base_lr_ * static_cast<double>(epoch + 1) /
+             static_cast<double>(warmup_epochs_);
+    }
+    double lr = base_lr_;
+    for (int m : milestones_) {
+      if (epoch >= m) lr *= gamma_;
+    }
+    return lr;
+  }
+
+ private:
+  double base_lr_;
+  std::vector<int> milestones_;
+  double gamma_;
+  int warmup_epochs_;
+};
+
+/// \brief The NNLM schedule from Sec. 5.2.2: the LR is quartered whenever
+/// validation perplexity fails to improve.
+class PlateauLrSchedule {
+ public:
+  PlateauLrSchedule(double base_lr, double factor = 0.25)
+      : lr_(base_lr), factor_(factor) {}
+
+  /// Report the epoch's validation metric (lower is better); returns the LR
+  /// to use for the next epoch.
+  double Observe(double metric) {
+    if (metric >= best_) {
+      lr_ *= factor_;
+    } else {
+      best_ = metric;
+    }
+    return lr_;
+  }
+
+  double lr() const { return lr_; }
+
+ private:
+  double lr_;
+  double factor_;
+  double best_ = 1e30;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_OPTIM_SGD_H_

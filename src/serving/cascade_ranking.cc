@@ -1,0 +1,55 @@
+#include "src/serving/cascade_ranking.h"
+
+#include <algorithm>
+
+namespace ms {
+
+Result<CascadeSummary> SimulateCascade(
+    const std::vector<CascadeStageInput>& stages, bool shares_parameters) {
+  if (stages.empty()) {
+    return Status::InvalidArgument("cascade needs at least one stage");
+  }
+  const size_t num_items = stages.front().wrong.size();
+  if (num_items == 0) {
+    return Status::InvalidArgument("empty item set");
+  }
+  for (const auto& s : stages) {
+    if (s.wrong.size() != num_items) {
+      return Status::InvalidArgument("stage masks disagree on item count");
+    }
+  }
+
+  CascadeSummary summary;
+  std::vector<uint8_t> surviving(num_items, 1);  // correct through stage k.
+  for (const auto& stage : stages) {
+    int64_t correct = 0;
+    int64_t still_surviving = 0;
+    for (size_t i = 0; i < num_items; ++i) {
+      if (!stage.wrong[i]) ++correct;
+      if (surviving[i] && !stage.wrong[i]) {
+        ++still_surviving;
+      } else {
+        surviving[i] = 0;
+      }
+    }
+    CascadeStageResult r;
+    r.rate = stage.rate;
+    r.precision = static_cast<double>(correct) /
+                  static_cast<double>(num_items);
+    r.aggregate_recall = static_cast<double>(still_surviving) /
+                         static_cast<double>(num_items);
+    r.params = stage.params;
+    r.flops = stage.flops;
+    summary.stages.push_back(r);
+    summary.total_flops += stage.flops;
+    if (shares_parameters) {
+      summary.total_params = std::max(summary.total_params, stage.params);
+    } else {
+      summary.total_params += stage.params;
+    }
+  }
+  summary.final_recall = summary.stages.back().aggregate_recall;
+  return summary;
+}
+
+}  // namespace ms

@@ -1,0 +1,49 @@
+// Cascade ranking (paper Sec. 4.2, simulated in Sec. 5.4 / Table 5): a
+// pipeline of classifiers of increasing cost filters a candidate set; an
+// item survives stage k only if every classifier up to k judged it
+// consistently with its type. The key metric is aggregate recall — the
+// fraction of items correctly kept through all stages — which rewards
+// consistent predictions across stages, exactly what sliced subnets of one
+// model provide and an ensemble of independent models does not.
+#ifndef MODELSLICING_SERVING_CASCADE_RANKING_H_
+#define MODELSLICING_SERVING_CASCADE_RANKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace ms {
+
+struct CascadeStageInput {
+  double rate = 1.0;                ///< model width used at this stage.
+  std::vector<uint8_t> wrong;       ///< per-item wrong-prediction mask.
+  int64_t params = 0;
+  int64_t flops = 0;
+};
+
+struct CascadeStageResult {
+  double rate = 1.0;
+  double precision = 0.0;        ///< stage classifier accuracy.
+  double aggregate_recall = 0.0; ///< items correct through stages [0, k].
+  int64_t params = 0;
+  int64_t flops = 0;
+};
+
+struct CascadeSummary {
+  std::vector<CascadeStageResult> stages;
+  double final_recall = 0.0;
+  int64_t total_params = 0;     ///< storage: sum for an ensemble; max for
+                                ///< sliced subnets of one model.
+  int64_t total_flops = 0;
+};
+
+/// \param shares_parameters true when all stages are subnets of one sliced
+/// model (storage = the largest stage; paper Sec. 5.4's "only 9.42M in one
+/// model").
+Result<CascadeSummary> SimulateCascade(
+    const std::vector<CascadeStageInput>& stages, bool shares_parameters);
+
+}  // namespace ms
+
+#endif  // MODELSLICING_SERVING_CASCADE_RANKING_H_

@@ -1,0 +1,119 @@
+#include "src/serving/latency_scheduler.h"
+
+#include <cmath>
+
+namespace ms {
+
+Result<LatencyScheduler> LatencyScheduler::Make(const ServingConfig& config) {
+  if (config.full_sample_time <= 0.0) {
+    return Status::InvalidArgument("full_sample_time must be positive");
+  }
+  if (config.latency_budget <= 0.0) {
+    return Status::InvalidArgument("latency_budget must be positive");
+  }
+  if (config.lattice.num_rates() == 0) {
+    return Status::InvalidArgument("empty rate lattice");
+  }
+  if (!config.accuracy_per_rate.empty() &&
+      config.accuracy_per_rate.size() != config.lattice.num_rates()) {
+    return Status::InvalidArgument(
+        "accuracy table must align with the rate lattice");
+  }
+  return LatencyScheduler(config);
+}
+
+double LatencyScheduler::AccuracyAt(double rate) const {
+  if (config_.accuracy_per_rate.empty()) return 0.0;
+  const auto& rates = config_.lattice.rates();
+  for (size_t i = 0; i < rates.size(); ++i) {
+    if (std::abs(rates[i] - rate) < 1e-9) {
+      return config_.accuracy_per_rate[i];
+    }
+  }
+  return 0.0;
+}
+
+TickDecision LatencyScheduler::Schedule(int n) const {
+  TickDecision d;
+  d.num_samples = n;
+  if (n == 0) {
+    d.processing_time = 0.0;
+    d.rate = config_.lattice.full_rate();
+    d.accuracy = AccuracyAt(d.rate);
+    return d;
+  }
+  const double budget = config_.latency_budget / 2.0;
+  // n * r^2 * t <= T/2  =>  r <= sqrt(T / (2 n t))  (Eq. 3 with Ct = T/2n).
+  const double r_max = std::sqrt(
+      budget / (static_cast<double>(n) * config_.full_sample_time));
+  d.rate = config_.lattice.FloorRate(std::min(r_max, 1.0));
+  d.processing_time = static_cast<double>(n) * d.rate * d.rate *
+                      config_.full_sample_time;
+  // The base network is the floor: an extreme batch can still overrun.
+  d.slo_met = d.processing_time <= budget + 1e-12;
+  d.accuracy = AccuracyAt(d.rate);
+  return d;
+}
+
+TickDecision LatencyScheduler::ScheduleFixed(int n, double rate) const {
+  TickDecision d;
+  d.num_samples = n;
+  d.rate = rate;
+  d.processing_time = static_cast<double>(n) * rate * rate *
+                      config_.full_sample_time;
+  d.slo_met = n == 0 || d.processing_time <= config_.latency_budget / 2.0;
+  d.accuracy = AccuracyAt(config_.lattice.NearestRate(rate));
+  return d;
+}
+
+namespace {
+
+ServingSummary Summarize(const std::vector<TickDecision>& decisions,
+                         double tick_budget) {
+  ServingSummary s;
+  double rate_weighted = 0.0, acc_weighted = 0.0, busy = 0.0;
+  for (const auto& d : decisions) {
+    s.total_samples += d.num_samples;
+    if (!d.slo_met) ++s.slo_violations;
+    rate_weighted += d.rate * d.num_samples;
+    acc_weighted += d.accuracy * d.num_samples;
+    busy += std::min(d.processing_time, tick_budget);
+  }
+  if (s.total_samples > 0) {
+    s.mean_rate = rate_weighted / static_cast<double>(s.total_samples);
+    s.mean_accuracy = acc_weighted / static_cast<double>(s.total_samples);
+  }
+  if (!decisions.empty()) {
+    s.utilization = busy / (tick_budget * decisions.size());
+  }
+  return s;
+}
+
+}  // namespace
+
+ServingSummary SimulateServing(const LatencyScheduler& scheduler,
+                               const std::vector<int>& arrivals,
+                               std::vector<TickDecision>* decisions) {
+  std::vector<TickDecision> local;
+  local.reserve(arrivals.size());
+  for (int n : arrivals) local.push_back(scheduler.Schedule(n));
+  ServingSummary summary =
+      Summarize(local, scheduler.config().latency_budget / 2.0);
+  if (decisions != nullptr) *decisions = std::move(local);
+  return summary;
+}
+
+ServingSummary SimulateFixedServing(const LatencyScheduler& scheduler,
+                                    const std::vector<int>& arrivals,
+                                    double rate,
+                                    std::vector<TickDecision>* decisions) {
+  std::vector<TickDecision> local;
+  local.reserve(arrivals.size());
+  for (int n : arrivals) local.push_back(scheduler.ScheduleFixed(n, rate));
+  ServingSummary summary =
+      Summarize(local, scheduler.config().latency_budget / 2.0);
+  if (decisions != nullptr) *decisions = std::move(local);
+  return summary;
+}
+
+}  // namespace ms

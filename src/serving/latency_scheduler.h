@@ -1,0 +1,76 @@
+// Fine-grained system degradation via model slicing (paper Sec. 4.1).
+//
+// Queries are batched every T/2; the remaining T/2 is the processing budget.
+// For a batch of n samples and a full-model per-sample time t, the scheduler
+// picks the largest trained slice rate r with n * r^2 * t <= T/2 (Eq. 3), so
+// every sample meets the latency SLO and no capacity is wasted.
+#ifndef MODELSLICING_SERVING_LATENCY_SCHEDULER_H_
+#define MODELSLICING_SERVING_LATENCY_SCHEDULER_H_
+
+#include <vector>
+
+#include "src/core/slice_config.h"
+#include "src/util/status.h"
+
+namespace ms {
+
+struct ServingConfig {
+  double full_sample_time = 1.0;  ///< t: per-sample time of the full model.
+  double latency_budget = 16.0;   ///< T: end-to-end latency SLO.
+  SliceConfig lattice;            ///< trained slice rates.
+  /// Expected accuracy per lattice rate (ascending, aligned with
+  /// lattice.rates()); lets the simulator report accuracy delivered.
+  std::vector<double> accuracy_per_rate;
+};
+
+struct TickDecision {
+  int num_samples = 0;
+  double rate = 1.0;             ///< slice rate chosen for the batch.
+  double processing_time = 0.0;  ///< n * r^2 * t.
+  bool slo_met = true;           ///< processing fits within T/2.
+  double accuracy = 0.0;         ///< expected accuracy at `rate`.
+};
+
+class LatencyScheduler {
+ public:
+  static Result<LatencyScheduler> Make(const ServingConfig& config);
+
+  /// Decide the slice rate for a batch of `n` samples (Sec. 4.1 rule).
+  TickDecision Schedule(int n) const;
+
+  /// Fixed-rate strawman used by the comparison benches: always run `rate`
+  /// and report whether the batch met the budget.
+  TickDecision ScheduleFixed(int n, double rate) const;
+
+  const ServingConfig& config() const { return config_; }
+
+ private:
+  explicit LatencyScheduler(ServingConfig config)
+      : config_(std::move(config)) {}
+
+  double AccuracyAt(double rate) const;
+
+  ServingConfig config_;
+};
+
+struct ServingSummary {
+  int64_t total_samples = 0;
+  int64_t slo_violations = 0;     ///< ticks whose batch overran T/2.
+  double mean_rate = 0.0;         ///< sample-weighted mean slice rate.
+  double mean_accuracy = 0.0;     ///< sample-weighted expected accuracy.
+  double utilization = 0.0;       ///< busy time / total budget.
+};
+
+/// Runs the scheduler over a workload trace (arrivals per tick).
+ServingSummary SimulateServing(const LatencyScheduler& scheduler,
+                               const std::vector<int>& arrivals,
+                               std::vector<TickDecision>* decisions = nullptr);
+
+/// Same trace, fixed rate for every batch.
+ServingSummary SimulateFixedServing(
+    const LatencyScheduler& scheduler, const std::vector<int>& arrivals,
+    double rate, std::vector<TickDecision>* decisions = nullptr);
+
+}  // namespace ms
+
+#endif  // MODELSLICING_SERVING_LATENCY_SCHEDULER_H_

@@ -1,0 +1,37 @@
+#include "src/serving/workload.h"
+
+namespace ms {
+
+Result<std::vector<int>> GenerateWorkload(const WorkloadOptions& opts) {
+  if (opts.num_ticks < 1) {
+    return Status::InvalidArgument("need at least one tick");
+  }
+  if (opts.base_arrivals <= 0.0 || opts.peak_multiplier < 1.0 ||
+      opts.spike_multiplier < 1.0) {
+    return Status::InvalidArgument("bad workload intensities");
+  }
+  if (opts.peak_begin < 0.0 || opts.peak_end > 1.0 ||
+      opts.peak_begin > opts.peak_end) {
+    return Status::InvalidArgument("bad peak window");
+  }
+  if (opts.spike_probability < 0.0 || opts.spike_probability > 1.0) {
+    return Status::InvalidArgument("bad spike probability");
+  }
+  Rng rng(opts.seed);
+  std::vector<int> arrivals(static_cast<size_t>(opts.num_ticks));
+  for (int64_t t = 0; t < opts.num_ticks; ++t) {
+    const double phase =
+        static_cast<double>(t) / static_cast<double>(opts.num_ticks);
+    double lambda = opts.base_arrivals;
+    if (phase >= opts.peak_begin && phase < opts.peak_end) {
+      lambda *= opts.peak_multiplier;
+    }
+    if (rng.Bernoulli(opts.spike_probability)) {
+      lambda = opts.base_arrivals * opts.spike_multiplier;
+    }
+    arrivals[static_cast<size_t>(t)] = rng.Poisson(lambda);
+  }
+  return arrivals;
+}
+
+}  // namespace ms

@@ -1,0 +1,31 @@
+// Query-workload generation for the dynamic-serving experiments (paper
+// Sec. 1 and 4.1): Poisson arrivals whose rate follows a daily off-peak /
+// peak profile plus unpredictable spikes — the paper cites peak workloads
+// 10x the average with extreme cases beyond that.
+#ifndef MODELSLICING_SERVING_WORKLOAD_H_
+#define MODELSLICING_SERVING_WORKLOAD_H_
+
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace ms {
+
+struct WorkloadOptions {
+  int64_t num_ticks = 200;        ///< scheduling intervals (each T/2 long).
+  double base_arrivals = 4.0;     ///< mean arrivals per tick, off-peak.
+  double peak_multiplier = 10.0;  ///< sustained peak vs off-peak.
+  double peak_begin = 0.4;        ///< peak window as a fraction of horizon.
+  double peak_end = 0.7;
+  double spike_probability = 0.02;  ///< chance of an extreme tick.
+  double spike_multiplier = 16.0;   ///< the paper's 16x volatility case.
+  uint64_t seed = 21;
+};
+
+/// Arrivals per tick.
+Result<std::vector<int>> GenerateWorkload(const WorkloadOptions& opts);
+
+}  // namespace ms
+
+#endif  // MODELSLICING_SERVING_WORKLOAD_H_

@@ -1,0 +1,146 @@
+// Dense row-major float tensor. The single data container used throughout
+// the library: model parameters, activations, gradients and datasets.
+#ifndef MODELSLICING_TENSOR_TENSOR_H_
+#define MODELSLICING_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace ms {
+
+/// \brief N-dimensional row-major float32 tensor with value semantics.
+///
+/// Kept deliberately simple: contiguous storage, explicit shape, no views or
+/// broadcasting machinery. Layers slice by operating on index prefixes
+/// (contiguous groups), which maps directly onto row-major layout.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+    data_.assign(static_cast<size_t>(NumElements(shape_)), 0.0f);
+  }
+
+  Tensor(std::initializer_list<int64_t> shape)
+      : Tensor(std::vector<int64_t>(shape)) {}
+
+  static Tensor FromVector(std::vector<int64_t> shape,
+                           std::vector<float> values) {
+    Tensor t;
+    MS_CHECK(NumElements(shape) == static_cast<int64_t>(values.size()));
+    t.shape_ = std::move(shape);
+    t.data_ = std::move(values);
+    return t;
+  }
+
+  static Tensor Zeros(std::vector<int64_t> shape) {
+    return Tensor(std::move(shape));
+  }
+
+  static Tensor Full(std::vector<int64_t> shape, float value) {
+    Tensor t(std::move(shape));
+    t.Fill(value);
+    return t;
+  }
+
+  static Tensor Randn(std::vector<int64_t> shape, Rng* rng,
+                      float stddev = 1.0f) {
+    Tensor t(std::move(shape));
+    for (auto& v : t.data_) {
+      v = static_cast<float>(rng->Gaussian(0.0, stddev));
+    }
+    return t;
+  }
+
+  static Tensor RandUniform(std::vector<int64_t> shape, Rng* rng, float lo,
+                            float hi) {
+    Tensor t(std::move(shape));
+    for (auto& v : t.data_) v = static_cast<float>(rng->Uniform(lo, hi));
+    return t;
+  }
+
+  static int64_t NumElements(const std::vector<int64_t>& shape) {
+    int64_t n = 1;
+    for (int64_t d : shape) {
+      MS_CHECK(d >= 0);
+      n *= d;
+    }
+    return n;
+  }
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int64_t dim(int i) const {
+    MS_CHECK(i >= 0 && i < ndim());
+    return shape_[static_cast<size_t>(i)];
+  }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int64_t i) {
+    MS_CHECK(i >= 0 && i < size());
+    return data_[static_cast<size_t>(i)];
+  }
+  float at(int64_t i) const {
+    MS_CHECK(i >= 0 && i < size());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  /// Unchecked flat accessors for hot loops.
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// 2-D accessor (row, col) for matrices.
+  float& at2(int64_t r, int64_t c) {
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+  float at2(int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+
+  void Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+  void Zero() { Fill(0.0f); }
+
+  /// Reinterpret with a new shape of identical element count.
+  Tensor Reshaped(std::vector<int64_t> new_shape) const {
+    MS_CHECK(NumElements(new_shape) == size());
+    Tensor t;
+    t.shape_ = std::move(new_shape);
+    t.data_ = data_;
+    return t;
+  }
+
+  /// In-place reshape (no data movement).
+  void Reshape(std::vector<int64_t> new_shape) {
+    MS_CHECK(NumElements(new_shape) == size());
+    shape_ = std::move(new_shape);
+  }
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  std::string ShapeString() const {
+    std::string s = "[";
+    for (size_t i = 0; i < shape_.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += std::to_string(shape_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_TENSOR_TENSOR_H_

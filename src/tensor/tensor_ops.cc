@@ -1,0 +1,355 @@
+#include "src/tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace ms {
+namespace ops {
+namespace {
+
+// Register-blocked inner kernel for the non-transposed case: row-major
+// C(M,N) += A(M,K) * B(K,N). Processes 4 rows of A at a time, streaming B.
+void GemmNN(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+            int64_t lda, const float* b, int64_t ldb, float* c, int64_t ldc) {
+  int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float* a0 = a + (i + 0) * lda;
+    const float* a1 = a + (i + 1) * lda;
+    const float* a2 = a + (i + 2) * lda;
+    const float* a3 = a + (i + 3) * lda;
+    float* c0 = c + (i + 0) * ldc;
+    float* c1 = c + (i + 1) * ldc;
+    float* c2 = c + (i + 2) * ldc;
+    float* c3 = c + (i + 3) * ldc;
+    for (int64_t p = 0; p < k; ++p) {
+      const float* brow = b + p * ldb;
+      const float v0 = alpha * a0[p];
+      const float v1 = alpha * a1[p];
+      const float v2 = alpha * a2[p];
+      const float v3 = alpha * a3[p];
+      for (int64_t j = 0; j < n; ++j) {
+        const float bj = brow[j];
+        c0[j] += v0 * bj;
+        c1[j] += v1 * bj;
+        c2[j] += v2 * bj;
+        c3[j] += v3 * bj;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (int64_t p = 0; p < k; ++p) {
+      const float v = alpha * ai[p];
+      const float* brow = b + p * ldb;
+      for (int64_t j = 0; j < n; ++j) ci[j] += v * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          float alpha, const float* a, int64_t lda, const float* b,
+          int64_t ldb, float beta, float* c, int64_t ldc) {
+  // Scale / clear C first.
+  if (beta == 0.0f) {
+    for (int64_t i = 0; i < m; ++i) {
+      std::memset(c + i * ldc, 0, static_cast<size_t>(n) * sizeof(float));
+    }
+  } else if (beta != 1.0f) {
+    for (int64_t i = 0; i < m; ++i) {
+      float* ci = c + i * ldc;
+      for (int64_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+  }
+
+  if (!trans_a && !trans_b) {
+    GemmNN(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  // General (slower) path for transposed operands; used by backward passes
+  // where one operand is transposed. Loop order keeps B accesses streaming.
+  if (trans_a && !trans_b) {
+    // C(M,N) += A^T, A is (K,M): a[p*lda + i]
+    for (int64_t p = 0; p < k; ++p) {
+      const float* arow = a + p * lda;
+      const float* brow = b + p * ldb;
+      for (int64_t i = 0; i < m; ++i) {
+        const float v = alpha * arow[i];
+        if (v == 0.0f) continue;
+        float* ci = c + i * ldc;
+        for (int64_t j = 0; j < n; ++j) ci[j] += v * brow[j];
+      }
+    }
+    return;
+  }
+  if (!trans_a && trans_b) {
+    // B is (N,K): b[j*ldb + p]; dot products of rows.
+    for (int64_t i = 0; i < m; ++i) {
+      const float* ai = a + i * lda;
+      float* ci = c + i * ldc;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* bj = b + j * ldb;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+        ci[j] += alpha * acc;
+      }
+    }
+    return;
+  }
+  // trans_a && trans_b
+  for (int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* bj = b + j * ldb;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a[p * lda + i] * bj[p];
+      ci[j] += alpha * acc;
+    }
+  }
+}
+
+void MatMul(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+            Tensor* out, float beta) {
+  MS_CHECK(a.ndim() == 2 && b.ndim() == 2 && out->ndim() == 2);
+  const int64_t m = trans_a ? a.dim(1) : a.dim(0);
+  const int64_t ka = trans_a ? a.dim(0) : a.dim(1);
+  const int64_t kb = trans_b ? b.dim(1) : b.dim(0);
+  const int64_t n = trans_b ? b.dim(0) : b.dim(1);
+  MS_CHECK_MSG(ka == kb, "MatMul inner dims mismatch");
+  MS_CHECK(out->dim(0) == m && out->dim(1) == n);
+  Gemm(trans_a, trans_b, m, n, ka, 1.0f, a.data(), a.dim(1), b.data(),
+       b.dim(1), beta, out->data(), n);
+}
+
+void Im2Col(const float* x, int64_t channels, int64_t h, int64_t w,
+            int64_t kernel, int64_t stride, int64_t pad, float* cols) {
+  const int64_t oh = (h + 2 * pad - kernel) / stride + 1;
+  const int64_t ow = (w + 2 * pad - kernel) / stride + 1;
+  const int64_t out_area = oh * ow;
+  for (int64_t c = 0; c < channels; ++c) {
+    const float* xc = x + c * h * w;
+    for (int64_t ki = 0; ki < kernel; ++ki) {
+      for (int64_t kj = 0; kj < kernel; ++kj) {
+        float* dst = cols + ((c * kernel + ki) * kernel + kj) * out_area;
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          const int64_t ii = oi * stride - pad + ki;
+          if (ii < 0 || ii >= h) {
+            std::memset(dst + oi * ow, 0,
+                        static_cast<size_t>(ow) * sizeof(float));
+            continue;
+          }
+          const float* src_row = xc + ii * w;
+          float* dst_row = dst + oi * ow;
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            const int64_t jj = oj * stride - pad + kj;
+            dst_row[oj] = (jj >= 0 && jj < w) ? src_row[jj] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const float* cols, int64_t channels, int64_t h, int64_t w,
+            int64_t kernel, int64_t stride, int64_t pad, float* x) {
+  const int64_t oh = (h + 2 * pad - kernel) / stride + 1;
+  const int64_t ow = (w + 2 * pad - kernel) / stride + 1;
+  const int64_t out_area = oh * ow;
+  std::memset(x, 0, static_cast<size_t>(channels * h * w) * sizeof(float));
+  for (int64_t c = 0; c < channels; ++c) {
+    float* xc = x + c * h * w;
+    for (int64_t ki = 0; ki < kernel; ++ki) {
+      for (int64_t kj = 0; kj < kernel; ++kj) {
+        const float* src = cols + ((c * kernel + ki) * kernel + kj) * out_area;
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          const int64_t ii = oi * stride - pad + ki;
+          if (ii < 0 || ii >= h) continue;
+          float* dst_row = xc + ii * w;
+          const float* src_row = src + oi * ow;
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            const int64_t jj = oj * stride - pad + kj;
+            if (jj >= 0 && jj < w) dst_row[jj] += src_row[oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+void AvgPool2d(const Tensor& x, int64_t n, int64_t c, int64_t h, int64_t w,
+               int64_t kernel, int64_t stride, Tensor* out) {
+  const int64_t oh = (h - kernel) / stride + 1;
+  const int64_t ow = (w - kernel) / stride + 1;
+  MS_CHECK(out->size() == n * c * oh * ow);
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+  for (int64_t img = 0; img < n * c; ++img) {
+    const float* src = x.data() + img * h * w;
+    float* dst = out->data() + img * oh * ow;
+    for (int64_t oi = 0; oi < oh; ++oi) {
+      for (int64_t oj = 0; oj < ow; ++oj) {
+        float acc = 0.0f;
+        for (int64_t ki = 0; ki < kernel; ++ki) {
+          const float* row = src + (oi * stride + ki) * w + oj * stride;
+          for (int64_t kj = 0; kj < kernel; ++kj) acc += row[kj];
+        }
+        dst[oi * ow + oj] = acc * inv;
+      }
+    }
+  }
+}
+
+void AvgPool2dBackward(const Tensor& grad_out, int64_t n, int64_t c,
+                       int64_t h, int64_t w, int64_t kernel, int64_t stride,
+                       Tensor* grad_in) {
+  const int64_t oh = (h - kernel) / stride + 1;
+  const int64_t ow = (w - kernel) / stride + 1;
+  MS_CHECK(grad_in->size() == n * c * h * w);
+  grad_in->Zero();
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+  for (int64_t img = 0; img < n * c; ++img) {
+    const float* gsrc = grad_out.data() + img * oh * ow;
+    float* gdst = grad_in->data() + img * h * w;
+    for (int64_t oi = 0; oi < oh; ++oi) {
+      for (int64_t oj = 0; oj < ow; ++oj) {
+        const float g = gsrc[oi * ow + oj] * inv;
+        for (int64_t ki = 0; ki < kernel; ++ki) {
+          float* row = gdst + (oi * stride + ki) * w + oj * stride;
+          for (int64_t kj = 0; kj < kernel; ++kj) row[kj] += g;
+        }
+      }
+    }
+  }
+}
+
+void MaxPool2d(const Tensor& x, int64_t n, int64_t c, int64_t h, int64_t w,
+               int64_t kernel, int64_t stride, Tensor* out,
+               std::vector<int32_t>* argmax) {
+  const int64_t oh = (h - kernel) / stride + 1;
+  const int64_t ow = (w - kernel) / stride + 1;
+  MS_CHECK(out->size() == n * c * oh * ow);
+  argmax->assign(static_cast<size_t>(out->size()), 0);
+  for (int64_t img = 0; img < n * c; ++img) {
+    const float* src = x.data() + img * h * w;
+    float* dst = out->data() + img * oh * ow;
+    int32_t* am = argmax->data() + img * oh * ow;
+    for (int64_t oi = 0; oi < oh; ++oi) {
+      for (int64_t oj = 0; oj < ow; ++oj) {
+        float best = -std::numeric_limits<float>::infinity();
+        int32_t best_idx = 0;
+        for (int64_t ki = 0; ki < kernel; ++ki) {
+          for (int64_t kj = 0; kj < kernel; ++kj) {
+            const int64_t idx = (oi * stride + ki) * w + (oj * stride + kj);
+            if (src[idx] > best) {
+              best = src[idx];
+              best_idx = static_cast<int32_t>(idx);
+            }
+          }
+        }
+        dst[oi * ow + oj] = best;
+        am[oi * ow + oj] = best_idx;
+      }
+    }
+  }
+}
+
+void MaxPool2dBackward(const Tensor& grad_out,
+                       const std::vector<int32_t>& argmax, int64_t images,
+                       int64_t in_area, int64_t out_area, Tensor* grad_in) {
+  MS_CHECK(static_cast<int64_t>(argmax.size()) == grad_out.size());
+  MS_CHECK(grad_out.size() == images * out_area);
+  MS_CHECK(grad_in->size() == images * in_area);
+  grad_in->Zero();
+  for (int64_t img = 0; img < images; ++img) {
+    const float* g = grad_out.data() + img * out_area;
+    const int32_t* am = argmax.data() + img * out_area;
+    float* gi = grad_in->data() + img * in_area;
+    for (int64_t i = 0; i < out_area; ++i) gi[am[i]] += g[i];
+  }
+}
+
+void Add(const Tensor& a, const Tensor& b, Tensor* out) {
+  MS_CHECK(a.size() == b.size() && a.size() == out->size());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out->data();
+  for (int64_t i = 0; i < a.size(); ++i) po[i] = pa[i] + pb[i];
+}
+
+void AddInPlace(Tensor* a, const Tensor& b) {
+  MS_CHECK(a->size() == b.size());
+  float* pa = a->data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < b.size(); ++i) pa[i] += pb[i];
+}
+
+void Scale(Tensor* a, float s) {
+  float* pa = a->data();
+  for (int64_t i = 0; i < a->size(); ++i) pa[i] *= s;
+}
+
+void Axpy(float alpha, const Tensor& x, Tensor* y) {
+  MS_CHECK(x.size() == y->size());
+  const float* px = x.data();
+  float* py = y->data();
+  for (int64_t i = 0; i < x.size(); ++i) py[i] += alpha * px[i];
+}
+
+float SumSquares(const Tensor& a) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * a[i];
+  }
+  return static_cast<float>(acc);
+}
+
+float Max(const Tensor& a) {
+  MS_CHECK(a.size() > 0);
+  float best = a[0];
+  for (int64_t i = 1; i < a.size(); ++i) best = std::max(best, a[i]);
+  return best;
+}
+
+float Mean(const Tensor& a) {
+  MS_CHECK(a.size() > 0);
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) acc += a[i];
+  return static_cast<float>(acc / static_cast<double>(a.size()));
+}
+
+void SoftmaxRows(const Tensor& logits, int64_t rows, int64_t cols,
+                 Tensor* probs) {
+  MS_CHECK(logits.size() >= rows * cols && probs->size() >= rows * cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float* out = probs->data() + r * cols;
+    float max_v = in[0];
+    for (int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, in[c]);
+    double sum = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      out[c] = std::exp(in[c] - max_v);
+      sum += out[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t c = 0; c < cols; ++c) out[c] *= inv;
+  }
+}
+
+void ArgmaxRows(const Tensor& m, int64_t rows, int64_t cols,
+                std::vector<int>* out) {
+  out->assign(static_cast<size_t>(rows), 0);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = m.data() + r * cols;
+    int best = 0;
+    for (int64_t c = 1; c < cols; ++c) {
+      if (row[c] > row[best]) best = static_cast<int>(c);
+    }
+    (*out)[static_cast<size_t>(r)] = best;
+  }
+}
+
+}  // namespace ops
+}  // namespace ms

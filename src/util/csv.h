@@ -1,0 +1,68 @@
+// Tiny CSV writer used by benches to dump table/figure series for plotting.
+#ifndef MODELSLICING_UTIL_CSV_H_
+#define MODELSLICING_UTIL_CSV_H_
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace ms {
+
+class CsvWriter {
+ public:
+  /// Open `path` for writing; returns IoError if the file cannot be created.
+  static Result<CsvWriter> Open(const std::string& path) {
+    CsvWriter writer;
+    writer.out_.open(path);
+    if (!writer.out_.is_open()) {
+      return Status::IoError("cannot open " + path);
+    }
+    return writer;
+  }
+
+  void WriteRow(const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out_ << ",";
+      out_ << Escape(cells[i]);
+    }
+    out_ << "\n";
+  }
+
+  template <typename... Args>
+  void Row(const Args&... args) {
+    std::vector<std::string> cells;
+    (cells.push_back(ToCell(args)), ...);
+    WriteRow(cells);
+  }
+
+ private:
+  CsvWriter() = default;
+
+  template <typename T>
+  static std::string ToCell(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  static std::string Escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += "\"\"";
+      else out += c;
+    }
+    out += "\"";
+    return out;
+  }
+
+  std::ofstream out_;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_UTIL_CSV_H_

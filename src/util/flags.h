@@ -1,0 +1,99 @@
+// Minimal --key=value command-line flag parsing for the CLI tool and
+// examples. No registration: parse argv into a map, read typed values with
+// defaults, and report unknown/malformed flags.
+#ifndef MODELSLICING_UTIL_FLAGS_H_
+#define MODELSLICING_UTIL_FLAGS_H_
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace ms {
+
+class Flags {
+ public:
+  /// Parses `--key=value` and bare `--key` (-> "true") tokens; positional
+  /// arguments (no leading --) are collected in order.
+  static Result<Flags> Parse(int argc, const char* const* argv) {
+    Flags flags;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        flags.positional_.push_back(arg);
+        continue;
+      }
+      const std::string body = arg.substr(2);
+      if (body.empty()) {
+        return Status::InvalidArgument("bare '--' is not a flag");
+      }
+      const size_t eq = body.find('=');
+      if (eq == std::string::npos) {
+        flags.values_[body] = "true";
+      } else {
+        if (eq == 0) {
+          return Status::InvalidArgument("flag with empty name: " + arg);
+        }
+        flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      }
+    }
+    return flags;
+  }
+
+  bool Has(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& def = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t def) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    return std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(const std::string& key, double def) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    return std::strtod(it->second.c_str(), nullptr);
+  }
+
+  bool GetBool(const std::string& key, bool def) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys not in `known`, for catching typos.
+  std::vector<std::string> UnknownKeys(
+      const std::vector<std::string>& known) const {
+    std::vector<std::string> unknown;
+    for (const auto& [key, value] : values_) {
+      bool found = false;
+      for (const auto& k : known) {
+        if (k == key) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) unknown.push_back(key);
+    }
+    return unknown;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_UTIL_FLAGS_H_

@@ -1,0 +1,10 @@
+#include "src/util/logging.h"
+
+namespace ms {
+
+LogLevel& GlobalLogLevel() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+}  // namespace ms

@@ -1,0 +1,56 @@
+// Minimal leveled logging to stderr, controllable at runtime.
+#ifndef MODELSLICING_UTIL_LOGGING_H_
+#define MODELSLICING_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ms {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+LogLevel& GlobalLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << Name(level) << " " << base << ":" << line << "] ";
+  }
+  ~LogMessage() {
+    if (level_ >= GlobalLogLevel()) {
+      stream_ << "\n";
+      std::cerr << stream_.str();
+    }
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* Name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+  }
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ms
+
+#define MS_LOG(level)                                                     \
+  ::ms::internal::LogMessage(::ms::LogLevel::k##level, __FILE__, __LINE__) \
+      .stream()
+
+#endif  // MODELSLICING_UTIL_LOGGING_H_

@@ -1,0 +1,159 @@
+// Status and Result types for fallible operations, in the style of
+// Apache Arrow / RocksDB. Public APIs that can fail on user input return
+// Status (or Result<T>); internal invariant violations use MS_CHECK.
+#ifndef MODELSLICING_UTIL_STATUS_H_
+#define MODELSLICING_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace ms {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kNotImplemented = 7,
+  kIoError = 8,
+};
+
+/// \brief Outcome of an operation: OK, or an error code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + msg_;
+  }
+
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kNotImplemented: return "NotImplemented";
+      case StatusCode::kIoError: return "IoError";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT
+  Result(Status status) : status_(std::move(status)) {}    // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status_ << std::endl;
+      std::abort();
+    }
+    return *value_;
+  }
+  T& ValueOrDie() {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status_ << std::endl;
+      std::abort();
+    }
+    return *value_;
+  }
+  T MoveValueOrDie() {
+    if (!ok()) {
+      std::cerr << "Result::MoveValueOrDie on error: " << status_ << std::endl;
+      std::abort();
+    }
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace ms
+
+// Propagate a non-OK status to the caller.
+#define MS_RETURN_NOT_OK(expr)              \
+  do {                                      \
+    ::ms::Status _st = (expr);              \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+// Abort on internal invariant violation with file/line context.
+#define MS_CHECK(cond)                                                   \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::cerr << "MS_CHECK failed: " #cond " at " << __FILE__ << ":"   \
+                << __LINE__ << std::endl;                                \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define MS_CHECK_MSG(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::cerr << "MS_CHECK failed: " #cond " at " << __FILE__ << ":"   \
+                << __LINE__ << " — " << (msg) << std::endl;              \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#endif  // MODELSLICING_UTIL_STATUS_H_

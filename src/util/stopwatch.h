@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for timing training epochs and inference batches.
+#ifndef MODELSLICING_UTIL_STOPWATCH_H_
+#define MODELSLICING_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ms {
+
+/// \brief Monotonic wall-clock timer started at construction.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_UTIL_STOPWATCH_H_

@@ -1,0 +1,44 @@
+// Small string helpers shared by models, benches and table printers.
+#ifndef MODELSLICING_UTIL_STRING_UTIL_H_
+#define MODELSLICING_UTIL_STRING_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ms {
+
+/// printf-style formatting into std::string.
+template <typename... Args>
+std::string StrFormat(const char* fmt, Args... args) {
+  const int n = std::snprintf(nullptr, 0, fmt, args...);
+  std::string out(static_cast<size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, args...);
+  return out;
+}
+
+inline std::vector<std::string> StrSplit(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      parts.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+inline std::string StrJoin(const std::vector<std::string>& parts,
+                           const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace ms
+
+#endif  // MODELSLICING_UTIL_STRING_UTIL_H_

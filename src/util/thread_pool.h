@@ -1,0 +1,107 @@
+// Fixed-size thread pool with a ParallelFor helper used by matmul/conv when
+// batch sizes are large. Work is partitioned statically so results are
+// deterministic regardless of scheduling.
+#ifndef MODELSLICING_UTIL_THREAD_POOL_H_
+#define MODELSLICING_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ms {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    if (num_threads < 1) num_threads = 1;
+    workers_.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Run fn(begin, end) over disjoint static partitions of [0, n) and wait.
+  void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
+    if (n <= 0) return;
+    const int64_t shards =
+        std::min<int64_t>(n, static_cast<int64_t>(workers_.size()));
+    if (shards <= 1) {
+      fn(0, n);
+      return;
+    }
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    int64_t remaining = shards;
+    const int64_t chunk = (n + shards - 1) / shards;
+    for (int64_t s = 0; s < shards; ++s) {
+      const int64_t begin = s * chunk;
+      const int64_t end = std::min(n, begin + chunk);
+      Submit([&, begin, end] {
+        if (begin < end) fn(begin, end);
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (--remaining == 0) done_cv.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+
+  /// Process-wide pool sized to the hardware, created on first use.
+  static ThreadPool& Global() {
+    static ThreadPool pool(
+        std::max(1u, std::thread::hardware_concurrency()) > 2
+            ? static_cast<int>(std::thread::hardware_concurrency()) - 1
+            : 1);
+    return pool;
+  }
+
+ private:
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+        if (shutdown_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_UTIL_THREAD_POOL_H_

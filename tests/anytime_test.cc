@@ -1,0 +1,75 @@
+// Tests for the anytime/budgeted prediction front end.
+#include "gtest/gtest.h"
+#include "src/core/anytime.h"
+#include "src/models/cnn.h"
+
+namespace ms {
+namespace {
+
+std::unique_ptr<Sequential> SmallNet() {
+  CnnConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 4;
+  cfg.base_width = 8;
+  cfg.stages = 2;
+  cfg.blocks_per_stage = 1;
+  cfg.slice_groups = 4;
+  cfg.seed = 1;
+  return MakeVggSmall(cfg).MoveValueOrDie();
+}
+
+TEST(AnytimePredictor, RateForBudgetPicksWidestFitting) {
+  auto net = SmallNet();
+  auto lattice = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  auto pred = AnytimePredictor::Make(net.get(), lattice, {1, 3, 8, 8})
+                  .MoveValueOrDie();
+  const auto& profiles = pred.profiles();
+  ASSERT_EQ(profiles.size(), 4u);
+  // Exactly the full budget -> rate 1.0.
+  EXPECT_DOUBLE_EQ(pred.RateForBudget(profiles[3].flops), 1.0);
+  // Just below the full budget -> 0.75.
+  EXPECT_DOUBLE_EQ(pred.RateForBudget(profiles[3].flops - 1), 0.75);
+  // Below everything -> clamped to the lower bound.
+  EXPECT_DOUBLE_EQ(pred.RateForBudget(0), 0.25);
+}
+
+TEST(AnytimePredictor, PredictWithBudgetRunsTheChosenSubnet) {
+  auto net = SmallNet();
+  auto lattice = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  auto pred = AnytimePredictor::Make(net.get(), lattice, {1, 3, 8, 8})
+                  .MoveValueOrDie();
+  Rng rng(2);
+  Tensor x = Tensor::Randn({2, 3, 8, 8}, &rng);
+  double rate = 0.0;
+  Tensor y = pred.PredictWithBudget(x, pred.profiles()[1].flops, &rate);
+  EXPECT_DOUBLE_EQ(rate, 0.5);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 4}));
+}
+
+TEST(AnytimePredictor, DeadlinePathReturnsValidRate) {
+  auto net = SmallNet();
+  auto lattice = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  auto pred = AnytimePredictor::Make(net.get(), lattice, {1, 3, 8, 8})
+                  .MoveValueOrDie();
+  // A generous deadline must select the full model; an impossible one the
+  // base model.
+  EXPECT_DOUBLE_EQ(pred.RateForDeadline(1e9), 1.0);
+  EXPECT_DOUBLE_EQ(pred.RateForDeadline(0.0), 0.25);
+  Rng rng(3);
+  Tensor x = Tensor::Randn({1, 3, 8, 8}, &rng);
+  double rate = 0.0;
+  Tensor y = pred.PredictWithDeadline(x, 1e9, &rate);
+  EXPECT_DOUBLE_EQ(rate, 1.0);
+  EXPECT_EQ(y.dim(1), 4);
+}
+
+TEST(AnytimePredictor, RejectsBadInputs) {
+  auto lattice = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  EXPECT_FALSE(AnytimePredictor::Make(nullptr, lattice, {1, 3, 8, 8}).ok());
+  auto net = SmallNet();
+  EXPECT_FALSE(AnytimePredictor::Make(net.get(), lattice, {}).ok());
+  EXPECT_FALSE(AnytimePredictor::Make(net.get(), lattice, {1, 0, 8, 8}).ok());
+}
+
+}  // namespace
+}  // namespace ms

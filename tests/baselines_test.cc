@@ -1,0 +1,227 @@
+// Unit and small integration tests for the comparator baselines: fixed
+// ensembles, multi-classifier early exit, SkipNet-style gating, network
+// slimming, and the SlimmableNet configuration.
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "src/baselines/fixed_ensemble.h"
+#include "src/baselines/multi_classifier.h"
+#include "src/baselines/network_slimming.h"
+#include "src/baselines/skipnet.h"
+#include "src/core/evaluator.h"
+#include "src/nn/norm.h"
+#include "tests/gradcheck_util.h"
+
+namespace ms {
+namespace {
+
+SyntheticImageOptions TinyData() {
+  SyntheticImageOptions opts;
+  opts.num_classes = 4;
+  opts.modes_per_class = 2;
+  opts.channels = 3;
+  opts.height = 8;
+  opts.width = 8;
+  opts.train_size = 300;
+  opts.test_size = 150;
+  opts.noise = 0.35;
+  opts.max_shift = 1;
+  opts.seed = 11;
+  return opts;
+}
+
+CnnConfig TinyCnn() {
+  CnnConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 4;
+  cfg.base_width = 8;
+  cfg.stages = 2;
+  cfg.blocks_per_stage = 1;
+  cfg.slice_groups = 4;
+  cfg.seed = 9;
+  return cfg;
+}
+
+ImageTrainOptions TinyTrain(int epochs = 5) {
+  ImageTrainOptions opts;
+  opts.epochs = epochs;
+  opts.batch_size = 32;
+  opts.sgd.lr = 0.05;
+  opts.augment = false;
+  opts.seed = 33;
+  return opts;
+}
+
+TEST(FixedEnsemble, WidthMembersAreOrderedByCost) {
+  auto split = MakeSyntheticImages(TinyData()).MoveValueOrDie();
+  EnsembleOptions opts;
+  opts.base = TinyCnn();
+  opts.scales = {0.5, 1.0};
+  opts.axis = EnsembleAxis::kWidth;
+  opts.train = TinyTrain(4);
+  const auto members =
+      TrainFixedEnsemble(opts, split.train, split.test).MoveValueOrDie();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_LT(members[0].flops, members[1].flops);
+  EXPECT_LT(members[0].params, members[1].params);
+  EXPECT_GT(members[0].test_accuracy, 0.3f);
+  EXPECT_GT(members[1].test_accuracy, 0.3f);
+}
+
+TEST(FixedEnsemble, DepthMembersVaryBlocks) {
+  auto split = MakeSyntheticImages(TinyData()).MoveValueOrDie();
+  EnsembleOptions opts;
+  opts.base = TinyCnn();
+  opts.base.blocks_per_stage = 2;
+  opts.scales = {0.5, 1.0};
+  opts.axis = EnsembleAxis::kDepth;
+  opts.use_resnet = true;
+  opts.train = TinyTrain(3);
+  const auto members =
+      TrainFixedEnsemble(opts, split.train, split.test).MoveValueOrDie();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_LT(members[0].flops, members[1].flops);
+}
+
+TEST(FixedEnsemble, RejectsBadScales) {
+  auto split = MakeSyntheticImages(TinyData()).MoveValueOrDie();
+  EnsembleOptions opts;
+  opts.base = TinyCnn();
+  opts.scales = {};
+  EXPECT_FALSE(TrainFixedEnsemble(opts, split.train, split.test).ok());
+  opts.scales = {1.5};
+  EXPECT_FALSE(TrainFixedEnsemble(opts, split.train, split.test).ok());
+}
+
+TEST(MultiExit, ExitsHaveIncreasingCost) {
+  auto model = MultiExitCnn::Make(TinyCnn()).MoveValueOrDie();
+  Rng rng(1);
+  Tensor x = Tensor::Randn({2, 3, 8, 8}, &rng);
+  const auto logits = model->ForwardAll(x, false);
+  ASSERT_EQ(static_cast<int>(logits.size()), model->num_exits());
+  for (const auto& l : logits) {
+    EXPECT_EQ(l.shape(), (std::vector<int64_t>{2, 4}));
+  }
+  int64_t prev = 0;
+  for (int e = 0; e < model->num_exits(); ++e) {
+    EXPECT_GT(model->FlopsUpToExit(e), prev);
+    prev = model->FlopsUpToExit(e);
+  }
+}
+
+TEST(MultiExit, TrainingImprovesAllExits) {
+  auto split = MakeSyntheticImages(TinyData()).MoveValueOrDie();
+  auto model = MultiExitCnn::Make(TinyCnn()).MoveValueOrDie();
+  model->Train(split.train, TinyTrain(6));
+  for (int e = 0; e < model->num_exits(); ++e) {
+    EXPECT_GT(model->EvalExitAccuracy(split.test, e), 0.4f) << "exit " << e;
+  }
+}
+
+TEST(GatedBlock, GradientsAreCorrect) {
+  Rng rng(2);
+  auto body = std::make_unique<Sequential>("body");
+  Conv2dOptions c;
+  c.in_channels = 6;
+  c.out_channels = 6;
+  c.kernel = 3;
+  c.pad = 1;
+  body->Emplace<Conv2d>(c, &rng, "c");
+  GatedResidualBlock block(std::move(body), 6, &rng);
+  Tensor x = Tensor::Randn({3, 6, 4, 4}, &rng);
+  testing_util::GradCheckOptions gopts;
+  gopts.rtol = 4e-2;
+  gopts.atol = 8e-4;
+  testing_util::CheckModuleGradients(&block, x, 301, gopts);
+}
+
+TEST(SkipNet, SparsityPenaltyReducesExecutedFlops) {
+  auto split = MakeSyntheticImages(TinyData()).MoveValueOrDie();
+  double flops_light = 0.0, flops_heavy = 0.0;
+  float acc_light = 0.0f;
+  for (double alpha : {0.0, 3.0}) {
+    SkipNet::Options opts;
+    opts.cnn = TinyCnn();
+    opts.sparsity_alpha = alpha;
+    auto net = SkipNet::Make(opts).MoveValueOrDie();
+    net->Train(split.train, TinyTrain(5));
+    const float acc = net->EvalAccuracy(split.test);
+    if (alpha == 0.0) {
+      flops_light = net->MeasuredEvalFlops();
+      acc_light = acc;
+    } else {
+      flops_heavy = net->MeasuredEvalFlops();
+    }
+  }
+  // A strong penalty must skip more blocks than no penalty.
+  EXPECT_LT(flops_heavy, flops_light);
+  EXPECT_GT(acc_light, 0.4f);
+}
+
+TEST(SkipNet, RejectsBadOptions) {
+  SkipNet::Options opts;
+  opts.cnn = TinyCnn();
+  opts.sparsity_alpha = -1.0;
+  EXPECT_FALSE(SkipNet::Make(opts).ok());
+}
+
+TEST(NetworkSlimming, L1TrainingShrinksGammas) {
+  auto split = MakeSyntheticImages(TinyData()).MoveValueOrDie();
+  CnnConfig cfg = TinyCnn();
+  cfg.norm = NormKind::kBatch;
+  auto with_l1 = MakeVggSmall(cfg).MoveValueOrDie();
+  auto without_l1 = MakeVggSmall(cfg).MoveValueOrDie();
+  TrainWithGammaL1(with_l1.get(), split.train, TinyTrain(4), /*l1=*/5e-3);
+  TrainWithGammaL1(without_l1.get(), split.train, TinyTrain(4), /*l1=*/0.0);
+  auto mean_abs_gamma = [](Sequential* net) {
+    double total = 0.0;
+    int64_t count = 0;
+    for (size_t i = 0; i < net->size(); ++i) {
+      if (auto* bn = dynamic_cast<BatchNorm*>(net->child(i))) {
+        for (int64_t c = 0; c < bn->gamma().size(); ++c) {
+          total += std::abs(bn->gamma()[c]);
+          ++count;
+        }
+      }
+    }
+    return total / count;
+  };
+  EXPECT_LT(mean_abs_gamma(with_l1.get()),
+            mean_abs_gamma(without_l1.get()) - 0.05);
+}
+
+TEST(NetworkSlimming, PipelineProducesSmallerWorkingNet) {
+  auto split = MakeSyntheticImages(TinyData()).MoveValueOrDie();
+  SlimmingOptions opts;
+  opts.base = TinyCnn();
+  opts.l1_lambda = 1e-3;
+  opts.prune_fraction = 0.4;
+  opts.pretrain = TinyTrain(5);
+  opts.finetune = TinyTrain(3);
+  opts.finetune.sgd.lr = 0.01;
+  const auto result =
+      RunNetworkSlimming(opts, split.train, split.test).MoveValueOrDie();
+  ASSERT_NE(result.pruned_net, nullptr);
+  EXPECT_GT(result.accuracy, 0.4f);
+  EXPECT_GE(result.accuracy, result.accuracy_before_finetune - 0.05f);
+  // Fewer channels than the original everywhere.
+  int64_t kept = 0;
+  for (int64_t k : result.kept_per_layer) kept += k;
+  EXPECT_LT(kept, 8 + 16);  // original widths: 8 (stage 0) + 16 (stage 1)
+  // The pruned net must still run.
+  EXPECT_GT(EvalAccuracy(result.pruned_net.get(), split.test, 1.0), 0.4f);
+}
+
+TEST(NetworkSlimming, RejectsBadFractions) {
+  auto split = MakeSyntheticImages(TinyData()).MoveValueOrDie();
+  SlimmingOptions opts;
+  opts.base = TinyCnn();
+  opts.prune_fraction = 1.0;
+  EXPECT_FALSE(RunNetworkSlimming(opts, split.train, split.test).ok());
+  opts.prune_fraction = 0.5;
+  opts.l1_lambda = -1.0;
+  EXPECT_FALSE(RunNetworkSlimming(opts, split.train, split.test).ok());
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,86 @@
+// Tests for the cost model (Eq. 3): quadratic compute scaling with the
+// slice rate, and the budget -> rate mapping.
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/core/cost_model.h"
+#include "src/models/cnn.h"
+#include "src/models/mlp.h"
+
+namespace ms {
+namespace {
+
+TEST(CostModel, BudgetToRateContinuousIsSqrt) {
+  EXPECT_DOUBLE_EQ(BudgetToRateContinuous(25, 100), 0.5);
+  EXPECT_DOUBLE_EQ(BudgetToRateContinuous(100, 100), 1.0);
+  EXPECT_DOUBLE_EQ(BudgetToRateContinuous(400, 100), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(BudgetToRateContinuous(0, 100), 0.0);
+}
+
+TEST(CostModel, BudgetToRateSnapsToLattice) {
+  auto cfg = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  // sqrt(0.4) ~ 0.632 -> floor to 0.5.
+  EXPECT_DOUBLE_EQ(BudgetToRate(40, 100, cfg), 0.5);
+  // sqrt(0.58) ~ 0.762 -> floor to 0.75.
+  EXPECT_DOUBLE_EQ(BudgetToRate(58, 100, cfg), 0.75);
+  // Tiny budgets clamp at the lower bound.
+  EXPECT_DOUBLE_EQ(BudgetToRate(1, 100, cfg), 0.25);
+}
+
+class QuadraticCostSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuadraticCostSweep, VggFlopsScaleQuadratically) {
+  const double rate = GetParam();
+  CnnConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 10;
+  cfg.base_width = 16;
+  cfg.stages = 2;
+  cfg.blocks_per_stage = 2;
+  cfg.slice_groups = 8;
+  cfg.norm = NormKind::kGroup;
+  auto net = MakeVggSmall(cfg).MoveValueOrDie();
+  Tensor sample({1, 3, 12, 12});
+  const auto profiles = ProfileNet(net.get(), sample, {rate, 1.0});
+  const double ratio = static_cast<double>(profiles[0].flops) /
+                       static_cast<double>(profiles[1].flops);
+  // Interior layers scale as r^2; the unsliced input conv and the full-width
+  // classifier rows give a small additive deviation.
+  EXPECT_NEAR(ratio, rate * rate, 0.08) << "rate " << rate;
+  // Parameter count scales the same way.
+  const double pratio = static_cast<double>(profiles[0].params) /
+                        static_cast<double>(profiles[1].params);
+  EXPECT_NEAR(pratio, rate * rate, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, QuadraticCostSweep,
+                         ::testing::Values(0.25, 0.375, 0.5, 0.625, 0.75,
+                                           0.875, 1.0));
+
+TEST(CostModel, ProfileIsMonotoneInRate) {
+  MlpConfig cfg;
+  cfg.in_features = 64;
+  cfg.hidden = {64, 64};
+  cfg.num_classes = 10;
+  cfg.slice_groups = 8;
+  auto net = MakeMlp(cfg).MoveValueOrDie();
+  Tensor sample({1, 64});
+  const std::vector<double> rates = {0.25, 0.5, 0.75, 1.0};
+  const auto profiles = ProfileNet(net.get(), sample, rates);
+  for (size_t i = 1; i < profiles.size(); ++i) {
+    EXPECT_GT(profiles[i].flops, profiles[i - 1].flops);
+    EXPECT_GT(profiles[i].params, profiles[i - 1].params);
+  }
+}
+
+TEST(CostModel, PaperHeadlineRatios) {
+  // Table 2/4 header: slice rate 0.5 -> 25% compute, 0.25 -> 6.25% (16x).
+  EXPECT_NEAR(0.5 * 0.5, 0.25, 1e-12);
+  auto cfg = SliceConfig::Make(0.25, 0.125).MoveValueOrDie();
+  const int64_t full = 1000000;
+  const double r = BudgetToRate(full / 16, full, cfg);
+  EXPECT_DOUBLE_EQ(r, 0.25);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,238 @@
+// Tests for the synthetic data substrates (image and text generation,
+// batching, augmentation).
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "src/data/synthetic_images.h"
+#include "src/data/synthetic_text.h"
+
+namespace ms {
+namespace {
+
+SyntheticImageOptions SmallImageOpts() {
+  SyntheticImageOptions opts;
+  opts.num_classes = 4;
+  opts.modes_per_class = 2;
+  opts.channels = 2;
+  opts.height = 8;
+  opts.width = 8;
+  opts.train_size = 128;
+  opts.test_size = 64;
+  opts.seed = 3;
+  return opts;
+}
+
+TEST(SyntheticImages, ShapesAndLabels) {
+  auto split = MakeSyntheticImages(SmallImageOpts()).MoveValueOrDie();
+  EXPECT_EQ(split.train.size(), 128);
+  EXPECT_EQ(split.test.size(), 64);
+  EXPECT_EQ(split.train.images.shape(),
+            (std::vector<int64_t>{128, 2, 8, 8}));
+  for (int label : split.train.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 4);
+  }
+  // All classes present.
+  std::set<int> classes(split.train.labels.begin(),
+                        split.train.labels.end());
+  EXPECT_EQ(classes.size(), 4u);
+}
+
+TEST(SyntheticImages, DeterministicPerSeed) {
+  auto a = MakeSyntheticImages(SmallImageOpts()).MoveValueOrDie();
+  auto b = MakeSyntheticImages(SmallImageOpts()).MoveValueOrDie();
+  ASSERT_EQ(a.train.images.size(), b.train.images.size());
+  for (int64_t i = 0; i < a.train.images.size(); ++i) {
+    EXPECT_EQ(a.train.images[i], b.train.images[i]);
+  }
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(SyntheticImages, DifferentSeedsDiffer) {
+  auto opts = SmallImageOpts();
+  auto a = MakeSyntheticImages(opts).MoveValueOrDie();
+  opts.seed = 4;
+  auto b = MakeSyntheticImages(opts).MoveValueOrDie();
+  int64_t diff = 0;
+  for (int64_t i = 0; i < a.train.images.size(); ++i) {
+    if (a.train.images[i] != b.train.images[i]) ++diff;
+  }
+  EXPECT_GT(diff, a.train.images.size() / 2);
+}
+
+TEST(SyntheticImages, RejectsBadOptions) {
+  auto opts = SmallImageOpts();
+  opts.num_classes = 1;
+  EXPECT_FALSE(MakeSyntheticImages(opts).ok());
+  opts = SmallImageOpts();
+  opts.height = 2;
+  EXPECT_FALSE(MakeSyntheticImages(opts).ok());
+  opts = SmallImageOpts();
+  opts.train_size = 0;
+  EXPECT_FALSE(MakeSyntheticImages(opts).ok());
+  opts = SmallImageOpts();
+  opts.max_shift = 100;
+  EXPECT_FALSE(MakeSyntheticImages(opts).ok());
+}
+
+TEST(SyntheticImages, GatherSelectsRows) {
+  auto split = MakeSyntheticImages(SmallImageOpts()).MoveValueOrDie();
+  std::vector<int64_t> indices = {5, 0, 17};
+  Tensor batch = GatherImages(split.train, indices);
+  EXPECT_EQ(batch.dim(0), 3);
+  const int64_t sample = 2 * 8 * 8;
+  for (int64_t i = 0; i < sample; ++i) {
+    EXPECT_EQ(batch[i], split.train.images[5 * sample + i]);
+    EXPECT_EQ(batch[sample + i], split.train.images[i]);
+  }
+  std::vector<int> labels;
+  GatherLabels(split.train, indices, &labels);
+  EXPECT_EQ(labels[0], split.train.labels[5]);
+  EXPECT_EQ(labels[2], split.train.labels[17]);
+}
+
+TEST(SyntheticImages, AugmentPreservesEnergy) {
+  auto split = MakeSyntheticImages(SmallImageOpts()).MoveValueOrDie();
+  std::vector<int64_t> indices = {0, 1, 2, 3};
+  Tensor batch = GatherImages(split.train, indices);
+  Tensor orig = batch;
+  Rng rng(9);
+  AugmentBatch(&batch, /*max_shift=*/2, &rng);
+  // Toroidal shift + flip permute pixels: per-image sums are invariant.
+  const int64_t sample = 2 * 8 * 8;
+  for (int64_t img = 0; img < 4; ++img) {
+    double sum_orig = 0.0, sum_aug = 0.0;
+    for (int64_t i = 0; i < sample; ++i) {
+      sum_orig += orig[img * sample + i];
+      sum_aug += batch[img * sample + i];
+    }
+    EXPECT_NEAR(sum_orig, sum_aug, 1e-2);
+  }
+}
+
+TEST(SyntheticImages, FlipAugmentationAlsoPreservesEnergy) {
+  auto split = MakeSyntheticImages(SmallImageOpts()).MoveValueOrDie();
+  std::vector<int64_t> indices = {0, 1};
+  Tensor batch = GatherImages(split.train, indices);
+  Tensor orig = batch;
+  Rng rng(10);
+  AugmentBatch(&batch, /*max_shift=*/1, &rng, /*flip=*/true);
+  const int64_t sample = 2 * 8 * 8;
+  for (int64_t img = 0; img < 2; ++img) {
+    double sum_orig = 0.0, sum_aug = 0.0;
+    for (int64_t i = 0; i < sample; ++i) {
+      sum_orig += orig[img * sample + i];
+      sum_aug += batch[img * sample + i];
+    }
+    EXPECT_NEAR(sum_orig, sum_aug, 1e-2);
+  }
+}
+
+TEST(SyntheticImages, ZeroShiftNoFlipIsIdentity) {
+  auto split = MakeSyntheticImages(SmallImageOpts()).MoveValueOrDie();
+  std::vector<int64_t> indices = {3};
+  Tensor batch = GatherImages(split.train, indices);
+  Tensor orig = batch;
+  Rng rng(11);
+  AugmentBatch(&batch, /*max_shift=*/0, &rng, /*flip=*/false);
+  for (int64_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i], orig[i]);
+  }
+}
+
+SyntheticTextOptions SmallTextOpts() {
+  SyntheticTextOptions opts;
+  opts.vocab_size = 50;
+  opts.train_tokens = 5000;
+  opts.valid_tokens = 500;
+  opts.test_tokens = 500;
+  opts.seed = 5;
+  return opts;
+}
+
+TEST(SyntheticText, CorpusShapes) {
+  auto corpus = MakeSyntheticCorpus(SmallTextOpts()).MoveValueOrDie();
+  EXPECT_EQ(corpus.train.size(), 5000u);
+  EXPECT_EQ(corpus.valid.size(), 500u);
+  EXPECT_EQ(corpus.vocab_size, 50);
+  for (int tok : corpus.train) {
+    EXPECT_GE(tok, 0);
+    EXPECT_LT(tok, 50);
+  }
+}
+
+TEST(SyntheticText, ZipfSkew) {
+  // Frequent tokens should dominate: token frequency mass of the top decile
+  // must clearly exceed uniform share.
+  auto corpus = MakeSyntheticCorpus(SmallTextOpts()).MoveValueOrDie();
+  std::vector<int> counts(50, 0);
+  for (int tok : corpus.train) counts[static_cast<size_t>(tok)]++;
+  std::sort(counts.rbegin(), counts.rend());
+  int top5 = 0;
+  for (int i = 0; i < 5; ++i) top5 += counts[static_cast<size_t>(i)];
+  EXPECT_GT(top5, static_cast<int>(corpus.train.size()) / 5);
+}
+
+TEST(SyntheticText, MarkovStructureIsLearnable) {
+  // Bigram predictability: the entropy of next-token given previous pair
+  // should be far below the unigram entropy. We approximate by checking
+  // that repeated contexts often repeat the same successor.
+  auto corpus = MakeSyntheticCorpus(SmallTextOpts()).MoveValueOrDie();
+  std::map<std::pair<int, int>, std::map<int, int>> ctx;
+  const auto& s = corpus.train;
+  for (size_t t = 2; t < s.size(); ++t) {
+    ctx[{s[t - 2], s[t - 1]}][s[t]]++;
+  }
+  int64_t repeated = 0, dominated = 0;
+  for (const auto& [key, nexts] : ctx) {
+    int64_t total = 0, best = 0;
+    for (const auto& [tok, count] : nexts) {
+      total += count;
+      best = std::max<int64_t>(best, count);
+    }
+    if (total >= 5) {
+      ++repeated;
+      // A context with >=5 observations whose top successor covers >= 25% —
+      // far above the ~2% a structureless unigram stream would give
+      // (branch factor 6 with 10% smoothing caps concentration around 30%).
+      if (best * 4 >= total) ++dominated;
+    }
+  }
+  ASSERT_GT(repeated, 10);
+  EXPECT_GT(static_cast<double>(dominated) / repeated, 0.5);
+}
+
+TEST(SyntheticText, RejectsBadOptions) {
+  auto opts = SmallTextOpts();
+  opts.vocab_size = 2;
+  EXPECT_FALSE(MakeSyntheticCorpus(opts).ok());
+  opts = SmallTextOpts();
+  opts.branch_factor = 0;
+  EXPECT_FALSE(MakeSyntheticCorpus(opts).ok());
+  opts = SmallTextOpts();
+  opts.train_tokens = 1;
+  EXPECT_FALSE(MakeSyntheticCorpus(opts).ok());
+}
+
+TEST(TextBatcher, ChunksAreShiftedByOne) {
+  std::vector<int> stream(100);
+  for (int i = 0; i < 100; ++i) stream[static_cast<size_t>(i)] = i;
+  TextBatcher batcher(stream, /*batch_size=*/2, /*bptt=*/5);
+  EXPECT_EQ(batcher.num_chunks(), (50 - 1) / 5);
+  std::vector<int> inputs, targets;
+  batcher.Chunk(0, &inputs, &targets);
+  ASSERT_EQ(inputs.size(), 10u);
+  // Track 0 = tokens [0, 50), track 1 = [50, 100). Time-major layout.
+  EXPECT_EQ(inputs[0], 0);   // t=0, b=0
+  EXPECT_EQ(inputs[1], 50);  // t=0, b=1
+  EXPECT_EQ(targets[0], 1);
+  EXPECT_EQ(targets[1], 51);
+  batcher.Chunk(1, &inputs, &targets);
+  EXPECT_EQ(inputs[0], 5);
+  EXPECT_EQ(targets[0], 6);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,92 @@
+// Unit tests for the evaluator utilities on a controlled (untrained but
+// deterministic) model and hand-built masks.
+#include "gtest/gtest.h"
+#include "src/core/evaluator.h"
+#include "src/models/cnn.h"
+
+namespace ms {
+namespace {
+
+ImageDataset TinySet() {
+  SyntheticImageOptions opts;
+  opts.num_classes = 3;
+  opts.channels = 2;
+  opts.height = 6;
+  opts.width = 6;
+  opts.train_size = 4;
+  opts.test_size = 60;
+  opts.seed = 2;
+  return MakeSyntheticImages(opts).MoveValueOrDie().test;
+}
+
+std::unique_ptr<Sequential> TinyNet() {
+  CnnConfig cfg;
+  cfg.in_channels = 2;
+  cfg.num_classes = 3;
+  cfg.base_width = 4;
+  cfg.stages = 1;
+  cfg.blocks_per_stage = 1;
+  cfg.slice_groups = 2;
+  cfg.seed = 3;
+  return MakeVggSmall(cfg).MoveValueOrDie();
+}
+
+TEST(Evaluator, PredictionsLabelAccuracyMaskAgree) {
+  const ImageDataset data = TinySet();
+  auto net = TinyNet();
+  const auto pred = PredictLabels(net.get(), data, 1.0, /*batch=*/16);
+  ASSERT_EQ(static_cast<int64_t>(pred.size()), data.size());
+  const float acc = EvalAccuracy(net.get(), data, 1.0, 16);
+  const auto wrong = WrongPredictionMask(net.get(), data, 1.0, 16);
+  int64_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    EXPECT_EQ(wrong[i], pred[i] != data.labels[i] ? 1 : 0);
+    if (pred[i] == data.labels[i]) ++correct;
+  }
+  EXPECT_FLOAT_EQ(acc, static_cast<float>(correct) / data.size());
+}
+
+TEST(Evaluator, BatchSizeDoesNotChangeResults) {
+  const ImageDataset data = TinySet();
+  auto net = TinyNet();
+  const auto p1 = PredictLabels(net.get(), data, 0.5, 7);
+  const auto p2 = PredictLabels(net.get(), data, 0.5, 60);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(Evaluator, SweepMatchesIndividualCalls) {
+  const ImageDataset data = TinySet();
+  auto net = TinyNet();
+  const std::vector<double> rates = {0.5, 1.0};
+  const auto sweep = EvalAccuracySweep(net.get(), data, rates, 16);
+  ASSERT_EQ(sweep.size(), 2u);
+  EXPECT_FLOAT_EQ(sweep[0], EvalAccuracy(net.get(), data, 0.5, 16));
+  EXPECT_FLOAT_EQ(sweep[1], EvalAccuracy(net.get(), data, 1.0, 16));
+}
+
+TEST(InclusionCoefficient, DiagonalSymmetryAndBounds) {
+  const std::vector<uint8_t> a = {1, 1, 0, 0, 1};
+  const std::vector<uint8_t> b = {1, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(InclusionCoefficient(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(InclusionCoefficient(a, b), InclusionCoefficient(b, a));
+  const double v = InclusionCoefficient(a, b);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 1.0);
+  EXPECT_DOUBLE_EQ(v, 2.0 / 3.0);  // overlap 2 over min(3, 3)
+}
+
+TEST(InclusionCoefficient, DisjointAndEmptySets) {
+  EXPECT_DOUBLE_EQ(InclusionCoefficient({1, 0}, {0, 1}), 0.0);
+  // Perfect model vs anything: defined as 1 (no errors to overlap).
+  EXPECT_DOUBLE_EQ(InclusionCoefficient({0, 0}, {1, 1}), 1.0);
+}
+
+TEST(InclusionCoefficient, SubsetGivesOne) {
+  // Errors of the larger model contained in the smaller model's errors.
+  const std::vector<uint8_t> small_model = {1, 1, 1, 0};
+  const std::vector<uint8_t> large_model = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(InclusionCoefficient(large_model, small_model), 1.0);
+}
+
+}  // namespace
+}  // namespace ms

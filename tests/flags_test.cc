@@ -1,0 +1,64 @@
+// Tests for the --key=value flag parser behind the mscli tool.
+#include "gtest/gtest.h"
+#include "src/util/flags.h"
+
+namespace ms {
+namespace {
+
+Flags MustParse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data())
+      .MoveValueOrDie();
+}
+
+TEST(Flags, ParsesTypedValues) {
+  const Flags flags = MustParse(
+      {"train", "--lr=0.05", "--epochs=8", "--augment", "--name=vgg13"});
+  EXPECT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "train");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 0.0), 0.05);
+  EXPECT_EQ(flags.GetInt("epochs", 0), 8);
+  EXPECT_TRUE(flags.GetBool("augment", false));
+  EXPECT_EQ(flags.GetString("name"), "vgg13");
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const Flags flags = MustParse({});
+  EXPECT_FALSE(flags.Has("lr"));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 0.1), 0.1);
+  EXPECT_EQ(flags.GetInt("epochs", 3), 3);
+  EXPECT_FALSE(flags.GetBool("augment", false));
+  EXPECT_EQ(flags.GetString("name", "x"), "x");
+}
+
+TEST(Flags, BoolSpellings) {
+  const Flags flags =
+      MustParse({"--a=true", "--b=1", "--c=yes", "--d=false", "--e=0"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+  EXPECT_FALSE(flags.GetBool("e", true));
+}
+
+TEST(Flags, RejectsMalformed) {
+  const char* argv1[] = {"prog", "--"};
+  EXPECT_FALSE(Flags::Parse(2, argv1).ok());
+  const char* argv2[] = {"prog", "--=x"};
+  EXPECT_FALSE(Flags::Parse(2, argv2).ok());
+}
+
+TEST(Flags, UnknownKeyDetection) {
+  const Flags flags = MustParse({"--lr=1", "--typo=2"});
+  const auto unknown = flags.UnknownKeys({"lr", "epochs"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Flags, LastValueWins) {
+  const Flags flags = MustParse({"--lr=1", "--lr=2"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 0.0), 2.0);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,95 @@
+// Randomized property testing of the GEMM kernel against a reference
+// implementation, across shapes, transposes, strides (prefix slices) and
+// alpha/beta — the kernel every layer depends on.
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/tensor/tensor_ops.h"
+#include "src/util/rng.h"
+
+namespace ms {
+namespace {
+
+// Reference: C = alpha * op(A) op(B) + beta * C with explicit leading dims.
+void RefGemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, float alpha,
+             const float* a, int64_t lda, const float* b, int64_t ldb,
+             float beta, float* c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a[p * lda + i] : a[i * lda + p];
+        const float bv = tb ? b[j * ldb + p] : b[p * ldb + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * ldc + j] =
+          static_cast<float>(alpha * acc + beta * c[i * ldc + j]);
+    }
+  }
+}
+
+TEST(GemmProperty, RandomShapesStridesAndScalars) {
+  Rng rng(12345);
+  for (int trial = 0; trial < 60; ++trial) {
+    const bool ta = rng.Bernoulli(0.5);
+    const bool tb = rng.Bernoulli(0.5);
+    const int64_t m = 1 + static_cast<int64_t>(rng.UniformInt(12));
+    const int64_t n = 1 + static_cast<int64_t>(rng.UniformInt(12));
+    const int64_t k = 1 + static_cast<int64_t>(rng.UniformInt(12));
+    // Leading dims >= logical extent: models prefix-sliced weight matrices.
+    const int64_t lda = (ta ? m : k) + static_cast<int64_t>(rng.UniformInt(4));
+    const int64_t ldb = (tb ? k : n) + static_cast<int64_t>(rng.UniformInt(4));
+    const int64_t ldc = n + static_cast<int64_t>(rng.UniformInt(4));
+    const float alpha = static_cast<float>(rng.Uniform(-2.0, 2.0));
+    const float beta = rng.Bernoulli(0.5)
+                           ? 0.0f
+                           : static_cast<float>(rng.Uniform(-1.0, 1.0));
+
+    const int64_t a_rows = ta ? k : m;
+    const int64_t b_rows = tb ? n : k;
+    Tensor a = Tensor::Randn({a_rows, lda}, &rng);
+    Tensor b = Tensor::Randn({b_rows, ldb}, &rng);
+    Tensor c = Tensor::Randn({m, ldc}, &rng);
+    Tensor c_ref = c;
+
+    ops::Gemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta,
+              c.data(), ldc);
+    RefGemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta,
+            c_ref.data(), ldc);
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(c[i * ldc + j], c_ref[i * ldc + j], 1e-3f)
+            << "trial " << trial << " ta=" << ta << " tb=" << tb << " m=" << m
+            << " n=" << n << " k=" << k;
+      }
+      // Padding beyond column n must be untouched.
+      for (int64_t j = n; j < ldc; ++j) {
+        EXPECT_EQ(c[i * ldc + j], c_ref[i * ldc + j]);
+      }
+    }
+  }
+}
+
+TEST(GemmProperty, DegenerateSizes) {
+  // 1x1x1 and long-thin shapes.
+  Rng rng(7);
+  for (auto [m, n, k] : {std::tuple<int64_t, int64_t, int64_t>{1, 1, 1},
+                         {1, 16, 1},
+                         {16, 1, 16},
+                         {1, 1, 32}}) {
+    Tensor a = Tensor::Randn({m, k}, &rng);
+    Tensor b = Tensor::Randn({k, n}, &rng);
+    Tensor c({m, n});
+    Tensor c_ref({m, n});
+    ops::Gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+              c.data(), n);
+    RefGemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+            c_ref.data(), n);
+    for (int64_t i = 0; i < c.size(); ++i) {
+      EXPECT_NEAR(c[i], c_ref[i], 1e-4f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ms

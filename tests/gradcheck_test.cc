@@ -1,0 +1,289 @@
+// Finite-difference gradient checks for every layer type at multiple slice
+// rates — the load-bearing correctness tests for the whole library.
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "src/nn/activations.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/dense.h"
+#include "src/nn/lstm.h"
+#include "src/nn/norm.h"
+#include "src/nn/pooling.h"
+#include "src/nn/residual.h"
+#include "tests/gradcheck_util.h"
+
+namespace ms {
+namespace {
+
+using testing_util::CheckModuleGradients;
+
+class SliceRateGradCheck : public ::testing::TestWithParam<double> {};
+
+TEST_P(SliceRateGradCheck, DenseBothDimsSliced) {
+  const double rate = GetParam();
+  Rng rng(11);
+  DenseOptions opts;
+  opts.in_features = 16;
+  opts.out_features = 12;
+  opts.groups = 4;
+  opts.bias = true;
+  Dense layer(opts, &rng);
+  layer.SetSliceRate(rate);
+  Tensor x = Tensor::Randn({5, layer.active_in()}, &rng);
+  CheckModuleGradients(&layer, x, 101);
+}
+
+TEST_P(SliceRateGradCheck, DenseWithRescale) {
+  const double rate = GetParam();
+  Rng rng(12);
+  DenseOptions opts;
+  opts.in_features = 16;
+  opts.out_features = 8;
+  opts.groups = 4;
+  opts.bias = true;
+  opts.rescale = true;
+  opts.slice_out = false;
+  Dense layer(opts, &rng);
+  layer.SetSliceRate(rate);
+  Tensor x = Tensor::Randn({4, layer.active_in()}, &rng);
+  // fp32 central differences bottom out around 1e-4 for near-zero grads.
+  testing_util::GradCheckOptions gopts;
+  gopts.atol = 5e-4;
+  CheckModuleGradients(&layer, x, 102, gopts);
+}
+
+TEST_P(SliceRateGradCheck, DenseInputUnsliced) {
+  const double rate = GetParam();
+  Rng rng(13);
+  DenseOptions opts;
+  opts.in_features = 10;
+  opts.out_features = 12;
+  opts.groups = 4;
+  opts.slice_in = false;
+  Dense layer(opts, &rng);
+  layer.SetSliceRate(rate);
+  Tensor x = Tensor::Randn({3, 10}, &rng);
+  CheckModuleGradients(&layer, x, 103);
+}
+
+TEST_P(SliceRateGradCheck, Conv2dBothDimsSliced) {
+  const double rate = GetParam();
+  Rng rng(14);
+  Conv2dOptions opts;
+  opts.in_channels = 8;
+  opts.out_channels = 8;
+  opts.kernel = 3;
+  opts.pad = 1;
+  opts.groups = 4;
+  opts.bias = true;
+  Conv2d layer(opts, &rng);
+  layer.SetSliceRate(rate);
+  Tensor x = Tensor::Randn({2, layer.active_in(), 5, 5}, &rng);
+  CheckModuleGradients(&layer, x, 104);
+}
+
+TEST_P(SliceRateGradCheck, Conv2dStrided1x1) {
+  const double rate = GetParam();
+  Rng rng(15);
+  Conv2dOptions opts;
+  opts.in_channels = 8;
+  opts.out_channels = 12;
+  opts.kernel = 1;
+  opts.stride = 2;
+  opts.pad = 0;
+  opts.groups = 4;
+  Conv2d layer(opts, &rng);
+  layer.SetSliceRate(rate);
+  Tensor x = Tensor::Randn({2, layer.active_in(), 6, 6}, &rng);
+  CheckModuleGradients(&layer, x, 105);
+}
+
+TEST_P(SliceRateGradCheck, GroupNorm4d) {
+  const double rate = GetParam();
+  Rng rng(16);
+  NormOptions opts;
+  opts.channels = 8;
+  opts.groups = 4;
+  GroupNorm layer(opts);
+  layer.SetSliceRate(rate);
+  Tensor x = Tensor::Randn({3, layer.active_channels(), 4, 4}, &rng);
+  // Loosen tolerances: normalization divides by data-dependent sigma.
+  testing_util::GradCheckOptions gopts;
+  gopts.rtol = 5e-2;
+  gopts.atol = 5e-4;
+  CheckModuleGradients(&layer, x, 106, gopts);
+}
+
+TEST_P(SliceRateGradCheck, GroupNorm2d) {
+  const double rate = GetParam();
+  Rng rng(17);
+  NormOptions opts;
+  opts.channels = 16;
+  opts.groups = 4;
+  GroupNorm layer(opts);
+  layer.SetSliceRate(rate);
+  Tensor x = Tensor::Randn({4, layer.active_channels()}, &rng);
+  testing_util::GradCheckOptions gopts;
+  gopts.rtol = 5e-2;
+  gopts.atol = 5e-4;
+  CheckModuleGradients(&layer, x, 107, gopts);
+}
+
+TEST_P(SliceRateGradCheck, BatchNorm) {
+  const double rate = GetParam();
+  Rng rng(18);
+  NormOptions opts;
+  opts.channels = 8;
+  opts.groups = 4;
+  opts.momentum = 0.0f;  // Freeze running stats: repeated forwards must match.
+  BatchNorm layer(opts);
+  layer.SetSliceRate(rate);
+  Tensor x = Tensor::Randn({6, layer.active_channels(), 3, 3}, &rng);
+  testing_util::GradCheckOptions gopts;
+  gopts.rtol = 5e-2;
+  gopts.atol = 5e-4;
+  CheckModuleGradients(&layer, x, 108, gopts);
+}
+
+TEST_P(SliceRateGradCheck, Lstm) {
+  const double rate = GetParam();
+  Rng rng(19);
+  LstmOptions opts;
+  opts.input_size = 8;
+  opts.hidden_size = 8;
+  opts.groups = 4;
+  Lstm layer(opts, &rng);
+  layer.SetSliceRate(rate);
+  Tensor x = Tensor::Randn({4, 3, layer.active_in()}, &rng);
+  testing_util::GradCheckOptions gopts;
+  gopts.rtol = 3e-2;
+  gopts.atol = 3e-4;
+  CheckModuleGradients(&layer, x, 109, gopts);
+}
+
+TEST_P(SliceRateGradCheck, ResidualBlockWithProjection) {
+  const double rate = GetParam();
+  Rng rng(20);
+  auto body = std::make_unique<Sequential>("body");
+  {
+    Conv2dOptions c;
+    c.in_channels = 8;
+    c.out_channels = 8;
+    c.kernel = 3;
+    c.pad = 1;
+    c.groups = 4;
+    body->Emplace<Conv2d>(c, &rng, "c1");
+    body->Emplace<ReLU>();
+    body->Emplace<Conv2d>(c, &rng, "c2");
+  }
+  auto shortcut = std::make_unique<Sequential>("sc");
+  {
+    Conv2dOptions c;
+    c.in_channels = 8;
+    c.out_channels = 8;
+    c.kernel = 1;
+    c.pad = 0;
+    c.groups = 4;
+    shortcut->Emplace<Conv2d>(c, &rng, "proj");
+  }
+  ResidualBlock block(std::move(body), std::move(shortcut));
+  block.SetSliceRate(rate);
+  const int64_t active = SliceSpec(8, 4).ActiveWidth(rate);
+  Tensor x = Tensor::Randn({2, active, 4, 4}, &rng);
+  CheckModuleGradients(&block, x, 110);
+}
+
+TEST_P(SliceRateGradCheck, ResidualBlockIdentity) {
+  const double rate = GetParam();
+  Rng rng(21);
+  auto body = std::make_unique<Sequential>("body");
+  {
+    Conv2dOptions c;
+    c.in_channels = 8;
+    c.out_channels = 8;
+    c.kernel = 3;
+    c.pad = 1;
+    c.groups = 4;
+    body->Emplace<Conv2d>(c, &rng, "c1");
+  }
+  ResidualBlock block(std::move(body), nullptr);
+  block.SetSliceRate(rate);
+  const int64_t active = SliceSpec(8, 4).ActiveWidth(rate);
+  Tensor x = Tensor::Randn({2, active, 4, 4}, &rng);
+  // fp32 cancellation in the loss reduction puts a ~5e-4 noise floor on the
+  // numeric derivative; keep atol above it.
+  testing_util::GradCheckOptions gopts;
+  gopts.rtol = 5e-2;
+  gopts.atol = 1e-3;
+  CheckModuleGradients(&block, x, 111, gopts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SliceRateGradCheck,
+                         ::testing::Values(0.25, 0.5, 0.75, 1.0));
+
+TEST(GradCheckMisc, Conv2dRectangularInput) {
+  // H != W exercises the im2col/col2im index arithmetic asymmetrically.
+  Rng rng(25);
+  Conv2dOptions opts;
+  opts.in_channels = 4;
+  opts.out_channels = 6;
+  opts.kernel = 3;
+  opts.stride = 2;
+  opts.pad = 1;
+  opts.groups = 2;
+  Conv2d layer(opts, &rng);
+  layer.SetSliceRate(0.5);
+  Tensor x = Tensor::Randn({2, layer.active_in(), 7, 4}, &rng);
+  CheckModuleGradients(&layer, x, 116);
+}
+
+TEST(GradCheckMisc, DenseWithInUnit) {
+  // in_unit > 1 models flattened spatial maps: slicing moves in blocks.
+  Rng rng(26);
+  DenseOptions opts;
+  opts.in_features = 24;  // 6 units x in_unit 4
+  opts.in_unit = 4;
+  opts.out_features = 5;
+  opts.groups = 3;
+  opts.slice_out = false;
+  Dense layer(opts, &rng);
+  layer.SetSliceRate(0.5);
+  EXPECT_EQ(layer.active_in() % 4, 0);
+  Tensor x = Tensor::Randn({3, layer.active_in()}, &rng);
+  CheckModuleGradients(&layer, x, 117);
+}
+
+TEST(GradCheckMisc, ReluAndPooling) {
+  Rng rng(22);
+  auto net = std::make_unique<Sequential>("net");
+  net->Emplace<ReLU>();
+  net->Emplace<MaxPool2d>(2, 2);
+  Tensor x = Tensor::Randn({2, 3, 6, 6}, &rng);
+  // Shift x away from ReLU kinks and pooling ties for stable differences.
+  for (int64_t i = 0; i < x.size(); ++i) {
+    if (std::abs(x[i]) < 0.05f) x[i] += 0.2f;
+  }
+  CheckModuleGradients(net.get(), x, 112);
+}
+
+TEST(GradCheckMisc, GlobalAvgPoolAndFlatten) {
+  Rng rng(23);
+  auto net = std::make_unique<Sequential>("net");
+  net->Emplace<GlobalAvgPool>();
+  Tensor x = Tensor::Randn({3, 4, 5, 5}, &rng);
+  CheckModuleGradients(net.get(), x, 113);
+
+  auto net2 = std::make_unique<Sequential>("net2");
+  net2->Emplace<Flatten>();
+  CheckModuleGradients(net2.get(), x, 114);
+}
+
+TEST(GradCheckMisc, TanhActivation) {
+  Rng rng(24);
+  Tanh layer;
+  Tensor x = Tensor::Randn({4, 7}, &rng);
+  CheckModuleGradients(&layer, x, 115);
+}
+
+}  // namespace
+}  // namespace ms

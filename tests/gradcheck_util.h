@@ -1,0 +1,108 @@
+// Finite-difference gradient checking harness shared by the layer tests.
+// Loss is a fixed random linear functional of the module output so dL/dy is
+// known exactly; analytic parameter/input grads are compared against central
+// differences.
+#ifndef MODELSLICING_TESTS_GRADCHECK_UTIL_H_
+#define MODELSLICING_TESTS_GRADCHECK_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+
+namespace ms {
+namespace testing_util {
+
+// L(y) = sum_i c_i * y_i with fixed coefficients c.
+inline double LinearLoss(const Tensor& y, const Tensor& coeffs) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < y.size(); ++i) {
+    acc += static_cast<double>(y[i]) * coeffs[i];
+  }
+  return acc;
+}
+
+struct GradCheckOptions {
+  double epsilon = 1e-3;
+  double rtol = 2e-2;
+  double atol = 1e-4;
+  // Check at most this many coordinates per tensor (uniform stride).
+  int64_t max_coords = 64;
+};
+
+// Runs forward+backward once at the module's current slice rate, then
+// verifies d(loss)/d(param) and d(loss)/d(input) by central differences.
+// `forward` must be deterministic (training-mode stochastic layers excluded
+// or seeded identically — use training=false style layers here).
+inline void CheckModuleGradients(Module* module, const Tensor& input,
+                                 uint64_t seed,
+                                 const GradCheckOptions& opts = {}) {
+  Rng rng(seed);
+
+  // Analytic pass.
+  Tensor y = module->Forward(input, /*training=*/true);
+  Tensor coeffs = Tensor::Randn(y.shape(), &rng, 1.0f);
+  Tensor grad_out = coeffs;
+  std::vector<ParamRef> params;
+  module->CollectParams(&params);
+  for (auto& p : params) p.grad->Zero();
+  Tensor grad_in = module->Backward(grad_out);
+  ASSERT_TRUE(grad_in.SameShape(input));
+
+  auto loss_at = [&]() {
+    Tensor out = module->Forward(input, /*training=*/true);
+    return LinearLoss(out, coeffs);
+  };
+
+  // Parameter gradients.
+  for (auto& p : params) {
+    const int64_t n = p.param->size();
+    const int64_t stride = std::max<int64_t>(1, n / opts.max_coords);
+    for (int64_t i = 0; i < n; i += stride) {
+      const float orig = (*p.param)[i];
+      (*p.param)[i] = orig + static_cast<float>(opts.epsilon);
+      const double up = loss_at();
+      (*p.param)[i] = orig - static_cast<float>(opts.epsilon);
+      const double down = loss_at();
+      (*p.param)[i] = orig;
+      const double numeric = (up - down) / (2.0 * opts.epsilon);
+      const double analytic = (*p.grad)[i];
+      const double tol =
+          opts.atol + opts.rtol * std::max(std::abs(numeric),
+                                           std::abs(analytic));
+      EXPECT_NEAR(analytic, numeric, tol)
+          << "param " << p.name << " coord " << i;
+    }
+  }
+
+  // Input gradients.
+  Tensor x = input;
+  auto loss_at_x = [&](const Tensor& xv) {
+    Tensor out = module->Forward(xv, /*training=*/true);
+    return LinearLoss(out, coeffs);
+  };
+  const int64_t n = x.size();
+  const int64_t stride = std::max<int64_t>(1, n / opts.max_coords);
+  for (int64_t i = 0; i < n; i += stride) {
+    const float orig = x[i];
+    x[i] = orig + static_cast<float>(opts.epsilon);
+    const double up = loss_at_x(x);
+    x[i] = orig - static_cast<float>(opts.epsilon);
+    const double down = loss_at_x(x);
+    x[i] = orig;
+    const double numeric = (up - down) / (2.0 * opts.epsilon);
+    const double analytic = grad_in[i];
+    const double tol = opts.atol + opts.rtol * std::max(std::abs(numeric),
+                                                        std::abs(analytic));
+    EXPECT_NEAR(analytic, numeric, tol) << "input coord " << i;
+  }
+}
+
+}  // namespace testing_util
+}  // namespace ms
+
+#endif  // MODELSLICING_TESTS_GRADCHECK_UTIL_H_

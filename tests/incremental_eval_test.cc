@@ -1,0 +1,134 @@
+// Tests for the Sec. 3.5 group-residual incremental evaluation: upgrading a
+// subnet reuses cached base features and touches only the new groups.
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "src/core/incremental_eval.h"
+#include "src/models/mlp.h"
+#include "src/tensor/tensor_ops.h"
+#include "src/util/rng.h"
+
+namespace ms {
+namespace {
+
+std::unique_ptr<Sequential> MakePlainMlp(uint64_t seed = 3) {
+  MlpConfig cfg;
+  cfg.in_features = 16;
+  cfg.hidden = {32, 32};
+  cfg.num_classes = 6;
+  cfg.slice_groups = 4;
+  cfg.rescale = false;  // required by the incremental evaluator
+  cfg.seed = seed;
+  return MakeMlp(cfg).MoveValueOrDie();
+}
+
+TEST(IncrementalEval, RequiresRescaleFree) {
+  MlpConfig cfg;
+  cfg.in_features = 8;
+  cfg.hidden = {8};
+  cfg.num_classes = 3;
+  cfg.rescale = true;
+  auto mlp = MakeMlp(cfg).MoveValueOrDie();
+  EXPECT_FALSE(IncrementalMlpEvaluator::Make(mlp.get()).ok());
+}
+
+TEST(IncrementalEval, FullEvalMatchesModuleForward) {
+  auto mlp = MakePlainMlp();
+  auto eval = IncrementalMlpEvaluator::Make(mlp.get()).MoveValueOrDie();
+  Rng rng(7);
+  Tensor x = Tensor::Randn({5, 16}, &rng);
+  for (double rate : {0.25, 0.5, 1.0}) {
+    Tensor via_eval = eval.EvalAtRate(x, rate);
+    mlp->SetSliceRate(rate);
+    Tensor via_module = mlp->Forward(x, /*training=*/false);
+    ASSERT_TRUE(via_eval.SameShape(via_module));
+    for (int64_t i = 0; i < via_eval.size(); ++i) {
+      EXPECT_NEAR(via_eval[i], via_module[i], 1e-4f) << "rate " << rate;
+    }
+  }
+}
+
+TEST(IncrementalEval, UpgradeKeepsBaseLogitsContribution) {
+  // The upgraded logits use the paper's approximation y_a~ ≈ y_a: they are
+  // not identical to a full evaluation at the larger rate, but for the first
+  // upgraded layer boundary they must agree with reusing the base features.
+  auto mlp = MakePlainMlp();
+  auto eval = IncrementalMlpEvaluator::Make(mlp.get()).MoveValueOrDie();
+  Rng rng(8);
+  Tensor x = Tensor::Randn({4, 16}, &rng);
+  Tensor base_logits = eval.EvalAtRate(x, 0.5);
+  Tensor upgraded = eval.UpgradeTo(1.0).MoveValueOrDie();
+  ASSERT_TRUE(upgraded.SameShape(base_logits));
+  // Upgrading must change the logits (new groups contribute)...
+  double diff = 0.0;
+  for (int64_t i = 0; i < upgraded.size(); ++i) {
+    diff += std::abs(upgraded[i] - base_logits[i]);
+  }
+  EXPECT_GT(diff, 1e-3);
+  // ...and be a better approximation of the exact full logits than the
+  // base-rate logits are.
+  mlp->SetSliceRate(1.0);
+  Tensor exact = mlp->Forward(x, false);
+  double err_upgraded = 0.0, err_base = 0.0;
+  for (int64_t i = 0; i < exact.size(); ++i) {
+    err_upgraded += std::abs(upgraded[i] - exact[i]);
+    err_base += std::abs(base_logits[i] - exact[i]);
+  }
+  EXPECT_LT(err_upgraded, err_base);
+}
+
+TEST(IncrementalEval, UpgradeIsCheaperThanFullEval) {
+  auto mlp = MakePlainMlp();
+  auto eval = IncrementalMlpEvaluator::Make(mlp.get()).MoveValueOrDie();
+  Rng rng(9);
+  Tensor x = Tensor::Randn({8, 16}, &rng);
+
+  eval.EvalAtRate(x, 0.75);
+  ASSERT_TRUE(eval.UpgradeTo(1.0).ok());
+  const int64_t upgrade_cost = eval.last_flops();
+  eval.EvalAtRate(x, 1.0);
+  const int64_t full_cost = eval.last_flops();
+  EXPECT_LT(upgrade_cost, full_cost / 2);
+}
+
+TEST(IncrementalEval, SingleGroupUpgradeMatchesExactOnOneLayerNet) {
+  // With a single hidden layer the approximation is exact: the hidden
+  // layer's base outputs don't depend on new inputs (the network input is
+  // unsliced), and the classifier update adds exactly the new columns.
+  MlpConfig cfg;
+  cfg.in_features = 12;
+  cfg.hidden = {16};
+  cfg.num_classes = 4;
+  cfg.slice_groups = 4;
+  cfg.rescale = false;
+  cfg.seed = 5;
+  auto mlp = MakeMlp(cfg).MoveValueOrDie();
+  auto eval = IncrementalMlpEvaluator::Make(mlp.get()).MoveValueOrDie();
+  Rng rng(10);
+  Tensor x = Tensor::Randn({3, 12}, &rng);
+  eval.EvalAtRate(x, 0.5);
+  Tensor upgraded = eval.UpgradeTo(1.0).MoveValueOrDie();
+  mlp->SetSliceRate(1.0);
+  Tensor exact = mlp->Forward(x, false);
+  for (int64_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(upgraded[i], exact[i], 1e-4f);
+  }
+}
+
+TEST(IncrementalEval, RejectsDowngrade) {
+  auto mlp = MakePlainMlp();
+  auto eval = IncrementalMlpEvaluator::Make(mlp.get()).MoveValueOrDie();
+  Rng rng(11);
+  Tensor x = Tensor::Randn({2, 16}, &rng);
+  eval.EvalAtRate(x, 0.75);
+  EXPECT_FALSE(eval.UpgradeTo(0.5).ok());
+}
+
+TEST(IncrementalEval, RequiresEvalBeforeUpgrade) {
+  auto mlp = MakePlainMlp();
+  auto eval = IncrementalMlpEvaluator::Make(mlp.get()).MoveValueOrDie();
+  EXPECT_FALSE(eval.UpgradeTo(1.0).ok());
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,81 @@
+// Death tests: internal invariant violations must abort loudly via MS_CHECK
+// rather than corrupt memory — shape mismatches between slices are the most
+// dangerous class of bug in a width-dynamic library.
+#include "gtest/gtest.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/dense.h"
+#include "src/nn/norm.h"
+#include "src/nn/slice_spec.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace ms {
+namespace {
+
+using InvariantsDeathTest = ::testing::Test;
+
+TEST(InvariantsDeathTest, TensorCheckedAccessOutOfBounds) {
+  Tensor t({2, 2});
+  EXPECT_DEATH(t.at(4), "MS_CHECK failed");
+  EXPECT_DEATH(t.at(-1), "MS_CHECK failed");
+}
+
+TEST(InvariantsDeathTest, TensorReshapeSizeMismatch) {
+  Tensor t({2, 3});
+  EXPECT_DEATH(t.Reshape({7}), "MS_CHECK failed");
+}
+
+TEST(InvariantsDeathTest, DenseRejectsWrongInputWidth) {
+  Rng rng(1);
+  DenseOptions opts;
+  opts.in_features = 8;
+  opts.out_features = 4;
+  opts.groups = 4;
+  Dense layer(opts, &rng);
+  layer.SetSliceRate(0.5);  // expects 4 input features
+  Tensor x = Tensor::Randn({2, 8}, &rng);
+  EXPECT_DEATH(layer.Forward(x, false), "active_in");
+}
+
+TEST(InvariantsDeathTest, ConvRejectsWrongChannelCount) {
+  Rng rng(2);
+  Conv2dOptions opts;
+  opts.in_channels = 8;
+  opts.out_channels = 4;
+  opts.groups = 4;
+  Conv2d layer(opts, &rng);
+  layer.SetSliceRate(0.5);
+  Tensor x = Tensor::Randn({1, 8, 4, 4}, &rng);
+  EXPECT_DEATH(layer.Forward(x, false), "active_in");
+}
+
+TEST(InvariantsDeathTest, GroupNormRejectsWrongPrefix) {
+  NormOptions opts;
+  opts.channels = 8;
+  opts.groups = 4;
+  GroupNorm gn(opts);
+  gn.SetSliceRate(0.5);
+  Rng rng(3);
+  Tensor x = Tensor::Randn({1, 8, 2, 2}, &rng);
+  EXPECT_DEATH(gn.Forward(x, true), "active prefix");
+}
+
+TEST(InvariantsDeathTest, SliceSpecRejectsInvalidRate) {
+  SliceSpec spec(8, 4);
+  EXPECT_DEATH(spec.ActiveWidth(0.0), "slice rate");
+  EXPECT_DEATH(spec.ActiveWidth(1.5), "slice rate");
+}
+
+TEST(InvariantsDeathTest, BatchNormBackwardRequiresTrainingForward) {
+  NormOptions opts;
+  opts.channels = 4;
+  BatchNorm bn(opts);
+  Rng rng(4);
+  Tensor x = Tensor::Randn({2, 4}, &rng);
+  bn.Forward(x, /*training=*/false);
+  Tensor g = Tensor::Randn({2, 4}, &rng);
+  EXPECT_DEATH(bn.Backward(g), "training-mode Forward");
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,141 @@
+// Tests for losses, the SGD optimizer and LR schedules.
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/nn/loss.h"
+#include "src/optim/sgd.h"
+#include "src/tensor/tensor_ops.h"
+#include "src/util/rng.h"
+
+namespace ms {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits = Tensor::Zeros({4, 10});
+  std::vector<int> labels = {0, 3, 7, 9};
+  const float l = loss.Forward(logits, labels);
+  EXPECT_NEAR(l, std::log(10.0f), 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, PerfectPredictionNearZeroLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits = Tensor::Zeros({2, 3});
+  logits.at2(0, 1) = 50.0f;
+  logits.at2(1, 2) = 50.0f;
+  const float l = loss.Forward(logits, {1, 2});
+  EXPECT_LT(l, 1e-4f);
+}
+
+TEST(SoftmaxCrossEntropy, GradientIsProbsMinusOneHotOverBatch) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(1);
+  Tensor logits = Tensor::Randn({3, 4}, &rng);
+  std::vector<int> labels = {2, 0, 1};
+  loss.Forward(logits, labels);
+  Tensor grad = loss.Backward();
+  // Rows sum to zero; the label entry is negative.
+  for (int64_t r = 0; r < 3; ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < 4; ++c) sum += grad.at2(r, c);
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+    EXPECT_LT(grad.at2(r, labels[static_cast<size_t>(r)]), 0.0f);
+  }
+  // Finite-difference on one logit.
+  const double eps = 1e-3;
+  Tensor lp = logits;
+  lp.at2(1, 3) += static_cast<float>(eps);
+  SoftmaxCrossEntropy l2;
+  const double up = l2.Forward(lp, labels);
+  lp.at2(1, 3) -= static_cast<float>(2 * eps);
+  const double down = l2.Forward(lp, labels);
+  EXPECT_NEAR((up - down) / (2 * eps), grad.at2(1, 3), 1e-3);
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  Tensor logits = Tensor::FromVector({3, 2}, {1, 0, 0, 1, 1, 0});
+  EXPECT_FLOAT_EQ(Accuracy(logits, {0, 1, 0}), 1.0f);
+  EXPECT_NEAR(Accuracy(logits, {1, 1, 0}), 2.0f / 3.0f, 1e-6f);
+}
+
+TEST(Sgd, PlainGradientStep) {
+  Tensor w = Tensor::FromVector({2}, {1.0f, -2.0f});
+  Tensor g = Tensor::FromVector({2}, {0.5f, -0.5f});
+  std::vector<ParamRef> params = {{"w", &w, &g, false}};
+  SgdOptions opts;
+  opts.lr = 0.1;
+  opts.momentum = 0.0;
+  Sgd sgd(params, opts);
+  sgd.Step();
+  EXPECT_NEAR(w[0], 0.95f, 1e-6f);
+  EXPECT_NEAR(w[1], -1.95f, 1e-6f);
+  // Gradients are cleared by Step.
+  EXPECT_EQ(g[0], 0.0f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Tensor w = Tensor::FromVector({1}, {0.0f});
+  Tensor g = Tensor::FromVector({1}, {1.0f});
+  std::vector<ParamRef> params = {{"w", &w, &g, false}};
+  SgdOptions opts;
+  opts.lr = 1.0;
+  opts.momentum = 0.5;
+  Sgd sgd(params, opts);
+  sgd.Step();                 // v = 1, w = -1
+  EXPECT_NEAR(w[0], -1.0f, 1e-6f);
+  g[0] = 1.0f;
+  sgd.Step();                 // v = 1.5, w = -2.5
+  EXPECT_NEAR(w[0], -2.5f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecaySkipsNoDecayParams) {
+  Tensor w = Tensor::FromVector({1}, {1.0f});
+  Tensor gw = Tensor::FromVector({1}, {0.0f});
+  Tensor b = Tensor::FromVector({1}, {1.0f});
+  Tensor gb = Tensor::FromVector({1}, {0.0f});
+  std::vector<ParamRef> params = {{"w", &w, &gw, false},
+                                  {"b", &b, &gb, true}};
+  SgdOptions opts;
+  opts.lr = 0.1;
+  opts.momentum = 0.0;
+  opts.weight_decay = 0.5;
+  Sgd sgd(params, opts);
+  sgd.Step();
+  EXPECT_NEAR(w[0], 1.0f - 0.1f * 0.5f, 1e-6f);  // decayed
+  EXPECT_NEAR(b[0], 1.0f, 1e-6f);                // untouched
+}
+
+TEST(Sgd, GradClippingBoundsGlobalNorm) {
+  Tensor w = Tensor::FromVector({2}, {0.0f, 0.0f});
+  Tensor g = Tensor::FromVector({2}, {30.0f, 40.0f});  // norm 50
+  std::vector<ParamRef> params = {{"w", &w, &g, false}};
+  SgdOptions opts;
+  opts.lr = 1.0;
+  opts.momentum = 0.0;
+  opts.clip_grad_norm = 5.0;
+  Sgd sgd(params, opts);
+  sgd.Step();
+  // Clipped to norm 5 -> g = (3, 4).
+  EXPECT_NEAR(w[0], -3.0f, 1e-5f);
+  EXPECT_NEAR(w[1], -4.0f, 1e-5f);
+}
+
+TEST(StepLrSchedule, MilestonesAndWarmup) {
+  StepLrSchedule sched(1.0, {10, 20}, 0.1, /*warmup_epochs=*/2);
+  EXPECT_NEAR(sched.LrAtEpoch(0), 0.5, 1e-12);
+  EXPECT_NEAR(sched.LrAtEpoch(1), 1.0, 1e-12);
+  EXPECT_NEAR(sched.LrAtEpoch(5), 1.0, 1e-12);
+  EXPECT_NEAR(sched.LrAtEpoch(10), 0.1, 1e-12);
+  EXPECT_NEAR(sched.LrAtEpoch(25), 0.01, 1e-12);
+}
+
+TEST(PlateauLrSchedule, QuartersOnNoImprovement) {
+  PlateauLrSchedule sched(20.0, 0.25);
+  EXPECT_NEAR(sched.Observe(100.0), 20.0, 1e-12);  // first obs improves
+  EXPECT_NEAR(sched.Observe(90.0), 20.0, 1e-12);   // improved
+  EXPECT_NEAR(sched.Observe(95.0), 5.0, 1e-12);    // worse -> quartered
+  EXPECT_NEAR(sched.Observe(80.0), 5.0, 1e-12);    // improved again
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,188 @@
+// Tests for the Module/Sequential plumbing: slicing propagation, parameter
+// collection, FLOPs aggregation, and the ParamRef no_decay convention.
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "src/nn/activations.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/dense.h"
+#include "src/nn/norm.h"
+#include "src/util/rng.h"
+
+namespace ms {
+namespace {
+
+std::unique_ptr<Sequential> TwoLayerNet(Rng* rng) {
+  auto net = std::make_unique<Sequential>("net");
+  DenseOptions d1;
+  d1.in_features = 8;
+  d1.out_features = 16;
+  d1.groups = 4;
+  d1.slice_in = false;
+  net->Emplace<Dense>(d1, rng, "fc0");
+  net->Emplace<ReLU>();
+  DenseOptions d2;
+  d2.in_features = 16;
+  d2.out_features = 4;
+  d2.groups = 4;
+  d2.slice_out = false;
+  net->Emplace<Dense>(d2, rng, "fc1");
+  return net;
+}
+
+TEST(Sequential, ForwardBackwardChainShapes) {
+  Rng rng(1);
+  auto net = TwoLayerNet(&rng);
+  Tensor x = Tensor::Randn({3, 8}, &rng);
+  Tensor y = net->Forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{3, 4}));
+  Tensor g = Tensor::Randn(y.shape(), &rng);
+  Tensor gx = net->Backward(g);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(Sequential, SetSliceRatePropagatesToAllChildren) {
+  Rng rng(2);
+  auto net = TwoLayerNet(&rng);
+  net->SetSliceRate(0.5);
+  auto* fc0 = dynamic_cast<Dense*>(net->child(0));
+  auto* fc1 = dynamic_cast<Dense*>(net->child(2));
+  ASSERT_NE(fc0, nullptr);
+  ASSERT_NE(fc1, nullptr);
+  EXPECT_EQ(fc0->active_in(), 8);   // slice_in = false
+  EXPECT_EQ(fc0->active_out(), 8);  // 16 * 0.5
+  EXPECT_EQ(fc1->active_in(), 8);
+  EXPECT_EQ(fc1->active_out(), 4);  // slice_out = false
+}
+
+TEST(Sequential, CollectParamsGathersEveryLayer) {
+  Rng rng(3);
+  auto net = TwoLayerNet(&rng);
+  std::vector<ParamRef> params;
+  net->CollectParams(&params);
+  // fc0: w + b, fc1: w + b.
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0].name, "fc0.w");
+  EXPECT_FALSE(params[0].no_decay);
+  EXPECT_EQ(params[1].name, "fc0.b");
+  EXPECT_TRUE(params[1].no_decay);
+}
+
+TEST(Sequential, NormScalesAreNoDecay) {
+  Rng rng(4);
+  auto net = std::make_unique<Sequential>("net");
+  Conv2dOptions c;
+  c.in_channels = 4;
+  c.out_channels = 4;
+  net->Emplace<Conv2d>(c, &rng, "conv");
+  NormOptions n;
+  n.channels = 4;
+  net->Emplace<GroupNorm>(n, "gn");
+  std::vector<ParamRef> params;
+  net->CollectParams(&params);
+  ASSERT_EQ(params.size(), 3u);  // conv.w, gn.gamma, gn.beta
+  EXPECT_FALSE(params[0].no_decay);
+  EXPECT_TRUE(params[1].no_decay);
+  EXPECT_TRUE(params[2].no_decay);
+}
+
+TEST(Sequential, FlopsAggregateOverChildren) {
+  Rng rng(5);
+  auto net = TwoLayerNet(&rng);
+  net->SetSliceRate(1.0);
+  Tensor x = Tensor::Randn({1, 8}, &rng);
+  net->Forward(x, false);
+  EXPECT_EQ(net->FlopsPerSample(), 8 * 16 + 16 * 4);
+  net->SetSliceRate(0.5);
+  Tensor x_half = Tensor::Randn({1, 8}, &rng);
+  net->Forward(x_half, false);
+  EXPECT_EQ(net->FlopsPerSample(), 8 * 8 + 8 * 4);
+}
+
+TEST(Sequential, ActiveParamsShrinkWithRate) {
+  Rng rng(6);
+  auto net = TwoLayerNet(&rng);
+  net->SetSliceRate(1.0);
+  const int64_t full = net->ActiveParams();
+  net->SetSliceRate(0.25);
+  EXPECT_LT(net->ActiveParams(), full);
+}
+
+TEST(Sequential, NestedSequentialWorks) {
+  Rng rng(7);
+  auto inner = std::make_unique<Sequential>("inner");
+  DenseOptions d;
+  d.in_features = 4;
+  d.out_features = 4;
+  d.slice_in = false;
+  d.slice_out = false;
+  inner->Emplace<Dense>(d, &rng, "fc");
+  auto outer = std::make_unique<Sequential>("outer");
+  outer->Emplace<ReLU>();
+  outer->Add(std::move(inner));
+  Tensor x = Tensor::Randn({2, 4}, &rng);
+  Tensor y = outer->Forward(x, false);
+  EXPECT_EQ(y.shape(), x.shape());
+  std::vector<ParamRef> params;
+  outer->CollectParams(&params);
+  EXPECT_EQ(params.size(), 2u);  // nested fc.w + fc.b reachable
+}
+
+TEST(Dense, KnownValuesForward) {
+  Rng rng(8);
+  DenseOptions d;
+  d.in_features = 2;
+  d.out_features = 2;
+  d.slice_in = false;
+  d.slice_out = false;
+  Dense layer(d, &rng, "fc");
+  // Overwrite weights with a known matrix [[1, 2], [3, 4]] and bias [0, 1].
+  Tensor* w = layer.mutable_weight();
+  (*w)[0] = 1.0f;
+  (*w)[1] = 2.0f;
+  (*w)[2] = 3.0f;
+  (*w)[3] = 4.0f;
+  (*layer.mutable_bias())[1] = 1.0f;
+  Tensor x = Tensor::FromVector({1, 2}, {1.0f, 1.0f});
+  Tensor y = layer.Forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);   // 1 + 2
+  EXPECT_FLOAT_EQ(y[1], 8.0f);   // 3 + 4 + 1
+}
+
+TEST(Conv2d, OneByOneKernelIsChannelMix) {
+  Rng rng(9);
+  Conv2dOptions c;
+  c.in_channels = 2;
+  c.out_channels = 1;
+  c.kernel = 1;
+  c.pad = 0;
+  c.bias = false;
+  Conv2d layer(c, &rng, "pw");
+  Tensor* w = layer.mutable_weight();
+  (*w)[0] = 2.0f;   // channel 0 weight
+  (*w)[1] = -1.0f;  // channel 1 weight
+  Tensor x({1, 2, 2, 2});
+  for (int64_t i = 0; i < 4; ++i) x[i] = 1.0f;          // channel 0 = 1
+  for (int64_t i = 4; i < 8; ++i) x[i] = 3.0f;          // channel 1 = 3
+  Tensor y = layer.Forward(x, false);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(y[i], 2.0f * 1.0f - 1.0f * 3.0f);
+  }
+}
+
+TEST(Conv2d, StrideHalvesSpatialDims) {
+  Rng rng(10);
+  Conv2dOptions c;
+  c.in_channels = 3;
+  c.out_channels = 5;
+  c.kernel = 3;
+  c.stride = 2;
+  c.pad = 1;
+  Conv2d layer(c, &rng);
+  Tensor x = Tensor::Randn({2, 3, 8, 8}, &rng);
+  Tensor y = layer.Forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 5, 4, 4}));
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,83 @@
+// Extra kernel coverage: average-pooling backward adjointness and the
+// nested-Sequential path of the incremental evaluator.
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "src/core/incremental_eval.h"
+#include "src/models/mlp.h"
+#include "src/nn/module.h"
+#include "src/tensor/tensor_ops.h"
+#include "src/util/rng.h"
+
+namespace ms {
+namespace {
+
+TEST(AvgPool, BackwardIsAdjointOfForward) {
+  // <AvgPool(x), g> == <x, AvgPoolBackward(g)>.
+  Rng rng(1);
+  const int64_t n = 2, c = 3, h = 6, w = 6, k = 2, stride = 2;
+  const int64_t oh = (h - k) / stride + 1, ow = (w - k) / stride + 1;
+  Tensor x = Tensor::Randn({n, c, h, w}, &rng);
+  Tensor g = Tensor::Randn({n, c, oh, ow}, &rng);
+  Tensor y({n, c, oh, ow});
+  ops::AvgPool2d(x, n, c, h, w, k, stride, &y);
+  Tensor gx({n, c, h, w});
+  ops::AvgPool2dBackward(g, n, c, h, w, k, stride, &gx);
+  double lhs = 0.0, rhs = 0.0;
+  for (int64_t i = 0; i < y.size(); ++i) {
+    lhs += static_cast<double>(y[i]) * g[i];
+  }
+  for (int64_t i = 0; i < x.size(); ++i) {
+    rhs += static_cast<double>(x[i]) * gx[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(AvgPool, OverlappingWindowsStillAdjoint) {
+  Rng rng(2);
+  const int64_t n = 1, c = 2, h = 5, w = 5, k = 3, stride = 1;
+  const int64_t oh = 3, ow = 3;
+  Tensor x = Tensor::Randn({n, c, h, w}, &rng);
+  Tensor g = Tensor::Randn({n, c, oh, ow}, &rng);
+  Tensor y({n, c, oh, ow});
+  ops::AvgPool2d(x, n, c, h, w, k, stride, &y);
+  Tensor gx({n, c, h, w});
+  ops::AvgPool2dBackward(g, n, c, h, w, k, stride, &gx);
+  double lhs = 0.0, rhs = 0.0;
+  for (int64_t i = 0; i < y.size(); ++i) {
+    lhs += static_cast<double>(y[i]) * g[i];
+  }
+  for (int64_t i = 0; i < x.size(); ++i) {
+    rhs += static_cast<double>(x[i]) * gx[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(IncrementalEval, AcceptsNestedSequential) {
+  // A Flatten-style wrapper net: outer Sequential holding the MLP inside.
+  MlpConfig cfg;
+  cfg.in_features = 8;
+  cfg.hidden = {16};
+  cfg.num_classes = 4;
+  cfg.slice_groups = 4;
+  cfg.rescale = false;
+  auto outer = std::make_unique<Sequential>("outer");
+  outer->Add(MakeMlp(cfg).MoveValueOrDie());
+  auto eval = IncrementalMlpEvaluator::Make(outer.get());
+  ASSERT_TRUE(eval.ok());
+  Rng rng(3);
+  Tensor x = Tensor::Randn({2, 8}, &rng);
+  Tensor logits = eval.ValueOrDie().EvalAtRate(x, 0.5);
+  EXPECT_EQ(logits.shape(), (std::vector<int64_t>{2, 4}));
+}
+
+TEST(IncrementalEval, RejectsUnsupportedNestedLayers) {
+  auto outer = std::make_unique<Sequential>("outer");
+  auto inner = std::make_unique<Sequential>("inner");
+  inner->Emplace<Sequential>("deeper");  // double nesting is not allowed
+  outer->Add(std::move(inner));
+  EXPECT_FALSE(IncrementalMlpEvaluator::Make(outer.get()).ok());
+}
+
+}  // namespace
+}  // namespace ms

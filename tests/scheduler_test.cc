@@ -1,0 +1,139 @@
+// Tests for the slice-rate scheduling schemes of Sec. 3.4.
+#include <algorithm>
+#include <map>
+
+#include "gtest/gtest.h"
+#include "src/core/scheduler.h"
+
+namespace ms {
+namespace {
+
+SliceConfig QuarterConfig() {
+  return SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+}
+
+TEST(FullOnlyScheduler, AlwaysFullRate) {
+  FullOnlyScheduler sched;
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const auto rates = sched.NextBatch(&rng);
+    ASSERT_EQ(rates.size(), 1u);
+    EXPECT_DOUBLE_EQ(rates[0], 1.0);
+  }
+}
+
+TEST(FixedRateScheduler, AlwaysTheGivenRate) {
+  FixedRateScheduler sched(0.5);
+  Rng rng(1);
+  const auto rates = sched.NextBatch(&rng);
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 0.5);
+}
+
+TEST(StaticScheduler, SchedulesAllRatesDescending) {
+  StaticScheduler sched(QuarterConfig());
+  Rng rng(1);
+  const auto rates = sched.NextBatch(&rng);
+  ASSERT_EQ(rates.size(), 4u);
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+  EXPECT_DOUBLE_EQ(rates[3], 0.25);
+  EXPECT_TRUE(std::is_sorted(rates.rbegin(), rates.rend()));
+}
+
+TEST(RandomScheduler, UniformCoversAllRates) {
+  RandomScheduler sched(QuarterConfig(), 2);
+  Rng rng(3);
+  std::map<double, int> counts;
+  for (int i = 0; i < 2000; ++i) {
+    for (double r : sched.NextBatch(&rng)) counts[r]++;
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [rate, count] : counts) {
+    EXPECT_GT(count, 500) << "rate " << rate;  // ~1000 expected each.
+  }
+}
+
+TEST(RandomScheduler, WeightedMatchesProbabilities) {
+  // Paper weights (ascending rate order): base 0.25, middles 0.125, full 0.5.
+  const auto weights = DefaultRateWeights(4);
+  RandomScheduler sched(QuarterConfig(), 1, weights);
+  Rng rng(4);
+  std::map<double, int> counts;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    for (double r : sched.NextBatch(&rng)) counts[r]++;
+  }
+  EXPECT_NEAR(counts[1.0] / static_cast<double>(trials), 0.5, 0.02);
+  EXPECT_NEAR(counts[0.25] / static_cast<double>(trials), 0.25, 0.02);
+  EXPECT_NEAR(counts[0.5] / static_cast<double>(trials), 0.125, 0.02);
+  EXPECT_NEAR(counts[0.75] / static_cast<double>(trials), 0.125, 0.02);
+}
+
+TEST(RandomScheduler, DedupsWithinPass) {
+  RandomScheduler sched(QuarterConfig(), 3);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto rates = sched.NextBatch(&rng);
+    auto sorted = rates;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+  }
+}
+
+TEST(RandomStaticScheduler, MinMaxAlwaysPresent) {
+  RandomStaticScheduler sched(QuarterConfig(), /*include_min=*/true,
+                              /*include_max=*/true);
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const auto rates = sched.NextBatch(&rng);
+    ASSERT_EQ(rates.size(), 3u);
+    EXPECT_DOUBLE_EQ(rates.front(), 1.0);
+    EXPECT_DOUBLE_EQ(rates.back(), 0.25);
+    EXPECT_GT(rates[1], 0.25);
+    EXPECT_LT(rates[1], 1.0);
+  }
+}
+
+TEST(RandomStaticScheduler, MinOnly) {
+  RandomStaticScheduler sched(QuarterConfig(), /*include_min=*/true,
+                              /*include_max=*/false);
+  Rng rng(7);
+  bool saw_full = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto rates = sched.NextBatch(&rng);
+    ASSERT_EQ(rates.size(), 2u);
+    EXPECT_DOUBLE_EQ(rates.back(), 0.25);
+    if (rates.front() == 1.0) saw_full = true;
+  }
+  // With max excluded from the static set, 1.0 can still be sampled
+  // randomly from the middle pool.
+  EXPECT_TRUE(saw_full);
+}
+
+TEST(DefaultRateWeights, DegenerateCases) {
+  EXPECT_EQ(DefaultRateWeights(1).size(), 1u);
+  EXPECT_DOUBLE_EQ(DefaultRateWeights(1)[0], 1.0);
+  const auto two = DefaultRateWeights(2);
+  EXPECT_DOUBLE_EQ(two[0], 0.5);
+  EXPECT_DOUBLE_EQ(two[1], 0.5);
+  const auto six = DefaultRateWeights(6);
+  double total = 0.0;
+  for (double w : six) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MakeScheduler, ResolvesAllNames) {
+  const SliceConfig cfg = QuarterConfig();
+  for (const char* name :
+       {"full-only", "r-uniform-2", "r-weighted-2", "r-weighted-3", "static",
+        "slimmable", "r-min", "r-max", "r-min-max"}) {
+    auto result = MakeScheduler(name, cfg);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_NE(result.ValueOrDie(), nullptr);
+  }
+  EXPECT_FALSE(MakeScheduler("nope", cfg).ok());
+}
+
+}  // namespace
+}  // namespace ms

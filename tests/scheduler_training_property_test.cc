@@ -1,0 +1,79 @@
+// Property sweep: EVERY named scheduling scheme must drive Algorithm 1 to a
+// finite, decreasing loss and leave every subnet functional. Catches
+// scheduler/trainer integration regressions across the whole matrix.
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/core/evaluator.h"
+#include "src/core/trainer.h"
+#include "src/models/cnn.h"
+
+namespace ms {
+namespace {
+
+class SchedulerTrainingProperty
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SchedulerTrainingProperty, TrainsFiniteAndAllSubnetsWork) {
+  SyntheticImageOptions dopts;
+  dopts.num_classes = 3;
+  dopts.channels = 2;
+  dopts.height = 6;
+  dopts.width = 6;
+  dopts.train_size = 128;
+  dopts.test_size = 60;
+  dopts.noise = 0.3;
+  dopts.max_shift = 0;
+  dopts.seed = 21;
+  auto split = MakeSyntheticImages(dopts).MoveValueOrDie();
+
+  CnnConfig cfg;
+  cfg.in_channels = 2;
+  cfg.num_classes = 3;
+  cfg.base_width = 8;
+  cfg.stages = 2;
+  cfg.blocks_per_stage = 1;
+  cfg.slice_groups = 4;
+  cfg.seed = 6;
+  const std::string name = GetParam();
+  if (name == "slimmable") {
+    cfg.norm = NormKind::kMultiBatch;
+    cfg.multi_bn_rates = {0.25, 0.5, 0.75, 1.0};
+  }
+  auto net = MakeVggSmall(cfg).MoveValueOrDie();
+
+  auto lattice = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  auto sched = MakeScheduler(name, lattice).MoveValueOrDie();
+  ImageTrainOptions topts;
+  topts.epochs = 4;
+  topts.batch_size = 32;
+  topts.sgd.lr = 0.03;
+  topts.augment = false;
+
+  std::vector<double> losses;
+  TrainImageClassifier(net.get(), split.train, sched.get(), topts,
+                       [&](const EpochStats& s) {
+                         losses.push_back(s.train_loss);
+                       });
+  ASSERT_EQ(losses.size(), 4u);
+  for (double l : losses) {
+    EXPECT_TRUE(std::isfinite(l)) << name;
+  }
+  EXPECT_LT(losses.back(), losses.front() + 0.05) << name;
+
+  // Every lattice subnet must produce valid (finite) predictions.
+  for (double r : lattice.rates()) {
+    const float acc = EvalAccuracy(net.get(), split.test, r);
+    EXPECT_GE(acc, 0.0f);
+    EXPECT_LE(acc, 1.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchedulerTrainingProperty,
+                         ::testing::Values("full-only", "r-uniform-2",
+                                           "r-weighted-2", "r-weighted-3",
+                                           "static", "r-min", "r-max",
+                                           "r-min-max", "slimmable"));
+
+}  // namespace
+}  // namespace ms

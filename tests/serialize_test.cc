@@ -1,0 +1,103 @@
+// Tests for checkpoint save/load round-trips.
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/models/cnn.h"
+#include "src/models/mlp.h"
+#include "src/nn/serialize.h"
+#include "src/util/rng.h"
+
+namespace ms {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Serialize, RoundTripRestoresExactWeights) {
+  MlpConfig cfg;
+  cfg.in_features = 8;
+  cfg.hidden = {16};
+  cfg.num_classes = 4;
+  cfg.seed = 1;
+  auto net_a = MakeMlp(cfg).MoveValueOrDie();
+  cfg.seed = 2;  // different init
+  auto net_b = MakeMlp(cfg).MoveValueOrDie();
+
+  std::vector<ParamRef> pa, pb;
+  net_a->CollectParams(&pa);
+  net_b->CollectParams(&pb);
+
+  const std::string path = TempPath("mlp.ckpt");
+  ASSERT_TRUE(SaveParams(pa, path).ok());
+  ASSERT_TRUE(LoadParams(pb, path).ok());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].param->size(), pb[i].param->size());
+    for (int64_t j = 0; j < pa[i].param->size(); ++j) {
+      EXPECT_EQ((*pa[i].param)[j], (*pb[i].param)[j]);
+    }
+  }
+  // Restored nets produce identical outputs.
+  Rng rng(3);
+  Tensor x = Tensor::Randn({2, 8}, &rng);
+  net_a->SetSliceRate(1.0);
+  net_b->SetSliceRate(1.0);
+  Tensor ya = net_a->Forward(x, false);
+  Tensor yb = net_b->Forward(x, false);
+  for (int64_t i = 0; i < ya.size(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST(Serialize, CnnRoundTrip) {
+  CnnConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 4;
+  cfg.base_width = 8;
+  cfg.stages = 2;
+  cfg.blocks_per_stage = 1;
+  cfg.slice_groups = 4;
+  cfg.seed = 4;
+  auto net = MakeVggSmall(cfg).MoveValueOrDie();
+  std::vector<ParamRef> params;
+  net->CollectParams(&params);
+  const std::string path = TempPath("cnn.ckpt");
+  ASSERT_TRUE(SaveParams(params, path).ok());
+  ASSERT_TRUE(LoadParams(params, path).ok());
+}
+
+TEST(Serialize, RejectsShapeMismatch) {
+  MlpConfig cfg;
+  cfg.in_features = 8;
+  cfg.hidden = {16};
+  cfg.num_classes = 4;
+  auto net_a = MakeMlp(cfg).MoveValueOrDie();
+  cfg.hidden = {8};  // different architecture
+  auto net_b = MakeMlp(cfg).MoveValueOrDie();
+  std::vector<ParamRef> pa, pb;
+  net_a->CollectParams(&pa);
+  net_b->CollectParams(&pb);
+  const std::string path = TempPath("mismatch.ckpt");
+  ASSERT_TRUE(SaveParams(pa, path).ok());
+  EXPECT_FALSE(LoadParams(pb, path).ok());
+}
+
+TEST(Serialize, RejectsMissingFileAndGarbage) {
+  MlpConfig cfg;
+  cfg.in_features = 4;
+  cfg.hidden = {4};
+  cfg.num_classes = 2;
+  auto net = MakeMlp(cfg).MoveValueOrDie();
+  std::vector<ParamRef> params;
+  net->CollectParams(&params);
+  EXPECT_FALSE(LoadParams(params, TempPath("nonexistent.ckpt")).ok());
+
+  const std::string garbage = TempPath("garbage.ckpt");
+  FILE* f = std::fopen(garbage.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a checkpoint", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadParams(params, garbage).ok());
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,123 @@
+// Unit and property tests for the group-boundary math (SliceSpec) and the
+// network-wide rate list (SliceConfig).
+#include "gtest/gtest.h"
+#include "src/core/slice_config.h"
+#include "src/nn/slice_spec.h"
+
+namespace ms {
+namespace {
+
+TEST(SliceSpec, FullRateActivatesEverything) {
+  SliceSpec spec(64, 8);
+  EXPECT_EQ(spec.ActiveWidth(1.0), 64);
+  EXPECT_EQ(spec.ActiveGroups(1.0), 8);
+}
+
+TEST(SliceSpec, EvenDivisionBoundaries) {
+  SliceSpec spec(64, 8);
+  for (int64_t k = 0; k <= 8; ++k) {
+    EXPECT_EQ(spec.GroupBoundary(k), 8 * k);
+  }
+  EXPECT_EQ(spec.ActiveWidth(0.25), 16);
+  EXPECT_EQ(spec.ActiveWidth(0.375), 24);
+  EXPECT_EQ(spec.ActiveWidth(0.5), 32);
+}
+
+TEST(SliceSpec, AtLeastOneGroupAlwaysActive) {
+  SliceSpec spec(64, 8);
+  EXPECT_EQ(spec.ActiveGroups(0.01), 1);
+  EXPECT_EQ(spec.ActiveWidth(0.01), 8);
+}
+
+TEST(SliceSpec, UnevenWidthsCoverAllComponents) {
+  SliceSpec spec(10, 3);  // groups of ~3.33
+  int64_t total = 0;
+  for (int64_t k = 0; k < 3; ++k) total += spec.GroupWidth(k);
+  EXPECT_EQ(total, 10);
+  EXPECT_EQ(spec.GroupBoundary(3), 10);
+}
+
+TEST(SliceSpec, RealizedRateMatchesBoundary) {
+  SliceSpec spec(10, 4);
+  const double realized = spec.RealizedRate(0.5);
+  EXPECT_DOUBLE_EQ(realized,
+                   static_cast<double>(spec.ActiveWidth(0.5)) / 10.0);
+}
+
+// Property sweep: monotonicity and prefix-subsumption over many configs.
+class SliceSpecProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SliceSpecProperty, ActiveWidthIsMonotoneInRate) {
+  const auto [width, groups] = GetParam();
+  if (groups > width) GTEST_SKIP();
+  SliceSpec spec(width, groups);
+  int64_t prev = 0;
+  for (double r = 0.05; r <= 1.0; r += 0.05) {
+    const int64_t w = spec.ActiveWidth(r);
+    EXPECT_GE(w, prev) << "rate " << r;
+    EXPECT_GE(w, 1);
+    EXPECT_LE(w, width);
+    prev = w;
+  }
+  EXPECT_EQ(spec.ActiveWidth(1.0), width);
+}
+
+TEST_P(SliceSpecProperty, BoundariesAreStrictlyIncreasing) {
+  const auto [width, groups] = GetParam();
+  if (groups > width) GTEST_SKIP();
+  SliceSpec spec(width, groups);
+  for (int64_t k = 0; k < groups; ++k) {
+    EXPECT_LT(spec.GroupBoundary(k), spec.GroupBoundary(k + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthGroupGrid, SliceSpecProperty,
+    ::testing::Combine(::testing::Values(1, 3, 8, 10, 16, 64, 100, 513),
+                       ::testing::Values(1, 2, 3, 4, 8, 16)));
+
+TEST(SliceConfig, MakeGeneratesExpectedLattice) {
+  auto cfg = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  ASSERT_EQ(cfg.num_rates(), 4u);
+  EXPECT_DOUBLE_EQ(cfg.rates()[0], 0.25);
+  EXPECT_DOUBLE_EQ(cfg.rates()[3], 1.0);
+  EXPECT_DOUBLE_EQ(cfg.lower_bound(), 0.25);
+  EXPECT_DOUBLE_EQ(cfg.full_rate(), 1.0);
+}
+
+TEST(SliceConfig, PaperGranularityEighth) {
+  // Sec 5.1.1: r from 0.375 to 1.0 in steps of 1/8.
+  auto cfg = SliceConfig::Make(0.375, 0.125).MoveValueOrDie();
+  ASSERT_EQ(cfg.num_rates(), 6u);
+  EXPECT_NEAR(cfg.rates()[0], 0.375, 1e-9);
+  EXPECT_NEAR(cfg.rates()[1], 0.5, 1e-9);
+  EXPECT_NEAR(cfg.rates()[5], 1.0, 1e-9);
+}
+
+TEST(SliceConfig, RejectsBadArguments) {
+  EXPECT_FALSE(SliceConfig::Make(0.0, 0.25).ok());
+  EXPECT_FALSE(SliceConfig::Make(1.5, 0.25).ok());
+  EXPECT_FALSE(SliceConfig::Make(0.5, 0.0).ok());
+  EXPECT_FALSE(SliceConfig::FromList({}).ok());
+  EXPECT_FALSE(SliceConfig::FromList({0.5, 1.2}).ok());
+}
+
+TEST(SliceConfig, FromListSortsAndDedups) {
+  auto cfg = SliceConfig::FromList({1.0, 0.25, 0.5, 0.25}).MoveValueOrDie();
+  ASSERT_EQ(cfg.num_rates(), 3u);
+  EXPECT_DOUBLE_EQ(cfg.rates()[0], 0.25);
+  EXPECT_DOUBLE_EQ(cfg.rates()[2], 1.0);
+}
+
+TEST(SliceConfig, FloorAndNearestRate) {
+  auto cfg = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  EXPECT_DOUBLE_EQ(cfg.FloorRate(0.6), 0.5);
+  EXPECT_DOUBLE_EQ(cfg.FloorRate(0.75), 0.75);
+  EXPECT_DOUBLE_EQ(cfg.FloorRate(0.1), 0.25);  // clamped to lower bound
+  EXPECT_DOUBLE_EQ(cfg.NearestRate(0.6), 0.5);
+  EXPECT_DOUBLE_EQ(cfg.NearestRate(0.7), 0.75);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,74 @@
+// Tests for the model-summary walker and formatter.
+#include "gtest/gtest.h"
+#include "src/models/cnn.h"
+#include "src/nn/summary.h"
+
+namespace ms {
+namespace {
+
+CnnConfig SmallCfg() {
+  CnnConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 4;
+  cfg.base_width = 8;
+  cfg.stages = 2;
+  cfg.blocks_per_stage = 1;
+  cfg.slice_groups = 4;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(Summary, WalksAllLayersAndTotalsMatchRoot) {
+  auto net = MakeVggSmall(SmallCfg()).MoveValueOrDie();
+  Tensor sample({1, 3, 8, 8});
+  const ModelSummary s = Summarize(net.get(), sample, 1.0);
+  ASSERT_GT(s.layers.size(), 5u);
+  EXPECT_EQ(s.layers.front().kind, "sequential");
+  // Root totals equal the sums over depth-1 leaves for a flat VGG.
+  int64_t leaf_params = 0, leaf_flops = 0;
+  for (const auto& l : s.layers) {
+    if (l.depth == 1) {
+      leaf_params += l.active_params;
+      leaf_flops += l.flops;
+    }
+  }
+  EXPECT_EQ(s.total_params, leaf_params);
+  EXPECT_EQ(s.total_flops, leaf_flops);
+}
+
+TEST(Summary, SlicedSummaryShrinks) {
+  auto net = MakeVggSmall(SmallCfg()).MoveValueOrDie();
+  Tensor sample({1, 3, 8, 8});
+  const ModelSummary full = Summarize(net.get(), sample, 1.0);
+  const ModelSummary half = Summarize(net.get(), sample, 0.5);
+  EXPECT_LT(half.total_params, full.total_params);
+  EXPECT_LT(half.total_flops, full.total_flops);
+  EXPECT_DOUBLE_EQ(half.rate, 0.5);
+}
+
+TEST(Summary, RecursesIntoResidualBlocks) {
+  auto net = MakeResNet(SmallCfg()).MoveValueOrDie();
+  Tensor sample({1, 3, 8, 8});
+  const ModelSummary s = Summarize(net.get(), sample, 1.0);
+  bool saw_residual = false, saw_nested_conv = false;
+  for (const auto& l : s.layers) {
+    if (l.kind == "residual") saw_residual = true;
+    if (l.kind == "conv2d" && l.depth >= 2) saw_nested_conv = true;
+  }
+  EXPECT_TRUE(saw_residual);
+  EXPECT_TRUE(saw_nested_conv);
+}
+
+TEST(Summary, FormatContainsLayersAndTotal) {
+  auto net = MakeVggSmall(SmallCfg()).MoveValueOrDie();
+  Tensor sample({1, 3, 8, 8});
+  const std::string text =
+      FormatSummary(Summarize(net.get(), sample, 0.5));
+  EXPECT_NE(text.find("slice rate 0.500"), std::string::npos);
+  EXPECT_NE(text.find("classifier"), std::string::npos);
+  EXPECT_NE(text.find("TOTAL (active)"), std::string::npos);
+  EXPECT_NE(text.find("groupnorm"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,218 @@
+// End-to-end training integration tests: model slicing (Algorithm 1) must
+// produce subnets that work at every rate, while conventionally trained
+// networks collapse when sliced — the paper's central claim.
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "src/core/evaluator.h"
+#include "src/core/trainer.h"
+#include "src/models/cnn.h"
+#include "src/models/mlp.h"
+#include "src/models/nnlm.h"
+#include "src/nn/pooling.h"
+
+namespace ms {
+namespace {
+
+SyntheticImageOptions TinyImages() {
+  SyntheticImageOptions opts;
+  opts.num_classes = 5;
+  opts.modes_per_class = 2;
+  opts.channels = 3;
+  opts.height = 8;
+  opts.width = 8;
+  opts.train_size = 600;
+  opts.test_size = 300;
+  opts.noise = 0.4;
+  opts.max_shift = 1;
+  opts.seed = 11;
+  return opts;
+}
+
+CnnConfig TinyVgg() {
+  CnnConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 5;
+  cfg.base_width = 8;
+  cfg.stages = 2;
+  cfg.blocks_per_stage = 2;
+  cfg.slice_groups = 4;
+  cfg.norm = NormKind::kGroup;
+  cfg.seed = 9;
+  return cfg;
+}
+
+ImageTrainOptions FastTrain(int epochs) {
+  ImageTrainOptions opts;
+  opts.epochs = epochs;
+  opts.batch_size = 32;
+  opts.sgd.lr = 0.05;
+  opts.augment = false;
+  opts.seed = 33;
+  return opts;
+}
+
+TEST(TrainingIntegration, SlicedVggSubnetsRetainAccuracy) {
+  auto split = MakeSyntheticImages(TinyImages()).MoveValueOrDie();
+  auto config = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+
+  auto sliced_net = MakeVggSmall(TinyVgg()).MoveValueOrDie();
+  RandomStaticScheduler sched(config, /*include_min=*/true,
+                              /*include_max=*/true);
+  double last_loss = 0.0;
+  TrainImageClassifier(sliced_net.get(), split.train, &sched, FastTrain(8),
+                       [&](const EpochStats& s) { last_loss = s.train_loss; });
+  EXPECT_LT(last_loss, 1.2);  // well below chance (~ln 5 = 1.61)
+
+  auto conventional_net = MakeVggSmall(TinyVgg()).MoveValueOrDie();
+  FullOnlyScheduler full_sched;
+  TrainImageClassifier(conventional_net.get(), split.train, &full_sched,
+                       FastTrain(8));
+
+  const float sliced_full = EvalAccuracy(sliced_net.get(), split.test, 1.0);
+  const float sliced_base = EvalAccuracy(sliced_net.get(), split.test, 0.25);
+  const float conv_full =
+      EvalAccuracy(conventional_net.get(), split.test, 1.0);
+  const float conv_base =
+      EvalAccuracy(conventional_net.get(), split.test, 0.25);
+
+  // Both training regimes give a working full network.
+  EXPECT_GT(sliced_full, 0.6f);
+  EXPECT_GT(conv_full, 0.6f);
+  // The sliced-trained base subnet works; the conventionally trained one
+  // collapses when sliced post hoc (Table 4, lb = 1.0 rows).
+  EXPECT_GT(sliced_base, 0.4f);
+  EXPECT_LT(conv_base, sliced_base - 0.1f);
+}
+
+TEST(TrainingIntegration, SubnetAccuracyIsRoughlyMonotoneInRate) {
+  auto split = MakeSyntheticImages(TinyImages()).MoveValueOrDie();
+  auto config = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  auto net = MakeVggSmall(TinyVgg()).MoveValueOrDie();
+  RandomScheduler sched(config, 3, DefaultRateWeights(config.num_rates()));
+  TrainImageClassifier(net.get(), split.train, &sched, FastTrain(8));
+  const auto acc = EvalAccuracySweep(net.get(), split.test, config.rates());
+  // Allow small non-monotonic jitter but require the overall trend.
+  EXPECT_GE(acc.back(), acc.front() - 0.02f);
+  EXPECT_GT(acc.back(), 0.55f);
+  EXPECT_GT(acc.front(), 0.35f);
+}
+
+TEST(TrainingIntegration, SlicedResNetTrains) {
+  auto opts = TinyImages();
+  auto split = MakeSyntheticImages(opts).MoveValueOrDie();
+  CnnConfig cfg = TinyVgg();
+  cfg.base_width = 4;  // bottleneck expansion 4 -> stage widths 16/32.
+  auto net = MakeResNet(cfg).MoveValueOrDie();
+  auto config = SliceConfig::Make(0.5, 0.25).MoveValueOrDie();
+  RandomStaticScheduler sched(config, true, true);
+  double first_loss = -1.0, last_loss = 0.0;
+  TrainImageClassifier(net.get(), split.train, &sched, FastTrain(6),
+                       [&](const EpochStats& s) {
+                         if (first_loss < 0) first_loss = s.train_loss;
+                         last_loss = s.train_loss;
+                       });
+  EXPECT_LT(last_loss, first_loss - 0.2);
+  // Every rate must produce a valid forward pass with sensible accuracy.
+  for (double r : config.rates()) {
+    const float acc = EvalAccuracy(net.get(), split.test, r);
+    EXPECT_GT(acc, 0.25f) << "rate " << r;
+  }
+}
+
+TEST(TrainingIntegration, MlpWithFlattenTrainsSliced) {
+  // MLPs are not shift-invariant; give them centered data.
+  auto opts = TinyImages();
+  opts.max_shift = 0;
+  opts.noise = 0.3;
+  auto split = MakeSyntheticImages(opts).MoveValueOrDie();
+  MlpConfig mcfg;
+  mcfg.in_features = 3 * 8 * 8;
+  mcfg.hidden = {48, 48};
+  mcfg.num_classes = 5;
+  mcfg.slice_groups = 4;
+  mcfg.seed = 2;
+  auto net = std::make_unique<Sequential>("flat_mlp");
+  net->Emplace<Flatten>();
+  net->Add(MakeMlp(mcfg).MoveValueOrDie());
+
+  auto config = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  RandomStaticScheduler sched(config, true, true);
+  // Un-normalized MLPs need a gentler LR than the GN-stabilized CNNs.
+  ImageTrainOptions topts = FastTrain(8);
+  topts.sgd.lr = 0.01;
+  TrainImageClassifier(net.get(), split.train, &sched, topts);
+  EXPECT_GT(EvalAccuracy(net.get(), split.test, 1.0), 0.7f);
+  EXPECT_GT(EvalAccuracy(net.get(), split.test, 0.25), 0.5f);
+}
+
+TEST(TrainingIntegration, BatchNormInstabilityUnderSlicing) {
+  // Eq. 5 discussion: a conventionally BN-trained model, sliced post hoc,
+  // collapses because one set of running estimates cannot stabilize the
+  // changed fan-in.
+  auto split = MakeSyntheticImages(TinyImages()).MoveValueOrDie();
+  CnnConfig cfg = TinyVgg();
+  cfg.norm = NormKind::kBatch;
+  auto net = MakeVggSmall(cfg).MoveValueOrDie();
+  FullOnlyScheduler sched;
+  TrainImageClassifier(net.get(), split.train, &sched, FastTrain(8));
+  const float full = EvalAccuracy(net.get(), split.test, 1.0);
+  const float half = EvalAccuracy(net.get(), split.test, 0.5);
+  EXPECT_GT(full, 0.6f);
+  EXPECT_LT(half, full - 0.2f);
+}
+
+TEST(TrainingIntegration, NnlmSlicedPerplexityOrdering) {
+  SyntheticTextOptions dopts;
+  dopts.vocab_size = 60;
+  dopts.train_tokens = 12000;
+  dopts.valid_tokens = 1500;
+  dopts.test_tokens = 1500;
+  dopts.seed = 4;
+  auto corpus = MakeSyntheticCorpus(dopts).MoveValueOrDie();
+
+  NnlmConfig cfg;
+  cfg.vocab_size = 60;
+  cfg.embed_dim = 32;
+  cfg.hidden = 32;
+  cfg.num_layers = 2;
+  cfg.slice_groups = 4;
+  cfg.dropout = 0.1;
+  cfg.seed = 3;
+  auto model = Nnlm::Make(cfg).MoveValueOrDie();
+
+  auto config = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  RandomStaticScheduler sched(config, true, true);
+  NnlmTrainOptions topts;
+  topts.epochs = 6;
+  topts.batch_size = 16;
+  topts.bptt = 16;
+  topts.sgd.lr = 4.0;
+  topts.sgd.clip_grad_norm = 1.0;
+  TrainNnlm(model.get(), corpus, &sched, topts);
+
+  const double ppl_full = EvalPerplexity(model.get(), corpus.test, 1.0, 16, 16);
+  const double ppl_base = EvalPerplexity(model.get(), corpus.test, 0.25, 16, 16);
+  // Far better than uniform (60) and clearly better than unigram-only
+  // solutions (~25 for this corpus).
+  EXPECT_LT(ppl_full, 20.0);
+  EXPECT_LT(ppl_base, 30.0);
+  // Quality degrades (weakly) as the model narrows.
+  EXPECT_GE(ppl_base, ppl_full - 0.5);
+}
+
+TEST(TrainingIntegration, NnlmRejectsBadConfigs) {
+  NnlmConfig cfg;
+  cfg.vocab_size = 0;
+  EXPECT_FALSE(Nnlm::Make(cfg).ok());
+  cfg.vocab_size = 10;
+  cfg.embed_dim = 0;
+  EXPECT_FALSE(Nnlm::Make(cfg).ok());
+  cfg.embed_dim = 8;
+  cfg.hidden = 8;
+  cfg.dropout = 1.0;
+  EXPECT_FALSE(Nnlm::Make(cfg).ok());
+}
+
+}  // namespace
+}  // namespace ms
