@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_quadratic.dir/bench_cost_quadratic.cc.o"
+  "CMakeFiles/bench_cost_quadratic.dir/bench_cost_quadratic.cc.o.d"
+  "bench_cost_quadratic"
+  "bench_cost_quadratic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_quadratic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_gamma.dir/bench_fig6_gamma.cc.o"
+  "CMakeFiles/bench_fig6_gamma.dir/bench_fig6_gamma.cc.o.d"
+  "bench_fig6_gamma"
+  "bench_fig6_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

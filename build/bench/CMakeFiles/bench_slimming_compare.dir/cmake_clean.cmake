@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slimming_compare.dir/bench_slimming_compare.cc.o"
+  "CMakeFiles/bench_slimming_compare.dir/bench_slimming_compare.cc.o.d"
+  "bench_slimming_compare"
+  "bench_slimming_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slimming_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_scheduling.dir/bench_table1_scheduling.cc.o"
+  "CMakeFiles/bench_table1_scheduling.dir/bench_table1_scheduling.cc.o.d"
+  "bench_table1_scheduling"
+  "bench_table1_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_nnlm.dir/bench_table2_nnlm.cc.o"
+  "CMakeFiles/bench_table2_nnlm.dir/bench_table2_nnlm.cc.o.d"
+  "bench_table2_nnlm"
+  "bench_table2_nnlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_nnlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

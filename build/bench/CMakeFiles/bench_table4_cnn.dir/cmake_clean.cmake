@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_cnn.dir/bench_table4_cnn.cc.o"
+  "CMakeFiles/bench_table4_cnn.dir/bench_table4_cnn.cc.o.d"
+  "bench_table4_cnn"
+  "bench_table4_cnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

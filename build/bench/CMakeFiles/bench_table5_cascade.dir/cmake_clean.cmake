@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_cascade.dir/bench_table5_cascade.cc.o"
+  "CMakeFiles/bench_table5_cascade.dir/bench_table5_cascade.cc.o.d"
+  "bench_table5_cascade"
+  "bench_table5_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_serving.dir/bench_workload_serving.cc.o"
+  "CMakeFiles/bench_workload_serving.dir/bench_workload_serving.cc.o.d"
+  "bench_workload_serving"
+  "bench_workload_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

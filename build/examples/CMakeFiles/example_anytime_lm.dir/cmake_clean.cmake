@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_anytime_lm.dir/anytime_lm.cpp.o"
+  "CMakeFiles/example_anytime_lm.dir/anytime_lm.cpp.o.d"
+  "example_anytime_lm"
+  "example_anytime_lm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_anytime_lm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cascade_ranking.dir/cascade_ranking.cpp.o"
+  "CMakeFiles/example_cascade_ranking.dir/cascade_ranking.cpp.o.d"
+  "example_cascade_ranking"
+  "example_cascade_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cascade_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dynamic_workload.dir/dynamic_workload.cpp.o"
+  "CMakeFiles/example_dynamic_workload.dir/dynamic_workload.cpp.o.d"
+  "example_dynamic_workload"
+  "example_dynamic_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dynamic_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mscli.dir/mscli.cpp.o"
+  "CMakeFiles/example_mscli.dir/mscli.cpp.o.d"
+  "example_mscli"
+  "example_mscli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mscli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fixed_ensemble.cc" "src/CMakeFiles/modelslicing.dir/baselines/fixed_ensemble.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/baselines/fixed_ensemble.cc.o.d"
+  "/root/repo/src/baselines/multi_classifier.cc" "src/CMakeFiles/modelslicing.dir/baselines/multi_classifier.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/baselines/multi_classifier.cc.o.d"
+  "/root/repo/src/baselines/network_slimming.cc" "src/CMakeFiles/modelslicing.dir/baselines/network_slimming.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/baselines/network_slimming.cc.o.d"
+  "/root/repo/src/baselines/skipnet.cc" "src/CMakeFiles/modelslicing.dir/baselines/skipnet.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/baselines/skipnet.cc.o.d"
+  "/root/repo/src/core/anytime.cc" "src/CMakeFiles/modelslicing.dir/core/anytime.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/core/anytime.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/modelslicing.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/CMakeFiles/modelslicing.dir/core/evaluator.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/core/evaluator.cc.o.d"
+  "/root/repo/src/core/incremental_eval.cc" "src/CMakeFiles/modelslicing.dir/core/incremental_eval.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/core/incremental_eval.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/CMakeFiles/modelslicing.dir/core/scheduler.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/core/scheduler.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/modelslicing.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/core/trainer.cc.o.d"
+  "/root/repo/src/data/synthetic_images.cc" "src/CMakeFiles/modelslicing.dir/data/synthetic_images.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/data/synthetic_images.cc.o.d"
+  "/root/repo/src/data/synthetic_text.cc" "src/CMakeFiles/modelslicing.dir/data/synthetic_text.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/data/synthetic_text.cc.o.d"
+  "/root/repo/src/models/cnn.cc" "src/CMakeFiles/modelslicing.dir/models/cnn.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/models/cnn.cc.o.d"
+  "/root/repo/src/models/mlp.cc" "src/CMakeFiles/modelslicing.dir/models/mlp.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/models/mlp.cc.o.d"
+  "/root/repo/src/models/nnlm.cc" "src/CMakeFiles/modelslicing.dir/models/nnlm.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/models/nnlm.cc.o.d"
+  "/root/repo/src/models/zoo.cc" "src/CMakeFiles/modelslicing.dir/models/zoo.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/models/zoo.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/CMakeFiles/modelslicing.dir/nn/conv2d.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/nn/conv2d.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/CMakeFiles/modelslicing.dir/nn/dense.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/nn/dense.cc.o.d"
+  "/root/repo/src/nn/depthwise_conv.cc" "src/CMakeFiles/modelslicing.dir/nn/depthwise_conv.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/nn/depthwise_conv.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/CMakeFiles/modelslicing.dir/nn/embedding.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/nn/embedding.cc.o.d"
+  "/root/repo/src/nn/grouped_conv.cc" "src/CMakeFiles/modelslicing.dir/nn/grouped_conv.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/nn/grouped_conv.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/CMakeFiles/modelslicing.dir/nn/gru.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/nn/gru.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/modelslicing.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/CMakeFiles/modelslicing.dir/nn/lstm.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/nn/lstm.cc.o.d"
+  "/root/repo/src/nn/norm.cc" "src/CMakeFiles/modelslicing.dir/nn/norm.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/nn/norm.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/modelslicing.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/nn/summary.cc" "src/CMakeFiles/modelslicing.dir/nn/summary.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/nn/summary.cc.o.d"
+  "/root/repo/src/optim/sgd.cc" "src/CMakeFiles/modelslicing.dir/optim/sgd.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/optim/sgd.cc.o.d"
+  "/root/repo/src/serving/cascade_ranking.cc" "src/CMakeFiles/modelslicing.dir/serving/cascade_ranking.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/serving/cascade_ranking.cc.o.d"
+  "/root/repo/src/serving/degradation_manager.cc" "src/CMakeFiles/modelslicing.dir/serving/degradation_manager.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/serving/degradation_manager.cc.o.d"
+  "/root/repo/src/serving/latency_scheduler.cc" "src/CMakeFiles/modelslicing.dir/serving/latency_scheduler.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/serving/latency_scheduler.cc.o.d"
+  "/root/repo/src/serving/workload.cc" "src/CMakeFiles/modelslicing.dir/serving/workload.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/serving/workload.cc.o.d"
+  "/root/repo/src/tensor/tensor_ops.cc" "src/CMakeFiles/modelslicing.dir/tensor/tensor_ops.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/tensor/tensor_ops.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/modelslicing.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/modelslicing.dir/util/logging.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

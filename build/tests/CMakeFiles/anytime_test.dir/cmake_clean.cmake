@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anytime_test.dir/anytime_test.cc.o"
+  "CMakeFiles/anytime_test.dir/anytime_test.cc.o.d"
+  "anytime_test"
+  "anytime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anytime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

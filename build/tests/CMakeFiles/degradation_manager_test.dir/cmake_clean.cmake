@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degradation_manager_test.dir/degradation_manager_test.cc.o"
+  "CMakeFiles/degradation_manager_test.dir/degradation_manager_test.cc.o.d"
+  "degradation_manager_test"
+  "degradation_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degradation_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

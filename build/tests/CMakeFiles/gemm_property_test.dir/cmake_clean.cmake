@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_property_test.dir/gemm_property_test.cc.o"
+  "CMakeFiles/gemm_property_test.dir/gemm_property_test.cc.o.d"
+  "gemm_property_test"
+  "gemm_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouped_conv_test.dir/grouped_conv_test.cc.o"
+  "CMakeFiles/grouped_conv_test.dir/grouped_conv_test.cc.o.d"
+  "grouped_conv_test"
+  "grouped_conv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouped_conv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invariants_death_test.dir/invariants_death_test.cc.o"
+  "CMakeFiles/invariants_death_test.dir/invariants_death_test.cc.o.d"
+  "invariants_death_test"
+  "invariants_death_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invariants_death_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

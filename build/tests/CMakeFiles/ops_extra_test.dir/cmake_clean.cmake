@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_extra_test.dir/ops_extra_test.cc.o"
+  "CMakeFiles/ops_extra_test.dir/ops_extra_test.cc.o.d"
+  "ops_extra_test"
+  "ops_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_training_property_test.dir/scheduler_training_property_test.cc.o"
+  "CMakeFiles/scheduler_training_property_test.dir/scheduler_training_property_test.cc.o.d"
+  "scheduler_training_property_test"
+  "scheduler_training_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_training_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slice_spec_test.dir/slice_spec_test.cc.o"
+  "CMakeFiles/slice_spec_test.dir/slice_spec_test.cc.o.d"
+  "slice_spec_test"
+  "slice_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slice_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slicing_equivalence_extra_test.dir/slicing_equivalence_extra_test.cc.o"
+  "CMakeFiles/slicing_equivalence_extra_test.dir/slicing_equivalence_extra_test.cc.o.d"
+  "slicing_equivalence_extra_test"
+  "slicing_equivalence_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slicing_equivalence_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
