@@ -3,7 +3,11 @@
 // of the paper; EXPERIMENTS.md records paper-vs-measured.
 //
 // Environment knobs:
-//   MS_BENCH_FAST=1  — quarter-size runs for smoke-testing the harness.
+//   MS_BENCH_FAST=1              — quarter-size runs for smoke-testing.
+//   MS_BENCH_METRICS_OUT=<path>  — dump the global metrics registry as
+//                                  JSONL when the bench exits.
+//   MS_BENCH_TRACE_OUT=<path>    — enable tracing and dump a
+//                                  chrome://tracing JSON on exit.
 #ifndef MODELSLICING_BENCH_BENCH_UTIL_H_
 #define MODELSLICING_BENCH_BENCH_UTIL_H_
 
@@ -17,6 +21,8 @@
 #include "src/data/synthetic_images.h"
 #include "src/data/synthetic_text.h"
 #include "src/models/cnn.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace ms {
 namespace bench {
@@ -25,6 +31,42 @@ inline bool FastMode() {
   const char* v = std::getenv("MS_BENCH_FAST");
   return v != nullptr && v[0] == '1';
 }
+
+/// Writes the global metrics registry / trace buffer to the paths named by
+/// MS_BENCH_METRICS_OUT / MS_BENCH_TRACE_OUT (no-op when unset).
+inline void DumpObservability() {
+  if (const char* path = std::getenv("MS_BENCH_METRICS_OUT")) {
+    const Status s = obs::MetricsRegistry::Global().WriteJsonl(path);
+    if (!s.ok()) std::fprintf(stderr, "metrics dump: %s\n",
+                              s.ToString().c_str());
+  }
+  if (const char* path = std::getenv("MS_BENCH_TRACE_OUT")) {
+    const Status s = obs::TraceCollector::Global().WriteJson(path);
+    if (!s.ok()) std::fprintf(stderr, "trace dump: %s\n",
+                              s.ToString().c_str());
+  }
+}
+
+namespace internal {
+
+// Every bench links bench_util.h, so this inline variable's constructor
+// arms the end-of-run observability dump (and tracing, when requested)
+// without each bench opting in.
+struct ObsDumpOnExit {
+  ObsDumpOnExit() {
+    if (std::getenv("MS_BENCH_TRACE_OUT") != nullptr) {
+      obs::TraceCollector::Global().Enable();
+    }
+    if (std::getenv("MS_BENCH_METRICS_OUT") != nullptr ||
+        std::getenv("MS_BENCH_TRACE_OUT") != nullptr) {
+      std::atexit([] { DumpObservability(); });
+    }
+  }
+};
+
+inline ObsDumpOnExit obs_dump_on_exit;
+
+}  // namespace internal
 
 /// CIFAR-10 analogue used by the CNN benches (see DESIGN.md substitutions).
 inline ImageDataSplit StandardImages() {

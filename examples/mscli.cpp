@@ -20,6 +20,9 @@
 #include "src/models/zoo.h"
 #include "src/nn/serialize.h"
 #include "src/nn/summary.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/obs/trace.h"
 #include "src/serving/latency_scheduler.h"
 #include "src/serving/workload.h"
 #include "src/util/flags.h"
@@ -34,10 +37,14 @@ int Usage() {
       "  train:   --scheduler=r-min-max --epochs=8 --lr=0.05 --lb=0.25\n"
       "           --granularity=0.25 --out=model.ckpt\n"
       "  eval:    --ckpt=model.ckpt --rate=0.5\n"
-      "  profile: (prints the rate/FLOPs/params lattice)\n"
-      "  summary: --rate=0.5 (per-layer table at one slice rate)\n"
+      "  profile: (prints the rate/FLOPs/params lattice and the measured\n"
+      "           cost curve vs the r^2 model)\n"
+      "  summary: --rate=0.5 (per-layer table with measured fwd times)\n"
       "  serve:   --ckpt=model.ckpt --budget=<samples per tick at full "
-      "cost>\n");
+      "cost>\n"
+      "observability (any command):\n"
+      "  --metrics_out=/path.jsonl   dump the metrics registry as JSONL\n"
+      "  --trace_out=/path.json      record a chrome://tracing trace\n");
   return 2;
 }
 
@@ -149,6 +156,22 @@ int Profile(const Flags& flags) {
     std::printf("%-8.3f %-12.4f %-12.1f %.3f\n", p.rate, p.flops / 1e6,
                 p.params / 1e3, predictor.seconds_per_rate()[i] * 1e3);
   }
+
+  // Empirical cost curve vs the paper's quadratic model (Eq. 3), measured
+  // under a profiler session so per-layer stats land in the registry too.
+  obs::SliceProfiler profiler;
+  std::vector<obs::CostCurvePoint> curve;
+  {
+    obs::ProfilerScope scope(&profiler);
+    Tensor sample({8, loaded.split.test.channels, loaded.split.test.height,
+                   loaded.split.test.width});
+    curve = obs::MeasureCostCurve(loaded.net.get(), sample,
+                                  loaded.lattice.rates(), /*repeats=*/5);
+  }
+  std::printf("\nmeasured cost curve (batch of 8) vs r^2 model:\n%s",
+              obs::FormatCostCurve(curve).c_str());
+  obs::ExportCostCurve(curve, &obs::MetricsRegistry::Global());
+  profiler.ExportTo(&obs::MetricsRegistry::Global());
   return 0;
 }
 
@@ -161,6 +184,10 @@ int Summary(const Flags& flags) {
   Loaded loaded = loaded_result.MoveValueOrDie();
   Tensor sample({1, loaded.split.test.channels, loaded.split.test.height,
                  loaded.split.test.width});
+  // Summarize under a profiler session so the table gains measured
+  // per-layer forward times.
+  obs::SliceProfiler profiler;
+  obs::ProfilerScope scope(&profiler);
   const ModelSummary summary = Summarize(
       loaded.net.get(), sample, flags.GetDouble("rate", 1.0));
   std::fputs(FormatSummary(summary).c_str(), stdout);
@@ -212,11 +239,30 @@ int main(int argc, char** argv) {
   }
   const Flags flags = flags_result.MoveValueOrDie();
   if (flags.positional().empty()) return Usage();
+  if (flags.Has("trace_out")) obs::TraceCollector::Global().Enable();
   const std::string command = flags.positional().front();
-  if (command == "train") return Train(flags);
-  if (command == "eval") return Eval(flags);
-  if (command == "profile") return Profile(flags);
-  if (command == "summary") return Summary(flags);
-  if (command == "serve") return Serve(flags);
-  return Usage();
+  int rc;
+  if (command == "train") rc = Train(flags);
+  else if (command == "eval") rc = Eval(flags);
+  else if (command == "profile") rc = Profile(flags);
+  else if (command == "summary") rc = Summary(flags);
+  else if (command == "serve") rc = Serve(flags);
+  else return Usage();
+  if (flags.Has("metrics_out")) {
+    const Status s = obs::MetricsRegistry::Global().WriteJsonl(
+        flags.GetString("metrics_out"));
+    if (!s.ok()) {
+      std::fprintf(stderr, "metrics dump: %s\n", s.ToString().c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (flags.Has("trace_out")) {
+    const Status s =
+        obs::TraceCollector::Global().WriteJson(flags.GetString("trace_out"));
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace dump: %s\n", s.ToString().c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
 }

@@ -23,7 +23,7 @@ GatedResidualBlock::GatedResidualBlock(std::unique_ptr<Module> body,
   gate_b_grad_ = Tensor::Zeros({1});
 }
 
-Tensor GatedResidualBlock::Forward(const Tensor& x, bool training) {
+Tensor GatedResidualBlock::DoForward(const Tensor& x, bool training) {
   MS_CHECK(x.ndim() == 4 && x.dim(1) == channels_);
   const int64_t batch = x.dim(0);
   const int64_t area = x.dim(2) * x.dim(3);
@@ -82,7 +82,7 @@ void GatedResidualBlock::AddSparsityGradient(float alpha) {
   for (auto& g : gate_grad_acc_) g += per_sample;
 }
 
-Tensor GatedResidualBlock::Backward(const Tensor& grad_out) {
+Tensor GatedResidualBlock::DoBackward(const Tensor& grad_out) {
   MS_CHECK(last_training_);
   const int64_t batch = cached_x_.dim(0);
   const int64_t area = cached_x_.dim(2) * cached_x_.dim(3);

@@ -25,8 +25,8 @@ class GatedResidualBlock : public Module {
   GatedResidualBlock(std::unique_ptr<Module> body, int64_t channels,
                      Rng* rng, std::string name = "gated_block");
 
-  Tensor Forward(const Tensor& x, bool training) override;
-  Tensor Backward(const Tensor& grad_out) override;
+  Tensor DoForward(const Tensor& x, bool training) override;
+  Tensor DoBackward(const Tensor& grad_out) override;
   void CollectParams(std::vector<ParamRef>* out) override;
   std::string name() const override { return name_; }
 

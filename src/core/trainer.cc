@@ -3,10 +3,28 @@
 #include <algorithm>
 
 #include "src/core/evaluator.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/util/stopwatch.h"
 
 namespace ms {
+
+namespace {
+
+// Per-epoch observability: loss/LR gauges, epoch-time histogram and
+// throughput, published under `prefix` (ms_train_ / ms_train_nnlm_).
+void RecordEpochMetrics(const std::string& prefix, const EpochStats& stats) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter(prefix + "epochs_total")->Inc();
+  registry.GetGauge(prefix + "loss")->Set(stats.train_loss);
+  registry.GetGauge(prefix + "lr")->Set(stats.lr);
+  registry.GetGauge(prefix + "examples_per_sec")->Set(stats.examples_per_sec);
+  registry.GetHistogram(prefix + "epoch_seconds", obs::LatencyBucketsMs())
+      ->Observe(stats.seconds);
+}
+
+}  // namespace
 
 void TrainImageClassifier(Module* net, const ImageDataset& data,
                           SliceRateScheduler* scheduler,
@@ -25,6 +43,7 @@ void TrainImageClassifier(Module* net, const ImageDataset& data,
   }
 
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    MS_TRACE_SCOPE("train_epoch");
     Stopwatch watch;
     optimizer.set_lr(lr_schedule.LrAtEpoch(epoch));
     rng.Shuffle(&order);
@@ -58,6 +77,12 @@ void TrainImageClassifier(Module* net, const ImageDataset& data,
     stats.epoch = epoch;
     stats.train_loss = loss_count > 0 ? loss_sum / loss_count : 0.0;
     stats.seconds = watch.ElapsedSeconds();
+    stats.lr = lr_schedule.LrAtEpoch(epoch);
+    stats.examples_per_sec =
+        stats.seconds > 0.0
+            ? static_cast<double>(data.size()) / stats.seconds
+            : 0.0;
+    RecordEpochMetrics("ms_train_", stats);
     if (callback) callback(stats);
   }
 }
@@ -78,7 +103,10 @@ void TrainNnlm(Nnlm* model, const TextCorpus& corpus,
   }
 
   std::vector<int> inputs, targets;
+  double current_lr = opts.sgd.lr;
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    MS_TRACE_SCOPE("train_nnlm_epoch");
+    const double epoch_lr = current_lr;
     Stopwatch watch;
     rng.Shuffle(&chunk_order);
     double loss_sum = 0.0;
@@ -104,13 +132,20 @@ void TrainNnlm(Nnlm* model, const TextCorpus& corpus,
       const double valid_ppl =
           EvalPerplexity(model, corpus.valid, /*rate=*/1.0, opts.batch_size,
                          opts.bptt);
-      optimizer.set_lr(lr_schedule.Observe(valid_ppl));
+      current_lr = lr_schedule.Observe(valid_ppl);
+      optimizer.set_lr(current_lr);
     }
 
     EpochStats stats;
     stats.epoch = epoch;
     stats.train_loss = loss_count > 0 ? loss_sum / loss_count : 0.0;
     stats.seconds = watch.ElapsedSeconds();
+    stats.lr = epoch_lr;
+    stats.examples_per_sec =
+        stats.seconds > 0.0
+            ? static_cast<double>(batcher.num_chunks()) / stats.seconds
+            : 0.0;
+    RecordEpochMetrics("ms_train_nnlm_", stats);
     if (callback) callback(stats);
   }
 }

@@ -31,6 +31,8 @@ struct EpochStats {
   int epoch = 0;
   double train_loss = 0.0;   ///< mean per-subnet loss over the epoch.
   double seconds = 0.0;
+  double lr = 0.0;           ///< learning rate used this epoch.
+  double examples_per_sec = 0.0;  ///< dataset passes / wall time.
 };
 
 /// Called after each epoch; return value ignored.

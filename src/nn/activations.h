@@ -11,7 +11,7 @@ namespace ms {
 /// \brief max(0, x); caches the activation mask for backward.
 class ReLU : public Module {
  public:
-  Tensor Forward(const Tensor& x, bool training) override {
+  Tensor DoForward(const Tensor& x, bool training) override {
     (void)training;
     mask_.assign(static_cast<size_t>(x.size()), 0);
     Tensor y = x;
@@ -25,7 +25,7 @@ class ReLU : public Module {
     return y;
   }
 
-  Tensor Backward(const Tensor& grad_out) override {
+  Tensor DoBackward(const Tensor& grad_out) override {
     MS_CHECK(grad_out.size() == static_cast<int64_t>(mask_.size()));
     Tensor g = grad_out;
     for (int64_t i = 0; i < g.size(); ++i) {
@@ -43,7 +43,7 @@ class ReLU : public Module {
 /// \brief tanh(x); backward uses 1 - tanh^2 from the cached output.
 class Tanh : public Module {
  public:
-  Tensor Forward(const Tensor& x, bool training) override {
+  Tensor DoForward(const Tensor& x, bool training) override {
     (void)training;
     Tensor y = x;
     for (int64_t i = 0; i < y.size(); ++i) y[i] = std::tanh(y[i]);
@@ -51,7 +51,7 @@ class Tanh : public Module {
     return y;
   }
 
-  Tensor Backward(const Tensor& grad_out) override {
+  Tensor DoBackward(const Tensor& grad_out) override {
     Tensor g = grad_out;
     for (int64_t i = 0; i < g.size(); ++i) {
       const float t = cached_y_[i];

@@ -25,14 +25,14 @@ Conv2d::Conv2d(Conv2dOptions opts, Rng* rng, std::string name)
   }
 }
 
-void Conv2d::SetSliceRate(double r) {
+void Conv2d::DoSetSliceRate(double r) {
   active_in_ =
       opts_.slice_in ? in_spec_.ActiveWidth(r) : in_spec_.full_width();
   active_out_ =
       opts_.slice_out ? out_spec_.ActiveWidth(r) : out_spec_.full_width();
 }
 
-Tensor Conv2d::Forward(const Tensor& x, bool training) {
+Tensor Conv2d::DoForward(const Tensor& x, bool training) {
   (void)training;
   MS_CHECK(x.ndim() == 4);
   const int64_t batch = x.dim(0);
@@ -77,7 +77,7 @@ Tensor Conv2d::Forward(const Tensor& x, bool training) {
   return y;
 }
 
-Tensor Conv2d::Backward(const Tensor& grad_out) {
+Tensor Conv2d::DoBackward(const Tensor& grad_out) {
   const int64_t batch = cached_x_.dim(0);
   const int64_t m = active_in_;
   const int64_t n = active_out_;

@@ -31,7 +31,7 @@ Dense::Dense(DenseOptions opts, Rng* rng, std::string name)
   }
 }
 
-void Dense::SetSliceRate(double r) {
+void Dense::DoSetSliceRate(double r) {
   active_in_units_ =
       opts_.slice_in ? in_spec_.ActiveWidth(r) : in_spec_.full_width();
   active_out_ =
@@ -43,7 +43,7 @@ void Dense::SetSliceRate(double r) {
           : 1.0f;
 }
 
-Tensor Dense::Forward(const Tensor& x, bool training) {
+Tensor Dense::DoForward(const Tensor& x, bool training) {
   (void)training;
   const int64_t m = active_in();
   const int64_t n = active_out_;
@@ -65,7 +65,7 @@ Tensor Dense::Forward(const Tensor& x, bool training) {
   return y;
 }
 
-Tensor Dense::Backward(const Tensor& grad_out) {
+Tensor Dense::DoBackward(const Tensor& grad_out) {
   const int64_t m = active_in();
   const int64_t n = active_out_;
   MS_CHECK(grad_out.ndim() == 2 && grad_out.dim(1) == n);

@@ -19,12 +19,12 @@ DepthwiseConv2d::DepthwiseConv2d(DepthwiseConv2dOptions opts, Rng* rng,
   w_grad_ = Tensor::Zeros(w_.shape());
 }
 
-void DepthwiseConv2d::SetSliceRate(double r) {
+void DepthwiseConv2d::DoSetSliceRate(double r) {
   if (!opts_.slice) return;
   active_channels_ = spec_.ActiveWidth(r);
 }
 
-Tensor DepthwiseConv2d::Forward(const Tensor& x, bool training) {
+Tensor DepthwiseConv2d::DoForward(const Tensor& x, bool training) {
   (void)training;
   MS_CHECK(x.ndim() == 4);
   MS_CHECK_MSG(x.dim(1) == active_channels_,
@@ -68,7 +68,7 @@ Tensor DepthwiseConv2d::Forward(const Tensor& x, bool training) {
   return y;
 }
 
-Tensor DepthwiseConv2d::Backward(const Tensor& grad_out) {
+Tensor DepthwiseConv2d::DoBackward(const Tensor& grad_out) {
   const int64_t batch = cached_x_.dim(0);
   const int64_t h = cached_h_;
   const int64_t w = cached_w_;

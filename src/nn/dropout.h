@@ -15,7 +15,7 @@ class Dropout : public Module {
     MS_CHECK(p >= 0.0 && p < 1.0);
   }
 
-  Tensor Forward(const Tensor& x, bool training) override {
+  Tensor DoForward(const Tensor& x, bool training) override {
     if (!training || p_ == 0.0) {
       mask_.clear();
       return x;
@@ -34,7 +34,7 @@ class Dropout : public Module {
     return y;
   }
 
-  Tensor Backward(const Tensor& grad_out) override {
+  Tensor DoBackward(const Tensor& grad_out) override {
     if (mask_.empty()) return grad_out;
     MS_CHECK(grad_out.size() == static_cast<int64_t>(mask_.size()));
     Tensor g = grad_out;

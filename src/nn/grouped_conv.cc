@@ -24,13 +24,13 @@ GroupedConv2d::GroupedConv2d(GroupedConv2dOptions opts, Rng* rng,
   w_grad_ = Tensor::Zeros(w_.shape());
 }
 
-void GroupedConv2d::SetSliceRate(double r) {
+void GroupedConv2d::DoSetSliceRate(double r) {
   if (!opts_.slice) return;
   SliceSpec spec(opts_.groups, opts_.groups);
   active_groups_ = spec.ActiveWidth(r);
 }
 
-Tensor GroupedConv2d::Forward(const Tensor& x, bool training) {
+Tensor GroupedConv2d::DoForward(const Tensor& x, bool training) {
   (void)training;
   MS_CHECK(x.ndim() == 4);
   MS_CHECK_MSG(x.dim(1) == active_in(),
@@ -68,7 +68,7 @@ Tensor GroupedConv2d::Forward(const Tensor& x, bool training) {
   return y;
 }
 
-Tensor GroupedConv2d::Backward(const Tensor& grad_out) {
+Tensor GroupedConv2d::DoBackward(const Tensor& grad_out) {
   const int64_t batch = cached_x_.dim(0);
   const int64_t h = cached_h_;
   const int64_t w = cached_w_;

@@ -32,10 +32,10 @@ class GroupedConv2d : public Module {
   GroupedConv2d(GroupedConv2dOptions opts, Rng* rng,
                 std::string name = "gconv");
 
-  Tensor Forward(const Tensor& x, bool training) override;
-  Tensor Backward(const Tensor& grad_out) override;
+  Tensor DoForward(const Tensor& x, bool training) override;
+  Tensor DoBackward(const Tensor& grad_out) override;
   void CollectParams(std::vector<ParamRef>* out) override;
-  void SetSliceRate(double r) override;
+  void DoSetSliceRate(double r) override;
   int64_t FlopsPerSample() const override;
   int64_t ActiveParams() const override;
   std::string name() const override { return name_; }

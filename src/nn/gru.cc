@@ -38,7 +38,7 @@ Gru::Gru(GruOptions opts, Rng* rng, std::string name)
   bh_grad_ = Tensor::Zeros(bh_.shape());
 }
 
-void Gru::SetSliceRate(double r) {
+void Gru::DoSetSliceRate(double r) {
   active_in_ =
       opts_.slice_in ? in_spec_.ActiveWidth(r) : in_spec_.full_width();
   active_hidden_ = opts_.slice_out ? hidden_spec_.ActiveWidth(r)
@@ -79,7 +79,7 @@ void Gru::HiddenGemm(int gate, const float* h, int64_t batch,
   }
 }
 
-Tensor Gru::Forward(const Tensor& x, bool training) {
+Tensor Gru::DoForward(const Tensor& x, bool training) {
   (void)training;
   MS_CHECK(x.ndim() == 3);
   const int64_t t_steps = x.dim(0);
@@ -129,7 +129,7 @@ Tensor Gru::Forward(const Tensor& x, bool training) {
   return out;
 }
 
-Tensor Gru::Backward(const Tensor& grad_out) {
+Tensor Gru::DoBackward(const Tensor& grad_out) {
   const int64_t t_steps = cached_t_;
   const int64_t batch = cached_b_;
   const int64_t m = active_in_;

@@ -37,7 +37,7 @@ Lstm::Lstm(LstmOptions opts, Rng* rng, std::string name)
   b_grad_ = Tensor::Zeros(b_.shape());
 }
 
-void Lstm::SetSliceRate(double r) {
+void Lstm::DoSetSliceRate(double r) {
   active_in_ =
       opts_.slice_in ? in_spec_.ActiveWidth(r) : in_spec_.full_width();
   active_hidden_ = opts_.slice_out ? hidden_spec_.ActiveWidth(r)
@@ -70,7 +70,7 @@ void Lstm::GateGemm(int gate, const float* x, int64_t m, const float* h,
   }
 }
 
-Tensor Lstm::Forward(const Tensor& x, bool training) {
+Tensor Lstm::DoForward(const Tensor& x, bool training) {
   (void)training;
   MS_CHECK(x.ndim() == 3);
   const int64_t t_steps = x.dim(0);
@@ -127,7 +127,7 @@ Tensor Lstm::Forward(const Tensor& x, bool training) {
   return out;
 }
 
-Tensor Lstm::Backward(const Tensor& grad_out) {
+Tensor Lstm::DoBackward(const Tensor& grad_out) {
   const int64_t t_steps = cached_t_;
   const int64_t batch = cached_b_;
   const int64_t m = active_in_;

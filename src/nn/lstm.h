@@ -30,10 +30,10 @@ class Lstm : public Module {
  public:
   Lstm(LstmOptions opts, Rng* rng, std::string name = "lstm");
 
-  Tensor Forward(const Tensor& x, bool training) override;
-  Tensor Backward(const Tensor& grad_out) override;
+  Tensor DoForward(const Tensor& x, bool training) override;
+  Tensor DoBackward(const Tensor& grad_out) override;
   void CollectParams(std::vector<ParamRef>* out) override;
-  void SetSliceRate(double r) override;
+  void DoSetSliceRate(double r) override;
   int64_t FlopsPerSample() const override;
   int64_t ActiveParams() const override;
   std::string name() const override { return name_; }

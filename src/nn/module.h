@@ -28,24 +28,30 @@ struct ParamRef {
 };
 
 /// \brief Abstract layer: forward, backward, parameters, slicing.
+///
+/// The public entry points are non-virtual (NVI): they hook into the
+/// observability subsystem (per-layer/per-rate profiling via
+/// obs::SliceProfiler, spans via obs::TraceCollector) before dispatching to
+/// the Do* virtuals that layers override. With no profiler active and
+/// tracing disabled the hooks cost two relaxed atomic loads.
 class Module {
  public:
   virtual ~Module() = default;
 
   /// Compute the layer output. `training` toggles dropout / batch-stat
   /// collection. Input/output are compact w.r.t. the current slice rate.
-  virtual Tensor Forward(const Tensor& x, bool training) = 0;
+  Tensor Forward(const Tensor& x, bool training);
 
   /// Given dL/d(output), accumulate parameter gradients (into the active
   /// prefix) and return dL/d(input). Must be called after Forward with the
   /// same slice rate; layers cache what they need.
-  virtual Tensor Backward(const Tensor& grad_out) = 0;
+  Tensor Backward(const Tensor& grad_out);
+
+  /// Set the current slice rate r in (0, 1]. Non-sliceable layers ignore it.
+  void SetSliceRate(double r);
 
   /// Append this layer's parameters (if any).
   virtual void CollectParams(std::vector<ParamRef>* out) { (void)out; }
-
-  /// Set the current slice rate r in (0, 1]. Non-sliceable layers ignore it.
-  virtual void SetSliceRate(double r) { (void)r; }
 
   /// Multiply-accumulate count for one sample at the current slice rate.
   virtual int64_t FlopsPerSample() const { return 0; }
@@ -54,6 +60,12 @@ class Module {
   virtual int64_t ActiveParams() const { return 0; }
 
   virtual std::string name() const = 0;
+
+ protected:
+  /// Layer implementations; see the public Forward/Backward/SetSliceRate.
+  virtual Tensor DoForward(const Tensor& x, bool training) = 0;
+  virtual Tensor DoBackward(const Tensor& grad_out) = 0;
+  virtual void DoSetSliceRate(double r) { (void)r; }
 };
 
 /// \brief Runs child modules in order; the workhorse container for CNN/MLP
@@ -76,26 +88,8 @@ class Sequential : public Module {
     return ptr;
   }
 
-  Tensor Forward(const Tensor& x, bool training) override {
-    Tensor h = x;
-    for (auto& child : children_) h = child->Forward(h, training);
-    return h;
-  }
-
-  Tensor Backward(const Tensor& grad_out) override {
-    Tensor g = grad_out;
-    for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
-      g = (*it)->Backward(g);
-    }
-    return g;
-  }
-
   void CollectParams(std::vector<ParamRef>* out) override {
     for (auto& child : children_) child->CollectParams(out);
-  }
-
-  void SetSliceRate(double r) override {
-    for (auto& child : children_) child->SetSliceRate(r);
   }
 
   int64_t FlopsPerSample() const override {
@@ -114,6 +108,25 @@ class Sequential : public Module {
   Module* child(size_t i) { return children_[i].get(); }
 
   std::string name() const override { return name_; }
+
+ protected:
+  Tensor DoForward(const Tensor& x, bool training) override {
+    Tensor h = x;
+    for (auto& child : children_) h = child->Forward(h, training);
+    return h;
+  }
+
+  Tensor DoBackward(const Tensor& grad_out) override {
+    Tensor g = grad_out;
+    for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+      g = (*it)->Backward(g);
+    }
+    return g;
+  }
+
+  void DoSetSliceRate(double r) override {
+    for (auto& child : children_) child->SetSliceRate(r);
+  }
 
  private:
   std::string name_ = "sequential";

@@ -29,13 +29,13 @@ GroupNorm::GroupNorm(NormOptions opts, std::string name)
   beta_grad_ = Tensor::Zeros({opts_.channels});
 }
 
-void GroupNorm::SetSliceRate(double r) {
+void GroupNorm::DoSetSliceRate(double r) {
   if (!opts_.slice) return;
   active_groups_ = spec_.ActiveGroups(r);
   active_channels_ = spec_.GroupBoundary(active_groups_);
 }
 
-Tensor GroupNorm::Forward(const Tensor& x, bool training) {
+Tensor GroupNorm::DoForward(const Tensor& x, bool training) {
   (void)training;  // GN behaves identically at train and test time.
   MS_CHECK(x.ndim() >= 2);
   MS_CHECK_MSG(x.dim(1) == active_channels_,
@@ -85,7 +85,7 @@ Tensor GroupNorm::Forward(const Tensor& x, bool training) {
   return y;
 }
 
-Tensor GroupNorm::Backward(const Tensor& grad_out) {
+Tensor GroupNorm::DoBackward(const Tensor& grad_out) {
   const int64_t batch = cached_batch_;
   const int64_t area = cached_area_;
   MS_CHECK(grad_out.size() == cached_xhat_.size());
@@ -160,12 +160,12 @@ BatchNorm::BatchNorm(NormOptions opts, std::string name)
   running_var_ = Tensor::Full({opts_.channels}, 1.0f);
 }
 
-void BatchNorm::SetSliceRate(double r) {
+void BatchNorm::DoSetSliceRate(double r) {
   if (!opts_.slice) return;
   active_channels_ = spec_.ActiveWidth(r);
 }
 
-Tensor BatchNorm::Forward(const Tensor& x, bool training) {
+Tensor BatchNorm::DoForward(const Tensor& x, bool training) {
   MS_CHECK(x.ndim() >= 2);
   MS_CHECK_MSG(x.dim(1) == active_channels_,
                "BatchNorm input channels != active prefix");
@@ -227,7 +227,7 @@ Tensor BatchNorm::Forward(const Tensor& x, bool training) {
   return y;
 }
 
-Tensor BatchNorm::Backward(const Tensor& grad_out) {
+Tensor BatchNorm::DoBackward(const Tensor& grad_out) {
   MS_CHECK_MSG(!cached_xhat_.empty(),
                "BatchNorm::Backward requires a training-mode Forward");
   const int64_t batch = cached_batch_;
@@ -283,7 +283,7 @@ MultiBatchNorm::MultiBatchNorm(NormOptions opts,
   active_ = rates_.size() - 1;  // Largest rate by convention (list sorted).
 }
 
-void MultiBatchNorm::SetSliceRate(double r) {
+void MultiBatchNorm::DoSetSliceRate(double r) {
   // Select the BN whose rate is closest to r.
   size_t best = 0;
   double best_d = 1e9;
@@ -298,11 +298,11 @@ void MultiBatchNorm::SetSliceRate(double r) {
   norms_[active_]->SetSliceRate(r);
 }
 
-Tensor MultiBatchNorm::Forward(const Tensor& x, bool training) {
+Tensor MultiBatchNorm::DoForward(const Tensor& x, bool training) {
   return norms_[active_]->Forward(x, training);
 }
 
-Tensor MultiBatchNorm::Backward(const Tensor& grad_out) {
+Tensor MultiBatchNorm::DoBackward(const Tensor& grad_out) {
   return norms_[active_]->Backward(grad_out);
 }
 

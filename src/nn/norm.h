@@ -35,10 +35,10 @@ class GroupNorm : public Module {
  public:
   explicit GroupNorm(NormOptions opts, std::string name = "gn");
 
-  Tensor Forward(const Tensor& x, bool training) override;
-  Tensor Backward(const Tensor& grad_out) override;
+  Tensor DoForward(const Tensor& x, bool training) override;
+  Tensor DoBackward(const Tensor& grad_out) override;
   void CollectParams(std::vector<ParamRef>* out) override;
-  void SetSliceRate(double r) override;
+  void DoSetSliceRate(double r) override;
   int64_t ActiveParams() const override { return 2 * active_channels_; }
   std::string name() const override { return name_; }
 
@@ -70,10 +70,10 @@ class BatchNorm : public Module {
  public:
   explicit BatchNorm(NormOptions opts, std::string name = "bn");
 
-  Tensor Forward(const Tensor& x, bool training) override;
-  Tensor Backward(const Tensor& grad_out) override;
+  Tensor DoForward(const Tensor& x, bool training) override;
+  Tensor DoBackward(const Tensor& grad_out) override;
   void CollectParams(std::vector<ParamRef>* out) override;
-  void SetSliceRate(double r) override;
+  void DoSetSliceRate(double r) override;
   int64_t ActiveParams() const override { return 2 * active_channels_; }
   std::string name() const override { return name_; }
 
@@ -113,10 +113,10 @@ class MultiBatchNorm : public Module {
   MultiBatchNorm(NormOptions opts, const std::vector<double>& rates,
                  std::string name = "mbn");
 
-  Tensor Forward(const Tensor& x, bool training) override;
-  Tensor Backward(const Tensor& grad_out) override;
+  Tensor DoForward(const Tensor& x, bool training) override;
+  Tensor DoBackward(const Tensor& grad_out) override;
   void CollectParams(std::vector<ParamRef>* out) override;
-  void SetSliceRate(double r) override;
+  void DoSetSliceRate(double r) override;
   int64_t ActiveParams() const override;
   std::string name() const override { return name_; }
 

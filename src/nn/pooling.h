@@ -13,7 +13,7 @@ class MaxPool2d : public Module {
   MaxPool2d(int64_t kernel, int64_t stride)
       : kernel_(kernel), stride_(stride) {}
 
-  Tensor Forward(const Tensor& x, bool training) override {
+  Tensor DoForward(const Tensor& x, bool training) override {
     (void)training;
     MS_CHECK(x.ndim() == 4);
     n_ = x.dim(0);
@@ -29,7 +29,7 @@ class MaxPool2d : public Module {
     return y;
   }
 
-  Tensor Backward(const Tensor& grad_out) override {
+  Tensor DoBackward(const Tensor& grad_out) override {
     Tensor grad_in({n_, c_, h_, w_});
     ops::MaxPool2dBackward(grad_out, argmax_, n_ * c_, h_ * w_, oh_ * ow_,
                            &grad_in);
@@ -47,7 +47,7 @@ class MaxPool2d : public Module {
 /// \brief Global average pooling: (B, C, H, W) -> (B, C).
 class GlobalAvgPool : public Module {
  public:
-  Tensor Forward(const Tensor& x, bool training) override {
+  Tensor DoForward(const Tensor& x, bool training) override {
     (void)training;
     MS_CHECK(x.ndim() == 4);
     n_ = x.dim(0);
@@ -66,7 +66,7 @@ class GlobalAvgPool : public Module {
     return y;
   }
 
-  Tensor Backward(const Tensor& grad_out) override {
+  Tensor DoBackward(const Tensor& grad_out) override {
     const int64_t area = h_ * w_;
     Tensor grad_in({n_, c_, h_, w_});
     const float inv = 1.0f / static_cast<float>(area);
@@ -87,7 +87,7 @@ class GlobalAvgPool : public Module {
 /// \brief (B, C, H, W) -> (B, C*H*W); inverse on backward.
 class Flatten : public Module {
  public:
-  Tensor Forward(const Tensor& x, bool training) override {
+  Tensor DoForward(const Tensor& x, bool training) override {
     (void)training;
     shape_ = x.shape();
     int64_t rest = 1;
@@ -95,7 +95,7 @@ class Flatten : public Module {
     return x.Reshaped({x.dim(0), rest});
   }
 
-  Tensor Backward(const Tensor& grad_out) override {
+  Tensor DoBackward(const Tensor& grad_out) override {
     return grad_out.Reshaped(shape_);
   }
 

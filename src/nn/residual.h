@@ -24,7 +24,7 @@ class ResidualBlock : public Module {
         shortcut_(std::move(shortcut)),
         name_(std::move(name)) {}
 
-  Tensor Forward(const Tensor& x, bool training) override {
+  Tensor DoForward(const Tensor& x, bool training) override {
     Tensor f = body_->Forward(x, training);
     if (shortcut_ != nullptr) {
       Tensor s = shortcut_->Forward(x, training);
@@ -37,7 +37,7 @@ class ResidualBlock : public Module {
     return f;
   }
 
-  Tensor Backward(const Tensor& grad_out) override {
+  Tensor DoBackward(const Tensor& grad_out) override {
     Tensor g = body_->Backward(grad_out);
     if (shortcut_ != nullptr) {
       Tensor gs = shortcut_->Backward(grad_out);
@@ -53,7 +53,7 @@ class ResidualBlock : public Module {
     if (shortcut_ != nullptr) shortcut_->CollectParams(out);
   }
 
-  void SetSliceRate(double r) override {
+  void DoSetSliceRate(double r) override {
     body_->SetSliceRate(r);
     if (shortcut_ != nullptr) shortcut_->SetSliceRate(r);
   }

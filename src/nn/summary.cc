@@ -10,6 +10,7 @@
 #include "src/nn/lstm.h"
 #include "src/nn/norm.h"
 #include "src/nn/residual.h"
+#include "src/obs/profiler.h"
 #include "src/util/string_util.h"
 
 namespace ms {
@@ -37,6 +38,9 @@ void Walk(Module* m, int depth, ModelSummary* out) {
   layer.active_params = m->ActiveParams();
   layer.flops = m->FlopsPerSample();
   layer.depth = depth;
+  if (const obs::SliceProfiler* prof = obs::SliceProfiler::Active()) {
+    layer.fwd_millis = prof->MeanForwardNanos(m, out->rate) / 1e6;
+  }
   out->layers.push_back(layer);
 
   if (auto* seq = dynamic_cast<Sequential*>(m)) {
@@ -63,21 +67,37 @@ ModelSummary Summarize(Module* net, const Tensor& sample, double rate) {
 }
 
 std::string FormatSummary(const ModelSummary& summary) {
+  bool profiled = false;
+  for (const auto& layer : summary.layers) {
+    if (layer.fwd_millis > 0.0) {
+      profiled = true;
+      break;
+    }
+  }
   std::ostringstream os;
   os << StrFormat("model summary at slice rate %.3f\n", summary.rate);
-  os << StrFormat("%-36s %-11s %12s %12s\n", "layer", "kind", "params",
+  os << StrFormat("%-36s %-11s %12s %12s", "layer", "kind", "params",
                   "FLOPs");
+  if (profiled) os << StrFormat(" %10s", "fwd ms");
+  os << "\n";
   for (const auto& layer : summary.layers) {
     std::string indent(static_cast<size_t>(layer.depth) * 2, ' ');
     const std::string name = indent + layer.name;
-    os << StrFormat("%-36s %-11s %12lld %12lld\n", name.c_str(),
+    os << StrFormat("%-36s %-11s %12lld %12lld", name.c_str(),
                     layer.kind.c_str(),
                     static_cast<long long>(layer.active_params),
                     static_cast<long long>(layer.flops));
+    if (profiled) os << StrFormat(" %10.4f", layer.fwd_millis);
+    os << "\n";
   }
-  os << StrFormat("%-36s %-11s %12lld %12lld\n", "TOTAL (active)", "",
+  os << StrFormat("%-36s %-11s %12lld %12lld", "TOTAL (active)", "",
                   static_cast<long long>(summary.total_params),
                   static_cast<long long>(summary.total_flops));
+  if (profiled && !summary.layers.empty()) {
+    // The root layer's measured time covers the whole model.
+    os << StrFormat(" %10.4f", summary.layers.front().fwd_millis);
+  }
+  os << "\n";
   return os.str();
 }
 

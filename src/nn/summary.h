@@ -17,6 +17,10 @@ struct LayerSummary {
   int64_t active_params = 0;
   int64_t flops = 0;       ///< per sample, at the summarized rate.
   int depth = 0;           ///< nesting depth inside Sequential containers.
+  /// Mean measured forward wall time at the summarized rate, taken from the
+  /// active obs::SliceProfiler session; 0 when no profiler is active.
+  /// Container layers include their children's time.
+  double fwd_millis = 0.0;
 };
 
 struct ModelSummary {
@@ -28,10 +32,13 @@ struct ModelSummary {
 
 /// Walks `net` (recursing into Sequential and ResidualBlock containers)
 /// after slicing it to `rate` and running one forward pass on `sample` so
-/// spatial extents are known.
+/// spatial extents are known. When an obs::SliceProfiler session is active
+/// the pass is timed per layer and per-layer `fwd_millis` is filled in, so
+/// Summarize doubles as a quick profiling report.
 ModelSummary Summarize(Module* net, const Tensor& sample, double rate);
 
-/// Renders the summary as an aligned text table.
+/// Renders the summary as an aligned text table. A measured "fwd ms" column
+/// appears when any layer carries profiling data.
 std::string FormatSummary(const ModelSummary& summary);
 
 }  // namespace ms

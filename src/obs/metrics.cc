@@ -1,0 +1,247 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/string_util.h"
+
+namespace ms {
+namespace obs {
+
+namespace {
+
+// JSON-escape a metric name (names are plain identifiers in practice, but
+// exports must stay parseable whatever callers pass).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; map the rest to '_'.
+std::string PromName(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out = "_" + out;
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  if (std::isnan(v)) return "null";
+  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+  return StrFormat("%.9g", v);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  if (bounds_.empty()) bounds_.push_back(1.0);
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const int64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  const int64_t n = count();
+  if (n <= 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(n);
+  int64_t cum = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    const int64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= target) {
+      // Interpolate inside [lower, upper]. The overflow bucket has no upper
+      // bound; report its lower edge (a conservative lower bound).
+      const double lower =
+          i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+      if (i == bounds_.size()) return bounds_.back();
+      const double upper = bounds_[i];
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum += in_bucket;
+  }
+  return bounds_.back();
+}
+
+std::vector<double> LatencyBucketsMs() {
+  std::vector<double> bounds;
+  for (double b = 0.01; b < 2e4; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<double> RateBuckets() {
+  std::vector<double> bounds;
+  for (int i = 1; i <= 16; ++i) bounds.push_back(i / 16.0);
+  return bounds;
+}
+
+std::vector<double> DepthBuckets() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 4096.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << "{\"type\":\"counter\",\"name\":\"" << JsonEscape(name)
+       << "\",\"value\":" << c->value() << "}\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "{\"type\":\"gauge\",\"name\":\"" << JsonEscape(name)
+       << "\",\"value\":" << JsonDouble(g->value()) << "}\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "{\"type\":\"histogram\",\"name\":\"" << JsonEscape(name)
+       << "\",\"count\":" << h->count()
+       << ",\"sum\":" << JsonDouble(h->sum())
+       << ",\"mean\":" << JsonDouble(h->mean())
+       << ",\"p50\":" << JsonDouble(h->Percentile(50))
+       << ",\"p95\":" << JsonDouble(h->Percentile(95))
+       << ",\"p99\":" << JsonDouble(h->Percentile(99)) << ",\"buckets\":[";
+    for (size_t i = 0; i < h->num_buckets(); ++i) {
+      if (i > 0) os << ",";
+      os << "{\"le\":";
+      if (i < h->bounds().size()) {
+        os << JsonDouble(h->bounds()[i]);
+      } else {
+        os << "\"+inf\"";
+      }
+      os << ",\"count\":" << h->bucket_count(i) << "}";
+    }
+    os << "]}\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    const std::string p = PromName(name);
+    os << "# TYPE " << p << " counter\n" << p << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string p = PromName(name);
+    os << "# TYPE " << p << " gauge\n"
+       << p << " " << JsonDouble(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = PromName(name);
+    os << "# TYPE " << p << " histogram\n";
+    int64_t cum = 0;
+    for (size_t i = 0; i < h->bounds().size(); ++i) {
+      cum += h->bucket_count(i);
+      os << p << "_bucket{le=\"" << JsonDouble(h->bounds()[i]) << "\"} "
+         << cum << "\n";
+    }
+    cum += h->bucket_count(h->bounds().size());
+    os << p << "_bucket{le=\"+Inf\"} " << cum << "\n";
+    os << p << "_sum " << JsonDouble(h->sum()) << "\n";
+    os << p << "_count " << h->count() << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != contents.size() || close_err != 0) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MetricsRegistry::WriteJsonl(const std::string& path) const {
+  return WriteFile(path, ToJsonl());
+}
+
+Status MetricsRegistry::WritePrometheus(const std::string& path) const {
+  return WriteFile(path, ToPrometheus());
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace ms

@@ -1,0 +1,158 @@
+#include "src/obs/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/stopwatch.h"
+#include "src/util/string_util.h"
+
+namespace ms {
+namespace obs {
+
+namespace {
+
+std::atomic<SliceProfiler*> g_active{nullptr};
+
+}  // namespace
+
+SliceProfiler* SliceProfiler::Active() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+int64_t SliceProfiler::RateKey(double r) {
+  return static_cast<int64_t>(std::llround(r * 1e6));
+}
+
+void SliceProfiler::RecordForward(const void* layer, const std::string& name,
+                                  double nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[{layer, RateKey(current_rate())}];
+  if (e.name.empty()) e.name = name;
+  ++e.forward_calls;
+  e.forward_nanos += nanos;
+}
+
+void SliceProfiler::RecordBackward(const void* layer, const std::string& name,
+                                   double nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[{layer, RateKey(current_rate())}];
+  if (e.name.empty()) e.name = name;
+  ++e.backward_calls;
+  e.backward_nanos += nanos;
+}
+
+std::vector<LayerRateStats> SliceProfiler::ForwardStats() const {
+  std::vector<LayerRateStats> stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.reserve(entries_.size());
+    for (const auto& [key, e] : entries_) {
+      LayerRateStats s;
+      s.layer = e.name;
+      s.rate = static_cast<double>(key.second) / 1e6;
+      s.forward_calls = e.forward_calls;
+      s.forward_nanos = e.forward_nanos;
+      s.backward_calls = e.backward_calls;
+      s.backward_nanos = e.backward_nanos;
+      stats.push_back(std::move(s));
+    }
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const LayerRateStats& a, const LayerRateStats& b) {
+              if (a.layer != b.layer) return a.layer < b.layer;
+              return a.rate < b.rate;
+            });
+  return stats;
+}
+
+double SliceProfiler::MeanForwardNanos(const void* layer, double rate) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find({layer, RateKey(rate)});
+  if (it == entries_.end() || it->second.forward_calls == 0) return 0.0;
+  return it->second.forward_nanos /
+         static_cast<double>(it->second.forward_calls);
+}
+
+void SliceProfiler::ExportTo(MetricsRegistry* registry,
+                             const std::string& prefix) const {
+  for (const auto& s : ForwardStats()) {
+    const std::string suffix =
+        StrFormat("{layer=\"%s\",rate=\"%.3f\"}", s.layer.c_str(), s.rate);
+    registry->GetGauge(prefix + "fwd_ms" + suffix)
+        ->Set(s.forward_nanos / 1e6);
+    if (s.backward_calls > 0) {
+      registry->GetGauge(prefix + "bwd_ms" + suffix)
+          ->Set(s.backward_nanos / 1e6);
+    }
+  }
+}
+
+void SliceProfiler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+ProfilerScope::ProfilerScope(SliceProfiler* profiler)
+    : prev_(g_active.exchange(profiler, std::memory_order_acq_rel)) {}
+
+ProfilerScope::~ProfilerScope() {
+  g_active.store(prev_, std::memory_order_release);
+}
+
+std::vector<CostCurvePoint> MeasureCostCurve(Module* net,
+                                             const Tensor& sample,
+                                             const std::vector<double>& rates,
+                                             int repeats) {
+  std::vector<CostCurvePoint> curve;
+  if (net == nullptr || rates.empty()) return curve;
+  repeats = std::max(1, repeats);
+
+  std::vector<double> sorted = rates;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  for (double r : sorted) {
+    net->SetSliceRate(r);
+    (void)net->Forward(sample, /*training=*/false);  // warmup at this rate.
+    Stopwatch watch;
+    for (int i = 0; i < repeats; ++i) {
+      (void)net->Forward(sample, /*training=*/false);
+    }
+    CostCurvePoint point;
+    point.rate = r;
+    point.measured_ms = watch.ElapsedMillis() / repeats;
+    curve.push_back(point);
+  }
+
+  // Anchor the r² model at the largest measured rate (usually 1.0).
+  const CostCurvePoint& ref = curve.back();
+  for (CostCurvePoint& p : curve) {
+    const double scale = p.rate / ref.rate;
+    p.model_ms = ref.measured_ms * scale * scale;
+    p.ratio = p.model_ms > 0.0 ? p.measured_ms / p.model_ms : 0.0;
+  }
+  return curve;
+}
+
+std::string FormatCostCurve(const std::vector<CostCurvePoint>& curve) {
+  std::string out = StrFormat("%-8s %-14s %-14s %s\n", "rate", "measured ms",
+                              "r^2 model ms", "measured/model");
+  for (const CostCurvePoint& p : curve) {
+    out += StrFormat("%-8.3f %-14.4f %-14.4f %.3f\n", p.rate, p.measured_ms,
+                     p.model_ms, p.ratio);
+  }
+  return out;
+}
+
+void ExportCostCurve(const std::vector<CostCurvePoint>& curve,
+                     MetricsRegistry* registry) {
+  for (const CostCurvePoint& p : curve) {
+    const std::string label = StrFormat("{rate=\"%.3f\"}", p.rate);
+    registry->GetGauge("ms_cost_curve_measured_ms" + label)
+        ->Set(p.measured_ms);
+    registry->GetGauge("ms_cost_curve_model_ms" + label)->Set(p.model_ms);
+  }
+}
+
+}  // namespace obs
+}  // namespace ms

@@ -1,0 +1,149 @@
+// Slice-rate profiler: aggregates per-layer forward/backward wall time,
+// keyed by (layer, slice rate), and measures the empirical cost curve
+// measured_time(r) against the paper's quadratic model (Eq. 3: cost ∝ r²).
+//
+// Activation is explicit and process-wide:
+//
+//   obs::SliceProfiler profiler;
+//   {
+//     obs::ProfilerScope scope(&profiler);   // Module::Forward now records
+//     net->SetSliceRate(0.5);                // tags records with r = 0.5
+//     net->Forward(x, false);
+//   }
+//   for (const auto& s : profiler.ForwardStats()) { ... }
+//
+// With no active profiler the per-layer hook in Module::Forward costs one
+// relaxed atomic load.
+#ifndef MODELSLICING_OBS_PROFILER_H_
+#define MODELSLICING_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/obs/metrics.h"
+
+namespace ms {
+namespace obs {
+
+/// Aggregated wall time for one (layer, rate) pair. Container layers
+/// (Sequential, ResidualBlock) include their children's time.
+struct LayerRateStats {
+  std::string layer;
+  double rate = 1.0;
+  int64_t forward_calls = 0;
+  double forward_nanos = 0.0;   ///< total across calls.
+  int64_t backward_calls = 0;
+  double backward_nanos = 0.0;
+
+  double mean_forward_nanos() const {
+    return forward_calls > 0 ? forward_nanos / forward_calls : 0.0;
+  }
+  double mean_backward_nanos() const {
+    return backward_calls > 0 ? backward_nanos / backward_calls : 0.0;
+  }
+};
+
+class SliceProfiler {
+ public:
+  SliceProfiler() = default;
+  SliceProfiler(const SliceProfiler&) = delete;
+  SliceProfiler& operator=(const SliceProfiler&) = delete;
+
+  /// The profiler Module instrumentation records into, or nullptr.
+  static SliceProfiler* Active();
+
+  /// Updated automatically by Module::SetSliceRate while this profiler is
+  /// active; new records are tagged with the latest rate.
+  void set_current_rate(double r) {
+    rate_.store(r, std::memory_order_relaxed);
+  }
+  double current_rate() const {
+    return rate_.load(std::memory_order_relaxed);
+  }
+
+  void RecordForward(const void* layer, const std::string& name,
+                     double nanos);
+  void RecordBackward(const void* layer, const std::string& name,
+                      double nanos);
+
+  /// All stats, sorted by (layer name, rate).
+  std::vector<LayerRateStats> ForwardStats() const;
+
+  /// Mean forward nanos for `layer` at `rate`; 0 when never recorded.
+  double MeanForwardNanos(const void* layer, double rate) const;
+
+  /// Exports per-layer totals as gauges named
+  /// `<prefix>fwd_ms{layer=...,rate=...}` into `registry`.
+  void ExportTo(MetricsRegistry* registry,
+                const std::string& prefix = "ms_profile_") const;
+
+  void Clear();
+
+ private:
+  friend class ProfilerScope;
+
+  struct Entry {
+    std::string name;
+    int64_t forward_calls = 0;
+    double forward_nanos = 0.0;
+    int64_t backward_calls = 0;
+    double backward_nanos = 0.0;
+  };
+  // Rates come from a small lattice; key by round(r * 1e6) to make doubles
+  // usable as map keys without epsilon comparisons.
+  using Key = std::pair<const void*, int64_t>;
+  static int64_t RateKey(double r);
+
+  std::atomic<double> rate_{1.0};
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+};
+
+/// \brief RAII activation of a profiler (process-wide; restores the
+/// previously active profiler on destruction).
+class ProfilerScope {
+ public:
+  explicit ProfilerScope(SliceProfiler* profiler);
+  ~ProfilerScope();
+
+  ProfilerScope(const ProfilerScope&) = delete;
+  ProfilerScope& operator=(const ProfilerScope&) = delete;
+
+ private:
+  SliceProfiler* prev_;
+};
+
+/// One point of the empirical cost curve.
+struct CostCurvePoint {
+  double rate = 1.0;
+  double measured_ms = 0.0;  ///< mean forward wall time at `rate`.
+  double model_ms = 0.0;     ///< reference_ms * (rate / reference_rate)².
+  double ratio = 0.0;        ///< measured / model; 1.0 = Eq. 3 holds.
+};
+
+/// Measures mean forward wall time of `net` on `sample` at each rate
+/// (one warmup + `repeats` timed passes per rate) and compares it with the
+/// quadratic model anchored at the largest rate in `rates`.
+std::vector<CostCurvePoint> MeasureCostCurve(Module* net,
+                                             const Tensor& sample,
+                                             const std::vector<double>& rates,
+                                             int repeats = 3);
+
+/// Aligned text table: rate, measured ms, r² model ms, measured/model.
+std::string FormatCostCurve(const std::vector<CostCurvePoint>& curve);
+
+/// Exports the curve as gauges `ms_cost_curve_measured_ms{rate=...}` /
+/// `ms_cost_curve_model_ms{rate=...}` into `registry`.
+void ExportCostCurve(const std::vector<CostCurvePoint>& curve,
+                     MetricsRegistry* registry);
+
+}  // namespace obs
+}  // namespace ms
+
+#endif  // MODELSLICING_OBS_PROFILER_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
+
 namespace ms {
 
 Result<DegradationManager> DegradationManager::Make(
@@ -61,6 +63,21 @@ DegradationTick DegradationManager::Step(int arrivals) {
     tick.rate = opts_.serving.lattice.full_rate();
   }
   tick.backlog = static_cast<int>(queue_.size());
+
+  // Per-tick degradation observability: shed/processed counters, the
+  // chosen-rate distribution and queue depth after the tick.
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("ms_degradation_ticks_total")->Inc();
+  registry.GetCounter("ms_degradation_arrivals_total")->Inc(tick.arrivals);
+  registry.GetCounter("ms_degradation_processed_total")->Inc(tick.processed);
+  registry.GetCounter("ms_degradation_shed_total")->Inc(tick.shed);
+  registry.GetGauge("ms_degradation_backlog")->Set(tick.backlog);
+  registry.GetHistogram("ms_degradation_queue_depth", obs::DepthBuckets())
+      ->Observe(tick.backlog);
+  if (tick.processed > 0) {
+    registry.GetHistogram("ms_degradation_chosen_rate", obs::RateBuckets())
+        ->Observe(tick.rate);
+  }
   return tick;
 }
 

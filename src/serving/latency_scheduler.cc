@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/obs/metrics.h"
+
 namespace ms {
 
 Result<LatencyScheduler> LatencyScheduler::Make(const ServingConfig& config) {
@@ -89,6 +91,34 @@ ServingSummary Summarize(const std::vector<TickDecision>& decisions,
   return s;
 }
 
+// Per-tick serving metrics (Sec. 4.1): tick/SLO counters, the chosen-rate
+// distribution, and a running SLO-met ratio gauge.
+void RecordServingMetrics(const std::vector<TickDecision>& decisions,
+                          const ServingSummary& summary) {
+  auto& registry = obs::MetricsRegistry::Global();
+  auto* chosen_rate =
+      registry.GetHistogram("ms_serving_chosen_rate", obs::RateBuckets());
+  auto* proc_ms = registry.GetHistogram("ms_serving_processing_time",
+                                        obs::LatencyBucketsMs());
+  for (const auto& d : decisions) {
+    if (d.num_samples > 0) chosen_rate->Observe(d.rate);
+    proc_ms->Observe(d.processing_time);
+  }
+  registry.GetCounter("ms_serving_ticks_total")
+      ->Inc(static_cast<int64_t>(decisions.size()));
+  registry.GetCounter("ms_serving_slo_met_total")
+      ->Inc(static_cast<int64_t>(decisions.size()) - summary.slo_violations);
+  registry.GetCounter("ms_serving_slo_violations_total")
+      ->Inc(summary.slo_violations);
+  registry.GetCounter("ms_serving_samples_total")->Inc(summary.total_samples);
+  if (!decisions.empty()) {
+    registry.GetGauge("ms_serving_slo_met_ratio")
+        ->Set(1.0 - static_cast<double>(summary.slo_violations) /
+                        static_cast<double>(decisions.size()));
+  }
+  registry.GetGauge("ms_serving_utilization")->Set(summary.utilization);
+}
+
 }  // namespace
 
 ServingSummary SimulateServing(const LatencyScheduler& scheduler,
@@ -99,6 +129,7 @@ ServingSummary SimulateServing(const LatencyScheduler& scheduler,
   for (int n : arrivals) local.push_back(scheduler.Schedule(n));
   ServingSummary summary =
       Summarize(local, scheduler.config().latency_budget / 2.0);
+  RecordServingMetrics(local, summary);
   if (decisions != nullptr) *decisions = std::move(local);
   return summary;
 }
@@ -112,6 +143,7 @@ ServingSummary SimulateFixedServing(const LatencyScheduler& scheduler,
   for (int n : arrivals) local.push_back(scheduler.ScheduleFixed(n, rate));
   ServingSummary summary =
       Summarize(local, scheduler.config().latency_budget / 2.0);
+  RecordServingMetrics(local, summary);
   if (decisions != nullptr) *decisions = std::move(local);
   return summary;
 }

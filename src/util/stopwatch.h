@@ -1,17 +1,27 @@
-// Wall-clock stopwatch for timing training epochs and inference batches.
+// Wall-clock stopwatch for timing training epochs, inference batches and
+// observability spans.
 #ifndef MODELSLICING_UTIL_STOPWATCH_H_
 #define MODELSLICING_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
+#include <type_traits>
 
 namespace ms {
 
-/// \brief Monotonic wall-clock timer started at construction.
+/// \brief Monotonic wall-clock timer started at construction. Trivially
+/// copyable so tracing spans and profiler records can embed it by value.
 class Stopwatch {
  public:
   Stopwatch() { Restart(); }
 
   void Restart() { start_ = Clock::now(); }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
 
   double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
@@ -23,6 +33,9 @@ class Stopwatch {
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
+
+static_assert(std::is_trivially_copyable_v<Stopwatch>,
+              "Stopwatch must stay trivially copyable (embedded in spans)");
 
 }  // namespace ms
 

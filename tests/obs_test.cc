@@ -1,0 +1,445 @@
+// Tests for the observability subsystem: metric semantics, percentile
+// bounds, concurrent updates from ThreadPool threads, span nesting, and
+// JSONL / chrome-trace export round-trips.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/nn/module.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/obs/trace.h"
+#include "src/util/string_util.h"
+#include "src/util/thread_pool.h"
+
+namespace ms {
+namespace {
+
+// Minimal recursive-descent JSON validator: enough to prove exports parse
+// without pulling a JSON dependency into the build.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool Valid() {
+    i_ = 0;
+    SkipWs();
+    if (!ParseValue()) return false;
+    SkipWs();
+    return i_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (i_ < s_.size() &&
+           (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\n' ||
+            s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue() {
+    SkipWs();
+    if (i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return ParseString();
+      case 't': return ParseLiteral("true");
+      case 'f': return ParseLiteral("false");
+      case 'n': return ParseLiteral("null");
+      default: return ParseNumber();
+    }
+  }
+
+  bool ParseObject() {
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipWs();
+      if (!ParseString()) return false;
+      SkipWs();
+      if (!Consume(':')) return false;
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseArray() {
+    if (!Consume('[')) return false;
+    SkipWs();
+    if (Consume(']')) return true;
+    for (;;) {
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseString() {
+    if (!Consume('"')) return false;
+    while (i_ < s_.size()) {
+      if (s_[i_] == '\\') {
+        i_ += 2;
+        continue;
+      }
+      if (s_[i_] == '"') {
+        ++i_;
+        return true;
+      }
+      ++i_;
+    }
+    return false;
+  }
+
+  bool ParseNumber() {
+    const size_t start = i_;
+    if (i_ < s_.size() && (s_[i_] == '-' || s_[i_] == '+')) ++i_;
+    bool digits = false;
+    while (i_ < s_.size() &&
+           ((s_[i_] >= '0' && s_[i_] <= '9') || s_[i_] == '.' ||
+            s_[i_] == 'e' || s_[i_] == 'E' || s_[i_] == '-' ||
+            s_[i_] == '+')) {
+      if (s_[i_] >= '0' && s_[i_] <= '9') digits = true;
+      ++i_;
+    }
+    return digits && i_ > start;
+  }
+
+  bool ParseLiteral(const char* lit) {
+    const size_t n = std::string(lit).size();
+    if (s_.compare(i_, n, lit) != 0) return false;
+    i_ += n;
+    return true;
+  }
+
+  const std::string& s_;
+  size_t i_ = 0;
+};
+
+TEST(Counter, IncrementsAndReads) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(Gauge, SetAndAdd) {
+  obs::Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(Histogram, CountSumMean) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(3.0);
+  h.Observe(100.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 105.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 105.0 / 4.0);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(2), 1);
+  EXPECT_EQ(h.bucket_count(3), 1);
+}
+
+TEST(Histogram, PercentileStaysInsideItsBucket) {
+  obs::Histogram h({1.0, 2.0, 4.0, 8.0});
+  // 100 observations in (1, 2], 100 in (2, 4].
+  for (int i = 0; i < 100; ++i) h.Observe(1.5);
+  for (int i = 0; i < 100; ++i) h.Observe(3.0);
+  const double p25 = h.Percentile(25);
+  EXPECT_GE(p25, 1.0);
+  EXPECT_LE(p25, 2.0);
+  const double p75 = h.Percentile(75);
+  EXPECT_GE(p75, 2.0);
+  EXPECT_LE(p75, 4.0);
+  // Percentiles are monotone in p.
+  EXPECT_LE(h.Percentile(50), h.Percentile(95));
+  EXPECT_LE(h.Percentile(95), h.Percentile(99));
+}
+
+TEST(Histogram, PercentileEdgeCases) {
+  obs::Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.Percentile(50), 0.0);
+
+  obs::Histogram overflow_only({1.0});
+  overflow_only.Observe(50.0);
+  // Overflow bucket reports its lower edge (conservative).
+  EXPECT_DOUBLE_EQ(overflow_only.Percentile(99), 1.0);
+}
+
+TEST(MetricsRegistry, StablePointersAndReset) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("a");
+  EXPECT_EQ(a, registry.GetCounter("a"));
+  a->Inc(7);
+  EXPECT_EQ(registry.GetCounter("a")->value(), 7);
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("a")->value(), 0);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsFromThreadPool) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("hits");
+  obs::Histogram* histogram =
+      registry.GetHistogram("lat", {1.0, 2.0, 4.0, 8.0});
+  ThreadPool pool(8);
+  const int64_t kN = 100000;
+  pool.ParallelFor(kN, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      counter->Inc();
+      histogram->Observe(static_cast<double>(i % 10));
+    }
+  });
+  EXPECT_EQ(counter->value(), kN);
+  EXPECT_EQ(histogram->count(), kN);
+  int64_t bucket_total = 0;
+  for (size_t i = 0; i < histogram->num_buckets(); ++i) {
+    bucket_total += histogram->bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, kN);
+  // sum accumulates via CAS: every observation must land exactly once.
+  // sum of i%10 over kN = (0+..+9) * kN/10.
+  EXPECT_DOUBLE_EQ(histogram->sum(), 45.0 * (kN / 10));
+}
+
+TEST(MetricsRegistry, JsonlExportParses) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("requests_total")->Inc(3);
+  registry.GetGauge("queue \"depth\"")->Set(1.5);  // name needs escaping
+  registry.GetHistogram("latency_ms", {1.0, 10.0})->Observe(5.0);
+  const std::string jsonl = registry.ToJsonl();
+  int lines = 0;
+  for (const std::string& line : StrSplit(jsonl, '\n')) {
+    if (line.empty()) continue;
+    ++lines;
+    JsonChecker checker(line);
+    EXPECT_TRUE(checker.Valid()) << "unparseable JSONL line: " << line;
+  }
+  EXPECT_EQ(lines, 3);
+  EXPECT_NE(jsonl.find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"gauge\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"p95\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonlFileRoundTrip) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("x")->Inc();
+  const std::string path = ::testing::TempDir() + "/obs_metrics.jsonl";
+  ASSERT_TRUE(registry.WriteJsonl(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, registry.ToJsonl());
+  for (const std::string& line : StrSplit(contents, '\n')) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(JsonChecker(line).Valid());
+  }
+}
+
+TEST(MetricsRegistry, PrometheusExport) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("requests.total")->Inc(2);  // '.' must be sanitized
+  registry.GetHistogram("lat", {1.0, 2.0})->Observe(1.5);
+  const std::string text = registry.ToPrometheus();
+  EXPECT_NE(text.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("requests_total 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 1"), std::string::npos);
+}
+
+TEST(Trace, SpanNestingDepthAndExport) {
+  auto& collector = obs::TraceCollector::Global();
+  collector.Clear();
+  collector.Enable();
+  {
+    MS_TRACE_SCOPE("outer");
+    EXPECT_EQ(obs::TraceCollector::CurrentDepth(), 1);
+    {
+      MS_TRACE_SCOPE("inner");
+      EXPECT_EQ(obs::TraceCollector::CurrentDepth(), 2);
+      const std::vector<std::string> stack =
+          obs::TraceCollector::CurrentStack();
+      ASSERT_EQ(stack.size(), 2u);
+      EXPECT_EQ(stack[0], "outer");
+      EXPECT_EQ(stack[1], "inner");
+    }
+  }
+  collector.Disable();
+  EXPECT_EQ(obs::TraceCollector::CurrentDepth(), 0);
+
+  const std::vector<obs::TraceEvent> events = collector.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans close innermost-first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0);
+  EXPECT_GE(events[0].dur_ns, 0);
+  // The outer span encloses the inner one.
+  EXPECT_LE(events[1].ts_ns, events[0].ts_ns);
+  EXPECT_GE(events[1].ts_ns + events[1].dur_ns,
+            events[0].ts_ns + events[0].dur_ns);
+
+  const std::string json = collector.ToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  collector.Clear();
+}
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  auto& collector = obs::TraceCollector::Global();
+  collector.Clear();
+  collector.Disable();
+  {
+    MS_TRACE_SCOPE("ghost");
+  }
+  EXPECT_EQ(collector.size(), 0u);
+}
+
+TEST(Trace, JsonFileRoundTrip) {
+  auto& collector = obs::TraceCollector::Global();
+  collector.Clear();
+  collector.Enable();
+  {
+    MS_TRACE_SCOPE("write_me");
+  }
+  collector.Disable();
+  const std::string path = ::testing::TempDir() + "/obs_trace.json";
+  ASSERT_TRUE(collector.WriteJson(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_TRUE(JsonChecker(contents).Valid());
+  EXPECT_NE(contents.find("write_me"), std::string::npos);
+  collector.Clear();
+}
+
+// A tiny pass-through layer that burns a little deterministic work so
+// measured forward times are nonzero.
+class SpinLayer : public Module {
+ public:
+  explicit SpinLayer(std::string name) : name_(std::move(name)) {}
+  std::string name() const override { return name_; }
+
+ protected:
+  Tensor DoForward(const Tensor& x, bool /*training*/) override {
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+    return x;
+  }
+  Tensor DoBackward(const Tensor& grad_out) override { return grad_out; }
+
+ private:
+  std::string name_;
+};
+
+TEST(SliceProfiler, RecordsPerLayerPerRate) {
+  Sequential net("spin_net");
+  net.Emplace<SpinLayer>("spin_a");
+  net.Emplace<SpinLayer>("spin_b");
+  Tensor x({2, 3});
+
+  obs::SliceProfiler profiler;
+  EXPECT_EQ(obs::SliceProfiler::Active(), nullptr);
+  {
+    obs::ProfilerScope scope(&profiler);
+    EXPECT_EQ(obs::SliceProfiler::Active(), &profiler);
+    net.SetSliceRate(0.5);
+    (void)net.Forward(x, /*training=*/false);
+    (void)net.Forward(x, /*training=*/false);
+    net.SetSliceRate(1.0);
+    (void)net.Forward(x, /*training=*/false);
+  }
+  EXPECT_EQ(obs::SliceProfiler::Active(), nullptr);
+
+  // 3 layers (container + 2 children) x 2 rates.
+  const std::vector<obs::LayerRateStats> stats = profiler.ForwardStats();
+  ASSERT_EQ(stats.size(), 6u);
+  for (const auto& s : stats) {
+    const int64_t want_calls = s.rate == 0.5 ? 2 : 1;
+    EXPECT_EQ(s.forward_calls, want_calls)
+        << s.layer << " @ " << s.rate;
+    EXPECT_GT(s.forward_nanos, 0.0) << s.layer;
+  }
+  EXPECT_GT(profiler.MeanForwardNanos(net.child(0), 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(profiler.MeanForwardNanos(net.child(0), 0.25), 0.0);
+
+  obs::MetricsRegistry registry;
+  profiler.ExportTo(&registry);
+  const std::string jsonl = registry.ToJsonl();
+  EXPECT_NE(jsonl.find("ms_profile_fwd_ms"), std::string::npos);
+  EXPECT_NE(jsonl.find("spin_a"), std::string::npos);
+}
+
+TEST(SliceProfiler, InactiveProfilerRecordsNothing) {
+  Sequential net("idle_net");
+  net.Emplace<SpinLayer>("spin");
+  Tensor x({1, 1});
+  obs::SliceProfiler profiler;
+  (void)net.Forward(x, /*training=*/false);  // no scope active
+  EXPECT_TRUE(profiler.ForwardStats().empty());
+}
+
+TEST(CostCurve, AnchorsQuadraticModelAtLargestRate) {
+  Sequential net("curve_net");
+  net.Emplace<SpinLayer>("spin");
+  Tensor x({1, 1});
+  const std::vector<double> rates = {0.25, 0.5, 0.75, 1.0};
+  const std::vector<obs::CostCurvePoint> curve =
+      obs::MeasureCostCurve(&net, x, rates, /*repeats=*/2);
+  ASSERT_EQ(curve.size(), 4u);
+  for (size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(curve[i].rate, rates[i]);
+    EXPECT_GT(curve[i].measured_ms, 0.0);
+    EXPECT_GT(curve[i].model_ms, 0.0);
+  }
+  // The model is exact at the anchor rate.
+  EXPECT_DOUBLE_EQ(curve.back().model_ms, curve.back().measured_ms);
+  EXPECT_DOUBLE_EQ(curve.back().ratio, 1.0);
+  // The r^2 model itself is monotone.
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LT(curve[i - 1].model_ms, curve[i].model_ms);
+  }
+  const std::string table = obs::FormatCostCurve(curve);
+  EXPECT_NE(table.find("measured ms"), std::string::npos);
+  EXPECT_NE(table.find("r^2 model"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ms

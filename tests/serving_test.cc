@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "gtest/gtest.h"
+#include "src/obs/metrics.h"
 #include "src/serving/cascade_ranking.h"
 #include "src/serving/latency_scheduler.h"
 #include "src/serving/workload.h"
@@ -141,6 +142,32 @@ TEST(ServingSimulation, ElasticBeatsFixedTradeoffs) {
   // The base-width fixed model is safe but delivers the worst accuracy.
   EXPECT_EQ(fixed_base.slo_violations, 0);
   EXPECT_GT(elastic.mean_accuracy, fixed_base.mean_accuracy + 0.005);
+}
+
+TEST(ServingSimulation, RecordsPerfectSloRatioUnderGenerousBudget) {
+  obs::MetricsRegistry::Global().Reset();
+  auto cfg = DefaultServing();
+  cfg.latency_budget = 1e6;  // everything fits at the full rate.
+  auto sched = LatencyScheduler::Make(cfg).MoveValueOrDie();
+  const std::vector<int> arrivals(50, 8);
+  const ServingSummary summary = SimulateServing(sched, arrivals);
+  EXPECT_EQ(summary.slo_violations, 0);
+
+  auto& registry = obs::MetricsRegistry::Global();
+  EXPECT_DOUBLE_EQ(registry.GetGauge("ms_serving_slo_met_ratio")->value(),
+                   1.0);
+  EXPECT_EQ(registry.GetCounter("ms_serving_ticks_total")->value(), 50);
+  EXPECT_EQ(registry.GetCounter("ms_serving_slo_met_total")->value(), 50);
+  EXPECT_EQ(registry.GetCounter("ms_serving_slo_violations_total")->value(),
+            0);
+  EXPECT_EQ(registry.GetCounter("ms_serving_samples_total")->value(),
+            50 * 8);
+  // Every tick ran the full model: the chosen-rate histogram concentrates
+  // its mass at r = 1.0.
+  auto* chosen =
+      registry.GetHistogram("ms_serving_chosen_rate", obs::RateBuckets());
+  EXPECT_EQ(chosen->count(), 50);
+  EXPECT_GE(chosen->Percentile(50), 0.9375);
 }
 
 TEST(CascadeRanking, PrecisionAndAggregateRecall) {
