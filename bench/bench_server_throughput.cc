@@ -1,0 +1,141 @@
+// Closed-loop throughput bench for the concurrent serving engine: drives
+// the real SliceServer (calibrated t, real forwards on worker threads)
+// through a steady load with a 16x spike tick — the paper's extreme
+// volatility case (Sec. 1 / 4.1) — and checks that the engine absorbs it:
+//   - the queue depth returns to baseline within 3 ticks of the spike;
+//   - shed + served accounts for 100% of submitted requests.
+// Exits non-zero if either property fails, so CI smoke runs enforce it.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/models/mlp.h"
+#include "src/serving/server.h"
+
+namespace ms {
+namespace {
+
+std::vector<std::unique_ptr<Module>> MakeReplicas(int n) {
+  MlpConfig cfg;
+  cfg.in_features = 32;
+  cfg.hidden = {64, 64};
+  cfg.num_classes = 10;
+  cfg.slice_groups = 8;
+  cfg.seed = 9;
+  std::vector<std::unique_ptr<Module>> replicas;
+  for (int i = 0; i < n; ++i) {
+    replicas.push_back(MakeMlp(cfg).MoveValueOrDie());
+  }
+  return replicas;
+}
+
+ServerOptions BaseOptions(double latency_budget_seconds, int64_t max_queue) {
+  ServerOptions opts;
+  opts.serving.latency_budget = latency_budget_seconds;
+  opts.serving.full_sample_time = 1.0;  // replaced by calibration.
+  opts.serving.lattice = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  opts.max_queue = max_queue;
+  opts.sample_shape = {32};
+  return opts;
+}
+
+int Main() {
+  bench::PrintTitle(
+      "serving engine throughput: steady load + 16x spike tick "
+      "(real forwards, calibrated t)");
+  const double budget = bench::FastMode() ? 0.02 : 0.04;  // T; tick = T/2.
+
+  // Phase 1: a throwaway server measures t so the workload and queue bound
+  // can be sized relative to this machine's actual capacity.
+  double t = 0.0;
+  {
+    auto probe = SliceServer::Create(MakeReplicas(1), BaseOptions(budget, 16))
+                     .MoveValueOrDie();
+    if (!probe->Start().ok()) return 1;
+    t = probe->calibrated_sample_seconds();
+    probe->Stop();
+  }
+  const double tick_seconds = budget / 2.0;
+  // Samples one tick absorbs at the full rate, clamped to keep the bench
+  // bounded on very fast or very slow machines.
+  const int cap_full = std::max(
+      4, std::min(2048, static_cast<int>(tick_seconds / t)));
+  const int steady = std::max(1, cap_full / 2);   // ~50% full-rate load.
+  const int spike = 16 * steady;                  // the 16x volatility tick.
+  const int64_t max_queue = 4 * cap_full;         // shed beyond this.
+  std::printf(
+      "calibrated t = %.1f us/sample; tick = %.0f ms; capacity at full rate "
+      "= %d/tick\nsteady = %d/tick, spike = %d, queue bound = %lld\n\n",
+      t * 1e6, tick_seconds * 1e3, cap_full, steady, spike,
+      static_cast<long long>(max_queue));
+
+  auto server =
+      SliceServer::Create(MakeReplicas(2), BaseOptions(budget, max_queue))
+          .MoveValueOrDie();
+  if (!server->Start().ok()) return 1;
+
+  const int num_ticks = bench::FastMode() ? 14 : 24;
+  const int spike_tick = bench::FastMode() ? 5 : 8;
+  std::vector<int> arrivals(num_ticks, steady);
+  arrivals[spike_tick] = spike;
+  const auto trace = RunClosedLoop(server.get(), arrivals);
+  server->Stop();
+  const ServerStats s = server->stats();
+
+  std::printf("%-6s %-10s %-12s\n", "tick", "arrivals", "queue depth");
+  bench::PrintRule(30);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    std::printf("%-6zu %-10d %-12lld%s\n", i, trace[i].submitted,
+                static_cast<long long>(trace[i].queue_depth),
+                static_cast<int>(i) == spike_tick ? "  <- 16x spike" : "");
+  }
+
+  int64_t baseline = 0;
+  for (int i = 2; i < spike_tick; ++i) {
+    baseline = std::max(baseline, trace[i].queue_depth);
+  }
+  int recovered_after = -1;
+  for (size_t i = spike_tick + 1; i < trace.size(); ++i) {
+    if (trace[i].queue_depth <= baseline + steady) {
+      recovered_after = static_cast<int>(i) - spike_tick;
+      break;
+    }
+  }
+  const double wall = static_cast<double>(num_ticks) * tick_seconds;
+  std::printf(
+      "\nserved %lld (%.0f samples/s), shed %lld, expired %lld, min rate "
+      "%.2f, slowest batch %.1f ms\n",
+      static_cast<long long>(s.served), s.served / wall,
+      static_cast<long long>(s.shed), static_cast<long long>(s.expired),
+      s.min_rate, s.max_batch_seconds * 1e3);
+
+  int rc = 0;
+  if (recovered_after < 0 || recovered_after > 3) {
+    std::printf("FAIL: queue depth did not return to baseline (%lld) within "
+                "3 ticks of the spike (recovered after %d)\n",
+                static_cast<long long>(baseline), recovered_after);
+    rc = 1;
+  } else {
+    std::printf("queue depth back to baseline %d tick(s) after the spike\n",
+                recovered_after);
+  }
+  const int64_t accounted = s.served + s.shed + s.expired + s.rejected;
+  if (accounted != s.submitted) {
+    std::printf("FAIL: accounting: served+shed+expired+rejected = %lld != "
+                "submitted = %lld\n",
+                static_cast<long long>(accounted),
+                static_cast<long long>(s.submitted));
+    rc = 1;
+  } else {
+    std::printf("accounting: %lld/%lld requests accounted for (100%%)\n",
+                static_cast<long long>(accounted),
+                static_cast<long long>(s.submitted));
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace ms
+
+int main() { return ms::Main(); }

@@ -1,18 +1,26 @@
 // Example: fine-grained system degradation for a latency-SLO'd inference
-// service (paper Sec. 4.1).
+// service (paper Sec. 4.1) — running on the REAL concurrent serving engine.
 //
 //   $ ./example_dynamic_workload
 //
-// Simulates a day of traffic with a 10x peak and 16x spikes. Every T/2
-// interval the scheduler batches the queued queries and picks the largest
-// trained slice rate r with n * r^2 * t <= T/2, so all queries meet the SLO
-// while accuracy degrades only as much as the load demands.
+// A sliced CNN is trained to produce the accuracy-per-rate table, then two
+// weight-identical replicas are handed to SliceServer, which measures the
+// true full-model per-sample time t at startup, batches requests every T/2
+// on its own clock, picks the largest trained slice rate r with
+// n * r^2 * t <= T/2 per batch (Eq. 3), and executes real forwards on
+// worker threads. A Poisson day with a 10x peak and 16x spikes is driven
+// through it closed-loop; overload is absorbed by the degradation ladder
+// (shed -> lower rates -> reject) instead of unbounded queue growth.
+#include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "src/core/evaluator.h"
 #include "src/core/trainer.h"
 #include "src/models/cnn.h"
-#include "src/serving/latency_scheduler.h"
+#include "src/nn/serialize.h"
+#include "src/serving/server.h"
 #include "src/serving/workload.h"
 
 using namespace ms;  // NOLINT — example brevity
@@ -39,23 +47,43 @@ int main() {
   auto lattice = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
   RandomStaticScheduler train_sched(lattice, true, true);
   ImageTrainOptions train_opts;
-  train_opts.epochs = 6;
+  train_opts.epochs = 4;
   train_opts.sgd.lr = 0.05;
   TrainImageClassifier(net.get(), split.train, &train_sched, train_opts);
 
-  ServingConfig serving;
-  serving.full_sample_time = 1.0;   // t: time units per sample, full model
-  serving.latency_budget = 32.0;    // T: the SLO
-  serving.lattice = lattice;
+  ServerOptions opts;
+  opts.serving.latency_budget = 0.1;  // T = 100ms; batch cut every 50ms.
+  opts.serving.lattice = lattice;
   for (double r : lattice.rates()) {
-    serving.accuracy_per_rate.push_back(
+    opts.serving.accuracy_per_rate.push_back(
         EvalAccuracy(net.get(), split.test, r));
   }
-  auto scheduler = LatencyScheduler::Make(serving).MoveValueOrDie();
+  opts.max_queue = 4096;
+  opts.sample_shape = {3, 12, 12};
 
+  // Two weight-identical replicas: Module is stateful, so each concurrent
+  // batch needs its own copy.
+  auto replica = MakeVggSmall(cfg).MoveValueOrDie();
+  if (!CopyParams(net.get(), replica.get()).ok()) return 1;
+  std::vector<std::unique_ptr<Module>> replicas;
+  replicas.push_back(std::move(net));
+  replicas.push_back(std::move(replica));
+  auto server = SliceServer::Create(std::move(replicas), opts)
+                    .MoveValueOrDie();
+  if (!server->Start().ok()) return 1;
+
+  const double t = server->calibrated_sample_seconds();
+  const int cap_full =
+      std::max(1, static_cast<int>(server->tick_seconds() / t));
+  std::printf("calibrated t = %.3f ms/sample -> %d full-model samples per "
+              "%.0f ms tick\n\n",
+              t * 1e3, cap_full, server->tick_seconds() * 1e3);
+
+  // A "day" of ticks: off-peak ~30%% of full-rate capacity, 10x peak,
+  // occasional 16x spikes (paper Sec. 1).
   WorkloadOptions wl;
-  wl.num_ticks = 48;          // a "day" of half-hour ticks
-  wl.base_arrivals = 5.0;
+  wl.num_ticks = 48;
+  wl.base_arrivals = std::max(1.0, 0.3 * cap_full);
   wl.peak_multiplier = 10.0;
   wl.peak_begin = 0.4;
   wl.peak_end = 0.7;
@@ -63,22 +91,27 @@ int main() {
   wl.spike_multiplier = 16.0;
   auto arrivals = GenerateWorkload(wl).MoveValueOrDie();
 
-  std::printf("%-6s %-9s %-7s %-12s %-8s %s\n", "tick", "queries", "rate",
-              "proc time", "SLO", "expected acc");
-  std::vector<TickDecision> decisions;
-  const ServingSummary summary =
-      SimulateServing(scheduler, arrivals, &decisions);
-  for (size_t t = 0; t < decisions.size(); ++t) {
-    const TickDecision& d = decisions[t];
-    std::printf("%-6zu %-9d %-7.2f %-12.2f %-8s %.3f\n", t, d.num_samples,
-                d.rate, d.processing_time, d.slo_met ? "met" : "MISSED",
-                d.accuracy);
+  const auto trace = RunClosedLoop(server.get(), arrivals,
+                                   /*deadline_seconds=*/3 * server->tick_seconds());
+  server->Stop();
+  const ServerStats s = server->stats();
+
+  std::printf("%-6s %-9s %s\n", "tick", "queries", "queue depth");
+  for (size_t i = 0; i < trace.size(); ++i) {
+    std::printf("%-6zu %-9d %lld\n", i, trace[i].submitted,
+                static_cast<long long>(trace[i].queue_depth));
   }
   std::printf(
-      "\nsummary: %lld samples, %lld SLO violations, mean rate %.3f, "
-      "mean accuracy %.3f, utilization %.3f\n",
-      static_cast<long long>(summary.total_samples),
-      static_cast<long long>(summary.slo_violations), summary.mean_rate,
-      summary.mean_accuracy, summary.utilization);
-  return 0;
+      "\nsummary: %lld submitted, %lld served, %lld shed, %lld expired, "
+      "%lld rejected\n"
+      "lowest slice rate used %.2f, slowest batch %.1f ms (budget %.0f ms)\n",
+      static_cast<long long>(s.submitted), static_cast<long long>(s.served),
+      static_cast<long long>(s.shed), static_cast<long long>(s.expired),
+      static_cast<long long>(s.rejected), s.min_rate,
+      s.max_batch_seconds * 1e3, server->tick_seconds() * 1e3);
+  const bool accounted =
+      s.submitted == s.served + s.shed + s.expired + s.rejected;
+  std::printf("accounting: %s\n", accounted ? "every request accounted for"
+                                            : "REQUESTS LOST");
+  return accounted ? 0 : 1;
 }

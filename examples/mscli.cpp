@@ -9,9 +9,11 @@
 //
 // Models come from the zoo (vgg13, resnet164, resnet56-2, vgg16, resnet50);
 // data is the matching synthetic benchmark split.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/anytime.h"
 #include "src/core/cost_model.h"
@@ -24,6 +26,7 @@
 #include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 #include "src/serving/latency_scheduler.h"
+#include "src/serving/server.h"
 #include "src/serving/workload.h"
 #include "src/util/flags.h"
 
@@ -40,8 +43,11 @@ int Usage() {
       "  profile: (prints the rate/FLOPs/params lattice and the measured\n"
       "           cost curve vs the r^2 model)\n"
       "  summary: --rate=0.5 (per-layer table with measured fwd times)\n"
-      "  serve:   --ckpt=model.ckpt --budget=<samples per tick at full "
-      "cost>\n"
+      "  serve:   real concurrent serving engine (calibrated t, worker\n"
+      "           replicas, T/2 batching): --workers=2 --budget_ms=50\n"
+      "           --queue=4096 --ticks=48 --load=0.3 --peak=10\n"
+      "           --deadline_ticks=3; or --simulate --budget=<samples per\n"
+      "           tick at full cost> for the arithmetic-only simulator\n"
       "observability (any command):\n"
       "  --metrics_out=/path.jsonl   dump the metrics registry as JSONL\n"
       "  --trace_out=/path.json      record a chrome://tracing trace\n");
@@ -194,13 +200,10 @@ int Summary(const Flags& flags) {
   return 0;
 }
 
-int Serve(const Flags& flags) {
-  auto loaded_result = Load(flags);
-  if (!loaded_result.ok()) {
-    std::fprintf(stderr, "%s\n", loaded_result.status().ToString().c_str());
-    return 1;
-  }
-  Loaded loaded = loaded_result.MoveValueOrDie();
+// The original arithmetic-only simulation of the Sec. 4.1 policy
+// (`serve --simulate`): useful to sanity-check the rule without paying for
+// real forwards.
+int ServeSimulated(const Flags& flags, Loaded loaded) {
   ServingConfig cfg;
   cfg.full_sample_time = 1.0;
   cfg.latency_budget = 2.0 * flags.GetDouble("budget", 16.0);
@@ -227,6 +230,91 @@ int Serve(const Flags& flags) {
       static_cast<long long>(s.slo_violations), s.mean_rate,
       s.mean_accuracy, s.utilization);
   return 0;
+}
+
+// Real concurrent serving: per-worker model replicas, startup calibration
+// of t, a T/2 batcher thread and actual forwards under the Eq. 3 rate rule.
+int Serve(const Flags& flags) {
+  auto loaded_result = Load(flags);
+  if (!loaded_result.ok()) {
+    std::fprintf(stderr, "%s\n", loaded_result.status().ToString().c_str());
+    return 1;
+  }
+  Loaded loaded = loaded_result.MoveValueOrDie();
+  if (flags.Has("simulate")) return ServeSimulated(flags, std::move(loaded));
+
+  ServerOptions opts;
+  opts.serving.latency_budget = flags.GetDouble("budget_ms", 50.0) / 1e3;
+  opts.serving.lattice = loaded.lattice;
+  opts.max_queue = flags.GetInt("queue", 4096);
+  opts.sample_shape = {loaded.split.test.channels, loaded.split.test.height,
+                       loaded.split.test.width};
+
+  const int workers = static_cast<int>(flags.GetInt("workers", 2));
+  std::vector<std::unique_ptr<Module>> replicas;
+  replicas.push_back(std::move(loaded.net));
+  for (int w = 1; w < workers; ++w) {
+    auto r = loaded.entry.is_resnet ? MakeResNet(loaded.entry.config)
+                                    : MakeVggSmall(loaded.entry.config);
+    if (!r.ok()) return 1;
+    auto replica = r.MoveValueOrDie();
+    const Status copied = CopyParams(replicas.front().get(), replica.get());
+    if (!copied.ok()) {
+      std::fprintf(stderr, "%s\n", copied.ToString().c_str());
+      return 1;
+    }
+    replicas.push_back(std::move(replica));
+  }
+
+  auto server_result = SliceServer::Create(std::move(replicas), opts);
+  if (!server_result.ok()) {
+    std::fprintf(stderr, "%s\n", server_result.status().ToString().c_str());
+    return 1;
+  }
+  auto server = server_result.MoveValueOrDie();
+  const Status started = server->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  const double t = server->calibrated_sample_seconds();
+  const int cap_full =
+      std::max(1, static_cast<int>(server->tick_seconds() / t));
+  std::printf(
+      "serving %s with %d worker(s): calibrated t = %.3f ms/sample, tick "
+      "%.0f ms (%d full-rate samples/tick)\n",
+      loaded.entry.name.c_str(), server->num_workers(), t * 1e3,
+      server->tick_seconds() * 1e3, cap_full);
+
+  WorkloadOptions wl;
+  wl.num_ticks = static_cast<int64_t>(flags.GetInt("ticks", 48));
+  // --load is the off-peak arrival rate as a fraction of full-rate
+  // capacity; the peak multiplier pushes past 1.0 into degradation.
+  wl.base_arrivals =
+      std::max(1.0, flags.GetDouble("load", 0.3) * cap_full);
+  wl.peak_multiplier = flags.GetDouble("peak", 10.0);
+  wl.spike_probability = flags.GetDouble("spike_prob", 0.04);
+  wl.spike_multiplier = 16.0;
+  auto workload_result = GenerateWorkload(wl);
+  if (!workload_result.ok()) return 1;
+  const double deadline =
+      flags.GetDouble("deadline_ticks", 3.0) * server->tick_seconds();
+  RunClosedLoop(server.get(), workload_result.MoveValueOrDie(), deadline);
+  server->Stop();
+  const ServerStats s = server->stats();
+  std::printf(
+      "submitted %lld: served %lld, shed %lld, expired %lld, rejected %lld "
+      "(every request accounted: %s)\n"
+      "lowest slice rate %.2f, slowest batch %.1f ms, %lld batches over "
+      "%lld ticks\n",
+      static_cast<long long>(s.submitted), static_cast<long long>(s.served),
+      static_cast<long long>(s.shed), static_cast<long long>(s.expired),
+      static_cast<long long>(s.rejected),
+      s.submitted == s.served + s.shed + s.expired + s.rejected ? "yes"
+                                                                : "NO",
+      s.min_rate, s.max_batch_seconds * 1e3,
+      static_cast<long long>(s.batches), static_cast<long long>(s.ticks));
+  return s.submitted == s.served + s.shed + s.expired + s.rejected ? 0 : 1;
 }
 
 }  // namespace

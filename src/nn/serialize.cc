@@ -96,4 +96,30 @@ Status LoadParams(const std::vector<ParamRef>& params,
   return Status::OK();
 }
 
+Status CopyParams(Module* from, Module* to) {
+  if (from == nullptr || to == nullptr) {
+    return Status::InvalidArgument("CopyParams requires non-null modules");
+  }
+  std::vector<ParamRef> src, dst;
+  from->CollectParams(&src);
+  to->CollectParams(&dst);
+  if (src.size() != dst.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: " + std::to_string(src.size()) + " vs " +
+        std::to_string(dst.size()));
+  }
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (src[i].name != dst[i].name) {
+      return Status::InvalidArgument("parameter name mismatch: '" +
+                                     src[i].name + "' vs '" + dst[i].name +
+                                     "'");
+    }
+    if (src[i].param->shape() != dst[i].param->shape()) {
+      return Status::InvalidArgument("shape mismatch for " + src[i].name);
+    }
+    *dst[i].param = *src[i].param;
+  }
+  return Status::OK();
+}
+
 }  // namespace ms

@@ -21,6 +21,11 @@ Status SaveParams(const std::vector<ParamRef>& params,
 Status LoadParams(const std::vector<ParamRef>& params,
                   const std::string& path);
 
+/// Copies parameter values from `from` into `to` (same architecture).
+/// Fails if names, order or shapes differ. Used to stamp out identical
+/// per-worker model replicas for the concurrent serving engine.
+Status CopyParams(Module* from, Module* to);
+
 }  // namespace ms
 
 #endif  // MODELSLICING_NN_SERIALIZE_H_

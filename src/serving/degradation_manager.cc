@@ -22,6 +22,14 @@ Result<DegradationManager> DegradationManager::Make(
 
 void DegradationManager::Reset() { queue_.clear(); }
 
+int64_t DegradationManager::MaxBatchWithinBudget(const ServingConfig& config) {
+  const double budget = config.latency_budget / 2.0;
+  const double base = config.lattice.lower_bound();
+  const double per_sample = base * base * config.full_sample_time;
+  if (per_sample <= 0.0) return 0;
+  return static_cast<int64_t>(std::floor(budget / per_sample));
+}
+
 DegradationTick DegradationManager::Step(int arrivals) {
   DegradationTick tick;
   tick.arrivals = arrivals;
@@ -45,12 +53,9 @@ DegradationTick DegradationManager::Step(int arrivals) {
   // Pick the largest batch that fits the tick budget at SOME trained rate:
   // prefer serving everything at a lower rate; if even the base rate can't
   // clear the queue, serve the base-rate-sized prefix and keep the rest.
-  const double budget = opts_.serving.latency_budget / 2.0;
-  const double t = opts_.serving.full_sample_time;
-  const double base = opts_.serving.lattice.lower_bound();
   const int queue_len = static_cast<int>(queue_.size());
   const int max_at_base =
-      static_cast<int>(std::floor(budget / (base * base * t)));
+      static_cast<int>(MaxBatchWithinBudget(opts_.serving));
   const int batch = std::min(queue_len, std::max(0, max_at_base));
 
   if (batch > 0) {

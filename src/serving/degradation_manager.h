@@ -54,6 +54,12 @@ class DegradationManager {
   DegradationSummary Run(const std::vector<int>& arrivals,
                          std::vector<DegradationTick>* ticks = nullptr);
 
+  /// Largest batch the T/2 budget can absorb at the base (lowest) rate —
+  /// the last rung of the shedding ladder before work must stay queued.
+  /// Shared with the real-time SliceServer so simulation and serving apply
+  /// the identical policy.
+  static int64_t MaxBatchWithinBudget(const ServingConfig& config);
+
  private:
   DegradationManager(DegradationOptions opts, LatencyScheduler scheduler)
       : opts_(std::move(opts)), scheduler_(std::move(scheduler)) {}

@@ -7,11 +7,17 @@
 namespace ms {
 
 Result<LatencyScheduler> LatencyScheduler::Make(const ServingConfig& config) {
-  if (config.full_sample_time <= 0.0) {
-    return Status::InvalidArgument("full_sample_time must be positive");
+  // Reject NaN/inf explicitly: NaN compares false against every bound, so a
+  // plain `<= 0` check would admit it and poison every downstream
+  // processing-time computation.
+  if (!std::isfinite(config.full_sample_time) ||
+      config.full_sample_time <= 0.0) {
+    return Status::InvalidArgument(
+        "full_sample_time must be finite and positive");
   }
-  if (config.latency_budget <= 0.0) {
-    return Status::InvalidArgument("latency_budget must be positive");
+  if (!std::isfinite(config.latency_budget) || config.latency_budget <= 0.0) {
+    return Status::InvalidArgument(
+        "latency_budget must be finite and positive");
   }
   if (config.lattice.num_rates() == 0) {
     return Status::InvalidArgument("empty rate lattice");

@@ -1,0 +1,62 @@
+#include "src/serving/request_queue.h"
+
+namespace ms {
+
+AdmitResult RequestQueue::Submit(double deadline_seconds) {
+  Request r;
+  r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  r.enqueued = Request::Clock::now();
+  if (deadline_seconds > 0.0) {
+    r.deadline = r.enqueued + std::chrono::duration_cast<
+                                  Request::Clock::duration>(
+                                  std::chrono::duration<double>(
+                                      deadline_seconds));
+  }
+  switch (queue_.TryPush(r)) {
+    case PushStatus::kOk:
+      return AdmitResult::kAccepted;
+    case PushStatus::kFull:
+      return AdmitResult::kShedQueueFull;
+    case PushStatus::kClosed:
+      break;
+  }
+  return AdmitResult::kRejectedClosed;
+}
+
+RequestBatch RequestQueue::CutBatch(int64_t max_n) {
+  std::vector<Request> all;
+  queue_.PopAll(&all);
+  RequestBatch out;
+  std::vector<Request> leftover;
+  const auto now = Request::Clock::now();
+  for (auto& r : all) {
+    if (r.ExpiredAt(now)) {
+      ++out.expired;
+    } else if (static_cast<int64_t>(out.requests.size()) < max_n) {
+      out.requests.push_back(r);
+    } else {
+      leftover.push_back(r);
+    }
+  }
+  // Untaken live requests keep their queue position (and deadlines) for the
+  // next tick; concurrent Submits landed behind them, preserving FIFO.
+  if (!leftover.empty()) queue_.PushFront(std::move(leftover));
+  return out;
+}
+
+RequestBatch RequestQueue::DrainAll() {
+  std::vector<Request> all;
+  queue_.PopAll(&all);
+  RequestBatch out;
+  const auto now = Request::Clock::now();
+  for (auto& r : all) {
+    if (r.ExpiredAt(now)) {
+      ++out.expired;
+    } else {
+      out.requests.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace ms

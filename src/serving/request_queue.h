@@ -1,0 +1,77 @@
+// Request admission queue for the serving engine: a bounded MPMC buffer of
+// deadline-carrying requests plus the batch-cut operation the T/2 batcher
+// performs each tick. Expiry is evaluated lazily at cut time (a request that
+// outlives its deadline while queued is dropped the next time the batcher
+// looks at it), which keeps Submit wait-free apart from one mutex.
+#ifndef MODELSLICING_SERVING_REQUEST_QUEUE_H_
+#define MODELSLICING_SERVING_REQUEST_QUEUE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/bounded_queue.h"
+
+namespace ms {
+
+/// \brief One queued inference request. Requests carry no payload: the
+/// server materializes the batch input tensor itself (every sample has the
+/// configured shape, and cost depends only on shape and slice rate).
+struct Request {
+  using Clock = std::chrono::steady_clock;
+
+  int64_t id = 0;
+  Clock::time_point enqueued;
+  /// Absolute expiry; Clock::time_point::max() means "no deadline".
+  Clock::time_point deadline = Clock::time_point::max();
+
+  bool ExpiredAt(Clock::time_point now) const { return deadline < now; }
+};
+
+/// Outcome of admission control, in shedding-ladder order: accept if there
+/// is room, shed (kShedQueueFull) under overload, reject once stopping.
+enum class AdmitResult {
+  kAccepted = 0,
+  kShedQueueFull,
+  kRejectedClosed,
+};
+
+/// What one batch cut produced: up to `max_n` live requests (oldest first)
+/// plus the number of deadline-expired requests dropped along the way.
+struct RequestBatch {
+  std::vector<Request> requests;
+  int64_t expired = 0;
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(int64_t capacity)
+      : queue_(static_cast<size_t>(capacity)) {}
+
+  /// Thread-safe admission. `deadline_seconds` <= 0 means no deadline.
+  AdmitResult Submit(double deadline_seconds);
+
+  /// Pops up to `max_n` live requests; expired requests encountered are
+  /// dropped and counted. Requests beyond `max_n` stay queued (FIFO).
+  /// Single-consumer: only the batcher thread may call this.
+  RequestBatch CutBatch(int64_t max_n);
+
+  /// Empties the queue, classifying every remaining request as live (to be
+  /// shed by the caller) or expired. Used by shutdown.
+  RequestBatch DrainAll();
+
+  /// Stops admission; subsequent Submit returns kRejectedClosed.
+  void Close() { queue_.Close(); }
+
+  int64_t depth() const { return static_cast<int64_t>(queue_.size()); }
+  int64_t capacity() const { return static_cast<int64_t>(queue_.capacity()); }
+
+ private:
+  BoundedQueue<Request> queue_;
+  std::atomic<int64_t> next_id_{0};
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_SERVING_REQUEST_QUEUE_H_

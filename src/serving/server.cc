@@ -1,0 +1,332 @@
+#include "src/serving/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/serving/degradation_manager.h"
+#include "src/tensor/tensor.h"
+#include "src/util/stopwatch.h"
+
+namespace ms {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::chrono::nanoseconds SecondsToDuration(double seconds) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SliceServer>> SliceServer::Create(
+    std::vector<std::unique_ptr<Module>> replicas, ServerOptions opts) {
+  if (replicas.empty()) {
+    return Status::InvalidArgument("at least one model replica is required");
+  }
+  for (const auto& r : replicas) {
+    if (r == nullptr) {
+      return Status::InvalidArgument("null model replica");
+    }
+  }
+  if (opts.max_queue < 1) {
+    return Status::InvalidArgument("max_queue must be >= 1");
+  }
+  if (opts.sample_shape.empty()) {
+    return Status::InvalidArgument("sample_shape must be non-empty");
+  }
+  for (int64_t d : opts.sample_shape) {
+    if (d < 1) return Status::InvalidArgument("sample_shape dims must be >= 1");
+  }
+  if (opts.calibrate &&
+      (opts.calibration_batch < 1 || opts.calibration_repeats < 1)) {
+    return Status::InvalidArgument("calibration batch/repeats must be >= 1");
+  }
+  // Validate everything the scheduler will check, up front — except
+  // full_sample_time, which calibration is allowed to supply later.
+  ServingConfig probe = opts.serving;
+  if (opts.calibrate) probe.full_sample_time = 1.0;
+  auto probe_result = LatencyScheduler::Make(probe);
+  MS_RETURN_NOT_OK(probe_result.status());
+  return std::unique_ptr<SliceServer>(
+      new SliceServer(std::move(replicas), std::move(opts)));
+}
+
+SliceServer::SliceServer(std::vector<std::unique_ptr<Module>> replicas,
+                         ServerOptions opts)
+    : opts_(std::move(opts)), replicas_(std::move(replicas)) {
+  queue_ = std::make_unique<RequestQueue>(opts_.max_queue);
+  for (auto& r : replicas_) free_replicas_.push_back(r.get());
+  tick_seconds_ = opts_.serving.latency_budget / 2.0;
+}
+
+SliceServer::~SliceServer() { Stop(); }
+
+Status SliceServer::Calibrate() {
+  MS_TRACE_SCOPE("server_calibrate");
+  Module* m = replicas_.front().get();
+  m->SetSliceRate(opts_.serving.lattice.full_rate());
+  std::vector<int64_t> shape = opts_.sample_shape;
+  shape.insert(shape.begin(), opts_.calibration_batch);
+  Tensor x(shape);
+  m->Forward(x, /*training=*/false);  // warmup: first-touch allocations.
+  double best = 0.0;
+  for (int i = 0; i < opts_.calibration_repeats; ++i) {
+    Stopwatch sw;
+    Tensor y = m->Forward(x, /*training=*/false);
+    const double per_sample =
+        sw.ElapsedSeconds() / static_cast<double>(opts_.calibration_batch);
+    output_guard_.store(y.data()[0], std::memory_order_relaxed);
+    // Minimum across repeats: a one-off scheduling stall would inflate t
+    // and cripple capacity for the server's whole lifetime, so take the
+    // best observed run as the machine's true speed.
+    if (i == 0 || per_sample < best) best = per_sample;
+  }
+  if (!(best > 0.0)) {
+    return Status::Internal("calibration measured a non-positive sample time");
+  }
+  calibrated_t_ = best;
+  opts_.serving.full_sample_time = best;
+  obs::MetricsRegistry::Global()
+      .GetGauge("ms_server_calibrated_sample_ms")
+      ->Set(best * 1e3);
+  return Status::OK();
+}
+
+Status SliceServer::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_.load()) {
+    return Status::FailedPrecondition("server already started");
+  }
+  if (stopped_) {
+    return Status::FailedPrecondition("server cannot be restarted");
+  }
+  if (opts_.calibrate) {
+    MS_RETURN_NOT_OK(Calibrate());
+  } else {
+    calibrated_t_ = opts_.serving.full_sample_time;
+  }
+  auto scheduler = LatencyScheduler::Make(opts_.serving);
+  MS_RETURN_NOT_OK(scheduler.status());
+  scheduler_ =
+      std::make_unique<LatencyScheduler>(scheduler.MoveValueOrDie());
+  if (DegradationManager::MaxBatchWithinBudget(opts_.serving) < 1) {
+    return Status::FailedPrecondition(
+        "latency budget below one base-rate sample: T/2 = " +
+        std::to_string(tick_seconds_) + "s, measured t = " +
+        std::to_string(opts_.serving.full_sample_time) + "s");
+  }
+  pool_ = std::make_unique<ThreadPool>(static_cast<int>(replicas_.size()));
+  started_.store(true);
+  batcher_ = std::thread([this] { BatcherLoop(); });
+  return Status::OK();
+}
+
+AdmitResult SliceServer::Submit(double deadline_seconds) {
+  auto& registry = obs::MetricsRegistry::Global();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  registry.GetCounter("ms_server_submitted_total")->Inc();
+  if (!started_.load(std::memory_order_acquire) ||
+      stop_requested_.load(std::memory_order_acquire)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    registry.GetCounter("ms_server_rejected_total")->Inc();
+    return AdmitResult::kRejectedClosed;
+  }
+  const AdmitResult result = queue_->Submit(deadline_seconds);
+  switch (result) {
+    case AdmitResult::kAccepted:
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      registry.GetCounter("ms_server_accepted_total")->Inc();
+      break;
+    case AdmitResult::kShedQueueFull:
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      registry.GetCounter("ms_server_shed_total")->Inc();
+      break;
+    case AdmitResult::kRejectedClosed:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      registry.GetCounter("ms_server_rejected_total")->Inc();
+      break;
+  }
+  return result;
+}
+
+Module* SliceServer::AcquireReplica() {
+  std::unique_lock<std::mutex> lock(replica_mu_);
+  replica_cv_.wait(lock, [this] { return !free_replicas_.empty(); });
+  Module* m = free_replicas_.back();
+  free_replicas_.pop_back();
+  return m;
+}
+
+void SliceServer::ReleaseReplica(Module* m) {
+  {
+    std::lock_guard<std::mutex> lock(replica_mu_);
+    free_replicas_.push_back(m);
+  }
+  replica_cv_.notify_one();
+}
+
+void SliceServer::ExecuteBatch(int64_t n, double rate) {
+  MS_TRACE_SCOPE("server_batch");
+  Module* m = AcquireReplica();
+  m->SetSliceRate(rate);
+  std::vector<int64_t> shape = opts_.sample_shape;
+  shape.insert(shape.begin(), n);
+  Tensor x(shape);
+  Stopwatch sw;
+  Tensor y = m->Forward(x, /*training=*/false);
+  const double secs = sw.ElapsedSeconds();
+  ReleaseReplica(m);
+  output_guard_.store(y.data()[0], std::memory_order_relaxed);
+
+  served_.fetch_add(n, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    min_rate_ = std::min(min_rate_, rate);
+    max_batch_seconds_ = std::max(max_batch_seconds_, secs);
+  }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("ms_server_served_total")->Inc(n);
+  registry.GetHistogram("ms_server_batch_latency_ms", obs::LatencyBucketsMs())
+      ->Observe(secs * 1e3);
+  registry.GetHistogram("ms_server_chosen_rate", obs::RateBuckets())
+      ->Observe(rate);
+  // The slice rate the wall clock actually corresponds to under the r^2
+  // model (n * r_achieved^2 * t == measured seconds): compared with the
+  // chosen rate, this exposes calibration drift and contention.
+  const double t = opts_.serving.full_sample_time;
+  if (t > 0.0 && n > 0) {
+    registry.GetHistogram("ms_server_achieved_rate", obs::RateBuckets())
+        ->Observe(std::sqrt(secs / (static_cast<double>(n) * t)));
+  }
+  registry.GetGauge("ms_server_budget_utilization")
+      ->Set(tick_seconds_ > 0.0 ? secs / tick_seconds_ : 0.0);
+
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    --in_flight_;
+  }
+  inflight_cv_.notify_all();
+}
+
+void SliceServer::TickOnce() {
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("ms_server_ticks_total")->Inc();
+
+  const int64_t max_n =
+      DegradationManager::MaxBatchWithinBudget(opts_.serving);
+  RequestBatch batch = queue_->CutBatch(max_n);
+  if (batch.expired > 0) {
+    expired_.fetch_add(batch.expired, std::memory_order_relaxed);
+    registry.GetCounter("ms_server_expired_total")->Inc(batch.expired);
+  }
+  const int64_t depth_after = queue_->depth();
+  registry.GetGauge("ms_server_backlog")->Set(depth_after);
+  registry.GetHistogram("ms_server_queue_depth", obs::DepthBuckets())
+      ->Observe(depth_after);
+
+  const int64_t n = static_cast<int64_t>(batch.requests.size());
+  if (n == 0) return;
+  const TickDecision decision =
+      scheduler_->Schedule(static_cast<int>(n));
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  registry.GetCounter("ms_server_batches_total")->Inc();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++in_flight_;
+  }
+  pool_->Submit(
+      [this, n, rate = decision.rate] { ExecuteBatch(n, rate); });
+}
+
+void SliceServer::BatcherLoop() {
+  const auto tick = SecondsToDuration(tick_seconds_);
+  auto next = SteadyClock::now() + tick;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(batcher_mu_);
+      batcher_cv_.wait_until(lock, next, [this] {
+        return stop_requested_.load(std::memory_order_acquire);
+      });
+    }
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    TickOnce();
+    next += tick;
+    // If a tick overran (slow machine, sanitizer), skip the missed
+    // intervals instead of firing a burst of catch-up cuts.
+    const auto now = SteadyClock::now();
+    while (next <= now) next += tick;
+  }
+
+  // Graceful shutdown: admission is already rejecting (stop_requested_);
+  // close the queue, account for everything still in it, and wait for
+  // in-flight batches to finish their forwards.
+  queue_->Close();
+  RequestBatch rest = queue_->DrainAll();
+  auto& registry = obs::MetricsRegistry::Global();
+  if (rest.expired > 0) {
+    expired_.fetch_add(rest.expired, std::memory_order_relaxed);
+    registry.GetCounter("ms_server_expired_total")->Inc(rest.expired);
+  }
+  const int64_t shed_on_stop = static_cast<int64_t>(rest.requests.size());
+  if (shed_on_stop > 0) {
+    shed_.fetch_add(shed_on_stop, std::memory_order_relaxed);
+    registry.GetCounter("ms_server_shed_total")->Inc(shed_on_stop);
+  }
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  inflight_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void SliceServer::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  stop_requested_.store(true, std::memory_order_release);
+  batcher_cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+  // Destroying the pool joins the workers after any queued tasks ran; the
+  // batcher already waited for in-flight batches, so this is immediate.
+  pool_.reset();
+}
+
+ServerStats SliceServer::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.ticks = ticks_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  s.min_rate = min_rate_;
+  s.max_batch_seconds = max_batch_seconds_;
+  return s;
+}
+
+std::vector<ClosedLoopTick> RunClosedLoop(SliceServer* server,
+                                          const std::vector<int>& arrivals,
+                                          double deadline_seconds) {
+  std::vector<ClosedLoopTick> trace;
+  trace.reserve(arrivals.size());
+  const auto tick = SecondsToDuration(server->tick_seconds());
+  auto next = SteadyClock::now() + tick;
+  for (int n : arrivals) {
+    ClosedLoopTick t;
+    t.submitted = n;
+    for (int i = 0; i < n; ++i) server->Submit(deadline_seconds);
+    std::this_thread::sleep_until(next);
+    next += tick;
+    t.queue_depth = server->queue_depth();
+    trace.push_back(t);
+  }
+  return trace;
+}
+
+}  // namespace ms

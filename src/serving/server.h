@@ -1,0 +1,185 @@
+// Concurrent batched serving engine (paper Sec. 4.1, made real).
+//
+// The simulators in latency_scheduler.h / degradation_manager.h exercise the
+// Eq. 3 rule (pick the largest trained rate r with n * r^2 * t <= T/2) with
+// arithmetic only. SliceServer runs it against the wall clock:
+//
+//   producers ──Submit()──► RequestQueue (bounded MPMC, per-request deadline)
+//                                │  batch cut every T/2 tick
+//                                ▼
+//                         batcher thread ── LatencyScheduler::Schedule(n)
+//                                │  rate r, batch ≤ MaxBatchWithinBudget
+//                                ▼
+//                       ThreadPool workers ── replica->SetSliceRate(r)
+//                                             replica->Forward(batch)
+//
+// Degradation ladder (shared with DegradationManager, in order):
+//   1. shed:   Submit on a full queue returns kShedQueueFull;
+//   2. lower rates: the scheduler slices the model down to the base rate;
+//   3. reject: once Stop() begins, Submit returns kRejectedClosed.
+// Requests whose deadline passes while queued are dropped at the next batch
+// cut and counted as expired.
+//
+// `t` (full-model per-sample seconds) is *measured* at Start() by timing
+// real forwards, instead of trusting ServingConfig::full_sample_time — on
+// the serving path the config constant is a guess, and Eq. 3 is only as good
+// as t. All ServingConfig times are seconds here (latency_budget = T).
+//
+// Every ServerStats counter also lands in the global metrics registry under
+// ms_server_* (queue depth, shed/expired counts, batch latency histogram,
+// chosen vs achieved rate).
+#ifndef MODELSLICING_SERVING_SERVER_H_
+#define MODELSLICING_SERVING_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/serving/latency_scheduler.h"
+#include "src/serving/request_queue.h"
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
+
+namespace ms {
+
+struct ServerOptions {
+  /// Sec. 4.1 parameters. Times are seconds; `full_sample_time` is replaced
+  /// by the calibration measurement unless `calibrate` is false.
+  ServingConfig serving;
+  int64_t max_queue = 1024;       ///< admission bound; beyond it, shed.
+  /// Per-sample input shape (no batch dimension), e.g. {3, 12, 12}.
+  std::vector<int64_t> sample_shape;
+  bool calibrate = true;
+  int calibration_batch = 8;      ///< samples per calibration forward.
+  int calibration_repeats = 3;    ///< timed repeats; the minimum is taken.
+};
+
+/// Post-Stop invariant: submitted == served + shed + expired + rejected —
+/// every request is accounted for exactly once.
+struct ServerStats {
+  int64_t submitted = 0;   ///< Submit() calls.
+  int64_t accepted = 0;    ///< admitted to the queue.
+  int64_t served = 0;      ///< went through a real Forward.
+  int64_t shed = 0;        ///< queue-full at admission, or queued at Stop.
+  int64_t expired = 0;     ///< deadline passed before execution.
+  int64_t rejected = 0;    ///< submitted before Start or during/after Stop.
+  int64_t batches = 0;     ///< forwards dispatched.
+  int64_t ticks = 0;       ///< batch-cut intervals elapsed.
+  double min_rate = 1.0;   ///< lowest slice rate any batch ran at.
+  double max_batch_seconds = 0.0;  ///< slowest batch forward.
+};
+
+/// \brief Multi-threaded model-slicing server over per-worker replicas.
+///
+/// Each worker owns one model replica (Module is stateful across
+/// Forward/SetSliceRate, so replicas are never shared between concurrent
+/// batches). Lifecycle: Create -> Start -> Submit... -> Stop. Stop is
+/// graceful: admission closes, in-flight batches finish, still-queued
+/// requests are shed/expired with exact accounting. Restart is not
+/// supported; create a new server instead.
+class SliceServer {
+ public:
+  static Result<std::unique_ptr<SliceServer>> Create(
+      std::vector<std::unique_ptr<Module>> replicas, ServerOptions opts);
+
+  ~SliceServer();
+
+  SliceServer(const SliceServer&) = delete;
+  SliceServer& operator=(const SliceServer&) = delete;
+
+  /// Calibrates `t` (unless disabled) and starts the batcher thread.
+  Status Start();
+
+  /// Admission control; safe from any thread. `deadline_seconds` is
+  /// relative to now; <= 0 means no deadline.
+  AdmitResult Submit(double deadline_seconds = 0.0);
+
+  /// Graceful shutdown: close admission, let in-flight batches drain, shed
+  /// the remaining queue. Idempotent; safe to race from multiple threads.
+  void Stop();
+
+  ServerStats stats() const;
+  int64_t queue_depth() const { return queue_->depth(); }
+  double tick_seconds() const { return tick_seconds_; }
+  /// Measured full-model per-sample seconds (0 before calibration).
+  double calibrated_sample_seconds() const { return calibrated_t_; }
+  /// Serving config as used (full_sample_time reflects calibration).
+  const ServingConfig& serving_config() const { return opts_.serving; }
+  int num_workers() const { return static_cast<int>(replicas_.size()); }
+
+ private:
+  SliceServer(std::vector<std::unique_ptr<Module>> replicas,
+              ServerOptions opts);
+
+  Status Calibrate();
+  void BatcherLoop();
+  void TickOnce();
+  void ExecuteBatch(int64_t n, double rate);
+  Module* AcquireReplica();
+  void ReleaseReplica(Module* m);
+
+  ServerOptions opts_;
+  std::vector<std::unique_ptr<Module>> replicas_;
+  std::unique_ptr<RequestQueue> queue_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<LatencyScheduler> scheduler_;
+
+  double tick_seconds_ = 0.0;     ///< T/2, the batching interval.
+  double calibrated_t_ = 0.0;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread batcher_;
+  std::mutex lifecycle_mu_;       ///< serializes Start/Stop.
+  bool stopped_ = false;          ///< guarded by lifecycle_mu_.
+
+  std::mutex batcher_mu_;
+  std::condition_variable batcher_cv_;
+
+  // Free-list of replicas available to worker tasks.
+  std::mutex replica_mu_;
+  std::condition_variable replica_cv_;
+  std::vector<Module*> free_replicas_;
+
+  // In-flight batch tracking for the shutdown drain.
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  int64_t in_flight_ = 0;
+
+  // Admission / execution counters. served/min_rate/max_batch_seconds are
+  // written by worker threads; everything is atomic or stats_mu_-guarded.
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> accepted_{0};
+  std::atomic<int64_t> served_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> expired_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> ticks_{0};
+  mutable std::mutex stats_mu_;
+  double min_rate_ = 1.0;
+  double max_batch_seconds_ = 0.0;
+  std::atomic<float> output_guard_{0.0f};  ///< keeps forwards observable.
+};
+
+/// One tick of the closed-loop driver below.
+struct ClosedLoopTick {
+  int submitted = 0;
+  int64_t queue_depth = 0;  ///< sampled at the end of the tick.
+};
+
+/// Drives a started server in real time: each tick submits `arrivals[i]`
+/// requests (deadline `deadline_seconds`, <= 0 for none), sleeps one batch
+/// interval, and samples the queue depth. Returns the per-tick trace.
+std::vector<ClosedLoopTick> RunClosedLoop(SliceServer* server,
+                                          const std::vector<int>& arrivals,
+                                          double deadline_seconds = 0.0);
+
+}  // namespace ms
+
+#endif  // MODELSLICING_SERVING_SERVER_H_

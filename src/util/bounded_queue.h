@@ -1,0 +1,95 @@
+// Bounded multi-producer/multi-consumer queue used as the admission buffer
+// of the serving engine. Producers TryPush from any thread and observe
+// explicit backpressure (kFull) instead of blocking; the batch-cutting
+// consumer drains with PopAll and may return untaken items to the head with
+// PushFront, preserving FIFO order even while producers keep appending.
+// Close() rejects further pushes so shutdown can distinguish "shed because
+// full" from "rejected because stopping".
+#ifndef MODELSLICING_UTIL_BOUNDED_QUEUE_H_
+#define MODELSLICING_UTIL_BOUNDED_QUEUE_H_
+
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace ms {
+
+enum class PushStatus {
+  kOk = 0,
+  kFull,    ///< at capacity; caller decides whether that means "shed".
+  kClosed,  ///< Close() was called; no further admissions.
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  PushStatus TryPush(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return PushStatus::kClosed;
+    if (items_.size() >= capacity_) return PushStatus::kFull;
+    items_.push_back(std::move(item));
+    return PushStatus::kOk;
+  }
+
+  /// Pops the front item if any.
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Moves every queued item into `out` (appended), oldest first.
+  size_t PopAll(std::vector<T>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t n = items_.size();
+    out->reserve(out->size() + n);
+    for (auto& item : items_) out->push_back(std::move(item));
+    items_.clear();
+    return n;
+  }
+
+  /// Returns items to the head in their given order (items[0] becomes the
+  /// new front). Capacity-exempt: intended for requeueing items obtained
+  /// from PopAll, so the bound cannot be exceeded by honest callers.
+  void PushFront(std::vector<T> items) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = items.rbegin(); it != items.rend(); ++it) {
+      items_.push_front(std::move(*it));
+    }
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<T> items_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_UTIL_BOUNDED_QUEUE_H_

@@ -37,6 +37,17 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// Enqueue a task for any worker. Fire-and-forget: callers that need
+  /// completion (ParallelFor, the serving engine's drain) track it
+  /// themselves. The destructor runs every queued task before joining.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
   /// Run fn(begin, end) over disjoint static partitions of [0, n) and wait.
   void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
     if (n <= 0) return;
@@ -73,14 +84,6 @@ class ThreadPool {
   }
 
  private:
-  void Submit(std::function<void()> task) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      tasks_.push(std::move(task));
-    }
-    cv_.notify_one();
-  }
-
   void WorkerLoop() {
     for (;;) {
       std::function<void()> task;

@@ -1,0 +1,219 @@
+// Functional tests for the concurrent serving engine: calibration, the
+// shed -> lower-rates -> reject degradation ladder, deadline expiry, and
+// the post-Stop accounting invariant
+//   served + shed + expired + rejected == submitted.
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/models/mlp.h"
+#include "src/serving/server.h"
+
+namespace ms {
+namespace {
+
+std::vector<std::unique_ptr<Module>> MakeReplicas(int n) {
+  MlpConfig cfg;
+  cfg.in_features = 16;
+  cfg.hidden = {32, 32};
+  cfg.num_classes = 4;
+  cfg.slice_groups = 4;
+  cfg.seed = 3;  // same seed: identical weights per replica.
+  std::vector<std::unique_ptr<Module>> replicas;
+  for (int i = 0; i < n; ++i) {
+    replicas.push_back(MakeMlp(cfg).MoveValueOrDie());
+  }
+  return replicas;
+}
+
+ServerOptions MakeOptions(double latency_budget_seconds, int64_t max_queue) {
+  ServerOptions opts;
+  opts.serving.latency_budget = latency_budget_seconds;
+  opts.serving.full_sample_time = 1.0;  // replaced by calibration.
+  opts.serving.lattice = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  opts.max_queue = max_queue;
+  opts.sample_shape = {16};
+  opts.calibration_batch = 4;
+  opts.calibration_repeats = 2;
+  return opts;
+}
+
+void ExpectConservation(const ServerStats& s) {
+  EXPECT_EQ(s.submitted, s.served + s.shed + s.expired + s.rejected)
+      << "submitted=" << s.submitted << " served=" << s.served
+      << " shed=" << s.shed << " expired=" << s.expired
+      << " rejected=" << s.rejected;
+}
+
+/// Polls `done` every millisecond for up to `timeout_ms`.
+template <typename Fn>
+bool WaitFor(Fn&& done, int timeout_ms) {
+  for (int i = 0; i < timeout_ms; ++i) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return done();
+}
+
+TEST(SliceServer, CreateRejectsBadOptions) {
+  EXPECT_FALSE(SliceServer::Create({}, MakeOptions(0.1, 64)).ok());
+
+  auto bad_queue = MakeOptions(0.1, 0);
+  EXPECT_FALSE(SliceServer::Create(MakeReplicas(1), std::move(bad_queue)).ok());
+
+  auto bad_shape = MakeOptions(0.1, 64);
+  bad_shape.sample_shape.clear();
+  EXPECT_FALSE(SliceServer::Create(MakeReplicas(1), std::move(bad_shape)).ok());
+
+  auto bad_lattice = MakeOptions(0.1, 64);
+  bad_lattice.serving.lattice = SliceConfig();
+  EXPECT_FALSE(
+      SliceServer::Create(MakeReplicas(1), std::move(bad_lattice)).ok());
+
+  auto bad_budget = MakeOptions(-1.0, 64);
+  EXPECT_FALSE(
+      SliceServer::Create(MakeReplicas(1), std::move(bad_budget)).ok());
+}
+
+TEST(SliceServer, CalibrationMeasuresSampleTime) {
+  auto server =
+      SliceServer::Create(MakeReplicas(1), MakeOptions(0.5, 64))
+          .MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+  EXPECT_GT(server->calibrated_sample_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(server->serving_config().full_sample_time,
+                   server->calibrated_sample_seconds());
+  server->Stop();
+  ExpectConservation(server->stats());
+}
+
+TEST(SliceServer, StartTwiceFails) {
+  auto server =
+      SliceServer::Create(MakeReplicas(1), MakeOptions(0.5, 64))
+          .MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+  EXPECT_FALSE(server->Start().ok());
+  server->Stop();
+}
+
+TEST(SliceServer, ServesEverythingUnderLightLoad) {
+  auto server =
+      SliceServer::Create(MakeReplicas(2), MakeOptions(0.04, 256))
+          .MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+  const int kRequests = 8;
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(server->Submit(), AdmitResult::kAccepted);
+  }
+  EXPECT_TRUE(WaitFor(
+      [&] { return server->stats().served == kRequests; }, /*timeout_ms=*/5000));
+  server->Stop();
+  const ServerStats s = server->stats();
+  EXPECT_EQ(s.served, kRequests);
+  EXPECT_EQ(s.shed, 0);
+  EXPECT_EQ(s.expired, 0);
+  EXPECT_GE(s.batches, 1);
+  ExpectConservation(s);
+}
+
+TEST(SliceServer, ShedsWhenQueueIsFull) {
+  // One-second tick: the burst lands entirely before the first batch cut,
+  // so admissions beyond max_queue must be shed.
+  auto server =
+      SliceServer::Create(MakeReplicas(1), MakeOptions(2.0, 4))
+          .MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+  int accepted = 0, shed = 0;
+  for (int i = 0; i < 50; ++i) {
+    switch (server->Submit()) {
+      case AdmitResult::kAccepted: ++accepted; break;
+      case AdmitResult::kShedQueueFull: ++shed; break;
+      case AdmitResult::kRejectedClosed: FAIL() << "unexpected rejection";
+    }
+  }
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(shed, 46);
+  server->Stop();
+  const ServerStats s = server->stats();
+  EXPECT_GE(s.shed, 46);  // the 4 queued ones are shed by shutdown too.
+  ExpectConservation(s);
+}
+
+TEST(SliceServer, ExpiredRequestsAreDropped) {
+  auto server =
+      SliceServer::Create(MakeReplicas(1), MakeOptions(0.2, 256))
+          .MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+  const int kRequests = 20;
+  for (int i = 0; i < kRequests; ++i) {
+    // 1ms deadline, 100ms tick: every request dies in the queue.
+    EXPECT_EQ(server->Submit(/*deadline_seconds=*/0.001),
+              AdmitResult::kAccepted);
+  }
+  EXPECT_TRUE(WaitFor(
+      [&] { return server->stats().expired == kRequests; },
+      /*timeout_ms=*/5000));
+  server->Stop();
+  const ServerStats s = server->stats();
+  EXPECT_EQ(s.expired, kRequests);
+  EXPECT_EQ(s.served, 0);
+  ExpectConservation(s);
+}
+
+TEST(SliceServer, RejectsBeforeStartAndAfterStop) {
+  auto server =
+      SliceServer::Create(MakeReplicas(1), MakeOptions(0.1, 64))
+          .MoveValueOrDie();
+  EXPECT_EQ(server->Submit(), AdmitResult::kRejectedClosed);
+  ASSERT_TRUE(server->Start().ok());
+  server->Stop();
+  server->Stop();  // idempotent.
+  EXPECT_EQ(server->Submit(), AdmitResult::kRejectedClosed);
+  const ServerStats s = server->stats();
+  EXPECT_EQ(s.rejected, 2);
+  ExpectConservation(s);
+}
+
+TEST(SliceServer, OverloadLowersSliceRate) {
+  auto server =
+      SliceServer::Create(MakeReplicas(1), MakeOptions(0.02, 1 << 20))
+          .MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+  // 4x the full-rate tick capacity in one burst: Eq. 3 forces r <= 0.5.
+  const double t = server->calibrated_sample_seconds();
+  const int n = static_cast<int>(4.0 * server->tick_seconds() / t) + 1;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(server->Submit(), AdmitResult::kAccepted);
+  }
+  EXPECT_TRUE(
+      WaitFor([&] { return server->stats().served >= n; }, /*timeout_ms=*/10000));
+  server->Stop();
+  const ServerStats s = server->stats();
+  EXPECT_LT(s.min_rate, 1.0);
+  ExpectConservation(s);
+}
+
+TEST(SliceServer, ClosedLoopTraceAccountsForEveryTick) {
+  auto server =
+      SliceServer::Create(MakeReplicas(2), MakeOptions(0.02, 256))
+          .MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+  const std::vector<int> arrivals = {4, 0, 8, 2, 0, 6};
+  const auto trace = RunClosedLoop(server.get(), arrivals);
+  ASSERT_EQ(trace.size(), arrivals.size());
+  int total = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].submitted, arrivals[i]);
+    total += trace[i].submitted;
+  }
+  server->Stop();
+  const ServerStats s = server->stats();
+  EXPECT_EQ(s.submitted, total);
+  EXPECT_GE(s.ticks, 1);
+  ExpectConservation(s);
+}
+
+}  // namespace
+}  // namespace ms

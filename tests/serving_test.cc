@@ -1,5 +1,6 @@
 // Tests for the serving substrates: workload generation, the T/2 latency
 // scheduler (Sec. 4.1), and cascade ranking (Sec. 4.2).
+#include <limits>
 #include <numeric>
 
 #include "gtest/gtest.h"
@@ -123,6 +124,21 @@ TEST(LatencyScheduler, RejectsBadConfigs) {
   cfg = DefaultServing();
   cfg.accuracy_per_rate = {0.9};  // misaligned
   EXPECT_FALSE(LatencyScheduler::Make(cfg).ok());
+}
+
+TEST(LatencyScheduler, RejectsNonFiniteTimes) {
+  // NaN compares false against any bound, so these would sail through a
+  // naive `<= 0` check and emit NaN processing times downstream.
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  for (double bad : {kNan, kInf, -kInf}) {
+    auto cfg = DefaultServing();
+    cfg.full_sample_time = bad;
+    EXPECT_FALSE(LatencyScheduler::Make(cfg).ok()) << bad;
+    cfg = DefaultServing();
+    cfg.latency_budget = bad;
+    EXPECT_FALSE(LatencyScheduler::Make(cfg).ok()) << bad;
+  }
 }
 
 TEST(ServingSimulation, ElasticBeatsFixedTradeoffs) {
