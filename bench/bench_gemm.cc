@@ -1,0 +1,117 @@
+// GEMM kernel microbenchmark: packed/threaded Gemm vs the scalar GemmRef
+// oracle across the shapes the layers actually produce — square, skinny
+// (im2col panels), and sliced-prefix problems at r in {0.25, 0.5, 1.0}
+// where the leading dimensions stay at full width. Prints GFLOP/s and the
+// speedup over GemmRef, and records each configuration as a gauge so the
+// MS_BENCH_METRICS_OUT JSONL artifact captures the numbers in CI.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/tensor/gemm.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace ms {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+using GemmFn = void (*)(bool, bool, int64_t, int64_t, int64_t, float,
+                        const float*, int64_t, const float*, int64_t, float,
+                        float*, int64_t);
+
+struct Shape {
+  const char* label;
+  int64_t m, n, k;
+  int64_t lda, ldb;  // 0 = tight
+};
+
+double TimeGemm(GemmFn fn, const Shape& s, const Tensor& a, const Tensor& b,
+                Tensor* c, double min_seconds) {
+  const int64_t lda = s.lda ? s.lda : s.k;
+  const int64_t ldb = s.ldb ? s.ldb : s.n;
+  // One untimed call to warm caches and the compute pool.
+  fn(false, false, s.m, s.n, s.k, 1.0f, a.data(), lda, b.data(), ldb, 0.0f,
+     c->data(), s.n);
+  int iters = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  while (elapsed < min_seconds || iters < 3) {
+    fn(false, false, s.m, s.n, s.k, 1.0f, a.data(), lda, b.data(), ldb, 0.0f,
+       c->data(), s.n);
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  }
+  return elapsed / iters;
+}
+
+int Main() {
+  const double min_s = bench::FastMode() ? 0.02 : 0.15;
+  std::vector<Shape> shapes = {
+      {"square-64", 64, 64, 64, 0, 0},
+      {"square-128", 128, 128, 128, 0, 0},
+      {"square-256", 256, 256, 256, 0, 0},
+      {"square-512", 512, 512, 512, 0, 0},
+      // Skinny shapes: conv im2col panels (few filter rows, wide output)
+      // and batched dense layers (short m).
+      {"conv-im2col", 64, 1024, 288, 0, 0},
+      {"dense-batch", 32, 512, 512, 0, 0},
+      // Sliced-prefix problems: logical extent r * 512, leading dims kept
+      // at the full 512 — exactly what SetSliceRate produces.
+      {"sliced-r0.25", 128, 128, 128, 512, 512},
+      {"sliced-r0.50", 256, 256, 256, 512, 512},
+      {"sliced-r1.00", 512, 512, 512, 512, 512},
+  };
+  const std::vector<int> thread_counts = {1, 2, 4};
+
+  bench::PrintTitle("GEMM kernel: packed/threaded Gemm vs scalar GemmRef");
+  std::printf("avx2 microkernel: %s\n\n",
+              ops::GemmHasAvx2() ? "active" : "inactive (portable 4x8)");
+  std::printf("%-14s %10s %12s", "shape", "ref GF/s", "1T GF/s");
+  for (size_t i = 1; i < thread_counts.size(); ++i) {
+    std::printf(" %9dT", thread_counts[i]);
+  }
+  std::printf(" %9s\n", "1T-speedup");
+  bench::PrintRule();
+
+  Rng rng(42);
+  auto& registry = obs::MetricsRegistry::Global();
+  for (const Shape& s : shapes) {
+    const int64_t lda = s.lda ? s.lda : s.k;
+    const int64_t ldb = s.ldb ? s.ldb : s.n;
+    Tensor a = Tensor::Randn({s.m, lda}, &rng);
+    Tensor b = Tensor::Randn({s.k, ldb}, &rng);
+    Tensor c({s.m, s.n});
+    const double flops = 2.0 * static_cast<double>(s.m) * s.n * s.k;
+
+    ops::SetComputeThreads(1);
+    const double t_ref = TimeGemm(&ops::GemmRef, s, a, b, &c, min_s);
+    const double ref_gfs = flops / t_ref * 1e-9;
+    std::printf("%-14s %10.2f", s.label, ref_gfs);
+    registry.GetGauge(std::string("bench_gemm.") + s.label + ".ref_gflops")
+        ->Set(ref_gfs);
+
+    double one_thread_gfs = 0.0;
+    for (const int threads : thread_counts) {
+      ops::SetComputeThreads(threads);
+      const double t = TimeGemm(&ops::Gemm, s, a, b, &c, min_s);
+      const double gfs = flops / t * 1e-9;
+      if (threads == 1) one_thread_gfs = gfs;
+      std::printf(" %10.2f", gfs);
+      registry
+          .GetGauge(std::string("bench_gemm.") + s.label + ".gflops_t" +
+                    std::to_string(threads))
+          ->Set(gfs);
+    }
+    std::printf(" %8.1fx\n", one_thread_gfs / ref_gfs);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ms
+
+int main() { return ms::Main(); }

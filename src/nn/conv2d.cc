@@ -1,8 +1,18 @@
 #include "src/nn/conv2d.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "src/tensor/scratch.h"
+
 namespace ms {
+
+namespace {
+// Fixed shard count for the weight-gradient reduction in DoBackward. A
+// constant (rather than the pool size) keeps the accumulation order — and
+// therefore the bitwise result — independent of the thread count.
+constexpr int64_t kGradShards = 8;
+}  // namespace
 
 Conv2d::Conv2d(Conv2dOptions opts, Rng* rng, std::string name)
     : opts_(opts), name_(std::move(name)) {
@@ -33,7 +43,6 @@ void Conv2d::DoSetSliceRate(double r) {
 }
 
 Tensor Conv2d::DoForward(const Tensor& x, bool training) {
-  (void)training;
   MS_CHECK(x.ndim() == 4);
   const int64_t batch = x.dim(0);
   MS_CHECK_MSG(x.dim(1) == active_in_, "Conv2d input channels != active_in");
@@ -44,6 +53,9 @@ Tensor Conv2d::DoForward(const Tensor& x, bool training) {
   const int64_t ow = (w + 2 * opts_.pad - k) / opts_.stride + 1;
   MS_CHECK(oh >= 1 && ow >= 1);
 
+  (void)training;
+  // Copy-assign reuses capacity when shapes repeat, so steady-state
+  // forwards stay allocation-free.
   cached_x_ = x;
   cached_h_ = h;
   cached_w_ = w;
@@ -54,30 +66,41 @@ Tensor Conv2d::DoForward(const Tensor& x, bool training) {
   const int64_t n = active_out_;
   const int64_t col_rows = m * k * k;
   const int64_t out_area = oh * ow;
+  const int64_t ld_w = opts_.in_channels * k * k;
 
   Tensor y({batch, n, oh, ow});
-  Tensor cols({col_rows, out_area});
-  for (int64_t img = 0; img < batch; ++img) {
-    ops::Im2Col(x.data() + img * m * h * w, m, h, w, k, opts_.stride,
-                opts_.pad, cols.data());
-    // y_img(n, out_area) = W[0:n, 0:m*k*k] * cols. Full row stride keeps the
-    // inactive input-channel columns out of the product.
-    ops::Gemm(false, false, n, out_area, col_rows, 1.0f, w_.data(),
-              opts_.in_channels * k * k, cols.data(), out_area, 0.0f,
-              y.data() + img * n * out_area, out_area);
-    if (opts_.bias) {
-      float* yi = y.data() + img * n * out_area;
-      for (int64_t c = 0; c < n; ++c) {
-        const float bv = b_[c];
-        float* plane = yi + c * out_area;
-        for (int64_t p = 0; p < out_area; ++p) plane[p] += bv;
+  const float* xd = x.data();
+  float* yd = y.data();
+  // Parallel over images: each worker owns an im2col buffer from its own
+  // arena; output planes are disjoint. With batch == 1 the single shard
+  // runs on the caller, where the GEMM itself may go parallel.
+  ops::ParallelForCompute(batch, [&](int64_t b0, int64_t b1) {
+    ScratchArena& arena = ScratchArena::ForThread();
+    ScratchArena::Scope scope(arena);
+    float* cols = arena.Alloc(col_rows * out_area);
+    for (int64_t img = b0; img < b1; ++img) {
+      ops::Im2Col(xd + img * m * h * w, m, h, w, k, opts_.stride, opts_.pad,
+                  cols);
+      // y_img(n, out_area) = W[0:n, 0:m*k*k] * cols. Full row stride keeps
+      // the inactive input-channel columns out of the product.
+      ops::Gemm(false, false, n, out_area, col_rows, 1.0f, w_.data(), ld_w,
+                cols, out_area, 0.0f, yd + img * n * out_area, out_area);
+      if (opts_.bias) {
+        float* yi = yd + img * n * out_area;
+        for (int64_t c = 0; c < n; ++c) {
+          const float bv = b_[c];
+          float* plane = yi + c * out_area;
+          for (int64_t p = 0; p < out_area; ++p) plane[p] += bv;
+        }
       }
     }
-  }
+  });
   return y;
 }
 
 Tensor Conv2d::DoBackward(const Tensor& grad_out) {
+  MS_CHECK_MSG(cached_x_.ndim() == 4,
+               "Conv2d::Backward requires a prior Forward");
   const int64_t batch = cached_x_.dim(0);
   const int64_t m = active_in_;
   const int64_t n = active_out_;
@@ -92,30 +115,71 @@ Tensor Conv2d::DoBackward(const Tensor& grad_out) {
            grad_out.dim(1) == n && grad_out.dim(2) == oh &&
            grad_out.dim(3) == ow);
 
+  const int64_t ld_w = opts_.in_channels * k * k;
   Tensor grad_in({batch, m, h, w});
-  Tensor cols({col_rows, out_area});
-  Tensor grad_cols({col_rows, out_area});
-  for (int64_t img = 0; img < batch; ++img) {
-    const float* g = grad_out.data() + img * n * out_area;
-    // dW[0:n, 0:col_rows] += g(n, out_area) * cols^T(out_area, col_rows)
-    ops::Im2Col(cached_x_.data() + img * m * h * w, m, h, w, k, opts_.stride,
-                opts_.pad, cols.data());
-    ops::Gemm(false, true, n, col_rows, out_area, 1.0f, g, out_area,
-              cols.data(), out_area, 1.0f, w_grad_.data(),
-              opts_.in_channels * k * k);
-    // dcols = W^T(col_rows, n) * g(n, out_area)
-    ops::Gemm(true, false, col_rows, out_area, n, 1.0f, w_.data(),
-              opts_.in_channels * k * k, g, out_area, 0.0f, grad_cols.data(),
-              out_area);
-    ops::Col2Im(grad_cols.data(), m, h, w, k, opts_.stride, opts_.pad,
-                grad_in.data() + img * m * h * w);
-    if (opts_.bias) {
-      for (int64_t c = 0; c < n; ++c) {
-        const float* plane = g + c * out_area;
-        float acc = 0.0f;
-        for (int64_t p = 0; p < out_area; ++p) acc += plane[p];
-        b_grad_[c] += acc;
+
+  // dW is a sum over images, so images are split across a *fixed* shard
+  // grid; each shard accumulates into a compact private buffer and the
+  // shards are reduced serially in index order afterwards. Result is
+  // bitwise identical for any thread count (incl. the serial path).
+  const int64_t shards = std::min<int64_t>(batch, kGradShards);
+  const int64_t chunk = (batch + shards - 1) / shards;
+  ScratchArena& arena = ScratchArena::ForThread();
+  ScratchArena::Scope scope(arena);
+  const int64_t wg_size = n * col_rows;
+  float* wg_shards = arena.Alloc(shards * wg_size);
+  float* bg_shards = opts_.bias ? arena.Alloc(shards * n) : nullptr;
+
+  const float* xd = cached_x_.data();
+  const float* gd = grad_out.data();
+  float* gid = grad_in.data();
+  ops::ParallelForCompute(shards, [&](int64_t s0, int64_t s1) {
+    ScratchArena& warena = ScratchArena::ForThread();
+    ScratchArena::Scope wscope(warena);
+    float* cols = warena.Alloc(col_rows * out_area);
+    float* grad_cols = warena.Alloc(col_rows * out_area);
+    for (int64_t s = s0; s < s1; ++s) {
+      float* wg = wg_shards + s * wg_size;
+      std::fill(wg, wg + wg_size, 0.0f);
+      float* bg = bg_shards ? bg_shards + s * n : nullptr;
+      if (bg) std::fill(bg, bg + n, 0.0f);
+      const int64_t img0 = s * chunk;
+      const int64_t img1 = std::min<int64_t>(batch, img0 + chunk);
+      for (int64_t img = img0; img < img1; ++img) {
+        const float* g = gd + img * n * out_area;
+        // dW_shard(n, col_rows) += g(n, out_area) * cols^T
+        ops::Im2Col(xd + img * m * h * w, m, h, w, k, opts_.stride,
+                    opts_.pad, cols);
+        ops::Gemm(false, true, n, col_rows, out_area, 1.0f, g, out_area,
+                  cols, out_area, 1.0f, wg, col_rows);
+        // dcols = W^T(col_rows, n) * g(n, out_area)
+        ops::Gemm(true, false, col_rows, out_area, n, 1.0f, w_.data(), ld_w,
+                  g, out_area, 0.0f, grad_cols, out_area);
+        ops::Col2Im(grad_cols, m, h, w, k, opts_.stride, opts_.pad,
+                    gid + img * m * h * w);
+        if (bg) {
+          for (int64_t c = 0; c < n; ++c) {
+            const float* plane = g + c * out_area;
+            float acc = 0.0f;
+            for (int64_t p = 0; p < out_area; ++p) acc += plane[p];
+            bg[c] += acc;
+          }
+        }
       }
+    }
+  });
+
+  // In-order reduction into the full-width (strided) gradient tensors.
+  for (int64_t s = 0; s < shards; ++s) {
+    const float* wg = wg_shards + s * wg_size;
+    for (int64_t r = 0; r < n; ++r) {
+      float* dst = w_grad_.data() + r * ld_w;
+      const float* src = wg + r * col_rows;
+      for (int64_t c = 0; c < col_rows; ++c) dst[c] += src[c];
+    }
+    if (bg_shards) {
+      const float* bg = bg_shards + s * n;
+      for (int64_t c = 0; c < n; ++c) b_grad_[c] += bg[c];
     }
   }
   return grad_in;

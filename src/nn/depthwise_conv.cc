@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/tensor/gemm.h"
+
 namespace ms {
 
 DepthwiseConv2d::DepthwiseConv2d(DepthwiseConv2dOptions opts, Rng* rng,
@@ -25,7 +27,6 @@ void DepthwiseConv2d::DoSetSliceRate(double r) {
 }
 
 Tensor DepthwiseConv2d::DoForward(const Tensor& x, bool training) {
-  (void)training;
   MS_CHECK(x.ndim() == 4);
   MS_CHECK_MSG(x.dim(1) == active_channels_,
                "DepthwiseConv2d channels != active prefix");
@@ -36,6 +37,7 @@ Tensor DepthwiseConv2d::DoForward(const Tensor& x, bool training) {
   const int64_t oh = (h + 2 * opts_.pad - k) / opts_.stride + 1;
   const int64_t ow = (w + 2 * opts_.pad - k) / opts_.stride + 1;
   MS_CHECK(oh >= 1 && ow >= 1);
+  (void)training;
   cached_x_ = x;
   cached_h_ = h;
   cached_w_ = w;
@@ -43,11 +45,16 @@ Tensor DepthwiseConv2d::DoForward(const Tensor& x, bool training) {
   last_ow_ = ow;
 
   Tensor y({batch, active_channels_, oh, ow});
-  for (int64_t img = 0; img < batch; ++img) {
-    for (int64_t c = 0; c < active_channels_; ++c) {
-      const float* xc = x.data() + (img * active_channels_ + c) * h * w;
-      const float* wc = w_.data() + c * k * k;
-      float* yc = y.data() + (img * active_channels_ + c) * oh * ow;
+  const float* xd = x.data();
+  float* yd = y.data();
+  // Each (image, channel) plane is independent; parallelize over the
+  // flattened plane index.
+  ops::ParallelForCompute(batch * active_channels_, [&](int64_t p0,
+                                                        int64_t p1) {
+    for (int64_t p = p0; p < p1; ++p) {
+      const float* xc = xd + p * h * w;
+      const float* wc = w_.data() + (p % active_channels_) * k * k;
+      float* yc = yd + p * oh * ow;
       for (int64_t oi = 0; oi < oh; ++oi) {
         for (int64_t oj = 0; oj < ow; ++oj) {
           float acc = 0.0f;
@@ -64,11 +71,13 @@ Tensor DepthwiseConv2d::DoForward(const Tensor& x, bool training) {
         }
       }
     }
-  }
+  });
   return y;
 }
 
 Tensor DepthwiseConv2d::DoBackward(const Tensor& grad_out) {
+  MS_CHECK_MSG(cached_x_.ndim() == 4,
+               "DepthwiseConv2d::Backward requires a prior Forward");
   const int64_t batch = cached_x_.dim(0);
   const int64_t h = cached_h_;
   const int64_t w = cached_w_;
@@ -80,33 +89,40 @@ Tensor DepthwiseConv2d::DoBackward(const Tensor& grad_out) {
 
   Tensor grad_in({batch, active_channels_, h, w});
   grad_in.Zero();
-  for (int64_t img = 0; img < batch; ++img) {
-    for (int64_t c = 0; c < active_channels_; ++c) {
-      const float* xc =
-          cached_x_.data() + (img * active_channels_ + c) * h * w;
-      const float* gc =
-          grad_out.data() + (img * active_channels_ + c) * oh * ow;
+  const float* xd = cached_x_.data();
+  const float* gd = grad_out.data();
+  float* gid = grad_in.data();
+  // Parallel over channels: each channel's w_grad_ row is private to its
+  // shard and images accumulate in index order, so results are bitwise
+  // identical for any thread count. No zero-gradient skip: the scatter must
+  // run even for g == 0 so NaN/Inf in x or w still propagate (g * NaN is
+  // NaN, not 0).
+  ops::ParallelForCompute(active_channels_, [&](int64_t c0, int64_t c1) {
+    for (int64_t c = c0; c < c1; ++c) {
       const float* wc = w_.data() + c * k * k;
       float* wg = w_grad_.data() + c * k * k;
-      float* gi = grad_in.data() + (img * active_channels_ + c) * h * w;
-      for (int64_t oi = 0; oi < oh; ++oi) {
-        for (int64_t oj = 0; oj < ow; ++oj) {
-          const float g = gc[oi * ow + oj];
-          if (g == 0.0f) continue;
-          for (int64_t ki = 0; ki < k; ++ki) {
-            const int64_t ii = oi * opts_.stride - opts_.pad + ki;
-            if (ii < 0 || ii >= h) continue;
-            for (int64_t kj = 0; kj < k; ++kj) {
-              const int64_t jj = oj * opts_.stride - opts_.pad + kj;
-              if (jj < 0 || jj >= w) continue;
-              wg[ki * k + kj] += g * xc[ii * w + jj];
-              gi[ii * w + jj] += g * wc[ki * k + kj];
+      for (int64_t img = 0; img < batch; ++img) {
+        const float* xc = xd + (img * active_channels_ + c) * h * w;
+        const float* gc = gd + (img * active_channels_ + c) * oh * ow;
+        float* gi = gid + (img * active_channels_ + c) * h * w;
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            const float g = gc[oi * ow + oj];
+            for (int64_t ki = 0; ki < k; ++ki) {
+              const int64_t ii = oi * opts_.stride - opts_.pad + ki;
+              if (ii < 0 || ii >= h) continue;
+              for (int64_t kj = 0; kj < k; ++kj) {
+                const int64_t jj = oj * opts_.stride - opts_.pad + kj;
+                if (jj < 0 || jj >= w) continue;
+                wg[ki * k + kj] += g * xc[ii * w + jj];
+                gi[ii * w + jj] += g * wc[ki * k + kj];
+              }
             }
           }
         }
       }
     }
-  }
+  });
   return grad_in;
 }
 

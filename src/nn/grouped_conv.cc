@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/tensor/scratch.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace ms {
@@ -31,7 +32,6 @@ void GroupedConv2d::DoSetSliceRate(double r) {
 }
 
 Tensor GroupedConv2d::DoForward(const Tensor& x, bool training) {
-  (void)training;
   MS_CHECK(x.ndim() == 4);
   MS_CHECK_MSG(x.dim(1) == active_in(),
                "GroupedConv2d channels != active prefix");
@@ -42,6 +42,7 @@ Tensor GroupedConv2d::DoForward(const Tensor& x, bool training) {
   const int64_t oh = (h + 2 * opts_.pad - k) / opts_.stride + 1;
   const int64_t ow = (w + 2 * opts_.pad - k) / opts_.stride + 1;
   MS_CHECK(oh >= 1 && ow >= 1);
+  (void)training;
   cached_x_ = x;
   cached_h_ = h;
   cached_w_ = w;
@@ -51,24 +52,31 @@ Tensor GroupedConv2d::DoForward(const Tensor& x, bool training) {
   const int64_t out_area = oh * ow;
   const int64_t col_rows = in_per_group_ * k * k;
   Tensor y({batch, active_out(), oh, ow});
-  Tensor cols({col_rows, out_area});
-  for (int64_t img = 0; img < batch; ++img) {
-    for (int64_t g = 0; g < active_groups_; ++g) {
-      const float* xg =
-          x.data() + (img * active_in() + g * in_per_group_) * h * w;
-      ops::Im2Col(xg, in_per_group_, h, w, k, opts_.stride, opts_.pad,
-                  cols.data());
-      const float* wg = w_.data() + g * out_per_group_ * col_rows;
-      float* yg = y.data() +
-                  (img * active_out() + g * out_per_group_) * out_area;
-      ops::Gemm(false, false, out_per_group_, out_area, col_rows, 1.0f, wg,
-                col_rows, cols.data(), out_area, 0.0f, yg, out_area);
+  const float* xd = x.data();
+  float* yd = y.data();
+  // Parallel over images; groups run serially inside each shard with one
+  // arena-backed im2col buffer per worker.
+  ops::ParallelForCompute(batch, [&](int64_t b0, int64_t b1) {
+    ScratchArena& arena = ScratchArena::ForThread();
+    ScratchArena::Scope scope(arena);
+    float* cols = arena.Alloc(col_rows * out_area);
+    for (int64_t img = b0; img < b1; ++img) {
+      for (int64_t g = 0; g < active_groups_; ++g) {
+        const float* xg = xd + (img * active_in() + g * in_per_group_) * h * w;
+        ops::Im2Col(xg, in_per_group_, h, w, k, opts_.stride, opts_.pad, cols);
+        const float* wg = w_.data() + g * out_per_group_ * col_rows;
+        float* yg = yd + (img * active_out() + g * out_per_group_) * out_area;
+        ops::Gemm(false, false, out_per_group_, out_area, col_rows, 1.0f, wg,
+                  col_rows, cols, out_area, 0.0f, yg, out_area);
+      }
     }
-  }
+  });
   return y;
 }
 
 Tensor GroupedConv2d::DoBackward(const Tensor& grad_out) {
+  MS_CHECK_MSG(cached_x_.ndim() == 4,
+               "GroupedConv2d::Backward requires a prior Forward");
   const int64_t batch = cached_x_.dim(0);
   const int64_t h = cached_h_;
   const int64_t w = cached_w_;
@@ -81,31 +89,37 @@ Tensor GroupedConv2d::DoBackward(const Tensor& grad_out) {
            grad_out.dim(2) == oh && grad_out.dim(3) == ow);
 
   Tensor grad_in({batch, active_in(), h, w});
-  Tensor cols({col_rows, out_area});
-  Tensor grad_cols({col_rows, out_area});
-  for (int64_t img = 0; img < batch; ++img) {
-    for (int64_t g = 0; g < active_groups_; ++g) {
-      const float* xg = cached_x_.data() +
-                        (img * active_in() + g * in_per_group_) * h * w;
-      const float* gg = grad_out.data() +
-                        (img * active_out() + g * out_per_group_) * out_area;
+  const float* xd = cached_x_.data();
+  const float* gd = grad_out.data();
+  float* gid = grad_in.data();
+  // Parallel over groups: each group owns a disjoint w_grad_ block and
+  // disjoint (img, g) planes of grad_in, and accumulates its images in
+  // index order — deterministic for any thread count.
+  ops::ParallelForCompute(active_groups_, [&](int64_t g0, int64_t g1) {
+    ScratchArena& arena = ScratchArena::ForThread();
+    ScratchArena::Scope scope(arena);
+    float* cols = arena.Alloc(col_rows * out_area);
+    float* grad_cols = arena.Alloc(col_rows * out_area);
+    for (int64_t g = g0; g < g1; ++g) {
       float* wg_grad = w_grad_.data() + g * out_per_group_ * col_rows;
       const float* wg = w_.data() + g * out_per_group_ * col_rows;
-
-      ops::Im2Col(xg, in_per_group_, h, w, k, opts_.stride, opts_.pad,
-                  cols.data());
-      // dW_g += g(out_pg, area) * cols^T(area, col_rows)
-      ops::Gemm(false, true, out_per_group_, col_rows, out_area, 1.0f, gg,
-                out_area, cols.data(), out_area, 1.0f, wg_grad, col_rows);
-      // dcols = W_g^T * g
-      ops::Gemm(true, false, col_rows, out_area, out_per_group_, 1.0f, wg,
-                col_rows, gg, out_area, 0.0f, grad_cols.data(), out_area);
-      ops::Col2Im(grad_cols.data(), in_per_group_, h, w, k, opts_.stride,
-                  opts_.pad,
-                  grad_in.data() +
-                      (img * active_in() + g * in_per_group_) * h * w);
+      for (int64_t img = 0; img < batch; ++img) {
+        const float* xg = xd + (img * active_in() + g * in_per_group_) * h * w;
+        const float* gg =
+            gd + (img * active_out() + g * out_per_group_) * out_area;
+        ops::Im2Col(xg, in_per_group_, h, w, k, opts_.stride, opts_.pad, cols);
+        // dW_g += g(out_pg, area) * cols^T(area, col_rows)
+        ops::Gemm(false, true, out_per_group_, col_rows, out_area, 1.0f, gg,
+                  out_area, cols, out_area, 1.0f, wg_grad, col_rows);
+        // dcols = W_g^T * g
+        ops::Gemm(true, false, col_rows, out_area, out_per_group_, 1.0f, wg,
+                  col_rows, gg, out_area, 0.0f, grad_cols, out_area);
+        ops::Col2Im(grad_cols, in_per_group_, h, w, k, opts_.stride,
+                    opts_.pad,
+                    gid + (img * active_in() + g * in_per_group_) * h * w);
+      }
     }
-  }
+  });
   return grad_in;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/tensor/scratch.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace ms {
@@ -80,7 +81,6 @@ void Gru::HiddenGemm(int gate, const float* h, int64_t batch,
 }
 
 Tensor Gru::DoForward(const Tensor& x, bool training) {
-  (void)training;
   MS_CHECK(x.ndim() == 3);
   const int64_t t_steps = x.dim(0);
   const int64_t batch = x.dim(1);
@@ -88,32 +88,49 @@ Tensor Gru::DoForward(const Tensor& x, bool training) {
   const int64_t m = active_in_;
   const int64_t n = active_hidden_;
 
+  (void)training;
   cached_x_ = x;
   cached_t_ = t_steps;
   cached_b_ = batch;
-  steps_.assign(static_cast<size_t>(t_steps), StepCache{});
+  const int64_t bn = batch * n;
+
+  // Gate pre-activations and the zero initial state live on the arena; the
+  // per-step caches in steps_ are resized in place, so warmed-up iterations
+  // (fixed t_steps/batch) reuse all their storage and allocate nothing.
+  ScratchArena& arena = ScratchArena::ForThread();
+  ScratchArena::Scope scope(arena);
+  float* xr = arena.Alloc(bn);
+  float* xz = arena.Alloc(bn);
+  float* xn = arena.Alloc(bn);
+  float* hr = arena.Alloc(bn);
+  float* hz = arena.Alloc(bn);
+  float* hn = arena.Alloc(bn);
+  const float* zeros = arena.AllocZeroed(bn);
+
+  if (steps_.size() < static_cast<size_t>(t_steps)) {
+    steps_.resize(static_cast<size_t>(t_steps));
+  }
 
   Tensor out({t_steps, batch, n});
-  Tensor h_prev = Tensor::Zeros({batch, n});
-  Tensor xr({batch, n}), xz({batch, n}), xn({batch, n});
-  Tensor hr({batch, n}), hz({batch, n}), hn({batch, n});
-
   for (int64_t t = 0; t < t_steps; ++t) {
     const float* xt = x.data() + t * batch * m;
-    InputGemm(kGateR, xt, batch, xr.data());
-    InputGemm(kGateZ, xt, batch, xz.data());
-    InputGemm(kGateN, xt, batch, xn.data());
-    HiddenGemm(kGateR, h_prev.data(), batch, hr.data());
-    HiddenGemm(kGateZ, h_prev.data(), batch, hz.data());
-    HiddenGemm(kGateN, h_prev.data(), batch, hn.data());
+    const float* h_prev = (t == 0) ? zeros : out.data() + (t - 1) * bn;
+    InputGemm(kGateR, xt, batch, xr);
+    InputGemm(kGateZ, xt, batch, xz);
+    InputGemm(kGateN, xt, batch, xn);
+    HiddenGemm(kGateR, h_prev, batch, hr);
+    HiddenGemm(kGateZ, h_prev, batch, hz);
+    HiddenGemm(kGateN, h_prev, batch, hn);
 
+    float* h_out = out.data() + t * bn;
     StepCache& sc = steps_[static_cast<size_t>(t)];
-    sc.r = Tensor({batch, n});
-    sc.z = Tensor({batch, n});
-    sc.n = Tensor({batch, n});
-    sc.hn = hn;
-    sc.h = Tensor({batch, n});
-    for (int64_t idx = 0; idx < batch * n; ++idx) {
+    sc.r.EnsureShape({batch, n});
+    sc.z.EnsureShape({batch, n});
+    sc.n.EnsureShape({batch, n});
+    sc.hn.EnsureShape({batch, n});
+    sc.h.EnsureShape({batch, n});
+    std::copy(hn, hn + bn, sc.hn.data());
+    for (int64_t idx = 0; idx < bn; ++idx) {
       const float rv = Sigmoid(xr[idx] + hr[idx]);
       const float zv = Sigmoid(xz[idx] + hz[idx]);
       const float nv = std::tanh(xn[idx] + rv * hn[idx]);
@@ -122,9 +139,8 @@ Tensor Gru::DoForward(const Tensor& x, bool training) {
       sc.z[idx] = zv;
       sc.n[idx] = nv;
       sc.h[idx] = hv;
-      out[t * batch * n + idx] = hv;
+      h_out[idx] = hv;
     }
-    h_prev = sc.h;
   }
   return out;
 }
@@ -137,11 +153,20 @@ Tensor Gru::DoBackward(const Tensor& grad_out) {
   MS_CHECK(grad_out.ndim() == 3 && grad_out.dim(0) == t_steps &&
            grad_out.dim(1) == batch && grad_out.dim(2) == n);
 
+  MS_CHECK_MSG(cached_x_.ndim() == 3,
+               "Gru::Backward requires a prior Forward");
   Tensor grad_in({t_steps, batch, m});
-  Tensor dh_next = Tensor::Zeros({batch, n});
+  ScratchArena& arena = ScratchArena::ForThread();
+  ScratchArena::Scope scope(arena);
+  const int64_t bn = batch * n;
+  float* dh_next = arena.AllocZeroed(bn);
   // Pre-activation grads for the three input paths and three hidden paths.
-  Tensor dxr({batch, n}), dxz({batch, n}), dxn({batch, n});
-  Tensor dhr({batch, n}), dhz({batch, n}), dhn({batch, n});
+  float* dxr = arena.Alloc(bn);
+  float* dxz = arena.Alloc(bn);
+  float* dxn = arena.Alloc(bn);
+  float* dhr = arena.Alloc(bn);
+  float* dhz = arena.Alloc(bn);
+  float* dhn = arena.Alloc(bn);
 
   for (int64_t t = t_steps - 1; t >= 0; --t) {
     const StepCache& sc = steps_[static_cast<size_t>(t)];
@@ -180,11 +205,11 @@ Tensor Gru::DoBackward(const Tensor& grad_out) {
     float* dxt = grad_in.data() + t * batch * m;
     std::fill(dxt, dxt + batch * m, 0.0f);
 
-    const Tensor* dx_gates[3] = {&dxr, &dxz, &dxn};
-    const Tensor* dh_gates[3] = {&dhr, &dhz, &dhn};
+    const float* dx_gates[3] = {dxr, dxz, dxn};
+    const float* dh_gates[3] = {dhr, dhz, dhn};
     for (int gate = 0; gate < 3; ++gate) {
-      const float* dzx = dx_gates[gate]->data();
-      const float* dzh = dh_gates[gate]->data();
+      const float* dzx = dx_gates[gate];
+      const float* dzh = dh_gates[gate];
       float* wxg = wx_grad_.data() + gate * opts_.hidden_size *
                                          opts_.input_size;
       float* whg = wh_grad_.data() + gate * opts_.hidden_size *
@@ -216,7 +241,7 @@ Tensor Gru::DoBackward(const Tensor& grad_out) {
       const float* wh =
           wh_.data() + gate * opts_.hidden_size * opts_.hidden_size;
       ops::Gemm(false, false, batch, n, n, rescale_h_, dzh, n, wh,
-                opts_.hidden_size, 1.0f, dh_next.data(), n);
+                opts_.hidden_size, 1.0f, dh_next, n);
     }
   }
   return grad_in;

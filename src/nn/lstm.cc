@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/tensor/scratch.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace ms {
@@ -71,7 +72,6 @@ void Lstm::GateGemm(int gate, const float* x, int64_t m, const float* h,
 }
 
 Tensor Lstm::DoForward(const Tensor& x, bool training) {
-  (void)training;
   MS_CHECK(x.ndim() == 3);
   const int64_t t_steps = x.dim(0);
   const int64_t batch = x.dim(1);
@@ -79,31 +79,47 @@ Tensor Lstm::DoForward(const Tensor& x, bool training) {
   const int64_t m = active_in_;
   const int64_t n = active_hidden_;
 
+  (void)training;
   cached_x_ = x;
   cached_t_ = t_steps;
   cached_b_ = batch;
-  steps_.assign(static_cast<size_t>(t_steps), StepCache{});
+  const int64_t bn = batch * n;
+
+  // Gate pre-activations and the zero initial state live on the arena; the
+  // per-step caches in steps_ are resized in place, so warmed-up iterations
+  // (fixed t_steps/batch) reuse all their storage and allocate nothing.
+  ScratchArena& arena = ScratchArena::ForThread();
+  ScratchArena::Scope scope(arena);
+  float* zi = arena.Alloc(bn);
+  float* zf = arena.Alloc(bn);
+  float* zg = arena.Alloc(bn);
+  float* zo = arena.Alloc(bn);
+  const float* zeros = arena.AllocZeroed(bn);
+
+  if (steps_.size() < static_cast<size_t>(t_steps)) {
+    steps_.resize(static_cast<size_t>(t_steps));
+  }
 
   Tensor out({t_steps, batch, n});
-  Tensor h_prev = Tensor::Zeros({batch, n});
-  Tensor c_prev = Tensor::Zeros({batch, n});
-  Tensor zi({batch, n}), zf({batch, n}), zg({batch, n}), zo({batch, n});
-
+  const float* c_prev = zeros;
   for (int64_t t = 0; t < t_steps; ++t) {
     const float* xt = x.data() + t * batch * m;
-    GateGemm(0, xt, m, h_prev.data(), batch, zi.data());
-    GateGemm(1, xt, m, h_prev.data(), batch, zf.data());
-    GateGemm(2, xt, m, h_prev.data(), batch, zg.data());
-    GateGemm(3, xt, m, h_prev.data(), batch, zo.data());
+    const float* h_prev = (t == 0) ? zeros : out.data() + (t - 1) * bn;
+    GateGemm(0, xt, m, h_prev, batch, zi);
+    GateGemm(1, xt, m, h_prev, batch, zf);
+    GateGemm(2, xt, m, h_prev, batch, zg);
+    GateGemm(3, xt, m, h_prev, batch, zo);
 
+    float* h_out = out.data() + t * bn;
     StepCache& sc = steps_[static_cast<size_t>(t)];
-    sc.i = Tensor({batch, n});
-    sc.f = Tensor({batch, n});
-    sc.g = Tensor({batch, n});
-    sc.o = Tensor({batch, n});
-    sc.c = Tensor({batch, n});
-    sc.tanh_c = Tensor({batch, n});
-    for (int64_t idx = 0; idx < batch * n; ++idx) {
+    sc.i.EnsureShape({batch, n});
+    sc.f.EnsureShape({batch, n});
+    sc.g.EnsureShape({batch, n});
+    sc.o.EnsureShape({batch, n});
+    sc.c.EnsureShape({batch, n});
+    sc.tanh_c.EnsureShape({batch, n});
+    sc.h.EnsureShape({batch, n});
+    for (int64_t idx = 0; idx < bn; ++idx) {
       const float iv = Sigmoid(zi[idx]);
       const float fv = Sigmoid(zf[idx]);
       const float gv = std::tanh(zg[idx]);
@@ -116,13 +132,11 @@ Tensor Lstm::DoForward(const Tensor& x, bool training) {
       sc.o[idx] = ov;
       sc.c[idx] = cv;
       sc.tanh_c[idx] = tc;
-      out[t * batch * n + idx] = ov * tc;
+      const float hv = ov * tc;
+      sc.h[idx] = hv;
+      h_out[idx] = hv;
     }
-    sc.h = Tensor({batch, n});
-    std::copy(out.data() + t * batch * n, out.data() + (t + 1) * batch * n,
-              sc.h.data());
-    h_prev = sc.h;
-    c_prev = sc.c;
+    c_prev = sc.c.data();
   }
   return out;
 }
@@ -135,10 +149,18 @@ Tensor Lstm::DoBackward(const Tensor& grad_out) {
   MS_CHECK(grad_out.ndim() == 3 && grad_out.dim(0) == t_steps &&
            grad_out.dim(1) == batch && grad_out.dim(2) == n);
 
+  MS_CHECK_MSG(cached_x_.ndim() == 3,
+               "Lstm::Backward requires a prior Forward");
   Tensor grad_in({t_steps, batch, m});
-  Tensor dh_next = Tensor::Zeros({batch, n});
-  Tensor dc_next = Tensor::Zeros({batch, n});
-  Tensor dzi({batch, n}), dzf({batch, n}), dzg({batch, n}), dzo({batch, n});
+  ScratchArena& arena = ScratchArena::ForThread();
+  ScratchArena::Scope scope(arena);
+  const int64_t bn = batch * n;
+  float* dh_next = arena.AllocZeroed(bn);
+  float* dc_next = arena.AllocZeroed(bn);
+  float* dzi = arena.Alloc(bn);
+  float* dzf = arena.Alloc(bn);
+  float* dzg = arena.Alloc(bn);
+  float* dzo = arena.Alloc(bn);
 
   for (int64_t t = t_steps - 1; t >= 0; --t) {
     const StepCache& sc = steps_[static_cast<size_t>(t)];
@@ -170,11 +192,11 @@ Tensor Lstm::DoBackward(const Tensor& grad_out) {
     const float* xt = cached_x_.data() + t * batch * m;
     float* dxt = grad_in.data() + t * batch * m;
     std::fill(dxt, dxt + batch * m, 0.0f);
-    dh_next.Zero();
+    std::fill(dh_next, dh_next + bn, 0.0f);
 
-    const Tensor* dzs[4] = {&dzi, &dzf, &dzg, &dzo};
+    const float* dzs[4] = {dzi, dzf, dzg, dzo};
     for (int gate = 0; gate < 4; ++gate) {
-      const float* dz = dzs[gate]->data();
+      const float* dz = dzs[gate];
       float* wxg =
           wx_grad_.data() + gate * opts_.hidden_size * opts_.input_size;
       float* whg =
@@ -200,7 +222,7 @@ Tensor Lstm::DoBackward(const Tensor& grad_out) {
       const float* wh =
           wh_.data() + gate * opts_.hidden_size * opts_.hidden_size;
       ops::Gemm(false, false, batch, n, n, rescale_h_, dz, n, wh,
-                opts_.hidden_size, 1.0f, dh_next.data(), n);
+                opts_.hidden_size, 1.0f, dh_next, n);
     }
   }
   return grad_in;

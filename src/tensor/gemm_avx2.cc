@@ -1,0 +1,119 @@
+// AVX2/FMA 6x16 GEMM microkernel. This translation unit is the only one
+// compiled with -mavx2 -mfma; everything here is gated behind a runtime
+// __builtin_cpu_supports check so an AVX2-enabled build still runs (on the
+// portable kernel) on machines without the instructions.
+#include "src/tensor/gemm_internal.h"
+
+#if defined(MS_GEMM_AVX2)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace ms {
+namespace ops {
+namespace detail {
+namespace {
+
+constexpr int kMr = 6;
+constexpr int kNr = 16;
+
+// acc[6][16] = sum_p apanel(p, 0..5) x bpanel(p, 0..15), contracted with
+// fma: one rounding per multiply-add, accumulated in increasing p. 12 ymm
+// accumulators + 2 B vectors + 1 broadcast stay within the 16 registers.
+void MicroKernel6x16(int64_t k, const float* ap, const float* bp,
+                     float* acc) {
+  __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+  __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+  __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+  __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+  __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+  __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+  for (int64_t p = 0; p < k; ++p) {
+    const __m256 b0 = _mm256_load_ps(bp);
+    const __m256 b1 = _mm256_load_ps(bp + 8);
+    bp += kNr;
+    __m256 a;
+    a = _mm256_broadcast_ss(ap + 0);
+    c00 = _mm256_fmadd_ps(a, b0, c00);
+    c01 = _mm256_fmadd_ps(a, b1, c01);
+    a = _mm256_broadcast_ss(ap + 1);
+    c10 = _mm256_fmadd_ps(a, b0, c10);
+    c11 = _mm256_fmadd_ps(a, b1, c11);
+    a = _mm256_broadcast_ss(ap + 2);
+    c20 = _mm256_fmadd_ps(a, b0, c20);
+    c21 = _mm256_fmadd_ps(a, b1, c21);
+    a = _mm256_broadcast_ss(ap + 3);
+    c30 = _mm256_fmadd_ps(a, b0, c30);
+    c31 = _mm256_fmadd_ps(a, b1, c31);
+    a = _mm256_broadcast_ss(ap + 4);
+    c40 = _mm256_fmadd_ps(a, b0, c40);
+    c41 = _mm256_fmadd_ps(a, b1, c41);
+    a = _mm256_broadcast_ss(ap + 5);
+    c50 = _mm256_fmadd_ps(a, b0, c50);
+    c51 = _mm256_fmadd_ps(a, b1, c51);
+    ap += kMr;
+  }
+  _mm256_store_ps(acc + 0 * kNr, c00);
+  _mm256_store_ps(acc + 0 * kNr + 8, c01);
+  _mm256_store_ps(acc + 1 * kNr, c10);
+  _mm256_store_ps(acc + 1 * kNr + 8, c11);
+  _mm256_store_ps(acc + 2 * kNr, c20);
+  _mm256_store_ps(acc + 2 * kNr + 8, c21);
+  _mm256_store_ps(acc + 3 * kNr, c30);
+  _mm256_store_ps(acc + 3 * kNr + 8, c31);
+  _mm256_store_ps(acc + 4 * kNr, c40);
+  _mm256_store_ps(acc + 4 * kNr + 8, c41);
+  _mm256_store_ps(acc + 5 * kNr, c50);
+  _mm256_store_ps(acc + 5 * kNr + 8, c51);
+}
+
+// Scalar oracle with the fma contraction: acc = fma(alpha*a, b, acc) in
+// increasing p, one beta merge. With -mfma std::fmaf lowers to vfmadd, so
+// this matches MicroKernel6x16 bitwise.
+void GemmRefFma(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                float alpha, const float* a, int64_t lda, const float* b,
+                int64_t ldb, float beta, float* c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a[p * lda + i] : a[i * lda + p];
+        const float bv = trans_b ? b[j * ldb + p] : b[p * ldb + j];
+        acc = std::fmaf(alpha * av, bv, acc);
+      }
+      float* cij = c + i * ldc + j;
+      *cij = (beta == 0.0f) ? acc
+                            : (beta == 1.0f ? *cij + acc
+                                            : beta * *cij + acc);
+    }
+  }
+}
+
+}  // namespace
+
+const MicroKernelDesc* Avx2Kernel() {
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  static const MicroKernelDesc desc{kMr, kNr, &MicroKernel6x16,
+                                    &GemmRefFma};
+  return supported ? &desc : nullptr;
+}
+
+}  // namespace detail
+}  // namespace ops
+}  // namespace ms
+
+#else  // !MS_GEMM_AVX2
+
+namespace ms {
+namespace ops {
+namespace detail {
+
+const MicroKernelDesc* Avx2Kernel() { return nullptr; }
+
+}  // namespace detail
+}  // namespace ops
+}  // namespace ms
+
+#endif  // MS_GEMM_AVX2

@@ -1,0 +1,42 @@
+// Private interface between the GEMM driver (gemm.cc) and the optional
+// AVX2/FMA microkernel translation unit (gemm_avx2.cc, compiled with
+// -mavx2 -mfma only when CMake's feature check passes).
+#ifndef MODELSLICING_TENSOR_GEMM_INTERNAL_H_
+#define MODELSLICING_TENSOR_GEMM_INTERNAL_H_
+
+#include <cstdint>
+
+namespace ms {
+namespace ops {
+namespace detail {
+
+using GemmRefFn = void (*)(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                           int64_t k, float alpha, const float* a,
+                           int64_t lda, const float* b, int64_t ldb,
+                           float beta, float* c, int64_t ldc);
+
+/// A register-tiled microkernel plus the scalar reference implementing the
+/// same floating-point contraction (mul+add for the portable kernel,
+/// single-rounding fma for the AVX2 kernel), so Gemm and GemmRef stay
+/// bitwise identical within a build flavor.
+struct MicroKernelDesc {
+  int mr;  ///< rows per register tile
+  int nr;  ///< cols per register tile
+  /// acc[mr*nr] (row-major, stride nr) = sum over p of apanel * bpanel,
+  /// accumulated in increasing p. apanel: k*mr floats, panel-major
+  /// (p-th group holds mr row values, alpha pre-applied, zero padded).
+  /// bpanel: k*nr floats (p-th group holds nr column values, zero padded).
+  void (*kernel)(int64_t k, const float* apanel, const float* bpanel,
+                 float* acc);
+  GemmRefFn ref;
+};
+
+/// The AVX2/FMA kernel, or nullptr when not compiled in (MS_ENABLE_AVX2
+/// off / unsupported compiler) or the CPU lacks AVX2+FMA at runtime.
+const MicroKernelDesc* Avx2Kernel();
+
+}  // namespace detail
+}  // namespace ops
+}  // namespace ms
+
+#endif  // MODELSLICING_TENSOR_GEMM_INTERNAL_H_

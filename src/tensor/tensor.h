@@ -125,6 +125,16 @@ class Tensor {
     shape_ = std::move(new_shape);
   }
 
+  /// Take on `shape`, reallocating only when the element count grows past
+  /// the current capacity. Existing values are not preserved. Lets
+  /// per-step caches (RNN StepCache, conv activations) be reused across
+  /// iterations without heap churn once warmed up.
+  void EnsureShape(std::vector<int64_t> shape) {
+    const int64_t n = NumElements(shape);
+    shape_ = std::move(shape);
+    if (n != size()) data_.resize(static_cast<size_t>(n));
+  }
+
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
 
   std::string ShapeString() const {

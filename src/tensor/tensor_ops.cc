@@ -7,110 +7,10 @@
 
 namespace ms {
 namespace ops {
-namespace {
 
-// Register-blocked inner kernel for the non-transposed case: row-major
-// C(M,N) += A(M,K) * B(K,N). Processes 4 rows of A at a time, streaming B.
-void GemmNN(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
-            int64_t lda, const float* b, int64_t ldb, float* c, int64_t ldc) {
-  int64_t i = 0;
-  for (; i + 4 <= m; i += 4) {
-    const float* a0 = a + (i + 0) * lda;
-    const float* a1 = a + (i + 1) * lda;
-    const float* a2 = a + (i + 2) * lda;
-    const float* a3 = a + (i + 3) * lda;
-    float* c0 = c + (i + 0) * ldc;
-    float* c1 = c + (i + 1) * ldc;
-    float* c2 = c + (i + 2) * ldc;
-    float* c3 = c + (i + 3) * ldc;
-    for (int64_t p = 0; p < k; ++p) {
-      const float* brow = b + p * ldb;
-      const float v0 = alpha * a0[p];
-      const float v1 = alpha * a1[p];
-      const float v2 = alpha * a2[p];
-      const float v3 = alpha * a3[p];
-      for (int64_t j = 0; j < n; ++j) {
-        const float bj = brow[j];
-        c0[j] += v0 * bj;
-        c1[j] += v1 * bj;
-        c2[j] += v2 * bj;
-        c3[j] += v3 * bj;
-      }
-    }
-  }
-  for (; i < m; ++i) {
-    const float* ai = a + i * lda;
-    float* ci = c + i * ldc;
-    for (int64_t p = 0; p < k; ++p) {
-      const float v = alpha * ai[p];
-      const float* brow = b + p * ldb;
-      for (int64_t j = 0; j < n; ++j) ci[j] += v * brow[j];
-    }
-  }
-}
-
-}  // namespace
-
-void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
-          float alpha, const float* a, int64_t lda, const float* b,
-          int64_t ldb, float beta, float* c, int64_t ldc) {
-  // Scale / clear C first.
-  if (beta == 0.0f) {
-    for (int64_t i = 0; i < m; ++i) {
-      std::memset(c + i * ldc, 0, static_cast<size_t>(n) * sizeof(float));
-    }
-  } else if (beta != 1.0f) {
-    for (int64_t i = 0; i < m; ++i) {
-      float* ci = c + i * ldc;
-      for (int64_t j = 0; j < n; ++j) ci[j] *= beta;
-    }
-  }
-
-  if (!trans_a && !trans_b) {
-    GemmNN(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-    return;
-  }
-  // General (slower) path for transposed operands; used by backward passes
-  // where one operand is transposed. Loop order keeps B accesses streaming.
-  if (trans_a && !trans_b) {
-    // C(M,N) += A^T, A is (K,M): a[p*lda + i]
-    for (int64_t p = 0; p < k; ++p) {
-      const float* arow = a + p * lda;
-      const float* brow = b + p * ldb;
-      for (int64_t i = 0; i < m; ++i) {
-        const float v = alpha * arow[i];
-        if (v == 0.0f) continue;
-        float* ci = c + i * ldc;
-        for (int64_t j = 0; j < n; ++j) ci[j] += v * brow[j];
-      }
-    }
-    return;
-  }
-  if (!trans_a && trans_b) {
-    // B is (N,K): b[j*ldb + p]; dot products of rows.
-    for (int64_t i = 0; i < m; ++i) {
-      const float* ai = a + i * lda;
-      float* ci = c + i * ldc;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* bj = b + j * ldb;
-        float acc = 0.0f;
-        for (int64_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-        ci[j] += alpha * acc;
-      }
-    }
-    return;
-  }
-  // trans_a && trans_b
-  for (int64_t i = 0; i < m; ++i) {
-    float* ci = c + i * ldc;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* bj = b + j * ldb;
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += a[p * lda + i] * bj[p];
-      ci[j] += alpha * acc;
-    }
-  }
-}
+// Gemm / GemmRef live in gemm.cc (packed, cache-blocked, thread-parallel
+// kernel layer). This file keeps the Tensor-level convenience wrappers and
+// the remaining im2col/pooling/elementwise kernels.
 
 void MatMul(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
             Tensor* out, float beta) {

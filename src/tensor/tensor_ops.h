@@ -6,16 +6,11 @@
 
 #include <functional>
 
+#include "src/tensor/gemm.h"
 #include "src/tensor/tensor.h"
 
 namespace ms {
 namespace ops {
-
-/// C = alpha * op(A) * op(B) + beta * C, where op is optional transpose.
-/// A is (M x K) after op, B is (K x N) after op, C is (M x N).
-void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
-          float alpha, const float* a, int64_t lda, const float* b,
-          int64_t ldb, float beta, float* c, int64_t ldc);
 
 /// Convenience GEMM on Tensors; shapes must already agree.
 /// a: (M,K) or (K,M) if trans_a; b: (K,N) or (N,K) if trans_b; out: (M,N).

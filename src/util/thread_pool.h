@@ -1,6 +1,11 @@
-// Fixed-size thread pool with a ParallelFor helper used by matmul/conv when
-// batch sizes are large. Work is partitioned statically so results are
-// deterministic regardless of scheduling.
+// Fixed-size thread pool with a ParallelFor helper. The GEMM kernel layer
+// (src/tensor/gemm.h) owns a process-wide instance of this pool for
+// compute parallelism; the serving engine owns separate per-server worker
+// pools. Work is partitioned statically so results are deterministic
+// regardless of scheduling, and ParallelFor degrades to an inline call when
+// invoked from inside any pool worker, so nested parallel sections (a conv
+// batch shard running a GEMM, a serving worker running a forward) serialize
+// instead of deadlocking or oversubscribing the machine.
 #ifndef MODELSLICING_UTIL_THREAD_POOL_H_
 #define MODELSLICING_UTIL_THREAD_POOL_H_
 
@@ -48,9 +53,21 @@ class ThreadPool {
     cv_.notify_one();
   }
 
+  /// True on any ThreadPool worker thread (of any pool instance). Used to
+  /// serialize nested parallel sections: a task that itself calls
+  /// ParallelFor must not block a worker waiting on shards that only other
+  /// workers could run.
+  static bool InWorkerThread() { return tls_in_worker_; }
+
   /// Run fn(begin, end) over disjoint static partitions of [0, n) and wait.
+  /// Runs fn(0, n) inline when called from a pool worker (see
+  /// InWorkerThread) or when the pool has a single thread.
   void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
     if (n <= 0) return;
+    if (tls_in_worker_) {
+      fn(0, n);
+      return;
+    }
     const int64_t shards =
         std::min<int64_t>(n, static_cast<int64_t>(workers_.size()));
     if (shards <= 1) {
@@ -74,17 +91,9 @@ class ThreadPool {
     done_cv.wait(lock, [&] { return remaining == 0; });
   }
 
-  /// Process-wide pool sized to the hardware, created on first use.
-  static ThreadPool& Global() {
-    static ThreadPool pool(
-        std::max(1u, std::thread::hardware_concurrency()) > 2
-            ? static_cast<int>(std::thread::hardware_concurrency()) - 1
-            : 1);
-    return pool;
-  }
-
  private:
   void WorkerLoop() {
+    tls_in_worker_ = true;
     for (;;) {
       std::function<void()> task;
       {
@@ -97,6 +106,8 @@ class ThreadPool {
       task();
     }
   }
+
+  static inline thread_local bool tls_in_worker_ = false;
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

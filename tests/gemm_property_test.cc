@@ -1,19 +1,31 @@
-// Randomized property testing of the GEMM kernel against a reference
-// implementation, across shapes, transposes, strides (prefix slices) and
-// alpha/beta — the kernel every layer depends on.
+// Oracle suite for the packed GEMM kernel layer (src/tensor/gemm.{h,cc}).
+//
+// The contract under test (gemm.h, DESIGN.md "Kernel layer"):
+//   * Gemm == GemmRef bitwise, for every shape, transpose combination,
+//     alpha/beta, leading-dim padding, and thread count.
+//   * Results are bitwise identical across thread counts (fixed tile grid,
+//     disjoint output tiles, one accumulation order).
+//   * Padding columns beyond n are never touched.
+//   * NaN/Inf propagate: no value-based skips anywhere in the kernel.
+// A separate double-precision reference guards GemmRef itself against
+// gross error (tolerance-based, since its accumulation order differs).
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
 
 #include "gtest/gtest.h"
-#include "src/tensor/tensor_ops.h"
+#include "src/tensor/gemm.h"
+#include "src/tensor/tensor.h"
 #include "src/util/rng.h"
 
 namespace ms {
 namespace {
 
-// Reference: C = alpha * op(A) op(B) + beta * C with explicit leading dims.
-void RefGemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, float alpha,
-             const float* a, int64_t lda, const float* b, int64_t ldb,
-             float beta, float* c, int64_t ldc) {
+// Double-accumulation sanity reference; NOT bitwise comparable to Gemm.
+void RefGemmF64(bool ta, bool tb, int64_t m, int64_t n, int64_t k,
+                float alpha, const float* a, int64_t lda, const float* b,
+                int64_t ldb, float beta, float* c, int64_t ldc) {
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t j = 0; j < n; ++j) {
       double acc = 0.0;
@@ -28,65 +40,223 @@ void RefGemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, float alpha,
   }
 }
 
-TEST(GemmProperty, RandomShapesStridesAndScalars) {
+struct Problem {
+  bool ta, tb;
+  int64_t m, n, k, lda, ldb, ldc;
+  float alpha, beta;
+};
+
+// Runs Gemm on a copy of c and expects bitwise equality with GemmRef,
+// including untouched padding columns.
+void ExpectMatchesRef(const Problem& p, const Tensor& a, const Tensor& b,
+                      const Tensor& c0) {
+  Tensor c = c0;
+  Tensor c_ref = c0;
+  ops::Gemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a.data(), p.lda, b.data(),
+            p.ldb, p.beta, c.data(), p.ldc);
+  ops::GemmRef(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a.data(), p.lda, b.data(),
+               p.ldb, p.beta, c_ref.data(), p.ldc);
+  // memcmp over the full (m, ldc) block covers both the logical output and
+  // the padding, and treats NaN patterns exactly.
+  ASSERT_EQ(std::memcmp(c.data(), c_ref.data(),
+                        static_cast<size_t>(p.m * p.ldc) * sizeof(float)),
+            0)
+      << "ta=" << p.ta << " tb=" << p.tb << " m=" << p.m << " n=" << p.n
+      << " k=" << p.k << " lda=" << p.lda << " ldb=" << p.ldb
+      << " ldc=" << p.ldc << " alpha=" << p.alpha << " beta=" << p.beta;
+}
+
+Problem RandomSmallProblem(Rng* rng) {
+  static const float kScalars[] = {0.0f, 1.0f, 0.5f, -2.0f};
+  Problem p;
+  p.ta = rng->Bernoulli(0.5);
+  p.tb = rng->Bernoulli(0.5);
+  p.m = 1 + static_cast<int64_t>(rng->UniformInt(17));
+  p.n = 1 + static_cast<int64_t>(rng->UniformInt(17));
+  p.k = 1 + static_cast<int64_t>(rng->UniformInt(17));
+  p.lda = (p.ta ? p.m : p.k) + static_cast<int64_t>(rng->UniformInt(4));
+  p.ldb = (p.tb ? p.k : p.n) + static_cast<int64_t>(rng->UniformInt(4));
+  p.ldc = p.n + static_cast<int64_t>(rng->UniformInt(4));
+  p.alpha = kScalars[rng->UniformInt(4)];
+  p.beta = kScalars[rng->UniformInt(4)];
+  return p;
+}
+
+TEST(GemmOracle, SmallShapesAllTransposesExactVsRef) {
+  ops::SetComputeThreads(1);
   Rng rng(12345);
-  for (int trial = 0; trial < 60; ++trial) {
-    const bool ta = rng.Bernoulli(0.5);
-    const bool tb = rng.Bernoulli(0.5);
-    const int64_t m = 1 + static_cast<int64_t>(rng.UniformInt(12));
-    const int64_t n = 1 + static_cast<int64_t>(rng.UniformInt(12));
-    const int64_t k = 1 + static_cast<int64_t>(rng.UniformInt(12));
-    // Leading dims >= logical extent: models prefix-sliced weight matrices.
-    const int64_t lda = (ta ? m : k) + static_cast<int64_t>(rng.UniformInt(4));
-    const int64_t ldb = (tb ? k : n) + static_cast<int64_t>(rng.UniformInt(4));
-    const int64_t ldc = n + static_cast<int64_t>(rng.UniformInt(4));
-    const float alpha = static_cast<float>(rng.Uniform(-2.0, 2.0));
-    const float beta = rng.Bernoulli(0.5)
-                           ? 0.0f
-                           : static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (int trial = 0; trial < 200; ++trial) {
+    Problem p = RandomSmallProblem(&rng);
+    Tensor a = Tensor::Randn({p.ta ? p.k : p.m, p.lda}, &rng);
+    Tensor b = Tensor::Randn({p.tb ? p.n : p.k, p.ldb}, &rng);
+    Tensor c0 = Tensor::Randn({p.m, p.ldc}, &rng);
+    ExpectMatchesRef(p, a, b, c0);
+  }
+}
 
-    const int64_t a_rows = ta ? k : m;
-    const int64_t b_rows = tb ? n : k;
-    Tensor a = Tensor::Randn({a_rows, lda}, &rng);
-    Tensor b = Tensor::Randn({b_rows, ldb}, &rng);
-    Tensor c = Tensor::Randn({m, ldc}, &rng);
-    Tensor c_ref = c;
-
-    ops::Gemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta,
-              c.data(), ldc);
-    RefGemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta,
-            c_ref.data(), ldc);
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < n; ++j) {
-        EXPECT_NEAR(c[i * ldc + j], c_ref[i * ldc + j], 1e-3f)
-            << "trial " << trial << " ta=" << ta << " tb=" << tb << " m=" << m
-            << " n=" << n << " k=" << k;
-      }
-      // Padding beyond column n must be untouched.
-      for (int64_t j = n; j < ldc; ++j) {
-        EXPECT_EQ(c[i * ldc + j], c_ref[i * ldc + j]);
+TEST(GemmOracle, PackedPathShapesExactVsRef) {
+  // One dimension large enough to leave the tiny-problem GemmRef fallback,
+  // plus sizes straddling the kMC=64 / kNC=240 block boundaries and the
+  // 4x8 / 6x16 microkernel tiles.
+  ops::SetComputeThreads(1);
+  Rng rng(777);
+  const int64_t sizes[] = {1, 5, 63, 64, 65, 239, 240, 241};
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      for (const int64_t m : sizes) {
+        for (const int64_t n : sizes) {
+          const int64_t k = 40;  // 2*m*n*k >= 1<<14 for most pairs
+          Problem p{ta,    tb,  m,    n,
+                    k,     0,   0,    0,
+                    -2.0f, 0.5f};
+          p.lda = (ta ? m : k) + 3;
+          p.ldb = (tb ? k : n) + 2;
+          p.ldc = n + 5;
+          Tensor a = Tensor::Randn({ta ? k : m, p.lda}, &rng);
+          Tensor b = Tensor::Randn({tb ? n : k, p.ldb}, &rng);
+          Tensor c0 = Tensor::Randn({m, p.ldc}, &rng);
+          ExpectMatchesRef(p, a, b, c0);
+        }
       }
     }
   }
 }
 
-TEST(GemmProperty, DegenerateSizes) {
-  // 1x1x1 and long-thin shapes.
+TEST(GemmOracle, BitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(99);
+  // Large enough to engage the parallel path (2*m*n*k >= 1<<20) with
+  // remainder tiles in both block dimensions.
+  const int64_t m = 150, n = 250, k = 70;
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      const int64_t lda = (ta ? m : k) + 1;
+      const int64_t ldb = (tb ? k : n) + 1;
+      const int64_t ldc = n + 1;
+      Tensor a = Tensor::Randn({ta ? k : m, lda}, &rng);
+      Tensor b = Tensor::Randn({tb ? n : k, ldb}, &rng);
+      Tensor c0 = Tensor::Randn({m, ldc}, &rng);
+
+      std::vector<Tensor> results;
+      for (const int threads : {1, 2, 8}) {
+        ops::SetComputeThreads(threads);
+        Tensor c = c0;
+        ops::Gemm(ta, tb, m, n, k, 0.5f, a.data(), lda, b.data(), ldb, 1.0f,
+                  c.data(), ldc);
+        results.push_back(std::move(c));
+      }
+      ops::SetComputeThreads(1);
+      for (size_t i = 1; i < results.size(); ++i) {
+        EXPECT_EQ(std::memcmp(results[0].data(), results[i].data(),
+                              static_cast<size_t>(m * ldc) * sizeof(float)),
+                  0)
+            << "ta=" << ta << " tb=" << tb << " thread variant " << i;
+      }
+      // And the threaded result still equals the scalar oracle.
+      Tensor c_ref = c0;
+      ops::GemmRef(ta, tb, m, n, k, 0.5f, a.data(), lda, b.data(), ldb, 1.0f,
+                   c_ref.data(), ldc);
+      EXPECT_EQ(std::memcmp(results[0].data(), c_ref.data(),
+                            static_cast<size_t>(m * ldc) * sizeof(float)),
+                0)
+          << "ta=" << ta << " tb=" << tb;
+    }
+  }
+}
+
+TEST(GemmOracle, NanAndInfPropagate) {
+  // Regression for a fallback that skipped k-iterations where an A value
+  // was exactly 0.0f: 0 * NaN must stay NaN, 0 * Inf must stay NaN.
+  ops::SetComputeThreads(1);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      for (const float poison : {nan, inf}) {
+        const int64_t m = 3, n = 4, k = 5;
+        Tensor a = Tensor::Full({ta ? k : m, ta ? m : k}, 0.0f);
+        Tensor b = Tensor::Full({tb ? n : k, tb ? k : n}, 1.0f);
+        // Poison one B entry at k-index 2, column 1.
+        if (tb) {
+          b.at2(1, 2) = poison;
+        } else {
+          b.at2(2, 1) = poison;
+        }
+        Tensor c({m, n});
+        ops::Gemm(ta, tb, m, n, k, 1.0f, a.data(), ta ? m : k, b.data(),
+                  tb ? k : n, 0.0f, c.data(), n);
+        for (int64_t i = 0; i < m; ++i) {
+          EXPECT_TRUE(std::isnan(c.at2(i, 1)))
+              << "ta=" << ta << " tb=" << tb << " poison=" << poison
+              << " row=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmOracle, BetaZeroIgnoresPoisonedC) {
+  // beta == 0 must overwrite C without reading it: NaN in C stays out.
+  ops::SetComputeThreads(1);
+  Rng rng(5);
+  const int64_t m = 9, n = 11, k = 40;
+  Tensor a = Tensor::Randn({m, k}, &rng);
+  Tensor b = Tensor::Randn({k, n}, &rng);
+  Tensor c = Tensor::Full({m, n}, std::numeric_limits<float>::quiet_NaN());
+  ops::Gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+            c.data(), n);
+  for (int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(c[i])) << "index " << i;
+  }
+}
+
+TEST(GemmOracle, RefAgreesWithDoubleAccumulation) {
+  // Guards GemmRef itself: single-precision ordered accumulation must stay
+  // close to a float64 reference on moderate shapes.
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    Problem p = RandomSmallProblem(&rng);
+    Tensor a = Tensor::Randn({p.ta ? p.k : p.m, p.lda}, &rng);
+    Tensor b = Tensor::Randn({p.tb ? p.n : p.k, p.ldb}, &rng);
+    Tensor c = Tensor::Randn({p.m, p.ldc}, &rng);
+    Tensor c_ref = c;
+    ops::GemmRef(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a.data(), p.lda,
+                 b.data(), p.ldb, p.beta, c.data(), p.ldc);
+    RefGemmF64(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a.data(), p.lda, b.data(),
+               p.ldb, p.beta, c_ref.data(), p.ldc);
+    for (int64_t i = 0; i < p.m; ++i) {
+      for (int64_t j = 0; j < p.n; ++j) {
+        EXPECT_NEAR(c[i * p.ldc + j], c_ref[i * p.ldc + j], 1e-3f)
+            << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(GemmOracle, DegenerateSizes) {
+  ops::SetComputeThreads(1);
   Rng rng(7);
   for (auto [m, n, k] : {std::tuple<int64_t, int64_t, int64_t>{1, 1, 1},
                          {1, 16, 1},
                          {16, 1, 16},
-                         {1, 1, 32}}) {
-    Tensor a = Tensor::Randn({m, k}, &rng);
-    Tensor b = Tensor::Randn({k, n}, &rng);
-    Tensor c({m, n});
-    Tensor c_ref({m, n});
-    ops::Gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
-              c.data(), n);
-    RefGemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
-            c_ref.data(), n);
+                         {1, 1, 32},
+                         {0, 4, 4},
+                         {4, 0, 4},
+                         {4, 4, 0}}) {
+    Tensor a = Tensor::Randn({std::max<int64_t>(m, 1), std::max<int64_t>(k, 1)},
+                             &rng);
+    Tensor b = Tensor::Randn({std::max<int64_t>(k, 1), std::max<int64_t>(n, 1)},
+                             &rng);
+    const int64_t lda = std::max<int64_t>(k, 1);
+    const int64_t ldb = std::max<int64_t>(n, 1);
+    const int64_t ldc = std::max<int64_t>(n, 1);
+    Tensor c({std::max<int64_t>(m, 1), ldc});
+    Tensor c_ref = c;
+    ops::Gemm(false, false, m, n, k, 1.0f, a.data(), lda, b.data(), ldb, 0.0f,
+              c.data(), ldc);
+    ops::GemmRef(false, false, m, n, k, 1.0f, a.data(), lda, b.data(), ldb,
+                 0.0f, c_ref.data(), ldc);
     for (int64_t i = 0; i < c.size(); ++i) {
-      EXPECT_NEAR(c[i], c_ref[i], 1e-4f);
+      EXPECT_EQ(c[i], c_ref[i]) << "m=" << m << " n=" << n << " k=" << k;
     }
   }
 }
