@@ -1,8 +1,11 @@
 // GEMM kernel microbenchmark: packed/threaded Gemm vs the scalar GemmRef
 // oracle across the shapes the layers actually produce — square, skinny
 // (im2col panels), and sliced-prefix problems at r in {0.25, 0.5, 1.0}
-// where the leading dimensions stay at full width. Prints GFLOP/s and the
-// speedup over GemmRef, and records each configuration as a gauge so the
+// where the leading dimensions stay at full width. A second section times
+// the prepacked-weight path (prepack.h): serving-shaped skinny batches
+// (M <= 8, packed W reused per call, no A packing) and the LSTM recurrent
+// reuse case where one packed U serves all T timesteps. Prints GFLOP/s and
+// speedups, and records each configuration as a gauge so the
 // MS_BENCH_METRICS_OUT JSONL artifact captures the numbers in CI.
 #include <chrono>
 #include <cstdio>
@@ -11,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "src/tensor/gemm.h"
+#include "src/tensor/prepack.h"
 #include "src/tensor/tensor.h"
 #include "src/util/rng.h"
 
@@ -108,6 +112,104 @@ int Main() {
     }
     std::printf(" %8.1fx\n", one_thread_gfs / ref_gfs);
   }
+
+  // -------------------------------------------------------------------------
+  // Prepacked weights: y = x * W^T with W packed once (the Dense/LSTM/GRU
+  // serving path). Gemm re-packs W every call; GemmPrepackedB reuses the
+  // panels, and at M <= 8 also skips packing x. Single-threaded — the
+  // serving engine parallelizes across batches, not within them.
+  bench::PrintTitle("prepacked W^T (512x512): per-call Gemm vs GemmPrepackedB");
+  std::printf("%-14s %10s %12s %9s\n", "shape", "gemm us", "prepacked us",
+              "speedup");
+  bench::PrintRule();
+  ops::SetComputeThreads(1);
+  {
+    const int64_t n = 512, k = 512;
+    Tensor w = Tensor::Randn({n, k}, &rng);  // Dense layout: (out, in)
+    ops::PackedMatrix pack;
+    ops::PackB(/*trans_b=*/true, k, n, w.data(), k, &pack);
+    for (const int64_t m : {1, 2, 4, 8, 32}) {
+      Tensor x = Tensor::Randn({m, k}, &rng);
+      Tensor y({m, n});
+      auto time_loop = [&](auto&& call) {
+        call();  // warmup
+        int iters = 0;
+        const auto start = Clock::now();
+        double elapsed = 0.0;
+        while (elapsed < min_s || iters < 3) {
+          call();
+          ++iters;
+          elapsed =
+              std::chrono::duration<double>(Clock::now() - start).count();
+        }
+        return elapsed / iters;
+      };
+      const double t_gemm = time_loop([&] {
+        ops::Gemm(false, true, m, n, k, 1.0f, x.data(), k, w.data(), k, 0.0f,
+                  y.data(), n);
+      });
+      const double t_pre = time_loop([&] {
+        ops::GemmPrepackedB(false, m, n, k, 1.0f, x.data(), k, pack, 0.0f,
+                            y.data(), n);
+      });
+      const std::string label = "prepack-b" + std::to_string(m);
+      std::printf("%-14s %10.1f %12.1f %8.2fx%s\n", label.c_str(),
+                  t_gemm * 1e6, t_pre * 1e6, t_gemm / t_pre,
+                  m <= 8 ? "  (serving batch)" : "");
+      registry.GetGauge("bench_gemm." + label + ".gemm_us")
+          ->Set(t_gemm * 1e6);
+      registry.GetGauge("bench_gemm." + label + ".prepacked_us")
+          ->Set(t_pre * 1e6);
+      registry.GetGauge("bench_gemm." + label + ".speedup")
+          ->Set(t_gemm / t_pre);
+    }
+  }
+
+  // LSTM recurrent reuse: per timestep each gate runs z += h * U_g^T with
+  // the same U_g — T timesteps amortize one pack per gate. H=512, batch 4.
+  {
+    const int64_t batch = 4, hidden = 512;
+    const int num_gates = 4;
+    const int T = bench::FastMode() ? 8 : 32;
+    std::vector<Tensor> u;
+    std::vector<ops::PackedMatrix> upack(num_gates);
+    for (int g = 0; g < num_gates; ++g) {
+      u.push_back(Tensor::Randn({hidden, hidden}, &rng));
+      ops::PackB(true, hidden, hidden, u[g].data(), hidden, &upack[g]);
+    }
+    Tensor h = Tensor::Randn({batch, hidden}, &rng);
+    Tensor z({batch, hidden});
+    auto time_seq = [&](bool prepacked) {
+      int iters = 0;
+      const auto start = Clock::now();
+      double elapsed = 0.0;
+      while (elapsed < min_s || iters < 3) {
+        for (int t = 0; t < T; ++t) {
+          for (int g = 0; g < num_gates; ++g) {
+            if (prepacked) {
+              ops::GemmPrepackedB(false, batch, hidden, hidden, 1.0f,
+                                  h.data(), hidden, upack[g], 0.0f, z.data(),
+                                  hidden);
+            } else {
+              ops::Gemm(false, true, batch, hidden, hidden, 1.0f, h.data(),
+                        hidden, u[g].data(), hidden, 0.0f, z.data(), hidden);
+            }
+          }
+        }
+        ++iters;
+        elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+      }
+      return elapsed / iters;
+    };
+    const double t_gemm = time_seq(false);
+    const double t_pre = time_seq(true);
+    std::printf("%-14s %10.1f %12.1f %8.2fx  (T=%d, 4 gates)\n",
+                "lstm-gates", t_gemm * 1e6, t_pre * 1e6, t_gemm / t_pre, T);
+    registry.GetGauge("bench_gemm.lstm-gates.gemm_us")->Set(t_gemm * 1e6);
+    registry.GetGauge("bench_gemm.lstm-gates.prepacked_us")->Set(t_pre * 1e6);
+    registry.GetGauge("bench_gemm.lstm-gates.speedup")->Set(t_gemm / t_pre);
+  }
+  ops::PublishPackMetrics();
   return 0;
 }
 

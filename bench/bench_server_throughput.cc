@@ -3,8 +3,16 @@
 // through a steady load with a 16x spike tick — the paper's extreme
 // volatility case (Sec. 1 / 4.1) — and checks that the engine absorbs it:
 //   - the queue depth returns to baseline within 3 ticks of the spike;
-//   - shed + served accounts for 100% of submitted requests.
-// Exits non-zero if either property fails, so CI smoke runs enforce it.
+//   - shed + served accounts for 100% of submitted requests;
+//   - steady-state serving never packs weights: prewarming at Start()
+//     builds every (replica, rate) pack, so TotalPackCount() must stay
+//     flat across the whole loaded run (at most one stray pack tolerated
+//     per replica x trained rate would hide a regression — zero is
+//     enforced).
+// Exits non-zero if any property fails, so CI smoke runs enforce them.
+// Also reports cold-start (first forward, pack included) vs warm per-sample
+// time and the batch latency p50/p99, and exports the ms_gemm_pack_*
+// gauges.
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -12,6 +20,7 @@
 #include "bench/bench_util.h"
 #include "src/models/mlp.h"
 #include "src/serving/server.h"
+#include "src/tensor/prepack.h"
 
 namespace ms {
 namespace {
@@ -74,6 +83,14 @@ int Main() {
       SliceServer::Create(MakeReplicas(2), BaseOptions(budget, max_queue))
           .MoveValueOrDie();
   if (!server->Start().ok()) return 1;
+  std::printf("cold start %.1f us/sample (packs + first-touch), warm %.1f "
+              "us/sample\n",
+              server->cold_start_sample_seconds() * 1e6,
+              server->calibrated_sample_seconds() * 1e6);
+
+  // Start() calibrated and prewarmed every (replica, rate); from here on
+  // the serving path must never pack a weight again.
+  const uint64_t packs_at_steady = ops::TotalPackCount();
 
   const int num_ticks = bench::FastMode() ? 14 : 24;
   const int spike_tick = bench::FastMode() ? 5 : 8;
@@ -109,8 +126,33 @@ int Main() {
       static_cast<long long>(s.served), s.served / wall,
       static_cast<long long>(s.shed), static_cast<long long>(s.expired),
       s.min_rate, s.max_batch_seconds * 1e3);
+  auto& registry = obs::MetricsRegistry::Global();
+  const auto* lat = registry.GetHistogram("ms_server_batch_latency_ms",
+                                          obs::LatencyBucketsMs());
+  std::printf("batch latency p50 %.2f ms, p99 %.2f ms (%lld batches)\n",
+              lat->Percentile(50), lat->Percentile(99),
+              static_cast<long long>(lat->count()));
+  ops::PublishPackMetrics();
+  const ops::PackStats packs = ops::GetPackStats();
+  std::printf("weight packs: %llu total (%llu floats), %llu cache hits, "
+              "%llu prepacked GEMM calls\n",
+              static_cast<unsigned long long>(packs.packs),
+              static_cast<unsigned long long>(packs.packed_floats),
+              static_cast<unsigned long long>(packs.hits),
+              static_cast<unsigned long long>(packs.prepacked_calls));
 
   int rc = 0;
+  const uint64_t packs_after = ops::TotalPackCount();
+  if (packs_after != packs_at_steady) {
+    std::printf("FAIL: steady-state serving packed weights %llu time(s) "
+                "after prewarm — the pack cache went stale or was missed\n",
+                static_cast<unsigned long long>(packs_after -
+                                                packs_at_steady));
+    rc = 1;
+  } else {
+    std::printf("steady state packed zero weights (prewarm covered all "
+                "replica x rate packs)\n");
+  }
   if (recovered_after < 0 || recovered_after > 3) {
     std::printf("FAIL: queue depth did not return to baseline (%lld) within "
                 "3 ticks of the spike (recovered after %d)\n",

@@ -71,6 +71,9 @@ Tensor Conv2d::DoForward(const Tensor& x, bool training) {
   Tensor y({batch, n, oh, ow});
   const float* xd = x.data();
   float* yd = y.data();
+  // Pack W once, outside the parallel region (workers then only read).
+  ops::EnsurePackedA(/*trans_a=*/false, opts_.out_channels, ld_w, w_.data(),
+                     ld_w, &wpack_);
   // Parallel over images: each worker owns an im2col buffer from its own
   // arena; output planes are disjoint. With batch == 1 the single shard
   // runs on the caller, where the GEMM itself may go parallel.
@@ -81,10 +84,11 @@ Tensor Conv2d::DoForward(const Tensor& x, bool training) {
     for (int64_t img = b0; img < b1; ++img) {
       ops::Im2Col(xd + img * m * h * w, m, h, w, k, opts_.stride, opts_.pad,
                   cols);
-      // y_img(n, out_area) = W[0:n, 0:m*k*k] * cols. Full row stride keeps
-      // the inactive input-channel columns out of the product.
-      ops::Gemm(false, false, n, out_area, col_rows, 1.0f, w_.data(), ld_w,
-                cols, out_area, 0.0f, yd + img * n * out_area, out_area);
+      // y_img(n, out_area) = W[0:n, 0:m*k*k] * cols. The prefix of the
+      // full-stride pack keeps the inactive input-channel columns out.
+      ops::GemmPrepackedA(n, out_area, col_rows, wpack_, false, cols,
+                          out_area, 0.0f, yd + img * n * out_area,
+                          out_area);
       if (opts_.bias) {
         float* yi = yd + img * n * out_area;
         for (int64_t c = 0; c < n; ++c) {
@@ -133,6 +137,9 @@ Tensor Conv2d::DoBackward(const Tensor& grad_out) {
   const float* xd = cached_x_.data();
   const float* gd = grad_out.data();
   float* gid = grad_in.data();
+  // dcols consumes op(A) = W^T; pack once before the shard fan-out.
+  ops::EnsurePackedA(/*trans_a=*/true, ld_w, opts_.out_channels, w_.data(),
+                     ld_w, &wpack_t_);
   ops::ParallelForCompute(shards, [&](int64_t s0, int64_t s1) {
     ScratchArena& warena = ScratchArena::ForThread();
     ScratchArena::Scope wscope(warena);
@@ -153,8 +160,8 @@ Tensor Conv2d::DoBackward(const Tensor& grad_out) {
         ops::Gemm(false, true, n, col_rows, out_area, 1.0f, g, out_area,
                   cols, out_area, 1.0f, wg, col_rows);
         // dcols = W^T(col_rows, n) * g(n, out_area)
-        ops::Gemm(true, false, col_rows, out_area, n, 1.0f, w_.data(), ld_w,
-                  g, out_area, 0.0f, grad_cols, out_area);
+        ops::GemmPrepackedA(col_rows, out_area, n, wpack_t_, false, g,
+                            out_area, 0.0f, grad_cols, out_area);
         ops::Col2Im(grad_cols, m, h, w, k, opts_.stride, opts_.pad,
                     gid + img * m * h * w);
         if (bg) {
@@ -169,15 +176,22 @@ Tensor Conv2d::DoBackward(const Tensor& grad_out) {
     }
   });
 
-  // In-order reduction into the full-width (strided) gradient tensors.
-  for (int64_t s = 0; s < shards; ++s) {
-    const float* wg = wg_shards + s * wg_size;
-    for (int64_t r = 0; r < n; ++r) {
-      float* dst = w_grad_.data() + r * ld_w;
-      const float* src = wg + r * col_rows;
-      for (int64_t c = 0; c < col_rows; ++c) dst[c] += src[c];
+  // Reduction into the full-width (strided) gradient tensors, parallel
+  // over destination rows. Each row still sums its shards in ascending s
+  // — the serial order — so the result is bitwise identical at any
+  // thread count.
+  float* wgd = w_grad_.data();
+  ops::ParallelForCompute(n, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      float* dst = wgd + r * ld_w;
+      for (int64_t s = 0; s < shards; ++s) {
+        const float* src = wg_shards + s * wg_size + r * col_rows;
+        for (int64_t c = 0; c < col_rows; ++c) dst[c] += src[c];
+      }
     }
-    if (bg_shards) {
+  });
+  if (bg_shards) {
+    for (int64_t s = 0; s < shards; ++s) {
       const float* bg = bg_shards + s * n;
       for (int64_t c = 0; c < n; ++c) b_grad_[c] += bg[c];
     }

@@ -6,6 +6,7 @@
 
 #include "src/nn/module.h"
 #include "src/nn/slice_spec.h"
+#include "src/tensor/prepack.h"
 #include "src/tensor/tensor_ops.h"
 #include "src/util/rng.h"
 
@@ -48,7 +49,12 @@ class Conv2d : public Module {
   /// Weight matrix (out_channels, in_channels * k * k); exposed for the
   /// channel-pruning baseline which rebuilds compact networks.
   const Tensor& weight() const { return w_; }
-  Tensor* mutable_weight() { return &w_; }
+  /// Write-intent accessor: bumps the weight generation so prepacked
+  /// panels (see prepack.h) can never serve the old values.
+  Tensor* mutable_weight() {
+    ops::BumpWeightGeneration();
+    return &w_;
+  }
   const Tensor& bias() const { return b_; }
   Tensor* mutable_bias() { return &b_; }
 
@@ -64,6 +70,13 @@ class Conv2d : public Module {
   Tensor b_;
   Tensor w_grad_;
   Tensor b_grad_;
+
+  // Prepacked full-size W panels in the GEMM's A role (W is the left
+  // operand of the im2col product); sliced channels read a prefix.
+  // Ensured BEFORE the batch-parallel regions so workers share them
+  // read-only. _t = W^T for the backward dcols path.
+  ops::PackedMatrix wpack_;
+  ops::PackedMatrix wpack_t_;
 
   Tensor cached_x_;       ///< compact input (B, m, H, W)
   int64_t cached_h_ = 0;

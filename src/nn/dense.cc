@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/tensor/gemm.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace ms {
@@ -53,14 +54,21 @@ Tensor Dense::DoForward(const Tensor& x, bool training) {
   cached_x_ = x;
 
   Tensor y({batch, n});
-  // y(B,n) = x(B,m) * W[0:n, 0:m]^T
-  ops::Gemm(/*trans_a=*/false, /*trans_b=*/true, batch, n, m, rescale_factor_,
-            x.data(), m, w_.data(), opts_.in_features, 0.0f, y.data(), n);
+  // y(B,n) = x(B,m) * W[0:n, 0:m]^T — W^T packed once, sliced by prefix.
+  ops::EnsurePackedB(/*trans_b=*/true, opts_.in_features,
+                     opts_.out_features, w_.data(), opts_.in_features,
+                     &wpack_t_);
+  ops::GemmPrepackedB(/*trans_a=*/false, batch, n, m, rescale_factor_,
+                      x.data(), m, wpack_t_, 0.0f, y.data(), n);
   if (opts_.bias) {
-    for (int64_t i = 0; i < batch; ++i) {
-      float* row = y.data() + i * n;
-      for (int64_t j = 0; j < n; ++j) row[j] += b_[j];
-    }
+    const float* bias = b_.data();
+    float* yd = y.data();
+    ops::ParallelForCompute(batch, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        float* row = yd + i * n;
+        for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
+      }
+    });
   }
   return y;
 }
@@ -77,17 +85,27 @@ Tensor Dense::DoBackward(const Tensor& grad_out) {
             rescale_factor_, grad_out.data(), n, cached_x_.data(), m, 1.0f,
             w_grad_.data(), opts_.in_features);
   if (opts_.bias) {
-    for (int64_t i = 0; i < batch; ++i) {
-      const float* row = grad_out.data() + i * n;
-      for (int64_t j = 0; j < n; ++j) b_grad_[j] += row[j];
-    }
+    // Column-sharded reduction: each task owns columns [j0, j1) and sums
+    // rows in ascending i — the serial order — so the result is bitwise
+    // identical at any thread count.
+    const float* gd = grad_out.data();
+    float* bg = b_grad_.data();
+    ops::ParallelForCompute(n, [&](int64_t j0, int64_t j1) {
+      for (int64_t i = 0; i < batch; ++i) {
+        const float* row = gd + i * n;
+        for (int64_t j = j0; j < j1; ++j) bg[j] += row[j];
+      }
+    });
   }
 
   // dx(B,m) = g(B,n) * W[0:n, 0:m]
   Tensor grad_in({batch, m});
-  ops::Gemm(/*trans_a=*/false, /*trans_b=*/false, batch, m, n,
-            rescale_factor_, grad_out.data(), n, w_.data(),
-            opts_.in_features, 0.0f, grad_in.data(), m);
+  ops::EnsurePackedB(/*trans_b=*/false, opts_.out_features,
+                     opts_.in_features, w_.data(), opts_.in_features,
+                     &wpack_nt_);
+  ops::GemmPrepackedB(/*trans_a=*/false, batch, m, n, rescale_factor_,
+                      grad_out.data(), n, wpack_nt_, 0.0f, grad_in.data(),
+                      m);
   return grad_in;
 }
 

@@ -6,6 +6,7 @@
 
 #include "src/nn/module.h"
 #include "src/nn/slice_spec.h"
+#include "src/tensor/prepack.h"
 #include "src/util/rng.h"
 
 namespace ms {
@@ -48,7 +49,12 @@ class Dense : public Module {
   int64_t active_in() const { return active_in_units_ * opts_.in_unit; }
   int64_t active_out() const { return active_out_; }
   const Tensor& weight() const { return w_; }
-  Tensor* mutable_weight() { return &w_; }
+  /// Write-intent accessor: bumps the weight generation so prepacked
+  /// panels (see prepack.h) can never serve the old values.
+  Tensor* mutable_weight() {
+    ops::BumpWeightGeneration();
+    return &w_;
+  }
   const Tensor& bias() const { return b_; }
   Tensor* mutable_bias() { return &b_; }
   const DenseOptions& options() const { return opts_; }
@@ -68,6 +74,12 @@ class Dense : public Module {
 
   Tensor cached_x_;  ///< compact input from last Forward.
   float rescale_factor_ = 1.0f;
+
+  // Prepacked full-size W panels; any slice rate reads a prefix. Two
+  // flavors because forward consumes op(B) = W^T and backward-dx op(B)
+  // = W. Rebuilt lazily when the weight generation advances.
+  ops::PackedMatrix wpack_t_;   ///< trans_b = true (forward)
+  ops::PackedMatrix wpack_nt_;  ///< trans_b = false (backward dx)
 };
 
 }  // namespace ms

@@ -1,5 +1,6 @@
 #include "src/nn/depthwise_conv.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/tensor/gemm.h"
@@ -47,6 +48,16 @@ Tensor DepthwiseConv2d::DoForward(const Tensor& x, bool training) {
   Tensor y({batch, active_channels_, oh, ow});
   const float* xd = x.data();
   float* yd = y.data();
+  const int64_t stride = opts_.stride;
+  const int64_t pad = opts_.pad;
+  // Interior outputs — those whose k x k window lies fully inside the
+  // input — take a bounds-check-free inner loop; only the border rows and
+  // columns keep the checked loop. Both variants accumulate in the same
+  // (ki, kj) ascending order, so the result is bitwise unchanged.
+  const int64_t oi_lo = (pad + stride - 1) / stride;
+  const int64_t oi_hi = std::min<int64_t>(oh - 1, (h - k + pad) / stride);
+  const int64_t oj_lo = oi_lo;  // same pad/stride in both dimensions
+  const int64_t oj_hi = std::min<int64_t>(ow - 1, (w - k + pad) / stride);
   // Each (image, channel) plane is independent; parallelize over the
   // flattened plane index.
   ops::ParallelForCompute(batch * active_channels_, [&](int64_t p0,
@@ -55,20 +66,38 @@ Tensor DepthwiseConv2d::DoForward(const Tensor& x, bool training) {
       const float* xc = xd + p * h * w;
       const float* wc = w_.data() + (p % active_channels_) * k * k;
       float* yc = yd + p * oh * ow;
+      auto checked_pixel = [&](int64_t oi, int64_t oj) {
+        float acc = 0.0f;
+        for (int64_t ki = 0; ki < k; ++ki) {
+          const int64_t ii = oi * stride - pad + ki;
+          if (ii < 0 || ii >= h) continue;
+          for (int64_t kj = 0; kj < k; ++kj) {
+            const int64_t jj = oj * stride - pad + kj;
+            if (jj < 0 || jj >= w) continue;
+            acc += xc[ii * w + jj] * wc[ki * k + kj];
+          }
+        }
+        yc[oi * ow + oj] = acc;
+      };
       for (int64_t oi = 0; oi < oh; ++oi) {
-        for (int64_t oj = 0; oj < ow; ++oj) {
+        const bool row_interior = oi >= oi_lo && oi <= oi_hi;
+        if (!row_interior || oj_lo > oj_hi) {
+          for (int64_t oj = 0; oj < ow; ++oj) checked_pixel(oi, oj);
+          continue;
+        }
+        for (int64_t oj = 0; oj < oj_lo; ++oj) checked_pixel(oi, oj);
+        const int64_t ii0 = oi * stride - pad;
+        for (int64_t oj = oj_lo; oj <= oj_hi; ++oj) {
+          const float* win = xc + ii0 * w + (oj * stride - pad);
           float acc = 0.0f;
           for (int64_t ki = 0; ki < k; ++ki) {
-            const int64_t ii = oi * opts_.stride - opts_.pad + ki;
-            if (ii < 0 || ii >= h) continue;
-            for (int64_t kj = 0; kj < k; ++kj) {
-              const int64_t jj = oj * opts_.stride - opts_.pad + kj;
-              if (jj < 0 || jj >= w) continue;
-              acc += xc[ii * w + jj] * wc[ki * k + kj];
-            }
+            const float* xrow = win + ki * w;
+            const float* wrow = wc + ki * k;
+            for (int64_t kj = 0; kj < k; ++kj) acc += xrow[kj] * wrow[kj];
           }
           yc[oi * ow + oj] = acc;
         }
+        for (int64_t oj = oj_hi + 1; oj < ow; ++oj) checked_pixel(oi, oj);
       }
     }
   });

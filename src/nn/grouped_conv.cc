@@ -54,6 +54,15 @@ Tensor GroupedConv2d::DoForward(const Tensor& x, bool training) {
   Tensor y({batch, active_out(), oh, ow});
   const float* xd = x.data();
   float* yd = y.data();
+  // Pack the active branches' weights once, before the fan-out.
+  if (wpacks_.size() < static_cast<size_t>(opts_.groups)) {
+    wpacks_.resize(static_cast<size_t>(opts_.groups));
+  }
+  for (int64_t g = 0; g < active_groups_; ++g) {
+    ops::EnsurePackedA(/*trans_a=*/false, out_per_group_, col_rows,
+                       w_.data() + g * out_per_group_ * col_rows, col_rows,
+                       &wpacks_[static_cast<size_t>(g)]);
+  }
   // Parallel over images; groups run serially inside each shard with one
   // arena-backed im2col buffer per worker.
   ops::ParallelForCompute(batch, [&](int64_t b0, int64_t b1) {
@@ -64,10 +73,10 @@ Tensor GroupedConv2d::DoForward(const Tensor& x, bool training) {
       for (int64_t g = 0; g < active_groups_; ++g) {
         const float* xg = xd + (img * active_in() + g * in_per_group_) * h * w;
         ops::Im2Col(xg, in_per_group_, h, w, k, opts_.stride, opts_.pad, cols);
-        const float* wg = w_.data() + g * out_per_group_ * col_rows;
         float* yg = yd + (img * active_out() + g * out_per_group_) * out_area;
-        ops::Gemm(false, false, out_per_group_, out_area, col_rows, 1.0f, wg,
-                  col_rows, cols, out_area, 0.0f, yg, out_area);
+        ops::GemmPrepackedA(out_per_group_, out_area, col_rows,
+                            wpacks_[static_cast<size_t>(g)], false, cols,
+                            out_area, 0.0f, yg, out_area);
       }
     }
   });
@@ -92,6 +101,15 @@ Tensor GroupedConv2d::DoBackward(const Tensor& grad_out) {
   const float* xd = cached_x_.data();
   const float* gd = grad_out.data();
   float* gid = grad_in.data();
+  // dcols consumes op(A) = W_g^T; pack the active branches up front.
+  if (wpacks_t_.size() < static_cast<size_t>(opts_.groups)) {
+    wpacks_t_.resize(static_cast<size_t>(opts_.groups));
+  }
+  for (int64_t g = 0; g < active_groups_; ++g) {
+    ops::EnsurePackedA(/*trans_a=*/true, col_rows, out_per_group_,
+                       w_.data() + g * out_per_group_ * col_rows, col_rows,
+                       &wpacks_t_[static_cast<size_t>(g)]);
+  }
   // Parallel over groups: each group owns a disjoint w_grad_ block and
   // disjoint (img, g) planes of grad_in, and accumulates its images in
   // index order — deterministic for any thread count.
@@ -102,7 +120,6 @@ Tensor GroupedConv2d::DoBackward(const Tensor& grad_out) {
     float* grad_cols = arena.Alloc(col_rows * out_area);
     for (int64_t g = g0; g < g1; ++g) {
       float* wg_grad = w_grad_.data() + g * out_per_group_ * col_rows;
-      const float* wg = w_.data() + g * out_per_group_ * col_rows;
       for (int64_t img = 0; img < batch; ++img) {
         const float* xg = xd + (img * active_in() + g * in_per_group_) * h * w;
         const float* gg =
@@ -112,8 +129,9 @@ Tensor GroupedConv2d::DoBackward(const Tensor& grad_out) {
         ops::Gemm(false, true, out_per_group_, col_rows, out_area, 1.0f, gg,
                   out_area, cols, out_area, 1.0f, wg_grad, col_rows);
         // dcols = W_g^T * g
-        ops::Gemm(true, false, col_rows, out_area, out_per_group_, 1.0f, wg,
-                  col_rows, gg, out_area, 0.0f, grad_cols, out_area);
+        ops::GemmPrepackedA(col_rows, out_area, out_per_group_,
+                            wpacks_t_[static_cast<size_t>(g)], false, gg,
+                            out_area, 0.0f, grad_cols, out_area);
         ops::Col2Im(grad_cols, in_per_group_, h, w, k, opts_.stride,
                     opts_.pad,
                     gid + (img * active_in() + g * in_per_group_) * h * w);

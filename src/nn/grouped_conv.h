@@ -8,9 +8,11 @@
 #define MODELSLICING_NN_GROUPED_CONV_H_
 
 #include <string>
+#include <vector>
 
 #include "src/nn/module.h"
 #include "src/nn/slice_spec.h"
+#include "src/tensor/prepack.h"
 #include "src/util/rng.h"
 
 namespace ms {
@@ -53,6 +55,12 @@ class GroupedConv2d : public Module {
 
   Tensor w_;       ///< (groups, out_per_group, in_per_group * k * k) flat.
   Tensor w_grad_;
+
+  // One prepacked W_g per branch (slicing keeps whole branches, so each
+  // pack is always used at full extents); ensured before the parallel
+  // regions. _t = W_g^T for the backward dcols path.
+  std::vector<ops::PackedMatrix> wpacks_;
+  std::vector<ops::PackedMatrix> wpacks_t_;
 
   Tensor cached_x_;
   int64_t cached_h_ = 0, cached_w_ = 0, last_oh_ = 0, last_ow_ = 0;

@@ -57,10 +57,9 @@ void Gru::DoSetSliceRate(double r) {
 void Gru::InputGemm(int gate, const float* x, int64_t batch, float* z) const {
   const int64_t n = active_hidden_;
   const int64_t m = active_in_;
-  const float* wx = wx_.data() + gate * opts_.hidden_size * opts_.input_size;
   const float* bias = bx_.data() + gate * opts_.hidden_size;
-  ops::Gemm(false, true, batch, n, m, rescale_x_, x, m, wx, opts_.input_size,
-            0.0f, z, n);
+  ops::GemmPrepackedB(false, batch, n, m, rescale_x_, x, m,
+                      wx_pack_t_[gate], 0.0f, z, n);
   for (int64_t b = 0; b < batch; ++b) {
     float* row = z + b * n;
     for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
@@ -70,10 +69,9 @@ void Gru::InputGemm(int gate, const float* x, int64_t batch, float* z) const {
 void Gru::HiddenGemm(int gate, const float* h, int64_t batch,
                      float* z) const {
   const int64_t n = active_hidden_;
-  const float* wh = wh_.data() + gate * opts_.hidden_size * opts_.hidden_size;
   const float* bias = bh_.data() + gate * opts_.hidden_size;
-  ops::Gemm(false, true, batch, n, n, rescale_h_, h, n, wh,
-            opts_.hidden_size, 0.0f, z, n);
+  ops::GemmPrepackedB(false, batch, n, n, rescale_h_, h, n,
+                      wh_pack_t_[gate], 0.0f, z, n);
   for (int64_t b = 0; b < batch; ++b) {
     float* row = z + b * n;
     for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
@@ -93,6 +91,19 @@ Tensor Gru::DoForward(const Tensor& x, bool training) {
   cached_t_ = t_steps;
   cached_b_ = batch;
   const int64_t bn = batch * n;
+
+  // Pack each gate's Wx/Wh once up front (a cache hit in steady state);
+  // all T timesteps below reuse the panels.
+  for (int gate = 0; gate < 3; ++gate) {
+    ops::EnsurePackedB(
+        true, opts_.input_size, opts_.hidden_size,
+        wx_.data() + gate * opts_.hidden_size * opts_.input_size,
+        opts_.input_size, &wx_pack_t_[gate]);
+    ops::EnsurePackedB(
+        true, opts_.hidden_size, opts_.hidden_size,
+        wh_.data() + gate * opts_.hidden_size * opts_.hidden_size,
+        opts_.hidden_size, &wh_pack_t_[gate]);
+  }
 
   // Gate pre-activations and the zero initial state live on the arena; the
   // per-step caches in steps_ are resized in place, so warmed-up iterations
@@ -155,6 +166,17 @@ Tensor Gru::DoBackward(const Tensor& grad_out) {
 
   MS_CHECK_MSG(cached_x_.ndim() == 3,
                "Gru::Backward requires a prior Forward");
+  // dx/dh consume op(B) = W; pack once, reuse across the reverse sweep.
+  for (int gate = 0; gate < 3; ++gate) {
+    ops::EnsurePackedB(
+        false, opts_.hidden_size, opts_.input_size,
+        wx_.data() + gate * opts_.hidden_size * opts_.input_size,
+        opts_.input_size, &wx_pack_nt_[gate]);
+    ops::EnsurePackedB(
+        false, opts_.hidden_size, opts_.hidden_size,
+        wh_.data() + gate * opts_.hidden_size * opts_.hidden_size,
+        opts_.hidden_size, &wh_pack_nt_[gate]);
+  }
   Tensor grad_in({t_steps, batch, m});
   ScratchArena& arena = ScratchArena::ForThread();
   ScratchArena::Scope scope(arena);
@@ -224,10 +246,8 @@ Tensor Gru::DoBackward(const Tensor& grad_out) {
         const float* row = dzx + b * n;
         for (int64_t j = 0; j < n; ++j) bxg[j] += row[j];
       }
-      const float* wx =
-          wx_.data() + gate * opts_.hidden_size * opts_.input_size;
-      ops::Gemm(false, false, batch, m, n, rescale_x_, dzx, n, wx,
-                opts_.input_size, 1.0f, dxt, m);
+      ops::GemmPrepackedB(false, batch, m, n, rescale_x_, dzx, n,
+                          wx_pack_nt_[gate], 1.0f, dxt, m);
 
       // Hidden path.
       if (h_prev != nullptr) {
@@ -238,10 +258,8 @@ Tensor Gru::DoBackward(const Tensor& grad_out) {
         const float* row = dzh + b * n;
         for (int64_t j = 0; j < n; ++j) bhg[j] += row[j];
       }
-      const float* wh =
-          wh_.data() + gate * opts_.hidden_size * opts_.hidden_size;
-      ops::Gemm(false, false, batch, n, n, rescale_h_, dzh, n, wh,
-                opts_.hidden_size, 1.0f, dh_next, n);
+      ops::GemmPrepackedB(false, batch, n, n, rescale_h_, dzh, n,
+                          wh_pack_nt_[gate], 1.0f, dh_next, n);
     }
   }
   return grad_in;

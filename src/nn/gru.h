@@ -10,6 +10,7 @@
 
 #include "src/nn/module.h"
 #include "src/nn/slice_spec.h"
+#include "src/tensor/prepack.h"
 #include "src/util/rng.h"
 
 namespace ms {
@@ -66,6 +67,11 @@ class Gru : public Module {
   Tensor bx_;  ///< (3 * hidden)
   Tensor bh_;  ///< (3 * hidden)
   Tensor wx_grad_, wh_grad_, bx_grad_, bh_grad_;
+
+  // Prepacked gate blocks (see Lstm): _t = W^T for forward, _nt = W for
+  // the backward dx/dh path; the recurrent packs amortize over all T.
+  ops::PackedMatrix wx_pack_t_[3], wh_pack_t_[3];
+  ops::PackedMatrix wx_pack_nt_[3], wh_pack_nt_[3];
 
   struct StepCache {
     Tensor r, z, n;   ///< gate activations, (B, active_hidden) each

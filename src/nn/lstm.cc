@@ -56,15 +56,13 @@ void Lstm::DoSetSliceRate(double r) {
 void Lstm::GateGemm(int gate, const float* x, int64_t m, const float* h,
                     int64_t batch, float* z) const {
   const int64_t n = active_hidden_;
-  const float* wx = wx_.data() + gate * opts_.hidden_size * opts_.input_size;
-  const float* wh = wh_.data() + gate * opts_.hidden_size * opts_.hidden_size;
   const float* bias = b_.data() + gate * opts_.hidden_size;
   // z(B, n) = rescale_x * x(B, m) * Wx[0:n, 0:m]^T
-  ops::Gemm(false, true, batch, n, m, rescale_x_, x, m, wx,
-            opts_.input_size, 0.0f, z, n);
+  ops::GemmPrepackedB(false, batch, n, m, rescale_x_, x, m,
+                      wx_pack_t_[gate], 0.0f, z, n);
   // z += rescale_h * h(B, n) * Wh[0:n, 0:n]^T
-  ops::Gemm(false, true, batch, n, n, rescale_h_, h, n, wh,
-            opts_.hidden_size, 1.0f, z, n);
+  ops::GemmPrepackedB(false, batch, n, n, rescale_h_, h, n,
+                      wh_pack_t_[gate], 1.0f, z, n);
   for (int64_t bi = 0; bi < batch; ++bi) {
     float* row = z + bi * n;
     for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
@@ -84,6 +82,19 @@ Tensor Lstm::DoForward(const Tensor& x, bool training) {
   cached_t_ = t_steps;
   cached_b_ = batch;
   const int64_t bn = batch * n;
+
+  // Pack each gate's Wx/Wh once up front (a cache hit in steady state);
+  // every one of the T timesteps below then reuses the panels.
+  for (int gate = 0; gate < 4; ++gate) {
+    ops::EnsurePackedB(
+        true, opts_.input_size, opts_.hidden_size,
+        wx_.data() + gate * opts_.hidden_size * opts_.input_size,
+        opts_.input_size, &wx_pack_t_[gate]);
+    ops::EnsurePackedB(
+        true, opts_.hidden_size, opts_.hidden_size,
+        wh_.data() + gate * opts_.hidden_size * opts_.hidden_size,
+        opts_.hidden_size, &wh_pack_t_[gate]);
+  }
 
   // Gate pre-activations and the zero initial state live on the arena; the
   // per-step caches in steps_ are resized in place, so warmed-up iterations
@@ -151,6 +162,18 @@ Tensor Lstm::DoBackward(const Tensor& grad_out) {
 
   MS_CHECK_MSG(cached_x_.ndim() == 3,
                "Lstm::Backward requires a prior Forward");
+  // dx/dh consume op(B) = W (untransposed); pack once, reuse across the
+  // T-step reverse sweep.
+  for (int gate = 0; gate < 4; ++gate) {
+    ops::EnsurePackedB(
+        false, opts_.hidden_size, opts_.input_size,
+        wx_.data() + gate * opts_.hidden_size * opts_.input_size,
+        opts_.input_size, &wx_pack_nt_[gate]);
+    ops::EnsurePackedB(
+        false, opts_.hidden_size, opts_.hidden_size,
+        wh_.data() + gate * opts_.hidden_size * opts_.hidden_size,
+        opts_.hidden_size, &wh_pack_nt_[gate]);
+  }
   Tensor grad_in({t_steps, batch, m});
   ScratchArena& arena = ScratchArena::ForThread();
   ScratchArena::Scope scope(arena);
@@ -214,15 +237,11 @@ Tensor Lstm::DoBackward(const Tensor& grad_out) {
         for (int64_t j = 0; j < n; ++j) bg[j] += row[j];
       }
       // dx += rescale_x * dz(B, n) * Wx[0:n, 0:m]
-      const float* wx =
-          wx_.data() + gate * opts_.hidden_size * opts_.input_size;
-      ops::Gemm(false, false, batch, m, n, rescale_x_, dz, n, wx,
-                opts_.input_size, 1.0f, dxt, m);
+      ops::GemmPrepackedB(false, batch, m, n, rescale_x_, dz, n,
+                          wx_pack_nt_[gate], 1.0f, dxt, m);
       // dh_prev += rescale_h * dz(B, n) * Wh[0:n, 0:n]
-      const float* wh =
-          wh_.data() + gate * opts_.hidden_size * opts_.hidden_size;
-      ops::Gemm(false, false, batch, n, n, rescale_h_, dz, n, wh,
-                opts_.hidden_size, 1.0f, dh_next, n);
+      ops::GemmPrepackedB(false, batch, n, n, rescale_h_, dz, n,
+                          wh_pack_nt_[gate], 1.0f, dh_next, n);
     }
   }
   return grad_in;

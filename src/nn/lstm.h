@@ -8,6 +8,7 @@
 
 #include "src/nn/module.h"
 #include "src/nn/slice_spec.h"
+#include "src/tensor/prepack.h"
 #include "src/util/rng.h"
 
 namespace ms {
@@ -59,6 +60,13 @@ class Lstm : public Module {
   Tensor wh_;  ///< (4 * hidden, hidden)
   Tensor b_;   ///< (4 * hidden)
   Tensor wx_grad_, wh_grad_, b_grad_;
+
+  // Prepacked gate blocks, one per gate because the stacked [i,f,g,o]
+  // rows are not a slice prefix of the full matrix. The recurrent
+  // wh_pack_ is the biggest win: it is reused across all T timesteps.
+  // _t = op(B) is W^T (forward); _nt = op(B) is W (backward dx/dh).
+  ops::PackedMatrix wx_pack_t_[4], wh_pack_t_[4];
+  ops::PackedMatrix wx_pack_nt_[4], wh_pack_nt_[4];
 
   // Per-timestep caches from the last Forward (compact widths).
   struct StepCache {

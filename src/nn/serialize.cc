@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <fstream>
 
+#include "src/tensor/prepack.h"
+
 namespace ms {
 namespace {
 
@@ -93,6 +95,8 @@ Status LoadParams(const std::vector<ParamRef>& params,
       return Status::IoError("truncated payload for " + p.name);
     }
   }
+  // Weights were overwritten in place: any prepacked panels are now stale.
+  ops::BumpWeightGeneration();
   return Status::OK();
 }
 
@@ -119,6 +123,8 @@ Status CopyParams(Module* from, Module* to) {
     }
     *dst[i].param = *src[i].param;
   }
+  // The destination module's weights changed under its prepacked panels.
+  ops::BumpWeightGeneration();
   return Status::OK();
 }
 

@@ -1,16 +1,34 @@
 #include "src/optim/sgd.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "src/tensor/gemm.h"
+#include "src/tensor/prepack.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace ms {
+namespace {
+/// Elements per update shard. The per-element update is independent, so
+/// any partition is bitwise identical; a fixed shard size (not the thread
+/// count) just bounds task granularity so small models don't fan out.
+constexpr int64_t kShardElems = 1 << 14;
+}  // namespace
 
 Sgd::Sgd(std::vector<ParamRef> params, SgdOptions opts)
     : params_(std::move(params)), opts_(opts) {
   velocity_.reserve(params_.size());
   for (const auto& p : params_) {
     velocity_.push_back(Tensor::Zeros(p.param->shape()));
+  }
+  // Parameter shapes are fixed for the optimizer's lifetime; build the
+  // flat shard table once so Step() allocates nothing.
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const int64_t n = params_[i].param->size();
+    for (int64_t begin = 0; begin < n; begin += kShardElems) {
+      shards_.push_back(
+          {i, begin, std::min<int64_t>(n, begin + kShardElems)});
+    }
   }
 }
 
@@ -26,23 +44,27 @@ void Sgd::Step() {
       for (auto& p : params_) ops::Scale(p.grad, scale);
     }
   }
-  for (size_t i = 0; i < params_.size(); ++i) {
-    ParamRef& p = params_[i];
-    Tensor& v = velocity_[i];
-    float* w = p.param->data();
-    float* g = p.grad->data();
-    float* vel = v.data();
-    const float wd =
-        p.no_decay ? 0.0f : static_cast<float>(opts_.weight_decay);
-    const float mu = static_cast<float>(opts_.momentum);
-    const float lr = static_cast<float>(opts_.lr);
-    const int64_t n = p.param->size();
-    for (int64_t j = 0; j < n; ++j) {
-      const float grad = g[j] + wd * w[j];
-      vel[j] = mu * vel[j] + grad;
-      w[j] -= lr * vel[j];
-    }
-  }
+  ops::ParallelForCompute(
+      static_cast<int64_t>(shards_.size()), [&](int64_t s0, int64_t s1) {
+        for (int64_t s = s0; s < s1; ++s) {
+          const Shard& sh = shards_[static_cast<size_t>(s)];
+          ParamRef& p = params_[sh.param];
+          float* w = p.param->data();
+          float* g = p.grad->data();
+          float* vel = velocity_[sh.param].data();
+          const float wd =
+              p.no_decay ? 0.0f : static_cast<float>(opts_.weight_decay);
+          const float mu = static_cast<float>(opts_.momentum);
+          const float lr = static_cast<float>(opts_.lr);
+          for (int64_t j = sh.begin; j < sh.end; ++j) {
+            const float grad = g[j] + wd * w[j];
+            vel[j] = mu * vel[j] + grad;
+            w[j] -= lr * vel[j];
+          }
+        }
+      });
+  // Every parameter just changed: invalidate all prepacked weight panels.
+  ops::BumpWeightGeneration();
   ZeroGrad();
 }
 

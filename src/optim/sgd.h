@@ -34,9 +34,18 @@ class Sgd {
   const std::vector<ParamRef>& params() const { return params_; }
 
  private:
+  /// A fixed-size slice of one parameter's elements; the unit of parallel
+  /// work in Step(). Built once in the constructor.
+  struct Shard {
+    size_t param;
+    int64_t begin;
+    int64_t end;
+  };
+
   std::vector<ParamRef> params_;
   SgdOptions opts_;
   std::vector<Tensor> velocity_;
+  std::vector<Shard> shards_;
 };
 
 /// \brief Piecewise-constant LR: lr * gamma^(number of passed milestones),

@@ -7,6 +7,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/serving/degradation_manager.h"
+#include "src/tensor/prepack.h"
 #include "src/tensor/tensor.h"
 #include "src/util/stopwatch.h"
 
@@ -73,7 +74,17 @@ Status SliceServer::Calibrate() {
   std::vector<int64_t> shape = opts_.sample_shape;
   shape.insert(shape.begin(), opts_.calibration_batch);
   Tensor x(shape);
-  m->Forward(x, /*training=*/false);  // warmup: first-touch allocations.
+  // The warmup forward doubles as the cold-start measurement: it pays for
+  // weight packing and first-touch allocations, everything the steady path
+  // never sees again. Reported separately so capacity planning (Eq. 3 uses
+  // the warm t) is not polluted by one-time costs.
+  {
+    Stopwatch cold;
+    Tensor y = m->Forward(x, /*training=*/false);
+    cold_start_t_ =
+        cold.ElapsedSeconds() / static_cast<double>(opts_.calibration_batch);
+    output_guard_.store(y.data()[0], std::memory_order_relaxed);
+  }
   double best = 0.0;
   for (int i = 0; i < opts_.calibration_repeats; ++i) {
     Stopwatch sw;
@@ -91,10 +102,31 @@ Status SliceServer::Calibrate() {
   }
   calibrated_t_ = best;
   opts_.serving.full_sample_time = best;
-  obs::MetricsRegistry::Global()
-      .GetGauge("ms_server_calibrated_sample_ms")
-      ->Set(best * 1e3);
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("ms_server_calibrated_sample_ms")->Set(best * 1e3);
+  registry.GetGauge("ms_server_cold_start_ms")->Set(cold_start_t_ * 1e3);
   return Status::OK();
+}
+
+void SliceServer::Prewarm() {
+  MS_TRACE_SCOPE("server_prewarm");
+  // One forward per (replica, trained rate). Each replica owns its layer
+  // objects and therefore its packs, and a pack for the full weight serves
+  // every rate prefix — but backward-transpose/per-gate packs only form on
+  // first use at that replica, so touch every replica rather than just the
+  // calibration one.
+  std::vector<int64_t> shape = opts_.sample_shape;
+  shape.insert(shape.begin(), 1);
+  Tensor x(shape);
+  for (auto& replica : replicas_) {
+    for (double rate : opts_.serving.lattice.rates()) {
+      replica->SetSliceRate(rate);
+      Tensor y = replica->Forward(x, /*training=*/false);
+      output_guard_.store(y.data()[0], std::memory_order_relaxed);
+    }
+    replica->SetSliceRate(opts_.serving.lattice.full_rate());
+  }
+  ops::PublishPackMetrics();
 }
 
 Status SliceServer::Start() {
@@ -110,6 +142,7 @@ Status SliceServer::Start() {
   } else {
     calibrated_t_ = opts_.serving.full_sample_time;
   }
+  if (opts_.prewarm) Prewarm();
   auto scheduler = LatencyScheduler::Make(opts_.serving);
   MS_RETURN_NOT_OK(scheduler.status());
   scheduler_ =

@@ -57,6 +57,10 @@ struct ServerOptions {
   bool calibrate = true;
   int calibration_batch = 8;      ///< samples per calibration forward.
   int calibration_repeats = 3;    ///< timed repeats; the minimum is taken.
+  /// Run one forward per (replica, trained rate) at Start() so every weight
+  /// pack exists before traffic arrives; steady-state serving then never
+  /// packs. Disable only to measure the cold path on purpose.
+  bool prewarm = true;
 };
 
 /// Post-Stop invariant: submitted == served + shed + expired + rejected —
@@ -106,8 +110,14 @@ class SliceServer {
   ServerStats stats() const;
   int64_t queue_depth() const { return queue_->depth(); }
   double tick_seconds() const { return tick_seconds_; }
-  /// Measured full-model per-sample seconds (0 before calibration).
+  /// Measured full-model per-sample seconds (0 before calibration). This is
+  /// the *warm* time: the cold first forward is excluded.
   double calibrated_sample_seconds() const { return calibrated_t_; }
+  /// Per-sample seconds of the very first forward (weight packing and
+  /// first-touch allocation included); 0 before calibration or when
+  /// calibration is disabled. The gap to calibrated_sample_seconds() is the
+  /// one-time cost prewarming moves out of the serving path.
+  double cold_start_sample_seconds() const { return cold_start_t_; }
   /// Serving config as used (full_sample_time reflects calibration).
   const ServingConfig& serving_config() const { return opts_.serving; }
   int num_workers() const { return static_cast<int>(replicas_.size()); }
@@ -117,6 +127,7 @@ class SliceServer {
               ServerOptions opts);
 
   Status Calibrate();
+  void Prewarm();
   void BatcherLoop();
   void TickOnce();
   void ExecuteBatch(int64_t n, double rate);
@@ -131,6 +142,7 @@ class SliceServer {
 
   double tick_seconds_ = 0.0;     ///< T/2, the batching interval.
   double calibrated_t_ = 0.0;
+  double cold_start_t_ = 0.0;     ///< first-forward (pack-included) time.
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stop_requested_{false};

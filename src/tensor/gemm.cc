@@ -10,7 +10,9 @@
 // Phases 1-3 each ParallelFor over the compute pool; every task writes a
 // disjoint output range, so results are bitwise independent of the
 // partition. This file is compiled with -ffp-contract=off so the portable
-// kernel and reference keep the exact mul+add sequence on any -march.
+// kernel, reference, and skinny kernel keep the exact mul+add sequence on
+// any -march. The packing/merge helpers and the block constants live in
+// gemm_internal.h so prepack.cc produces panel-compatible buffers.
 #include "src/tensor/gemm.h"
 
 #include <algorithm>
@@ -62,20 +64,6 @@ ThreadPool* Pool() {
   return g_pool.load(std::memory_order_acquire);
 }
 
-// ---------------------------------------------------------------------------
-// Fixed block grid. These constants (not the thread count) define the tile
-// decomposition, so partitioning is deterministic.
-
-constexpr int64_t kMC = 64;   ///< A rows per packed band
-constexpr int64_t kNC = 240;  ///< C cols per grid cell (multiple of 8 & 16)
-constexpr int kMaxMr = 8;
-constexpr int kMaxNr = 16;
-/// Below this many flops (2*m*n*k) packing costs more than it saves; run
-/// the (bitwise identical) scalar reference instead.
-constexpr int64_t kTinyFlops = 1 << 14;
-/// Below this many flops the ParallelFor barrier dominates; stay serial.
-constexpr int64_t kParallelFlops = 1 << 20;
-
 // Portable register-tiled microkernel; the compiler vectorizes the NR
 // loop. Separate mul and add (this TU builds with -ffp-contract=off), so
 // every element sees the exact acc += (alpha*a)*b sequence of the
@@ -93,6 +81,27 @@ void MicroKernelPortable(int64_t k, const float* ap, const float* bp,
     bp += NR;
   }
   for (int i = 0; i < MR; ++i) {
+    for (int j = 0; j < NR; ++j) acc[i * NR + j] = c[i][j];
+  }
+}
+
+// Portable skinny-M kernel: op(A) rows are read strided from the caller's
+// matrix (no packing), alpha rounds once into the broadcast value — the
+// same t_p = (alpha*a)*b mul+add sequence as MicroKernelPortable.
+template <int NR>
+void SkinnyKernelPortable(int64_t k, int m, bool trans_a, const float* a,
+                          int64_t lda, float alpha, const float* bp,
+                          float* acc) {
+  float c[detail::kMaxMr][NR] = {};
+  for (int64_t p = 0; p < k; ++p) {
+    const float* brow = bp + p * NR;
+    for (int i = 0; i < m; ++i) {
+      const float av =
+          alpha * (trans_a ? a[p * lda + i] : a[i * lda + p]);
+      for (int j = 0; j < NR; ++j) c[i][j] += av * brow[j];
+    }
+  }
+  for (int i = 0; i < m; ++i) {
     for (int j = 0; j < NR; ++j) acc[i * NR + j] = c[i][j];
   }
 }
@@ -117,13 +126,17 @@ void GemmRefPortable(bool trans_a, bool trans_b, int64_t m, int64_t n,
   }
 }
 
-const detail::MicroKernelDesc& ActiveKernel() {
-  static const detail::MicroKernelDesc desc = [] {
-    if (const detail::MicroKernelDesc* avx = detail::Avx2Kernel()) {
+}  // namespace
+
+namespace detail {
+
+const MicroKernelDesc& ActiveKernel() {
+  static const MicroKernelDesc desc = [] {
+    if (const MicroKernelDesc* avx = Avx2Kernel()) {
       return *avx;
     }
-    return detail::MicroKernelDesc{4, 8, &MicroKernelPortable<4, 8>,
-                                   &GemmRefPortable};
+    return MicroKernelDesc{4, 8, &MicroKernelPortable<4, 8>,
+                           &GemmRefPortable, &SkinnyKernelPortable<8>, 8};
   }();
   return desc;
 }
@@ -133,7 +146,6 @@ const detail::MicroKernelDesc& ActiveKernel() {
 // reference's (alpha*a)*b order); padding rows/cols are zero so padded
 // lanes never contaminate live outputs.
 
-/// Packs op(A) rows [i0, i0+rows) into ceil(rows/mr) panels of k*mr.
 void PackABand(bool trans_a, const float* a, int64_t lda, int64_t i0,
                int64_t rows, int64_t k, float alpha, int mr, float* out) {
   for (int64_t base = 0; base < rows; base += mr) {
@@ -159,7 +171,6 @@ void PackABand(bool trans_a, const float* a, int64_t lda, int64_t i0,
   }
 }
 
-/// Packs op(B) columns [j0, j0+cols) (cols <= nr) into one k*nr panel.
 void PackBPanel(bool trans_b, const float* b, int64_t ldb, int64_t j0,
                 int64_t cols, int64_t k, int nr, float* dst) {
   if (!trans_b) {
@@ -182,8 +193,6 @@ void PackBPanel(bool trans_b, const float* b, int64_t ldb, int64_t j0,
   }
 }
 
-/// Merges the live (rows x cols) region of a microkernel accumulator tile
-/// into C with the shared beta semantics (beta == 0 never reads C).
 void MergeTile(const float* acc, int nr, int64_t i0, int64_t rows,
                int64_t j0, int64_t cols, float beta, float* c, int64_t ldc) {
   for (int64_t ii = 0; ii < rows; ++ii) {
@@ -201,9 +210,7 @@ void MergeTile(const float* acc, int nr, int64_t i0, int64_t rows,
   }
 }
 
-inline int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
-
-}  // namespace
+}  // namespace detail
 
 int ComputeThreads() {
   InitPoolOnce();
@@ -238,22 +245,25 @@ void ParallelForCompute(int64_t n,
 void GemmRef(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
              float alpha, const float* a, int64_t lda, const float* b,
              int64_t ldb, float beta, float* c, int64_t ldc) {
-  ActiveKernel().ref(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta,
-                     c, ldc);
+  detail::ActiveKernel().ref(trans_a, trans_b, m, n, k, alpha, a, lda, b,
+                             ldb, beta, c, ldc);
 }
 
 void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           float alpha, const float* a, int64_t lda, const float* b,
           int64_t ldb, float beta, float* c, int64_t ldc) {
+  using detail::CeilDiv;
+  using detail::kMC;
+  using detail::kNC;
   if (m <= 0 || n <= 0) return;
   const int64_t flops = 2 * m * n * k;
-  if (k <= 0 || flops < kTinyFlops) {
+  if (k <= 0 || flops < detail::kTinyFlops) {
     // Bitwise identical to the packed path (shared per-element contract).
     GemmRef(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     return;
   }
 
-  const detail::MicroKernelDesc& kd = ActiveKernel();
+  const detail::MicroKernelDesc& kd = detail::ActiveKernel();
   const int mr = kd.mr;
   const int nr = kd.nr;
 
@@ -270,19 +280,21 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   auto pack_a = [&](int64_t b0, int64_t b1) {
     for (int64_t band = b0; band < b1; ++band) {
       const int64_t i0 = band * kMC;
-      PackABand(trans_a, a, lda, i0, std::min<int64_t>(kMC, m - i0), k,
-                alpha, mr, apack + band * band_stride_a);
+      detail::PackABand(trans_a, a, lda, i0,
+                        std::min<int64_t>(kMC, m - i0), k, alpha, mr,
+                        apack + band * band_stride_a);
     }
   };
   auto pack_b = [&](int64_t p0, int64_t p1) {
     for (int64_t pj = p0; pj < p1; ++pj) {
       const int64_t j0 = pj * nr;
-      PackBPanel(trans_b, b, ldb, j0, std::min<int64_t>(nr, n - j0), k, nr,
-                 bpack + pj * nr * k);
+      detail::PackBPanel(trans_b, b, ldb, j0,
+                         std::min<int64_t>(nr, n - j0), k, nr,
+                         bpack + pj * nr * k);
     }
   };
   auto compute_cells = [&](int64_t c0, int64_t c1) {
-    alignas(64) float acc[kMaxMr * kMaxNr];
+    alignas(64) float acc[detail::kMaxMr * detail::kMaxNr];
     for (int64_t cell = c0; cell < c1; ++cell) {
       const int64_t bi = cell / n_bands;
       const int64_t bj = cell % n_bands;
@@ -298,9 +310,9 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
         for (int64_t pi = 0; pi * mr < rows; ++pi) {
           kd.kernel(k, apack + bi * band_stride_a + pi * mr * k, bpanel,
                     acc);
-          MergeTile(acc, nr, i_base + pi * mr,
-                    std::min<int64_t>(mr, rows - pi * mr), j0, live_cols,
-                    beta, c, ldc);
+          detail::MergeTile(acc, nr, i_base + pi * mr,
+                            std::min<int64_t>(mr, rows - pi * mr), j0,
+                            live_cols, beta, c, ldc);
         }
       }
     }
@@ -308,7 +320,8 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
 
   ThreadPool* pool = Pool();
   const bool parallel = pool != nullptr && !ThreadPool::InWorkerThread() &&
-                        flops >= kParallelFlops && m_bands * n_bands > 1;
+                        flops >= detail::kParallelFlops &&
+                        m_bands * n_bands > 1;
   if (parallel) {
     pool->ParallelFor(m_bands, pack_a);
     pool->ParallelFor(n_panels, pack_b);

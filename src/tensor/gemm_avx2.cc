@@ -68,6 +68,39 @@ void MicroKernel6x16(int64_t k, const float* ap, const float* bp,
   _mm256_store_ps(acc + 5 * kNr + 8, c51);
 }
 
+// Skinny-M kernel (m <= kMaxMr = 8): op(A) rows are read strided from the
+// caller's matrix (no packing) against one packed k*16 B panel. Rows go in
+// chunks of <= 4 (8 ymm accumulators + 2 B vectors + 1 broadcast per
+// chunk), which only reorders whole independent output rows — each
+// element's contraction is still acc = fma(alpha*a_p, b_p, acc) in
+// increasing p, bitwise equal to MicroKernel6x16 / GemmRefFma.
+void SkinnyKernel16(int64_t k, int m, bool trans_a, const float* a,
+                    int64_t lda, float alpha, const float* bp, float* acc) {
+  for (int i0 = 0; i0 < m; i0 += 4) {
+    const int live = m - i0 < 4 ? m - i0 : 4;
+    __m256 c0[4], c1[4];
+    for (int i = 0; i < live; ++i) {
+      c0[i] = _mm256_setzero_ps();
+      c1[i] = _mm256_setzero_ps();
+    }
+    for (int64_t p = 0; p < k; ++p) {
+      const __m256 b0 = _mm256_load_ps(bp + p * kNr);
+      const __m256 b1 = _mm256_load_ps(bp + p * kNr + 8);
+      for (int i = 0; i < live; ++i) {
+        const float av =
+            trans_a ? a[p * lda + i0 + i] : a[(i0 + i) * lda + p];
+        const __m256 avv = _mm256_set1_ps(alpha * av);
+        c0[i] = _mm256_fmadd_ps(avv, b0, c0[i]);
+        c1[i] = _mm256_fmadd_ps(avv, b1, c1[i]);
+      }
+    }
+    for (int i = 0; i < live; ++i) {
+      _mm256_store_ps(acc + (i0 + i) * kNr, c0[i]);
+      _mm256_store_ps(acc + (i0 + i) * kNr + 8, c1[i]);
+    }
+  }
+}
+
 // Scalar oracle with the fma contraction: acc = fma(alpha*a, b, acc) in
 // increasing p, one beta merge. With -mfma std::fmaf lowers to vfmadd, so
 // this matches MicroKernel6x16 bitwise.
@@ -96,7 +129,7 @@ const MicroKernelDesc* Avx2Kernel() {
   static const bool supported =
       __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
   static const MicroKernelDesc desc{kMr, kNr, &MicroKernel6x16,
-                                    &GemmRefFma};
+                                    &GemmRefFma, &SkinnyKernel16, 4};
   return supported ? &desc : nullptr;
 }
 

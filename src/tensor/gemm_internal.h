@@ -1,6 +1,8 @@
-// Private interface between the GEMM driver (gemm.cc) and the optional
+// Private interface between the GEMM driver (gemm.cc), the optional
 // AVX2/FMA microkernel translation unit (gemm_avx2.cc, compiled with
-// -mavx2 -mfma only when CMake's feature check passes).
+// -mavx2 -mfma only when CMake's feature check passes), and the prepacked
+// operand cache (prepack.cc), which reuses the same panel layout and
+// microkernels so prepacked results stay bitwise-equal to Gemm.
 #ifndef MODELSLICING_TENSOR_GEMM_INTERNAL_H_
 #define MODELSLICING_TENSOR_GEMM_INTERNAL_H_
 
@@ -9,6 +11,22 @@
 namespace ms {
 namespace ops {
 namespace detail {
+
+// Fixed block grid. These constants (not the thread count) define the tile
+// decomposition, so partitioning is deterministic. Shared by gemm.cc and
+// prepack.cc: a prepacked buffer is panel-compatible with the scratch
+// buffers Gemm packs per call.
+constexpr int64_t kMC = 64;   ///< A rows per packed band
+constexpr int64_t kNC = 240;  ///< C cols per grid cell (multiple of 8 & 16)
+constexpr int kMaxMr = 8;
+constexpr int kMaxNr = 16;
+/// Below this many flops (2*m*n*k) packing costs more than it saves; Gemm
+/// runs the (bitwise identical) scalar reference instead.
+constexpr int64_t kTinyFlops = 1 << 14;
+/// Below this many flops the ParallelFor barrier dominates; stay serial.
+constexpr int64_t kParallelFlops = 1 << 20;
+
+inline int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
 
 using GemmRefFn = void (*)(bool trans_a, bool trans_b, int64_t m, int64_t n,
                            int64_t k, float alpha, const float* a,
@@ -29,11 +47,43 @@ struct MicroKernelDesc {
   void (*kernel)(int64_t k, const float* apanel, const float* bpanel,
                  float* acc);
   GemmRefFn ref;
+  /// Skinny-M fast path (1 <= m <= skinny_max_m): contracts op(A) rows read
+  /// directly from the caller's matrix — no A packing — against one packed
+  /// k*nr B panel. acc is m x nr, row-major, stride nr. Per-element
+  /// contraction identical to `kernel` (t_p = (alpha*a_p)*b_p in
+  /// increasing p), so Gemm / GemmPrepackedB stay bitwise equal.
+  void (*skinny)(int64_t k, int m, bool trans_a, const float* a, int64_t lda,
+                 float alpha, const float* bpanel, float* acc);
+  /// Largest m GemmPrepackedB routes through `skinny` (<= kMaxMr). Above
+  /// it the general packed walk wins: the AVX2 skinny kernel holds only 4
+  /// rows of accumulators per pass, so m in (4, 8] would re-stream every B
+  /// panel, while the portable kernel keeps all 8 rows in one pass.
+  int skinny_max_m;
 };
 
 /// The AVX2/FMA kernel, or nullptr when not compiled in (MS_ENABLE_AVX2
 /// off / unsupported compiler) or the CPU lacks AVX2+FMA at runtime.
 const MicroKernelDesc* Avx2Kernel();
+
+/// The kernel Gemm dispatches to in this process (AVX2 when available,
+/// else the portable 4x8). Prepacked buffers are laid out for this
+/// kernel's mr/nr.
+const MicroKernelDesc& ActiveKernel();
+
+/// Packs op(A) rows [i0, i0+rows) into ceil(rows/mr) panels of k*mr
+/// (panel-major, alpha pre-applied, padding rows zeroed).
+void PackABand(bool trans_a, const float* a, int64_t lda, int64_t i0,
+               int64_t rows, int64_t k, float alpha, int mr, float* out);
+
+/// Packs op(B) columns [j0, j0+cols) (cols <= nr) into one k*nr panel
+/// (padding columns zeroed).
+void PackBPanel(bool trans_b, const float* b, int64_t ldb, int64_t j0,
+                int64_t cols, int64_t k, int nr, float* dst);
+
+/// Merges the live (rows x cols) region of a microkernel accumulator tile
+/// into C with the shared beta semantics (beta == 0 never reads C).
+void MergeTile(const float* acc, int nr, int64_t i0, int64_t rows,
+               int64_t j0, int64_t cols, float beta, float* c, int64_t ldc);
 
 }  // namespace detail
 }  // namespace ops

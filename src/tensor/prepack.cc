@@ -1,0 +1,374 @@
+// Prepacked-operand cache. See prepack.h for the layout/staleness story.
+// Compiled with -ffp-contract=off like gemm.cc: the skinny fallback and
+// merge loops here must keep the exact mul+add sequence of the portable
+// reference on any -march.
+#include "src/tensor/prepack.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "src/obs/metrics.h"
+#include "src/tensor/gemm.h"
+#include "src/tensor/gemm_internal.h"
+#include "src/tensor/scratch.h"
+#include "src/util/status.h"
+
+namespace ms {
+namespace ops {
+namespace {
+
+std::atomic<uint64_t> g_weight_generation{1};
+std::atomic<uint64_t> g_packs{0};
+std::atomic<uint64_t> g_packed_floats{0};
+std::atomic<uint64_t> g_hits{0};
+std::atomic<uint64_t> g_prepacked_calls{0};
+
+/// Flops above which packing / the panel walk fans out over the pool.
+/// Same threshold as the Gemm driver so scheduling stays comparable.
+bool WorthParallel(int64_t flops, int64_t tasks) {
+  return flops >= detail::kParallelFlops && tasks > 1;
+}
+
+/// beta-only merge for k == 0 problems: the exact operation sequence of
+/// GemmRef with acc == 0, so -0.0f handling matches bitwise.
+void BetaMerge(int64_t m, int64_t n, float beta, float* c, int64_t ldc) {
+  const float acc = 0.0f;
+  for (int64_t i = 0; i < m; ++i) {
+    float* row = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) {
+      row[j] = (beta == 0.0f)
+                   ? acc
+                   : (beta == 1.0f ? row[j] + acc : beta * row[j] + acc);
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t WeightGeneration() {
+  return g_weight_generation.load(std::memory_order_acquire);
+}
+
+void BumpWeightGeneration() {
+  g_weight_generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+float* PackedMatrix::Reserve(int64_t floats) {
+  MS_CHECK(floats >= 0);
+  if (floats > capacity_) {
+    constexpr int64_t kAlign = 16;  // floats; 64 bytes
+    storage_ = std::make_unique<float[]>(floats + kAlign);
+    const auto addr = reinterpret_cast<uintptr_t>(storage_.get());
+    const uintptr_t aligned =
+        (addr + kAlign * sizeof(float) - 1) & ~(kAlign * sizeof(float) - 1);
+    data_ = reinterpret_cast<float*>(aligned);
+    capacity_ = floats;
+  }
+  return data_;
+}
+
+// ---------------------------------------------------------------------------
+// B role: ceil(n/nr) panels of k*nr floats, panel pj at pj*k*nr. Identical
+// bytes to the scratch panels Gemm packs for the full (k x n) problem.
+
+void PackB(bool trans_b, int64_t k, int64_t n, const float* b, int64_t ldb,
+           PackedMatrix* pack) {
+  MS_CHECK(pack != nullptr && b != nullptr);
+  MS_CHECK(k >= 1 && n >= 1 && ldb >= 1);
+  const detail::MicroKernelDesc& kd = detail::ActiveKernel();
+  const int nr = kd.nr;
+  const int64_t n_panels = detail::CeilDiv(n, nr);
+  const int64_t total = n_panels * k * nr;
+  float* out = pack->Reserve(total);
+  auto pack_range = [&](int64_t p0, int64_t p1) {
+    for (int64_t pj = p0; pj < p1; ++pj) {
+      const int64_t j0 = pj * nr;
+      detail::PackBPanel(trans_b, b, ldb, j0, std::min<int64_t>(nr, n - j0),
+                         k, nr, out + pj * k * nr);
+    }
+  };
+  // Packing is pure data movement; panels land in identical bytes under
+  // any partition, so fan out whenever the matrix is big enough to care.
+  if (WorthParallel(2 * k * n, n_panels)) {
+    ParallelForCompute(n_panels, pack_range);
+  } else {
+    pack_range(0, n_panels);
+  }
+  pack->role_ = PackedMatrix::Role::kB;
+  pack->trans_ = trans_b;
+  pack->rows_ = k;
+  pack->cols_ = n;
+  pack->ld_ = ldb;
+  pack->panel_ = nr;
+  pack->src_ = b;
+  pack->packed_floats_ = total;
+  pack->generation_ = WeightGeneration();
+  g_packs.fetch_add(1, std::memory_order_relaxed);
+  g_packed_floats.fetch_add(static_cast<uint64_t>(total),
+                            std::memory_order_relaxed);
+}
+
+bool EnsurePackedB(bool trans_b, int64_t k, int64_t n, const float* b,
+                   int64_t ldb, PackedMatrix* pack) {
+  MS_CHECK(pack != nullptr);
+  if (pack->role_ == PackedMatrix::Role::kB && pack->trans_ == trans_b &&
+      pack->rows_ == k && pack->cols_ == n && pack->ld_ == ldb &&
+      pack->src_ == b && pack->generation_ == WeightGeneration()) {
+    g_hits.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  PackB(trans_b, k, n, b, ldb, pack);
+  return true;
+}
+
+void GemmPrepackedB(bool trans_a, int64_t m, int64_t n, int64_t k,
+                    float alpha, const float* a, int64_t lda,
+                    const PackedMatrix& bpack, float beta, float* c,
+                    int64_t ldc) {
+  using detail::CeilDiv;
+  MS_CHECK(bpack.role_ == PackedMatrix::Role::kB);
+  MS_CHECK(k <= bpack.rows_ && n <= bpack.cols_);
+  if (m <= 0 || n <= 0) return;
+  g_prepacked_calls.fetch_add(1, std::memory_order_relaxed);
+  if (k <= 0) {
+    BetaMerge(m, n, beta, c, ldc);
+    return;
+  }
+  const detail::MicroKernelDesc& kd = detail::ActiveKernel();
+  const int nr = kd.nr;
+  const int mr = kd.mr;
+  MS_CHECK(bpack.panel_ == nr);
+  // Panel stride uses the PACKED k (full weight), not the sliced k: a
+  // k-prefix reads the first k*nr floats of each panel.
+  const int64_t pstride = bpack.rows_ * nr;
+  const int64_t n_panels = CeilDiv(n, nr);
+  const int64_t flops = 2 * m * n * k;
+
+  if (m <= kd.skinny_max_m) {
+    // Skinny fast path: no A packing. Each panel yields one m x nr tile;
+    // panels are independent, so any partition is bitwise identical.
+    auto run = [&](int64_t p0, int64_t p1) {
+      alignas(64) float acc[detail::kMaxMr * detail::kMaxNr];
+      for (int64_t pj = p0; pj < p1; ++pj) {
+        kd.skinny(k, static_cast<int>(m), trans_a, a, lda, alpha,
+                  bpack.data_ + pj * pstride, acc);
+        const int64_t j0 = pj * nr;
+        detail::MergeTile(acc, nr, 0, m, j0, std::min<int64_t>(nr, n - j0),
+                          beta, c, ldc);
+      }
+    };
+    if (WorthParallel(flops, n_panels)) {
+      ParallelForCompute(n_panels, run);
+    } else {
+      run(0, n_panels);
+    }
+    return;
+  }
+
+  // General path: pack op(A) per call (it is the activation, different
+  // every time), then walk the same fixed cell grid as Gemm against the
+  // prepacked panels.
+  const int64_t m_bands = CeilDiv(m, detail::kMC);
+  const int64_t n_bands = CeilDiv(n, detail::kNC);
+  const int64_t band_stride_a = CeilDiv(detail::kMC, mr) * mr * k;
+
+  ScratchArena& arena = ScratchArena::ForThread();
+  ScratchArena::Scope scope(arena);
+  float* apack = arena.Alloc(m_bands * band_stride_a);
+
+  auto pack_a = [&](int64_t b0, int64_t b1) {
+    for (int64_t band = b0; band < b1; ++band) {
+      const int64_t i0 = band * detail::kMC;
+      detail::PackABand(trans_a, a, lda, i0,
+                        std::min<int64_t>(detail::kMC, m - i0), k, alpha,
+                        mr, apack + band * band_stride_a);
+    }
+  };
+  auto compute_cells = [&](int64_t c0, int64_t c1) {
+    alignas(64) float acc[detail::kMaxMr * detail::kMaxNr];
+    for (int64_t cell = c0; cell < c1; ++cell) {
+      const int64_t bi = cell / n_bands;
+      const int64_t bj = cell % n_bands;
+      const int64_t i_base = bi * detail::kMC;
+      const int64_t rows = std::min<int64_t>(detail::kMC, m - i_base);
+      const int64_t j_base = bj * detail::kNC;
+      const int64_t cols = std::min<int64_t>(detail::kNC, n - j_base);
+      for (int64_t pj = j_base / nr; pj * nr < j_base + cols; ++pj) {
+        const float* bpanel = bpack.data_ + pj * pstride;
+        const int64_t j0 = pj * nr;
+        const int64_t live_cols = std::min<int64_t>(nr, n - j0);
+        for (int64_t pi = 0; pi * mr < rows; ++pi) {
+          kd.kernel(k, apack + bi * band_stride_a + pi * mr * k, bpanel,
+                    acc);
+          detail::MergeTile(acc, nr, i_base + pi * mr,
+                            std::min<int64_t>(mr, rows - pi * mr), j0,
+                            live_cols, beta, c, ldc);
+        }
+      }
+    }
+  };
+
+  if (WorthParallel(flops, m_bands * n_bands)) {
+    ParallelForCompute(m_bands, pack_a);
+    ParallelForCompute(m_bands * n_bands, compute_cells);
+  } else {
+    pack_a(0, m_bands);
+    compute_cells(0, m_bands * n_bands);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A role: bands of kMC rows, each band ceil(kMC/mr) panels of mr rows x
+// k_full, band stride fixed by the FULL extents so an m-prefix is a prefix
+// of bands/panels and a k-prefix is a within-panel row prefix. Panels hold
+// 1*w — exactly what Gemm packs for alpha == 1, the only alpha the conv
+// layers use.
+
+void PackA(bool trans_a, int64_t m, int64_t k, const float* a, int64_t lda,
+           PackedMatrix* pack) {
+  MS_CHECK(pack != nullptr && a != nullptr);
+  MS_CHECK(m >= 1 && k >= 1 && lda >= 1);
+  const detail::MicroKernelDesc& kd = detail::ActiveKernel();
+  const int mr = kd.mr;
+  const int64_t m_bands = detail::CeilDiv(m, detail::kMC);
+  const int64_t band_stride = detail::CeilDiv(detail::kMC, mr) * mr * k;
+  const int64_t total = m_bands * band_stride;
+  float* out = pack->Reserve(total);
+  for (int64_t band = 0; band < m_bands; ++band) {
+    const int64_t i0 = band * detail::kMC;
+    detail::PackABand(trans_a, a, lda, i0,
+                      std::min<int64_t>(detail::kMC, m - i0), k, 1.0f, mr,
+                      out + band * band_stride);
+  }
+  pack->role_ = PackedMatrix::Role::kA;
+  pack->trans_ = trans_a;
+  pack->rows_ = m;
+  pack->cols_ = k;
+  pack->ld_ = lda;
+  pack->panel_ = mr;
+  pack->src_ = a;
+  pack->packed_floats_ = total;
+  pack->generation_ = WeightGeneration();
+  g_packs.fetch_add(1, std::memory_order_relaxed);
+  g_packed_floats.fetch_add(static_cast<uint64_t>(total),
+                            std::memory_order_relaxed);
+}
+
+bool EnsurePackedA(bool trans_a, int64_t m, int64_t k, const float* a,
+                   int64_t lda, PackedMatrix* pack) {
+  MS_CHECK(pack != nullptr);
+  if (pack->role_ == PackedMatrix::Role::kA && pack->trans_ == trans_a &&
+      pack->rows_ == m && pack->cols_ == k && pack->ld_ == lda &&
+      pack->src_ == a && pack->generation_ == WeightGeneration()) {
+    g_hits.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  PackA(trans_a, m, k, a, lda, pack);
+  return true;
+}
+
+void GemmPrepackedA(int64_t m, int64_t n, int64_t k,
+                    const PackedMatrix& apack, bool trans_b, const float* b,
+                    int64_t ldb, float beta, float* c, int64_t ldc) {
+  using detail::CeilDiv;
+  MS_CHECK(apack.role_ == PackedMatrix::Role::kA);
+  MS_CHECK(m <= apack.rows_ && k <= apack.cols_);
+  if (m <= 0 || n <= 0) return;
+  g_prepacked_calls.fetch_add(1, std::memory_order_relaxed);
+  if (k <= 0) {
+    BetaMerge(m, n, beta, c, ldc);
+    return;
+  }
+  const detail::MicroKernelDesc& kd = detail::ActiveKernel();
+  const int nr = kd.nr;
+  const int mr = kd.mr;
+  MS_CHECK(apack.panel_ == mr);
+  // Within-band panel stride and band stride are fixed by the FULL packed
+  // extents; sliced k reads a row prefix of each mr-wide panel.
+  const int64_t panel_stride = mr * apack.cols_;
+  const int64_t band_stride = CeilDiv(detail::kMC, mr) * panel_stride;
+
+  const int64_t m_bands = CeilDiv(m, detail::kMC);
+  const int64_t n_bands = CeilDiv(n, detail::kNC);
+  const int64_t n_panels = CeilDiv(n, nr);
+  const int64_t flops = 2 * m * n * k;
+
+  ScratchArena& arena = ScratchArena::ForThread();
+  ScratchArena::Scope scope(arena);
+  float* bpack = arena.Alloc(n_panels * nr * k);
+
+  auto pack_b = [&](int64_t p0, int64_t p1) {
+    for (int64_t pj = p0; pj < p1; ++pj) {
+      const int64_t j0 = pj * nr;
+      detail::PackBPanel(trans_b, b, ldb, j0,
+                         std::min<int64_t>(nr, n - j0), k, nr,
+                         bpack + pj * nr * k);
+    }
+  };
+  auto compute_cells = [&](int64_t c0, int64_t c1) {
+    alignas(64) float acc[detail::kMaxMr * detail::kMaxNr];
+    for (int64_t cell = c0; cell < c1; ++cell) {
+      const int64_t bi = cell / n_bands;
+      const int64_t bj = cell % n_bands;
+      const int64_t i_base = bi * detail::kMC;
+      const int64_t rows = std::min<int64_t>(detail::kMC, m - i_base);
+      const int64_t j_base = bj * detail::kNC;
+      const int64_t cols = std::min<int64_t>(detail::kNC, n - j_base);
+      for (int64_t pj = j_base / nr; pj * nr < j_base + cols; ++pj) {
+        const float* bpanel = bpack + pj * nr * k;
+        const int64_t j0 = pj * nr;
+        const int64_t live_cols = std::min<int64_t>(nr, n - j0);
+        for (int64_t pi = 0; pi * mr < rows; ++pi) {
+          // Rows past m in the last live panel hold real (full-weight)
+          // values rather than Gemm's zero padding; MergeTile's row count
+          // discards them identically.
+          kd.kernel(k,
+                    apack.data_ + bi * band_stride + pi * panel_stride,
+                    bpanel, acc);
+          detail::MergeTile(acc, nr, i_base + pi * mr,
+                            std::min<int64_t>(mr, rows - pi * mr), j0,
+                            live_cols, beta, c, ldc);
+        }
+      }
+    }
+  };
+
+  if (WorthParallel(flops, m_bands * n_bands)) {
+    ParallelForCompute(n_panels, pack_b);
+    ParallelForCompute(m_bands * n_bands, compute_cells);
+  } else {
+    pack_b(0, n_panels);
+    compute_cells(0, m_bands * n_bands);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+PackStats GetPackStats() {
+  PackStats s;
+  s.packs = g_packs.load(std::memory_order_relaxed);
+  s.packed_floats = g_packed_floats.load(std::memory_order_relaxed);
+  s.hits = g_hits.load(std::memory_order_relaxed);
+  s.prepacked_calls = g_prepacked_calls.load(std::memory_order_relaxed);
+  return s;
+}
+
+uint64_t TotalPackCount() {
+  return g_packs.load(std::memory_order_relaxed);
+}
+
+void PublishPackMetrics() {
+  const PackStats s = GetPackStats();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("ms_gemm_pack_count")
+      ->Set(static_cast<double>(s.packs));
+  registry.GetGauge("ms_gemm_pack_bytes")
+      ->Set(static_cast<double>(s.packed_floats) * sizeof(float));
+  registry.GetGauge("ms_gemm_pack_hits")->Set(static_cast<double>(s.hits));
+  registry.GetGauge("ms_gemm_prepacked_calls")
+      ->Set(static_cast<double>(s.prepacked_calls));
+}
+
+}  // namespace ops
+}  // namespace ms

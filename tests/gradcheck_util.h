@@ -12,6 +12,7 @@
 
 #include "gtest/gtest.h"
 #include "src/nn/module.h"
+#include "src/tensor/prepack.h"
 #include "src/util/rng.h"
 
 namespace ms {
@@ -58,17 +59,23 @@ inline void CheckModuleGradients(Module* module, const Tensor& input,
     return LinearLoss(out, coeffs);
   };
 
-  // Parameter gradients.
+  // Parameter gradients. Perturbing weights in place through the ParamRef
+  // pointers bypasses the layers' write-tracked accessors, so follow the
+  // same invalidation contract SGD::Step does: bump the weight generation
+  // after every mutation so prepacked panels are refreshed.
   for (auto& p : params) {
     const int64_t n = p.param->size();
     const int64_t stride = std::max<int64_t>(1, n / opts.max_coords);
     for (int64_t i = 0; i < n; i += stride) {
       const float orig = (*p.param)[i];
       (*p.param)[i] = orig + static_cast<float>(opts.epsilon);
+      ops::BumpWeightGeneration();
       const double up = loss_at();
       (*p.param)[i] = orig - static_cast<float>(opts.epsilon);
+      ops::BumpWeightGeneration();
       const double down = loss_at();
       (*p.param)[i] = orig;
+      ops::BumpWeightGeneration();
       const double numeric = (up - down) / (2.0 * opts.epsilon);
       const double analytic = (*p.grad)[i];
       const double tol =
