@@ -21,6 +21,7 @@
 #include "src/models/mlp.h"
 #include "src/serving/server.h"
 #include "src/tensor/prepack.h"
+#include "src/util/fault.h"
 
 namespace ms {
 namespace {
@@ -162,10 +163,11 @@ int Main() {
     std::printf("queue depth back to baseline %d tick(s) after the spike\n",
                 recovered_after);
   }
-  const int64_t accounted = s.served + s.shed + s.expired + s.rejected;
+  const int64_t accounted =
+      s.served + s.shed + s.expired + s.rejected + s.failed;
   if (accounted != s.submitted) {
-    std::printf("FAIL: accounting: served+shed+expired+rejected = %lld != "
-                "submitted = %lld\n",
+    std::printf("FAIL: accounting: served+shed+expired+rejected+failed = "
+                "%lld != submitted = %lld\n",
                 static_cast<long long>(accounted),
                 static_cast<long long>(s.submitted));
     rc = 1;
@@ -173,6 +175,29 @@ int Main() {
     std::printf("accounting: %lld/%lld requests accounted for (100%%)\n",
                 static_cast<long long>(accounted),
                 static_cast<long long>(s.submitted));
+  }
+  // Zero-overhead-when-disarmed gate: this bench runs with no MS_FAULTS, so
+  // no injection point may have fired (and nothing may have failed, been
+  // retried, or been quarantined) — the fault machinery must be invisible
+  // on the fault-free path.
+  auto& faults = fault::Registry::Global();
+  const int64_t fired = faults.fires(fault::kWorkerStall) +
+                        faults.fires(fault::kForwardNan) +
+                        faults.fires(fault::kForwardThrow) +
+                        faults.fires(fault::kQueueReject);
+  if (faults.armed_count() != 0 || fired != 0 || s.failed != 0 ||
+      s.retried_batches != 0 || s.quarantined != 0) {
+    std::printf("FAIL: fault machinery active in a fault-free bench: "
+                "armed=%d fires=%lld failed=%lld retried=%lld "
+                "quarantined=%lld\n",
+                faults.armed_count(), static_cast<long long>(fired),
+                static_cast<long long>(s.failed),
+                static_cast<long long>(s.retried_batches),
+                static_cast<long long>(s.quarantined));
+    rc = 1;
+  } else {
+    std::printf("fault points disarmed: zero fires, zero failed/retried/"
+                "quarantined\n");
   }
   return rc;
 }

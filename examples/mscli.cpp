@@ -39,6 +39,8 @@ int Usage() {
       "usage: mscli <train|eval|profile|serve> [--model=vgg13]\n"
       "  train:   --scheduler=r-min-max --epochs=8 --lr=0.05 --lb=0.25\n"
       "           --granularity=0.25 --out=model.ckpt\n"
+      "           --checkpoint_every=N (crash-safe periodic checkpoint to\n"
+      "           --out every N epochs; resumes from it if present)\n"
       "  eval:    --ckpt=model.ckpt --rate=0.5\n"
       "  profile: (prints the rate/FLOPs/params lattice and the measured\n"
       "           cost curve vs the r^2 model)\n"
@@ -50,7 +52,12 @@ int Usage() {
       "           tick at full cost> for the arithmetic-only simulator\n"
       "observability (any command):\n"
       "  --metrics_out=/path.jsonl   dump the metrics registry as JSONL\n"
-      "  --trace_out=/path.json      record a chrome://tracing trace\n");
+      "  --trace_out=/path.json      record a chrome://tracing trace\n"
+      "fault injection (chaos testing, any command):\n"
+      "  MS_FAULTS=point=prob[@param],...  e.g.\n"
+      "  MS_FAULTS='server.forward.nan=0.05,server.worker.stall=0.05@0.02'\n"
+      "  (MS_FAULTS_SEED=N for a deterministic stream; fires are counted\n"
+      "  in the ms_fault_* metrics)\n");
   return 2;
 }
 
@@ -108,6 +115,15 @@ int Train(const Flags& flags) {
   opts.batch_size = flags.GetInt("batch", 32);
   opts.sgd.lr = flags.GetDouble("lr", 0.05);
   opts.lr_milestones = {(opts.epochs * 3) / 4};
+  // Crash-safe periodic checkpoints: write to --out every N epochs (atomic
+  // temp+fsync+rename, CRC-verified), and resume from it when present so a
+  // killed run picks up where it left off.
+  if (flags.Has("checkpoint_every") && flags.Has("out")) {
+    opts.checkpoint.path = flags.GetString("out");
+    opts.checkpoint.every_epochs =
+        static_cast<int>(flags.GetInt("checkpoint_every", 1));
+    opts.checkpoint.resume = true;
+  }
   TrainImageClassifier(loaded.net.get(), loaded.split.train, sched.get(),
                        opts, [](const EpochStats& s) {
                          std::printf("epoch %d loss %.4f (%.1fs)\n", s.epoch,
@@ -302,19 +318,25 @@ int Serve(const Flags& flags) {
   RunClosedLoop(server.get(), workload_result.MoveValueOrDie(), deadline);
   server->Stop();
   const ServerStats s = server->stats();
+  const bool accounted =
+      s.submitted == s.served + s.shed + s.expired + s.rejected + s.failed;
   std::printf(
-      "submitted %lld: served %lld, shed %lld, expired %lld, rejected %lld "
-      "(every request accounted: %s)\n"
+      "submitted %lld: served %lld, shed %lld, expired %lld, rejected %lld, "
+      "failed %lld (every request accounted: %s)\n"
       "lowest slice rate %.2f, slowest batch %.1f ms, %lld batches over "
-      "%lld ticks\n",
+      "%lld ticks\n"
+      "self-healing: %lld batch retries, %lld quarantines (%lld repaired), "
+      "%d/%d workers healthy at shutdown\n",
       static_cast<long long>(s.submitted), static_cast<long long>(s.served),
       static_cast<long long>(s.shed), static_cast<long long>(s.expired),
-      static_cast<long long>(s.rejected),
-      s.submitted == s.served + s.shed + s.expired + s.rejected ? "yes"
-                                                                : "NO",
-      s.min_rate, s.max_batch_seconds * 1e3,
-      static_cast<long long>(s.batches), static_cast<long long>(s.ticks));
-  return s.submitted == s.served + s.shed + s.expired + s.rejected ? 0 : 1;
+      static_cast<long long>(s.rejected), static_cast<long long>(s.failed),
+      accounted ? "yes" : "NO", s.min_rate, s.max_batch_seconds * 1e3,
+      static_cast<long long>(s.batches), static_cast<long long>(s.ticks),
+      static_cast<long long>(s.retried_batches),
+      static_cast<long long>(s.quarantined),
+      static_cast<long long>(s.repaired), server->healthy_workers(),
+      server->num_workers());
+  return accounted ? 0 : 1;
 }
 
 }  // namespace

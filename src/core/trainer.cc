@@ -1,10 +1,15 @@
 #include "src/core/trainer.h"
 
 #include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
 
 #include "src/core/evaluator.h"
+#include "src/nn/serialize.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/util/fault.h"
 #include "src/util/logging.h"
 #include "src/util/stopwatch.h"
 
@@ -24,6 +29,55 @@ void RecordEpochMetrics(const std::string& prefix, const EpochStats& stats) {
       ->Observe(stats.seconds);
 }
 
+// Loads the checkpoint into `params` when resume is on and the file exists.
+// A corrupt checkpoint is reported and ignored — LoadParams never partially
+// applies, so training simply starts from the current (fresh) weights.
+void MaybeResume(const CheckpointOptions& ckpt,
+                 const std::vector<ParamRef>& params) {
+  if (ckpt.path.empty() || !ckpt.resume) return;
+  {
+    std::ifstream probe(ckpt.path, std::ios::binary);
+    if (!probe.is_open()) return;  // nothing to resume from
+  }
+  const Status s = LoadParams(params, ckpt.path);
+  if (!s.ok()) {
+    MS_LOG(Warn) << "resume skipped, checkpoint unusable: " << s;
+    return;
+  }
+  obs::MetricsRegistry::Global().GetCounter("ms_train_resumes_total")->Inc();
+  MS_LOG(Info) << "resumed parameters from " << ckpt.path;
+}
+
+// Saves after the (epoch+1)-th epoch when it hits the cadence or is the
+// last. Save failures are reported, not fatal: losing a checkpoint beats
+// losing the run.
+void MaybeCheckpoint(const CheckpointOptions& ckpt,
+                     const std::vector<ParamRef>& params, int epoch,
+                     int total_epochs) {
+  if (ckpt.path.empty()) return;
+  const int every = ckpt.every_epochs < 1 ? 1 : ckpt.every_epochs;
+  if ((epoch + 1) % every != 0 && epoch + 1 != total_epochs) return;
+  const Status s = SaveParams(params, ckpt.path);
+  if (s.ok()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("ms_train_checkpoints_total")
+        ->Inc();
+  } else {
+    MS_LOG(Warn) << "checkpoint save failed: " << s;
+  }
+}
+
+// Divergence-guard bookkeeping shared by both trainers: rolls the weights
+// back to `snapshot`, clears half-accumulated gradients, and counts the
+// event. The caller skips its optimizer step.
+void RollBack(const std::vector<ParamRef>& params,
+              const std::vector<Tensor>& snapshot, Sgd* optimizer) {
+  const Status s = RestoreParams(params, snapshot);
+  MS_CHECK(s.ok());  // snapshot came from these very params
+  optimizer->ZeroGrad();
+  obs::MetricsRegistry::Global().GetCounter("ms_train_rollbacks_total")->Inc();
+}
+
 }  // namespace
 
 void TrainImageClassifier(Module* net, const ImageDataset& data,
@@ -32,10 +86,15 @@ void TrainImageClassifier(Module* net, const ImageDataset& data,
                           const EpochCallback& callback) {
   std::vector<ParamRef> params;
   net->CollectParams(&params);
+  MaybeResume(opts.checkpoint, params);
   Sgd optimizer(params, opts.sgd);
   StepLrSchedule lr_schedule(opts.sgd.lr, opts.lr_milestones);
   Rng rng(opts.seed);
   SoftmaxCrossEntropy loss;
+  // Last-known-good weights for the divergence guard, refreshed after every
+  // epoch that ends with a finite mean loss.
+  std::vector<Tensor> last_good;
+  if (opts.divergence_guard) SnapshotParams(params, &last_good);
 
   std::vector<int64_t> order(static_cast<size_t>(data.size()));
   for (int64_t i = 0; i < data.size(); ++i) {
@@ -62,13 +121,28 @@ void TrainImageClassifier(Module* net, const ImageDataset& data,
 
       // Algorithm 1 inner loop: accumulate subnet gradients.
       const std::vector<double> rates = scheduler->NextBatch(&rng);
+      bool diverged = false;
       for (double r : rates) {
         net->SetSliceRate(r);
         Tensor logits = net->Forward(x, /*training=*/true);
-        const float batch_loss = loss.Forward(logits, labels);
+        float batch_loss = loss.Forward(logits, labels);
+        if (opts.divergence_guard &&
+            fault::Registry::Global().ShouldFire(fault::kTrainNanLoss)) {
+          batch_loss = std::numeric_limits<float>::quiet_NaN();
+        }
+        if (opts.divergence_guard && !std::isfinite(batch_loss)) {
+          diverged = true;
+          break;
+        }
         net->Backward(loss.Backward());
         loss_sum += batch_loss;
         ++loss_count;
+      }
+      if (diverged) {
+        // One poisoned batch must not corrupt the run: restore the last
+        // good weights, drop the half-accumulated gradients, skip the step.
+        RollBack(params, last_good, &optimizer);
+        continue;
       }
       optimizer.Step();
     }
@@ -82,6 +156,11 @@ void TrainImageClassifier(Module* net, const ImageDataset& data,
         stats.seconds > 0.0
             ? static_cast<double>(data.size()) / stats.seconds
             : 0.0;
+    if (opts.divergence_guard && loss_count > 0 &&
+        std::isfinite(stats.train_loss)) {
+      SnapshotParams(params, &last_good);
+    }
+    MaybeCheckpoint(opts.checkpoint, params, epoch, opts.epochs);
     RecordEpochMetrics("ms_train_", stats);
     if (callback) callback(stats);
   }
@@ -90,10 +169,14 @@ void TrainImageClassifier(Module* net, const ImageDataset& data,
 void TrainNnlm(Nnlm* model, const TextCorpus& corpus,
                SliceRateScheduler* scheduler, const NnlmTrainOptions& opts,
                const EpochCallback& callback) {
-  Sgd optimizer(model->Params(), opts.sgd);
+  std::vector<ParamRef> params = model->Params();
+  MaybeResume(opts.checkpoint, params);
+  Sgd optimizer(params, opts.sgd);
   PlateauLrSchedule lr_schedule(opts.sgd.lr, opts.plateau_factor);
   Rng rng(opts.seed);
   SequenceNll loss;
+  std::vector<Tensor> last_good;
+  if (opts.divergence_guard) SnapshotParams(params, &last_good);
   TextBatcher batcher(corpus.train, opts.batch_size, opts.bptt);
 
   std::vector<int64_t> chunk_order(
@@ -114,15 +197,28 @@ void TrainNnlm(Nnlm* model, const TextCorpus& corpus,
     for (int64_t k : chunk_order) {
       batcher.Chunk(k, &inputs, &targets);
       const std::vector<double> rates = scheduler->NextBatch(&rng);
+      bool diverged = false;
       for (double r : rates) {
         model->SetSliceRate(r);
         Tensor logits =
             model->Forward(inputs, opts.bptt, opts.batch_size,
                            /*training=*/true);
-        const float chunk_loss = loss.Forward(logits, targets);
+        float chunk_loss = loss.Forward(logits, targets);
+        if (opts.divergence_guard &&
+            fault::Registry::Global().ShouldFire(fault::kTrainNanLoss)) {
+          chunk_loss = std::numeric_limits<float>::quiet_NaN();
+        }
+        if (opts.divergence_guard && !std::isfinite(chunk_loss)) {
+          diverged = true;
+          break;
+        }
         model->Backward(loss.Backward());
         loss_sum += chunk_loss;
         ++loss_count;
+      }
+      if (diverged) {
+        RollBack(params, last_good, &optimizer);
+        continue;
       }
       optimizer.Step();
     }
@@ -145,6 +241,11 @@ void TrainNnlm(Nnlm* model, const TextCorpus& corpus,
         stats.seconds > 0.0
             ? static_cast<double>(batcher.num_chunks()) / stats.seconds
             : 0.0;
+    if (opts.divergence_guard && loss_count > 0 &&
+        std::isfinite(stats.train_loss)) {
+      SnapshotParams(params, &last_good);
+    }
+    MaybeCheckpoint(opts.checkpoint, params, epoch, opts.epochs);
     RecordEpochMetrics("ms_train_nnlm_", stats);
     if (callback) callback(stats);
   }

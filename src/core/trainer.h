@@ -5,6 +5,7 @@
 #define MODELSLICING_CORE_TRAINER_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/core/scheduler.h"
@@ -17,6 +18,19 @@
 
 namespace ms {
 
+/// Periodic crash-safe checkpointing (src/nn/serialize.h, format v2:
+/// temp + fsync + atomic rename, CRC-verified on load). Checkpoints hold
+/// parameters only — optimizer momentum restarts on resume, which SGD
+/// re-accumulates within a few batches.
+struct CheckpointOptions {
+  std::string path;        ///< empty disables checkpointing entirely.
+  int every_epochs = 1;    ///< save after every k-th epoch (and the last).
+  /// Load `path` before training when it exists. A missing file trains
+  /// from scratch; a corrupt one is reported and ignored (LoadParams never
+  /// partially applies), so a damaged checkpoint can't brick training.
+  bool resume = true;
+};
+
 struct ImageTrainOptions {
   int epochs = 10;
   int64_t batch_size = 32;
@@ -25,6 +39,12 @@ struct ImageTrainOptions {
   bool augment = true;
   int max_shift = 2;
   uint64_t seed = 42;
+  CheckpointOptions checkpoint;
+  /// Divergence guard: a non-finite mini-batch loss rolls the weights back
+  /// to the last finite-epoch snapshot, clears gradients, and skips the
+  /// optimizer step (counted in ms_train_rollbacks_total) instead of
+  /// letting one poisoned batch corrupt the whole run.
+  bool divergence_guard = true;
 };
 
 struct EpochStats {
@@ -55,6 +75,8 @@ struct NnlmTrainOptions {
   /// (Sec. 5.2.2); set factor 1.0 to disable.
   double plateau_factor = 0.25;
   uint64_t seed = 42;
+  CheckpointOptions checkpoint;
+  bool divergence_guard = true;  ///< see ImageTrainOptions::divergence_guard.
 };
 
 /// Trains the NNLM with Algorithm 1 over BPTT chunks; evaluates validation

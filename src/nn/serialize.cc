@@ -1,52 +1,141 @@
 #include "src/nn/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 
 #include "src/tensor/prepack.h"
+#include "src/util/crc32.h"
+#include "src/util/fault.h"
 
 namespace ms {
 namespace {
 
 constexpr uint32_t kMagic = 0x4D534C43;  // "MSLC"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
 
-template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+void AppendPod(std::string* buf, const void* data, size_t n) {
+  buf->append(reinterpret_cast<const char*>(data), n);
 }
 
 template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return static_cast<bool>(in);
+void AppendPod(std::string* buf, const T& value) {
+  AppendPod(buf, &value, sizeof(T));
+}
+
+/// Bounds-checked forward reader over an in-memory checkpoint image.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    if (size_ - pos_ < sizeof(T)) return false;
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  /// Returns a pointer into the buffer and advances, or nullptr if short.
+  const char* Take(size_t n) {
+    if (size_ - pos_ < n) return nullptr;
+    const char* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+Status WriteFileDurably(const std::string& buf, const std::string& path,
+                        bool truncate_fault) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open for writing: " + tmp);
+  }
+  // Injected crash surface: persist only half the image and never rename,
+  // exactly what a mid-write power cut leaves behind.
+  const size_t limit = truncate_fault ? buf.size() / 2 : buf.size();
+  size_t written = 0;
+  while (written < limit) {
+    const ssize_t w = ::write(fd, buf.data() + written, limit - written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError("write failed: " + tmp);
+    }
+    written += static_cast<size_t>(w);
+  }
+  if (truncate_fault) {
+    ::close(fd);
+    return Status::IoError("injected fault: checkpoint.write.truncate (" +
+                           tmp + " left truncated, " + path + " untouched)");
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IoError("fsync failed: " + tmp);
+  }
+  if (::close(fd) != 0) {
+    return Status::IoError("close failed: " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
+  // Persist the rename itself (best-effort: some filesystems refuse
+  // directory fsync; the data above is already durable).
+  std::string dir = ".";
+  const size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) dir = path.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
 }
 
 }  // namespace
 
 Status SaveParams(const std::vector<ParamRef>& params,
                   const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
-  WritePod(out, kMagic);
-  WritePod(out, kVersion);
-  WritePod(out, static_cast<uint64_t>(params.size()));
+  // Build the full image in memory first: the CRC needs every byte anyway,
+  // and a single durable write is the whole crash-safety story.
+  std::string buf;
+  size_t total = sizeof(kMagic) + sizeof(kVersion) + sizeof(uint64_t);
   for (const auto& p : params) {
-    WritePod(out, static_cast<uint32_t>(p.name.size()));
-    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
-    WritePod(out, static_cast<uint32_t>(p.param->ndim()));
+    total += sizeof(uint32_t) + p.name.size() + sizeof(uint32_t) +
+             static_cast<size_t>(p.param->ndim()) * sizeof(int64_t) +
+             static_cast<size_t>(p.param->size()) * sizeof(float);
+  }
+  buf.reserve(total + sizeof(uint32_t));
+  AppendPod(&buf, kMagic);
+  AppendPod(&buf, kVersion);
+  AppendPod(&buf, static_cast<uint64_t>(params.size()));
+  for (const auto& p : params) {
+    AppendPod(&buf, static_cast<uint32_t>(p.name.size()));
+    buf.append(p.name);
+    AppendPod(&buf, static_cast<uint32_t>(p.param->ndim()));
     for (int i = 0; i < p.param->ndim(); ++i) {
-      WritePod(out, static_cast<int64_t>(p.param->dim(i)));
+      AppendPod(&buf, static_cast<int64_t>(p.param->dim(i)));
     }
-    out.write(reinterpret_cast<const char*>(p.param->data()),
-              static_cast<std::streamsize>(p.param->size() * sizeof(float)));
+    AppendPod(&buf, p.param->data(),
+              static_cast<size_t>(p.param->size()) * sizeof(float));
   }
-  if (!out) {
-    return Status::IoError("write failed: " + path);
-  }
-  return Status::OK();
+  const uint32_t crc = Crc32(buf.data(), buf.size());
+  AppendPod(&buf, crc);
+  const bool truncate_fault =
+      fault::Registry::Global().ShouldFire(fault::kCheckpointTruncate);
+  return WriteFileDurably(buf, path, truncate_fault);
 }
 
 Status LoadParams(const std::vector<ParamRef>& params,
@@ -55,45 +144,81 @@ Status LoadParams(const std::vector<ParamRef>& params,
   if (!in.is_open()) {
     return Status::IoError("cannot open for reading: " + path);
   }
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  if (!in && !in.eof()) {
+    return Status::IoError("read failed: " + path);
+  }
+  constexpr size_t kHeader =
+      sizeof(uint32_t) + sizeof(uint32_t) + sizeof(uint64_t);
+  if (buf.size() < kHeader + sizeof(uint32_t)) {
+    return Status::InvalidArgument("checkpoint too short (" +
+                                   std::to_string(buf.size()) + " bytes): " +
+                                   path);
+  }
+  // Whole-file integrity before any structural trust: the CRC footer covers
+  // every byte that precedes it.
+  const size_t body = buf.size() - sizeof(uint32_t);
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + body, sizeof(stored_crc));
+  if (Crc32(buf.data(), body) != stored_crc) {
+    return Status::InvalidArgument("checkpoint CRC mismatch (corrupt): " +
+                                   path);
+  }
+  Cursor cur(buf.data(), body);
   uint32_t magic = 0, version = 0;
   uint64_t count = 0;
-  if (!ReadPod(in, &magic) || magic != kMagic) {
+  if (!cur.Read(&magic) || magic != kMagic) {
     return Status::InvalidArgument("bad checkpoint magic: " + path);
   }
-  if (!ReadPod(in, &version) || version != kVersion) {
-    return Status::InvalidArgument("unsupported checkpoint version");
+  if (!cur.Read(&version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version) + ": " + path);
   }
-  if (!ReadPod(in, &count) || count != params.size()) {
+  if (!cur.Read(&count) || count != params.size()) {
     return Status::InvalidArgument(
         "checkpoint parameter count mismatch: expected " +
         std::to_string(params.size()) + ", got " + std::to_string(count));
   }
+  // Validate every record first, remembering where each payload lives;
+  // only a fully consistent file is applied (never a partial load).
+  std::vector<const char*> payloads;
+  payloads.reserve(params.size());
   for (const auto& p : params) {
     uint32_t name_len = 0;
-    if (!ReadPod(in, &name_len) || name_len > 4096) {
-      return Status::InvalidArgument("corrupt name record");
+    if (!cur.Read(&name_len) || name_len > 4096) {
+      return Status::InvalidArgument("corrupt name record in " + path);
     }
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    if (!in || name != p.name) {
-      return Status::InvalidArgument("parameter name mismatch: expected '" +
-                                     p.name + "', got '" + name + "'");
+    const char* name_bytes = cur.Take(name_len);
+    if (name_bytes == nullptr ||
+        std::string(name_bytes, name_len) != p.name) {
+      return Status::InvalidArgument(
+          "parameter name mismatch: expected '" + p.name + "' in " + path);
     }
     uint32_t rank = 0;
-    if (!ReadPod(in, &rank) || rank != static_cast<uint32_t>(p.param->ndim())) {
+    if (!cur.Read(&rank) || rank != static_cast<uint32_t>(p.param->ndim())) {
       return Status::InvalidArgument("rank mismatch for " + p.name);
     }
     for (int i = 0; i < p.param->ndim(); ++i) {
       int64_t dim = 0;
-      if (!ReadPod(in, &dim) || dim != p.param->dim(i)) {
+      if (!cur.Read(&dim) || dim != p.param->dim(i)) {
         return Status::InvalidArgument("shape mismatch for " + p.name);
       }
     }
-    in.read(reinterpret_cast<char*>(p.param->data()),
-            static_cast<std::streamsize>(p.param->size() * sizeof(float)));
-    if (!in) {
-      return Status::IoError("truncated payload for " + p.name);
+    const char* payload =
+        cur.Take(static_cast<size_t>(p.param->size()) * sizeof(float));
+    if (payload == nullptr) {
+      return Status::InvalidArgument("truncated payload for " + p.name);
     }
+    payloads.push_back(payload);
+  }
+  if (cur.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes after last record in " +
+                                   path);
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    std::memcpy(params[i].param->data(), payloads[i],
+                static_cast<size_t>(params[i].param->size()) * sizeof(float));
   }
   // Weights were overwritten in place: any prepacked panels are now stale.
   ops::BumpWeightGeneration();
@@ -124,6 +249,33 @@ Status CopyParams(Module* from, Module* to) {
     *dst[i].param = *src[i].param;
   }
   // The destination module's weights changed under its prepacked panels.
+  ops::BumpWeightGeneration();
+  return Status::OK();
+}
+
+void SnapshotParams(const std::vector<ParamRef>& params,
+                    std::vector<Tensor>* out) {
+  out->clear();
+  out->reserve(params.size());
+  for (const auto& p : params) out->push_back(*p.param);
+}
+
+Status RestoreParams(const std::vector<ParamRef>& params,
+                     const std::vector<Tensor>& snapshot) {
+  if (snapshot.size() != params.size()) {
+    return Status::InvalidArgument(
+        "snapshot size mismatch: " + std::to_string(snapshot.size()) +
+        " vs " + std::to_string(params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (snapshot[i].shape() != params[i].param->shape()) {
+      return Status::InvalidArgument("snapshot shape mismatch for " +
+                                     params[i].name);
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    *params[i].param = snapshot[i];
+  }
   ops::BumpWeightGeneration();
   return Status::OK();
 }

@@ -1,6 +1,24 @@
-// Minimal binary checkpoint format for model parameters. A checkpoint is a
-// sequence of records: name length, name bytes, rank, dims, float payload —
-// little-endian, no alignment. Loading validates names and shapes.
+// Crash-safe binary checkpoint format for model parameters (format v2).
+//
+// Layout (little-endian, no alignment):
+//   uint32 magic 0x4D534C43 ("MSLC"), uint32 version = 2, uint64 count,
+//   count records  { uint32 name_len, name bytes, uint32 rank,
+//                    int64 dims[rank], float payload[prod(dims)] },
+//   uint32 CRC32 footer over every preceding byte (header included).
+//
+// Durability: SaveParams builds the whole image in memory, writes it to
+// `path + ".tmp"`, fsyncs, then atomically renames over `path` (and fsyncs
+// the directory). A crash — even SIGKILL mid-write — leaves either the old
+// checkpoint or the new one fully intact, never a torn file.
+//
+// Integrity: LoadParams verifies the CRC and validates every record's
+// name/shape against the live parameters BEFORE writing a single float, so
+// a corrupt or truncated checkpoint yields a clean Status error and the
+// model's weights are untouched (no partial load).
+//
+// Fault point: `checkpoint.write.truncate` (src/util/fault.h) makes
+// SaveParams write a truncated temp file and report IoError without
+// renaming — the crash-consistency story under test.
 #ifndef MODELSLICING_NN_SERIALIZE_H_
 #define MODELSLICING_NN_SERIALIZE_H_
 
@@ -12,12 +30,13 @@
 
 namespace ms {
 
-/// Writes every parameter (not gradients) to `path`.
+/// Writes every parameter (not gradients) to `path`, atomically (see the
+/// file comment: temp + fsync + rename).
 Status SaveParams(const std::vector<ParamRef>& params,
                   const std::string& path);
 
-/// Restores parameters in place. Fails if names, order or shapes differ
-/// from the checkpoint.
+/// Restores parameters in place. Fails cleanly — weights untouched — if the
+/// file is missing, truncated, CRC-corrupt, or if names/order/shapes differ.
 Status LoadParams(const std::vector<ParamRef>& params,
                   const std::string& path);
 
@@ -25,6 +44,17 @@ Status LoadParams(const std::vector<ParamRef>& params,
 /// Fails if names, order or shapes differ. Used to stamp out identical
 /// per-worker model replicas for the concurrent serving engine.
 Status CopyParams(Module* from, Module* to);
+
+/// Deep-copies every parameter tensor into `*out` (cleared first): an
+/// in-memory "last known good" for rollback (trainer divergence guard,
+/// serving golden master).
+void SnapshotParams(const std::vector<ParamRef>& params,
+                    std::vector<Tensor>* out);
+
+/// Writes a SnapshotParams snapshot back into the live parameters and
+/// invalidates prepacked panels. Fails if sizes/shapes differ.
+Status RestoreParams(const std::vector<ParamRef>& params,
+                     const std::vector<Tensor>& snapshot);
 
 }  // namespace ms
 

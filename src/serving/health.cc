@@ -1,0 +1,89 @@
+#include "src/serving/health.h"
+
+#include <cmath>
+
+#include "src/util/status.h"
+
+namespace ms {
+
+bool TensorIsFinite(const Tensor& t) {
+  const float* p = t.data();
+  const int64_t n = t.size();
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+bool ReplicaHealth::Quarantine(int idx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MS_CHECK(idx >= 0 && idx < static_cast<int>(states_.size()));
+  if (states_[static_cast<size_t>(idx)] == ReplicaState::kQuarantined) {
+    return false;
+  }
+  states_[static_cast<size_t>(idx)] = ReplicaState::kQuarantined;
+  --healthy_;
+  return true;
+}
+
+void ReplicaHealth::Readmit(int idx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MS_CHECK(idx >= 0 && idx < static_cast<int>(states_.size()));
+  if (states_[static_cast<size_t>(idx)] == ReplicaState::kHealthy) return;
+  states_[static_cast<size_t>(idx)] = ReplicaState::kHealthy;
+  ++healthy_;
+}
+
+ReplicaState ReplicaHealth::state(int idx) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MS_CHECK(idx >= 0 && idx < static_cast<int>(states_.size()));
+  return states_[static_cast<size_t>(idx)];
+}
+
+int ReplicaHealth::healthy_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return healthy_;
+}
+
+int ReplicaHealth::quarantined_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(states_.size()) - healthy_;
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return true;
+  // Half-open: after the cooloff one batch may probe; the breaker stays
+  // formally open until OnSuccess closes it, so a failing probe re-arms the
+  // cooloff instead of letting a burst through.
+  return Clock::now() >= open_until_;
+}
+
+void CircuitBreaker::OnSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  failures_ = 0;
+  open_ = false;
+}
+
+void CircuitBreaker::OnFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++failures_;
+  if (failures_ >= threshold_) {
+    open_ = true;
+    open_until_ =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(cooloff_));
+  }
+}
+
+bool CircuitBreaker::open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failures_;
+}
+
+}  // namespace ms

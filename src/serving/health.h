@@ -1,0 +1,105 @@
+// Self-healing primitives for the serving engine (used by SliceServer):
+//
+//   - TensorIsFinite: the per-batch output health check. A replica whose
+//     logits contain NaN/Inf is weight-poisoned (bit flip, torn update,
+//     injected fault) and must not keep serving.
+//   - ReplicaHealth: per-replica healthy/quarantined state machine.
+//     quarantine -> repair (CopyParams / golden snapshot restore) ->
+//     probe batch -> readmit; a replica whose probe still fails stays
+//     quarantined and never rejoins the free list.
+//   - CircuitBreaker: consecutive batch failures walk the degradation
+//     ladder down to its last rung — admission rejects while the breaker
+//     is open, instead of hot-looping doomed forwards. After a cooloff the
+//     breaker half-opens: one batch is let through, and its outcome closes
+//     or re-opens the breaker.
+//
+// All three are internally synchronized; worker threads, the batcher and
+// Submit() callers may use them concurrently.
+#ifndef MODELSLICING_SERVING_HEALTH_H_
+#define MODELSLICING_SERVING_HEALTH_H_
+
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace ms {
+
+/// Scans every element; false if any is NaN or +/-Inf.
+bool TensorIsFinite(const Tensor& t);
+
+/// Knobs for SliceServer's self-healing layer (see ServerOptions::health).
+struct HealthOptions {
+  /// Batcher-side watchdog: a batch older than
+  /// max(watchdog_min_seconds, watchdog_factor * expected_batch_seconds)
+  /// is assumed stalled and rescheduled once on a healthy worker.
+  bool watchdog = true;
+  double watchdog_factor = 8.0;
+  double watchdog_min_seconds = 0.05;
+  /// Consecutive failed batches before admission starts rejecting.
+  int breaker_failures = 4;
+  /// Seconds the breaker stays open before letting a probe batch through.
+  double breaker_cooloff_seconds = 0.5;
+  /// Samples in the post-repair probe forward.
+  int64_t probe_batch = 2;
+};
+
+enum class ReplicaState { kHealthy = 0, kQuarantined = 1 };
+
+/// \brief Tracks which replicas are serving-eligible.
+class ReplicaHealth {
+ public:
+  explicit ReplicaHealth(int num_replicas)
+      : states_(static_cast<size_t>(num_replicas), ReplicaState::kHealthy),
+        healthy_(num_replicas) {}
+
+  /// Marks `idx` quarantined. Returns false if it already was.
+  bool Quarantine(int idx);
+
+  /// Returns a repaired replica to service.
+  void Readmit(int idx);
+
+  ReplicaState state(int idx) const;
+  int healthy_count() const;
+  int quarantined_count() const;
+  int num_replicas() const {
+    return static_cast<int>(states_.size());
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ReplicaState> states_;
+  int healthy_;
+};
+
+/// \brief Consecutive-failure circuit breaker with timed half-open probes.
+class CircuitBreaker {
+ public:
+  CircuitBreaker(int failure_threshold, double cooloff_seconds)
+      : threshold_(failure_threshold < 1 ? 1 : failure_threshold),
+        cooloff_(cooloff_seconds < 0.0 ? 0.0 : cooloff_seconds) {}
+
+  /// True when traffic may proceed (closed, or half-open after cooloff).
+  bool Allow();
+
+  void OnSuccess();
+  void OnFailure();
+
+  bool open();
+  int consecutive_failures() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  mutable std::mutex mu_;
+  int threshold_;
+  double cooloff_;
+  int failures_ = 0;
+  bool open_ = false;
+  Clock::time_point open_until_{};
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_SERVING_HEALTH_H_

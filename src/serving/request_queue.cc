@@ -1,8 +1,19 @@
 #include "src/serving/request_queue.h"
 
+#include <cmath>
+
+#include "src/util/fault.h"
+
 namespace ms {
 
 AdmitResult RequestQueue::Submit(double deadline_seconds) {
+  // A NaN deadline would slip past the `> 0.0` check below and masquerade
+  // as "no deadline"; reject non-finite deadlines outright instead (+Inf is
+  // equally malformed — callers meaning "no deadline" pass 0).
+  if (!std::isfinite(deadline_seconds)) return AdmitResult::kRejectedInvalid;
+  if (fault::Registry::Global().ShouldFire(fault::kQueueReject)) {
+    return AdmitResult::kRejectedClosed;
+  }
   Request r;
   r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   r.enqueued = Request::Clock::now();

@@ -30,11 +30,16 @@ struct Request {
 };
 
 /// Outcome of admission control, in shedding-ladder order: accept if there
-/// is room, shed (kShedQueueFull) under overload, reject once stopping.
+/// is room, shed (kShedQueueFull) under overload, reject once stopping or
+/// while the failure circuit breaker is open. kRejectedInvalid is the
+/// malformed-request case: a non-finite deadline is rejected outright
+/// (mirroring LatencyScheduler::Make's rule for config times) rather than
+/// silently treated as "no deadline".
 enum class AdmitResult {
   kAccepted = 0,
   kShedQueueFull,
   kRejectedClosed,
+  kRejectedInvalid,
 };
 
 /// What one batch cut produced: up to `max_n` live requests (oldest first)
@@ -49,7 +54,9 @@ class RequestQueue {
   explicit RequestQueue(int64_t capacity)
       : queue_(static_cast<size_t>(capacity)) {}
 
-  /// Thread-safe admission. `deadline_seconds` <= 0 means no deadline.
+  /// Thread-safe admission. `deadline_seconds` <= 0 means no deadline;
+  /// NaN/Inf deadlines return kRejectedInvalid. The `queue.submit.reject`
+  /// fault point, when armed, makes this return kRejectedClosed.
   AdmitResult Submit(double deadline_seconds);
 
   /// Pops up to `max_n` live requests; expired requests encountered are

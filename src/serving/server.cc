@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <exception>
+#include <limits>
+#include <stdexcept>
+#include <utility>
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/serving/degradation_manager.h"
 #include "src/tensor/prepack.h"
 #include "src/tensor/tensor.h"
+#include "src/util/fault.h"
+#include "src/util/logging.h"
 #include "src/util/stopwatch.h"
 
 namespace ms {
@@ -20,6 +26,10 @@ using SteadyClock = std::chrono::steady_clock;
 std::chrono::nanoseconds SecondsToDuration(double seconds) {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::duration<double>(seconds));
+}
+
+double DurationToSeconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(d).count();
 }
 
 }  // namespace
@@ -47,6 +57,24 @@ Result<std::unique_ptr<SliceServer>> SliceServer::Create(
       (opts.calibration_batch < 1 || opts.calibration_repeats < 1)) {
     return Status::InvalidArgument("calibration batch/repeats must be >= 1");
   }
+  if (!(opts.health.watchdog_factor > 0.0) ||
+      !std::isfinite(opts.health.watchdog_factor)) {
+    return Status::InvalidArgument("watchdog_factor must be finite and > 0");
+  }
+  if (!(opts.health.watchdog_min_seconds >= 0.0) ||
+      !std::isfinite(opts.health.watchdog_min_seconds)) {
+    return Status::InvalidArgument("watchdog_min_seconds must be >= 0");
+  }
+  if (opts.health.breaker_failures < 1) {
+    return Status::InvalidArgument("breaker_failures must be >= 1");
+  }
+  if (!(opts.health.breaker_cooloff_seconds >= 0.0) ||
+      !std::isfinite(opts.health.breaker_cooloff_seconds)) {
+    return Status::InvalidArgument("breaker_cooloff_seconds must be >= 0");
+  }
+  if (opts.health.probe_batch < 1) {
+    return Status::InvalidArgument("probe_batch must be >= 1");
+  }
   // Validate everything the scheduler will check, up front — except
   // full_sample_time, which calibration is allowed to supply later.
   ServingConfig probe = opts.serving;
@@ -61,7 +89,9 @@ SliceServer::SliceServer(std::vector<std::unique_ptr<Module>> replicas,
                          ServerOptions opts)
     : opts_(std::move(opts)), replicas_(std::move(replicas)) {
   queue_ = std::make_unique<RequestQueue>(opts_.max_queue);
-  for (auto& r : replicas_) free_replicas_.push_back(r.get());
+  for (int i = 0; i < static_cast<int>(replicas_.size()); ++i) {
+    free_replicas_.push_back(i);
+  }
   tick_seconds_ = opts_.serving.latency_budget / 2.0;
 }
 
@@ -153,6 +183,26 @@ Status SliceServer::Start() {
         std::to_string(tick_seconds_) + "s, measured t = " +
         std::to_string(opts_.serving.full_sample_time) + "s");
   }
+  // Self-healing state. Replica 0's weights (already calibrated/prewarmed,
+  // i.e. proven forward-able) become the golden master that repairs
+  // poisoned replicas; Create() requires weight-identical replicas, so any
+  // replica's snapshot would do.
+  replica_params_.clear();
+  replica_params_.reserve(replicas_.size());
+  for (auto& r : replicas_) {
+    std::vector<ParamRef> ps;
+    r->CollectParams(&ps);
+    replica_params_.push_back(std::move(ps));
+  }
+  golden_.clear();
+  for (const ParamRef& p : replica_params_.front()) {
+    golden_.push_back(*p.param);  // deep copy
+  }
+  health_ = std::make_unique<ReplicaHealth>(static_cast<int>(replicas_.size()));
+  breaker_ = std::make_unique<CircuitBreaker>(
+      opts_.health.breaker_failures, opts_.health.breaker_cooloff_seconds);
+  obs::MetricsRegistry::Global().GetGauge("ms_server_quarantine_active")
+      ->Set(0.0);
   pool_ = std::make_unique<ThreadPool>(static_cast<int>(replicas_.size()));
   started_.store(true);
   batcher_ = std::thread([this] { BatcherLoop(); });
@@ -169,6 +219,15 @@ AdmitResult SliceServer::Submit(double deadline_seconds) {
     registry.GetCounter("ms_server_rejected_total")->Inc();
     return AdmitResult::kRejectedClosed;
   }
+  // Last rung of the degradation ladder: while the failure breaker is open
+  // (and its cooloff has not elapsed), don't even queue — the backlog would
+  // only expire. Allow() returning true half-open lets probe traffic in.
+  if (!breaker_->Allow()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    registry.GetCounter("ms_server_rejected_total")->Inc();
+    registry.GetCounter("ms_server_breaker_rejected_total")->Inc();
+    return AdmitResult::kRejectedClosed;
+  }
   const AdmitResult result = queue_->Submit(deadline_seconds);
   switch (result) {
     case AdmitResult::kAccepted:
@@ -183,62 +242,57 @@ AdmitResult SliceServer::Submit(double deadline_seconds) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
       registry.GetCounter("ms_server_rejected_total")->Inc();
       break;
+    case AdmitResult::kRejectedInvalid:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      registry.GetCounter("ms_server_rejected_total")->Inc();
+      registry.GetCounter("ms_server_rejected_invalid_total")->Inc();
+      break;
   }
   return result;
 }
 
-Module* SliceServer::AcquireReplica() {
+int SliceServer::AcquireReplica() {
   std::unique_lock<std::mutex> lock(replica_mu_);
-  replica_cv_.wait(lock, [this] { return !free_replicas_.empty(); });
-  Module* m = free_replicas_.back();
+  // Wake on a freed replica OR on "no healthy replica exists" — with every
+  // replica quarantined, waiting would deadlock the pool; the batch fails
+  // instead and the circuit breaker takes over admission.
+  replica_cv_.wait(lock, [this] {
+    return !free_replicas_.empty() || health_->healthy_count() == 0;
+  });
+  if (free_replicas_.empty()) return -1;
+  const int idx = free_replicas_.back();
   free_replicas_.pop_back();
-  return m;
+  return idx;
 }
 
-void SliceServer::ReleaseReplica(Module* m) {
+void SliceServer::ReleaseReplica(int replica) {
   {
     std::lock_guard<std::mutex> lock(replica_mu_);
-    free_replicas_.push_back(m);
+    free_replicas_.push_back(replica);
   }
   replica_cv_.notify_one();
 }
 
-void SliceServer::ExecuteBatch(int64_t n, double rate) {
-  MS_TRACE_SCOPE("server_batch");
-  Module* m = AcquireReplica();
-  m->SetSliceRate(rate);
-  std::vector<int64_t> shape = opts_.sample_shape;
-  shape.insert(shape.begin(), n);
-  Tensor x(shape);
-  Stopwatch sw;
-  Tensor y = m->Forward(x, /*training=*/false);
-  const double secs = sw.ElapsedSeconds();
-  ReleaseReplica(m);
-  output_guard_.store(y.data()[0], std::memory_order_relaxed);
+int SliceServer::healthy_workers() const {
+  return health_ ? health_->healthy_count()
+                 : static_cast<int>(replicas_.size());
+}
 
-  served_.fetch_add(n, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    min_rate_ = std::min(min_rate_, rate);
-    max_batch_seconds_ = std::max(max_batch_seconds_, secs);
-  }
-  auto& registry = obs::MetricsRegistry::Global();
-  registry.GetCounter("ms_server_served_total")->Inc(n);
-  registry.GetHistogram("ms_server_batch_latency_ms", obs::LatencyBucketsMs())
-      ->Observe(secs * 1e3);
-  registry.GetHistogram("ms_server_chosen_rate", obs::RateBuckets())
-      ->Observe(rate);
-  // The slice rate the wall clock actually corresponds to under the r^2
-  // model (n * r_achieved^2 * t == measured seconds): compared with the
-  // chosen rate, this exposes calibration drift and contention.
-  const double t = opts_.serving.full_sample_time;
-  if (t > 0.0 && n > 0) {
-    registry.GetHistogram("ms_server_achieved_rate", obs::RateBuckets())
-        ->Observe(std::sqrt(secs / (static_cast<double>(n) * t)));
-  }
-  registry.GetGauge("ms_server_budget_utilization")
-      ->Set(tick_seconds_ > 0.0 ? secs / tick_seconds_ : 0.0);
+bool SliceServer::breaker_open() const {
+  return breaker_ != nullptr && breaker_->open();
+}
 
+double SliceServer::WatchdogThreshold(int64_t n, double rate) const {
+  // Expected wall time under the Eq. 3 cost model, scaled by the
+  // grace factor; floored so scheduling jitter on tiny batches can't
+  // trip the watchdog.
+  const double expected =
+      static_cast<double>(n) * rate * rate * opts_.serving.full_sample_time;
+  return std::max(opts_.health.watchdog_min_seconds,
+                  opts_.health.watchdog_factor * expected);
+}
+
+void SliceServer::FinishTicket() {
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
     --in_flight_;
@@ -246,13 +300,302 @@ void SliceServer::ExecuteBatch(int64_t n, double rate) {
   inflight_cv_.notify_all();
 }
 
+bool SliceServer::RepairReplica(int replica) {
+  MS_TRACE_SCOPE("server_repair");
+  auto& params = replica_params_[static_cast<size_t>(replica)];
+  MS_CHECK(params.size() == golden_.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    *params[i].param = golden_[i];
+  }
+  // Restored weights invalidate any prepacked panels derived from them.
+  ops::BumpWeightGeneration();
+  // Probe: a small real forward at the full rate. Injection points live in
+  // RunAttempt, not here, so the probe sees the replica's true health even
+  // while faults stay armed.
+  Module* m = replicas_[static_cast<size_t>(replica)].get();
+  try {
+    m->SetSliceRate(opts_.serving.lattice.full_rate());
+    std::vector<int64_t> shape = opts_.sample_shape;
+    shape.insert(shape.begin(), opts_.health.probe_batch);
+    Tensor x(shape);
+    Tensor y = m->Forward(x, /*training=*/false);
+    output_guard_.store(y.data()[0], std::memory_order_relaxed);
+    return TensorIsFinite(y);
+  } catch (const std::exception& e) {
+    MS_LOG(Error) << "replica " << replica << " probe threw: " << e.what();
+    return false;
+  } catch (...) {
+    MS_LOG(Error) << "replica " << replica << " probe threw";
+    return false;
+  }
+}
+
+void SliceServer::QuarantineAndRepair(int replica) {
+  auto& registry = obs::MetricsRegistry::Global();
+  if (!health_->Quarantine(replica)) return;  // already out
+  quarantined_total_.fetch_add(1, std::memory_order_relaxed);
+  registry.GetCounter("ms_server_quarantine_total")->Inc();
+  registry.GetGauge("ms_server_quarantine_active")
+      ->Set(health_->quarantined_count());
+  // Waiters in AcquireReplica must re-evaluate "any healthy replica left?".
+  replica_cv_.notify_all();
+  MS_LOG(Warn) << "replica " << replica
+               << " produced non-finite output; quarantined ("
+               << health_->healthy_count() << " healthy left)";
+  if (RepairReplica(replica)) {
+    health_->Readmit(replica);
+    repaired_total_.fetch_add(1, std::memory_order_relaxed);
+    registry.GetCounter("ms_server_quarantine_repaired_total")->Inc();
+    registry.GetGauge("ms_server_quarantine_active")
+        ->Set(health_->quarantined_count());
+    ReleaseReplica(replica);
+    MS_LOG(Info) << "replica " << replica
+                 << " repaired from golden snapshot and readmitted";
+  } else {
+    // Unrepairable: the replica never rejoins the free list. Serving
+    // continues on whatever healthy replicas remain.
+    MS_LOG(Error) << "replica " << replica
+                  << " failed its post-repair probe; permanently out";
+  }
+}
+
+void SliceServer::RunAttempt(int64_t ticket_id, int my_attempt) {
+  MS_TRACE_SCOPE("server_batch");
+  int64_t n = 0;
+  double rate = 1.0;
+  {
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    auto it = tickets_.find(ticket_id);
+    if (it == tickets_.end() || it->second.attempt != my_attempt) {
+      return;  // settled or superseded before this attempt even started
+    }
+    n = static_cast<int64_t>(it->second.requests.size());
+    rate = it->second.rate;
+  }
+  const int replica = AcquireReplica();
+  if (replica < 0) {
+    // Every replica is quarantined; nothing can run this batch.
+    FinalizeAttempt(ticket_id, my_attempt, /*success=*/false, 0.0);
+    return;
+  }
+  bool success = false;
+  bool poisoned = false;
+  double secs = 0.0;
+  try {
+    auto& faults = fault::Registry::Global();
+    if (faults.ShouldFire(fault::kWorkerStall)) {
+      // A wedged worker: hold the replica past the watchdog threshold.
+      std::this_thread::sleep_for(
+          SecondsToDuration(faults.Param(fault::kWorkerStall, 0.25)));
+    }
+    if (faults.ShouldFire(fault::kForwardNan)) {
+      // Weight-poison the replica (not just this output): corrupt the LAST
+      // parameter so no downstream ReLU can mask the NaN, then invalidate
+      // packs in case that parameter participates in a prepacked panel.
+      auto& params = replica_params_[static_cast<size_t>(replica)];
+      if (!params.empty() && params.back().param->size() > 0) {
+        params.back().param->data()[0] =
+            std::numeric_limits<float>::quiet_NaN();
+        ops::BumpWeightGeneration();
+      }
+    }
+    if (faults.ShouldFire(fault::kForwardThrow)) {
+      throw std::runtime_error("injected fault: server.forward.throw");
+    }
+    Module* m = replicas_[static_cast<size_t>(replica)].get();
+    m->SetSliceRate(rate);
+    std::vector<int64_t> shape = opts_.sample_shape;
+    shape.insert(shape.begin(), n);
+    Tensor x(shape);
+    Stopwatch sw;
+    Tensor y = m->Forward(x, /*training=*/false);
+    secs = sw.ElapsedSeconds();
+    output_guard_.store(y.data()[0], std::memory_order_relaxed);
+    // Always-on output health check: one linear scan of the logits, cheap
+    // next to the forward that produced them.
+    if (TensorIsFinite(y)) {
+      success = true;
+    } else {
+      poisoned = true;
+    }
+  } catch (const std::exception& e) {
+    // A worker dying mid-batch must not leak the replica or the in-flight
+    // slot — otherwise Stop() would wait forever (and the pool thread
+    // would die taking the process with it).
+    MS_LOG(Warn) << "batch attempt threw: " << e.what();
+  } catch (...) {
+    MS_LOG(Warn) << "batch attempt threw a non-std exception";
+  }
+  if (poisoned) {
+    // Held, not freed: quarantine/repair owns the replica until it either
+    // readmits (and releases) it or retires it for good.
+    QuarantineAndRepair(replica);
+  } else {
+    ReleaseReplica(replica);
+  }
+  FinalizeAttempt(ticket_id, my_attempt, success, secs);
+}
+
+void SliceServer::FinalizeAttempt(int64_t ticket_id, int my_attempt,
+                                  bool success, double batch_seconds) {
+  auto& registry = obs::MetricsRegistry::Global();
+  enum class Outcome { kDiscard, kServe, kRetry, kFail };
+  Outcome outcome = Outcome::kDiscard;
+  int64_t n = 0;
+  int64_t newly_expired = 0;
+  double rate = 1.0;
+  {
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    auto it = tickets_.find(ticket_id);
+    if (it == tickets_.end() || it->second.attempt != my_attempt) {
+      // Superseded: the watchdog re-issued this batch and the other attempt
+      // owns the accounting. Dropping the result here is what guarantees no
+      // request is ever served (counted) twice.
+      return;
+    }
+    BatchTicket& t = it->second;
+    rate = t.rate;
+    if (success) {
+      outcome = Outcome::kServe;
+      n = static_cast<int64_t>(t.requests.size());
+      tickets_.erase(it);
+    } else if (my_attempt == 0) {
+      // The single retry. Requests whose deadline passed while attempt 0
+      // was wedged are expired now, not served late.
+      const auto now = Request::Clock::now();
+      std::vector<Request> live;
+      live.reserve(t.requests.size());
+      for (const Request& r : t.requests) {
+        if (r.ExpiredAt(now)) {
+          ++newly_expired;
+        } else {
+          live.push_back(r);
+        }
+      }
+      if (live.empty()) {
+        outcome = Outcome::kDiscard;  // nothing left worth re-running
+        tickets_.erase(it);
+        // Fall through: newly_expired / FinishTicket handled below.
+      } else {
+        outcome = Outcome::kRetry;
+        t.requests = std::move(live);
+        t.attempt = 1;
+        t.start = SteadyClock::now();
+        t.watchdog_seconds = WatchdogThreshold(
+            static_cast<int64_t>(t.requests.size()), t.rate);
+      }
+    } else {
+      // Retry also failed: these requests are definitively lost.
+      outcome = Outcome::kFail;
+      n = static_cast<int64_t>(t.requests.size());
+      tickets_.erase(it);
+    }
+  }
+  if (newly_expired > 0) {
+    expired_.fetch_add(newly_expired, std::memory_order_relaxed);
+    registry.GetCounter("ms_server_expired_total")->Inc(newly_expired);
+  }
+  switch (outcome) {
+    case Outcome::kServe: {
+      served_.fetch_add(n, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        min_rate_ = std::min(min_rate_, rate);
+        max_batch_seconds_ = std::max(max_batch_seconds_, batch_seconds);
+      }
+      registry.GetCounter("ms_server_served_total")->Inc(n);
+      registry
+          .GetHistogram("ms_server_batch_latency_ms", obs::LatencyBucketsMs())
+          ->Observe(batch_seconds * 1e3);
+      registry.GetHistogram("ms_server_chosen_rate", obs::RateBuckets())
+          ->Observe(rate);
+      // The slice rate the wall clock actually corresponds to under the r^2
+      // model (n * r_achieved^2 * t == measured seconds): compared with the
+      // chosen rate, this exposes calibration drift and contention.
+      const double t = opts_.serving.full_sample_time;
+      if (t > 0.0 && n > 0) {
+        registry.GetHistogram("ms_server_achieved_rate", obs::RateBuckets())
+            ->Observe(
+                std::sqrt(batch_seconds / (static_cast<double>(n) * t)));
+      }
+      registry.GetGauge("ms_server_budget_utilization")
+          ->Set(tick_seconds_ > 0.0 ? batch_seconds / tick_seconds_ : 0.0);
+      breaker_->OnSuccess();
+      registry.GetGauge("ms_server_breaker_open")->Set(0.0);
+      FinishTicket();
+      break;
+    }
+    case Outcome::kRetry: {
+      retried_.fetch_add(1, std::memory_order_relaxed);
+      registry.GetCounter("ms_server_retries_total")->Inc();
+      breaker_->OnFailure();
+      registry.GetGauge("ms_server_breaker_open")
+          ->Set(breaker_->open() ? 1.0 : 0.0);
+      // Same ticket, attempt 1; the in-flight slot carries over.
+      pool_->Submit([this, ticket_id] { RunAttempt(ticket_id, 1); });
+      break;
+    }
+    case Outcome::kFail: {
+      failed_.fetch_add(n, std::memory_order_relaxed);
+      registry.GetCounter("ms_server_failed_total")->Inc(n);
+      breaker_->OnFailure();
+      registry.GetGauge("ms_server_breaker_open")
+          ->Set(breaker_->open() ? 1.0 : 0.0);
+      FinishTicket();
+      break;
+    }
+    case Outcome::kDiscard: {
+      // Attempt-0 failure whose requests all expired: the ticket settled
+      // as pure expiry above.
+      FinishTicket();
+      break;
+    }
+  }
+}
+
+void SliceServer::RunWatchdog() {
+  if (!opts_.health.watchdog) return;
+  const auto now = SteadyClock::now();
+  std::vector<int64_t> stalled;
+  {
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    for (const auto& [id, t] : tickets_) {
+      // Only attempt 0 is ever rescheduled; a stalled retry must be waited
+      // out (a watchdog cannot kill a thread, only stop trusting it).
+      if (t.attempt != 0) continue;
+      if (DurationToSeconds(now - t.start) > t.watchdog_seconds) {
+        stalled.push_back(id);
+      }
+    }
+  }
+  if (stalled.empty()) return;
+  auto& registry = obs::MetricsRegistry::Global();
+  for (int64_t id : stalled) {
+    registry.GetCounter("ms_server_watchdog_stalls_total")->Inc();
+    MS_LOG(Warn) << "watchdog: batch ticket " << id
+                 << " exceeded its stall threshold; rescheduling once";
+    // Finalizing attempt 0 as a failure IS the reschedule: the ticket's
+    // attempt number advances, so the wedged worker's eventual result is
+    // discarded under the ticket lock. (If the batch finished between the
+    // scan above and here, the ticket is gone and this is a no-op.)
+    FinalizeAttempt(id, /*my_attempt=*/0, /*success=*/false,
+                    /*batch_seconds=*/0.0);
+  }
+}
+
 void SliceServer::TickOnce() {
   ticks_.fetch_add(1, std::memory_order_relaxed);
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("ms_server_ticks_total")->Inc();
 
+  RunWatchdog();
+
+  // While the breaker is open (cooloff running), cut with max_n = 0: an
+  // expiry-only sweep that keeps deadline accounting moving without
+  // dispatching doomed forwards. Half-open lets one batch probe.
+  const bool admit = breaker_->Allow();
   const int64_t max_n =
-      DegradationManager::MaxBatchWithinBudget(opts_.serving);
+      admit ? DegradationManager::MaxBatchWithinBudget(opts_.serving) : 0;
   RequestBatch batch = queue_->CutBatch(max_n);
   if (batch.expired > 0) {
     expired_.fetch_add(batch.expired, std::memory_order_relaxed);
@@ -273,8 +616,19 @@ void SliceServer::TickOnce() {
     std::lock_guard<std::mutex> lock(inflight_mu_);
     ++in_flight_;
   }
-  pool_->Submit(
-      [this, n, rate = decision.rate] { ExecuteBatch(n, rate); });
+  int64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    id = next_ticket_++;
+    BatchTicket t;
+    t.requests = std::move(batch.requests);
+    t.rate = decision.rate;
+    t.attempt = 0;
+    t.start = SteadyClock::now();
+    t.watchdog_seconds = WatchdogThreshold(n, decision.rate);
+    tickets_.emplace(id, std::move(t));
+  }
+  pool_->Submit([this, id] { RunAttempt(id, 0); });
 }
 
 void SliceServer::BatcherLoop() {
@@ -298,7 +652,9 @@ void SliceServer::BatcherLoop() {
 
   // Graceful shutdown: admission is already rejecting (stop_requested_);
   // close the queue, account for everything still in it, and wait for
-  // in-flight batches to finish their forwards.
+  // in-flight batches to settle. The watchdog keeps running during the
+  // drain so a worker that wedged on the last batch still gets its retry
+  // and cannot park Stop() forever.
   queue_->Close();
   RequestBatch rest = queue_->DrainAll();
   auto& registry = obs::MetricsRegistry::Global();
@@ -311,8 +667,16 @@ void SliceServer::BatcherLoop() {
     shed_.fetch_add(shed_on_stop, std::memory_order_relaxed);
     registry.GetCounter("ms_server_shed_total")->Inc(shed_on_stop);
   }
-  std::unique_lock<std::mutex> lock(inflight_mu_);
-  inflight_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(inflight_mu_);
+      if (inflight_cv_.wait_for(lock, std::chrono::milliseconds(10),
+                                [this] { return in_flight_ == 0; })) {
+        break;
+      }
+    }
+    RunWatchdog();
+  }
 }
 
 void SliceServer::Stop() {
@@ -335,8 +699,12 @@ ServerStats SliceServer::stats() const {
   s.shed = shed_.load(std::memory_order_relaxed);
   s.expired = expired_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.ticks = ticks_.load(std::memory_order_relaxed);
+  s.retried_batches = retried_.load(std::memory_order_relaxed);
+  s.quarantined = quarantined_total_.load(std::memory_order_relaxed);
+  s.repaired = repaired_total_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(stats_mu_);
   s.min_rate = min_rate_;
   s.max_batch_seconds = max_batch_seconds_;

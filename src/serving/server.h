@@ -16,9 +16,34 @@
 // Degradation ladder (shared with DegradationManager, in order):
 //   1. shed:   Submit on a full queue returns kShedQueueFull;
 //   2. lower rates: the scheduler slices the model down to the base rate;
-//   3. reject: once Stop() begins, Submit returns kRejectedClosed.
+//   3. reject: once Stop() begins — or while the failure circuit breaker is
+//      open — Submit returns kRejectedClosed.
 // Requests whose deadline passes while queued are dropped at the next batch
 // cut and counted as expired.
+//
+// Self-healing layer (src/serving/health.h, tunable via
+// ServerOptions::health):
+//   - Watchdog: the batcher tracks every in-flight batch; one that exceeds
+//     k x its expected n*r^2*t (a stalled or dead worker) is rescheduled
+//     ONCE on a healthy worker after a deadline re-check. The superseded
+//     attempt's eventual result is discarded under the ticket lock, so a
+//     request can never be served twice.
+//   - Output health: every batch's logits are scanned for NaN/Inf. A
+//     poisoned replica is quarantined, repaired from the golden weight
+//     snapshot taken at Start(), probed with a small forward, and
+//     readmitted only if the probe is clean. Unrepairable replicas stay out
+//     of the free list for good.
+//   - Circuit breaker: consecutive final batch failures open the breaker;
+//     admission rejects (the ladder's last rung) until a cooloff passes and
+//     a probe batch succeeds.
+//   - Worker exceptions are caught, counted as `failed`, and always release
+//     the in-flight slot — a worker that dies mid-batch cannot park Stop().
+//
+// Fault-injection points on this path (src/util/fault.h, armed via
+// MS_FAULTS): server.worker.stall, server.forward.throw, server.forward.nan
+// (weight-poisons the replica so the health check must catch it), and
+// queue.submit.reject inside RequestQueue. All are single relaxed atomic
+// loads when disarmed.
 //
 // `t` (full-model per-sample seconds) is *measured* at Start() by timing
 // real forwards, instead of trusting ServingConfig::full_sample_time — on
@@ -26,20 +51,23 @@
 // as t. All ServingConfig times are seconds here (latency_budget = T).
 //
 // Every ServerStats counter also lands in the global metrics registry under
-// ms_server_* (queue depth, shed/expired counts, batch latency histogram,
-// chosen vs achieved rate).
+// ms_server_* (queue depth, shed/expired/failed counts, batch latency
+// histogram, chosen vs achieved rate, quarantine/repair/retry counts).
 #ifndef MODELSLICING_SERVING_SERVER_H_
 #define MODELSLICING_SERVING_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/nn/module.h"
+#include "src/serving/health.h"
 #include "src/serving/latency_scheduler.h"
 #include "src/serving/request_queue.h"
 #include "src/util/status.h"
@@ -61,19 +89,28 @@ struct ServerOptions {
   /// pack exists before traffic arrives; steady-state serving then never
   /// packs. Disable only to measure the cold path on purpose.
   bool prewarm = true;
+  /// Watchdog / quarantine / circuit-breaker knobs (src/serving/health.h).
+  HealthOptions health;
 };
 
-/// Post-Stop invariant: submitted == served + shed + expired + rejected —
+/// Post-Stop invariant:
+///   submitted == served + shed + expired + rejected + failed —
 /// every request is accounted for exactly once.
 struct ServerStats {
   int64_t submitted = 0;   ///< Submit() calls.
   int64_t accepted = 0;    ///< admitted to the queue.
-  int64_t served = 0;      ///< went through a real Forward.
+  int64_t served = 0;      ///< went through a real Forward with clean output.
   int64_t shed = 0;        ///< queue-full at admission, or queued at Stop.
   int64_t expired = 0;     ///< deadline passed before execution.
-  int64_t rejected = 0;    ///< submitted before Start or during/after Stop.
+  int64_t rejected = 0;    ///< before Start, during/after Stop, breaker open,
+                           ///< or malformed (non-finite deadline).
+  int64_t failed = 0;      ///< batch threw or stayed poisoned after the
+                           ///< single retry — requests definitively lost.
   int64_t batches = 0;     ///< forwards dispatched.
   int64_t ticks = 0;       ///< batch-cut intervals elapsed.
+  int64_t retried_batches = 0;    ///< watchdog or failure reschedules.
+  int64_t quarantined = 0;        ///< replica quarantine events.
+  int64_t repaired = 0;           ///< quarantined replicas readmitted.
   double min_rate = 1.0;   ///< lowest slice rate any batch ran at.
   double max_batch_seconds = 0.0;  ///< slowest batch forward.
 };
@@ -82,10 +119,12 @@ struct ServerStats {
 ///
 /// Each worker owns one model replica (Module is stateful across
 /// Forward/SetSliceRate, so replicas are never shared between concurrent
-/// batches). Lifecycle: Create -> Start -> Submit... -> Stop. Stop is
-/// graceful: admission closes, in-flight batches finish, still-queued
-/// requests are shed/expired with exact accounting. Restart is not
-/// supported; create a new server instead.
+/// batches). Replicas must be weight-identical (CopyParams): replica 0's
+/// weights become the golden master used to repair poisoned replicas.
+/// Lifecycle: Create -> Start -> Submit... -> Stop. Stop is graceful:
+/// admission closes, in-flight batches finish, still-queued requests are
+/// shed/expired with exact accounting. Restart is not supported; create a
+/// new server instead.
 class SliceServer {
  public:
   static Result<std::unique_ptr<SliceServer>> Create(
@@ -100,7 +139,7 @@ class SliceServer {
   Status Start();
 
   /// Admission control; safe from any thread. `deadline_seconds` is
-  /// relative to now; <= 0 means no deadline.
+  /// relative to now; <= 0 means no deadline; NaN/Inf is rejected.
   AdmitResult Submit(double deadline_seconds = 0.0);
 
   /// Graceful shutdown: close admission, let in-flight batches drain, shed
@@ -121,8 +160,27 @@ class SliceServer {
   /// Serving config as used (full_sample_time reflects calibration).
   const ServingConfig& serving_config() const { return opts_.serving; }
   int num_workers() const { return static_cast<int>(replicas_.size()); }
+  /// Replicas currently serving-eligible (total minus quarantined).
+  int healthy_workers() const;
+  /// True while the failure circuit breaker is rejecting admissions.
+  bool breaker_open() const;
 
  private:
+  using SteadyClock = std::chrono::steady_clock;
+
+  /// One dispatched batch. The ticket outlives worker attempts: the
+  /// watchdog may supersede attempt 0 with a retry, and only the attempt
+  /// whose number still matches the ticket's may account the outcome —
+  /// that handshake (under tickets_mu_) is what makes double-serving
+  /// impossible.
+  struct BatchTicket {
+    std::vector<Request> requests;
+    double rate = 1.0;
+    int attempt = 0;                  ///< 0 original, 1 the single retry.
+    SteadyClock::time_point start;    ///< current attempt's dispatch time.
+    double watchdog_seconds = 0.0;    ///< stall threshold for this attempt.
+  };
+
   SliceServer(std::vector<std::unique_ptr<Module>> replicas,
               ServerOptions opts);
 
@@ -130,15 +188,35 @@ class SliceServer {
   void Prewarm();
   void BatcherLoop();
   void TickOnce();
-  void ExecuteBatch(int64_t n, double rate);
-  Module* AcquireReplica();
-  void ReleaseReplica(Module* m);
+  void RunWatchdog();
+  /// Worker body for one attempt at one ticket. Never throws; always
+  /// releases the replica and settles the ticket's accounting.
+  void RunAttempt(int64_t ticket_id, int my_attempt);
+  /// Settles an attempt: serve, schedule the one retry, or fail. No-op if
+  /// the attempt was superseded.
+  void FinalizeAttempt(int64_t ticket_id, int my_attempt, bool success,
+                       double batch_seconds);
+  /// Quarantines a poisoned replica, restores golden weights, probes, and
+  /// readmits on a clean probe.
+  void QuarantineAndRepair(int replica);
+  bool RepairReplica(int replica);
+  double WatchdogThreshold(int64_t n, double rate) const;
+  void FinishTicket();  ///< in-flight bookkeeping after a ticket settles.
+
+  /// Blocks until a healthy replica is free; returns -1 when every replica
+  /// is quarantined (the batch then fails instead of waiting forever).
+  int AcquireReplica();
+  void ReleaseReplica(int replica);
 
   ServerOptions opts_;
   std::vector<std::unique_ptr<Module>> replicas_;
+  std::vector<std::vector<ParamRef>> replica_params_;
+  std::vector<Tensor> golden_;    ///< golden-master weights (from Start()).
   std::unique_ptr<RequestQueue> queue_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<LatencyScheduler> scheduler_;
+  std::unique_ptr<ReplicaHealth> health_;
+  std::unique_ptr<CircuitBreaker> breaker_;
 
   double tick_seconds_ = 0.0;     ///< T/2, the batching interval.
   double calibrated_t_ = 0.0;
@@ -153,15 +231,19 @@ class SliceServer {
   std::mutex batcher_mu_;
   std::condition_variable batcher_cv_;
 
-  // Free-list of replicas available to worker tasks.
+  // Free-list of healthy, idle replica indices.
   std::mutex replica_mu_;
   std::condition_variable replica_cv_;
-  std::vector<Module*> free_replicas_;
+  std::vector<int> free_replicas_;
 
-  // In-flight batch tracking for the shutdown drain.
+  // In-flight batch tracking: count for the shutdown drain, tickets for the
+  // watchdog/retry machinery.
   std::mutex inflight_mu_;
   std::condition_variable inflight_cv_;
   int64_t in_flight_ = 0;
+  std::mutex tickets_mu_;
+  std::map<int64_t, BatchTicket> tickets_;
+  int64_t next_ticket_ = 0;
 
   // Admission / execution counters. served/min_rate/max_batch_seconds are
   // written by worker threads; everything is atomic or stats_mu_-guarded.
@@ -171,8 +253,12 @@ class SliceServer {
   std::atomic<int64_t> shed_{0};
   std::atomic<int64_t> expired_{0};
   std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> failed_{0};
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> ticks_{0};
+  std::atomic<int64_t> retried_{0};
+  std::atomic<int64_t> quarantined_total_{0};
+  std::atomic<int64_t> repaired_total_{0};
   mutable std::mutex stats_mu_;
   double min_rate_ = 1.0;
   double max_batch_seconds_ = 0.0;

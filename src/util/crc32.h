@@ -1,0 +1,45 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven. Used by the
+// checkpoint format (src/nn/serialize.cc) to detect torn or bit-flipped
+// payloads before any parameter is overwritten. The table is built at
+// compile time, so including this header has no runtime init cost.
+#ifndef MODELSLICING_UTIL_CRC32_H_
+#define MODELSLICING_UTIL_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ms {
+
+namespace internal {
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace internal
+
+/// Incremental CRC-32: pass the previous return value as `crc` to continue
+/// a running checksum (start from 0).
+inline uint32_t Crc32(const void* data, size_t n, uint32_t crc = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = internal::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ms
+
+#endif  // MODELSLICING_UTIL_CRC32_H_

@@ -1,0 +1,253 @@
+// Fault-injection registry: named injection points that production code
+// guards with `fault::Registry::Global().ShouldFire(point)`. Disarmed (the
+// default, and the only state reachable without MS_FAULTS or an explicit
+// Arm call) the check is a single relaxed atomic load, so injection points
+// may sit on serving hot paths with zero measurable overhead.
+//
+// Arming:
+//   - environment: MS_FAULTS="server.worker.stall=0.05@0.02,queue.submit.reject=0.1"
+//     (point=probability, optional @param — e.g. stall seconds), parsed the
+//     first time Global() is touched; MS_FAULTS_SEED pins the decision seed.
+//   - programmatic: Registry::Global().Arm("server.forward.nan", 0.05).
+//
+// Firing is deterministic per seed: each point owns an independent
+// SplitMix64 decision stream keyed by (seed, point name), so the k-th
+// evaluation of a point always makes the same decision for a given seed.
+// (Which *thread* observes the k-th evaluation still depends on
+// scheduling.) Every fire increments the global metrics counter
+// `ms_fault_<point with . -> _>_total`, so chaos tests and the disarmed
+// no-overhead gate can both observe exactly what fired.
+#ifndef MODELSLICING_UTIL_FAULT_H_
+#define MODELSLICING_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/obs/metrics.h"
+#include "src/util/status.h"
+
+namespace ms {
+namespace fault {
+
+/// Well-known injection points. Any other dotted name works too; these
+/// constants just keep call sites and tests in sync.
+inline constexpr const char kWorkerStall[] = "server.worker.stall";
+inline constexpr const char kForwardThrow[] = "server.forward.throw";
+inline constexpr const char kForwardNan[] = "server.forward.nan";
+inline constexpr const char kCheckpointTruncate[] = "checkpoint.write.truncate";
+inline constexpr const char kQueueReject[] = "queue.submit.reject";
+inline constexpr const char kTrainNanLoss[] = "train.loss.nan";
+
+class Registry {
+ public:
+  /// Process-wide registry; parses MS_FAULTS / MS_FAULTS_SEED on first use.
+  static Registry& Global() {
+    static Registry* r = new Registry(/*from_env=*/true);
+    return *r;
+  }
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Arm `point` to fire with `probability` in [0, 1]. `param` is a
+  /// point-specific knob (e.g. stall seconds) read back via Param().
+  void Arm(const std::string& point, double probability, double param = 0.0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    PointState& p = points_[point];
+    if (!p.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+    p.armed = true;
+    p.probability = probability < 0.0 ? 0.0 : (probability > 1.0 ? 1.0
+                                                                 : probability);
+    p.param = param;
+    p.stream = StreamSeed(point);
+    // Re-fetched on every Arm (not cached once): tests that Reset() the
+    // metrics registry between cases would otherwise leave this dangling.
+    p.fires_metric =
+        obs::MetricsRegistry::Global().GetCounter(MetricName(point));
+  }
+
+  void Disarm(const std::string& point) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end() || !it->second.armed) return;
+    it->second.armed = false;
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void DisarmAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, p] : points_) {
+      if (p.armed) armed_count_.fetch_sub(1, std::memory_order_relaxed);
+      p.armed = false;
+    }
+  }
+
+  /// Re-seeds every decision stream (armed points restart their sequence).
+  void SetSeed(uint64_t seed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    seed_ = seed;
+    for (auto& [name, p] : points_) p.stream = StreamSeedLocked(name);
+  }
+
+  /// Hot path: false immediately unless at least one point is armed.
+  bool ShouldFire(const char* point) {
+    if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end() || !it->second.armed) return false;
+    PointState& p = it->second;
+    ++p.evaluations;
+    const double u = NextUniform(&p.stream);
+    if (u >= p.probability) return false;
+    ++p.fires;
+    p.fires_metric->Inc();
+    return true;
+  }
+
+  /// The @param armed with `point`, or `fallback` when absent/zero.
+  double Param(const char* point, double fallback) const {
+    if (armed_count_.load(std::memory_order_relaxed) == 0) return fallback;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end() || !it->second.armed || it->second.param == 0.0) {
+      return fallback;
+    }
+    return it->second.param;
+  }
+
+  bool armed(const std::string& point) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    return it != points_.end() && it->second.armed;
+  }
+
+  int armed_count() const {
+    return armed_count_.load(std::memory_order_relaxed);
+  }
+
+  int64_t fires(const std::string& point) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    return it == points_.end() ? 0 : it->second.fires;
+  }
+
+  int64_t evaluations(const std::string& point) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    return it == points_.end() ? 0 : it->second.evaluations;
+  }
+
+  /// Parses "point=prob[@param][,point=prob...]" (the MS_FAULTS syntax) and
+  /// arms every entry. Whitespace around tokens is not tolerated — the spec
+  /// is machine-written (env vars, CI yaml).
+  Status ArmFromSpec(const std::string& spec) {
+    size_t pos = 0;
+    while (pos < spec.size()) {
+      size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      const std::string entry = spec.substr(pos, comma - pos);
+      pos = comma + 1;
+      if (entry.empty()) continue;
+      const size_t eq = entry.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return Status::InvalidArgument("fault spec entry '" + entry +
+                                       "' is not point=probability");
+      }
+      const std::string point = entry.substr(0, eq);
+      std::string prob_str = entry.substr(eq + 1);
+      double param = 0.0;
+      const size_t at = prob_str.find('@');
+      if (at != std::string::npos) {
+        char* end = nullptr;
+        param = std::strtod(prob_str.c_str() + at + 1, &end);
+        if (end == nullptr || *end != '\0') {
+          return Status::InvalidArgument("bad fault param in '" + entry + "'");
+        }
+        prob_str.resize(at);
+      }
+      char* end = nullptr;
+      const double prob = std::strtod(prob_str.c_str(), &end);
+      if (prob_str.empty() || end == nullptr || *end != '\0' || prob < 0.0 ||
+          prob > 1.0) {
+        return Status::InvalidArgument("bad fault probability in '" + entry +
+                                       "' (want [0, 1])");
+      }
+      Arm(point, prob, param);
+    }
+    return Status::OK();
+  }
+
+  /// Metrics counter name for a point: ms_fault_<dots -> underscores>_total.
+  static std::string MetricName(const std::string& point) {
+    std::string name = "ms_fault_";
+    for (char c : point) name += (c == '.' ? '_' : c);
+    name += "_total";
+    return name;
+  }
+
+ private:
+  struct PointState {
+    bool armed = false;
+    double probability = 0.0;
+    double param = 0.0;
+    uint64_t stream = 0;  ///< SplitMix64 state for the decision sequence.
+    int64_t evaluations = 0;
+    int64_t fires = 0;
+    obs::Counter* fires_metric = nullptr;
+  };
+
+  explicit Registry(bool from_env) {
+    if (const char* seed_env = std::getenv("MS_FAULTS_SEED")) {
+      seed_ = std::strtoull(seed_env, nullptr, 10);
+    }
+    if (from_env) {
+      if (const char* spec = std::getenv("MS_FAULTS")) {
+        const Status s = ArmFromSpec(spec);
+        if (!s.ok()) {
+          std::cerr << "MS_FAULTS ignored: " << s << std::endl;
+          DisarmAll();
+        }
+      }
+    }
+  }
+
+  static uint64_t SplitMix64(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  static double NextUniform(uint64_t* state) {
+    return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+  }
+
+  uint64_t StreamSeed(const std::string& point) const {
+    return StreamSeedLocked(point);
+  }
+
+  uint64_t StreamSeedLocked(const std::string& point) const {
+    // FNV-1a over the name, mixed with the registry seed: independent
+    // deterministic streams per (seed, point).
+    uint64_t h = 0xCBF29CE484222325ULL;
+    for (char c : point) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001B3ULL;
+    }
+    return h ^ (seed_ * 0x9E3779B97F4A7C15ULL);
+  }
+
+  mutable std::mutex mu_;
+  std::atomic<int> armed_count_{0};
+  uint64_t seed_ = 0x5EEDF417ULL;
+  std::unordered_map<std::string, PointState> points_;
+};
+
+}  // namespace fault
+}  // namespace ms
+
+#endif  // MODELSLICING_UTIL_FAULT_H_

@@ -1,0 +1,135 @@
+// Unit tests for the fault-injection registry: disarmed fast path, spec
+// parsing, deterministic per-seed firing, params, and metric naming.
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/obs/metrics.h"
+#include "src/util/fault.h"
+
+namespace ms {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Registry::Global().DisarmAll(); }
+  void TearDown() override { fault::Registry::Global().DisarmAll(); }
+};
+
+TEST_F(FaultTest, DisarmedNeverFires) {
+  auto& reg = fault::Registry::Global();
+  ASSERT_EQ(reg.armed_count(), 0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(reg.ShouldFire(fault::kWorkerStall));
+  }
+  // The fast path doesn't even count evaluations — it is one atomic load.
+  EXPECT_EQ(reg.evaluations(fault::kWorkerStall), 0);
+}
+
+TEST_F(FaultTest, ProbabilityEndpoints) {
+  auto& reg = fault::Registry::Global();
+  reg.Arm("test.always", 1.0);
+  reg.Arm("test.never", 0.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(reg.ShouldFire("test.always"));
+    EXPECT_FALSE(reg.ShouldFire("test.never"));
+  }
+  EXPECT_EQ(reg.fires("test.always"), 100);
+  EXPECT_EQ(reg.fires("test.never"), 0);
+  EXPECT_EQ(reg.evaluations("test.never"), 100);
+}
+
+TEST_F(FaultTest, DeterministicPerSeed) {
+  auto& reg = fault::Registry::Global();
+  auto sequence = [&](uint64_t seed) {
+    reg.SetSeed(seed);
+    reg.Arm("test.coin", 0.5);
+    std::string bits;
+    for (int i = 0; i < 64; ++i) {
+      bits += reg.ShouldFire("test.coin") ? '1' : '0';
+    }
+    reg.Disarm("test.coin");
+    return bits;
+  };
+  const std::string a1 = sequence(7);
+  const std::string a2 = sequence(7);
+  const std::string b = sequence(8);
+  EXPECT_EQ(a1, a2);  // same seed -> identical decision stream
+  EXPECT_NE(a1, b);   // different seed -> different stream
+  // An unbiased-ish coin: both outcomes must appear.
+  EXPECT_NE(a1.find('0'), std::string::npos);
+  EXPECT_NE(a1.find('1'), std::string::npos);
+}
+
+TEST_F(FaultTest, IndependentStreamsPerPoint) {
+  auto& reg = fault::Registry::Global();
+  reg.SetSeed(42);
+  reg.Arm("test.a", 0.5);
+  reg.Arm("test.b", 0.5);
+  std::string a, b;
+  for (int i = 0; i < 64; ++i) {
+    a += reg.ShouldFire("test.a") ? '1' : '0';
+    b += reg.ShouldFire("test.b") ? '1' : '0';
+  }
+  EXPECT_NE(a, b);  // name-keyed streams, not a shared one
+}
+
+TEST_F(FaultTest, ParamRoundTrip) {
+  auto& reg = fault::Registry::Global();
+  EXPECT_DOUBLE_EQ(reg.Param(fault::kWorkerStall, 0.25), 0.25);  // disarmed
+  reg.Arm(fault::kWorkerStall, 1.0, /*param=*/0.02);
+  EXPECT_DOUBLE_EQ(reg.Param(fault::kWorkerStall, 0.25), 0.02);
+  reg.Arm(fault::kForwardNan, 1.0);  // no param -> fallback
+  EXPECT_DOUBLE_EQ(reg.Param(fault::kForwardNan, 0.5), 0.5);
+}
+
+TEST_F(FaultTest, ArmFromSpecParsesTheEnvSyntax) {
+  auto& reg = fault::Registry::Global();
+  ASSERT_TRUE(reg
+                  .ArmFromSpec("server.worker.stall=0.05@0.02,"
+                               "server.forward.nan=0.1,queue.submit.reject=1")
+                  .ok());
+  EXPECT_TRUE(reg.armed(fault::kWorkerStall));
+  EXPECT_TRUE(reg.armed(fault::kForwardNan));
+  EXPECT_TRUE(reg.armed(fault::kQueueReject));
+  EXPECT_EQ(reg.armed_count(), 3);
+  EXPECT_DOUBLE_EQ(reg.Param(fault::kWorkerStall, 0.0), 0.02);
+  EXPECT_TRUE(reg.ShouldFire(fault::kQueueReject));  // p = 1
+}
+
+TEST_F(FaultTest, ArmFromSpecRejectsMalformedEntries) {
+  auto& reg = fault::Registry::Global();
+  EXPECT_FALSE(reg.ArmFromSpec("no-equals-sign").ok());
+  EXPECT_FALSE(reg.ArmFromSpec("=0.5").ok());
+  EXPECT_FALSE(reg.ArmFromSpec("p=not-a-number").ok());
+  EXPECT_FALSE(reg.ArmFromSpec("p=1.5").ok());       // out of [0, 1]
+  EXPECT_FALSE(reg.ArmFromSpec("p=-0.1").ok());
+  EXPECT_FALSE(reg.ArmFromSpec("p=0.5@junk").ok());  // bad param
+  EXPECT_TRUE(reg.ArmFromSpec("").ok());             // empty spec is a no-op
+}
+
+TEST_F(FaultTest, FiresLandInTheMetricsRegistry) {
+  auto& reg = fault::Registry::Global();
+  auto& metrics = obs::MetricsRegistry::Global();
+  EXPECT_EQ(fault::Registry::MetricName("server.worker.stall"),
+            "ms_fault_server_worker_stall_total");
+  reg.Arm("test.metric", 1.0);
+  const int64_t before =
+      metrics.GetCounter("ms_fault_test_metric_total")->value();
+  for (int i = 0; i < 5; ++i) reg.ShouldFire("test.metric");
+  EXPECT_EQ(metrics.GetCounter("ms_fault_test_metric_total")->value(),
+            before + 5);
+}
+
+TEST_F(FaultTest, DisarmAllSilencesEverything) {
+  auto& reg = fault::Registry::Global();
+  reg.Arm("test.x", 1.0);
+  reg.Arm("test.y", 1.0);
+  EXPECT_EQ(reg.armed_count(), 2);
+  reg.DisarmAll();
+  EXPECT_EQ(reg.armed_count(), 0);
+  EXPECT_FALSE(reg.ShouldFire("test.x"));
+  EXPECT_FALSE(reg.ShouldFire("test.y"));
+}
+
+}  // namespace
+}  // namespace ms

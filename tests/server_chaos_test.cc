@@ -1,0 +1,299 @@
+// Chaos tests for the self-healing serving engine: injected stalls, weight
+// poisoning, worker exceptions and admission faults, singly and together.
+// The properties under test:
+//   - exact accounting under every fault mix:
+//       served + shed + expired + rejected + failed == submitted;
+//   - the watchdog reschedules a stalled batch exactly once and nothing is
+//     served twice;
+//   - a NaN-poisoned replica is quarantined, repaired from the golden
+//     snapshot and readmitted (observable via stats and ms_server_* /
+//     ms_fault_* metrics);
+//   - a throwing worker fails its batch without wedging Stop();
+//   - the circuit breaker opens after consecutive failures and closes again
+//     once faults stop.
+// Runs under ASan/TSan in the CI chaos job; all waits are generous.
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/models/mlp.h"
+#include "src/obs/metrics.h"
+#include "src/serving/server.h"
+#include "src/util/fault.h"
+#include "src/util/rng.h"
+
+namespace ms {
+namespace {
+
+std::vector<std::unique_ptr<Module>> MakeReplicas(int n) {
+  MlpConfig cfg;
+  cfg.in_features = 8;
+  cfg.hidden = {16};
+  cfg.num_classes = 4;
+  cfg.slice_groups = 4;
+  cfg.seed = 11;  // same seed: identical weights per replica.
+  std::vector<std::unique_ptr<Module>> replicas;
+  for (int i = 0; i < n; ++i) {
+    replicas.push_back(MakeMlp(cfg).MoveValueOrDie());
+  }
+  return replicas;
+}
+
+ServerOptions ChaosOptions() {
+  ServerOptions opts;
+  opts.serving.latency_budget = 0.02;  // 10ms batching tick.
+  opts.serving.full_sample_time = 1.0;  // replaced by calibration.
+  opts.serving.lattice = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  opts.max_queue = 256;
+  opts.sample_shape = {8};
+  opts.calibration_batch = 4;
+  opts.calibration_repeats = 2;
+  // Fast watchdog so injected stalls are caught within a few ticks even on
+  // sanitizer-slowed machines.
+  opts.health.watchdog_min_seconds = 0.03;
+  return opts;
+}
+
+void ExpectConservation(const ServerStats& s) {
+  EXPECT_EQ(s.submitted,
+            s.served + s.shed + s.expired + s.rejected + s.failed)
+      << "submitted=" << s.submitted << " served=" << s.served
+      << " shed=" << s.shed << " expired=" << s.expired
+      << " rejected=" << s.rejected << " failed=" << s.failed;
+}
+
+template <typename Fn>
+bool WaitFor(Fn&& done, int timeout_ms) {
+  for (int i = 0; i < timeout_ms; ++i) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return done();
+}
+
+class ServerChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& reg = fault::Registry::Global();
+    reg.DisarmAll();
+    reg.SetSeed(7);
+  }
+  void TearDown() override { fault::Registry::Global().DisarmAll(); }
+};
+
+TEST_F(ServerChaosTest, WatchdogRetriesStalledBatchesWithoutDoubleServing) {
+  auto& reg = fault::Registry::Global();
+  // EVERY attempt stalls 300ms, 10x the watchdog floor: attempt 0 is always
+  // superseded (even on a sanitizer-slowed machine), and the (equally
+  // stalled, but final) retry serves. If the superseded attempt's result
+  // were also counted, served would exceed submitted and the conservation
+  // check would catch it.
+  reg.Arm(fault::kWorkerStall, 1.0, /*param=*/0.3);
+  auto server =
+      SliceServer::Create(MakeReplicas(2), ChaosOptions()).MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+  const int kRequests = 6;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_EQ(server->Submit(), AdmitResult::kAccepted);
+  }
+  ASSERT_TRUE(WaitFor([&] { return server->stats().served >= kRequests; },
+                      /*timeout_ms=*/20000));
+  server->Stop();
+  const ServerStats s = server->stats();
+  EXPECT_EQ(s.served, kRequests);  // exactly once each, never twice
+  EXPECT_EQ(s.failed, 0);
+  EXPECT_GE(s.retried_batches, 1);
+  ExpectConservation(s);
+  EXPECT_GE(reg.fires(fault::kWorkerStall), 1);
+}
+
+TEST_F(ServerChaosTest, PoisonedReplicaIsQuarantinedRepairedAndReadmitted) {
+  auto& reg = fault::Registry::Global();
+  auto opts = ChaosOptions();
+  opts.health.breaker_failures = 1000;  // keep admission open for phase 2
+  auto server =
+      SliceServer::Create(MakeReplicas(2), opts).MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+
+  // Phase 1: every batch weight-poisons its replica. The health check must
+  // catch the non-finite logits, quarantine, repair from golden, readmit —
+  // and the requests (original + retry both poisoned) end up failed.
+  reg.Arm(fault::kForwardNan, 1.0);
+  for (int i = 0; i < 4; ++i) server->Submit();
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        const ServerStats s = server->stats();
+        return s.quarantined >= 1 && s.repaired >= 1 && s.failed >= 1;
+      },
+      /*timeout_ms=*/20000));
+
+  // Phase 2: faults off. The repaired replicas must serve cleanly again —
+  // the golden-snapshot restore really did heal the weights.
+  reg.DisarmAll();
+  const int64_t served_before = server->stats().served;
+  for (int i = 0; i < 4; ++i) server->Submit();
+  ASSERT_TRUE(WaitFor(
+      [&] { return server->stats().served >= served_before + 4; },
+      /*timeout_ms=*/20000));
+
+  server->Stop();
+  const ServerStats s = server->stats();
+  EXPECT_GE(s.quarantined, 1);
+  EXPECT_GE(s.repaired, 1);
+  EXPECT_EQ(server->healthy_workers(), server->num_workers());
+  ExpectConservation(s);
+  auto& metrics = obs::MetricsRegistry::Global();
+  EXPECT_GE(metrics.GetCounter("ms_server_quarantine_total")->value(), 1);
+  EXPECT_GE(metrics.GetCounter("ms_server_quarantine_repaired_total")->value(),
+            1);
+  EXPECT_GE(
+      metrics.GetCounter("ms_fault_server_forward_nan_total")->value(), 1);
+}
+
+TEST_F(ServerChaosTest, ThrowingWorkerFailsBatchAndStopDoesNotHang) {
+  auto& reg = fault::Registry::Global();
+  auto opts = ChaosOptions();
+  opts.health.breaker_failures = 1000;
+  auto server =
+      SliceServer::Create(MakeReplicas(2), opts).MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+  reg.Arm(fault::kForwardThrow, 1.0);
+  const int kRequests = 4;
+  for (int i = 0; i < kRequests; ++i) server->Submit();
+  ASSERT_TRUE(WaitFor([&] { return server->stats().failed >= kRequests; },
+                      /*timeout_ms=*/20000));
+  // The regression this guards: a worker dying mid-batch used to skip the
+  // in-flight decrement, leaving Stop() waiting forever.
+  server->Stop();
+  const ServerStats s = server->stats();
+  EXPECT_EQ(s.served, 0);
+  EXPECT_EQ(s.failed, kRequests);
+  ExpectConservation(s);
+}
+
+TEST_F(ServerChaosTest, BreakerOpensUnderFailuresAndClosesAfterRecovery) {
+  auto& reg = fault::Registry::Global();
+  auto opts = ChaosOptions();
+  opts.health.breaker_failures = 2;
+  opts.health.breaker_cooloff_seconds = 0.05;
+  auto server =
+      SliceServer::Create(MakeReplicas(2), opts).MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+
+  reg.Arm(fault::kForwardThrow, 1.0);
+  // Feed batches until enough consecutive failures trip the breaker. Each
+  // ticket contributes two OnFailure calls (retry, then final failure).
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        server->Submit();
+        return server->breaker_open();
+      },
+      /*timeout_ms=*/20000));
+  // While open (within the cooloff) admission walks the last ladder rung.
+  const ServerStats mid = server->stats();
+  EXPECT_GE(mid.failed, 1);
+
+  // Recovery: disarm and let the half-open probe close the breaker.
+  reg.DisarmAll();
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        server->Submit();
+        const ServerStats s = server->stats();
+        return !server->breaker_open() && s.served > 0;
+      },
+      /*timeout_ms=*/20000));
+
+  server->Stop();
+  ExpectConservation(server->stats());
+  EXPECT_GE(obs::MetricsRegistry::Global()
+                .GetCounter("ms_server_breaker_rejected_total")
+                ->value(),
+            0);
+}
+
+TEST_F(ServerChaosTest, MixedChaosFloodKeepsAccountingExact) {
+  // The acceptance-criteria scenario: stall + NaN at 5%, throw at 2%,
+  // admission faults at 2%, deterministic seed, producers flooding from
+  // several threads — and not a single request unaccounted for.
+  auto& reg = fault::Registry::Global();
+  ASSERT_TRUE(reg
+                  .ArmFromSpec("server.worker.stall=0.05@0.02,"
+                               "server.forward.nan=0.05,"
+                               "server.forward.throw=0.02,"
+                               "queue.submit.reject=0.02")
+                  .ok());
+  auto server =
+      SliceServer::Create(MakeReplicas(3), ChaosOptions()).MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 150;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(2000 + static_cast<uint64_t>(p));
+      for (int i = 0; i < kPerProducer; ++i) {
+        // A mix of no-deadline, generous and tight deadlines.
+        const double d = (i % 3 == 0) ? 0.0 : rng.Uniform(0.002, 0.5);
+        server->Submit(d);
+        if (i % 16 == 0) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  // Let the backlog drain (or expire) with faults still armed, then stop.
+  WaitFor([&] { return server->queue_depth() == 0; }, /*timeout_ms=*/10000);
+  server->Stop();
+
+  const ServerStats s = server->stats();
+  EXPECT_EQ(s.submitted, kProducers * kPerProducer);
+  ExpectConservation(s);
+  EXPECT_GT(s.served, 0);  // chaos degraded service, didn't kill it
+
+  // Disarm and verify the server of a fresh run serves cleanly — i.e. the
+  // chaos left no poisoned global state behind (weight generations, packs).
+  reg.DisarmAll();
+  auto clean =
+      SliceServer::Create(MakeReplicas(2), ChaosOptions()).MoveValueOrDie();
+  ASSERT_TRUE(clean->Start().ok());
+  for (int i = 0; i < 8; ++i) clean->Submit();
+  EXPECT_TRUE(WaitFor([&] { return clean->stats().served >= 8; },
+                      /*timeout_ms=*/20000));
+  clean->Stop();
+  const ServerStats cs = clean->stats();
+  EXPECT_EQ(cs.failed, 0);
+  EXPECT_EQ(cs.quarantined, 0);
+  ExpectConservation(cs);
+}
+
+TEST_F(ServerChaosTest, DisarmedFaultPointsNeverFire) {
+  auto& reg = fault::Registry::Global();
+  ASSERT_EQ(reg.armed_count(), 0);
+  const int64_t stall_before = reg.fires(fault::kWorkerStall);
+  const int64_t nan_before = reg.fires(fault::kForwardNan);
+  const int64_t throw_before = reg.fires(fault::kForwardThrow);
+  const int64_t reject_before = reg.fires(fault::kQueueReject);
+  auto server =
+      SliceServer::Create(MakeReplicas(2), ChaosOptions()).MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+  for (int i = 0; i < 16; ++i) server->Submit();
+  EXPECT_TRUE(WaitFor([&] { return server->stats().served >= 16; },
+                      /*timeout_ms=*/20000));
+  server->Stop();
+  const ServerStats s = server->stats();
+  EXPECT_EQ(s.failed, 0);
+  EXPECT_EQ(s.retried_batches, 0);
+  EXPECT_EQ(s.quarantined, 0);
+  ExpectConservation(s);
+  EXPECT_EQ(reg.fires(fault::kWorkerStall), stall_before);
+  EXPECT_EQ(reg.fires(fault::kForwardNan), nan_before);
+  EXPECT_EQ(reg.fires(fault::kForwardThrow), throw_before);
+  EXPECT_EQ(reg.fires(fault::kQueueReject), reject_before);
+}
+
+}  // namespace
+}  // namespace ms

@@ -2,7 +2,7 @@
 // the server with short-deadline requests while Stop() races the flood.
 // The invariant under test is exact accounting — no request may be lost or
 // double-counted regardless of interleaving:
-//   served + shed + expired + rejected == submitted.
+//   served + shed + expired + rejected + failed == submitted.
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -74,9 +74,11 @@ TEST(SliceServerStress, FloodedProducersRacingStopLoseNoRequest) {
   const ServerStats s = server->stats();
   EXPECT_EQ(s.submitted, kProducers * kPerProducer);
   EXPECT_EQ(s.submitted, locally_submitted.load());
-  EXPECT_EQ(s.submitted, s.served + s.shed + s.expired + s.rejected)
+  EXPECT_EQ(s.submitted,
+            s.served + s.shed + s.expired + s.rejected + s.failed)
       << "served=" << s.served << " shed=" << s.shed
-      << " expired=" << s.expired << " rejected=" << s.rejected;
+      << " expired=" << s.expired << " rejected=" << s.rejected
+      << " failed=" << s.failed;
   EXPECT_EQ(server->queue_depth(), 0);
 }
 
@@ -93,7 +95,8 @@ TEST(SliceServerStress, ConcurrentStopCallsAreSafe) {
   for (auto& t : stoppers) t.join();
   const ServerStats s = server->stats();
   EXPECT_EQ(s.submitted, 32);
-  EXPECT_EQ(s.submitted, s.served + s.shed + s.expired + s.rejected);
+  EXPECT_EQ(s.submitted,
+            s.served + s.shed + s.expired + s.rejected + s.failed);
 }
 
 }  // namespace

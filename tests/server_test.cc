@@ -1,8 +1,10 @@
 // Functional tests for the concurrent serving engine: calibration, the
 // shed -> lower-rates -> reject degradation ladder, deadline expiry, and
 // the post-Stop accounting invariant
-//   served + shed + expired + rejected == submitted.
+//   served + shed + expired + rejected + failed == submitted.
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -41,10 +43,11 @@ ServerOptions MakeOptions(double latency_budget_seconds, int64_t max_queue) {
 }
 
 void ExpectConservation(const ServerStats& s) {
-  EXPECT_EQ(s.submitted, s.served + s.shed + s.expired + s.rejected)
+  EXPECT_EQ(s.submitted,
+            s.served + s.shed + s.expired + s.rejected + s.failed)
       << "submitted=" << s.submitted << " served=" << s.served
       << " shed=" << s.shed << " expired=" << s.expired
-      << " rejected=" << s.rejected;
+      << " rejected=" << s.rejected << " failed=" << s.failed;
 }
 
 /// Polls `done` every millisecond for up to `timeout_ms`.
@@ -130,7 +133,8 @@ TEST(SliceServer, ShedsWhenQueueIsFull) {
     switch (server->Submit()) {
       case AdmitResult::kAccepted: ++accepted; break;
       case AdmitResult::kShedQueueFull: ++shed; break;
-      case AdmitResult::kRejectedClosed: FAIL() << "unexpected rejection";
+      case AdmitResult::kRejectedClosed:
+      case AdmitResult::kRejectedInvalid: FAIL() << "unexpected rejection";
     }
   }
   EXPECT_EQ(accepted, 4);
@@ -173,6 +177,29 @@ TEST(SliceServer, RejectsBeforeStartAndAfterStop) {
   EXPECT_EQ(server->Submit(), AdmitResult::kRejectedClosed);
   const ServerStats s = server->stats();
   EXPECT_EQ(s.rejected, 2);
+  ExpectConservation(s);
+}
+
+TEST(SliceServer, RejectsNonFiniteDeadlines) {
+  // Regression: NaN slips past the `deadline > 0.0` check and would be
+  // admitted as "no deadline"; Inf would be an unexpirable request. Both
+  // must be rejected as malformed, and still counted in the invariant.
+  auto server =
+      SliceServer::Create(MakeReplicas(1), MakeOptions(0.5, 64))
+          .MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+  EXPECT_EQ(server->Submit(std::numeric_limits<double>::quiet_NaN()),
+            AdmitResult::kRejectedInvalid);
+  EXPECT_EQ(server->Submit(std::numeric_limits<double>::infinity()),
+            AdmitResult::kRejectedInvalid);
+  EXPECT_EQ(server->Submit(-std::numeric_limits<double>::infinity()),
+            AdmitResult::kRejectedInvalid);
+  // Finite deadlines (and "no deadline") still pass admission.
+  EXPECT_EQ(server->Submit(0.0), AdmitResult::kAccepted);
+  EXPECT_EQ(server->Submit(10.0), AdmitResult::kAccepted);
+  server->Stop();
+  const ServerStats s = server->stats();
+  EXPECT_EQ(s.rejected, 3);
   ExpectConservation(s);
 }
 

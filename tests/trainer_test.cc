@@ -1,11 +1,19 @@
 // Unit-level tests of the Algorithm 1 training loops: callback cadence,
-// determinism across reruns, and gradient-accumulation semantics.
+// determinism across reruns, gradient-accumulation semantics, periodic
+// checkpoint/resume, and the divergence guard.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include "gtest/gtest.h"
 #include "src/core/evaluator.h"
 #include "src/core/trainer.h"
 #include "src/models/cnn.h"
 #include "src/nn/loss.h"
+#include "src/obs/metrics.h"
 #include "src/optim/sgd.h"
+#include "src/util/fault.h"
 
 namespace ms {
 namespace {
@@ -122,6 +130,91 @@ TEST(Trainer, GradientAccumulationMatchesManualTwoSubnetStep) {
     }
   }
   EXPECT_TRUE(any_moved);
+}
+
+TEST(Trainer, PeriodicCheckpointAndResumeContinueTraining) {
+  auto split = TinySplit();
+  const std::string path = ::testing::TempDir() + "/trainer_resume.ckpt";
+  std::remove(path.c_str());
+
+  // Phase 1: train and checkpoint every other epoch (plus the final one).
+  ImageTrainOptions opts;
+  opts.epochs = 4;
+  opts.batch_size = 32;
+  opts.sgd.lr = 0.05;
+  opts.augment = false;
+  opts.checkpoint.path = path;
+  opts.checkpoint.every_epochs = 2;
+  auto trained = MakeVggSmall(TinyCfg()).MoveValueOrDie();
+  FullOnlyScheduler sched;
+  double last_loss = -1.0;
+  TrainImageClassifier(trained.get(), split.train, &sched, opts,
+                       [&](const EpochStats& s) { last_loss = s.train_loss; });
+  ASSERT_GT(last_loss, 0.0);
+  ASSERT_TRUE(std::ifstream(path, std::ios::binary).is_open());
+
+  // Phase 2: a FRESH net resumes from the checkpoint; its first epoch must
+  // start from the trained weights, i.e. beat a from-scratch first epoch.
+  auto scratch_loss = [&](bool resume) {
+    auto net = MakeVggSmall(TinyCfg()).MoveValueOrDie();
+    ImageTrainOptions o = opts;
+    o.epochs = 1;
+    o.checkpoint.path = resume ? path : "";
+    o.checkpoint.resume = resume;
+    double first = -1.0;
+    TrainImageClassifier(net.get(), split.train, &sched, o,
+                         [&](const EpochStats& s) {
+                           if (s.epoch == 0) first = s.train_loss;
+                         });
+    return first;
+  };
+  const double resumed = scratch_loss(/*resume=*/true);
+  const double fresh = scratch_loss(/*resume=*/false);
+  EXPECT_LT(resumed, fresh) << "resume did not continue from the checkpoint";
+  std::remove(path.c_str());
+}
+
+TEST(Trainer, DivergenceGuardRollsBackInjectedNanLoss) {
+  auto& faults = fault::Registry::Global();
+  faults.DisarmAll();
+  faults.SetSeed(13);
+  auto split = TinySplit();
+  auto net = MakeVggSmall(TinyCfg()).MoveValueOrDie();
+  FullOnlyScheduler sched;
+  ImageTrainOptions opts;
+  opts.epochs = 3;
+  opts.batch_size = 32;
+  opts.sgd.lr = 0.05;
+  opts.augment = false;
+  ASSERT_TRUE(opts.divergence_guard);
+
+  const int64_t rollbacks_before = obs::MetricsRegistry::Global()
+                                       .GetCounter("ms_train_rollbacks_total")
+                                       ->value();
+  // Half of all mini-batch losses come back NaN (deterministic under the
+  // fixed seed): without the guard the very first one would poison the
+  // weights for the rest of the run.
+  faults.Arm(fault::kTrainNanLoss, 0.5);
+  double last_loss = -1.0;
+  TrainImageClassifier(net.get(), split.train, &sched, opts,
+                       [&](const EpochStats& s) { last_loss = s.train_loss; });
+  faults.DisarmAll();
+
+  EXPECT_GT(obs::MetricsRegistry::Global()
+                .GetCounter("ms_train_rollbacks_total")
+                ->value(),
+            rollbacks_before);
+  // Training survived: the epoch losses stayed finite and every weight is
+  // still a real number.
+  EXPECT_TRUE(std::isfinite(last_loss));
+  EXPECT_GT(last_loss, 0.0);
+  std::vector<ParamRef> params;
+  net->CollectParams(&params);
+  for (const auto& p : params) {
+    for (int64_t j = 0; j < p.param->size(); ++j) {
+      ASSERT_TRUE(std::isfinite((*p.param)[j])) << p.name;
+    }
+  }
 }
 
 TEST(Trainer, NnlmLoopRunsAndImproves) {
