@@ -13,15 +13,18 @@
 // Also reports cold-start (first forward, pack included) vs warm per-sample
 // time and the batch latency p50/p99, and exports the ms_gemm_pack_*
 // gauges.
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/models/mlp.h"
+#include "src/obs/request_trace.h"
 #include "src/serving/server.h"
 #include "src/tensor/prepack.h"
 #include "src/util/fault.h"
+#include "src/util/stopwatch.h"
 
 namespace ms {
 namespace {
@@ -198,6 +201,112 @@ int Main() {
   } else {
     std::printf("fault points disarmed: zero fires, zero failed/retried/"
                 "quarantined\n");
+  }
+
+  // Phase 3: request-stage observability. Two more servers run the SAME
+  // steady, arrival-limited workload — stage stamps disabled, then enabled.
+  // Both phases serve at the arrival rate when healthy, so a drop in served
+  // count under stamping means the stamps backed up the pipeline: that is
+  // the ISSUE's "<2% throughput" contract, measured as served requests
+  // (QPS x wall) with a 2% floor rather than raw wall-clock QPS, which
+  // would be CI-noise-bound. (This runs after the pack gate on purpose:
+  // these servers prewarm and pack at Start.)
+  const int overhead_ticks = bench::FastMode() ? 10 : 16;
+  auto run_steady = [&](const char* label) -> int64_t {
+    auto srv =
+        SliceServer::Create(MakeReplicas(2), BaseOptions(budget, max_queue))
+            .MoveValueOrDie();
+    if (!srv->Start().ok()) {
+      std::printf("FAIL: %s overhead phase failed to start\n", label);
+      return -1;
+    }
+    std::vector<int> load(overhead_ticks, steady);
+    RunClosedLoop(srv.get(), load);
+    srv->Stop();
+    return srv->stats().served;
+  };
+  obs::EnableStageStats(false);
+  const int64_t served_off = run_steady("stamps-off");
+  obs::EnableStageStats(true);
+  const int64_t served_on = run_steady("stamps-on");
+  obs::EnableStageStats(false);
+  if (served_off < 0 || served_on < 0) return 1;
+
+  // Informational: the raw cost of one stamp site in each state.
+  constexpr int kStampReps = 1000000;
+  int64_t sink = 0;
+  Stopwatch off_sw;
+  for (int i = 0; i < kStampReps; ++i) sink += obs::StageNowNanos();
+  const double ns_off = off_sw.ElapsedSeconds() * 1e9 / kStampReps;
+  obs::EnableStageStats(true);
+  Stopwatch on_sw;
+  for (int i = 0; i < kStampReps; ++i) sink += obs::StageNowNanos();
+  const double ns_on = on_sw.ElapsedSeconds() * 1e9 / kStampReps;
+  obs::EnableStageStats(false);
+  std::printf(
+      "\nstage stamps: %.1f ns/site disabled, %.1f ns/site enabled "
+      "(sink %lld)\n",
+      ns_off, ns_on, static_cast<long long>(sink != 0));
+
+  // Per-stage latency breakdown of the stamps-on phase.
+  const char* kStages[] = {"queue_wait", "batch_form", "schedule",
+                           "dispatch",   "forward",    "total"};
+  std::printf("%-12s %9s %10s %10s %10s %10s\n", "stage", "count", "p50 ms",
+              "p99 ms", "p99.9 ms", "mean ms");
+  double stage_mean_sum = 0.0;
+  double total_mean = 0.0;
+  int64_t total_count = 0;
+  for (const char* stage : kStages) {
+    const auto* h = registry.GetHistogram(
+        std::string("ms_server_stage_") + stage + "_ms");
+    const std::vector<double> ps = h->Percentiles({50.0, 99.0, 99.9});
+    std::printf("%-12s %9lld %10.3f %10.3f %10.3f %10.3f\n", stage,
+                static_cast<long long>(h->count()), ps[0], ps[1], ps[2],
+                h->mean());
+    if (std::string(stage) == "total") {
+      total_mean = h->mean();
+      total_count = h->count();
+    } else {
+      stage_mean_sum += h->mean();
+    }
+  }
+
+  // Gate: stage breakdown must reconcile with end-to-end latency — the sum
+  // of the mean stage times within 5% of the mean total (they are the same
+  // stamps, so anything beyond rounding means a stage went missing).
+  if (total_count > 0) {
+    const double rel =
+        std::abs(stage_mean_sum - total_mean) / std::max(total_mean, 1e-12);
+    if (rel > 0.05) {
+      std::printf("FAIL: stage means sum to %.3f ms but total mean is %.3f "
+                  "ms (%.1f%% apart; must reconcile within 5%%)\n",
+                  stage_mean_sum, total_mean, rel * 100.0);
+      rc = 1;
+    } else {
+      std::printf("stage sums reconcile with end-to-end latency (%.2f%% "
+                  "apart)\n", rel * 100.0);
+    }
+  } else {
+    std::printf("FAIL: stamps-on phase recorded no stage samples\n");
+    rc = 1;
+  }
+
+  // Gate: enabling stage stamps may not cost measurable throughput. Both
+  // phases are arrival-limited, so served-on must match served-off within
+  // 2% (floored at 2 requests for tiny fast-mode runs).
+  const int64_t slack = std::max<int64_t>(2, served_off / 50);
+  if (served_on + slack < served_off) {
+    std::printf("FAIL: stage stamps cost throughput: served %lld with "
+                "stamps vs %lld without (allowed slack %lld)\n",
+                static_cast<long long>(served_on),
+                static_cast<long long>(served_off),
+                static_cast<long long>(slack));
+    rc = 1;
+  } else {
+    std::printf("stage-stamp overhead gate: served %lld with stamps vs "
+                "%lld without (within 2%%)\n",
+                static_cast<long long>(served_on),
+                static_cast<long long>(served_off));
   }
   return rc;
 }

@@ -10,6 +10,7 @@
 // Models come from the zoo (vgg13, resnet164, resnet56-2, vgg16, resnet50);
 // data is the matching synthetic benchmark split.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -22,8 +23,10 @@
 #include "src/models/zoo.h"
 #include "src/nn/serialize.h"
 #include "src/nn/summary.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
+#include "src/obs/request_trace.h"
 #include "src/obs/trace.h"
 #include "src/serving/latency_scheduler.h"
 #include "src/serving/server.h"
@@ -53,6 +56,13 @@ int Usage() {
       "observability (any command):\n"
       "  --metrics_out=/path.jsonl   dump the metrics registry as JSONL\n"
       "  --trace_out=/path.json      record a chrome://tracing trace\n"
+      "serving observability (serve):\n"
+      "  --trace_requests_out=/p.jsonl  per-request lifecycle timelines\n"
+      "           (also rendered as request lanes into --trace_out)\n"
+      "  --decision_log_out=/p.jsonl    per-batch scheduler decisions with\n"
+      "           Eq. 3 predicted vs achieved cost and drift\n"
+      "  --flight_recorder_dir=/dir     arm the serving black box: auto-\n"
+      "           dump recent events on quarantine/breaker-open/watchdog\n"
       "fault injection (chaos testing, any command):\n"
       "  MS_FAULTS=point=prob[@param],...  e.g.\n"
       "  MS_FAULTS='server.forward.nan=0.05,server.worker.stall=0.05@0.02'\n"
@@ -259,6 +269,23 @@ int Serve(const Flags& flags) {
   Loaded loaded = loaded_result.MoveValueOrDie();
   if (flags.Has("simulate")) return ServeSimulated(flags, std::move(loaded));
 
+  // Serving observability: stage stamps feed the per-stage histograms the
+  // summary below prints, so they are always on for `serve` (the stamps are
+  // one clock read each; the overhead gate in bench_server_throughput keeps
+  // them honest). Request timelines and the flight recorder stay opt-in.
+  obs::EnableStageStats(true);
+  if (flags.Has("trace_requests_out")) {
+    obs::RequestTraceLog::Global().Enable();
+  }
+  if (flags.Has("flight_recorder_dir")) {
+    const Status armed = obs::FlightRecorder::Global().ConfigureDumps(
+        flags.GetString("flight_recorder_dir"));
+    if (!armed.ok()) {
+      std::fprintf(stderr, "%s\n", armed.ToString().c_str());
+      return 1;
+    }
+  }
+
   ServerOptions opts;
   opts.serving.latency_budget = flags.GetDouble("budget_ms", 50.0) / 1e3;
   opts.serving.lattice = loaded.lattice;
@@ -336,6 +363,42 @@ int Serve(const Flags& flags) {
       static_cast<long long>(s.quarantined),
       static_cast<long long>(s.repaired), server->healthy_workers(),
       server->num_workers());
+
+  // Per-stage latency breakdown of every served request (DESIGN.md §8).
+  auto& registry = obs::MetricsRegistry::Global();
+  std::printf("\n%-12s %9s %10s %10s %10s %10s\n", "stage", "count",
+              "p50 ms", "p99 ms", "p99.9 ms", "mean ms");
+  for (const char* stage : {"queue_wait", "batch_form", "schedule",
+                            "dispatch", "forward", "total"}) {
+    obs::Histogram* h = registry.GetHistogram(
+        std::string("ms_server_stage_") + stage + "_ms");
+    const std::vector<double> ps = h->Percentiles({50.0, 99.0, 99.9});
+    std::printf("%-12s %9lld %10.3f %10.3f %10.3f %10.3f\n", stage,
+                static_cast<long long>(h->count()), ps[0], ps[1], ps[2],
+                h->mean());
+  }
+  const DecisionLog& decisions = server->decision_log();
+  const double drift = decisions.drift_ewma();
+  if (std::isfinite(drift)) {
+    std::printf(
+        "cost model: %lld decisions, drift EWMA |pred-achieved|/achieved "
+        "= %.3f\n",
+        static_cast<long long>(decisions.begun()), drift);
+  }
+  if (flags.Has("decision_log_out")) {
+    const Status w =
+        decisions.WriteJsonl(flags.GetString("decision_log_out"));
+    if (!w.ok()) {
+      std::fprintf(stderr, "decision log dump: %s\n", w.ToString().c_str());
+      return 1;
+    }
+  }
+  const int64_t dumps = obs::FlightRecorder::Global().dumps_written();
+  if (dumps > 0) {
+    std::printf("flight recorder: %lld dump(s), last %s\n",
+                static_cast<long long>(dumps),
+                obs::FlightRecorder::Global().last_dump_path().c_str());
+  }
   return accounted ? 0 : 1;
 }
 
@@ -364,6 +427,19 @@ int main(int argc, char** argv) {
     if (!s.ok()) {
       std::fprintf(stderr, "metrics dump: %s\n", s.ToString().c_str());
       if (rc == 0) rc = 1;
+    }
+  }
+  if (flags.Has("trace_requests_out")) {
+    auto& log = obs::RequestTraceLog::Global();
+    const Status s = log.WriteJsonl(flags.GetString("trace_requests_out"));
+    if (!s.ok()) {
+      std::fprintf(stderr, "request trace dump: %s\n", s.ToString().c_str());
+      if (rc == 0) rc = 1;
+    }
+    // With --trace_out too, lay the request timelines into the chrome trace
+    // as per-request lanes so both views land in one about:tracing file.
+    if (flags.Has("trace_out")) {
+      log.ExportChromeSpans(&obs::TraceCollector::Global());
     }
   }
   if (flags.Has("trace_out")) {

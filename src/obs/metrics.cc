@@ -60,17 +60,76 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   if (bounds_.empty()) bounds_.push_back(1.0);
   buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
   for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+
+  // Detect a geometric (log-bucket) or arithmetic progression so
+  // BucketIndex can guess the bucket with one log()/divide instead of a
+  // binary search. The default layouts (LatencyBucketsMs, DepthBuckets:
+  // ratio 2; RateBuckets: step 1/16) all hit one of these fast paths.
+  const size_t n = bounds_.size();
+  if (n >= 3) {
+    bool geometric = bounds_[0] > 0.0;
+    const double ratio = geometric ? bounds_[1] / bounds_[0] : 0.0;
+    geometric = geometric && ratio > 1.0;
+    bool arithmetic = true;
+    const double step = bounds_[1] - bounds_[0];
+    for (size_t i = 1; i + 1 < n && (geometric || arithmetic); ++i) {
+      if (geometric &&
+          std::abs(bounds_[i + 1] / bounds_[i] - ratio) > 1e-9 * ratio) {
+        geometric = false;
+      }
+      if (arithmetic &&
+          std::abs((bounds_[i + 1] - bounds_[i]) - step) > 1e-9 * step) {
+        arithmetic = false;
+      }
+    }
+    if (geometric) {
+      layout_ = Layout::kGeometric;
+      inv_b0_ = 1.0 / bounds_[0];
+      inv_log_ratio_ = 1.0 / std::log(ratio);
+    } else if (arithmetic && step > 0.0) {
+      layout_ = Layout::kArithmetic;
+      inv_step_ = 1.0 / step;
+    }
+  }
+}
+
+size_t Histogram::BucketIndex(double v) const {
+  const size_t n = bounds_.size();
+  // The negated comparison routes NaN (and anything <= the first bound)
+  // into bucket 0, matching what lower_bound did before.
+  if (!(v > bounds_.front())) return 0;
+  if (v > bounds_.back()) return n;  // overflow bucket
+  size_t g;
+  switch (layout_) {
+    case Layout::kGeometric:
+      g = static_cast<size_t>(std::max(
+          0.0, std::floor(std::log(v * inv_b0_) * inv_log_ratio_)));
+      break;
+    case Layout::kArithmetic:
+      g = static_cast<size_t>(
+          std::max(0.0, std::ceil((v - bounds_.front()) * inv_step_)));
+      break;
+    case Layout::kIrregular:
+    default:
+      return static_cast<size_t>(
+          std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+          bounds_.begin());
+  }
+  if (g >= n) g = n - 1;
+  // Fix up floating-point error in the guess against the exact bounds; with
+  // a correct guess each loop runs zero iterations, and log()'s relative
+  // error keeps them O(1) regardless — Observe stays wait-free.
+  while (g > 0 && v <= bounds_[g - 1]) --g;
+  while (v > bounds_[g]) ++g;
+  return g;
 }
 
 void Histogram::Observe(double v) {
-  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  const size_t idx = static_cast<size_t>(it - bounds_.begin());
-  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
-  double cur = sum_.load(std::memory_order_relaxed);
-  while (!sum_.compare_exchange_weak(cur, cur + v,
-                                     std::memory_order_relaxed)) {
-  }
+  // C++20 atomic floating add: wait-free where the hardware supports it,
+  // and never a hand-rolled CAS retry loop in our code.
+  sum_.fetch_add(v, std::memory_order_relaxed);
 }
 
 double Histogram::mean() const {
@@ -78,29 +137,58 @@ double Histogram::mean() const {
   return n > 0 ? sum() / static_cast<double>(n) : 0.0;
 }
 
-double Histogram::Percentile(double p) const {
-  const int64_t n = count();
-  if (n <= 0) return 0.0;
+namespace {
+
+// Shared rank-to-value walk over a consistent bucket snapshot.
+double PercentileFromSnapshot(const std::vector<double>& bounds,
+                              const std::vector<int64_t>& snapshot,
+                              int64_t total, double p) {
+  if (total <= 0) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
-  const double target = p / 100.0 * static_cast<double>(n);
+  const double target = p / 100.0 * static_cast<double>(total);
   int64_t cum = 0;
-  for (size_t i = 0; i <= bounds_.size(); ++i) {
-    const int64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    const int64_t in_bucket = snapshot[i];
     if (in_bucket == 0) continue;
     if (static_cast<double>(cum + in_bucket) >= target) {
       // Interpolate inside [lower, upper]. The overflow bucket has no upper
       // bound; report its lower edge (a conservative lower bound).
-      const double lower =
-          i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
-      if (i == bounds_.size()) return bounds_.back();
-      const double upper = bounds_[i];
+      const double lower = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+      if (i == bounds.size()) return bounds.back();
+      const double upper = bounds[i];
       const double frac =
           (target - static_cast<double>(cum)) / static_cast<double>(in_bucket);
       return lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
     }
     cum += in_bucket;
   }
-  return bounds_.back();
+  return bounds.back();
+}
+
+}  // namespace
+
+double Histogram::Percentile(double p) const {
+  return Percentiles({p})[0];
+}
+
+std::vector<double> Histogram::Percentiles(
+    const std::vector<double>& ps) const {
+  // One snapshot for every requested percentile: ranking against the
+  // snapshot's own total (not count_, which writers may have advanced past
+  // the bucket array or vice versa) is what makes the result exact-to-bucket
+  // under concurrent Observe calls.
+  std::vector<int64_t> snapshot(bounds_.size() + 1);
+  int64_t total = 0;
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snapshot[i];
+  }
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) {
+    out.push_back(PercentileFromSnapshot(bounds_, snapshot, total, p));
+  }
+  return out;
 }
 
 std::vector<double> LatencyBucketsMs() {
@@ -155,13 +243,15 @@ std::string MetricsRegistry::ToJsonl() const {
        << "\",\"value\":" << JsonDouble(g->value()) << "}\n";
   }
   for (const auto& [name, h] : histograms_) {
+    const std::vector<double> ps = h->Percentiles({50, 95, 99, 99.9});
     os << "{\"type\":\"histogram\",\"name\":\"" << JsonEscape(name)
        << "\",\"count\":" << h->count()
        << ",\"sum\":" << JsonDouble(h->sum())
        << ",\"mean\":" << JsonDouble(h->mean())
-       << ",\"p50\":" << JsonDouble(h->Percentile(50))
-       << ",\"p95\":" << JsonDouble(h->Percentile(95))
-       << ",\"p99\":" << JsonDouble(h->Percentile(99)) << ",\"buckets\":[";
+       << ",\"p50\":" << JsonDouble(ps[0])
+       << ",\"p95\":" << JsonDouble(ps[1])
+       << ",\"p99\":" << JsonDouble(ps[2])
+       << ",\"p999\":" << JsonDouble(ps[3]) << ",\"buckets\":[";
     for (size_t i = 0; i < h->num_buckets(); ++i) {
       if (i > 0) os << ",";
       os << "{\"le\":";

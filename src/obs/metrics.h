@@ -55,9 +55,21 @@ class Gauge {
 
 /// \brief Fixed-bucket histogram. `bounds` are ascending inclusive upper
 /// bounds; an implicit overflow bucket catches everything above the last
-/// bound. Observe() is lock-free; percentiles are estimated by linear
-/// interpolation inside the bucket containing the target rank, so the
-/// estimate always lies within that bucket's bounds.
+/// bound.
+///
+/// Observe() is wait-free: the bucket index is computed in O(1) arithmetic
+/// when the bounds form a geometric (log-bucketed — the default layouts) or
+/// arithmetic progression, the counters are relaxed fetch_adds, and the sum
+/// is a hardware atomic add (no CAS loop). Irregular bounds fall back to a
+/// binary search over the immutable bounds array, which is still wait-free.
+///
+/// Percentile() snapshots every bucket once and ranks against the
+/// snapshot's own total, so under concurrent writers the answer is always
+/// exact-to-bucket for the observations captured in the snapshot (it can
+/// never fall through to the overflow bucket because a racing count_ ran
+/// ahead of the bucket array). Within the selected bucket the value is
+/// estimated by linear interpolation, so it always lies inside that
+/// bucket's bounds.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -71,6 +83,11 @@ class Histogram {
   /// Estimated value at percentile `p` in [0, 100]. Returns 0 when empty.
   double Percentile(double p) const;
 
+  /// Percentiles for all of `ps` computed from ONE bucket snapshot, so the
+  /// answers are mutually consistent even while writers race (p50 from one
+  /// call can never exceed p99 from the same call).
+  std::vector<double> Percentiles(const std::vector<double>& ps) const;
+
   const std::vector<double>& bounds() const { return bounds_; }
   /// Count in bucket `i`; i == bounds().size() is the overflow bucket.
   int64_t bucket_count(size_t i) const {
@@ -79,7 +96,20 @@ class Histogram {
   size_t num_buckets() const { return bounds_.size() + 1; }
 
  private:
+  /// How BucketIndex finds the smallest i with v <= bounds_[i].
+  enum class Layout {
+    kGeometric,   ///< bounds_[i] = b0 * ratio^i: index via one log().
+    kArithmetic,  ///< bounds_[i] = b0 + i * step: index via one divide.
+    kIrregular,   ///< anything else: binary search.
+  };
+
+  size_t BucketIndex(double v) const;
+
   std::vector<double> bounds_;
+  Layout layout_ = Layout::kIrregular;
+  double inv_b0_ = 0.0;        ///< 1 / bounds_[0] (geometric guess).
+  double inv_log_ratio_ = 0.0; ///< 1 / log(ratio) (geometric guess).
+  double inv_step_ = 0.0;      ///< 1 / step (arithmetic guess).
   std::unique_ptr<std::atomic<int64_t>[]> buckets_;
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};

@@ -1,0 +1,167 @@
+#include "src/obs/request_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/string_util.h"
+
+namespace ms {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_stage_stats{false};
+
+constexpr double kNsPerMs = 1e6;
+
+/// Millisecond span between two stamps; 0 when either stamp is missing.
+double StageMs(int64_t from_ns, int64_t to_ns) {
+  if (from_ns <= 0 || to_ns <= 0 || to_ns < from_ns) return 0.0;
+  return static_cast<double>(to_ns - from_ns) / kNsPerMs;
+}
+
+}  // namespace
+
+void EnableStageStats(bool on) {
+  g_stage_stats.store(on, std::memory_order_relaxed);
+}
+
+bool StageStatsEnabled() {
+  return g_stage_stats.load(std::memory_order_relaxed);
+}
+
+int64_t StageNowNanos() {
+  if (!g_stage_stats.load(std::memory_order_relaxed)) return 0;
+  return TraceCollector::NowNanos();
+}
+
+void RequestTraceLog::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  timelines_.reserve(std::min<size_t>(capacity, 1u << 12));
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void RequestTraceLog::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void RequestTraceLog::Append(const RequestTimeline& t) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (timelines_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  timelines_.push_back(t);
+}
+
+std::vector<RequestTimeline> RequestTraceLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timelines_;
+}
+
+size_t RequestTraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timelines_.size();
+}
+
+void RequestTraceLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  timelines_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string RequestTraceLog::ToJsonl() const {
+  std::vector<RequestTimeline> timelines = Snapshot();
+  std::sort(timelines.begin(), timelines.end(),
+            [](const RequestTimeline& a, const RequestTimeline& b) {
+              return a.id < b.id;
+            });
+  std::ostringstream os;
+  for (const RequestTimeline& t : timelines) {
+    os << "{\"id\":" << t.id << ",\"outcome\":\"" << t.outcome
+       << "\",\"batch\":" << t.batch << ",\"attempt\":" << t.attempt
+       << ",\"rate\":" << StrFormat("%g", t.rate)
+       << ",\"submit_ns\":" << t.submit_ns << ",\"admit_ns\":" << t.admit_ns
+       << ",\"cut_ns\":" << t.cut_ns << ",\"formed_ns\":" << t.formed_ns
+       << ",\"sched_ns\":" << t.sched_ns
+       << ",\"fwd_start_ns\":" << t.fwd_start_ns
+       << ",\"fwd_done_ns\":" << t.fwd_done_ns << ",\"done_ns\":" << t.done_ns;
+    if (t.fwd_done_ns > 0) {
+      os << ",\"stages_ms\":{"
+         << "\"queue_wait\":" << StrFormat("%.6f", StageMs(t.admit_ns, t.cut_ns))
+         << ",\"batch_form\":"
+         << StrFormat("%.6f", StageMs(t.cut_ns, t.formed_ns))
+         << ",\"schedule\":"
+         << StrFormat("%.6f", StageMs(t.formed_ns, t.sched_ns))
+         << ",\"dispatch\":"
+         << StrFormat("%.6f", StageMs(t.sched_ns, t.fwd_start_ns))
+         << ",\"forward\":"
+         << StrFormat("%.6f", StageMs(t.fwd_start_ns, t.fwd_done_ns))
+         << ",\"total\":"
+         << StrFormat("%.6f", StageMs(t.submit_ns, t.fwd_done_ns)) << "}";
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+Status RequestTraceLog::WriteJsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const std::string jsonl = ToJsonl();
+  const size_t written = std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != jsonl.size() || close_err != 0) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+void RequestTraceLog::ExportChromeSpans(TraceCollector* collector,
+                                        int lanes) const {
+  if (collector == nullptr) return;
+  if (lanes < 1) lanes = 1;
+  const std::vector<RequestTimeline> timelines = Snapshot();
+  for (const RequestTimeline& t : timelines) {
+    if (t.submit_ns <= 0) continue;
+    const int64_t end_ns = t.done_ns > 0 ? t.done_ns
+                           : t.fwd_done_ns > 0
+                               ? t.fwd_done_ns
+                               : t.submit_ns;
+    // Synthetic lane: far above any real thread id so request lanes group
+    // together below the worker rows in about:tracing.
+    const int tid =
+        1000 + static_cast<int>(t.id % static_cast<int64_t>(lanes));
+    collector->Record(StrFormat("req %lld %s", static_cast<long long>(t.id),
+                                t.outcome),
+                      t.submit_ns, end_ns - t.submit_ns, tid, /*depth=*/0);
+    struct Child {
+      const char* name;
+      int64_t from, to;
+    };
+    const Child children[] = {
+        {"queue_wait", t.admit_ns, t.cut_ns},
+        {"batch_form", t.cut_ns, t.formed_ns},
+        {"schedule", t.formed_ns, t.sched_ns},
+        {"dispatch", t.sched_ns, t.fwd_start_ns},
+        {"forward", t.fwd_start_ns, t.fwd_done_ns},
+    };
+    for (const Child& c : children) {
+      if (c.from <= 0 || c.to <= 0 || c.to < c.from) continue;
+      collector->Record(c.name, c.from, c.to - c.from, tid, /*depth=*/1);
+    }
+  }
+}
+
+RequestTraceLog& RequestTraceLog::Global() {
+  static RequestTraceLog* log = new RequestTraceLog();
+  return *log;
+}
+
+}  // namespace obs
+}  // namespace ms

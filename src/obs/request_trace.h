@@ -1,0 +1,119 @@
+// Request-lifecycle observability for the serving path (DESIGN.md §8).
+//
+// Every serving request walks the stages
+//
+//   submit -> queue-admit -> batch-cut -> batch-formed -> schedule-decision
+//          -> forward-start -> forward-done -> reply | shed | expire | fail
+//
+// and each stage boundary is stamped with a nanosecond timestamp on the
+// shared trace clock (TraceCollector::NowNanos — the same epoch as the
+// chrome-trace spans, so request timelines and MS_TRACE_SCOPE spans line up
+// in about:tracing).
+//
+// Cost contract: stamping is a process-wide toggle. Disabled (the default),
+// every stamp site costs exactly one relaxed atomic load — the same
+// contract as src/util/fault.h's disarmed injection points, and enforced by
+// the overhead gate in bench_server_throughput. Enabled, a stamp is one
+// steady-clock read; SliceServer folds the stamps of every served request
+// into the ms_server_stage_{queue_wait,batch_form,schedule,dispatch,
+// forward,total}_ms histograms.
+//
+// On top of the stamps, the (separately enabled) RequestTraceLog keeps a
+// bounded in-memory log of one RequestTimeline per finished request, for
+// JSONL export (one request per line) and for rendering each request as a
+// lane of nested spans through the existing chrome-trace writer.
+#ifndef MODELSLICING_OBS_REQUEST_TRACE_H_
+#define MODELSLICING_OBS_REQUEST_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/util/status.h"
+
+namespace ms {
+namespace obs {
+
+/// Process-wide toggle for request-stage stamping.
+void EnableStageStats(bool on);
+bool StageStatsEnabled();
+
+/// TraceCollector::NowNanos() when stage stats are enabled; 0 when
+/// disabled. Callers treat 0 as "not stamped".
+int64_t StageNowNanos();
+
+/// One request's life, in nanoseconds on the trace clock. A field left 0
+/// means the request never reached that stage (e.g. an expired request has
+/// no forward stamps) or stamping was off when it passed through.
+struct RequestTimeline {
+  int64_t id = 0;        ///< RequestQueue-assigned id.
+  int64_t batch = -1;    ///< batch ticket id; -1 = never batched.
+  int attempt = 0;       ///< attempt number that settled the request.
+  double rate = 0.0;     ///< slice rate of the serving batch; 0 = none.
+  /// Terminal stage; a static string: "served", "expired", "failed",
+  /// "shed".
+  const char* outcome = "";
+  int64_t submit_ns = 0;     ///< Submit() entry.
+  int64_t admit_ns = 0;      ///< admitted to the queue.
+  int64_t cut_ns = 0;        ///< batch cut began (tick start).
+  int64_t formed_ns = 0;     ///< batch cut done, batch formed.
+  int64_t sched_ns = 0;      ///< Eq. 3 rate decision made.
+  int64_t fwd_start_ns = 0;  ///< worker began the forward.
+  int64_t fwd_done_ns = 0;   ///< forward returned.
+  int64_t done_ns = 0;       ///< terminal accounting (reply/shed/...).
+};
+
+/// \brief Bounded, thread-safe log of finished-request timelines.
+///
+/// Appends beyond `capacity` are dropped and counted (keeping the earliest
+/// requests, like TraceCollector), so a long serving run degrades to "the
+/// first N requests traced" instead of unbounded memory.
+class RequestTraceLog {
+ public:
+  RequestTraceLog() = default;
+  RequestTraceLog(const RequestTraceLog&) = delete;
+  RequestTraceLog& operator=(const RequestTraceLog&) = delete;
+
+  void Enable(size_t capacity = 1u << 16);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Append(const RequestTimeline& t);
+
+  std::vector<RequestTimeline> Snapshot() const;
+  size_t size() const;
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  void Clear();
+
+  /// One JSON object per line per request:
+  ///   {"id":..,"outcome":"served","batch":..,"attempt":..,"rate":..,
+  ///    "submit_ns":..,...,"done_ns":..,
+  ///    "stages_ms":{"queue_wait":..,"batch_form":..,"schedule":..,
+  ///                 "dispatch":..,"forward":..,"total":..}}
+  /// `stages_ms` is present only when the request has forward stamps.
+  std::string ToJsonl() const;
+  Status WriteJsonl(const std::string& path) const;
+
+  /// Renders each request as nested spans (request > queue_wait/batch_form/
+  /// schedule/dispatch/forward) on one of `lanes` synthetic tids, so the
+  /// existing chrome-trace writer (TraceCollector::WriteJson) displays the
+  /// whole serving run in about:tracing alongside the worker spans.
+  void ExportChromeSpans(TraceCollector* collector, int lanes = 32) const;
+
+  static RequestTraceLog& Global();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<RequestTimeline> timelines_;
+  size_t capacity_ = 1u << 16;
+};
+
+}  // namespace obs
+}  // namespace ms
+
+#endif  // MODELSLICING_OBS_REQUEST_TRACE_H_

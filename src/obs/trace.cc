@@ -73,11 +73,16 @@ std::vector<std::string> TraceCollector::CurrentStack() {
 
 void TraceCollector::Record(std::string name, int64_t ts_ns, int64_t dur_ns,
                             int depth) {
+  Record(std::move(name), ts_ns, dur_ns, CurrentThreadId(), depth);
+}
+
+void TraceCollector::Record(std::string name, int64_t ts_ns, int64_t dur_ns,
+                            int tid, int depth) {
   TraceEvent event;
   event.name = std::move(name);
   event.ts_ns = ts_ns;
   event.dur_ns = dur_ns;
-  event.tid = CurrentThreadId();
+  event.tid = tid;
   event.depth = depth;
   std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() >= max_events_) {

@@ -42,6 +42,11 @@ class TraceCollector {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   void Record(std::string name, int64_t ts_ns, int64_t dur_ns, int depth);
+  /// Record under an explicit lane id instead of the calling thread's —
+  /// used by exporters that lay synthetic timelines (e.g. one lane per
+  /// request) into the same chrome-trace file.
+  void Record(std::string name, int64_t ts_ns, int64_t dur_ns, int tid,
+              int depth);
 
   std::vector<TraceEvent> Snapshot() const;
   size_t size() const;

@@ -1,0 +1,156 @@
+#include "src/serving/decision_log.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/obs/metrics.h"
+#include "src/util/string_util.h"
+
+namespace ms {
+
+
+namespace {
+
+// JSON number or null for values that may legitimately be absent.
+std::string JsonMsOrNull(double seconds) {
+  if (!std::isfinite(seconds)) return "null";
+  return StrFormat("%.6f", seconds * 1e3);
+}
+
+}  // namespace
+
+DecisionLog::DecisionLog(size_t capacity, double drift_alpha)
+    : capacity_(capacity > 0 ? capacity : 1), drift_alpha_(drift_alpha) {}
+
+void DecisionLog::Begin(DecisionRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++begun_;
+  if (records_.size() >= capacity_) records_.pop_front();
+  records_.push_back(std::move(record));
+}
+
+void DecisionLog::OnRetry(int64_t batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t idx = IndexOf(batch);
+  if (idx >= 0) ++records_[static_cast<size_t>(idx)].attempts;
+}
+
+void DecisionLog::Settle(int64_t batch, bool success,
+                         double achieved_seconds) {
+  double drift = std::numeric_limits<double>::quiet_NaN();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++settled_;
+    const int64_t idx = IndexOf(batch);
+    double predicted = -1.0;
+    if (idx >= 0) {
+      DecisionRecord& r = records_[static_cast<size_t>(idx)];
+      r.achieved_seconds = achieved_seconds;
+      r.outcome = success ? "served" : "failed";
+      predicted = r.predicted_seconds;
+      if (success && achieved_seconds > 0.0) {
+        r.drift = std::abs(predicted - achieved_seconds) / achieved_seconds;
+        drift = r.drift;
+      }
+    }
+    if (std::isfinite(drift)) {
+      drift_ewma_ = drift_seeded_
+                        ? (1.0 - drift_alpha_) * drift_ewma_ +
+                              drift_alpha_ * drift
+                        : drift;
+      drift_seeded_ = true;
+    }
+  }
+  if (std::isfinite(drift)) {
+    obs::MetricsRegistry::Global()
+        .GetGauge("ms_sched_cost_model_drift")
+        ->Set(drift_ewma());
+  }
+}
+
+double DecisionLog::drift_ewma() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drift_seeded_ ? drift_ewma_
+                       : std::numeric_limits<double>::quiet_NaN();
+}
+
+int64_t DecisionLog::begun() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return begun_;
+}
+
+int64_t DecisionLog::settled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return settled_;
+}
+
+size_t DecisionLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::vector<DecisionRecord> DecisionLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<DecisionRecord>(records_.begin(), records_.end());
+}
+
+std::string DecisionLog::ToJsonl() const {
+  const std::vector<DecisionRecord> records = Snapshot();
+  std::ostringstream os;
+  for (const DecisionRecord& r : records) {
+    os << "{\"batch\":" << r.batch << ",\"ts_ns\":" << r.ts_ns
+       << ",\"n\":" << r.n
+       << ",\"chosen_rate\":" << StrFormat("%g", r.chosen_rate)
+       << ",\"predicted_ms\":" << StrFormat("%.6f", r.predicted_seconds * 1e3)
+       << ",\"achieved_ms\":"
+       << (r.achieved_seconds >= 0.0
+               ? StrFormat("%.6f", r.achieved_seconds * 1e3)
+               : std::string("null"))
+       << ",\"drift\":"
+       << (std::isfinite(r.drift) ? StrFormat("%.6f", r.drift)
+                                  : std::string("null"))
+       << ",\"deadline_headroom_ms\":"
+       << JsonMsOrNull(r.deadline_headroom_seconds) << ",\"outcome\":\""
+       << r.outcome << "\",\"attempts\":" << r.attempts << ",\"candidates\":[";
+    for (size_t i = 0; i < r.candidates.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "{\"rate\":" << StrFormat("%g", r.candidates[i].rate)
+         << ",\"predicted_ms\":"
+         << StrFormat("%.6f", r.candidates[i].predicted_seconds * 1e3) << "}";
+    }
+    os << "]}\n";
+  }
+  return os.str();
+}
+
+Status DecisionLog::WriteJsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const std::string jsonl = ToJsonl();
+  const size_t written = std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != jsonl.size() || close_err != 0) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+int64_t DecisionLog::IndexOf(int64_t batch) const {
+  if (records_.empty()) return -1;
+  const int64_t front = records_.front().batch;
+  const int64_t idx = batch - front;
+  if (idx < 0 || idx >= static_cast<int64_t>(records_.size())) return -1;
+  // Batch ids are monotone but the ring may have gaps if tickets were cut
+  // while the log was full; verify.
+  if (records_[static_cast<size_t>(idx)].batch == batch) return idx;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].batch == batch) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+
+}  // namespace ms

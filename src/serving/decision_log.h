@@ -1,0 +1,112 @@
+// Structured log of scheduler decisions (DESIGN.md §8).
+//
+// For every batch the LatencyScheduler cuts, SliceServer records what the
+// cost model (Eq. 3: time(n, r) ≈ n · r² · t_cal) predicted for each
+// candidate slice rate, which rate it chose and why, and — once the batch
+// settles — what the forward actually cost. The per-batch records live in a
+// bounded ring for JSONL export, and the predicted-vs-achieved error feeds
+// an EWMA drift gauge (`ms_sched_cost_model_drift`) so dashboards can see
+// the calibration constant go stale before deadlines start missing.
+#ifndef MODELSLICING_SERVING_DECISION_LOG_H_
+#define MODELSLICING_SERVING_DECISION_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace ms {
+
+
+/// One candidate slice rate the scheduler weighed for a batch.
+struct DecisionCandidate {
+  double rate = 0.0;
+  double predicted_seconds = 0.0;  ///< Eq. 3 cost at this rate.
+};
+
+/// One batch's scheduling decision, settled in place when the batch
+/// finishes.
+struct DecisionRecord {
+  int64_t batch = -1;   ///< ticket id; monotonically increasing.
+  int64_t ts_ns = 0;    ///< decision time on the trace clock.
+  int64_t n = 0;        ///< batch size.
+  double chosen_rate = 0.0;
+  double predicted_seconds = 0.0;  ///< Eq. 3 cost at the chosen rate.
+  /// Forward wall time once settled; -1 while the batch is in flight or if
+  /// it failed before completing a forward.
+  double achieved_seconds = -1.0;
+  /// Tightest request deadline minus decision time; NaN when no request in
+  /// the batch carries a deadline.
+  double deadline_headroom_seconds =
+      std::numeric_limits<double>::quiet_NaN();
+  /// |predicted - achieved| / achieved for this batch; NaN until settled.
+  double drift = std::numeric_limits<double>::quiet_NaN();
+  /// "pending" -> "served" | "failed".
+  const char* outcome = "pending";
+  int attempts = 1;
+  std::vector<DecisionCandidate> candidates;
+};
+
+/// \brief Bounded ring of DecisionRecords keyed by monotonically increasing
+/// batch ids, with an EWMA of the cost-model's relative error.
+///
+/// Thread-safe; decisions happen at batch frequency (not request
+/// frequency), so a mutex is fine here.
+class DecisionLog {
+ public:
+  explicit DecisionLog(size_t capacity = 4096, double drift_alpha = 0.1);
+  DecisionLog(const DecisionLog&) = delete;
+  DecisionLog& operator=(const DecisionLog&) = delete;
+
+  /// Admits a new record (fields other than achieved/drift/outcome filled
+  /// in by the caller). Evicts the oldest record when full.
+  void Begin(DecisionRecord record);
+
+  /// Bumps the attempt count for `batch` (watchdog or fault retry).
+  void OnRetry(int64_t batch);
+
+  /// Settles `batch`: stores achieved_seconds, computes this batch's drift,
+  /// folds it into the EWMA and publishes `ms_sched_cost_model_drift`.
+  /// `success` false marks the record "failed" (drift only updates on
+  /// success with a positive achieved time). A batch already evicted from
+  /// the ring still updates the EWMA on success.
+  void Settle(int64_t batch, bool success, double achieved_seconds);
+
+  /// EWMA of |predicted - achieved| / achieved across settled batches.
+  double drift_ewma() const;
+  int64_t begun() const;
+  int64_t settled() const;
+  size_t size() const;
+
+  std::vector<DecisionRecord> Snapshot() const;
+
+  /// One JSON object per line per decision, milliseconds for human eyes:
+  ///   {"batch":..,"ts_ns":..,"n":..,"chosen_rate":..,"predicted_ms":..,
+  ///    "achieved_ms":..,"drift":..,"deadline_headroom_ms":..|null,
+  ///    "outcome":"served","attempts":1,
+  ///    "candidates":[{"rate":..,"predicted_ms":..},...]}
+  std::string ToJsonl() const;
+  Status WriteJsonl(const std::string& path) const;
+
+ private:
+  /// Index of `batch` in records_, or -1. Caller holds mu_.
+  int64_t IndexOf(int64_t batch) const;
+
+  const size_t capacity_;
+  const double drift_alpha_;
+  mutable std::mutex mu_;
+  std::deque<DecisionRecord> records_;
+  int64_t begun_ = 0;
+  int64_t settled_ = 0;
+  double drift_ewma_ = 0.0;
+  bool drift_seeded_ = false;
+};
+
+
+}  // namespace ms
+
+#endif  // MODELSLICING_SERVING_DECISION_LOG_H_

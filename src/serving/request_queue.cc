@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/obs/request_trace.h"
 #include "src/util/fault.h"
 
 namespace ms {
@@ -17,6 +18,11 @@ AdmitResult RequestQueue::Submit(double deadline_seconds) {
   Request r;
   r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   r.enqueued = Request::Clock::now();
+  // One trace-clock read serves both stamps (0 when stage stats are off):
+  // admission control is synchronous inside this call, so the submit and
+  // queue-admit stages coincide by construction.
+  r.submit_ns = obs::StageNowNanos();
+  r.admit_ns = r.submit_ns;
   if (deadline_seconds > 0.0) {
     r.deadline = r.enqueued + std::chrono::duration_cast<
                                   Request::Clock::duration>(
@@ -43,6 +49,7 @@ RequestBatch RequestQueue::CutBatch(int64_t max_n) {
   for (auto& r : all) {
     if (r.ExpiredAt(now)) {
       ++out.expired;
+      out.expired_requests.push_back(r);
     } else if (static_cast<int64_t>(out.requests.size()) < max_n) {
       out.requests.push_back(r);
     } else {
@@ -63,6 +70,7 @@ RequestBatch RequestQueue::DrainAll() {
   for (auto& r : all) {
     if (r.ExpiredAt(now)) {
       ++out.expired;
+      out.expired_requests.push_back(r);
     } else {
       out.requests.push_back(r);
     }

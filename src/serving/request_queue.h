@@ -25,6 +25,12 @@ struct Request {
   Clock::time_point enqueued;
   /// Absolute expiry; Clock::time_point::max() means "no deadline".
   Clock::time_point deadline = Clock::time_point::max();
+  /// Lifecycle stamps on the trace clock (obs::StageNowNanos); 0 when stage
+  /// stats are disabled. One clock read covers both: admission happens
+  /// inside Submit, so submit == admit by construction and the per-stage
+  /// sums reconcile exactly with the end-to-end latency.
+  int64_t submit_ns = 0;
+  int64_t admit_ns = 0;
 
   bool ExpiredAt(Clock::time_point now) const { return deadline < now; }
 };
@@ -43,9 +49,12 @@ enum class AdmitResult {
 };
 
 /// What one batch cut produced: up to `max_n` live requests (oldest first)
-/// plus the number of deadline-expired requests dropped along the way.
+/// plus the deadline-expired requests dropped along the way (`expired` ==
+/// `expired_requests.size()`; the requests themselves are kept so their
+/// timelines can be traced).
 struct RequestBatch {
   std::vector<Request> requests;
+  std::vector<Request> expired_requests;
   int64_t expired = 0;
 };
 

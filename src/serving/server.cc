@@ -8,7 +8,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/request_trace.h"
 #include "src/obs/trace.h"
 #include "src/serving/degradation_manager.h"
 #include "src/tensor/prepack.h"
@@ -30,6 +32,13 @@ std::chrono::nanoseconds SecondsToDuration(double seconds) {
 
 double DurationToSeconds(std::chrono::steady_clock::duration d) {
   return std::chrono::duration_cast<std::chrono::duration<double>>(d).count();
+}
+
+// Milliseconds between two stage stamps; 0 when either stamp is missing
+// (stage stats were off when the request passed that point).
+double StageMsFromStamps(int64_t from_ns, int64_t to_ns) {
+  if (from_ns <= 0 || to_ns <= 0 || to_ns < from_ns) return 0.0;
+  return static_cast<double>(to_ns - from_ns) / 1e6;
 }
 
 }  // namespace
@@ -87,12 +96,31 @@ Result<std::unique_ptr<SliceServer>> SliceServer::Create(
 
 SliceServer::SliceServer(std::vector<std::unique_ptr<Module>> replicas,
                          ServerOptions opts)
-    : opts_(std::move(opts)), replicas_(std::move(replicas)) {
+    : opts_(std::move(opts)),
+      replicas_(std::move(replicas)),
+      decision_log_(static_cast<size_t>(
+          opts_.decision_log_capacity > 0 ? opts_.decision_log_capacity : 1)) {
   queue_ = std::make_unique<RequestQueue>(opts_.max_queue);
   for (int i = 0; i < static_cast<int>(replicas_.size()); ++i) {
     free_replicas_.push_back(i);
   }
   tick_seconds_ = opts_.serving.latency_budget / 2.0;
+  // Cache the per-stage histograms once: the registry guarantees the
+  // pointers stay valid and lock-free for its lifetime, so the serve path
+  // never takes the registry map lock.
+  auto& registry = obs::MetricsRegistry::Global();
+  stage_queue_wait_ = registry.GetHistogram("ms_server_stage_queue_wait_ms",
+                                            obs::LatencyBucketsMs());
+  stage_batch_form_ = registry.GetHistogram("ms_server_stage_batch_form_ms",
+                                            obs::LatencyBucketsMs());
+  stage_schedule_ = registry.GetHistogram("ms_server_stage_schedule_ms",
+                                          obs::LatencyBucketsMs());
+  stage_dispatch_ = registry.GetHistogram("ms_server_stage_dispatch_ms",
+                                          obs::LatencyBucketsMs());
+  stage_forward_ = registry.GetHistogram("ms_server_stage_forward_ms",
+                                         obs::LatencyBucketsMs());
+  stage_total_ = registry.GetHistogram("ms_server_stage_total_ms",
+                                       obs::LatencyBucketsMs());
 }
 
 SliceServer::~SliceServer() { Stop(); }
@@ -229,23 +257,28 @@ AdmitResult SliceServer::Submit(double deadline_seconds) {
     return AdmitResult::kRejectedClosed;
   }
   const AdmitResult result = queue_->Submit(deadline_seconds);
+  auto& flight = obs::FlightRecorder::Global();
   switch (result) {
     case AdmitResult::kAccepted:
       accepted_.fetch_add(1, std::memory_order_relaxed);
       registry.GetCounter("ms_server_accepted_total")->Inc();
+      flight.Record(obs::FlightEventKind::kAdmission, "accepted");
       break;
     case AdmitResult::kShedQueueFull:
       shed_.fetch_add(1, std::memory_order_relaxed);
       registry.GetCounter("ms_server_shed_total")->Inc();
+      flight.Record(obs::FlightEventKind::kAdmission, "shed_queue_full");
       break;
     case AdmitResult::kRejectedClosed:
       rejected_.fetch_add(1, std::memory_order_relaxed);
       registry.GetCounter("ms_server_rejected_total")->Inc();
+      flight.Record(obs::FlightEventKind::kAdmission, "rejected_closed");
       break;
     case AdmitResult::kRejectedInvalid:
       rejected_.fetch_add(1, std::memory_order_relaxed);
       registry.GetCounter("ms_server_rejected_total")->Inc();
       registry.GetCounter("ms_server_rejected_invalid_total")->Inc();
+      flight.Record(obs::FlightEventKind::kAdmission, "rejected_invalid");
       break;
   }
   return result;
@@ -342,12 +375,20 @@ void SliceServer::QuarantineAndRepair(int replica) {
   MS_LOG(Warn) << "replica " << replica
                << " produced non-finite output; quarantined ("
                << health_->healthy_count() << " healthy left)";
+  // A quarantine IS the black-box moment: record it, then dump the ring so
+  // the events leading up to the poisoned output are preserved.
+  auto& flight = obs::FlightRecorder::Global();
+  flight.Record(obs::FlightEventKind::kQuarantine, "non-finite output",
+                replica, health_->healthy_count());
+  flight.Trip("quarantine");
   if (RepairReplica(replica)) {
     health_->Readmit(replica);
     repaired_total_.fetch_add(1, std::memory_order_relaxed);
     registry.GetCounter("ms_server_quarantine_repaired_total")->Inc();
     registry.GetGauge("ms_server_quarantine_active")
         ->Set(health_->quarantined_count());
+    flight.Record(obs::FlightEventKind::kRepair, "golden restore ok",
+                  replica);
     ReleaseReplica(replica);
     MS_LOG(Info) << "replica " << replica
                  << " repaired from golden snapshot and readmitted";
@@ -371,16 +412,21 @@ void SliceServer::RunAttempt(int64_t ticket_id, int my_attempt) {
     }
     n = static_cast<int64_t>(it->second.requests.size());
     rate = it->second.rate;
+    // Stamped under the ticket lock so a superseding retry re-stamps it:
+    // whichever attempt settles the batch owns the forward stamps.
+    it->second.fwd_start_ns = obs::StageNowNanos();
   }
   const int replica = AcquireReplica();
   if (replica < 0) {
     // Every replica is quarantined; nothing can run this batch.
-    FinalizeAttempt(ticket_id, my_attempt, /*success=*/false, 0.0);
+    FinalizeAttempt(ticket_id, my_attempt, /*success=*/false, 0.0,
+                    /*fwd_done_ns=*/0);
     return;
   }
   bool success = false;
   bool poisoned = false;
   double secs = 0.0;
+  int64_t fwd_done_ns = 0;
   try {
     auto& faults = fault::Registry::Global();
     if (faults.ShouldFire(fault::kWorkerStall)) {
@@ -410,6 +456,7 @@ void SliceServer::RunAttempt(int64_t ticket_id, int my_attempt) {
     Stopwatch sw;
     Tensor y = m->Forward(x, /*training=*/false);
     secs = sw.ElapsedSeconds();
+    fwd_done_ns = obs::StageNowNanos();
     output_guard_.store(y.data()[0], std::memory_order_relaxed);
     // Always-on output health check: one linear scan of the logits, cheap
     // next to the forward that produced them.
@@ -433,17 +480,24 @@ void SliceServer::RunAttempt(int64_t ticket_id, int my_attempt) {
   } else {
     ReleaseReplica(replica);
   }
-  FinalizeAttempt(ticket_id, my_attempt, success, secs);
+  FinalizeAttempt(ticket_id, my_attempt, success, secs, fwd_done_ns);
 }
 
 void SliceServer::FinalizeAttempt(int64_t ticket_id, int my_attempt,
-                                  bool success, double batch_seconds) {
+                                  bool success, double batch_seconds,
+                                  int64_t fwd_done_ns) {
   auto& registry = obs::MetricsRegistry::Global();
+  auto& flight = obs::FlightRecorder::Global();
   enum class Outcome { kDiscard, kServe, kRetry, kFail };
   Outcome outcome = Outcome::kDiscard;
   int64_t n = 0;
   int64_t newly_expired = 0;
   double rate = 1.0;
+  // Settled requests and their batch-shared stamps, moved out under the
+  // lock so histograms/timelines are folded in without holding tickets_mu_.
+  std::vector<Request> settled;
+  std::vector<Request> expired_now;
+  int64_t cut_ns = 0, formed_ns = 0, sched_ns = 0, fwd_start_ns = 0;
   {
     std::lock_guard<std::mutex> lock(tickets_mu_);
     auto it = tickets_.find(ticket_id);
@@ -455,9 +509,14 @@ void SliceServer::FinalizeAttempt(int64_t ticket_id, int my_attempt,
     }
     BatchTicket& t = it->second;
     rate = t.rate;
+    cut_ns = t.cut_ns;
+    formed_ns = t.formed_ns;
+    sched_ns = t.sched_ns;
+    fwd_start_ns = t.fwd_start_ns;
     if (success) {
       outcome = Outcome::kServe;
       n = static_cast<int64_t>(t.requests.size());
+      settled = std::move(t.requests);
       tickets_.erase(it);
     } else if (my_attempt == 0) {
       // The single retry. Requests whose deadline passed while attempt 0
@@ -468,6 +527,7 @@ void SliceServer::FinalizeAttempt(int64_t ticket_id, int my_attempt,
       for (const Request& r : t.requests) {
         if (r.ExpiredAt(now)) {
           ++newly_expired;
+          expired_now.push_back(r);
         } else {
           live.push_back(r);
         }
@@ -488,12 +548,16 @@ void SliceServer::FinalizeAttempt(int64_t ticket_id, int my_attempt,
       // Retry also failed: these requests are definitively lost.
       outcome = Outcome::kFail;
       n = static_cast<int64_t>(t.requests.size());
+      settled = std::move(t.requests);
       tickets_.erase(it);
     }
   }
   if (newly_expired > 0) {
     expired_.fetch_add(newly_expired, std::memory_order_relaxed);
     registry.GetCounter("ms_server_expired_total")->Inc(newly_expired);
+    RecordFinished(expired_now, "expired", ticket_id, my_attempt, rate,
+                   cut_ns, formed_ns, sched_ns, fwd_start_ns,
+                   /*fwd_done_ns=*/0);
   }
   switch (outcome) {
     case Outcome::kServe: {
@@ -520,17 +584,27 @@ void SliceServer::FinalizeAttempt(int64_t ticket_id, int my_attempt,
       }
       registry.GetGauge("ms_server_budget_utilization")
           ->Set(tick_seconds_ > 0.0 ? batch_seconds / tick_seconds_ : 0.0);
+      RecordFinished(settled, "served", ticket_id, my_attempt, rate, cut_ns,
+                     formed_ns, sched_ns, fwd_start_ns, fwd_done_ns);
+      decision_log_.Settle(ticket_id, /*success=*/true, batch_seconds);
+      flight.Record(obs::FlightEventKind::kServe, "batch served", ticket_id,
+                    n, rate, batch_seconds);
       breaker_->OnSuccess();
       registry.GetGauge("ms_server_breaker_open")->Set(0.0);
+      NoteBreakerState();
       FinishTicket();
       break;
     }
     case Outcome::kRetry: {
       retried_.fetch_add(1, std::memory_order_relaxed);
       registry.GetCounter("ms_server_retries_total")->Inc();
+      decision_log_.OnRetry(ticket_id);
+      flight.Record(obs::FlightEventKind::kRetry, "attempt failed, retrying",
+                    ticket_id, my_attempt);
       breaker_->OnFailure();
       registry.GetGauge("ms_server_breaker_open")
           ->Set(breaker_->open() ? 1.0 : 0.0);
+      NoteBreakerState();
       // Same ticket, attempt 1; the in-flight slot carries over.
       pool_->Submit([this, ticket_id] { RunAttempt(ticket_id, 1); });
       break;
@@ -538,18 +612,90 @@ void SliceServer::FinalizeAttempt(int64_t ticket_id, int my_attempt,
     case Outcome::kFail: {
       failed_.fetch_add(n, std::memory_order_relaxed);
       registry.GetCounter("ms_server_failed_total")->Inc(n);
+      RecordFinished(settled, "failed", ticket_id, my_attempt, rate, cut_ns,
+                     formed_ns, sched_ns, fwd_start_ns, /*fwd_done_ns=*/0);
+      decision_log_.Settle(ticket_id, /*success=*/false, -1.0);
+      flight.Record(obs::FlightEventKind::kFail, "batch failed terminally",
+                    ticket_id, n, rate);
       breaker_->OnFailure();
       registry.GetGauge("ms_server_breaker_open")
           ->Set(breaker_->open() ? 1.0 : 0.0);
+      NoteBreakerState();
       FinishTicket();
       break;
     }
     case Outcome::kDiscard: {
       // Attempt-0 failure whose requests all expired: the ticket settled
       // as pure expiry above.
+      decision_log_.Settle(ticket_id, /*success=*/false, -1.0);
       FinishTicket();
       break;
     }
+  }
+}
+
+void SliceServer::RecordFinished(const std::vector<Request>& requests,
+                                 const char* outcome, int64_t batch,
+                                 int attempt, double rate, int64_t cut_ns,
+                                 int64_t formed_ns, int64_t sched_ns,
+                                 int64_t fwd_start_ns, int64_t fwd_done_ns) {
+  if (requests.empty()) return;
+  const bool served = fwd_done_ns > 0;
+  if (served && obs::StageStatsEnabled()) {
+    // Batch-shared stages are observed once per request on purpose: every
+    // histogram then counts requests, and the mean of stage sums equals the
+    // mean total (the 5%-reconciliation contract in DESIGN.md §8).
+    const double batch_form_ms = StageMsFromStamps(cut_ns, formed_ns);
+    const double schedule_ms = StageMsFromStamps(formed_ns, sched_ns);
+    const double dispatch_ms = StageMsFromStamps(sched_ns, fwd_start_ns);
+    const double forward_ms = StageMsFromStamps(fwd_start_ns, fwd_done_ns);
+    for (const Request& r : requests) {
+      if (r.admit_ns <= 0) continue;  // submitted while stamping was off
+      stage_queue_wait_->Observe(StageMsFromStamps(r.admit_ns, cut_ns));
+      stage_batch_form_->Observe(batch_form_ms);
+      stage_schedule_->Observe(schedule_ms);
+      stage_dispatch_->Observe(dispatch_ms);
+      stage_forward_->Observe(forward_ms);
+      stage_total_->Observe(StageMsFromStamps(r.submit_ns, fwd_done_ns));
+    }
+  }
+  auto& trace_log = obs::RequestTraceLog::Global();
+  if (!trace_log.enabled()) return;
+  const int64_t done_ns = obs::StageNowNanos();
+  for (const Request& r : requests) {
+    obs::RequestTimeline t;
+    t.id = r.id;
+    t.batch = batch;
+    t.attempt = attempt;
+    t.rate = rate;
+    t.outcome = outcome;
+    t.submit_ns = r.submit_ns;
+    t.admit_ns = r.admit_ns;
+    t.cut_ns = cut_ns;
+    t.formed_ns = formed_ns;
+    t.sched_ns = sched_ns;
+    t.fwd_start_ns = fwd_start_ns;
+    t.fwd_done_ns = fwd_done_ns;
+    t.done_ns = done_ns;
+    trace_log.Append(t);
+  }
+}
+
+void SliceServer::NoteBreakerState() {
+  const bool open = breaker_->open();
+  const bool was =
+      breaker_open_seen_.exchange(open, std::memory_order_relaxed);
+  if (open == was) return;
+  auto& flight = obs::FlightRecorder::Global();
+  if (open) {
+    flight.Record(obs::FlightEventKind::kBreakerOpen,
+                  "circuit breaker opened");
+    // Breaker opening means consecutive terminal failures — exactly the
+    // situation the black box exists for.
+    flight.Trip("breaker_open");
+  } else {
+    flight.Record(obs::FlightEventKind::kBreakerClose,
+                  "circuit breaker closed");
   }
 }
 
@@ -570,16 +716,20 @@ void SliceServer::RunWatchdog() {
   }
   if (stalled.empty()) return;
   auto& registry = obs::MetricsRegistry::Global();
+  auto& flight = obs::FlightRecorder::Global();
   for (int64_t id : stalled) {
     registry.GetCounter("ms_server_watchdog_stalls_total")->Inc();
     MS_LOG(Warn) << "watchdog: batch ticket " << id
                  << " exceeded its stall threshold; rescheduling once";
+    flight.Record(obs::FlightEventKind::kWatchdog,
+                  "stalled batch rescheduled", id);
+    flight.Trip("watchdog");
     // Finalizing attempt 0 as a failure IS the reschedule: the ticket's
     // attempt number advances, so the wedged worker's eventual result is
     // discarded under the ticket lock. (If the batch finished between the
     // scan above and here, the ticket is gone and this is a no-op.)
     FinalizeAttempt(id, /*my_attempt=*/0, /*success=*/false,
-                    /*batch_seconds=*/0.0);
+                    /*batch_seconds=*/0.0, /*fwd_done_ns=*/0);
   }
 }
 
@@ -596,10 +746,15 @@ void SliceServer::TickOnce() {
   const bool admit = breaker_->Allow();
   const int64_t max_n =
       admit ? DegradationManager::MaxBatchWithinBudget(opts_.serving) : 0;
+  const int64_t cut_ns = obs::StageNowNanos();
   RequestBatch batch = queue_->CutBatch(max_n);
+  const int64_t formed_ns = obs::StageNowNanos();
   if (batch.expired > 0) {
     expired_.fetch_add(batch.expired, std::memory_order_relaxed);
     registry.GetCounter("ms_server_expired_total")->Inc(batch.expired);
+    RecordFinished(batch.expired_requests, "expired", /*batch=*/-1,
+                   /*attempt=*/0, /*rate=*/0.0, cut_ns, /*formed_ns=*/0,
+                   /*sched_ns=*/0, /*fwd_start_ns=*/0, /*fwd_done_ns=*/0);
   }
   const int64_t depth_after = queue_->depth();
   registry.GetGauge("ms_server_backlog")->Set(depth_after);
@@ -610,13 +765,18 @@ void SliceServer::TickOnce() {
   if (n == 0) return;
   const TickDecision decision =
       scheduler_->Schedule(static_cast<int>(n));
+  const int64_t sched_ns = obs::StageNowNanos();
   batches_.fetch_add(1, std::memory_order_relaxed);
   registry.GetCounter("ms_server_batches_total")->Inc();
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
     ++in_flight_;
   }
+  const double full_t = opts_.serving.full_sample_time;
+  const double predicted_seconds =
+      static_cast<double>(n) * decision.rate * decision.rate * full_t;
   int64_t id = 0;
+  double headroom = std::numeric_limits<double>::quiet_NaN();
   {
     std::lock_guard<std::mutex> lock(tickets_mu_);
     id = next_ticket_++;
@@ -626,8 +786,39 @@ void SliceServer::TickOnce() {
     t.attempt = 0;
     t.start = SteadyClock::now();
     t.watchdog_seconds = WatchdogThreshold(n, decision.rate);
+    t.cut_ns = cut_ns;
+    t.formed_ns = formed_ns;
+    t.sched_ns = sched_ns;
+    // Tightest deadline headroom at decision time, for the decision log.
+    for (const Request& r : t.requests) {
+      if (r.deadline == Request::Clock::time_point::max()) continue;
+      const double h = DurationToSeconds(r.deadline - t.start);
+      if (!(h >= headroom)) headroom = h;  // NaN-safe min
+    }
     tickets_.emplace(id, std::move(t));
   }
+  {
+    // Everything the Eq. 3 rule weighed: every lattice rate with its
+    // predicted cost, the chosen rate, and how much deadline slack existed
+    // when the choice was made.
+    DecisionRecord rec;
+    rec.batch = id;
+    rec.ts_ns = sched_ns;
+    rec.n = n;
+    rec.chosen_rate = decision.rate;
+    rec.predicted_seconds = predicted_seconds;
+    rec.deadline_headroom_seconds = headroom;
+    const std::vector<double>& rates = opts_.serving.lattice.rates();
+    rec.candidates.reserve(rates.size());
+    for (double r : rates) {
+      rec.candidates.push_back(
+          {r, static_cast<double>(n) * r * r * full_t});
+    }
+    decision_log_.Begin(std::move(rec));
+  }
+  obs::FlightRecorder::Global().Record(obs::FlightEventKind::kDecision,
+                                       "batch scheduled", id, n,
+                                       decision.rate, predicted_seconds);
   pool_->Submit([this, id] { RunAttempt(id, 0); });
 }
 
@@ -661,11 +852,17 @@ void SliceServer::BatcherLoop() {
   if (rest.expired > 0) {
     expired_.fetch_add(rest.expired, std::memory_order_relaxed);
     registry.GetCounter("ms_server_expired_total")->Inc(rest.expired);
+    RecordFinished(rest.expired_requests, "expired", /*batch=*/-1,
+                   /*attempt=*/0, /*rate=*/0.0, /*cut_ns=*/0, /*formed_ns=*/0,
+                   /*sched_ns=*/0, /*fwd_start_ns=*/0, /*fwd_done_ns=*/0);
   }
   const int64_t shed_on_stop = static_cast<int64_t>(rest.requests.size());
   if (shed_on_stop > 0) {
     shed_.fetch_add(shed_on_stop, std::memory_order_relaxed);
     registry.GetCounter("ms_server_shed_total")->Inc(shed_on_stop);
+    RecordFinished(rest.requests, "shed", /*batch=*/-1, /*attempt=*/0,
+                   /*rate=*/0.0, /*cut_ns=*/0, /*formed_ns=*/0,
+                   /*sched_ns=*/0, /*fwd_start_ns=*/0, /*fwd_done_ns=*/0);
   }
   for (;;) {
     {

@@ -67,6 +67,8 @@
 #include <vector>
 
 #include "src/nn/module.h"
+#include "src/obs/metrics.h"
+#include "src/serving/decision_log.h"
 #include "src/serving/health.h"
 #include "src/serving/latency_scheduler.h"
 #include "src/serving/request_queue.h"
@@ -91,6 +93,8 @@ struct ServerOptions {
   bool prewarm = true;
   /// Watchdog / quarantine / circuit-breaker knobs (src/serving/health.h).
   HealthOptions health;
+  /// Ring size of the always-on scheduler decision log (DESIGN.md §8).
+  int64_t decision_log_capacity = 4096;
 };
 
 /// Post-Stop invariant:
@@ -160,6 +164,8 @@ class SliceServer {
   /// Serving config as used (full_sample_time reflects calibration).
   const ServingConfig& serving_config() const { return opts_.serving; }
   int num_workers() const { return static_cast<int>(replicas_.size()); }
+  /// Per-batch scheduler decisions + cost-model drift EWMA (always on).
+  const DecisionLog& decision_log() const { return decision_log_; }
   /// Replicas currently serving-eligible (total minus quarantined).
   int healthy_workers() const;
   /// True while the failure circuit breaker is rejecting admissions.
@@ -179,6 +185,13 @@ class SliceServer {
     int attempt = 0;                  ///< 0 original, 1 the single retry.
     SteadyClock::time_point start;    ///< current attempt's dispatch time.
     double watchdog_seconds = 0.0;    ///< stall threshold for this attempt.
+    // Lifecycle stamps shared by every request in the batch (trace clock,
+    // 0 when stage stats are off). fwd_start_ns is re-stamped by each
+    // attempt, so a settled request's stamps are the serving attempt's.
+    int64_t cut_ns = 0;               ///< batch cut began.
+    int64_t formed_ns = 0;            ///< cut done, batch formed.
+    int64_t sched_ns = 0;             ///< rate decision made.
+    int64_t fwd_start_ns = 0;         ///< worker began the forward.
   };
 
   SliceServer(std::vector<std::unique_ptr<Module>> replicas,
@@ -193,15 +206,29 @@ class SliceServer {
   /// releases the replica and settles the ticket's accounting.
   void RunAttempt(int64_t ticket_id, int my_attempt);
   /// Settles an attempt: serve, schedule the one retry, or fail. No-op if
-  /// the attempt was superseded.
+  /// the attempt was superseded. `fwd_done_ns` is the attempt's
+  /// forward-done stamp (0 when stage stats are off or no forward ran).
   void FinalizeAttempt(int64_t ticket_id, int my_attempt, bool success,
-                       double batch_seconds);
+                       double batch_seconds, int64_t fwd_done_ns);
   /// Quarantines a poisoned replica, restores golden weights, probes, and
   /// readmits on a clean probe.
   void QuarantineAndRepair(int replica);
   bool RepairReplica(int replica);
   double WatchdogThreshold(int64_t n, double rate) const;
   void FinishTicket();  ///< in-flight bookkeeping after a ticket settles.
+
+  /// Folds one batch's stamps into the per-stage histograms and, when the
+  /// global RequestTraceLog is enabled, appends one RequestTimeline per
+  /// request. `outcome` is a static string ("served"/"expired"/...);
+  /// non-terminal stamps may be 0 for non-served outcomes.
+  void RecordFinished(const std::vector<Request>& requests,
+                      const char* outcome, int64_t batch, int attempt,
+                      double rate, int64_t cut_ns, int64_t formed_ns,
+                      int64_t sched_ns, int64_t fwd_start_ns,
+                      int64_t fwd_done_ns);
+  /// Flight-records circuit-breaker open/close transitions (and trips the
+  /// recorder on open). Call after any breaker OnSuccess/OnFailure.
+  void NoteBreakerState();
 
   /// Blocks until a healthy replica is free; returns -1 when every replica
   /// is quarantined (the batch then fails instead of waiting forever).
@@ -217,6 +244,7 @@ class SliceServer {
   std::unique_ptr<LatencyScheduler> scheduler_;
   std::unique_ptr<ReplicaHealth> health_;
   std::unique_ptr<CircuitBreaker> breaker_;
+  DecisionLog decision_log_;
 
   double tick_seconds_ = 0.0;     ///< T/2, the batching interval.
   double calibrated_t_ = 0.0;
@@ -263,6 +291,19 @@ class SliceServer {
   double min_rate_ = 1.0;
   double max_batch_seconds_ = 0.0;
   std::atomic<float> output_guard_{0.0f};  ///< keeps forwards observable.
+
+  /// Last breaker state flight-recorded, for open/close edge detection.
+  std::atomic<bool> breaker_open_seen_{false};
+  // Per-stage latency histograms (global registry), cached at construction
+  // so the serve path never takes the registry lock. Order matches the
+  // stage pipeline; "dispatch" is schedule-decision -> forward-start, which
+  // makes the six stages sum exactly to "total".
+  obs::Histogram* stage_queue_wait_ = nullptr;
+  obs::Histogram* stage_batch_form_ = nullptr;
+  obs::Histogram* stage_schedule_ = nullptr;
+  obs::Histogram* stage_dispatch_ = nullptr;
+  obs::Histogram* stage_forward_ = nullptr;
+  obs::Histogram* stage_total_ = nullptr;
 };
 
 /// One tick of the closed-loop driver below.

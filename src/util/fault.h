@@ -27,6 +27,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/util/status.h"
 
@@ -105,6 +106,10 @@ class Registry {
     if (u >= p.probability) return false;
     ++p.fires;
     p.fires_metric->Inc();
+    // Leave a breadcrumb in the serving black box: a fault firing is
+    // exactly the kind of event a post-trip dump needs to explain.
+    obs::FlightRecorder::Global().Record(obs::FlightEventKind::kFaultFire,
+                                         point, p.fires);
     return true;
   }
 

@@ -1,0 +1,154 @@
+// Minimal strict JSON validator for tests: checks that a string is one
+// well-formed JSON value (RFC 8259 grammar, no extensions). Parsing JSONL
+// exports line by line through this catches malformed escapes, bare NaNs,
+// trailing commas and truncated writes without pulling in a JSON library.
+#ifndef MODELSLICING_TESTS_MINIJSON_TEST_UTIL_H_
+#define MODELSLICING_TESTS_MINIJSON_TEST_UTIL_H_
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace ms {
+namespace testing {
+
+namespace minijson_internal {
+
+struct Cursor {
+  const std::string& s;
+  size_t i = 0;
+
+  bool done() const { return i >= s.size(); }
+  char peek() const { return i < s.size() ? s[i] : '\0'; }
+  void SkipWs() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool Eat(char c) {
+    if (peek() != c) return false;
+    ++i;
+    return true;
+  }
+  bool EatLiteral(const char* lit) {
+    size_t j = i;
+    for (const char* p = lit; *p != '\0'; ++p, ++j) {
+      if (j >= s.size() || s[j] != *p) return false;
+    }
+    i = j;
+    return true;
+  }
+};
+
+bool ParseValue(Cursor* c);  // forward
+
+inline bool ParseString(Cursor* c) {
+  if (!c->Eat('"')) return false;
+  while (!c->done()) {
+    const char ch = c->s[c->i++];
+    if (ch == '"') return true;
+    if (static_cast<unsigned char>(ch) < 0x20) return false;  // raw control
+    if (ch == '\\') {
+      if (c->done()) return false;
+      const char esc = c->s[c->i++];
+      switch (esc) {
+        case '"': case '\\': case '/': case 'b': case 'f':
+        case 'n': case 'r': case 't':
+          break;
+        case 'u': {
+          for (int k = 0; k < 4; ++k) {
+            if (c->done() ||
+                !std::isxdigit(static_cast<unsigned char>(c->s[c->i]))) {
+              return false;
+            }
+            ++c->i;
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+  }
+  return false;  // unterminated
+}
+
+inline bool ParseNumber(Cursor* c) {
+  c->Eat('-');
+  if (c->Eat('0')) {
+    // no leading zeros
+  } else if (std::isdigit(static_cast<unsigned char>(c->peek()))) {
+    while (std::isdigit(static_cast<unsigned char>(c->peek()))) ++c->i;
+  } else {
+    return false;
+  }
+  if (c->Eat('.')) {
+    if (!std::isdigit(static_cast<unsigned char>(c->peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(c->peek()))) ++c->i;
+  }
+  if (c->peek() == 'e' || c->peek() == 'E') {
+    ++c->i;
+    if (c->peek() == '+' || c->peek() == '-') ++c->i;
+    if (!std::isdigit(static_cast<unsigned char>(c->peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(c->peek()))) ++c->i;
+  }
+  return true;
+}
+
+inline bool ParseObject(Cursor* c) {
+  if (!c->Eat('{')) return false;
+  c->SkipWs();
+  if (c->Eat('}')) return true;
+  for (;;) {
+    c->SkipWs();
+    if (!ParseString(c)) return false;
+    c->SkipWs();
+    if (!c->Eat(':')) return false;
+    if (!ParseValue(c)) return false;
+    c->SkipWs();
+    if (c->Eat('}')) return true;
+    if (!c->Eat(',')) return false;
+  }
+}
+
+inline bool ParseArray(Cursor* c) {
+  if (!c->Eat('[')) return false;
+  c->SkipWs();
+  if (c->Eat(']')) return true;
+  for (;;) {
+    if (!ParseValue(c)) return false;
+    c->SkipWs();
+    if (c->Eat(']')) return true;
+    if (!c->Eat(',')) return false;
+  }
+}
+
+inline bool ParseValue(Cursor* c) {
+  c->SkipWs();
+  switch (c->peek()) {
+    case '{': return ParseObject(c);
+    case '[': return ParseArray(c);
+    case '"': return ParseString(c);
+    case 't': return c->EatLiteral("true");
+    case 'f': return c->EatLiteral("false");
+    case 'n': return c->EatLiteral("null");
+    default:  return ParseNumber(c);
+  }
+}
+
+}  // namespace minijson_internal
+
+/// True iff `text` is exactly one well-formed JSON value (plus surrounding
+/// whitespace). Use on each line of a JSONL export, or a whole .json file.
+inline bool IsValidJson(const std::string& text) {
+  minijson_internal::Cursor c{text, 0};
+  if (!minijson_internal::ParseValue(&c)) return false;
+  c.SkipWs();
+  return c.done();
+}
+
+}  // namespace testing
+}  // namespace ms
+
+#endif  // MODELSLICING_TESTS_MINIJSON_TEST_UTIL_H_

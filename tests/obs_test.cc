@@ -1,8 +1,13 @@
 // Tests for the observability subsystem: metric semantics, percentile
 // bounds, concurrent updates from ThreadPool threads, span nesting, and
 // JSONL / chrome-trace export round-trips.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -185,6 +190,105 @@ TEST(Histogram, PercentileEdgeCases) {
   overflow_only.Observe(50.0);
   // Overflow bucket reports its lower edge (conservative).
   EXPECT_DOUBLE_EQ(overflow_only.Percentile(99), 1.0);
+}
+
+// The O(1) geometric/arithmetic bucket index must place every value in
+// exactly the bucket the original lower_bound search would have: probe each
+// layout kind at, just below, and just above every bound, plus extremes.
+TEST(Histogram, BucketPlacementMatchesLowerBoundAcrossLayouts) {
+  const std::vector<std::vector<double>> layouts = {
+      {0.01, 0.02, 0.04, 0.08, 0.16, 0.32},  // geometric, ratio 2
+      obs::LatencyBucketsMs(),                // the default log layout
+      obs::RateBuckets(),                     // arithmetic, step 1/16
+      {1.0, 2.0, 3.0, 4.0, 5.0},              // arithmetic, step 1
+      {0.5, 1.0, 10.0, 11.0, 64.0},           // irregular
+      {1.0, 2.0},                             // too short to classify
+      {7.0},                                  // single bound
+  };
+  for (const auto& bounds : layouts) {
+    std::vector<double> probes = {0.0, -1.0, 1e12,
+                                  bounds.front() / 2.0,
+                                  std::numeric_limits<double>::infinity()};
+    for (double b : bounds) {
+      probes.push_back(b);  // bounds are inclusive upper limits
+      probes.push_back(std::nextafter(b, 0.0));
+      probes.push_back(std::nextafter(b, 1e300));
+      probes.push_back(b * 1.5);
+    }
+    for (double v : probes) {
+      obs::Histogram h(bounds);
+      h.Observe(v);
+      const size_t want = static_cast<size_t>(
+          std::lower_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+      ASSERT_EQ(h.bucket_count(want), 1)
+          << "value " << v << " landed outside bucket " << want << " for a "
+          << bounds.size() << "-bound layout";
+    }
+    // NaN keeps the old lower_bound behavior: bucket 0, never a crash.
+    obs::Histogram h(bounds);
+    h.Observe(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(h.bucket_count(0), 1);
+  }
+}
+
+// Wait-free Observe under 8 concurrent writers: exact total counts, and
+// percentiles queried DURING the writes stay inside the observed value
+// range and mutually ordered (the snapshot can never rank against a total
+// that ran ahead of the bucket array).
+TEST(Histogram, ConcurrentWritersExactCountsAndPercentileInBucket) {
+  obs::Histogram h({1.0, 2.0, 4.0, 8.0});
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 50000;
+  const double values[] = {0.5, 1.5, 3.0, 6.0};  // one per finite bucket
+  std::atomic<bool> writers_done{false};
+  std::thread reader([&] {
+    while (!writers_done.load(std::memory_order_acquire)) {
+      const std::vector<double> ps = h.Percentiles({50.0, 99.0});
+      EXPECT_GE(ps[0], 0.0);
+      EXPECT_LE(ps[0], ps[1]);
+      EXPECT_LE(ps[1], 8.0);  // nothing was ever observed past 8.0
+    }
+  });
+  {
+    ThreadPool pool(kThreads);
+    pool.ParallelFor(kThreads * kPerThread, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) h.Observe(values[i % 4]);
+    });
+  }
+  writers_done.store(true, std::memory_order_release);
+  reader.join();
+  const int64_t total = kThreads * kPerThread;
+  EXPECT_EQ(h.count(), total);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(h.bucket_count(i), total / 4);
+  }
+  EXPECT_EQ(h.bucket_count(4), 0);  // overflow stays empty
+  EXPECT_DOUBLE_EQ(h.sum(), (0.5 + 1.5 + 3.0 + 6.0) * (total / 4));
+  // Exact-to-bucket at rest: p50 ranks into the (1,2] bucket, p99 and p99.9
+  // into (4,8].
+  const std::vector<double> ps = h.Percentiles({50.0, 99.0, 99.9});
+  EXPECT_GT(ps[0], 1.0);
+  EXPECT_LE(ps[0], 2.0);
+  EXPECT_GT(ps[1], 4.0);
+  EXPECT_LE(ps[1], 8.0);
+  EXPECT_GT(ps[2], 4.0);
+  EXPECT_LE(ps[2], 8.0);
+}
+
+TEST(Histogram, PercentilesBatchIsMutuallyConsistent) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) h.Observe(0.5 + (i % 4));
+  const std::vector<double> ps = h.Percentiles({10.0, 50.0, 90.0, 99.9});
+  for (size_t i = 1; i < ps.size(); ++i) EXPECT_LE(ps[i - 1], ps[i]);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), ps[1]);
+}
+
+TEST(MetricsRegistry, JsonlExportIncludesP999) {
+  obs::MetricsRegistry registry;
+  registry.GetHistogram("lat", {1.0, 10.0})->Observe(5.0);
+  const std::string jsonl = registry.ToJsonl();
+  EXPECT_NE(jsonl.find("\"p999\""), std::string::npos);
+  EXPECT_TRUE(JsonChecker(jsonl.substr(0, jsonl.find('\n'))).Valid());
 }
 
 TEST(MetricsRegistry, StablePointersAndReset) {

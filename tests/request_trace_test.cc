@@ -1,0 +1,357 @@
+// Tests for request-lifecycle tracing (DESIGN.md §8): stage stamps are
+// monotone along submit -> admit -> cut -> formed -> sched -> fwd_start ->
+// fwd_done, the six per-stage durations reconcile with the end-to-end
+// latency (within the 5% contract; exact by construction here since
+// submit==admit and the stages tile the interval), served requests land in
+// the ms_server_stage_*_ms histograms, the JSONL export is well-formed, the
+// chrome-trace export nests stage spans inside request spans, and the
+// scheduler decision log predicts/settles with a finite drift EWMA.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/models/mlp.h"
+#include "src/obs/metrics.h"
+#include "src/obs/request_trace.h"
+#include "src/obs/trace.h"
+#include "src/serving/decision_log.h"
+#include "src/serving/server.h"
+#include "src/util/fault.h"
+#include "tests/minijson_test_util.h"
+
+namespace ms {
+namespace {
+
+std::vector<std::unique_ptr<Module>> MakeReplicas(int n) {
+  MlpConfig cfg;
+  cfg.in_features = 8;
+  cfg.hidden = {16};
+  cfg.num_classes = 4;
+  cfg.slice_groups = 4;
+  cfg.seed = 11;
+  std::vector<std::unique_ptr<Module>> replicas;
+  for (int i = 0; i < n; ++i) {
+    replicas.push_back(MakeMlp(cfg).MoveValueOrDie());
+  }
+  return replicas;
+}
+
+ServerOptions TraceOptions() {
+  ServerOptions opts;
+  opts.serving.latency_budget = 0.02;  // 10ms batching tick.
+  opts.serving.full_sample_time = 1.0;  // replaced by calibration.
+  opts.serving.lattice = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  opts.max_queue = 256;
+  opts.sample_shape = {8};
+  opts.calibration_batch = 4;
+  opts.calibration_repeats = 2;
+  return opts;
+}
+
+template <typename Fn>
+bool WaitFor(Fn&& done, int timeout_ms) {
+  for (int i = 0; i < timeout_ms; ++i) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return done();
+}
+
+class RequestTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& reg = fault::Registry::Global();
+    reg.DisarmAll();
+    reg.SetSeed(7);
+    // Reset BEFORE creating any server: SliceServer caches its stage
+    // histogram pointers at construction and Reset() invalidates them.
+    obs::MetricsRegistry::Global().Reset();
+    obs::RequestTraceLog::Global().Disable();
+    obs::RequestTraceLog::Global().Clear();
+    obs::EnableStageStats(false);
+  }
+  void TearDown() override {
+    fault::Registry::Global().DisarmAll();
+    obs::RequestTraceLog::Global().Disable();
+    obs::RequestTraceLog::Global().Clear();
+    obs::EnableStageStats(false);
+  }
+
+  /// Starts a server, serves `n` no-deadline requests to completion, stops
+  /// it and returns it (stats and decision log remain readable).
+  std::unique_ptr<SliceServer> ServeRequests(int n) {
+    auto server =
+        SliceServer::Create(MakeReplicas(2), TraceOptions()).MoveValueOrDie();
+    EXPECT_TRUE(server->Start().ok());
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(server->Submit(), AdmitResult::kAccepted);
+    }
+    EXPECT_TRUE(WaitFor([&] { return server->stats().served >= n; },
+                        /*timeout_ms=*/20000));
+    server->Stop();
+    return server;
+  }
+};
+
+TEST_F(RequestTraceTest, StageNowNanosIsZeroWhenDisabled) {
+  obs::EnableStageStats(false);
+  EXPECT_EQ(obs::StageNowNanos(), 0);
+  obs::EnableStageStats(true);
+  const int64_t a = obs::StageNowNanos();
+  const int64_t b = obs::StageNowNanos();
+  EXPECT_GT(a, 0);
+  EXPECT_GE(b, a);
+  obs::EnableStageStats(false);
+  EXPECT_EQ(obs::StageNowNanos(), 0);
+}
+
+TEST_F(RequestTraceTest, ServedTimelinesAreMonotoneAndStagesReconcile) {
+  obs::EnableStageStats(true);
+  auto& log = obs::RequestTraceLog::Global();
+  log.Enable();
+  const int kRequests = 32;
+  auto server = ServeRequests(kRequests);
+  EXPECT_EQ(server->stats().served, kRequests);
+
+  const std::vector<obs::RequestTimeline> timelines = log.Snapshot();
+  int served = 0;
+  for (const obs::RequestTimeline& t : timelines) {
+    if (std::string(t.outcome) != "served") continue;
+    ++served;
+    // Full stage ladder, stamped and monotone.
+    EXPECT_GT(t.submit_ns, 0) << "id=" << t.id;
+    EXPECT_EQ(t.submit_ns, t.admit_ns);  // one clock read at Submit()
+    EXPECT_GE(t.cut_ns, t.admit_ns);
+    EXPECT_GE(t.formed_ns, t.cut_ns);
+    EXPECT_GE(t.sched_ns, t.formed_ns);
+    EXPECT_GE(t.fwd_start_ns, t.sched_ns);
+    EXPECT_GE(t.fwd_done_ns, t.fwd_start_ns);
+    EXPECT_GE(t.done_ns, t.fwd_done_ns);
+    EXPECT_GE(t.batch, 0);
+    EXPECT_GT(t.rate, 0.0);
+    EXPECT_LE(t.rate, 1.0);
+    // The six stages tile [submit, fwd_done]: their sum reconciles with the
+    // end-to-end latency within the 5% contract.
+    const double total = static_cast<double>(t.fwd_done_ns - t.submit_ns);
+    const double sum = static_cast<double>((t.cut_ns - t.admit_ns) +
+                                           (t.formed_ns - t.cut_ns) +
+                                           (t.sched_ns - t.formed_ns) +
+                                           (t.fwd_start_ns - t.sched_ns) +
+                                           (t.fwd_done_ns - t.fwd_start_ns));
+    ASSERT_GT(total, 0.0);
+    EXPECT_LE(std::abs(sum - total) / total, 0.05)
+        << "id=" << t.id << " sum=" << sum << " total=" << total;
+  }
+  EXPECT_EQ(served, kRequests);
+
+  // Every served request contributed one sample to every stage histogram.
+  auto& reg = obs::MetricsRegistry::Global();
+  for (const char* stage :
+       {"queue_wait", "batch_form", "schedule", "dispatch", "forward",
+        "total"}) {
+    obs::Histogram* h = reg.GetHistogram(std::string("ms_server_stage_") +
+                                         stage + "_ms");
+    EXPECT_EQ(h->count(), kRequests) << "stage=" << stage;
+  }
+}
+
+TEST_F(RequestTraceTest, JsonlExportIsWellFormedAndMarksOutcomes) {
+  obs::EnableStageStats(true);
+  auto& log = obs::RequestTraceLog::Global();
+  log.Enable();
+  auto server = ServeRequests(16);
+  // Also exercise the expired path: an already-passed deadline is caught at
+  // the next batch cut, before any forward.
+  EXPECT_EQ(server->stats().expired, 0);
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/request_trace_test.jsonl";
+  ASSERT_TRUE(log.WriteJsonl(path).ok());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  int with_stages = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_TRUE(testing::IsValidJson(line)) << line;
+    EXPECT_NE(line.find("\"outcome\""), std::string::npos);
+    if (line.find("\"stages_ms\"") != std::string::npos) ++with_stages;
+  }
+  EXPECT_EQ(lines, 16);
+  // Every served line carries the per-stage breakdown.
+  EXPECT_EQ(with_stages, 16);
+}
+
+TEST_F(RequestTraceTest, ExpiredRequestsGetTimelinesWithoutForwardStamps) {
+  obs::EnableStageStats(true);
+  auto& log = obs::RequestTraceLog::Global();
+  log.Enable();
+  auto server =
+      SliceServer::Create(MakeReplicas(2), TraceOptions()).MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+  // 1 microsecond deadline: long expired by the 10ms batch cut.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(server->Submit(/*deadline_seconds=*/1e-6),
+              AdmitResult::kAccepted);
+  }
+  ASSERT_TRUE(WaitFor([&] { return server->stats().expired >= 4; },
+                      /*timeout_ms=*/20000));
+  server->Stop();
+
+  int expired = 0;
+  for (const obs::RequestTimeline& t : log.Snapshot()) {
+    if (std::string(t.outcome) != "expired") continue;
+    ++expired;
+    EXPECT_GT(t.submit_ns, 0);
+    EXPECT_EQ(t.fwd_start_ns, 0);  // never reached a worker
+    EXPECT_EQ(t.fwd_done_ns, 0);
+    EXPECT_GE(t.done_ns, t.submit_ns);
+  }
+  EXPECT_EQ(expired, 4);
+  // No expired request may appear in the stage histograms.
+  obs::Histogram* total =
+      obs::MetricsRegistry::Global().GetHistogram("ms_server_stage_total_ms");
+  EXPECT_EQ(total->count(), 0);
+}
+
+TEST_F(RequestTraceTest, ChromeSpanExportNestsStagesInsideRequestSpans) {
+  obs::EnableStageStats(true);
+  auto& log = obs::RequestTraceLog::Global();
+  log.Enable();
+  const int kRequests = 12;
+  auto server = ServeRequests(kRequests);
+
+  obs::TraceCollector collector;
+  log.ExportChromeSpans(&collector, /*lanes=*/8);
+  const std::vector<obs::TraceEvent> events = collector.Snapshot();
+  ASSERT_FALSE(events.empty());
+
+  // Depth-0 events are request spans; depth-1 events are stage spans that
+  // must lie within a request span on the same synthetic lane.
+  std::map<int, std::vector<obs::TraceEvent>> roots_by_tid;
+  int roots = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (e.depth == 0) {
+      EXPECT_EQ(e.name.rfind("req ", 0), 0u) << e.name;
+      roots_by_tid[e.tid].push_back(e);
+      ++roots;
+    }
+  }
+  EXPECT_EQ(roots, kRequests);
+  int children = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (e.depth != 1) continue;
+    ++children;
+    bool nested = false;
+    for (const obs::TraceEvent& root : roots_by_tid[e.tid]) {
+      if (e.ts_ns >= root.ts_ns &&
+          e.ts_ns + e.dur_ns <= root.ts_ns + root.dur_ns) {
+        nested = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(nested) << "stage span '" << e.name
+                        << "' escapes its request span";
+  }
+  EXPECT_GT(children, 0);
+  EXPECT_TRUE(testing::IsValidJson(collector.ToChromeJson()));
+}
+
+TEST_F(RequestTraceTest, DecisionLogPredictsSettlesAndPublishesDrift) {
+  obs::EnableStageStats(true);
+  auto server = ServeRequests(24);
+  const DecisionLog& log = server->decision_log();
+  EXPECT_GE(log.begun(), 1);
+  EXPECT_GE(log.settled(), 1);
+  EXPECT_LE(log.settled(), log.begun());
+
+  const size_t lattice_rates = TraceOptions().serving.lattice.num_rates();
+  int served_records = 0;
+  for (const DecisionRecord& rec : log.Snapshot()) {
+    EXPECT_GE(rec.batch, 0);
+    EXPECT_GT(rec.n, 0);
+    EXPECT_GT(rec.chosen_rate, 0.0);
+    EXPECT_LE(rec.chosen_rate, 1.0);
+    EXPECT_GT(rec.predicted_seconds, 0.0);
+    ASSERT_EQ(rec.candidates.size(), lattice_rates);
+    for (const DecisionCandidate& cand : rec.candidates) {
+      EXPECT_GT(cand.rate, 0.0);
+      EXPECT_GT(cand.predicted_seconds, 0.0);
+    }
+    if (std::string(rec.outcome) == "served") {
+      ++served_records;
+      EXPECT_GT(rec.achieved_seconds, 0.0);
+      EXPECT_TRUE(std::isfinite(rec.drift));
+      EXPECT_GE(rec.drift, 0.0);
+    }
+  }
+  EXPECT_GE(served_records, 1);
+
+  // Drift EWMA is finite and published as a gauge.
+  EXPECT_TRUE(std::isfinite(log.drift_ewma()));
+  EXPECT_GE(log.drift_ewma(), 0.0);
+  // The gauge is published outside the log's lock, so under concurrent
+  // settles it can lag the EWMA by one update — check it is a sane drift
+  // value rather than bit-identical.
+  obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("ms_sched_cost_model_drift");
+  EXPECT_TRUE(std::isfinite(gauge->value()));
+  EXPECT_GE(gauge->value(), 0.0);
+
+  // The JSONL export parses line by line and carries the candidate table.
+  std::istringstream lines(log.ToJsonl());
+  std::string line;
+  int n_lines = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    ++n_lines;
+    EXPECT_TRUE(testing::IsValidJson(line)) << line;
+    EXPECT_NE(line.find("\"candidates\""), std::string::npos);
+  }
+  EXPECT_EQ(n_lines, static_cast<int>(log.size()));
+}
+
+TEST_F(RequestTraceTest, DisabledStampingCostsNothingAndRecordsNothing) {
+  // Fixture default: stage stats off, trace log off.
+  auto server = ServeRequests(8);
+  EXPECT_EQ(server->stats().served, 8);
+  EXPECT_EQ(obs::RequestTraceLog::Global().size(), 0u);
+  obs::Histogram* total =
+      obs::MetricsRegistry::Global().GetHistogram("ms_server_stage_total_ms");
+  EXPECT_EQ(total->count(), 0);
+  // The decision log still works (it is not gated on stage stats) but its
+  // records carry ts_ns == 0 since the trace clock was never read.
+  EXPECT_GE(server->decision_log().begun(), 1);
+}
+
+TEST_F(RequestTraceTest, TraceLogDropsBeyondCapacityAndCounts) {
+  auto& log = obs::RequestTraceLog::Global();
+  log.Enable(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    obs::RequestTimeline t;
+    t.id = i;
+    t.outcome = "served";
+    log.Append(t);
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.dropped(), 6);
+  // Keeps the earliest requests, like TraceCollector.
+  const std::vector<obs::RequestTimeline> kept = log.Snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept.front().id, 0);
+  EXPECT_EQ(kept.back().id, 3);
+}
+
+}  // namespace
+}  // namespace ms
