@@ -1,0 +1,489 @@
+// Cluster throughput gauntlet for the networked serving tier (DESIGN.md
+// §10): a rate-aware router over elastic (sliced) shards versus the
+// paper's fixed full-rate baseline, on real sockets, under overload.
+//
+// Topology (all localhost):
+//
+//   baseline:  1 shard, lattice {1.0}    — the non-elastic strawman.
+//   cluster:   router + 3 shards, lattice {0.25..1.0} — model slicing on.
+//
+// Both tiers face the SAME offered load (~6x the baseline's calibrated
+// full-rate capacity) with the SAME per-request deadline. The baseline can
+// only shed what it cannot serve at rate 1.0; the sliced shards degrade
+// rate instead of dropping requests (Sec. 4.1), so the cluster must
+// sustain >= 4x the baseline's served QPS — that factor is the bench's
+// exit-code gate, along with exact client-side accounting (every request
+// gets exactly one terminal reply) and a served-reply p99 within the
+// budget. Mid-phase one shard is SIGKILLed and later relaunched; the gate
+// then also requires the router to have drained AND readmitted it.
+//
+// Modes:
+//   spawn (default, Linux): forks the shard/router processes itself from
+//     the sibling example binaries and runs the kill/relaunch chaos.
+//   connect: MS_CLUSTER_ROUTER / MS_CLUSTER_BASELINE name already-running
+//     endpoints (the CI cluster job launches the processes, does the kill,
+//     and asserts readmit/ledgers from the --stats_out artifacts); chaos
+//     and the readmit gate are the harness's job in this mode.
+//
+// MS_BENCH_FAST=1 shortens the phases. MS_CLUSTER_PORT_BASE moves the
+// port range (default 18171).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/net/client.h"
+#include "src/net/wire.h"
+#include "src/obs/metrics.h"
+
+#ifdef __linux__
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace ms {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Now() {
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+struct PhaseResult {
+  int64_t submitted = 0;
+  int64_t served = 0;
+  int64_t shed = 0;
+  int64_t expired = 0;
+  int64_t rejected = 0;
+  int64_t failed = 0;
+  int64_t lost = 0;  ///< no reply by drain timeout — must be 0.
+  double seconds = 0.0;
+  double served_p99_ms = 0.0;
+
+  int64_t accounted() const {
+    return served + shed + expired + rejected + failed + lost;
+  }
+  double served_qps() const {
+    return seconds > 0 ? static_cast<double>(served) / seconds : 0.0;
+  }
+};
+
+/// Open-loop driver: offers `qps` for `seconds`, each request carrying
+/// `deadline_seconds`, and classifies every terminal reply.
+class LoadDriver {
+ public:
+  Status Run(const std::string& host, uint16_t port, double qps,
+             double seconds, double deadline_seconds, PhaseResult* out) {
+    net::WireClient client;
+    std::mutex mu;
+    std::map<uint64_t, double> outstanding;  // id -> send time
+    obs::Histogram* rtt = obs::MetricsRegistry::Global().GetHistogram(
+        "ms_cluster_client_rtt_ms");
+    std::vector<double> served_rtts_ms;
+    PhaseResult result;
+    std::atomic<bool> disconnected{false};
+    client.set_on_disconnect([&disconnected] { disconnected.store(true); });
+    client.set_on_reply([&](const net::ReplyMsg& reply) {
+      std::lock_guard<std::mutex> lock(mu);
+      auto it = outstanding.find(reply.id);
+      if (it == outstanding.end()) return;
+      const double rtt_ms = (Now() - it->second) * 1e3;
+      outstanding.erase(it);
+      rtt->Observe(rtt_ms);
+      if (reply.admit != AdmitResult::kAccepted) {
+        switch (reply.admit) {
+          case AdmitResult::kShedQueueFull: ++result.shed; break;
+          default: ++result.rejected; break;
+        }
+        return;
+      }
+      switch (reply.outcome) {
+        case RequestOutcome::kServed:
+          ++result.served;
+          served_rtts_ms.push_back(rtt_ms);
+          break;
+        case RequestOutcome::kExpired: ++result.expired; break;
+        case RequestOutcome::kShedStop: ++result.shed; break;
+        case RequestOutcome::kFailed: ++result.failed; break;
+      }
+    });
+    MS_RETURN_NOT_OK(client.Connect(host, port));
+
+    const double start = Now();
+    const double interval = 1.0 / qps;
+    uint64_t next_id = 1;
+    double next_send = start;
+    while (Now() - start < seconds) {
+      if (disconnected.load()) break;
+      const double now = Now();
+      if (now < next_send) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::min(next_send - now, 0.002)));
+        continue;
+      }
+      net::RequestMsg msg;
+      msg.id = next_id++;
+      msg.deadline_seconds = deadline_seconds;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        outstanding[msg.id] = now;
+      }
+      ++result.submitted;
+      if (!client.SendRequest(msg).ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        outstanding.erase(msg.id);
+        ++result.lost;
+      }
+      next_send += interval;
+      // Don't try to catch up after a stall burst-style; re-anchor.
+      if (next_send < Now() - 10 * interval) next_send = Now();
+    }
+    result.seconds = Now() - start;
+
+    // Drain: every in-flight request must reach a terminal reply. The
+    // deadline bounds how long that can take server-side; allow generous
+    // network/teardown slack on top.
+    const double drain_deadline =
+        Now() + std::max(10.0, 4.0 * deadline_seconds);
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (outstanding.empty()) break;
+      }
+      if (Now() > drain_deadline || disconnected.load()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      result.lost += static_cast<int64_t>(outstanding.size());
+      outstanding.clear();
+    }
+    client.Close();
+
+    if (!served_rtts_ms.empty()) {
+      std::sort(served_rtts_ms.begin(), served_rtts_ms.end());
+      const size_t idx = static_cast<size_t>(
+          0.99 * static_cast<double>(served_rtts_ms.size() - 1));
+      result.served_p99_ms = served_rtts_ms[idx];
+    }
+    *out = result;
+    return Status::OK();
+  }
+};
+
+/// Polls until the endpoint answers a stats request (process startup can
+/// include model build + calibration + prewarm, so the timeout is long).
+Result<net::StatsMsg> AwaitEndpoint(const std::string& host, uint16_t port,
+                                    double timeout_seconds) {
+  const double deadline = Now() + timeout_seconds;
+  while (Now() < deadline) {
+    net::WireClient client;
+    if (client.Connect(host, port).ok()) {
+      auto stats = client.RequestStats(2.0);
+      client.Close();
+      if (stats.ok()) return stats.MoveValueOrDie();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  }
+  return Status::Internal("endpoint " + host + " did not come up");
+}
+
+void PrintPhase(const char* name, const PhaseResult& r) {
+  std::printf(
+      "%-9s %8.1fs offered %6lld served %6lld (%.1f qps) shed %6lld "
+      "expired %6lld rejected %5lld failed %5lld lost %3lld p99 %.0f ms\n",
+      name, r.seconds, static_cast<long long>(r.submitted),
+      static_cast<long long>(r.served), r.served_qps(),
+      static_cast<long long>(r.shed), static_cast<long long>(r.expired),
+      static_cast<long long>(r.rejected), static_cast<long long>(r.failed),
+      static_cast<long long>(r.lost), r.served_p99_ms);
+}
+
+#ifdef __linux__
+
+std::string SelfDir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return ".";
+  buf[n] = '\0';
+  std::string path(buf);
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+pid_t SpawnProcess(const std::vector<std::string>& argv) {
+  std::vector<char*> cargv;
+  for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Children each run single-threaded GEMM so 5 processes on one CI
+    // machine don't oversubscribe each other into timing chaos.
+    ::setenv("MS_NUM_THREADS", "1", 1);
+    ::execv(cargv[0], cargv.data());
+    std::perror("execv");
+    ::_exit(127);
+  }
+  return pid;
+}
+
+void StopProcess(pid_t pid, int sig) {
+  if (pid <= 0) return;
+  ::kill(pid, sig);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+}
+
+#endif  // __linux__
+
+int RunGauntlet(const std::string& baseline_addr,
+                const std::string& router_addr, bool spawned,
+                const std::function<void()>& kill_shard,
+                const std::function<void()>& relaunch_shard) {
+  auto baseline_hp = net::ParseHostPort(baseline_addr);
+  auto router_hp = net::ParseHostPort(router_addr);
+  if (!baseline_hp.ok() || !router_hp.ok()) {
+    std::fprintf(stderr, "bad endpoint address\n");
+    return 1;
+  }
+  const auto [bhost, bport] = baseline_hp.ValueOrDie();
+  const auto [rhost, rport] = router_hp.ValueOrDie();
+
+  auto baseline_stats = AwaitEndpoint(bhost, bport, 180.0);
+  if (!baseline_stats.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 baseline_stats.status().ToString().c_str());
+    return 1;
+  }
+  auto router_stats = AwaitEndpoint(rhost, rport, 180.0);
+  if (!router_stats.ok()) {
+    std::fprintf(stderr, "%s\n", router_stats.status().ToString().c_str());
+    return 1;
+  }
+
+  // Size the load off the baseline's own advertisement: full-rate capacity
+  // is 1/t qps (one tick serves tick/t samples). Offer ~6x that to both
+  // tiers; the deadline is the full latency budget (2 ticks).
+  const double t = baseline_stats.ValueOrDie().calibrated_t;
+  const double tick = baseline_stats.ValueOrDie().tick_seconds;
+  if (t <= 0.0 || tick <= 0.0) {
+    std::fprintf(stderr, "baseline advertised no calibration\n");
+    return 1;
+  }
+  const double capacity_qps = 1.0 / t;
+  const double offered_qps = std::min(2000.0, 6.0 * capacity_qps);
+  const double deadline = 2.0 * tick;
+  const double phase_seconds = bench::FastMode() ? 6.0 : 12.0;
+  std::printf(
+      "baseline t = %.2f ms/sample, tick %.0f ms -> capacity %.1f qps; "
+      "offering %.1f qps, deadline %.0f ms, %.0fs per phase\n",
+      t * 1e3, tick * 1e3, capacity_qps, offered_qps, deadline * 1e3,
+      phase_seconds);
+  std::fflush(stdout);
+
+  LoadDriver driver;
+  PhaseResult baseline;
+  Status st = driver.Run(bhost, bport, offered_qps, phase_seconds, deadline,
+                         &baseline);
+  if (!st.ok()) {
+    std::fprintf(stderr, "baseline phase: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  PrintPhase("baseline", baseline);
+  std::fflush(stdout);
+
+  // Cluster phase, with the kill/relaunch chaos riding along (spawn mode).
+  std::thread chaos;
+  if (kill_shard) {
+    chaos = std::thread([&] {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(phase_seconds / 3.0));
+      std::printf("chaos: SIGKILL shard 3\n");
+      std::fflush(stdout);
+      kill_shard();
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(phase_seconds / 3.0));
+      std::printf("chaos: relaunching shard 3\n");
+      std::fflush(stdout);
+      relaunch_shard();
+    });
+  }
+  PhaseResult cluster;
+  st = driver.Run(rhost, rport, offered_qps, phase_seconds, deadline,
+                  &cluster);
+  if (chaos.joinable()) chaos.join();
+  if (!st.ok()) {
+    std::fprintf(stderr, "cluster phase: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  PrintPhase("cluster", cluster);
+  std::fflush(stdout);
+
+  // In spawn mode, wait for the relaunched shard to finish starting and
+  // the router's gossip to readmit it, then read the router's ledger.
+  int64_t readmits = -1;
+  if (spawned) {
+    const double wait_deadline = Now() + 180.0;
+    while (Now() < wait_deadline) {
+      auto rs = AwaitEndpoint(rhost, rport, 10.0);
+      if (rs.ok()) {
+        const auto& shards = rs.ValueOrDie().shards;
+        int64_t total = 0;
+        for (const auto& v : shards) total += v.readmits;
+        readmits = total;
+        if (total >= 1) break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    }
+  }
+
+  // ---- Gates (exit code) ------------------------------------------------
+  bool ok = true;
+  const bool baseline_accounted = baseline.submitted == baseline.accounted();
+  const bool cluster_accounted = cluster.submitted == cluster.accounted();
+  if (!baseline_accounted || !cluster_accounted ||
+      baseline.lost + cluster.lost != 0) {
+    std::printf(
+        "FAIL accounting: every request must get exactly one terminal "
+        "reply (baseline %lld/%lld, cluster %lld/%lld, lost %lld)\n",
+        static_cast<long long>(baseline.accounted()),
+        static_cast<long long>(baseline.submitted),
+        static_cast<long long>(cluster.accounted()),
+        static_cast<long long>(cluster.submitted),
+        static_cast<long long>(baseline.lost + cluster.lost));
+    ok = false;
+  }
+  const double ratio = baseline.served > 0
+                           ? cluster.served_qps() / baseline.served_qps()
+                           : 0.0;
+  std::printf("cluster/baseline served QPS ratio: %.2fx (gate: >= 4x)\n",
+              ratio);
+  if (ratio < 4.0) {
+    std::printf(
+        "FAIL throughput: elastic cluster must out-serve the fixed "
+        "full-rate baseline >= 4x under equal load and deadline\n");
+    ok = false;
+  }
+  // Served replies met their deadline server-side by construction; the
+  // client-observed p99 additionally bounds network + reply flush slack.
+  const double p99_budget_ms = (deadline + tick) * 1e3;
+  if (cluster.served > 0 && cluster.served_p99_ms > p99_budget_ms) {
+    std::printf("FAIL latency: served p99 %.0f ms > %.0f ms budget\n",
+                cluster.served_p99_ms, p99_budget_ms);
+    ok = false;
+  }
+  if (spawned && readmits < 1) {
+    std::printf(
+        "FAIL readmit: router never readmitted the relaunched shard\n");
+    ok = false;
+  }
+  if (ok) {
+    std::printf("cluster gauntlet PASS%s\n",
+                spawned ? " (kill + readmit survived)" : "");
+  }
+  return ok ? 0 : 1;
+}
+
+int Main() {
+  bench::PrintTitle(
+      "cluster serving: rate-aware router + elastic shards vs fixed "
+      "full-rate single server (real processes, real sockets)");
+
+  // Connect mode: the harness (CI cluster job) owns the processes.
+  const char* router_env = std::getenv("MS_CLUSTER_ROUTER");
+  const char* baseline_env = std::getenv("MS_CLUSTER_BASELINE");
+  if (router_env != nullptr && baseline_env != nullptr) {
+    return RunGauntlet(baseline_env, router_env, /*spawned=*/false, nullptr,
+                       nullptr);
+  }
+
+#ifndef __linux__
+  std::printf("spawn mode requires Linux; set MS_CLUSTER_ROUTER / "
+              "MS_CLUSTER_BASELINE to drive existing endpoints\n");
+  return 0;
+#else
+  const int port_base = [] {
+    const char* v = std::getenv("MS_CLUSTER_PORT_BASE");
+    return v != nullptr ? std::atoi(v) : 18171;
+  }();
+  const std::string dir = SelfDir();
+  const std::string mscli = dir + "/../examples/example_mscli";
+  const std::string msrouter = dir + "/../examples/example_msrouter";
+  if (::access(mscli.c_str(), X_OK) != 0 ||
+      ::access(msrouter.c_str(), X_OK) != 0) {
+    std::fprintf(stderr, "example binaries not found next to bench (%s)\n",
+                 mscli.c_str());
+    return 1;
+  }
+
+  // The serving budget is fixed (shard flag); the offered load adapts to
+  // the measured t via the stats advertisement instead.
+  const std::string budget_ms = "400";
+  auto shard_args = [&](int port, const char* lb) {
+    return std::vector<std::string>{
+        mscli,       "serve",
+        "--model=vgg13",
+        // Widened so full-rate per-sample cost is milliseconds, not
+        // microseconds: the offered load (6x the baseline's capacity) then
+        // stays at a rate one open-loop client can actually generate.
+        "--width_mult=4",
+        std::string("--lb=") + lb,
+        "--granularity=0.25",
+        "--workers=1",
+        std::string("--budget_ms=") + budget_ms,
+        "--queue=4096",
+        std::string("--listen=") + std::to_string(port)};
+  };
+  const int bport = port_base;
+  const int sport1 = port_base + 1, sport2 = port_base + 2,
+            sport3 = port_base + 3;
+  const int rport = port_base + 4;
+
+  std::vector<pid_t> pids;
+  pid_t baseline_pid = SpawnProcess(shard_args(bport, "1.0"));
+  pid_t shard1 = SpawnProcess(shard_args(sport1, "0.25"));
+  pid_t shard2 = SpawnProcess(shard_args(sport2, "0.25"));
+  pid_t shard3 = SpawnProcess(shard_args(sport3, "0.25"));
+  pid_t router = SpawnProcess(
+      {msrouter, std::string("--listen=") + std::to_string(rport),
+       std::string("--shards=:") + std::to_string(sport1) + ",:" +
+           std::to_string(sport2) + ",:" + std::to_string(sport3)});
+  pids = {baseline_pid, shard1, shard2, router};  // shard3 handled below
+
+  std::atomic<pid_t> shard3_pid{shard3};
+  auto kill_shard3 = [&shard3_pid] {
+    const pid_t pid = shard3_pid.exchange(-1);
+    if (pid > 0) StopProcess(pid, SIGKILL);
+  };
+  auto relaunch_shard3 = [&] {
+    shard3_pid.store(SpawnProcess(shard_args(sport3, "0.25")));
+  };
+
+  const int rc = RunGauntlet(
+      ":" + std::to_string(bport), ":" + std::to_string(rport),
+      /*spawned=*/true, kill_shard3, relaunch_shard3);
+
+  for (pid_t pid : pids) StopProcess(pid, SIGTERM);
+  kill_shard3();  // SIGKILL is fine for teardown of the chaos shard
+  return rc;
+#endif
+}
+
+}  // namespace
+}  // namespace ms
+
+int main() { return ms::Main(); }

@@ -10,13 +10,20 @@
 // Models come from the zoo (vgg13, resnet164, resnet56-2, vgg16, resnet50);
 // data is the matching synthetic benchmark split.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/anytime.h"
+#include "src/net/frontend.h"
+#include "src/net/net_server.h"
 #include "src/core/cost_model.h"
 #include "src/core/evaluator.h"
 #include "src/core/trainer.h"
@@ -40,6 +47,9 @@ namespace {
 int Usage() {
   std::printf(
       "usage: mscli <train|eval|profile|serve> [--model=vgg13]\n"
+      "  --width_mult=X scales every sliced layer's width (heavier model,\n"
+      "           same architecture; the cluster bench uses it to make\n"
+      "           per-sample cost non-trivial)\n"
       "  train:   --scheduler=r-min-max --epochs=8 --lr=0.05 --lb=0.25\n"
       "           --granularity=0.25 --out=model.ckpt\n"
       "           --checkpoint_every=N (crash-safe periodic checkpoint to\n"
@@ -52,7 +62,11 @@ int Usage() {
       "           replicas, T/2 batching): --workers=2 --budget_ms=50\n"
       "           --queue=4096 --ticks=48 --load=0.3 --peak=10\n"
       "           --deadline_ticks=3; or --simulate --budget=<samples per\n"
-      "           tick at full cost> for the arithmetic-only simulator\n"
+      "           tick at full cost> for the arithmetic-only simulator;\n"
+      "           or --listen=PORT to serve remote traffic over the wire\n"
+      "           protocol until SIGTERM/SIGINT (0 = ephemeral port; the\n"
+      "           bound port is printed). --stats_out=/p.jsonl writes the\n"
+      "           final accounting ledger as one JSON line at shutdown\n"
       "observability (any command):\n"
       "  --metrics_out=/path.jsonl   dump the metrics registry as JSONL\n"
       "  --trace_out=/path.json      record a chrome://tracing trace\n"
@@ -78,11 +92,20 @@ struct Loaded {
   SliceConfig lattice;
 };
 
+// SIGTERM/SIGINT flag for `serve --listen` (async-signal-safe write only).
+volatile std::sig_atomic_t g_shutdown = 0;
+void OnShutdownSignal(int) { g_shutdown = 1; }
+
 Result<Loaded> Load(const Flags& flags) {
   const std::string model = flags.GetString("model", "vgg13");
   auto entry_result = GetZooModel(model);
   MS_RETURN_NOT_OK(entry_result.status());
   Loaded loaded{entry_result.MoveValueOrDie(), nullptr, {}, {}};
+  if (flags.Has("width_mult")) {
+    const double wm = flags.GetDouble("width_mult", 1.0);
+    if (!(wm > 0.0)) return Status::InvalidArgument("bad --width_mult");
+    loaded.entry.config.width_mult = wm;
+  }
   auto net_result = loaded.entry.is_resnet
                         ? MakeResNet(loaded.entry.config)
                         : MakeVggSmall(loaded.entry.config);
@@ -329,21 +352,44 @@ int Serve(const Flags& flags) {
       loaded.entry.name.c_str(), server->num_workers(), t * 1e3,
       server->tick_seconds() * 1e3, cap_full);
 
-  WorkloadOptions wl;
-  wl.num_ticks = static_cast<int64_t>(flags.GetInt("ticks", 48));
-  // --load is the off-peak arrival rate as a fraction of full-rate
-  // capacity; the peak multiplier pushes past 1.0 into degradation.
-  wl.base_arrivals =
-      std::max(1.0, flags.GetDouble("load", 0.3) * cap_full);
-  wl.peak_multiplier = flags.GetDouble("peak", 10.0);
-  wl.spike_probability = flags.GetDouble("spike_prob", 0.04);
-  wl.spike_multiplier = 16.0;
-  auto workload_result = GenerateWorkload(wl);
-  if (!workload_result.ok()) return 1;
-  const double deadline =
-      flags.GetDouble("deadline_ticks", 3.0) * server->tick_seconds();
-  RunClosedLoop(server.get(), workload_result.MoveValueOrDie(), deadline);
-  server->Stop();
+  if (flags.Has("listen")) {
+    // Networked shard mode: serve wire traffic until SIGTERM/SIGINT, then
+    // drain gracefully — SliceServer first (terminal replies flush through
+    // the still-open sockets), frame server second.
+    net::ShardFrontend frontend(server.get());
+    net::NetServer frames(&frontend);
+    const Status bound =
+        frames.Start(static_cast<uint16_t>(flags.GetInt("listen", 0)));
+    if (!bound.ok()) {
+      std::fprintf(stderr, "%s\n", bound.ToString().c_str());
+      return 1;
+    }
+    std::signal(SIGTERM, OnShutdownSignal);
+    std::signal(SIGINT, OnShutdownSignal);
+    std::printf("listening on port %u\n", frames.port());
+    std::fflush(stdout);
+    while (g_shutdown == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server->Stop();
+    frames.Stop();
+  } else {
+    WorkloadOptions wl;
+    wl.num_ticks = static_cast<int64_t>(flags.GetInt("ticks", 48));
+    // --load is the off-peak arrival rate as a fraction of full-rate
+    // capacity; the peak multiplier pushes past 1.0 into degradation.
+    wl.base_arrivals =
+        std::max(1.0, flags.GetDouble("load", 0.3) * cap_full);
+    wl.peak_multiplier = flags.GetDouble("peak", 10.0);
+    wl.spike_probability = flags.GetDouble("spike_prob", 0.04);
+    wl.spike_multiplier = 16.0;
+    auto workload_result = GenerateWorkload(wl);
+    if (!workload_result.ok()) return 1;
+    const double deadline =
+        flags.GetDouble("deadline_ticks", 3.0) * server->tick_seconds();
+    RunClosedLoop(server.get(), workload_result.MoveValueOrDie(), deadline);
+    server->Stop();
+  }
   const ServerStats s = server->stats();
   const bool accounted =
       s.submitted == s.served + s.shed + s.expired + s.rejected + s.failed;
@@ -363,6 +409,25 @@ int Serve(const Flags& flags) {
       static_cast<long long>(s.quarantined),
       static_cast<long long>(s.repaired), server->healthy_workers(),
       server->num_workers());
+
+  if (flags.Has("stats_out")) {
+    // One JSON line: the shard's final ledger, machine-checkable by the
+    // cluster CI job (same fields as the wire kStatsReply).
+    std::ofstream out(flags.GetString("stats_out"));
+    out << "{\"role\":\"shard\",\"submitted\":" << s.submitted
+        << ",\"accepted\":" << s.accepted << ",\"served\":" << s.served
+        << ",\"shed\":" << s.shed << ",\"expired\":" << s.expired
+        << ",\"rejected\":" << s.rejected << ",\"failed\":" << s.failed
+        << ",\"accounted\":" << (accounted ? "true" : "false")
+        << ",\"quarantined\":" << s.quarantined
+        << ",\"repaired\":" << s.repaired << ",\"calibrated_t\":" << t
+        << ",\"tick_seconds\":" << server->tick_seconds() << "}\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "stats dump failed: %s\n",
+                   flags.GetString("stats_out").c_str());
+      return 1;
+    }
+  }
 
   // Per-stage latency breakdown of every served request (DESIGN.md §8).
   auto& registry = obs::MetricsRegistry::Global();

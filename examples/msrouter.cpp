@@ -1,0 +1,175 @@
+// msrouter — rate-aware request router over N SliceServer shards.
+//
+//   $ ./example_mscli serve --model=vgg13 --lb=0.25 --listen=18081 &
+//   $ ./example_mscli serve --model=vgg13 --lb=0.25 --listen=18082 &
+//   $ ./example_msrouter --listen=18080 --shards=:18081,:18082
+//
+// The router speaks the same wire protocol as a shard, so clients point at
+// it unchanged. It balances by deadline budget (low-budget traffic goes to
+// shards whose advertised lattice/speed can still meet the deadline),
+// enforces a per-shard outstanding cap, gossips health over the stats
+// heartbeat, drains dead or breaker-open shards and readmits them after a
+// clean probe. Runs until SIGTERM/SIGINT, then prints — and with
+// --stats_out writes — the cluster accounting ledger:
+//   submitted == served + shed + expired + rejected + failed.
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/net_server.h"
+#include "src/net/router.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+#include "src/util/flags.h"
+
+using namespace ms;  // NOLINT — tool brevity
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+void OnShutdownSignal(int) { g_shutdown = 1; }
+
+int Usage() {
+  std::printf(
+      "usage: msrouter --listen=PORT --shards=host:port,host:port,...\n"
+      "  --heartbeat_ms=250       gossip/probe period\n"
+      "  --heartbeat_failures=2   consecutive misses before a drain\n"
+      "  --max_outstanding=512    per-shard admission cap\n"
+      "  --require_shards         fail startup if no shard is reachable\n"
+      "  --stats_out=/p.jsonl     final ledger (router line + one line per\n"
+      "                           shard) written at shutdown\n"
+      "  --metrics_out=/p.jsonl   metrics registry dump\n"
+      "  --flight_recorder_dir=/dir  dump recent events on shard drains\n");
+  return 2;
+}
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void WriteLedger(const net::StatsMsg& s, std::ostream& out) {
+  const bool accounted =
+      s.submitted == s.served + s.shed + s.expired + s.rejected + s.failed;
+  out << "{\"role\":\"router\",\"submitted\":" << s.submitted
+      << ",\"served\":" << s.served << ",\"shed\":" << s.shed
+      << ",\"expired\":" << s.expired << ",\"rejected\":" << s.rejected
+      << ",\"failed\":" << s.failed
+      << ",\"accounted\":" << (accounted ? "true" : "false")
+      << ",\"shards_up\":" << s.healthy_workers
+      << ",\"shards_total\":" << s.total_workers << "}\n";
+  for (size_t i = 0; i < s.shards.size(); ++i) {
+    const net::ShardView& v = s.shards[i];
+    out << "{\"role\":\"shard_view\",\"shard\":" << i
+        << ",\"up\":" << (v.up ? "true" : "false")
+        << ",\"forwarded\":" << v.forwarded
+        << ",\"outstanding\":" << v.outstanding << ",\"served\":" << v.served
+        << ",\"shed\":" << v.shed << ",\"expired\":" << v.expired
+        << ",\"failed\":" << v.failed << ",\"rejected\":" << v.rejected
+        << ",\"lost\":" << v.lost << ",\"drains\":" << v.drains
+        << ",\"readmits\":" << v.readmits << "}\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_result = Flags::Parse(argc, argv);
+  if (!flags_result.ok()) {
+    std::fprintf(stderr, "%s\n", flags_result.status().ToString().c_str());
+    return Usage();
+  }
+  const Flags flags = flags_result.MoveValueOrDie();
+  if (!flags.Has("listen") || !flags.Has("shards")) return Usage();
+
+  if (flags.Has("flight_recorder_dir")) {
+    const Status armed = obs::FlightRecorder::Global().ConfigureDumps(
+        flags.GetString("flight_recorder_dir"));
+    if (!armed.ok()) {
+      std::fprintf(stderr, "%s\n", armed.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const std::vector<std::string> shard_addrs =
+      SplitCsv(flags.GetString("shards"));
+  if (shard_addrs.empty()) return Usage();
+
+  net::RouterOptions opts;
+  opts.heartbeat_seconds = flags.GetDouble("heartbeat_ms", 250.0) / 1e3;
+  opts.heartbeat_failures =
+      static_cast<int>(flags.GetInt("heartbeat_failures", 2));
+  opts.max_outstanding = flags.GetInt("max_outstanding", 512);
+  opts.require_shard_at_start = flags.Has("require_shards");
+
+  net::ShardRouter router(shard_addrs, opts);
+  Status started = router.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  net::NetServer frames(&router);
+  started = frames.Start(static_cast<uint16_t>(flags.GetInt("listen", 0)));
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGTERM, OnShutdownSignal);
+  std::signal(SIGINT, OnShutdownSignal);
+  std::printf("routing %zu shard(s) on port %u\n", shard_addrs.size(),
+              frames.port());
+  std::fflush(stdout);
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // Drain order: stop the router first so outstanding requests settle
+  // (their replies ride the still-open client connections), then the frame
+  // server.
+  router.Stop();
+  net::StatsMsg ledger = router.Snapshot();
+  frames.Stop();
+
+  const bool accounted =
+      ledger.submitted == ledger.served + ledger.shed + ledger.expired +
+                              ledger.rejected + ledger.failed;
+  std::printf(
+      "router: submitted %lld, served %lld, shed %lld, expired %lld, "
+      "rejected %lld, failed %lld (accounted: %s); drains %lld, readmits "
+      "%lld\n",
+      static_cast<long long>(ledger.submitted),
+      static_cast<long long>(ledger.served),
+      static_cast<long long>(ledger.shed),
+      static_cast<long long>(ledger.expired),
+      static_cast<long long>(ledger.rejected),
+      static_cast<long long>(ledger.failed), accounted ? "yes" : "NO",
+      static_cast<long long>(router.total_drains()),
+      static_cast<long long>(router.total_readmits()));
+  if (flags.Has("stats_out")) {
+    std::ofstream out(flags.GetString("stats_out"));
+    WriteLedger(ledger, out);
+    if (!out.good()) {
+      std::fprintf(stderr, "stats dump failed\n");
+      return 1;
+    }
+  }
+  if (flags.Has("metrics_out")) {
+    const Status s = obs::MetricsRegistry::Global().WriteJsonl(
+        flags.GetString("metrics_out"));
+    if (!s.ok()) {
+      std::fprintf(stderr, "metrics dump: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  return accounted ? 0 : 1;
+}

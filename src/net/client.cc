@@ -1,0 +1,166 @@
+#include "src/net/client.h"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <vector>
+
+namespace ms {
+namespace net {
+
+namespace {
+constexpr size_t kReadChunk = 64 * 1024;
+}
+
+WireClient::~WireClient() { Close(); }
+
+Status WireClient::Connect(const std::string& host, uint16_t port) {
+  if (connected_.load()) return Status::FailedPrecondition("already connected");
+  auto sock = TcpConnect(host, port, opts_.connect_timeout_seconds);
+  if (!sock.ok()) return sock.status();
+  sock_ = sock.MoveValueOrDie();
+  // Periodic recv timeouts let the reader observe closing_.
+  SetRecvTimeout(sock_.fd(), 0.2);
+  closing_.store(false);
+  disconnect_fired_.store(false);
+  connected_.store(true, std::memory_order_release);
+  reader_ = std::thread(&WireClient::ReaderLoop, this);
+  return Status::OK();
+}
+
+void WireClient::Close() {
+  closing_.store(true);
+  if (sock_.valid()) ::shutdown(sock_.fd(), SHUT_RDWR);
+  if (reader_.joinable()) reader_.join();
+  connected_.store(false, std::memory_order_release);
+  sock_.Close();
+  // Unpark a stats waiter stranded by the teardown.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_pending_ = false;
+  }
+  stats_cv_.notify_all();
+}
+
+void WireClient::NoteDisconnect() {
+  connected_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_pending_ = false;
+  }
+  stats_cv_.notify_all();
+  if (!closing_.load() && !disconnect_fired_.exchange(true)) {
+    if (on_disconnect_) on_disconnect_();
+  }
+}
+
+Status WireClient::SendFrameLocked(const std::string& frame) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (!connected_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("not connected");
+  }
+  Status st = SendAll(sock_.fd(), frame.data(), frame.size(),
+                      opts_.send_timeout_seconds);
+  if (!st.ok()) {
+    // Reader will notice the shutdown and fire on_disconnect.
+    ::shutdown(sock_.fd(), SHUT_RDWR);
+  }
+  return st;
+}
+
+Status WireClient::SendRequest(const RequestMsg& msg) {
+  return SendFrameLocked(EncodeRequest(msg));
+}
+
+Result<StatsMsg> WireClient::RequestStats(double timeout_seconds) {
+  {
+    std::unique_lock<std::mutex> lock(stats_mu_);
+    // One outstanding poll at a time: a second caller waits for the slot.
+    if (!stats_cv_.wait_for(
+            lock, std::chrono::duration<double>(timeout_seconds),
+            [this] { return !stats_pending_; })) {
+      return Status::Internal("stats poll slot busy");
+    }
+    stats_pending_ = true;
+    stats_ready_ = false;
+  }
+  std::string frame;
+  EncodeFrame(FrameType::kStats, "", &frame);
+  Status st = SendFrameLocked(frame);
+  if (!st.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_pending_ = false;
+    return st;
+  }
+  std::unique_lock<std::mutex> lock(stats_mu_);
+  const bool got = stats_cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds),
+      [this] { return stats_ready_ || !connected_.load(); });
+  const bool ready = stats_ready_;
+  stats_pending_ = false;
+  stats_ready_ = false;
+  lock.unlock();
+  stats_cv_.notify_all();
+  if (!got || !ready) {
+    return Status::Internal(got ? "disconnected during stats poll"
+                                : "stats poll timeout");
+  }
+  return stats_value_;
+}
+
+void WireClient::ReaderLoop() {
+  std::vector<char> buf(kReadChunk);
+  FrameDecoder decoder;
+  const int fd = sock_.fd();
+  bool dead = false;
+  while (!dead && !closing_.load(std::memory_order_relaxed)) {
+    ssize_t r = ::recv(fd, buf.data(), buf.size(), 0);
+    if (r == 0) {
+      dead = true;
+      break;
+    }
+    if (r < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      dead = true;
+      break;
+    }
+    decoder.Feed(buf.data(), static_cast<size_t>(r));
+    Frame frame;
+    bool more = true;
+    while (more) {
+      switch (decoder.Next(&frame)) {
+        case DecodeResult::kFrame:
+          if (frame.type == FrameType::kReply) {
+            ReplyMsg reply;
+            if (DecodeReply(frame.payload, &reply).ok() && on_reply_) {
+              on_reply_(reply);
+            }
+          } else if (frame.type == FrameType::kStatsReply) {
+            StatsMsg stats;
+            if (DecodeStats(frame.payload, &stats).ok()) {
+              std::lock_guard<std::mutex> lock(stats_mu_);
+              if (stats_pending_) {
+                stats_value_ = std::move(stats);
+                stats_ready_ = true;
+                stats_cv_.notify_all();
+              }
+            }
+          }
+          // Requests/stats polls arriving at a client are peer bugs; drop.
+          break;
+        case DecodeResult::kNeedMore:
+          more = false;
+          break;
+        case DecodeResult::kBadFrame:
+          break;  // tolerate isolated corruption on the reply stream.
+        case DecodeResult::kFatal:
+          dead = true;
+          more = false;
+          break;
+      }
+    }
+  }
+  NoteDisconnect();
+}
+
+}  // namespace net
+}  // namespace ms

@@ -1,0 +1,88 @@
+// Blocking-socket wire client with a background reader thread. Used by the
+// router to talk to shards and by benches/tests to talk to either tier.
+// Sends are synchronous (serialized by a write lock); replies arrive on the
+// reader thread via `on_reply`. Stats polls are synchronous request/reply
+// with a timeout — they double as the health-gossip heartbeat.
+#ifndef MODELSLICING_NET_CLIENT_H_
+#define MODELSLICING_NET_CLIENT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/util/status.h"
+
+namespace ms {
+namespace net {
+
+class WireClient {
+ public:
+  struct Options {
+    double connect_timeout_seconds = 2.0;
+    double send_timeout_seconds = 5.0;
+  };
+
+  WireClient() = default;
+  explicit WireClient(Options opts) : opts_(opts) {}
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Reply dispatch; set BEFORE Connect. Runs on the reader thread — do not
+  /// call back into this client from it (sends are fine, Close is not).
+  void set_on_reply(std::function<void(const ReplyMsg&)> fn) {
+    on_reply_ = std::move(fn);
+  }
+  /// Fired exactly once when the connection dies (peer close, read error,
+  /// fatal stream corruption) — NOT on a local Close().
+  void set_on_disconnect(std::function<void()> fn) {
+    on_disconnect_ = std::move(fn);
+  }
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return connected_.load(std::memory_order_acquire); }
+
+  /// Fire-and-forget request; the reply lands on `on_reply`.
+  Status SendRequest(const RequestMsg& msg);
+
+  /// Synchronous stats poll (one outstanding at a time; calls serialize).
+  Result<StatsMsg> RequestStats(double timeout_seconds);
+
+ private:
+  void ReaderLoop();
+  Status SendFrameLocked(const std::string& frame);
+  void NoteDisconnect();
+
+  Options opts_;
+  Socket sock_;
+  std::atomic<bool> connected_{false};
+  std::atomic<bool> closing_{false};
+  std::thread reader_;
+
+  std::mutex write_mu_;
+
+  std::function<void(const ReplyMsg&)> on_reply_;
+  std::function<void()> on_disconnect_;
+  std::atomic<bool> disconnect_fired_{false};
+
+  // Stats rendezvous: RequestStats parks here until the reader thread
+  // delivers a kStatsReply (or the connection dies / timeout passes).
+  std::mutex stats_mu_;
+  std::condition_variable stats_cv_;
+  bool stats_pending_ = false;
+  bool stats_ready_ = false;
+  StatsMsg stats_value_;
+};
+
+}  // namespace net
+}  // namespace ms
+
+#endif  // MODELSLICING_NET_CLIENT_H_

@@ -1,0 +1,81 @@
+#include "src/net/frontend.h"
+
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace ms {
+namespace net {
+
+ShardFrontend::ShardFrontend(SliceServer* server, int64_t expected_payload)
+    : server_(server), expected_payload_(expected_payload) {}
+
+void ShardFrontend::OnRequest(const RequestMsg& msg,
+                              std::function<void(const ReplyMsg&)> reply) {
+  obs::MetricsRegistry::Global()
+      .GetCounter("ms_net_shard_requests_total")
+      ->Inc();
+  if (expected_payload_ > 0 && !msg.payload.empty() &&
+      static_cast<int64_t>(msg.payload.size()) != expected_payload_) {
+    ReplyMsg out;
+    out.id = msg.id;
+    out.admit = AdmitResult::kRejectedInvalid;
+    reply(out);
+    return;
+  }
+  const uint64_t id = msg.id;
+  auto reply_shared =
+      std::make_shared<std::function<void(const ReplyMsg&)>>(std::move(reply));
+  AdmitResult admit = server_->Submit(
+      msg.deadline_seconds,
+      [id, reply_shared](RequestOutcome outcome, double rate) {
+        ReplyMsg out;
+        out.id = id;
+        out.admit = AdmitResult::kAccepted;
+        out.outcome = outcome;
+        out.rate = static_cast<float>(rate);
+        (*reply_shared)(out);
+      });
+  if (admit != AdmitResult::kAccepted) {
+    // Non-accepted admissions never fire the completion hook: the
+    // synchronous AdmitResult is the request's whole story, so the
+    // immediate reply below is the one and only reply.
+    ReplyMsg out;
+    out.id = id;
+    out.admit = admit;
+    (*reply_shared)(out);
+  }
+}
+
+StatsMsg ShardFrontend::Snapshot() const {
+  const ServerStats st = server_->stats();
+  const ServingConfig& cfg = server_->serving_config();
+  StatsMsg s;
+  s.role = StatsRole::kShard;
+  s.breaker_open = server_->breaker_open() ? 1 : 0;
+  s.healthy_workers = static_cast<uint16_t>(server_->healthy_workers());
+  s.total_workers = static_cast<uint16_t>(server_->num_workers());
+  s.queue_depth = server_->queue_depth();
+  s.queue_capacity = server_->queue_capacity();
+  s.submitted = st.submitted;
+  s.accepted = st.accepted;
+  s.served = st.served;
+  s.shed = st.shed;
+  s.expired = st.expired;
+  s.rejected = st.rejected;
+  s.failed = st.failed;
+  s.quarantined = st.quarantined;
+  s.repaired = st.repaired;
+  // Advertise the measured per-sample time when calibration ran, else the
+  // configured guess — either way the router's latency model has a t.
+  const double t = server_->calibrated_sample_seconds();
+  s.calibrated_t = t > 0.0 ? t : cfg.full_sample_time;
+  s.tick_seconds = server_->tick_seconds();
+  s.rates = cfg.lattice.rates();
+  return s;
+}
+
+std::string ShardFrontend::OnStats() { return EncodeStats(Snapshot()); }
+
+}  // namespace net
+}  // namespace ms

@@ -1,0 +1,47 @@
+// Shard frontend: binds a started SliceServer to the TCP frame server so a
+// shard process can serve remote traffic. Wire requests ride the serving
+// engine's own admission path — `deadline_seconds` goes to
+// SliceServer::Submit verbatim (so wire callers get the same
+// AdmitResult::kRejectedInvalid for a NaN deadline as in-process callers),
+// and the terminal reply is fired by the request's completion hook, never
+// synthesized here. kStats replies advertise the shard's calibration
+// (measured t, tick, trained rate lattice) so the router's rate-aware
+// balancer can predict this shard's feasible latency without a probe.
+#ifndef MODELSLICING_NET_FRONTEND_H_
+#define MODELSLICING_NET_FRONTEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/net/net_server.h"
+#include "src/net/wire.h"
+#include "src/serving/server.h"
+
+namespace ms {
+namespace net {
+
+class ShardFrontend : public WireService {
+ public:
+  /// `server` must outlive the frontend and already be Start()ed.
+  /// `expected_payload` is the per-sample element count clients must send
+  /// when they ship a tensor (0 accepts any size; empty payloads are always
+  /// fine — the server materializes batch inputs itself).
+  explicit ShardFrontend(SliceServer* server, int64_t expected_payload = 0);
+
+  void OnRequest(const RequestMsg& msg,
+                 std::function<void(const ReplyMsg&)> reply) override;
+  std::string OnStats() override;
+
+  /// The shard's kStatsReply, as a struct (shared with OnStats and tests).
+  StatsMsg Snapshot() const;
+
+ private:
+  SliceServer* server_;
+  int64_t expected_payload_;  ///< sample-shape element count (0 = any).
+};
+
+}  // namespace net
+}  // namespace ms
+
+#endif  // MODELSLICING_NET_FRONTEND_H_

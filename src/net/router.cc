@@ -1,0 +1,445 @@
+#include "src/net/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+
+namespace ms {
+namespace net {
+
+namespace {
+
+obs::Counter* RouterCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::vector<std::string> shard_addrs,
+                         RouterOptions opts)
+    : opts_(opts) {
+  for (const std::string& addr : shard_addrs) {
+    auto shard = std::make_unique<Shard>(
+        opts_.heartbeat_failures < 1 ? 1 : opts_.heartbeat_failures,
+        opts_.heartbeat_seconds);
+    auto parsed = ParseHostPort(addr);
+    if (parsed.ok()) {
+      shard->host = parsed.ValueOrDie().first;
+      shard->port = parsed.ValueOrDie().second;
+    } else {
+      // Unresolvable address: the shard exists but can never connect, so
+      // it simply never enters rotation.
+      shard->host = addr;
+      shard->port = 0;
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardRouter::~ShardRouter() { Stop(); }
+
+Status ShardRouter::Start() {
+  if (running_.exchange(true)) {
+    return Status::FailedPrecondition("router already started");
+  }
+  HeartbeatOnce();  // best-effort initial connect + admit
+  if (opts_.require_shard_at_start && num_up() == 0) {
+    running_.store(false);
+    return Status::Internal("no shard reachable at start");
+  }
+  heartbeat_ = std::thread(&ShardRouter::HeartbeatLoop, this);
+  return Status::OK();
+}
+
+void ShardRouter::Stop() {
+  if (!running_.exchange(false)) return;
+  hb_cv_.notify_all();
+  if (heartbeat_.joinable()) heartbeat_.join();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard* shard = shards_[i].get();
+    shard->up.store(false);
+    std::shared_ptr<WireClient> old;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      old = std::move(shard->client);
+    }
+    old.reset();  // Close() joins the reader; no on_disconnect on local close
+    FailPending(shard);
+  }
+}
+
+void ShardRouter::HeartbeatLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    {
+      std::unique_lock<std::mutex> lock(hb_mu_);
+      hb_cv_.wait_for(lock,
+                      std::chrono::duration<double>(opts_.heartbeat_seconds),
+                      [this] { return !running_.load(); });
+    }
+    if (!running_.load()) break;
+    HeartbeatOnce();
+  }
+}
+
+void ShardRouter::HeartbeatOnce() {
+  for (size_t i = 0; i < shards_.size(); ++i) HeartbeatShard(i);
+}
+
+void ShardRouter::HeartbeatShard(size_t idx) {
+  Shard* shard = shards_[idx].get();
+  if (shard->port == 0) return;  // unresolvable address
+  std::shared_ptr<WireClient> client;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    client = shard->client;
+  }
+  if (client && !client->connected()) {
+    // The connection died since the last round; retire it (its reader has
+    // already exited) and reconnect below. Never under shard->mu or
+    // pending_mu: destruction joins the reader thread.
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      if (shard->client == client) shard->client = nullptr;
+    }
+    client.reset();
+  }
+  if (!client) {
+    WireClient::Options copts;
+    copts.connect_timeout_seconds = opts_.connect_timeout_seconds;
+    auto fresh = std::make_shared<WireClient>(copts);
+    ShardRouter* self = this;
+    fresh->set_on_reply([self, idx](const ReplyMsg& msg) {
+      self->HandleShardReply(idx, msg);
+    });
+    fresh->set_on_disconnect([self, idx] { self->HandleShardDisconnect(idx); });
+    if (!fresh->Connect(shard->host, shard->port).ok()) {
+      shard->heartbeat_breaker.OnFailure();
+      if (shard->up.load() && shard->heartbeat_breaker.open()) {
+        DrainShard(idx, "connect_failed");
+      }
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->client = fresh;
+    }
+    client = std::move(fresh);
+  }
+
+  auto stats = client->RequestStats(opts_.heartbeat_timeout_seconds);
+  if (!stats.ok()) {
+    shard->heartbeat_breaker.OnFailure();
+    if (shard->up.load() && shard->heartbeat_breaker.open()) {
+      // Repeated heartbeat timeouts: treat the connection as wedged. Drop
+      // it so outstanding requests fail fast instead of lingering.
+      DrainShard(idx, "heartbeat_timeout");
+      std::shared_ptr<WireClient> old;
+      {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        old = std::move(shard->client);
+      }
+      old.reset();
+      FailPending(shard);
+    }
+    return;
+  }
+
+  const StatsMsg& s = stats.ValueOrDie();
+  const bool remote_sick = s.breaker_open != 0 || s.healthy_workers == 0;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->calibrated_t = s.calibrated_t;
+    shard->tick_seconds = s.tick_seconds;
+    shard->rates = s.rates;
+    shard->remote_breaker_open = s.breaker_open != 0;
+    shard->remote_healthy_workers = s.healthy_workers;
+  }
+  if (remote_sick) {
+    // The shard answers but its own ladder is at the reject rung (breaker
+    // open) or it has no healthy replica left: gossip folds that state
+    // into OUR rotation. Keep the connection — in-flight requests may
+    // still settle — but stop sending new ones.
+    if (shard->up.load()) DrainShard(idx, "remote_breaker_open");
+    return;
+  }
+  shard->heartbeat_breaker.OnSuccess();
+  if (!shard->up.exchange(true)) {
+    bool was_drained;
+    {
+      std::lock_guard<std::mutex> lock(shard->pending_mu);
+      was_drained = shard->view.drains > 0;
+      if (was_drained) ++shard->view.readmits;
+    }
+    if (was_drained) {
+      readmits_.fetch_add(1, std::memory_order_relaxed);
+      RouterCounter("ms_router_readmits_total")->Inc();
+      obs::FlightRecorder::Global().Record(obs::FlightEventKind::kShardReadmit,
+                                           "probe_ok",
+                                           static_cast<int64_t>(idx));
+    }
+  }
+}
+
+void ShardRouter::DrainShard(size_t idx, const char* reason) {
+  Shard* shard = shards_[idx].get();
+  if (!shard->up.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(shard->pending_mu);
+    ++shard->view.drains;
+  }
+  drains_.fetch_add(1, std::memory_order_relaxed);
+  RouterCounter("ms_router_drains_total")->Inc();
+  obs::FlightRecorder::Global().Record(obs::FlightEventKind::kShardDown,
+                                       reason, static_cast<int64_t>(idx));
+  obs::FlightRecorder::Global().Trip("shard_down");
+}
+
+int64_t ShardRouter::FailPending(Shard* shard) {
+  std::unordered_map<uint64_t, Pending> orphans;
+  {
+    std::lock_guard<std::mutex> lock(shard->pending_mu);
+    orphans.swap(shard->pending);
+    const int64_t n = static_cast<int64_t>(orphans.size());
+    shard->view.outstanding -= n;
+    shard->view.lost += n;
+    shard->view.failed += n;
+  }
+  const int64_t n = static_cast<int64_t>(orphans.size());
+  if (n > 0) {
+    failed_.fetch_add(n, std::memory_order_relaxed);
+    RouterCounter("ms_router_lost_total")->Inc(n);
+  }
+  for (auto& kv : orphans) {
+    ReplyMsg out;
+    out.id = kv.second.client_id;
+    out.admit = AdmitResult::kAccepted;
+    out.outcome = RequestOutcome::kFailed;
+    kv.second.reply(out);
+  }
+  return n;
+}
+
+void ShardRouter::HandleShardDisconnect(size_t idx) {
+  // Runs on the dying client's reader thread: flip the shard out of
+  // rotation and fail its in-flight requests. The client object itself is
+  // retired by the heartbeat thread (destroying it here would join the
+  // thread we are running on).
+  DrainShard(idx, "disconnect");
+  FailPending(shards_[idx].get());
+}
+
+void ShardRouter::HandleShardReply(size_t idx, const ReplyMsg& msg) {
+  Shard* shard = shards_[idx].get();
+  Pending pending;
+  {
+    std::lock_guard<std::mutex> lock(shard->pending_mu);
+    auto it = shard->pending.find(msg.id);
+    if (it == shard->pending.end()) return;  // settled as lost already
+    pending = std::move(it->second);
+    shard->pending.erase(it);
+    --shard->view.outstanding;
+    if (msg.admit != AdmitResult::kAccepted) {
+      if (msg.admit == AdmitResult::kShedQueueFull) {
+        ++shard->view.shed;
+      } else {
+        ++shard->view.rejected;
+      }
+    } else {
+      switch (msg.outcome) {
+        case RequestOutcome::kServed: ++shard->view.served; break;
+        case RequestOutcome::kExpired: ++shard->view.expired; break;
+        case RequestOutcome::kShedStop: ++shard->view.shed; break;
+        case RequestOutcome::kFailed: ++shard->view.failed; break;
+      }
+    }
+  }
+  if (msg.admit != AdmitResult::kAccepted) {
+    if (msg.admit == AdmitResult::kShedQueueFull) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    switch (msg.outcome) {
+      case RequestOutcome::kServed:
+        served_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RequestOutcome::kExpired:
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RequestOutcome::kShedStop:
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RequestOutcome::kFailed:
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+  ReplyMsg out = msg;
+  out.id = pending.client_id;
+  pending.reply(out);
+}
+
+int ShardRouter::PickShard(double deadline_seconds) {
+  int best = -1;
+  double best_rate = -1.0;
+  int64_t best_outstanding = std::numeric_limits<int64_t>::max();
+  bool any_up = false;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard* shard = shards_[i].get();
+    if (!shard->up.load(std::memory_order_relaxed)) continue;
+    any_up = true;
+    int64_t outstanding;
+    {
+      std::lock_guard<std::mutex> lock(shard->pending_mu);
+      outstanding = shard->view.outstanding;
+    }
+    if (outstanding >= opts_.max_outstanding) continue;
+    // Score: largest advertised rate whose estimated latency meets the
+    // deadline (0 when none does, or when there is no deadline — then the
+    // tie-break below degenerates to join-shortest-queue).
+    double rate = 0.0;
+    if (deadline_seconds > 0.0) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (auto it = shard->rates.rbegin(); it != shard->rates.rend(); ++it) {
+        const double est =
+            shard->tick_seconds + (*it) * (*it) * shard->calibrated_t;
+        if (est <= deadline_seconds) {
+          rate = *it;
+          break;
+        }
+      }
+    }
+    if (rate > best_rate + 1e-9 ||
+        (rate > best_rate - 1e-9 && outstanding < best_outstanding)) {
+      best = static_cast<int>(i);
+      best_rate = rate;
+      best_outstanding = outstanding;
+    }
+  }
+  if (best < 0) return any_up ? -2 : -1;  // -2: all candidates at cap
+  return best;
+}
+
+void ShardRouter::OnRequest(const RequestMsg& msg,
+                            std::function<void(const ReplyMsg&)> reply) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  RouterCounter("ms_router_requests_total")->Inc();
+  const int pick = PickShard(msg.deadline_seconds);
+  if (pick < 0) {
+    ReplyMsg out;
+    out.id = msg.id;
+    if (pick == -2) {
+      // Every in-rotation shard is at its outstanding cap: router-side
+      // shed, the cluster analogue of a full RequestQueue.
+      out.admit = AdmitResult::kShedQueueFull;
+      shed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      out.admit = AdmitResult::kRejectedClosed;
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+    }
+    reply(out);
+    return;
+  }
+  Shard* shard = shards_[static_cast<size_t>(pick)].get();
+  std::shared_ptr<WireClient> client;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    client = shard->client;
+  }
+  if (!client) {
+    ReplyMsg out;
+    out.id = msg.id;
+    out.admit = AdmitResult::kRejectedClosed;
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    reply(out);
+    return;
+  }
+  uint64_t rid;
+  {
+    std::lock_guard<std::mutex> lock(shard->pending_mu);
+    rid = shard->next_id++;
+    Pending& p = shard->pending[rid];
+    p.reply = std::move(reply);
+    p.client_id = msg.id;
+    ++shard->view.forwarded;
+    ++shard->view.outstanding;
+  }
+  RequestMsg fwd = msg;
+  fwd.id = rid;
+  Status st = client->SendRequest(fwd);
+  if (!st.ok()) {
+    // The send never reached the shard; retract the pending entry (unless
+    // a racing disconnect already failed it) and reject to the client.
+    Pending orphan;
+    bool retracted = false;
+    {
+      std::lock_guard<std::mutex> lock(shard->pending_mu);
+      auto it = shard->pending.find(rid);
+      if (it != shard->pending.end()) {
+        orphan = std::move(it->second);
+        shard->pending.erase(it);
+        --shard->view.outstanding;
+        ++shard->view.rejected;
+        retracted = true;
+      }
+    }
+    if (retracted) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      ReplyMsg out;
+      out.id = orphan.client_id;
+      out.admit = AdmitResult::kRejectedClosed;
+      orphan.reply(out);
+    }
+  }
+}
+
+StatsMsg ShardRouter::Snapshot() const {
+  StatsMsg s;
+  s.role = StatsRole::kRouter;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.accepted = s.submitted;
+  s.served = served_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.healthy_workers = static_cast<uint16_t>(num_up());
+  s.total_workers = static_cast<uint16_t>(shards_.size());
+  for (const auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    ShardView view;
+    {
+      std::lock_guard<std::mutex> lock(shard->pending_mu);
+      view = shard->view;
+    }
+    view.up = shard->up.load(std::memory_order_relaxed) ? 1 : 0;
+    s.shards.push_back(view);
+  }
+  return s;
+}
+
+std::string ShardRouter::OnStats() { return EncodeStats(Snapshot()); }
+
+int ShardRouter::num_up() const {
+  int n = 0;
+  for (const auto& shard : shards_) {
+    if (shard->up.load(std::memory_order_relaxed)) ++n;
+  }
+  return n;
+}
+
+int64_t ShardRouter::total_readmits() const {
+  return readmits_.load(std::memory_order_relaxed);
+}
+
+int64_t ShardRouter::total_drains() const {
+  return drains_.load(std::memory_order_relaxed);
+}
+
+}  // namespace net
+}  // namespace ms

@@ -1,0 +1,167 @@
+// Rate-aware request router over N backend SliceServer shards (the
+// cluster tier of DESIGN.md §10).
+//
+// Routing policy. Each shard's kStatsReply advertises its measured
+// full-model per-sample time t, its T/2 tick, and its trained slice-rate
+// lattice. For a request with deadline d the router estimates the latency
+// of running it on shard s at rate r as
+//
+//   est(r) = tick_s + r^2 * t_s        (queue wait bound + Eq. 3 with n=1)
+//
+// and scores the shard by the LARGEST advertised rate r with est(r) <= d —
+// the same "highest rate that still meets the budget" rule the shard's own
+// scheduler applies (Eq. 3), lifted one level up. Low-budget traffic thus
+// lands on shards prewarmed at low rates (which can still meet the
+// deadline) instead of being queued behind a full-rate shard that cannot.
+// Ties — and no-deadline traffic — break to the fewest outstanding
+// requests (join-shortest-queue).
+//
+// Health gossip. A heartbeat thread polls every shard's stats. A shard is
+// DRAINED from rotation when its connection dies, its heartbeat times out
+// repeatedly (per-shard CircuitBreaker, reusing src/serving/health.h), or
+// its own breaker reports open / zero healthy workers. Drained shards are
+// probed every heartbeat (reconnect + stats) and READMITTED on a clean
+// probe. Requests outstanding on a dead connection are failed ("lost") to
+// their clients — exactly once, like every other outcome.
+//
+// Cluster accounting. The router's client-facing ledger keeps the same
+// invariant as a single shard:
+//   submitted == served + shed + expired + rejected + failed
+// where `failed` folds in the lost-on-death requests. Per-shard ShardViews
+// (forwarded/outstanding/per-outcome/lost/drains/readmits) reconcile the
+// router ledger against the shards' own ServerStats.
+#ifndef MODELSLICING_NET_ROUTER_H_
+#define MODELSLICING_NET_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/net/net_server.h"
+#include "src/net/wire.h"
+#include "src/serving/health.h"
+#include "src/util/status.h"
+
+namespace ms {
+namespace net {
+
+struct RouterOptions {
+  double heartbeat_seconds = 0.25;   ///< gossip/probe period.
+  /// Consecutive heartbeat failures before a connected shard is drained
+  /// (sudden disconnects drain immediately).
+  int heartbeat_failures = 2;
+  double heartbeat_timeout_seconds = 1.0;
+  double connect_timeout_seconds = 1.0;
+  /// Per-shard admission cap: outstanding requests beyond this shed.
+  int64_t max_outstanding = 512;
+  /// Require at least one successful heartbeat before Start() returns
+  /// (false lets the router start ahead of its shards).
+  bool require_shard_at_start = false;
+};
+
+class ShardRouter : public WireService {
+ public:
+  /// `shard_addrs` are "host:port" (or ":port") backend endpoints.
+  ShardRouter(std::vector<std::string> shard_addrs, RouterOptions opts);
+  ~ShardRouter() override;
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Connects to the shards (best effort) and starts the heartbeat.
+  Status Start();
+  /// Stops the heartbeat and fails every outstanding request (lost).
+  void Stop();
+
+  // WireService: the router speaks the same protocol as a shard, so
+  // clients cannot tell (and need not care) which tier they talk to.
+  void OnRequest(const RequestMsg& msg,
+                 std::function<void(const ReplyMsg&)> reply) override;
+  std::string OnStats() override;
+
+  /// Router stats + per-shard ledger as a struct (shared with OnStats).
+  StatsMsg Snapshot() const;
+
+  /// Runs one heartbeat round synchronously (tests; also what the
+  /// heartbeat thread does every period).
+  void HeartbeatOnce();
+
+  int num_up() const;
+  int64_t total_readmits() const;
+  int64_t total_drains() const;
+
+ private:
+  struct Pending {
+    std::function<void(const ReplyMsg&)> reply;
+    uint64_t client_id = 0;
+  };
+
+  struct Shard {
+    std::string host;
+    uint16_t port = 0;
+
+    /// Heartbeat-side state: connection + advertised calibration.
+    std::mutex mu;
+    std::shared_ptr<WireClient> client;           // guarded by mu
+    double calibrated_t = 0.0;                    // guarded by mu
+    double tick_seconds = 0.0;                    // guarded by mu
+    std::vector<double> rates;                    // guarded by mu
+    bool remote_breaker_open = false;             // guarded by mu
+    int remote_healthy_workers = -1;              // guarded by mu (-1 unknown)
+
+    std::atomic<bool> up{false};
+    CircuitBreaker heartbeat_breaker;
+
+    /// Request-side ledger. NEVER held while connecting/destroying the
+    /// client (the client's reader thread takes it in on_disconnect).
+    std::mutex pending_mu;
+    std::unordered_map<uint64_t, Pending> pending;  // router id -> caller
+    uint64_t next_id = 1;
+    ShardView view;
+
+    Shard(int failures, double cooloff)
+        : heartbeat_breaker(failures, cooloff) {}
+  };
+
+  void HeartbeatLoop();
+  /// Probes/polls one shard; drains or readmits as the evidence demands.
+  void HeartbeatShard(size_t idx);
+  void DrainShard(size_t idx, const char* reason);
+  /// Fails all pending requests on `shard` as lost; returns how many.
+  int64_t FailPending(Shard* shard);
+  void HandleShardReply(size_t idx, const ReplyMsg& msg);
+  void HandleShardDisconnect(size_t idx);
+  /// Routing decision; -1 when no shard can take the request.
+  int PickShard(double deadline_seconds);
+
+  RouterOptions opts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<bool> running_{false};
+  std::thread heartbeat_;
+  std::mutex hb_mu_;
+  std::condition_variable hb_cv_;
+
+  // Client-facing ledger (the cluster invariant's left/right sides).
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> served_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> expired_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> drains_{0};
+  std::atomic<int64_t> readmits_{0};
+};
+
+}  // namespace net
+}  // namespace ms
+
+#endif  // MODELSLICING_NET_ROUTER_H_

@@ -1,0 +1,212 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace ms {
+namespace net {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool ResolveHost(const std::string& host, in_addr* out) {
+  std::string h = host;
+  if (h.empty() || h == "localhost") h = "127.0.0.1";
+  return inet_pton(AF_INET, h.c_str(), out) == 1;
+}
+
+timeval ToTimeval(double seconds) {
+  if (seconds < 0) seconds = 0;
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec =
+      static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) *
+                               1e6);
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;  // 0 == "no timeout"
+  return tv;
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> TcpListen(uint16_t port, uint16_t* bound_port, int backlog) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return Status::Internal(Errno("socket"));
+  int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::Internal(Errno("bind"));
+  }
+  if (::listen(s.fd(), backlog) != 0) {
+    return Status::Internal(Errno("listen"));
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in got;
+    socklen_t len = sizeof(got);
+    if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&got), &len) != 0) {
+      return Status::Internal(Errno("getsockname"));
+    }
+    *bound_port = ntohs(got.sin_port);
+  }
+  return s;
+}
+
+Result<Socket> TcpConnect(const std::string& host, uint16_t port,
+                          double timeout_seconds) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (!ResolveHost(host, &addr.sin_addr)) {
+    return Status::InvalidArgument("unresolvable host: " + host);
+  }
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return Status::Internal(Errno("socket"));
+  // Nonblocking connect + poll gives us a real timeout; the default kernel
+  // connect timeout is minutes, far beyond any serving deadline.
+  Status st = SetNonBlocking(s.fd(), true);
+  if (!st.ok()) return st;
+  int rc = ::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return Status::Internal(Errno("connect"));
+  }
+  if (rc != 0) {
+    pollfd pfd;
+    pfd.fd = s.fd();
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    int timeout_ms = static_cast<int>(timeout_seconds * 1000.0);
+    if (timeout_ms < 1) timeout_ms = 1;
+    int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr == 0) return Status::Internal("connect timeout");
+    if (pr < 0) return Status::Internal(Errno("poll"));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(s.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      errno = err != 0 ? err : errno;
+      return Status::Internal(Errno("connect"));
+    }
+  }
+  st = SetNonBlocking(s.fd(), false);
+  if (!st.ok()) return st;
+  SetNoDelay(s.fd());
+  return s;
+}
+
+Socket TcpAccept(int listen_fd) {
+  int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd >= 0) SetNoDelay(fd);
+  return Socket(fd);
+}
+
+Status SetNonBlocking(int fd, bool nonblocking) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::Internal(Errno("fcntl(F_GETFL)"));
+  if (nonblocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return Status::Internal(Errno("fcntl(F_SETFL)"));
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void SetSendTimeout(int fd, double seconds) {
+  timeval tv = ToTimeval(seconds);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void SetRecvTimeout(int fd, double seconds) {
+  timeval tv = ToTimeval(seconds);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+Status SendAll(int fd, const char* data, size_t n, double timeout_seconds) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_seconds));
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Socket buffer full (or SO_SNDTIMEO fired on a blocking fd): wait
+      // for writability within the remaining budget instead of spinning.
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) return Status::Internal("send timeout");
+      pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      int pr = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (pr < 0 && errno != EINTR) return Status::Internal(Errno("poll"));
+      if (pr == 0) return Status::Internal("send timeout");
+      continue;
+    }
+    return Status::Internal(Errno("send"));
+  }
+  return Status::OK();
+}
+
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& addr) {
+  std::string host = "127.0.0.1";
+  std::string port_str = addr;
+  const size_t colon = addr.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) host = addr.substr(0, colon);
+    port_str = addr.substr(colon + 1);
+  }
+  if (port_str.empty()) {
+    return Status::InvalidArgument("missing port in address: " + addr);
+  }
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 1 || port > 65535) {
+    return Status::InvalidArgument("bad port in address: " + addr);
+  }
+  return std::make_pair(host, static_cast<uint16_t>(port));
+}
+
+}  // namespace net
+}  // namespace ms

@@ -1,0 +1,87 @@
+// Thin RAII + helper layer over BSD sockets for the serving tier's TCP
+// frontend/router. IPv4 localhost-or-LAN oriented: the cluster CI gauntlet
+// and the router both speak to explicit host:port endpoints.
+#ifndef MODELSLICING_NET_SOCKET_H_
+#define MODELSLICING_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace ms {
+namespace net {
+
+/// \brief Owns a socket fd; closes on destruction. Movable, not copyable.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Relinquishes ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket on `port` (0 = ephemeral), SO_REUSEADDR so a killed
+/// shard can be relaunched on the same port immediately. `bound_port`
+/// receives the actual port.
+Result<Socket> TcpListen(uint16_t port, uint16_t* bound_port,
+                         int backlog = 128);
+
+/// Blocking connect to host:port with a total timeout. `host` is an IPv4
+/// dotted quad or "localhost".
+Result<Socket> TcpConnect(const std::string& host, uint16_t port,
+                          double timeout_seconds);
+
+/// Accept one connection; returns an invalid Socket on transient errors.
+Socket TcpAccept(int listen_fd);
+
+Status SetNonBlocking(int fd, bool nonblocking);
+/// TCP_NODELAY: the protocol is many small frames; Nagle would serialize
+/// the request/reply ping-pong at 40ms a hop.
+void SetNoDelay(int fd);
+/// SO_SNDTIMEO/SO_RCVTIMEO for blocking sockets, so a wedged peer turns
+/// into a clean error instead of a parked thread.
+void SetSendTimeout(int fd, double seconds);
+void SetRecvTimeout(int fd, double seconds);
+
+/// Writes all of `data`, retrying on EINTR/partial writes. Works on both
+/// blocking and nonblocking fds: EAGAIN waits for writability with poll()
+/// up to `timeout_seconds` total. Fails on timeout or a dead peer. SIGPIPE
+/// is suppressed (MSG_NOSIGNAL).
+Status SendAll(int fd, const char* data, size_t n,
+               double timeout_seconds = 10.0);
+
+/// Splits "host:port"; defaults host to 127.0.0.1 when `addr` is ":port"
+/// or a bare port number.
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& addr);
+
+}  // namespace net
+}  // namespace ms
+
+#endif  // MODELSLICING_NET_SOCKET_H_

@@ -1,0 +1,182 @@
+// Wire protocol for the networked serving tier (DESIGN.md §10).
+//
+// Compact length-prefixed binary frames, little-endian:
+//
+//   offset  size  field
+//   0       2     magic   0x4D53 ("MS")
+//   2       1     version (kWireVersion)
+//   3       1     type    (FrameType)
+//   4       4     length  payload bytes (<= kMaxPayload)
+//   8       4     crc32   CRC-32 of the payload (src/util/crc32.h)
+//   12      ...   payload
+//
+// Frame types and payloads:
+//   kRequest    id:u64 | deadline_s:f64 | payload_count:u32 | f32[count]
+//               deadline_s is RELATIVE seconds (<= 0 meaning "no deadline");
+//               it is handed to SliceServer::Submit verbatim, so a NaN/Inf
+//               deadline earns the same AdmitResult::kRejectedInvalid as an
+//               in-process caller — one validation rule, no parallel enum.
+//   kReply      id:u64 | admit:u8 | outcome:u8 | rate:f32
+//               `admit` IS the serving tier's AdmitResult (same numeric
+//               values). A request gets exactly one reply: an immediate one
+//               when admission sheds/rejects, or a terminal one
+//               (admit == kAccepted, `outcome` = RequestOutcome) once the
+//               request settles inside the shard.
+//   kStats      empty payload; asks the peer for a kStatsReply.
+//   kStatsReply role-tagged stats blob (StatsMsg below). Doubles as the
+//               health-gossip heartbeat: the router polls each shard and
+//               reads quarantine/breaker state out of the reply.
+//
+// Anything that fails to parse — bad magic/version, oversized length, CRC
+// mismatch, short payload, unknown type — is answered with a kReply whose
+// admit code is AdmitResult::kRejectedInvalid (id 0 when the frame was too
+// mangled to trust its id), making the accounting invariant visible on the
+// wire even for garbage input.
+#ifndef MODELSLICING_NET_WIRE_H_
+#define MODELSLICING_NET_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/serving/request_queue.h"
+#include "src/util/status.h"
+
+namespace ms {
+namespace net {
+
+inline constexpr uint16_t kWireMagic = 0x4D53;  // "MS"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kHeaderBytes = 12;
+/// Largest accepted payload: a sample tensor of ~256K floats plus slack.
+/// Anything bigger is a malformed (or hostile) frame.
+inline constexpr uint32_t kMaxPayload = 1u << 20;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kReply = 2,
+  kStats = 3,
+  kStatsReply = 4,
+};
+
+struct RequestMsg {
+  uint64_t id = 0;
+  double deadline_seconds = 0.0;  ///< relative; <= 0 means no deadline.
+  std::vector<float> payload;     ///< optional sample tensor (may be empty).
+};
+
+struct ReplyMsg {
+  uint64_t id = 0;
+  AdmitResult admit = AdmitResult::kAccepted;
+  /// Terminal outcome; meaningful only when admit == kAccepted.
+  RequestOutcome outcome = RequestOutcome::kServed;
+  float rate = 0.0f;  ///< slice rate the request was served at (0 otherwise).
+};
+
+/// Role tag for kStatsReply payloads.
+enum class StatsRole : uint8_t { kShard = 1, kRouter = 2 };
+
+/// Router's view of one backend shard (serialized inside a router
+/// kStatsReply; also the router's in-process accounting record).
+struct ShardView {
+  uint8_t up = 0;           ///< 1 = in rotation, 0 = drained.
+  int64_t forwarded = 0;    ///< requests sent to this shard.
+  int64_t outstanding = 0;  ///< forwarded, no terminal reply yet.
+  int64_t served = 0;       ///< terminal replies by outcome, as seen
+  int64_t shed = 0;         ///< by the router (admission sheds and
+  int64_t expired = 0;      ///< terminal sheds both land in `shed`).
+  int64_t failed = 0;
+  int64_t rejected = 0;
+  int64_t lost = 0;      ///< outstanding when the connection died.
+  int64_t drains = 0;    ///< times this shard left rotation.
+  int64_t readmits = 0;  ///< times it was probed back in.
+};
+
+/// One kStatsReply payload. For a shard, the counter fields mirror
+/// ServerStats plus the calibration/lattice advertisement the router's
+/// rate-aware balancer needs. For the router they hold the router's own
+/// client-facing accounting, and `shards` carries the per-shard ledger that
+/// reconciles the cluster-wide invariant:
+///   submitted == served + shed + expired + rejected + failed
+/// with sum(shards[i].lost) folded into `failed`.
+struct StatsMsg {
+  StatsRole role = StatsRole::kShard;
+  uint8_t breaker_open = 0;
+  uint16_t healthy_workers = 0;
+  uint16_t total_workers = 0;
+  int64_t queue_depth = 0;
+  int64_t queue_capacity = 0;
+  int64_t submitted = 0;
+  int64_t accepted = 0;
+  int64_t served = 0;
+  int64_t shed = 0;
+  int64_t expired = 0;
+  int64_t rejected = 0;
+  int64_t failed = 0;
+  int64_t quarantined = 0;
+  int64_t repaired = 0;
+  double calibrated_t = 0.0;   ///< full-model per-sample seconds.
+  double tick_seconds = 0.0;   ///< T/2 batching interval.
+  std::vector<double> rates;   ///< trained (prewarmed) slice-rate lattice.
+  std::vector<ShardView> shards;  ///< router only.
+};
+
+/// Appends a complete frame (header + payload) to `out`.
+void EncodeFrame(FrameType type, const std::string& payload,
+                 std::string* out);
+
+std::string EncodeRequest(const RequestMsg& msg);
+std::string EncodeReply(const ReplyMsg& msg);
+std::string EncodeStats(const StatsMsg& msg);
+
+/// Payload parsers. They validate every length before reading and reject
+/// trailing bytes, so a corrupt-but-CRC-valid frame cannot smuggle garbage.
+Status DecodeRequest(const std::string& payload, RequestMsg* out);
+Status DecodeReply(const std::string& payload, ReplyMsg* out);
+Status DecodeStats(const std::string& payload, StatsMsg* out);
+
+/// One parsed frame from the decoder.
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+};
+
+/// What FrameDecoder::Next produced.
+enum class DecodeResult {
+  kFrame = 0,     ///< a complete, CRC-clean frame was extracted.
+  kNeedMore,      ///< buffer holds a partial frame; feed more bytes.
+  kBadFrame,      ///< recoverable corruption (CRC/type/payload): the frame
+                  ///< boundary was intact, so decoding may continue.
+  kFatal,         ///< unrecoverable (bad magic/version/oversized length):
+                  ///< the byte stream cannot be trusted; close the
+                  ///< connection after replying.
+};
+
+/// \brief Incremental frame reassembler for a TCP byte stream. Feed
+/// arbitrary chunks (partial reads are the norm); pull complete frames out.
+/// Used by both the epoll frontend and the blocking client reader.
+class FrameDecoder {
+ public:
+  void Feed(const char* data, size_t n) { buf_.append(data, n); }
+
+  /// Extracts the next complete frame. On kBadFrame the corrupt frame is
+  /// consumed (and `bad_request_id` holds the frame's request id when the
+  /// payload was long enough to carry one, else 0); on kFatal the buffer
+  /// is poisoned and every later call returns kFatal.
+  DecodeResult Next(Frame* out);
+
+  uint64_t bad_request_id() const { return bad_request_id_; }
+  size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;  ///< consumed prefix; compacted lazily.
+  bool fatal_ = false;
+  uint64_t bad_request_id_ = 0;
+};
+
+}  // namespace net
+}  // namespace ms
+
+#endif  // MODELSLICING_NET_WIRE_H_

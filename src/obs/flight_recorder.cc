@@ -57,6 +57,8 @@ const char* FlightEventKindName(FlightEventKind kind) {
     case FlightEventKind::kWatchdog: return "watchdog";
     case FlightEventKind::kFaultFire: return "fault_fire";
     case FlightEventKind::kMark: return "mark";
+    case FlightEventKind::kShardDown: return "shard_down";
+    case FlightEventKind::kShardReadmit: return "shard_readmit";
   }
   return "unknown";
 }

@@ -46,6 +46,8 @@ enum class FlightEventKind : int {
   kWatchdog,        ///< watchdog rescheduled a stalled batch; a = batch.
   kFaultFire,       ///< fault injection fired; detail = point name.
   kMark,            ///< free-form marker (tests, embedders).
+  kShardDown,       ///< router drained a backend shard; a = shard index.
+  kShardReadmit,    ///< router readmitted a shard after probe; a = shard.
 };
 
 /// Stable lowercase name for JSONL export ("admission", "decision", ...).

@@ -7,7 +7,8 @@
 
 namespace ms {
 
-AdmitResult RequestQueue::Submit(double deadline_seconds) {
+AdmitResult RequestQueue::Submit(double deadline_seconds,
+                                 RequestDoneFn done) {
   // A NaN deadline would slip past the `> 0.0` check below and masquerade
   // as "no deadline"; reject non-finite deadlines outright instead (+Inf is
   // equally malformed — callers meaning "no deadline" pass 0).
@@ -23,6 +24,9 @@ AdmitResult RequestQueue::Submit(double deadline_seconds) {
   // queue-admit stages coincide by construction.
   r.submit_ns = obs::StageNowNanos();
   r.admit_ns = r.submit_ns;
+  if (done) {
+    r.done = std::make_shared<RequestDoneFn>(std::move(done));
+  }
   if (deadline_seconds > 0.0) {
     r.deadline = r.enqueued + std::chrono::duration_cast<
                                   Request::Clock::duration>(

@@ -9,11 +9,31 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/util/bounded_queue.h"
 
 namespace ms {
+
+/// Terminal fate of an ACCEPTED request (admission-time sheds/rejects are
+/// reported synchronously as the AdmitResult below and never reach a
+/// terminal outcome). The numeric values are part of the wire protocol
+/// (src/net/wire.h) — append, never renumber.
+enum class RequestOutcome : uint8_t {
+  kServed = 0,    ///< ran through a clean Forward at `rate`.
+  kExpired = 1,   ///< deadline passed before execution.
+  kShedStop = 2,  ///< still queued when the server drained at Stop().
+  kFailed = 3,    ///< batch failed terminally (throw/poison after retry).
+};
+
+/// Per-request completion hook, invoked exactly once when an accepted
+/// request settles. Runs on a batcher or worker thread — keep it quick and
+/// never call back into the server from it. `rate` is the slice rate a
+/// served request ran at (0 for the other outcomes).
+using RequestDoneFn = std::function<void(RequestOutcome outcome, double rate)>;
 
 /// \brief One queued inference request. Requests carry no payload: the
 /// server materializes the batch input tensor itself (every sample has the
@@ -31,6 +51,9 @@ struct Request {
   /// sums reconcile exactly with the end-to-end latency.
   int64_t submit_ns = 0;
   int64_t admit_ns = 0;
+  /// Completion hook (null for fire-and-forget submits). shared_ptr so the
+  /// Request stays cheaply copyable through batch cut / retry splitting.
+  std::shared_ptr<RequestDoneFn> done;
 
   bool ExpiredAt(Clock::time_point now) const { return deadline < now; }
 };
@@ -65,8 +88,11 @@ class RequestQueue {
 
   /// Thread-safe admission. `deadline_seconds` <= 0 means no deadline;
   /// NaN/Inf deadlines return kRejectedInvalid. The `queue.submit.reject`
-  /// fault point, when armed, makes this return kRejectedClosed.
-  AdmitResult Submit(double deadline_seconds);
+  /// fault point, when armed, makes this return kRejectedClosed. `done`,
+  /// when set, is attached to the request and fires exactly once at its
+  /// terminal outcome — but only for kAccepted admissions; for every other
+  /// AdmitResult the synchronous return value is the whole story.
+  AdmitResult Submit(double deadline_seconds, RequestDoneFn done = nullptr);
 
   /// Pops up to `max_n` live requests; expired requests encountered are
   /// dropped and counted. Requests beyond `max_n` stay queued (FIFO).

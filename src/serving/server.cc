@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <exception>
 #include <limits>
 #include <stdexcept>
@@ -237,7 +238,8 @@ Status SliceServer::Start() {
   return Status::OK();
 }
 
-AdmitResult SliceServer::Submit(double deadline_seconds) {
+AdmitResult SliceServer::Submit(double deadline_seconds,
+                                RequestDoneFn done) {
   auto& registry = obs::MetricsRegistry::Global();
   submitted_.fetch_add(1, std::memory_order_relaxed);
   registry.GetCounter("ms_server_submitted_total")->Inc();
@@ -256,7 +258,8 @@ AdmitResult SliceServer::Submit(double deadline_seconds) {
     registry.GetCounter("ms_server_breaker_rejected_total")->Inc();
     return AdmitResult::kRejectedClosed;
   }
-  const AdmitResult result = queue_->Submit(deadline_seconds);
+  const AdmitResult result = queue_->Submit(deadline_seconds,
+                                            std::move(done));
   auto& flight = obs::FlightRecorder::Global();
   switch (result) {
     case AdmitResult::kAccepted:
@@ -641,6 +644,25 @@ void SliceServer::RecordFinished(const std::vector<Request>& requests,
                                  int64_t fwd_start_ns, int64_t fwd_done_ns) {
   if (requests.empty()) return;
   const bool served = fwd_done_ns > 0;
+  // Completion hooks: every accepted request reaches exactly one terminal
+  // RecordFinished (serve/fail from FinalizeAttempt, expiry at retry split,
+  // cut or drain, shed at drain), so firing here is the exactly-once
+  // completion contract Submit's `done` promises. Called outside every
+  // server lock; retried batches pass only their settled requests.
+  {
+    RequestOutcome oc = RequestOutcome::kServed;
+    if (std::strcmp(outcome, "expired") == 0) {
+      oc = RequestOutcome::kExpired;
+    } else if (std::strcmp(outcome, "shed") == 0) {
+      oc = RequestOutcome::kShedStop;
+    } else if (std::strcmp(outcome, "failed") == 0) {
+      oc = RequestOutcome::kFailed;
+    }
+    const double done_rate = oc == RequestOutcome::kServed ? rate : 0.0;
+    for (const Request& r : requests) {
+      if (r.done && *r.done) (*r.done)(oc, done_rate);
+    }
+  }
   if (served && obs::StageStatsEnabled()) {
     // Batch-shared stages are observed once per request on purpose: every
     // histogram then counts requests, and the mean of stage sums equals the

@@ -144,7 +144,13 @@ class SliceServer {
 
   /// Admission control; safe from any thread. `deadline_seconds` is
   /// relative to now; <= 0 means no deadline; NaN/Inf is rejected.
-  AdmitResult Submit(double deadline_seconds = 0.0);
+  /// `done` (optional) fires exactly once with the request's terminal
+  /// outcome — served/expired/shed-at-stop/failed — but only when this
+  /// call returns kAccepted; for any other AdmitResult the synchronous
+  /// return value is the request's whole story. The networked frontend
+  /// (src/net/frontend.h) rides its per-request replies on this hook.
+  AdmitResult Submit(double deadline_seconds = 0.0,
+                     RequestDoneFn done = nullptr);
 
   /// Graceful shutdown: close admission, let in-flight batches drain, shed
   /// the remaining queue. Idempotent; safe to race from multiple threads.
@@ -152,6 +158,7 @@ class SliceServer {
 
   ServerStats stats() const;
   int64_t queue_depth() const { return queue_->depth(); }
+  int64_t queue_capacity() const { return queue_->capacity(); }
   double tick_seconds() const { return tick_seconds_; }
   /// Measured full-model per-sample seconds (0 before calibration). This is
   /// the *warm* time: the cold first forward is excluded.

@@ -1,0 +1,327 @@
+// In-process cluster tests: a ShardRouter over two real socket-backed
+// SliceServer shards. Deterministic where the networked bench cannot be:
+// fake calibration (calibrate=false + a fixed full_sample_time) makes the
+// rate-aware routing decision pure arithmetic, and shard "crashes" are
+// explicit NetServer stops whose disconnects the router must turn into
+// drain -> probe -> readmit, with the cluster accounting invariant
+//   submitted == served + shed + expired + rejected + failed
+// holding exactly through all of it.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/models/mlp.h"
+#include "src/net/frontend.h"
+#include "src/net/net_server.h"
+#include "src/net/router.h"
+#include "src/net/wire.h"
+#include "src/serving/server.h"
+
+namespace ms {
+namespace net {
+namespace {
+
+std::vector<std::unique_ptr<Module>> MakeReplicas(int n) {
+  MlpConfig cfg;
+  cfg.in_features = 16;
+  cfg.hidden = {32, 32};
+  cfg.num_classes = 4;
+  cfg.slice_groups = 4;
+  cfg.seed = 5;
+  std::vector<std::unique_ptr<Module>> replicas;
+  for (int i = 0; i < n; ++i) {
+    replicas.push_back(MakeMlp(cfg).MoveValueOrDie());
+  }
+  return replicas;
+}
+
+/// Fake calibration: t = 40 ms/sample, budget 200 ms -> tick 100 ms. With
+/// est(r) = tick + r^2 * t the advertised lattice decides feasibility:
+///   rate 1.0  -> 140 ms
+///   rate 0.5  -> 110 ms
+///   rate 0.25 -> 102.5 ms
+/// so a 120 ms deadline is infeasible for a {1.0}-only shard but feasible
+/// at rate 0.5 for a sliced one. (The real MLP forward is microseconds; the
+/// fake t only drives scheduling and routing arithmetic.)
+ServerOptions ShardOptions(double lower_bound) {
+  ServerOptions opts;
+  opts.serving.full_sample_time = 0.04;
+  opts.serving.latency_budget = 0.2;
+  opts.serving.lattice =
+      SliceConfig::Make(lower_bound, 0.25).MoveValueOrDie();
+  opts.calibrate = false;
+  opts.max_queue = 256;
+  opts.sample_shape = {16};
+  return opts;
+}
+
+/// One shard: serving engine + wire frontend + frame server, restartable on
+/// a fixed port (the router probes the same address it lost).
+struct TestShard {
+  std::unique_ptr<SliceServer> server;
+  std::unique_ptr<ShardFrontend> frontend;
+  std::unique_ptr<NetServer> frames;
+  uint16_t port = 0;
+
+  void Start(double lower_bound, uint16_t fixed_port = 0) {
+    server = SliceServer::Create(MakeReplicas(1), ShardOptions(lower_bound))
+                 .MoveValueOrDie();
+    ASSERT_TRUE(server->Start().ok());
+    frontend = std::make_unique<ShardFrontend>(server.get());
+    frames = std::make_unique<NetServer>(frontend.get());
+    ASSERT_TRUE(frames->Start(fixed_port).ok());
+    port = frames->port();
+  }
+
+  /// Abrupt "crash": the frame server dies first, so the router sees the
+  /// connection drop while the serving engine is still winding down.
+  void Crash() {
+    frames->Stop();
+    server->Stop();
+  }
+};
+
+/// Client-side reply ledger keyed by request id; every request must settle
+/// exactly once.
+struct ReplyLedger {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<uint64_t, ReplyMsg> replies;
+  int64_t duplicates = 0;
+
+  std::function<void(const ReplyMsg&)> Sink() {
+    return [this](const ReplyMsg& msg) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!replies.emplace(msg.id, msg).second) ++duplicates;
+      cv.notify_all();
+    };
+  }
+  bool WaitFor(size_t n, double seconds) {
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                       [&] { return replies.size() >= n; });
+  }
+  ReplyMsg Get(uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu);
+    return replies.at(id);
+  }
+};
+
+RouterOptions ManualHeartbeat() {
+  RouterOptions opts;
+  // The background heartbeat stays essentially parked; tests call
+  // HeartbeatOnce() themselves for determinism.
+  opts.heartbeat_seconds = 60.0;
+  opts.heartbeat_failures = 1;
+  opts.connect_timeout_seconds = 1.0;
+  return opts;
+}
+
+bool WaitUntil(const std::function<bool()>& pred, double seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return pred();
+}
+
+void CheckInvariant(const StatsMsg& s) {
+  EXPECT_EQ(s.submitted,
+            s.served + s.shed + s.expired + s.rejected + s.failed)
+      << "cluster accounting must reconcile exactly";
+}
+
+TEST(Cluster, RateAwareRoutingPicksSliceCapableShard) {
+  TestShard full_only;   // lattice {1.0}: cannot degrade rate.
+  TestShard sliceable;   // lattice {0.25..1.0}: prewarmed low rates.
+  full_only.Start(/*lower_bound=*/1.0);
+  sliceable.Start(/*lower_bound=*/0.25);
+
+  ShardRouter router(
+      {":" + std::to_string(full_only.port),
+       ":" + std::to_string(sliceable.port)},
+      ManualHeartbeat());
+  ASSERT_TRUE(router.Start().ok());
+  ASSERT_EQ(router.num_up(), 2);
+
+  // 120 ms deadline: est(1.0) = 140 ms misses it, est(0.5) = 110 ms makes
+  // it. Every request must go to the sliceable shard.
+  ReplyLedger ledger;
+  const int kTight = 6;
+  for (uint64_t id = 1; id <= kTight; ++id) {
+    RequestMsg msg;
+    msg.id = id;
+    msg.deadline_seconds = 0.12;
+    router.OnRequest(msg, ledger.Sink());
+  }
+  ASSERT_TRUE(ledger.WaitFor(kTight, 20.0));
+  {
+    StatsMsg snap = router.Snapshot();
+    ASSERT_EQ(snap.shards.size(), 2u);
+    EXPECT_EQ(snap.shards[0].forwarded, 0);
+    EXPECT_EQ(snap.shards[1].forwarded, kTight);
+  }
+
+  // A relaxed deadline (both shards feasible at rate 1.0) falls back to
+  // join-shortest-outstanding; no per-shard assertion, but every request
+  // still gets exactly one reply.
+  const int kRelaxed = 4;
+  for (uint64_t id = 100; id < 100 + kRelaxed; ++id) {
+    RequestMsg msg;
+    msg.id = id;
+    msg.deadline_seconds = 1.0;
+    router.OnRequest(msg, ledger.Sink());
+  }
+  ASSERT_TRUE(ledger.WaitFor(kTight + kRelaxed, 20.0));
+
+  router.Stop();
+  StatsMsg snap = router.Snapshot();
+  EXPECT_EQ(snap.submitted, kTight + kRelaxed);
+  CheckInvariant(snap);
+  EXPECT_EQ(ledger.duplicates, 0);
+
+  full_only.Crash();
+  sliceable.Crash();
+}
+
+TEST(Cluster, ShardCrashDrainsReadmitsAndKeepsExactAccounting) {
+  TestShard shard_a;
+  TestShard shard_b;
+  shard_a.Start(/*lower_bound=*/1.0);   // {1.0}: tight deadlines skip it.
+  shard_b.Start(/*lower_bound=*/0.25);  // takes all 120 ms traffic.
+
+  ShardRouter router(
+      {":" + std::to_string(shard_a.port),
+       ":" + std::to_string(shard_b.port)},
+      ManualHeartbeat());
+  ASSERT_TRUE(router.Start().ok());
+  ASSERT_EQ(router.num_up(), 2);
+
+  ReplyLedger ledger;
+  int64_t submitted = 0;
+
+  // Warm traffic through shard B (tight deadline), then crash it with
+  // requests in flight: the router must fail those as lost (kFailed
+  // terminal replies) the moment the connection drops.
+  const int kInflight = 5;
+  for (uint64_t id = 1; id <= kInflight; ++id) {
+    RequestMsg msg;
+    msg.id = id;
+    msg.deadline_seconds = 0.12;
+    router.OnRequest(msg, ledger.Sink());
+    ++submitted;
+  }
+  shard_b.Crash();
+
+  // Disconnect handling runs on the dying connection's reader thread; the
+  // drain (and the lost requests' replies) land without any heartbeat.
+  ASSERT_TRUE(WaitUntil([&] { return router.num_up() == 1; }, 10.0));
+  ASSERT_TRUE(ledger.WaitFor(kInflight, 10.0));
+  EXPECT_EQ(router.total_drains(), 1);
+  {
+    StatsMsg snap = router.Snapshot();
+    EXPECT_EQ(snap.shards[1].drains, 1);
+    EXPECT_EQ(snap.shards[1].outstanding, 0);
+    // Settled before the crash or failed by it — never silently dropped.
+    EXPECT_EQ(snap.shards[1].served + snap.shards[1].expired +
+                  snap.shards[1].shed + snap.shards[1].lost,
+              kInflight);
+  }
+
+  // With B gone, 120 ms traffic has no feasible shard left in rotation —
+  // but the router must still answer (shard A takes it as the least-bad
+  // up shard; rate score 0 ties are join-shortest-outstanding).
+  {
+    RequestMsg msg;
+    msg.id = 50;
+    msg.deadline_seconds = 0.12;
+    router.OnRequest(msg, ledger.Sink());
+    ++submitted;
+    ASSERT_TRUE(ledger.WaitFor(kInflight + 1, 20.0));
+    StatsMsg snap = router.Snapshot();
+    EXPECT_EQ(snap.shards[0].forwarded, 1);
+  }
+
+  // Restart B on its old port; the next heartbeat probes it clean and
+  // readmits it into rotation.
+  shard_b.Start(/*lower_bound=*/0.25, shard_b.port);
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        router.HeartbeatOnce();
+        return router.num_up() == 2;
+      },
+      10.0));
+  EXPECT_EQ(router.total_readmits(), 1);
+  {
+    StatsMsg snap = router.Snapshot();
+    EXPECT_EQ(snap.shards[1].readmits, 1);
+    EXPECT_EQ(snap.shards[1].up, 1);
+  }
+
+  // Readmitted shard takes tight-deadline traffic again.
+  const uint64_t kAfter = 60;
+  for (uint64_t id = kAfter; id < kAfter + 3; ++id) {
+    RequestMsg msg;
+    msg.id = id;
+    msg.deadline_seconds = 0.12;
+    router.OnRequest(msg, ledger.Sink());
+    ++submitted;
+  }
+  ASSERT_TRUE(ledger.WaitFor(static_cast<size_t>(submitted), 20.0));
+  {
+    StatsMsg snap = router.Snapshot();
+    EXPECT_EQ(snap.shards[1].forwarded, kInflight + 3);
+  }
+
+  router.Stop();
+  StatsMsg snap = router.Snapshot();
+  EXPECT_EQ(snap.submitted, submitted);
+  CheckInvariant(snap);
+  EXPECT_EQ(ledger.duplicates, 0);
+  // Every lost in-flight request surfaced as an accepted-but-failed reply.
+  for (uint64_t id = 1; id <= kInflight; ++id) {
+    const ReplyMsg r = ledger.Get(id);
+    EXPECT_EQ(r.admit, AdmitResult::kAccepted);
+  }
+
+  shard_a.Crash();
+  shard_b.Crash();
+}
+
+TEST(Cluster, NoShardsMeansRejectedClosed) {
+  // A router whose only shard address never answers: requests are rejected
+  // (kRejectedClosed), not queued or dropped, and the ledger accounts them.
+  ShardRouter router({"127.0.0.1:1"}, ManualHeartbeat());
+  ASSERT_TRUE(router.Start().ok());
+  EXPECT_EQ(router.num_up(), 0);
+
+  ReplyLedger ledger;
+  RequestMsg msg;
+  msg.id = 1;
+  msg.deadline_seconds = 0.5;
+  router.OnRequest(msg, ledger.Sink());
+  ASSERT_TRUE(ledger.WaitFor(1, 5.0));
+  EXPECT_EQ(ledger.Get(1).admit, AdmitResult::kRejectedClosed);
+
+  router.Stop();
+  StatsMsg snap = router.Snapshot();
+  EXPECT_EQ(snap.submitted, 1);
+  EXPECT_EQ(snap.rejected, 1);
+  CheckInvariant(snap);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace ms

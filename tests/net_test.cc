@@ -1,0 +1,398 @@
+// Wire protocol + TCP frontend tests: frame round-trips (including CRC
+// corruption and partial-read reassembly), the FrameDecoder's corruption
+// taxonomy, and end-to-end deadline propagation through a real socket into
+// SliceServer admission — the regression for the "one validation rule"
+// contract: a malformed (NaN/Inf) deadline on the wire earns the SAME
+// AdmitResult::kRejectedInvalid an in-process Submit returns, because the
+// frontend forwards the deadline verbatim instead of re-validating with a
+// parallel enum.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+
+#include <gtest/gtest.h>
+
+#include "src/models/mlp.h"
+#include "src/net/client.h"
+#include "src/net/frontend.h"
+#include "src/net/net_server.h"
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/serving/server.h"
+#include "src/util/crc32.h"
+
+namespace ms {
+namespace net {
+namespace {
+
+RequestMsg SampleRequest() {
+  RequestMsg msg;
+  msg.id = 42;
+  msg.deadline_seconds = 0.125;
+  msg.payload = {1.0f, -2.5f, 3.25f};
+  return msg;
+}
+
+TEST(Wire, RequestRoundTrip) {
+  const RequestMsg msg = SampleRequest();
+  const std::string frame = EncodeRequest(msg);
+  FrameDecoder decoder;
+  decoder.Feed(frame.data(), frame.size());
+  Frame out;
+  ASSERT_EQ(decoder.Next(&out), DecodeResult::kFrame);
+  EXPECT_EQ(out.type, FrameType::kRequest);
+  RequestMsg decoded;
+  ASSERT_TRUE(DecodeRequest(out.payload, &decoded).ok());
+  EXPECT_EQ(decoded.id, msg.id);
+  EXPECT_DOUBLE_EQ(decoded.deadline_seconds, msg.deadline_seconds);
+  EXPECT_EQ(decoded.payload, msg.payload);
+  EXPECT_EQ(decoder.Next(&out), DecodeResult::kNeedMore);
+}
+
+TEST(Wire, ReplyRoundTripCarriesAdmitResultCodes) {
+  // The wire admit byte IS AdmitResult — same numeric values, no parallel
+  // enum. Round-trip every code.
+  for (AdmitResult admit :
+       {AdmitResult::kAccepted, AdmitResult::kShedQueueFull,
+        AdmitResult::kRejectedClosed, AdmitResult::kRejectedInvalid}) {
+    ReplyMsg msg;
+    msg.id = 7;
+    msg.admit = admit;
+    msg.outcome = RequestOutcome::kExpired;
+    msg.rate = 0.5f;
+    const std::string frame = EncodeReply(msg);
+    FrameDecoder decoder;
+    decoder.Feed(frame.data(), frame.size());
+    Frame out;
+    ASSERT_EQ(decoder.Next(&out), DecodeResult::kFrame);
+    ReplyMsg decoded;
+    ASSERT_TRUE(DecodeReply(out.payload, &decoded).ok());
+    EXPECT_EQ(decoded.admit, admit);
+    EXPECT_EQ(decoded.outcome, RequestOutcome::kExpired);
+    EXPECT_FLOAT_EQ(decoded.rate, 0.5f);
+  }
+}
+
+TEST(Wire, StatsRoundTrip) {
+  StatsMsg msg;
+  msg.role = StatsRole::kRouter;
+  msg.breaker_open = 1;
+  msg.healthy_workers = 3;
+  msg.total_workers = 4;
+  msg.queue_depth = 17;
+  msg.queue_capacity = 1024;
+  msg.submitted = 100;
+  msg.served = 90;
+  msg.shed = 4;
+  msg.expired = 3;
+  msg.rejected = 2;
+  msg.failed = 1;
+  msg.calibrated_t = 0.004;
+  msg.tick_seconds = 0.02;
+  msg.rates = {0.25, 0.5, 1.0};
+  ShardView view;
+  view.up = 1;
+  view.forwarded = 55;
+  view.lost = 2;
+  view.drains = 1;
+  view.readmits = 1;
+  msg.shards = {view, ShardView{}};
+
+  const std::string frame = EncodeStats(msg);
+  FrameDecoder decoder;
+  decoder.Feed(frame.data(), frame.size());
+  Frame out;
+  ASSERT_EQ(decoder.Next(&out), DecodeResult::kFrame);
+  ASSERT_EQ(out.type, FrameType::kStatsReply);
+  StatsMsg decoded;
+  ASSERT_TRUE(DecodeStats(out.payload, &decoded).ok());
+  EXPECT_EQ(decoded.role, StatsRole::kRouter);
+  EXPECT_EQ(decoded.submitted, 100);
+  EXPECT_EQ(decoded.rates, msg.rates);
+  ASSERT_EQ(decoded.shards.size(), 2u);
+  EXPECT_EQ(decoded.shards[0].forwarded, 55);
+  EXPECT_EQ(decoded.shards[0].lost, 2);
+  EXPECT_EQ(decoded.shards[0].readmits, 1);
+}
+
+TEST(Wire, PartialReadReassembly) {
+  // Feed a frame one byte at a time: the decoder must report kNeedMore at
+  // every prefix and produce the identical frame at the last byte.
+  const std::string frame = EncodeRequest(SampleRequest());
+  FrameDecoder decoder;
+  Frame out;
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    decoder.Feed(frame.data() + i, 1);
+    ASSERT_EQ(decoder.Next(&out), DecodeResult::kNeedMore) << "byte " << i;
+  }
+  decoder.Feed(frame.data() + frame.size() - 1, 1);
+  ASSERT_EQ(decoder.Next(&out), DecodeResult::kFrame);
+  RequestMsg decoded;
+  ASSERT_TRUE(DecodeRequest(out.payload, &decoded).ok());
+  EXPECT_EQ(decoded.id, 42u);
+}
+
+TEST(Wire, CrcCorruptionIsRecoverable) {
+  // Flip one payload byte: CRC fails, the frame is consumed as kBadFrame,
+  // and the stream keeps working for the next (intact) frame.
+  std::string bad = EncodeRequest(SampleRequest());
+  bad[kHeaderBytes + 9] ^= 0x40;
+  const std::string good = EncodeRequest(SampleRequest());
+  FrameDecoder decoder;
+  decoder.Feed(bad.data(), bad.size());
+  decoder.Feed(good.data(), good.size());
+  Frame out;
+  EXPECT_EQ(decoder.Next(&out), DecodeResult::kBadFrame);
+  // The id bytes were intact, so the decoder salvages it for the reply.
+  EXPECT_EQ(decoder.bad_request_id(), 42u);
+  ASSERT_EQ(decoder.Next(&out), DecodeResult::kFrame);
+  RequestMsg decoded;
+  ASSERT_TRUE(DecodeRequest(out.payload, &decoded).ok());
+  EXPECT_EQ(decoded.id, 42u);
+}
+
+TEST(Wire, BadMagicIsFatal) {
+  std::string frame = EncodeRequest(SampleRequest());
+  frame[0] = 'X';
+  FrameDecoder decoder;
+  decoder.Feed(frame.data(), frame.size());
+  Frame out;
+  EXPECT_EQ(decoder.Next(&out), DecodeResult::kFatal);
+  // Poisoned for good: even valid bytes afterwards cannot be trusted.
+  const std::string good = EncodeRequest(SampleRequest());
+  decoder.Feed(good.data(), good.size());
+  EXPECT_EQ(decoder.Next(&out), DecodeResult::kFatal);
+}
+
+TEST(Wire, OversizedLengthIsFatal) {
+  std::string frame = EncodeRequest(SampleRequest());
+  const uint32_t huge = kMaxPayload + 1;
+  std::memcpy(&frame[4], &huge, sizeof(huge));
+  FrameDecoder decoder;
+  decoder.Feed(frame.data(), frame.size());
+  Frame out;
+  EXPECT_EQ(decoder.Next(&out), DecodeResult::kFatal);
+}
+
+TEST(Wire, TruncatedPayloadRejectedByParser) {
+  // A CRC-valid frame whose payload is structurally short must fail the
+  // payload parser (bounds-checked reads), not crash it.
+  std::string payload = "\x01\x02\x03";  // far too short for a RequestMsg
+  std::string frame;
+  EncodeFrame(FrameType::kRequest, payload, &frame);
+  FrameDecoder decoder;
+  decoder.Feed(frame.data(), frame.size());
+  Frame out;
+  ASSERT_EQ(decoder.Next(&out), DecodeResult::kFrame);
+  RequestMsg decoded;
+  EXPECT_FALSE(DecodeRequest(out.payload, &decoded).ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over a real socket.
+
+std::vector<std::unique_ptr<Module>> MakeReplicas(int n) {
+  MlpConfig cfg;
+  cfg.in_features = 16;
+  cfg.hidden = {32, 32};
+  cfg.num_classes = 4;
+  cfg.slice_groups = 4;
+  cfg.seed = 3;
+  std::vector<std::unique_ptr<Module>> replicas;
+  for (int i = 0; i < n; ++i) {
+    replicas.push_back(MakeMlp(cfg).MoveValueOrDie());
+  }
+  return replicas;
+}
+
+ServerOptions FastOptions() {
+  ServerOptions opts;
+  opts.serving.latency_budget = 0.05;
+  opts.serving.lattice = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  opts.max_queue = 256;
+  opts.sample_shape = {16};
+  return opts;
+}
+
+/// Collects replies by id with a waitable count.
+struct ReplyCollector {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<ReplyMsg> replies;
+
+  void Add(const ReplyMsg& msg) {
+    std::lock_guard<std::mutex> lock(mu);
+    replies.push_back(msg);
+    cv.notify_all();
+  }
+  bool WaitFor(size_t n, double seconds) {
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                       [&] { return replies.size() >= n; });
+  }
+};
+
+TEST(Frontend, EndToEndServeAndDeadlinePropagation) {
+  auto server = SliceServer::Create(MakeReplicas(1), FastOptions())
+                    .MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+  ShardFrontend frontend(server.get());
+  NetServer frames(&frontend);
+  ASSERT_TRUE(frames.Start(0).ok());
+  ASSERT_GT(frames.port(), 0);
+
+  ReplyCollector collector;
+  WireClient client;
+  client.set_on_reply([&](const ReplyMsg& msg) { collector.Add(msg); });
+  ASSERT_TRUE(client.Connect("127.0.0.1", frames.port()).ok());
+
+  // 1. A clean request with a generous relative deadline is served.
+  RequestMsg ok_req;
+  ok_req.id = 1;
+  ok_req.deadline_seconds = 5.0;
+  ASSERT_TRUE(client.SendRequest(ok_req).ok());
+
+  // 2. A NaN deadline must come back kRejectedInvalid — the SAME admission
+  //    code an in-process Submit returns (regression: no parallel wire
+  //    validation rule).
+  RequestMsg nan_req;
+  nan_req.id = 2;
+  nan_req.deadline_seconds = std::numeric_limits<double>::quiet_NaN();
+  ASSERT_TRUE(client.SendRequest(nan_req).ok());
+  RequestMsg inf_req;
+  inf_req.id = 3;
+  inf_req.deadline_seconds = std::numeric_limits<double>::infinity();
+  ASSERT_TRUE(client.SendRequest(inf_req).ok());
+  ASSERT_EQ(server->Submit(std::numeric_limits<double>::quiet_NaN()),
+            AdmitResult::kRejectedInvalid);
+
+  ASSERT_TRUE(collector.WaitFor(3, 10.0));
+  ReplyMsg served, nan_reply, inf_reply;
+  {
+    std::lock_guard<std::mutex> lock(collector.mu);
+    for (const ReplyMsg& r : collector.replies) {
+      if (r.id == 1) served = r;
+      if (r.id == 2) nan_reply = r;
+      if (r.id == 3) inf_reply = r;
+    }
+  }
+  EXPECT_EQ(served.admit, AdmitResult::kAccepted);
+  EXPECT_EQ(served.outcome, RequestOutcome::kServed);
+  EXPECT_GT(served.rate, 0.0f);
+  EXPECT_EQ(nan_reply.admit, AdmitResult::kRejectedInvalid);
+  EXPECT_EQ(inf_reply.admit, AdmitResult::kRejectedInvalid);
+
+  // 3. Stats advertisement carries calibration + lattice.
+  auto stats = client.RequestStats(5.0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.ValueOrDie().role, StatsRole::kShard);
+  EXPECT_GT(stats.ValueOrDie().calibrated_t, 0.0);
+  EXPECT_EQ(stats.ValueOrDie().rates,
+            FastOptions().serving.lattice.rates());
+  EXPECT_GE(stats.ValueOrDie().served, 1);
+
+  // 4. An immediately-expired deadline settles as expired (terminal reply,
+  //    admit == kAccepted), not as a dropped request.
+  RequestMsg doomed;
+  doomed.id = 4;
+  doomed.deadline_seconds = 1e-9;
+  ASSERT_TRUE(client.SendRequest(doomed).ok());
+  ASSERT_TRUE(collector.WaitFor(4, 10.0));
+  {
+    std::lock_guard<std::mutex> lock(collector.mu);
+    const ReplyMsg& r = collector.replies.back();
+    EXPECT_EQ(r.id, 4u);
+    EXPECT_EQ(r.admit, AdmitResult::kAccepted);
+    EXPECT_EQ(r.outcome, RequestOutcome::kExpired);
+  }
+
+  client.Close();
+  server->Stop();
+  frames.Stop();
+
+  // Shard-side ledger stays exact with wire traffic in the mix.
+  const ServerStats st = server->stats();
+  EXPECT_EQ(st.submitted,
+            st.served + st.shed + st.expired + st.rejected + st.failed);
+}
+
+TEST(Frontend, CorruptFrameGetsRejectedInvalidReplyAndServerSurvives) {
+  auto server = SliceServer::Create(MakeReplicas(1), FastOptions())
+                    .MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+  ShardFrontend frontend(server.get());
+  NetServer frames(&frontend);
+  ASSERT_TRUE(frames.Start(0).ok());
+
+  ReplyCollector collector;
+  WireClient client;
+  client.set_on_reply([&](const ReplyMsg& msg) { collector.Add(msg); });
+  ASSERT_TRUE(client.Connect("127.0.0.1", frames.port()).ok());
+
+  // CRC-corrupt frame: recoverable — server answers kRejectedInvalid with
+  // the salvaged id and keeps the connection open for the next request.
+  RequestMsg msg;
+  msg.id = 99;
+  msg.deadline_seconds = 5.0;
+  std::string corrupt = EncodeRequest(msg);
+  corrupt[corrupt.size() - 1] ^= 0x01;
+  {
+    // Raw send through the client's socket path: reuse SendRequest framing
+    // by writing the corrupt bytes via a second raw connection instead.
+    auto raw = TcpConnect("127.0.0.1", frames.port(), 2.0);
+    ASSERT_TRUE(raw.ok());
+    Socket sock = raw.MoveValueOrDie();
+    ASSERT_TRUE(SendAll(sock.fd(), corrupt.data(), corrupt.size()).ok());
+    // Read the reply frame off the raw socket.
+    FrameDecoder decoder;
+    char buf[256];
+    Frame out;
+    DecodeResult got = DecodeResult::kNeedMore;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (got == DecodeResult::kNeedMore &&
+           std::chrono::steady_clock::now() < deadline) {
+      const ssize_t r = ::recv(sock.fd(), buf, sizeof(buf), 0);
+      if (r <= 0) continue;
+      decoder.Feed(buf, static_cast<size_t>(r));
+      got = decoder.Next(&out);
+    }
+    ASSERT_EQ(got, DecodeResult::kFrame);
+    ReplyMsg reply;
+    ASSERT_TRUE(DecodeReply(out.payload, &reply).ok());
+    EXPECT_EQ(reply.admit, AdmitResult::kRejectedInvalid);
+    EXPECT_EQ(reply.id, 99u);
+  }
+
+  // The server must still serve clean traffic afterwards.
+  RequestMsg ok_req;
+  ok_req.id = 1;
+  ok_req.deadline_seconds = 5.0;
+  ASSERT_TRUE(client.SendRequest(ok_req).ok());
+  ASSERT_TRUE(collector.WaitFor(1, 10.0));
+  {
+    std::lock_guard<std::mutex> lock(collector.mu);
+    EXPECT_EQ(collector.replies[0].admit, AdmitResult::kAccepted);
+    EXPECT_EQ(collector.replies[0].outcome, RequestOutcome::kServed);
+  }
+
+  client.Close();
+  server->Stop();
+  frames.Stop();
+  const ServerStats st = server->stats();
+  EXPECT_EQ(st.submitted,
+            st.served + st.shed + st.expired + st.rejected + st.failed);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace ms

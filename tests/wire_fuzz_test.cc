@@ -1,0 +1,232 @@
+// Wire-protocol fuzz: seeded-random truncated, bit-flipped, oversized, and
+// garbage frames — first against the FrameDecoder alone, then against a
+// live NetServer+ShardFrontend. The server must answer every recoverable
+// corruption with a clean AdmitResult::kRejectedInvalid reply (or close the
+// connection on an unrecoverable stream) and stay fully serviceable
+// afterwards. Runs in the CI chaos job under ASan, where any buffer misuse
+// in the decoder or payload parsers is fatal.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+
+#include <gtest/gtest.h>
+
+#include "src/models/mlp.h"
+#include "src/net/client.h"
+#include "src/net/frontend.h"
+#include "src/net/net_server.h"
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/serving/server.h"
+
+namespace ms {
+namespace net {
+namespace {
+
+constexpr int kIterations = 200;
+
+std::string CleanFrame(std::mt19937_64* rng) {
+  RequestMsg msg;
+  msg.id = (*rng)() % 1000 + 1;
+  msg.deadline_seconds = 0.5;
+  const size_t n = (*rng)() % 8;
+  for (size_t i = 0; i < n; ++i) {
+    msg.payload.push_back(static_cast<float>((*rng)() % 100));
+  }
+  return EncodeRequest(msg);
+}
+
+/// One corrupted byte string per iteration, cycling through mutation kinds.
+std::string Mutate(std::mt19937_64* rng, int kind) {
+  std::string frame = CleanFrame(rng);
+  switch (kind % 5) {
+    case 0: {  // truncate: drop the tail (possibly the whole payload).
+      const size_t keep = (*rng)() % frame.size();
+      frame.resize(keep);
+      break;
+    }
+    case 1: {  // bit-flip somewhere in the payload (CRC must catch it).
+      if (frame.size() > kHeaderBytes) {
+        const size_t pos =
+            kHeaderBytes + (*rng)() % (frame.size() - kHeaderBytes);
+        frame[pos] = static_cast<char>(frame[pos] ^ (1 << ((*rng)() % 8)));
+      }
+      break;
+    }
+    case 2: {  // bit-flip in the header (magic/version/type/length/crc).
+      const size_t pos = (*rng)() % kHeaderBytes;
+      frame[pos] = static_cast<char>(frame[pos] ^ (1 << ((*rng)() % 8)));
+      break;
+    }
+    case 3: {  // oversized length field.
+      const uint32_t huge = kMaxPayload + 1 + (*rng)() % 1000;
+      std::memcpy(&frame[4], &huge, sizeof(huge));
+      break;
+    }
+    default: {  // pure garbage bytes, no frame structure at all.
+      const size_t n = 1 + (*rng)() % 64;
+      frame.assign(n, '\0');
+      for (size_t i = 0; i < n; ++i) {
+        frame[i] = static_cast<char>((*rng)() & 0xFF);
+      }
+      break;
+    }
+  }
+  return frame;
+}
+
+TEST(WireFuzz, DecoderNeverMisbehaves) {
+  std::mt19937_64 rng(0xF00D);
+  for (int i = 0; i < kIterations; ++i) {
+    FrameDecoder decoder;
+    const std::string bytes = Mutate(&rng, i);
+    // Feed in random-sized chunks to exercise reassembly boundaries.
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const size_t chunk =
+          std::min<size_t>(1 + rng() % 16, bytes.size() - off);
+      decoder.Feed(bytes.data() + off, chunk);
+      off += chunk;
+    }
+    // Drain: every result must be one of the four defined states, payload
+    // parsing of any extracted frame must not crash, and the decoder must
+    // terminate (no infinite kBadFrame loops on a finite buffer).
+    for (int guard = 0; guard < kIterations; ++guard) {
+      Frame frame;
+      const DecodeResult r = decoder.Next(&frame);
+      if (r == DecodeResult::kNeedMore || r == DecodeResult::kFatal) break;
+      if (r == DecodeResult::kFrame && frame.type == FrameType::kRequest) {
+        RequestMsg msg;
+        DecodeRequest(frame.payload, &msg).ok();  // must not crash
+      }
+    }
+  }
+}
+
+TEST(WireFuzz, StatsPayloadParserIsBoundsChecked) {
+  // DecodeStats has variable-length vectors inside; fuzz its payload
+  // directly (framing already validated the CRC by this point in real use,
+  // so the parser must survive arbitrary CRC-clean bytes).
+  std::mt19937_64 rng(0xBEEF);
+  for (int i = 0; i < kIterations; ++i) {
+    std::string payload(rng() % 256, '\0');
+    for (auto& c : payload) c = static_cast<char>(rng() & 0xFF);
+    StatsMsg msg;
+    DecodeStats(payload, &msg).ok();  // any Status is fine; UB is not
+    ReplyMsg reply;
+    DecodeReply(payload, &reply).ok();
+    RequestMsg request;
+    DecodeRequest(payload, &request).ok();
+  }
+}
+
+std::vector<std::unique_ptr<Module>> MakeReplicas() {
+  MlpConfig cfg;
+  cfg.in_features = 16;
+  cfg.hidden = {32, 32};
+  cfg.num_classes = 4;
+  cfg.slice_groups = 4;
+  cfg.seed = 9;
+  std::vector<std::unique_ptr<Module>> replicas;
+  replicas.push_back(MakeMlp(cfg).MoveValueOrDie());
+  return replicas;
+}
+
+TEST(WireFuzz, LiveServerRejectsGarbageAndStaysServiceable) {
+  ServerOptions opts;
+  opts.serving.latency_budget = 0.05;
+  opts.serving.lattice = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  opts.max_queue = 256;
+  opts.sample_shape = {16};
+  auto server = SliceServer::Create(MakeReplicas(), opts).MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+  ShardFrontend frontend(server.get());
+  NetServer frames(&frontend);
+  ASSERT_TRUE(frames.Start(0).ok());
+
+  std::mt19937_64 rng(0xCAFE);
+  int replies_seen = 0;
+  int invalid_replies = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    auto raw = TcpConnect("127.0.0.1", frames.port(), 2.0);
+    ASSERT_TRUE(raw.ok()) << "iteration " << i;
+    Socket sock = raw.MoveValueOrDie();
+    const std::string bytes = Mutate(&rng, i);
+    if (!SendAll(sock.fd(), bytes.data(), bytes.size()).ok()) continue;
+    ::shutdown(sock.fd(), SHUT_WR);
+    // Collect whatever the server answers until it closes or we time out.
+    // Truncated frames legitimately get no reply (the server is still
+    // waiting for the rest when we shut down); everything else that parses
+    // as a frame boundary must earn a kRejectedInvalid.
+    SetRecvTimeout(sock.fd(), 0.2);
+    FrameDecoder decoder;
+    char buf[512];
+    for (;;) {
+      const ssize_t r = ::recv(sock.fd(), buf, sizeof(buf), 0);
+      if (r <= 0) break;
+      decoder.Feed(buf, static_cast<size_t>(r));
+    }
+    Frame frame;
+    while (decoder.Next(&frame) == DecodeResult::kFrame) {
+      ++replies_seen;
+      if (frame.type == FrameType::kReply) {
+        ReplyMsg reply;
+        ASSERT_TRUE(DecodeReply(frame.payload, &reply).ok());
+        EXPECT_EQ(reply.admit, AdmitResult::kRejectedInvalid)
+            << "iteration " << i;
+        ++invalid_replies;
+      } else {
+        // A header bit-flip can lawfully turn kRequest into kStats (CRC
+        // covers only the payload), which earns a well-formed kStatsReply
+        // instead of a reject. Anything else is a protocol violation.
+        EXPECT_EQ(frame.type, FrameType::kStatsReply) << "iteration " << i;
+      }
+    }
+  }
+  // The mutation mix guarantees plenty of bit-flips and oversized frames
+  // that must have drawn explicit reject replies.
+  EXPECT_GT(invalid_replies, kIterations / 10);
+  EXPECT_GE(replies_seen, invalid_replies);
+
+  // After the whole barrage the server still serves a clean request.
+  WireClient client;
+  std::atomic<int> served{0};
+  client.set_on_reply([&served](const ReplyMsg& msg) {
+    if (msg.admit == AdmitResult::kAccepted &&
+        msg.outcome == RequestOutcome::kServed) {
+      served.fetch_add(1);
+    }
+  });
+  ASSERT_TRUE(client.Connect("127.0.0.1", frames.port()).ok());
+  RequestMsg msg;
+  msg.id = 1;
+  msg.deadline_seconds = 5.0;
+  ASSERT_TRUE(client.SendRequest(msg).ok());
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  while (served.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(served.load(), 1);
+  client.Close();
+
+  server->Stop();
+  frames.Stop();
+  const ServerStats st = server->stats();
+  EXPECT_EQ(st.submitted,
+            st.served + st.shed + st.expired + st.rejected + st.failed);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace ms
