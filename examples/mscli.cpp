@@ -38,7 +38,9 @@
 #include "src/serving/latency_scheduler.h"
 #include "src/serving/server.h"
 #include "src/serving/workload.h"
+#include "src/tensor/quant.h"
 #include "src/util/flags.h"
+#include "src/util/stopwatch.h"
 
 using namespace ms;  // NOLINT — tool brevity
 
@@ -55,9 +57,14 @@ int Usage() {
       "           --checkpoint_every=N (crash-safe periodic checkpoint to\n"
       "           --out every N epochs; resumes from it if present)\n"
       "  eval:    --ckpt=model.ckpt --rate=0.5\n"
-      "  profile: (prints the rate/FLOPs/params lattice and the measured\n"
-      "           cost curve vs the r^2 model)\n"
+      "  profile: (prints the rate/FLOPs/params lattice, the measured\n"
+      "           cost curve vs the r^2 model, and the measured fp32 vs\n"
+      "           int8 speedup per rate)\n"
       "  summary: --rate=0.5 (per-layer table with measured fwd times)\n"
+      "  --precision={fp32,int8} (eval/summary/serve): run inference on\n"
+      "           the quantized sliceable path; for serve this enables the\n"
+      "           joint (rate, precision) scheduler with a calibrated int8\n"
+      "           cost column\n"
       "  serve:   real concurrent serving engine (calibrated t, worker\n"
       "           replicas, T/2 batching): --workers=2 --budget_ms=50\n"
       "           --queue=4096 --ticks=48 --load=0.3 --peak=10\n"
@@ -95,6 +102,16 @@ struct Loaded {
 // SIGTERM/SIGINT flag for `serve --listen` (async-signal-safe write only).
 volatile std::sig_atomic_t g_shutdown = 0;
 void OnShutdownSignal(int) { g_shutdown = 1; }
+
+/// --precision={fp32,int8}; defaults to fp32, prints its own error.
+bool GetPrecisionFlag(const Flags& flags, Precision* out) {
+  *out = Precision::kFp32;
+  if (!flags.Has("precision")) return true;
+  if (ParsePrecision(flags.GetString("precision"), out)) return true;
+  std::fprintf(stderr, "bad --precision=%s (want fp32 or int8)\n",
+               flags.GetString("precision").c_str());
+  return false;
+}
 
 Result<Loaded> Load(const Flags& flags) {
   const std::string model = flags.GetString("model", "vgg13");
@@ -184,9 +201,12 @@ int Eval(const Flags& flags) {
     return 1;
   }
   Loaded loaded = loaded_result.MoveValueOrDie();
+  Precision precision;
+  if (!GetPrecisionFlag(flags, &precision)) return 1;
+  loaded.net->SetPrecision(precision);
   const double rate = flags.GetDouble("rate", 1.0);
-  std::printf("model %s rate %.3f accuracy %.4f\n",
-              loaded.entry.name.c_str(), rate,
+  std::printf("model %s rate %.3f precision %s accuracy %.4f\n",
+              loaded.entry.name.c_str(), rate, PrecisionName(precision),
               EvalAccuracy(loaded.net.get(), loaded.split.test, rate));
   return 0;
 }
@@ -227,6 +247,36 @@ int Profile(const Flags& flags) {
               obs::FormatCostCurve(curve).c_str());
   obs::ExportCostCurve(curve, &obs::MetricsRegistry::Global());
   profiler.ExportTo(&obs::MetricsRegistry::Global());
+
+  // Second elastic axis: measured fp32 vs int8 forward time per rate, on a
+  // serving-sized batch. One warm forward per (rate, precision) pays for
+  // packing/quantization outside the timed reps, mirroring the server's
+  // cold-start exclusion.
+  Tensor batch({8, loaded.split.test.channels, loaded.split.test.height,
+                loaded.split.test.width});
+  std::printf("\nint8 quantized path (batch of 8, per-sample ms):\n");
+  std::printf("%-8s %-12s %-12s %s\n", "rate", "fp32 ms", "int8 ms",
+              "speedup");
+  for (double r : loaded.lattice.rates()) {
+    loaded.net->SetSliceRate(r);
+    double ms[2] = {0.0, 0.0};
+    int idx = 0;
+    for (Precision p : {Precision::kFp32, Precision::kInt8}) {
+      loaded.net->SetPrecision(p);
+      loaded.net->Forward(batch, /*training=*/false);  // warm: pack/quantize
+      double best = 0.0;
+      for (int rep = 0; rep < 5; ++rep) {
+        Stopwatch sw;
+        loaded.net->Forward(batch, /*training=*/false);
+        const double s = sw.ElapsedSeconds();
+        if (rep == 0 || s < best) best = s;
+      }
+      ms[idx++] = best / 8.0 * 1e3;
+    }
+    loaded.net->SetPrecision(Precision::kFp32);
+    std::printf("%-8.3f %-12.3f %-12.3f %.2fx\n", r, ms[0], ms[1],
+                ms[1] > 0.0 ? ms[0] / ms[1] : 0.0);
+  }
   return 0;
 }
 
@@ -237,6 +287,9 @@ int Summary(const Flags& flags) {
     return 1;
   }
   Loaded loaded = loaded_result.MoveValueOrDie();
+  Precision precision;
+  if (!GetPrecisionFlag(flags, &precision)) return 1;
+  loaded.net->SetPrecision(precision);
   Tensor sample({1, loaded.split.test.channels, loaded.split.test.height,
                  loaded.split.test.width});
   // Summarize under a profiler session so the table gains measured
@@ -310,6 +363,11 @@ int Serve(const Flags& flags) {
   }
 
   ServerOptions opts;
+  Precision precision;
+  if (!GetPrecisionFlag(flags, &precision)) return 1;
+  // --precision=int8 arms the second elastic axis: calibration measures an
+  // int8 cost column and the scheduler drops precision before rate.
+  opts.enable_int8 = precision == Precision::kInt8;
   opts.serving.latency_budget = flags.GetDouble("budget_ms", 50.0) / 1e3;
   opts.serving.lattice = loaded.lattice;
   opts.max_queue = flags.GetInt("queue", 4096);
@@ -344,6 +402,7 @@ int Serve(const Flags& flags) {
     return 1;
   }
   const double t = server->calibrated_sample_seconds();
+  const double t8 = server->calibrated_sample_seconds_int8();
   const int cap_full =
       std::max(1, static_cast<int>(server->tick_seconds() / t));
   std::printf(
@@ -351,6 +410,10 @@ int Serve(const Flags& flags) {
       "%.0f ms (%d full-rate samples/tick)\n",
       loaded.entry.name.c_str(), server->num_workers(), t * 1e3,
       server->tick_seconds() * 1e3, cap_full);
+  if (t8 > 0.0) {
+    std::printf("int8 axis on: calibrated t_int8 = %.3f ms/sample (%.2fx)\n",
+                t8 * 1e3, t / t8);
+  }
 
   if (flags.Has("listen")) {
     // Networked shard mode: serve wire traffic until SIGTERM/SIGINT, then
@@ -397,7 +460,7 @@ int Serve(const Flags& flags) {
       "submitted %lld: served %lld, shed %lld, expired %lld, rejected %lld, "
       "failed %lld (every request accounted: %s)\n"
       "lowest slice rate %.2f, slowest batch %.1f ms, %lld batches over "
-      "%lld ticks\n"
+      "%lld ticks (%lld int8)\n"
       "self-healing: %lld batch retries, %lld quarantines (%lld repaired), "
       "%d/%d workers healthy at shutdown\n",
       static_cast<long long>(s.submitted), static_cast<long long>(s.served),
@@ -405,6 +468,7 @@ int Serve(const Flags& flags) {
       static_cast<long long>(s.rejected), static_cast<long long>(s.failed),
       accounted ? "yes" : "NO", s.min_rate, s.max_batch_seconds * 1e3,
       static_cast<long long>(s.batches), static_cast<long long>(s.ticks),
+      static_cast<long long>(s.batches_int8),
       static_cast<long long>(s.retried_batches),
       static_cast<long long>(s.quarantined),
       static_cast<long long>(s.repaired), server->healthy_workers(),
@@ -421,6 +485,8 @@ int Serve(const Flags& flags) {
         << ",\"accounted\":" << (accounted ? "true" : "false")
         << ",\"quarantined\":" << s.quarantined
         << ",\"repaired\":" << s.repaired << ",\"calibrated_t\":" << t
+        << ",\"calibrated_t_int8\":" << t8
+        << ",\"batches_int8\":" << s.batches_int8
         << ",\"tick_seconds\":" << server->tick_seconds() << "}\n";
     if (!out.good()) {
       std::fprintf(stderr, "stats dump failed: %s\n",

@@ -70,6 +70,7 @@ StatsMsg ShardFrontend::Snapshot() const {
   // configured guess — either way the router's latency model has a t.
   const double t = server_->calibrated_sample_seconds();
   s.calibrated_t = t > 0.0 ? t : cfg.full_sample_time;
+  s.calibrated_t_int8 = server_->calibrated_sample_seconds_int8();
   s.tick_seconds = server_->tick_seconds();
   s.rates = cfg.lattice.rates();
   return s;

@@ -153,6 +153,7 @@ void ShardRouter::HeartbeatShard(size_t idx) {
   {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->calibrated_t = s.calibrated_t;
+    shard->calibrated_t_int8 = s.calibrated_t_int8;
     shard->tick_seconds = s.tick_seconds;
     shard->rates = s.rates;
     shard->remote_breaker_open = s.breaker_open != 0;
@@ -305,9 +306,14 @@ int ShardRouter::PickShard(double deadline_seconds) {
     double rate = 0.0;
     if (deadline_seconds > 0.0) {
       std::lock_guard<std::mutex> lock(shard->mu);
+      // Cheapest cost column the shard advertises: one that can drop to
+      // int8 is deadline-feasible at rates its fp32 t alone would rule out.
+      const double t_min =
+          shard->calibrated_t_int8 > 0.0
+              ? std::min(shard->calibrated_t, shard->calibrated_t_int8)
+              : shard->calibrated_t;
       for (auto it = shard->rates.rbegin(); it != shard->rates.rend(); ++it) {
-        const double est =
-            shard->tick_seconds + (*it) * (*it) * shard->calibrated_t;
+        const double est = shard->tick_seconds + (*it) * (*it) * t_min;
         if (est <= deadline_seconds) {
           rate = *it;
           break;

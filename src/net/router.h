@@ -112,6 +112,7 @@ class ShardRouter : public WireService {
     std::mutex mu;
     std::shared_ptr<WireClient> client;           // guarded by mu
     double calibrated_t = 0.0;                    // guarded by mu
+    double calibrated_t_int8 = 0.0;               // guarded by mu (0 = off)
     double tick_seconds = 0.0;                    // guarded by mu
     std::vector<double> rates;                    // guarded by mu
     bool remote_breaker_open = false;             // guarded by mu

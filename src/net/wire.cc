@@ -112,6 +112,7 @@ std::string EncodeStats(const StatsMsg& msg) {
   Append<int64_t>(&payload, msg.quarantined);
   Append<int64_t>(&payload, msg.repaired);
   Append<double>(&payload, msg.calibrated_t);
+  Append<double>(&payload, msg.calibrated_t_int8);
   Append<double>(&payload, msg.tick_seconds);
   Append<uint32_t>(&payload, static_cast<uint32_t>(msg.rates.size()));
   payload.append(reinterpret_cast<const char*>(msg.rates.data()),
@@ -173,7 +174,8 @@ Status DecodeStats(const std::string& payload, StatsMsg* out) {
       !r.Read(&out->expired) || !r.Read(&out->rejected) ||
       !r.Read(&out->failed) || !r.Read(&out->quarantined) ||
       !r.Read(&out->repaired) || !r.Read(&out->calibrated_t) ||
-      !r.Read(&out->tick_seconds) || !r.Read(&num_rates) ||
+      !r.Read(&out->calibrated_t_int8) || !r.Read(&out->tick_seconds) ||
+      !r.Read(&num_rates) ||
       !r.ReadDoubles(&out->rates, num_rates) || !r.Read(&num_shards)) {
     return ShortPayload("stats");
   }

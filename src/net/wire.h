@@ -47,7 +47,11 @@ namespace ms {
 namespace net {
 
 inline constexpr uint16_t kWireMagic = 0x4D53;  // "MS"
-inline constexpr uint8_t kWireVersion = 1;
+/// v2 added `calibrated_t_int8` to StatsMsg (the per-precision calibration
+/// advertisement). The protocol has no version negotiation: a v1 frame is
+/// from an old peer and is rejected at the decoder (kFatal → one
+/// kRejectedInvalid reply, then close), never parsed as v2.
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr size_t kHeaderBytes = 12;
 /// Largest accepted payload: a sample tensor of ~256K floats plus slack.
 /// Anything bigger is a malformed (or hostile) frame.
@@ -116,7 +120,12 @@ struct StatsMsg {
   int64_t failed = 0;
   int64_t quarantined = 0;
   int64_t repaired = 0;
-  double calibrated_t = 0.0;   ///< full-model per-sample seconds.
+  double calibrated_t = 0.0;   ///< full-model per-sample seconds (fp32).
+  /// Int8 per-sample seconds; 0 when the shard's precision axis is off.
+  /// Routers use min(calibrated_t, calibrated_t_int8 > 0 ? it : inf) for
+  /// deadline feasibility — a shard that can go int8 can accept tighter
+  /// deadlines than its fp32 column admits.
+  double calibrated_t_int8 = 0.0;
   double tick_seconds = 0.0;   ///< T/2 batching interval.
   std::vector<double> rates;   ///< trained (prewarmed) slice-rate lattice.
   std::vector<ShardView> shards;  ///< router only.

@@ -33,6 +33,10 @@ Conv2d::Conv2d(Conv2dOptions opts, Rng* rng, std::string name)
     b_ = Tensor::Zeros({opts_.out_channels});
     b_grad_ = Tensor::Zeros({opts_.out_channels});
   }
+  const int64_t kk = opts_.kernel * opts_.kernel;
+  for (int64_t g = 1; g <= in_spec_.num_groups(); ++g) {
+    in_k_ends_.push_back(in_spec_.GroupBoundary(g) * kk);
+  }
 }
 
 void Conv2d::DoSetSliceRate(double r) {
@@ -72,8 +76,15 @@ Tensor Conv2d::DoForward(const Tensor& x, bool training) {
   const float* xd = x.data();
   float* yd = y.data();
   // Pack W once, outside the parallel region (workers then only read).
-  ops::EnsurePackedA(/*trans_a=*/false, opts_.out_channels, ld_w, w_.data(),
-                     ld_w, &wpack_);
+  // Int8 is inference-only; training always contracts in fp32.
+  const bool int8 = precision_ == Precision::kInt8 && !training;
+  if (int8) {
+    ops::EnsureQuantizedB(/*trans_b=*/true, ld_w, opts_.out_channels,
+                          w_.data(), ld_w, in_k_ends_, &qpack_t_);
+  } else {
+    ops::EnsurePackedA(/*trans_a=*/false, opts_.out_channels, ld_w,
+                       w_.data(), ld_w, &wpack_);
+  }
   // Parallel over images: each worker owns an im2col buffer from its own
   // arena; output planes are disjoint. With batch == 1 the single shard
   // runs on the caller, where the GEMM itself may go parallel.
@@ -86,9 +97,15 @@ Tensor Conv2d::DoForward(const Tensor& x, bool training) {
                   cols);
       // y_img(n, out_area) = W[0:n, 0:m*k*k] * cols. The prefix of the
       // full-stride pack keeps the inactive input-channel columns out.
-      ops::GemmPrepackedA(n, out_area, col_rows, wpack_, false, cols,
-                          out_area, 0.0f, yd + img * n * out_area,
-                          out_area);
+      if (int8) {
+        ops::GemmQuantizedWeightA(n, out_area, col_rows, qpack_t_, cols,
+                                  out_area, 0.0f, yd + img * n * out_area,
+                                  out_area);
+      } else {
+        ops::GemmPrepackedA(n, out_area, col_rows, wpack_, false, cols,
+                            out_area, 0.0f, yd + img * n * out_area,
+                            out_area);
+      }
       if (opts_.bias) {
         float* yi = yd + img * n * out_area;
         for (int64_t c = 0; c < n; ++c) {

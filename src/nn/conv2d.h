@@ -78,6 +78,13 @@ class Conv2d : public Module {
   ops::PackedMatrix wpack_;
   ops::PackedMatrix wpack_t_;
 
+  /// Int8 forward path: W^T quantized per (input-channel slice group x k*k
+  /// segment, output channel) — the SAME pack format Dense uses; the conv
+  /// GEMM consumes it through GemmQuantizedWeightA's transposed merge.
+  ops::QuantizedPack qpack_t_;
+  /// K segment ends of W^T: input group boundaries scaled by k*k.
+  std::vector<int64_t> in_k_ends_;
+
   Tensor cached_x_;       ///< compact input (B, m, H, W)
   int64_t cached_h_ = 0;
   int64_t cached_w_ = 0;

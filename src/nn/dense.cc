@@ -30,6 +30,9 @@ Dense::Dense(DenseOptions opts, Rng* rng, std::string name)
     b_ = Tensor::Zeros({opts_.out_features});
     b_grad_ = Tensor::Zeros({opts_.out_features});
   }
+  for (int64_t g = 1; g <= in_spec_.num_groups(); ++g) {
+    in_k_ends_.push_back(in_spec_.GroupBoundary(g) * opts_.in_unit);
+  }
 }
 
 void Dense::DoSetSliceRate(double r) {
@@ -55,11 +58,20 @@ Tensor Dense::DoForward(const Tensor& x, bool training) {
 
   Tensor y({batch, n});
   // y(B,n) = x(B,m) * W[0:n, 0:m]^T — W^T packed once, sliced by prefix.
-  ops::EnsurePackedB(/*trans_b=*/true, opts_.in_features,
-                     opts_.out_features, w_.data(), opts_.in_features,
-                     &wpack_t_);
-  ops::GemmPrepackedB(/*trans_a=*/false, batch, n, m, rescale_factor_,
-                      x.data(), m, wpack_t_, 0.0f, y.data(), n);
+  // Int8 is inference-only; training always contracts in fp32.
+  if (precision_ == Precision::kInt8 && !training) {
+    ops::EnsureQuantizedB(/*trans_b=*/true, opts_.in_features,
+                          opts_.out_features, w_.data(), opts_.in_features,
+                          in_k_ends_, &qpack_t_);
+    ops::GemmQuantizedB(/*trans_a=*/false, batch, n, m, rescale_factor_,
+                        x.data(), m, qpack_t_, 0.0f, y.data(), n);
+  } else {
+    ops::EnsurePackedB(/*trans_b=*/true, opts_.in_features,
+                       opts_.out_features, w_.data(), opts_.in_features,
+                       &wpack_t_);
+    ops::GemmPrepackedB(/*trans_a=*/false, batch, n, m, rescale_factor_,
+                        x.data(), m, wpack_t_, 0.0f, y.data(), n);
+  }
   if (opts_.bias) {
     const float* bias = b_.data();
     float* yd = y.data();

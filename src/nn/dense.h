@@ -80,6 +80,14 @@ class Dense : public Module {
   // = W. Rebuilt lazily when the weight generation advances.
   ops::PackedMatrix wpack_t_;   ///< trans_b = true (forward)
   ops::PackedMatrix wpack_nt_;  ///< trans_b = false (backward dx)
+
+  /// Int8 forward path (precision == kInt8, inference only): W^T quantized
+  /// per (input slice group, output neuron), so any (rate, int8) operating
+  /// point reads a prefix of this one pack. Keyed/staleness-checked by the
+  /// same weight generation as the fp32 panels.
+  ops::QuantizedPack qpack_t_;
+  /// K segment ends of W^T: input group boundaries scaled by in_unit.
+  std::vector<int64_t> in_k_ends_;
 };
 
 }  // namespace ms

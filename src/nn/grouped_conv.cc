@@ -55,13 +55,28 @@ Tensor GroupedConv2d::DoForward(const Tensor& x, bool training) {
   const float* xd = x.data();
   float* yd = y.data();
   // Pack the active branches' weights once, before the fan-out.
-  if (wpacks_.size() < static_cast<size_t>(opts_.groups)) {
-    wpacks_.resize(static_cast<size_t>(opts_.groups));
-  }
-  for (int64_t g = 0; g < active_groups_; ++g) {
-    ops::EnsurePackedA(/*trans_a=*/false, out_per_group_, col_rows,
-                       w_.data() + g * out_per_group_ * col_rows, col_rows,
-                       &wpacks_[static_cast<size_t>(g)]);
+  // Int8 is inference-only; training always contracts in fp32.
+  const bool int8 = precision_ == Precision::kInt8 && !training;
+  if (int8) {
+    if (qpacks_t_.size() < static_cast<size_t>(opts_.groups)) {
+      qpacks_t_.resize(static_cast<size_t>(opts_.groups));
+    }
+    const std::vector<int64_t> ends = {col_rows};
+    for (int64_t g = 0; g < active_groups_; ++g) {
+      ops::EnsureQuantizedB(/*trans_b=*/true, col_rows, out_per_group_,
+                            w_.data() + g * out_per_group_ * col_rows,
+                            col_rows, ends,
+                            &qpacks_t_[static_cast<size_t>(g)]);
+    }
+  } else {
+    if (wpacks_.size() < static_cast<size_t>(opts_.groups)) {
+      wpacks_.resize(static_cast<size_t>(opts_.groups));
+    }
+    for (int64_t g = 0; g < active_groups_; ++g) {
+      ops::EnsurePackedA(/*trans_a=*/false, out_per_group_, col_rows,
+                         w_.data() + g * out_per_group_ * col_rows, col_rows,
+                         &wpacks_[static_cast<size_t>(g)]);
+    }
   }
   // Parallel over images; groups run serially inside each shard with one
   // arena-backed im2col buffer per worker.
@@ -74,9 +89,15 @@ Tensor GroupedConv2d::DoForward(const Tensor& x, bool training) {
         const float* xg = xd + (img * active_in() + g * in_per_group_) * h * w;
         ops::Im2Col(xg, in_per_group_, h, w, k, opts_.stride, opts_.pad, cols);
         float* yg = yd + (img * active_out() + g * out_per_group_) * out_area;
-        ops::GemmPrepackedA(out_per_group_, out_area, col_rows,
-                            wpacks_[static_cast<size_t>(g)], false, cols,
-                            out_area, 0.0f, yg, out_area);
+        if (int8) {
+          ops::GemmQuantizedWeightA(out_per_group_, out_area, col_rows,
+                                    qpacks_t_[static_cast<size_t>(g)], cols,
+                                    out_area, 0.0f, yg, out_area);
+        } else {
+          ops::GemmPrepackedA(out_per_group_, out_area, col_rows,
+                              wpacks_[static_cast<size_t>(g)], false, cols,
+                              out_area, 0.0f, yg, out_area);
+        }
       }
     }
   });

@@ -62,6 +62,11 @@ class GroupedConv2d : public Module {
   std::vector<ops::PackedMatrix> wpacks_;
   std::vector<ops::PackedMatrix> wpacks_t_;
 
+  /// Int8 forward path: one quantized W_g^T per branch. A branch is either
+  /// fully active or fully inactive, so each pack is a single K segment
+  /// used at full extents.
+  std::vector<ops::QuantizedPack> qpacks_t_;
+
   Tensor cached_x_;
   int64_t cached_h_ = 0, cached_w_ = 0, last_oh_ = 0, last_ow_ = 0;
 };

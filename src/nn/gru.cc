@@ -37,6 +37,12 @@ Gru::Gru(GruOptions opts, Rng* rng, std::string name)
   wh_grad_ = Tensor::Zeros(wh_.shape());
   bx_grad_ = Tensor::Zeros(bx_.shape());
   bh_grad_ = Tensor::Zeros(bh_.shape());
+  for (int64_t g = 1; g <= in_spec_.num_groups(); ++g) {
+    in_k_ends_.push_back(in_spec_.GroupBoundary(g));
+  }
+  for (int64_t g = 1; g <= hidden_spec_.num_groups(); ++g) {
+    hidden_k_ends_.push_back(hidden_spec_.GroupBoundary(g));
+  }
 }
 
 void Gru::DoSetSliceRate(double r) {
@@ -54,24 +60,35 @@ void Gru::DoSetSliceRate(double r) {
   }
 }
 
-void Gru::InputGemm(int gate, const float* x, int64_t batch, float* z) const {
+void Gru::InputGemm(int gate, const float* x, int64_t batch, bool int8,
+                    float* z) const {
   const int64_t n = active_hidden_;
   const int64_t m = active_in_;
   const float* bias = bx_.data() + gate * opts_.hidden_size;
-  ops::GemmPrepackedB(false, batch, n, m, rescale_x_, x, m,
-                      wx_pack_t_[gate], 0.0f, z, n);
+  if (int8) {
+    ops::GemmQuantizedB(false, batch, n, m, rescale_x_, x, m, qwx_t_[gate],
+                        0.0f, z, n);
+  } else {
+    ops::GemmPrepackedB(false, batch, n, m, rescale_x_, x, m,
+                        wx_pack_t_[gate], 0.0f, z, n);
+  }
   for (int64_t b = 0; b < batch; ++b) {
     float* row = z + b * n;
     for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
   }
 }
 
-void Gru::HiddenGemm(int gate, const float* h, int64_t batch,
+void Gru::HiddenGemm(int gate, const float* h, int64_t batch, bool int8,
                      float* z) const {
   const int64_t n = active_hidden_;
   const float* bias = bh_.data() + gate * opts_.hidden_size;
-  ops::GemmPrepackedB(false, batch, n, n, rescale_h_, h, n,
-                      wh_pack_t_[gate], 0.0f, z, n);
+  if (int8) {
+    ops::GemmQuantizedB(false, batch, n, n, rescale_h_, h, n, qwh_t_[gate],
+                        0.0f, z, n);
+  } else {
+    ops::GemmPrepackedB(false, batch, n, n, rescale_h_, h, n,
+                        wh_pack_t_[gate], 0.0f, z, n);
+  }
   for (int64_t b = 0; b < batch; ++b) {
     float* row = z + b * n;
     for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
@@ -93,16 +110,29 @@ Tensor Gru::DoForward(const Tensor& x, bool training) {
   const int64_t bn = batch * n;
 
   // Pack each gate's Wx/Wh once up front (a cache hit in steady state);
-  // all T timesteps below reuse the panels.
+  // all T timesteps below reuse the panels. Int8 is inference-only;
+  // training always contracts in fp32.
+  const bool int8 = precision_ == Precision::kInt8 && !training;
   for (int gate = 0; gate < 3; ++gate) {
-    ops::EnsurePackedB(
-        true, opts_.input_size, opts_.hidden_size,
-        wx_.data() + gate * opts_.hidden_size * opts_.input_size,
-        opts_.input_size, &wx_pack_t_[gate]);
-    ops::EnsurePackedB(
-        true, opts_.hidden_size, opts_.hidden_size,
-        wh_.data() + gate * opts_.hidden_size * opts_.hidden_size,
-        opts_.hidden_size, &wh_pack_t_[gate]);
+    if (int8) {
+      ops::EnsureQuantizedB(
+          true, opts_.input_size, opts_.hidden_size,
+          wx_.data() + gate * opts_.hidden_size * opts_.input_size,
+          opts_.input_size, in_k_ends_, &qwx_t_[gate]);
+      ops::EnsureQuantizedB(
+          true, opts_.hidden_size, opts_.hidden_size,
+          wh_.data() + gate * opts_.hidden_size * opts_.hidden_size,
+          opts_.hidden_size, hidden_k_ends_, &qwh_t_[gate]);
+    } else {
+      ops::EnsurePackedB(
+          true, opts_.input_size, opts_.hidden_size,
+          wx_.data() + gate * opts_.hidden_size * opts_.input_size,
+          opts_.input_size, &wx_pack_t_[gate]);
+      ops::EnsurePackedB(
+          true, opts_.hidden_size, opts_.hidden_size,
+          wh_.data() + gate * opts_.hidden_size * opts_.hidden_size,
+          opts_.hidden_size, &wh_pack_t_[gate]);
+    }
   }
 
   // Gate pre-activations and the zero initial state live on the arena; the
@@ -126,12 +156,12 @@ Tensor Gru::DoForward(const Tensor& x, bool training) {
   for (int64_t t = 0; t < t_steps; ++t) {
     const float* xt = x.data() + t * batch * m;
     const float* h_prev = (t == 0) ? zeros : out.data() + (t - 1) * bn;
-    InputGemm(kGateR, xt, batch, xr);
-    InputGemm(kGateZ, xt, batch, xz);
-    InputGemm(kGateN, xt, batch, xn);
-    HiddenGemm(kGateR, h_prev, batch, hr);
-    HiddenGemm(kGateZ, h_prev, batch, hz);
-    HiddenGemm(kGateN, h_prev, batch, hn);
+    InputGemm(kGateR, xt, batch, int8, xr);
+    InputGemm(kGateZ, xt, batch, int8, xz);
+    InputGemm(kGateN, xt, batch, int8, xn);
+    HiddenGemm(kGateR, h_prev, batch, int8, hr);
+    HiddenGemm(kGateZ, h_prev, batch, int8, hz);
+    HiddenGemm(kGateN, h_prev, batch, int8, hn);
 
     float* h_out = out.data() + t * bn;
     StepCache& sc = steps_[static_cast<size_t>(t)];

@@ -49,9 +49,12 @@ class Gru : public Module {
 
  private:
   // z_out(B, n) = rescale_x * x * Wx[gate]^T + bx[gate]; input contribution.
-  void InputGemm(int gate, const float* x, int64_t batch, float* z) const;
+  // `int8` routes through the quantized packs (ensured by DoForward).
+  void InputGemm(int gate, const float* x, int64_t batch, bool int8,
+                 float* z) const;
   // z_out(B, n) = rescale_h * h * Wh[gate]^T + bh[gate]; hidden contribution.
-  void HiddenGemm(int gate, const float* h, int64_t batch, float* z) const;
+  void HiddenGemm(int gate, const float* h, int64_t batch, bool int8,
+                  float* z) const;
 
   GruOptions opts_;
   std::string name_;
@@ -72,6 +75,11 @@ class Gru : public Module {
   // the backward dx/dh path; the recurrent packs amortize over all T.
   ops::PackedMatrix wx_pack_t_[3], wh_pack_t_[3];
   ops::PackedMatrix wx_pack_nt_[3], wh_pack_nt_[3];
+
+  // Int8 forward path: quantized gate blocks, K segments on the input /
+  // hidden slice-group boundaries so any rate reads a pack prefix.
+  ops::QuantizedPack qwx_t_[3], qwh_t_[3];
+  std::vector<int64_t> in_k_ends_, hidden_k_ends_;
 
   struct StepCache {
     Tensor r, z, n;   ///< gate activations, (B, active_hidden) each

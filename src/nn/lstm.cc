@@ -36,6 +36,12 @@ Lstm::Lstm(LstmOptions opts, Rng* rng, std::string name)
   wx_grad_ = Tensor::Zeros(wx_.shape());
   wh_grad_ = Tensor::Zeros(wh_.shape());
   b_grad_ = Tensor::Zeros(b_.shape());
+  for (int64_t g = 1; g <= in_spec_.num_groups(); ++g) {
+    in_k_ends_.push_back(in_spec_.GroupBoundary(g));
+  }
+  for (int64_t g = 1; g <= hidden_spec_.num_groups(); ++g) {
+    hidden_k_ends_.push_back(hidden_spec_.GroupBoundary(g));
+  }
 }
 
 void Lstm::DoSetSliceRate(double r) {
@@ -54,15 +60,22 @@ void Lstm::DoSetSliceRate(double r) {
 }
 
 void Lstm::GateGemm(int gate, const float* x, int64_t m, const float* h,
-                    int64_t batch, float* z) const {
+                    int64_t batch, bool int8, float* z) const {
   const int64_t n = active_hidden_;
   const float* bias = b_.data() + gate * opts_.hidden_size;
   // z(B, n) = rescale_x * x(B, m) * Wx[0:n, 0:m]^T
-  ops::GemmPrepackedB(false, batch, n, m, rescale_x_, x, m,
-                      wx_pack_t_[gate], 0.0f, z, n);
   // z += rescale_h * h(B, n) * Wh[0:n, 0:n]^T
-  ops::GemmPrepackedB(false, batch, n, n, rescale_h_, h, n,
-                      wh_pack_t_[gate], 1.0f, z, n);
+  if (int8) {
+    ops::GemmQuantizedB(false, batch, n, m, rescale_x_, x, m, qwx_t_[gate],
+                        0.0f, z, n);
+    ops::GemmQuantizedB(false, batch, n, n, rescale_h_, h, n, qwh_t_[gate],
+                        1.0f, z, n);
+  } else {
+    ops::GemmPrepackedB(false, batch, n, m, rescale_x_, x, m,
+                        wx_pack_t_[gate], 0.0f, z, n);
+    ops::GemmPrepackedB(false, batch, n, n, rescale_h_, h, n,
+                        wh_pack_t_[gate], 1.0f, z, n);
+  }
   for (int64_t bi = 0; bi < batch; ++bi) {
     float* row = z + bi * n;
     for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
@@ -84,16 +97,29 @@ Tensor Lstm::DoForward(const Tensor& x, bool training) {
   const int64_t bn = batch * n;
 
   // Pack each gate's Wx/Wh once up front (a cache hit in steady state);
-  // every one of the T timesteps below then reuses the panels.
+  // every one of the T timesteps below then reuses the panels. Int8 is
+  // inference-only; training always contracts in fp32.
+  const bool int8 = precision_ == Precision::kInt8 && !training;
   for (int gate = 0; gate < 4; ++gate) {
-    ops::EnsurePackedB(
-        true, opts_.input_size, opts_.hidden_size,
-        wx_.data() + gate * opts_.hidden_size * opts_.input_size,
-        opts_.input_size, &wx_pack_t_[gate]);
-    ops::EnsurePackedB(
-        true, opts_.hidden_size, opts_.hidden_size,
-        wh_.data() + gate * opts_.hidden_size * opts_.hidden_size,
-        opts_.hidden_size, &wh_pack_t_[gate]);
+    if (int8) {
+      ops::EnsureQuantizedB(
+          true, opts_.input_size, opts_.hidden_size,
+          wx_.data() + gate * opts_.hidden_size * opts_.input_size,
+          opts_.input_size, in_k_ends_, &qwx_t_[gate]);
+      ops::EnsureQuantizedB(
+          true, opts_.hidden_size, opts_.hidden_size,
+          wh_.data() + gate * opts_.hidden_size * opts_.hidden_size,
+          opts_.hidden_size, hidden_k_ends_, &qwh_t_[gate]);
+    } else {
+      ops::EnsurePackedB(
+          true, opts_.input_size, opts_.hidden_size,
+          wx_.data() + gate * opts_.hidden_size * opts_.input_size,
+          opts_.input_size, &wx_pack_t_[gate]);
+      ops::EnsurePackedB(
+          true, opts_.hidden_size, opts_.hidden_size,
+          wh_.data() + gate * opts_.hidden_size * opts_.hidden_size,
+          opts_.hidden_size, &wh_pack_t_[gate]);
+    }
   }
 
   // Gate pre-activations and the zero initial state live on the arena; the
@@ -116,10 +142,10 @@ Tensor Lstm::DoForward(const Tensor& x, bool training) {
   for (int64_t t = 0; t < t_steps; ++t) {
     const float* xt = x.data() + t * batch * m;
     const float* h_prev = (t == 0) ? zeros : out.data() + (t - 1) * bn;
-    GateGemm(0, xt, m, h_prev, batch, zi);
-    GateGemm(1, xt, m, h_prev, batch, zf);
-    GateGemm(2, xt, m, h_prev, batch, zg);
-    GateGemm(3, xt, m, h_prev, batch, zo);
+    GateGemm(0, xt, m, h_prev, batch, int8, zi);
+    GateGemm(1, xt, m, h_prev, batch, int8, zf);
+    GateGemm(2, xt, m, h_prev, batch, int8, zg);
+    GateGemm(3, xt, m, h_prev, batch, int8, zo);
 
     float* h_out = out.data() + t * bn;
     StepCache& sc = steps_[static_cast<size_t>(t)];

@@ -44,8 +44,10 @@ class Lstm : public Module {
 
  private:
   // Pre-activation z = rescale_x * Wx[gate] x + rescale_h * Wh[gate] h + b.
+  // `int8` routes both GEMMs through the quantized packs (ensured by
+  // DoForward before the timestep loop).
   void GateGemm(int gate, const float* x, int64_t m, const float* h,
-                int64_t batch, float* z) const;
+                int64_t batch, bool int8, float* z) const;
 
   LstmOptions opts_;
   std::string name_;
@@ -67,6 +69,11 @@ class Lstm : public Module {
   // _t = op(B) is W^T (forward); _nt = op(B) is W (backward dx/dh).
   ops::PackedMatrix wx_pack_t_[4], wh_pack_t_[4];
   ops::PackedMatrix wx_pack_nt_[4], wh_pack_nt_[4];
+
+  // Int8 forward path: quantized gate blocks, K segments on the input /
+  // hidden slice-group boundaries so any rate reads a pack prefix.
+  ops::QuantizedPack qwx_t_[4], qwh_t_[4];
+  std::vector<int64_t> in_k_ends_, hidden_k_ends_;
 
   // Per-timestep caches from the last Forward (compact widths).
   struct StepCache {

@@ -40,6 +40,11 @@ Tensor Module::Backward(const Tensor& grad_out) {
   return g;
 }
 
+void Module::SetPrecision(Precision p) {
+  precision_ = p;
+  DoSetPrecision(p);
+}
+
 void Module::SetSliceRate(double r) {
   if (obs::SliceProfiler* profiler = obs::SliceProfiler::Active()) {
     profiler->set_current_rate(r);

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/tensor/quant.h"
 #include "src/tensor/tensor.h"
 
 namespace ms {
@@ -50,6 +51,13 @@ class Module {
   /// Set the current slice rate r in (0, 1]. Non-sliceable layers ignore it.
   void SetSliceRate(double r);
 
+  /// Set the inference precision: the second elastic axis, orthogonal to
+  /// the slice rate. Int8 affects DoForward only (inference-time weight +
+  /// dynamic activation quantization; Backward always runs fp32); layers
+  /// without a quantized path ignore it. Containers propagate to children.
+  void SetPrecision(Precision p);
+  Precision precision() const { return precision_; }
+
   /// Append this layer's parameters (if any).
   virtual void CollectParams(std::vector<ParamRef>* out) { (void)out; }
 
@@ -66,6 +74,10 @@ class Module {
   virtual Tensor DoForward(const Tensor& x, bool training) = 0;
   virtual Tensor DoBackward(const Tensor& grad_out) = 0;
   virtual void DoSetSliceRate(double r) { (void)r; }
+  virtual void DoSetPrecision(Precision p) { (void)p; }
+
+  /// Current precision for DoForward implementations.
+  Precision precision_ = Precision::kFp32;
 };
 
 /// \brief Runs child modules in order; the workhorse container for CNN/MLP
@@ -126,6 +138,10 @@ class Sequential : public Module {
 
   void DoSetSliceRate(double r) override {
     for (auto& child : children_) child->SetSliceRate(r);
+  }
+
+  void DoSetPrecision(Precision p) override {
+    for (auto& child : children_) child->SetPrecision(p);
   }
 
  private:

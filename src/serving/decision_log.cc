@@ -102,6 +102,7 @@ std::string DecisionLog::ToJsonl() const {
     os << "{\"batch\":" << r.batch << ",\"ts_ns\":" << r.ts_ns
        << ",\"n\":" << r.n
        << ",\"chosen_rate\":" << StrFormat("%g", r.chosen_rate)
+       << ",\"precision\":\"" << PrecisionName(r.chosen_precision) << "\""
        << ",\"predicted_ms\":" << StrFormat("%.6f", r.predicted_seconds * 1e3)
        << ",\"achieved_ms\":"
        << (r.achieved_seconds >= 0.0
@@ -116,7 +117,8 @@ std::string DecisionLog::ToJsonl() const {
     for (size_t i = 0; i < r.candidates.size(); ++i) {
       if (i > 0) os << ",";
       os << "{\"rate\":" << StrFormat("%g", r.candidates[i].rate)
-         << ",\"predicted_ms\":"
+         << ",\"precision\":\"" << PrecisionName(r.candidates[i].precision)
+         << "\",\"predicted_ms\":"
          << StrFormat("%.6f", r.candidates[i].predicted_seconds * 1e3) << "}";
     }
     os << "]}\n";

@@ -17,15 +17,18 @@
 #include <string>
 #include <vector>
 
+#include "src/tensor/quant.h"
 #include "src/util/status.h"
 
 namespace ms {
 
 
-/// One candidate slice rate the scheduler weighed for a batch.
+/// One candidate (slice rate, precision) operating point the scheduler
+/// weighed for a batch.
 struct DecisionCandidate {
   double rate = 0.0;
-  double predicted_seconds = 0.0;  ///< Eq. 3 cost at this rate.
+  Precision precision = Precision::kFp32;
+  double predicted_seconds = 0.0;  ///< Eq. 3 cost at this point.
 };
 
 /// One batch's scheduling decision, settled in place when the batch
@@ -35,6 +38,7 @@ struct DecisionRecord {
   int64_t ts_ns = 0;    ///< decision time on the trace clock.
   int64_t n = 0;        ///< batch size.
   double chosen_rate = 0.0;
+  Precision chosen_precision = Precision::kFp32;
   double predicted_seconds = 0.0;  ///< Eq. 3 cost at the chosen rate.
   /// Forward wall time once settled; -1 while the batch is in flight or if
   /// it failed before completing a forward.
@@ -85,10 +89,10 @@ class DecisionLog {
   std::vector<DecisionRecord> Snapshot() const;
 
   /// One JSON object per line per decision, milliseconds for human eyes:
-  ///   {"batch":..,"ts_ns":..,"n":..,"chosen_rate":..,"predicted_ms":..,
-  ///    "achieved_ms":..,"drift":..,"deadline_headroom_ms":..|null,
-  ///    "outcome":"served","attempts":1,
-  ///    "candidates":[{"rate":..,"predicted_ms":..},...]}
+  ///   {"batch":..,"ts_ns":..,"n":..,"chosen_rate":..,"precision":"fp32",
+  ///    "predicted_ms":..,"achieved_ms":..,"drift":..,
+  ///    "deadline_headroom_ms":..|null,"outcome":"served","attempts":1,
+  ///    "candidates":[{"rate":..,"precision":"int8","predicted_ms":..},..]}
   std::string ToJsonl() const;
   Status WriteJsonl(const std::string& path) const;
 

@@ -25,7 +25,13 @@ void DegradationManager::Reset() { queue_.clear(); }
 int64_t DegradationManager::MaxBatchWithinBudget(const ServingConfig& config) {
   const double budget = config.latency_budget / 2.0;
   const double base = config.lattice.lower_bound();
-  const double per_sample = base * base * config.full_sample_time;
+  // The cheapest calibrated operating point bounds the ladder's last rung:
+  // int8-at-base-rate when that cost column exists, else fp32-at-base.
+  double t_min = config.full_sample_time;
+  if (config.full_sample_time_int8 > 0.0) {
+    t_min = std::min(t_min, config.full_sample_time_int8);
+  }
+  const double per_sample = base * base * t_min;
   if (per_sample <= 0.0) return 0;
   return static_cast<int64_t>(std::floor(budget / per_sample));
 }
@@ -62,6 +68,7 @@ DegradationTick DegradationManager::Step(int arrivals) {
     const TickDecision d = scheduler_.Schedule(batch);
     tick.processed = batch;
     tick.rate = d.rate;
+    tick.precision = d.precision;
     tick.accuracy = d.accuracy;
     for (int i = 0; i < batch; ++i) queue_.pop_front();
   } else {
@@ -82,6 +89,9 @@ DegradationTick DegradationManager::Step(int arrivals) {
   if (tick.processed > 0) {
     registry.GetHistogram("ms_degradation_chosen_rate", obs::RateBuckets())
         ->Observe(tick.rate);
+    if (tick.precision == Precision::kInt8) {
+      registry.GetCounter("ms_degradation_int8_batches_total")->Inc();
+    }
   }
   return tick;
 }

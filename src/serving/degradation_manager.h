@@ -27,6 +27,7 @@ struct DegradationTick {
   int shed = 0;              ///< dropped (queue overflow or deadline).
   int backlog = 0;           ///< queue length after the tick.
   double rate = 1.0;
+  Precision precision = Precision::kFp32;  ///< precision for the batch.
   double accuracy = 0.0;
 };
 
@@ -54,10 +55,13 @@ class DegradationManager {
   DegradationSummary Run(const std::vector<int>& arrivals,
                          std::vector<DegradationTick>* ticks = nullptr);
 
-  /// Largest batch the T/2 budget can absorb at the base (lowest) rate —
-  /// the last rung of the shedding ladder before work must stay queued.
-  /// Shared with the real-time SliceServer so simulation and serving apply
-  /// the identical policy.
+  /// Largest batch the T/2 budget can absorb at the base (lowest) rate
+  /// and the cheapest calibrated precision — the last rung of the
+  /// shedding ladder before work must stay queued. With an int8 cost
+  /// column calibrated, "drop to int8 at the base rate" is that rung, so
+  /// the queue drains up to t_fp32/t_int8 times faster before shedding.
+  /// Shared with the real-time SliceServer so simulation and serving
+  /// apply the identical policy.
   static int64_t MaxBatchWithinBudget(const ServingConfig& config);
 
  private:

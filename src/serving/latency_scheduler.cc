@@ -15,6 +15,11 @@ Result<LatencyScheduler> LatencyScheduler::Make(const ServingConfig& config) {
     return Status::InvalidArgument(
         "full_sample_time must be finite and positive");
   }
+  if (!std::isfinite(config.full_sample_time_int8) ||
+      config.full_sample_time_int8 < 0.0) {
+    return Status::InvalidArgument(
+        "full_sample_time_int8 must be finite and >= 0 (0 disables int8)");
+  }
   if (!std::isfinite(config.latency_budget) || config.latency_budget <= 0.0) {
     return Status::InvalidArgument(
         "latency_budget must be finite and positive");
@@ -41,6 +46,11 @@ double LatencyScheduler::AccuracyAt(double rate) const {
   return 0.0;
 }
 
+double LatencyScheduler::SampleTime(Precision precision) const {
+  return precision == Precision::kInt8 ? config_.full_sample_time_int8
+                                       : config_.full_sample_time;
+}
+
 TickDecision LatencyScheduler::Schedule(int n) const {
   TickDecision d;
   d.num_samples = n;
@@ -51,24 +61,46 @@ TickDecision LatencyScheduler::Schedule(int n) const {
     return d;
   }
   const double budget = config_.latency_budget / 2.0;
-  // n * r^2 * t <= T/2  =>  r <= sqrt(T / (2 n t))  (Eq. 3 with Ct = T/2n).
-  const double r_max = std::sqrt(
-      budget / (static_cast<double>(n) * config_.full_sample_time));
-  d.rate = config_.lattice.FloorRate(std::min(r_max, 1.0));
-  d.processing_time = static_cast<double>(n) * d.rate * d.rate *
-                      config_.full_sample_time;
+  // Joint (rate, precision) rule: walk the trained rates descending; at
+  // each rate try fp32 first, then int8 — so overload drops to int8 at
+  // the current rate before it sheds a rate step. With int8 disabled this
+  // reduces to picking the largest r with n * r^2 * t <= T/2 (Eq. 3).
+  const auto& rates = config_.lattice.rates();
+  for (size_t i = rates.size(); i-- > 0;) {
+    const double r = rates[i];
+    for (const Precision p : {Precision::kFp32, Precision::kInt8}) {
+      if (p == Precision::kInt8 && !int8_enabled()) continue;
+      const double cost =
+          static_cast<double>(n) * r * r * SampleTime(p);
+      if (cost <= budget + 1e-12) {
+        d.rate = r;
+        d.precision = p;
+        d.processing_time = cost;
+        d.slo_met = true;
+        d.accuracy = AccuracyAt(r);
+        return d;
+      }
+    }
+  }
   // The base network is the floor: an extreme batch can still overrun.
-  d.slo_met = d.processing_time <= budget + 1e-12;
+  // Serve it at the cheapest operating point we have.
+  d.rate = rates.front();
+  d.precision = int8_enabled() ? Precision::kInt8 : Precision::kFp32;
+  d.processing_time = static_cast<double>(n) * d.rate * d.rate *
+                      SampleTime(d.precision);
+  d.slo_met = false;
   d.accuracy = AccuracyAt(d.rate);
   return d;
 }
 
-TickDecision LatencyScheduler::ScheduleFixed(int n, double rate) const {
+TickDecision LatencyScheduler::ScheduleFixed(int n, double rate,
+                                             Precision precision) const {
   TickDecision d;
   d.num_samples = n;
   d.rate = rate;
-  d.processing_time = static_cast<double>(n) * rate * rate *
-                      config_.full_sample_time;
+  d.precision = precision;
+  d.processing_time =
+      static_cast<double>(n) * rate * rate * SampleTime(precision);
   d.slo_met = n == 0 || d.processing_time <= config_.latency_budget / 2.0;
   d.accuracy = AccuracyAt(config_.lattice.NearestRate(rate));
   return d;
@@ -106,10 +138,13 @@ void RecordServingMetrics(const std::vector<TickDecision>& decisions,
       registry.GetHistogram("ms_serving_chosen_rate", obs::RateBuckets());
   auto* proc_ms = registry.GetHistogram("ms_serving_processing_time",
                                         obs::LatencyBucketsMs());
+  int64_t int8_batches = 0;
   for (const auto& d : decisions) {
     if (d.num_samples > 0) chosen_rate->Observe(d.rate);
+    if (d.num_samples > 0 && d.precision == Precision::kInt8) ++int8_batches;
     proc_ms->Observe(d.processing_time);
   }
+  registry.GetCounter("ms_serving_int8_batches_total")->Inc(int8_batches);
   registry.GetCounter("ms_serving_ticks_total")
       ->Inc(static_cast<int64_t>(decisions.size()));
   registry.GetCounter("ms_serving_slo_met_total")

@@ -10,12 +10,16 @@
 #include <vector>
 
 #include "src/core/slice_config.h"
+#include "src/tensor/quant.h"
 #include "src/util/status.h"
 
 namespace ms {
 
 struct ServingConfig {
   double full_sample_time = 1.0;  ///< t: per-sample time of the full model.
+  /// t for the int8 path (second cost column). 0 disables the precision
+  /// axis: scheduling degenerates to the fp32-only Eq. 3 rule.
+  double full_sample_time_int8 = 0.0;
   double latency_budget = 16.0;   ///< T: end-to-end latency SLO.
   SliceConfig lattice;            ///< trained slice rates.
   /// Expected accuracy per lattice rate (ascending, aligned with
@@ -26,7 +30,8 @@ struct ServingConfig {
 struct TickDecision {
   int num_samples = 0;
   double rate = 1.0;             ///< slice rate chosen for the batch.
-  double processing_time = 0.0;  ///< n * r^2 * t.
+  Precision precision = Precision::kFp32;  ///< precision chosen.
+  double processing_time = 0.0;  ///< n * r^2 * t(precision).
   bool slo_met = true;           ///< processing fits within T/2.
   double accuracy = 0.0;         ///< expected accuracy at `rate`.
 };
@@ -35,12 +40,25 @@ class LatencyScheduler {
  public:
   static Result<LatencyScheduler> Make(const ServingConfig& config);
 
-  /// Decide the slice rate for a batch of `n` samples (Sec. 4.1 rule).
+  /// Decide the (slice rate, precision) for a batch of `n` samples. The
+  /// Sec. 4.1 rule extended with the precision axis: rates are walked
+  /// descending and at each rate fp32 is preferred over int8, so the
+  /// ladder degrades "drop to int8 at the current rate" BEFORE "drop
+  /// rate" — accuracy loss from quantization is far smaller than from
+  /// slicing down a step. With full_sample_time_int8 == 0 this is exactly
+  /// the historical fp32-only Eq. 3 rule.
   TickDecision Schedule(int n) const;
 
-  /// Fixed-rate strawman used by the comparison benches: always run `rate`
-  /// and report whether the batch met the budget.
-  TickDecision ScheduleFixed(int n, double rate) const;
+  /// Fixed-operating-point strawman used by the comparison benches:
+  /// always run (rate, precision) and report whether the batch fit.
+  TickDecision ScheduleFixed(int n, double rate,
+                             Precision precision = Precision::kFp32) const;
+
+  /// The calibrated per-sample cost of `precision` (the cost column).
+  double SampleTime(Precision precision) const;
+
+  /// True when an int8 cost column is calibrated (the axis is usable).
+  bool int8_enabled() const { return config_.full_sample_time_int8 > 0.0; }
 
   const ServingConfig& config() const { return config_; }
 

@@ -15,6 +15,7 @@
 #include "src/obs/trace.h"
 #include "src/serving/degradation_manager.h"
 #include "src/tensor/prepack.h"
+#include "src/tensor/quant.h"
 #include "src/tensor/tensor.h"
 #include "src/util/fault.h"
 #include "src/util/logging.h"
@@ -66,6 +67,12 @@ Result<std::unique_ptr<SliceServer>> SliceServer::Create(
   if (opts.calibrate &&
       (opts.calibration_batch < 1 || opts.calibration_repeats < 1)) {
     return Status::InvalidArgument("calibration batch/repeats must be >= 1");
+  }
+  if (opts.enable_int8 && !opts.calibrate &&
+      !(opts.serving.full_sample_time_int8 > 0.0)) {
+    return Status::InvalidArgument(
+        "enable_int8 without calibration requires an injected "
+        "full_sample_time_int8 > 0");
   }
   if (!(opts.health.watchdog_factor > 0.0) ||
       !std::isfinite(opts.health.watchdog_factor)) {
@@ -164,6 +171,34 @@ Status SliceServer::Calibrate() {
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetGauge("ms_server_calibrated_sample_ms")->Set(best * 1e3);
   registry.GetGauge("ms_server_cold_start_ms")->Set(cold_start_t_ * 1e3);
+  if (opts_.enable_int8) {
+    // Second cost column: same protocol on the quantized path. The first
+    // int8 forward pays for quantized packing; it is excluded just like
+    // the fp32 cold forward.
+    m->SetPrecision(Precision::kInt8);
+    {
+      Tensor y = m->Forward(x, /*training=*/false);
+      output_guard_.store(y.data()[0], std::memory_order_relaxed);
+    }
+    double best8 = 0.0;
+    for (int i = 0; i < opts_.calibration_repeats; ++i) {
+      Stopwatch sw;
+      Tensor y = m->Forward(x, /*training=*/false);
+      const double per_sample =
+          sw.ElapsedSeconds() / static_cast<double>(opts_.calibration_batch);
+      output_guard_.store(y.data()[0], std::memory_order_relaxed);
+      if (i == 0 || per_sample < best8) best8 = per_sample;
+    }
+    m->SetPrecision(Precision::kFp32);
+    if (!(best8 > 0.0)) {
+      return Status::Internal(
+          "int8 calibration measured a non-positive sample time");
+    }
+    calibrated_t8_ = best8;
+    opts_.serving.full_sample_time_int8 = best8;
+    registry.GetGauge("ms_server_calibrated_sample_int8_ms")
+        ->Set(best8 * 1e3);
+  }
   return Status::OK();
 }
 
@@ -182,10 +217,20 @@ void SliceServer::Prewarm() {
       replica->SetSliceRate(rate);
       Tensor y = replica->Forward(x, /*training=*/false);
       output_guard_.store(y.data()[0], std::memory_order_relaxed);
+      if (opts_.enable_int8) {
+        // Quantized packs cover every rate prefix, but per-layer pack
+        // objects only materialize on first int8 use at this replica —
+        // touch them now so steady-state serving never quantizes.
+        replica->SetPrecision(Precision::kInt8);
+        Tensor y8 = replica->Forward(x, /*training=*/false);
+        output_guard_.store(y8.data()[0], std::memory_order_relaxed);
+        replica->SetPrecision(Precision::kFp32);
+      }
     }
     replica->SetSliceRate(opts_.serving.lattice.full_rate());
   }
   ops::PublishPackMetrics();
+  if (opts_.enable_int8) ops::PublishQuantMetrics();
 }
 
 Status SliceServer::Start() {
@@ -196,10 +241,16 @@ Status SliceServer::Start() {
   if (stopped_) {
     return Status::FailedPrecondition("server cannot be restarted");
   }
+  if (!opts_.enable_int8) {
+    // The precision axis is opt-in; a stray config value must not turn it
+    // on behind the caller's back.
+    opts_.serving.full_sample_time_int8 = 0.0;
+  }
   if (opts_.calibrate) {
     MS_RETURN_NOT_OK(Calibrate());
   } else {
     calibrated_t_ = opts_.serving.full_sample_time;
+    calibrated_t8_ = opts_.serving.full_sample_time_int8;
   }
   if (opts_.prewarm) Prewarm();
   auto scheduler = LatencyScheduler::Make(opts_.serving);
@@ -318,12 +369,17 @@ bool SliceServer::breaker_open() const {
   return breaker_ != nullptr && breaker_->open();
 }
 
-double SliceServer::WatchdogThreshold(int64_t n, double rate) const {
-  // Expected wall time under the Eq. 3 cost model, scaled by the
-  // grace factor; floored so scheduling jitter on tiny batches can't
-  // trip the watchdog.
-  const double expected =
-      static_cast<double>(n) * rate * rate * opts_.serving.full_sample_time;
+double SliceServer::WatchdogThreshold(int64_t n, double rate,
+                                      Precision precision) const {
+  // Expected wall time under the Eq. 3 cost model with the batch's own
+  // cost column — an int8 batch judged against the fp32 t would get ~3x
+  // the grace it deserves. Scaled by the grace factor; floored so
+  // scheduling jitter on tiny batches can't trip the watchdog.
+  const double t = precision == Precision::kInt8 &&
+                           opts_.serving.full_sample_time_int8 > 0.0
+                       ? opts_.serving.full_sample_time_int8
+                       : opts_.serving.full_sample_time;
+  const double expected = static_cast<double>(n) * rate * rate * t;
   return std::max(opts_.health.watchdog_min_seconds,
                   opts_.health.watchdog_factor * expected);
 }
@@ -351,6 +407,7 @@ bool SliceServer::RepairReplica(int replica) {
   Module* m = replicas_[static_cast<size_t>(replica)].get();
   try {
     m->SetSliceRate(opts_.serving.lattice.full_rate());
+    m->SetPrecision(Precision::kFp32);  // probe the canonical path
     std::vector<int64_t> shape = opts_.sample_shape;
     shape.insert(shape.begin(), opts_.health.probe_batch);
     Tensor x(shape);
@@ -407,6 +464,7 @@ void SliceServer::RunAttempt(int64_t ticket_id, int my_attempt) {
   MS_TRACE_SCOPE("server_batch");
   int64_t n = 0;
   double rate = 1.0;
+  Precision precision = Precision::kFp32;
   {
     std::lock_guard<std::mutex> lock(tickets_mu_);
     auto it = tickets_.find(ticket_id);
@@ -415,6 +473,7 @@ void SliceServer::RunAttempt(int64_t ticket_id, int my_attempt) {
     }
     n = static_cast<int64_t>(it->second.requests.size());
     rate = it->second.rate;
+    precision = it->second.precision;
     // Stamped under the ticket lock so a superseding retry re-stamps it:
     // whichever attempt settles the batch owns the forward stamps.
     it->second.fwd_start_ns = obs::StageNowNanos();
@@ -453,6 +512,7 @@ void SliceServer::RunAttempt(int64_t ticket_id, int my_attempt) {
     }
     Module* m = replicas_[static_cast<size_t>(replica)].get();
     m->SetSliceRate(rate);
+    m->SetPrecision(precision);
     std::vector<int64_t> shape = opts_.sample_shape;
     shape.insert(shape.begin(), n);
     Tensor x(shape);
@@ -496,6 +556,7 @@ void SliceServer::FinalizeAttempt(int64_t ticket_id, int my_attempt,
   int64_t n = 0;
   int64_t newly_expired = 0;
   double rate = 1.0;
+  Precision precision = Precision::kFp32;
   // Settled requests and their batch-shared stamps, moved out under the
   // lock so histograms/timelines are folded in without holding tickets_mu_.
   std::vector<Request> settled;
@@ -512,6 +573,7 @@ void SliceServer::FinalizeAttempt(int64_t ticket_id, int my_attempt,
     }
     BatchTicket& t = it->second;
     rate = t.rate;
+    precision = t.precision;
     cut_ns = t.cut_ns;
     formed_ns = t.formed_ns;
     sched_ns = t.sched_ns;
@@ -545,7 +607,7 @@ void SliceServer::FinalizeAttempt(int64_t ticket_id, int my_attempt,
         t.attempt = 1;
         t.start = SteadyClock::now();
         t.watchdog_seconds = WatchdogThreshold(
-            static_cast<int64_t>(t.requests.size()), t.rate);
+            static_cast<int64_t>(t.requests.size()), t.rate, t.precision);
       }
     } else {
       // Retry also failed: these requests are definitively lost.
@@ -577,9 +639,14 @@ void SliceServer::FinalizeAttempt(int64_t ticket_id, int my_attempt,
       registry.GetHistogram("ms_server_chosen_rate", obs::RateBuckets())
           ->Observe(rate);
       // The slice rate the wall clock actually corresponds to under the r^2
-      // model (n * r_achieved^2 * t == measured seconds): compared with the
-      // chosen rate, this exposes calibration drift and contention.
-      const double t = opts_.serving.full_sample_time;
+      // model (n * r_achieved^2 * t == measured seconds) — with the batch's
+      // own cost column, so an int8 batch isn't read as "faster than r=1":
+      // compared with the chosen rate, this exposes calibration drift and
+      // contention.
+      const double t = precision == Precision::kInt8 &&
+                               opts_.serving.full_sample_time_int8 > 0.0
+                           ? opts_.serving.full_sample_time_int8
+                           : opts_.serving.full_sample_time;
       if (t > 0.0 && n > 0) {
         registry.GetHistogram("ms_server_achieved_rate", obs::RateBuckets())
             ->Observe(
@@ -790,13 +857,17 @@ void SliceServer::TickOnce() {
   const int64_t sched_ns = obs::StageNowNanos();
   batches_.fetch_add(1, std::memory_order_relaxed);
   registry.GetCounter("ms_server_batches_total")->Inc();
+  if (decision.precision == Precision::kInt8) {
+    batches_int8_.fetch_add(1, std::memory_order_relaxed);
+    registry.GetCounter("ms_server_int8_batches_total")->Inc();
+  }
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
     ++in_flight_;
   }
   const double full_t = opts_.serving.full_sample_time;
-  const double predicted_seconds =
-      static_cast<double>(n) * decision.rate * decision.rate * full_t;
+  const double t8 = opts_.serving.full_sample_time_int8;
+  const double predicted_seconds = decision.processing_time;
   int64_t id = 0;
   double headroom = std::numeric_limits<double>::quiet_NaN();
   {
@@ -805,9 +876,11 @@ void SliceServer::TickOnce() {
     BatchTicket t;
     t.requests = std::move(batch.requests);
     t.rate = decision.rate;
+    t.precision = decision.precision;
     t.attempt = 0;
     t.start = SteadyClock::now();
-    t.watchdog_seconds = WatchdogThreshold(n, decision.rate);
+    t.watchdog_seconds = WatchdogThreshold(n, decision.rate,
+                                           decision.precision);
     t.cut_ns = cut_ns;
     t.formed_ns = formed_ns;
     t.sched_ns = sched_ns;
@@ -820,27 +893,34 @@ void SliceServer::TickOnce() {
     tickets_.emplace(id, std::move(t));
   }
   {
-    // Everything the Eq. 3 rule weighed: every lattice rate with its
-    // predicted cost, the chosen rate, and how much deadline slack existed
-    // when the choice was made.
+    // Everything the joint rule weighed: every (lattice rate, precision)
+    // operating point with its predicted cost, the chosen point, and how
+    // much deadline slack existed when the choice was made.
     DecisionRecord rec;
     rec.batch = id;
     rec.ts_ns = sched_ns;
     rec.n = n;
     rec.chosen_rate = decision.rate;
+    rec.chosen_precision = decision.precision;
     rec.predicted_seconds = predicted_seconds;
     rec.deadline_headroom_seconds = headroom;
     const std::vector<double>& rates = opts_.serving.lattice.rates();
-    rec.candidates.reserve(rates.size());
+    rec.candidates.reserve(rates.size() * (t8 > 0.0 ? 2 : 1));
     for (double r : rates) {
       rec.candidates.push_back(
-          {r, static_cast<double>(n) * r * r * full_t});
+          {r, Precision::kFp32, static_cast<double>(n) * r * r * full_t});
+      if (t8 > 0.0) {
+        rec.candidates.push_back(
+            {r, Precision::kInt8, static_cast<double>(n) * r * r * t8});
+      }
     }
     decision_log_.Begin(std::move(rec));
   }
-  obs::FlightRecorder::Global().Record(obs::FlightEventKind::kDecision,
-                                       "batch scheduled", id, n,
-                                       decision.rate, predicted_seconds);
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventKind::kDecision,
+      decision.precision == Precision::kInt8 ? "batch scheduled int8"
+                                             : "batch scheduled",
+      id, n, decision.rate, predicted_seconds);
   pool_->Submit([this, id] { RunAttempt(id, 0); });
 }
 
@@ -920,6 +1000,7 @@ ServerStats SliceServer::stats() const {
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
+  s.batches_int8 = batches_int8_.load(std::memory_order_relaxed);
   s.ticks = ticks_.load(std::memory_order_relaxed);
   s.retried_batches = retried_.load(std::memory_order_relaxed);
   s.quarantined = quarantined_total_.load(std::memory_order_relaxed);

@@ -15,7 +15,9 @@
 //
 // Degradation ladder (shared with DegradationManager, in order):
 //   1. shed:   Submit on a full queue returns kShedQueueFull;
-//   2. lower rates: the scheduler slices the model down to the base rate;
+//   2. drop precision, then rate: with the int8 axis enabled the scheduler
+//      tries int8 at the current rate before it sheds a rate step, then
+//      slices the model down toward the base rate;
 //   3. reject: once Stop() begins — or while the failure circuit breaker is
 //      open — Submit returns kRejectedClosed.
 // Requests whose deadline passes while queued are dropped at the next batch
@@ -89,8 +91,16 @@ struct ServerOptions {
   int calibration_repeats = 3;    ///< timed repeats; the minimum is taken.
   /// Run one forward per (replica, trained rate) at Start() so every weight
   /// pack exists before traffic arrives; steady-state serving then never
-  /// packs. Disable only to measure the cold path on purpose.
+  /// packs. With int8 enabled this also covers the quantized packs, so
+  /// steady-state serving never re-quantizes either. Disable only to
+  /// measure the cold path on purpose.
   bool prewarm = true;
+  /// Turn on the second elastic axis: batches may run int8 at the current
+  /// rate before the scheduler sheds a rate step. With `calibrate` true the
+  /// int8 per-sample time is measured at Start(); with `calibrate` false,
+  /// `serving.full_sample_time_int8` must be set (> 0) and is trusted
+  /// verbatim — the fixed-calibration injection tests use exactly that.
+  bool enable_int8 = false;
   /// Watchdog / quarantine / circuit-breaker knobs (src/serving/health.h).
   HealthOptions health;
   /// Ring size of the always-on scheduler decision log (DESIGN.md §8).
@@ -111,6 +121,7 @@ struct ServerStats {
   int64_t failed = 0;      ///< batch threw or stayed poisoned after the
                            ///< single retry — requests definitively lost.
   int64_t batches = 0;     ///< forwards dispatched.
+  int64_t batches_int8 = 0;  ///< forwards dispatched on the int8 path.
   int64_t ticks = 0;       ///< batch-cut intervals elapsed.
   int64_t retried_batches = 0;    ///< watchdog or failure reschedules.
   int64_t quarantined = 0;        ///< replica quarantine events.
@@ -163,6 +174,9 @@ class SliceServer {
   /// Measured full-model per-sample seconds (0 before calibration). This is
   /// the *warm* time: the cold first forward is excluded.
   double calibrated_sample_seconds() const { return calibrated_t_; }
+  /// Measured (or injected) int8 per-sample seconds; 0 when the int8 axis
+  /// is off.
+  double calibrated_sample_seconds_int8() const { return calibrated_t8_; }
   /// Per-sample seconds of the very first forward (weight packing and
   /// first-touch allocation included); 0 before calibration or when
   /// calibration is disabled. The gap to calibrated_sample_seconds() is the
@@ -189,6 +203,7 @@ class SliceServer {
   struct BatchTicket {
     std::vector<Request> requests;
     double rate = 1.0;
+    Precision precision = Precision::kFp32;
     int attempt = 0;                  ///< 0 original, 1 the single retry.
     SteadyClock::time_point start;    ///< current attempt's dispatch time.
     double watchdog_seconds = 0.0;    ///< stall threshold for this attempt.
@@ -221,7 +236,7 @@ class SliceServer {
   /// readmits on a clean probe.
   void QuarantineAndRepair(int replica);
   bool RepairReplica(int replica);
-  double WatchdogThreshold(int64_t n, double rate) const;
+  double WatchdogThreshold(int64_t n, double rate, Precision precision) const;
   void FinishTicket();  ///< in-flight bookkeeping after a ticket settles.
 
   /// Folds one batch's stamps into the per-stage histograms and, when the
@@ -255,6 +270,7 @@ class SliceServer {
 
   double tick_seconds_ = 0.0;     ///< T/2, the batching interval.
   double calibrated_t_ = 0.0;
+  double calibrated_t8_ = 0.0;    ///< int8 per-sample seconds (0 = off).
   double cold_start_t_ = 0.0;     ///< first-forward (pack-included) time.
 
   std::atomic<bool> started_{false};
@@ -290,6 +306,7 @@ class SliceServer {
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> failed_{0};
   std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> batches_int8_{0};
   std::atomic<int64_t> ticks_{0};
   std::atomic<int64_t> retried_{0};
   std::atomic<int64_t> quarantined_total_{0};

@@ -10,6 +10,14 @@
 
 #include <cmath>
 
+// The VNNI int8 kernel needs the avx512vnni+avx512vl target attribute and
+// _mm256_dpbusd_epi32; both landed in gcc 9 / clang 9. Older compilers
+// just skip the flavor (runtime dispatch falls back to maddubs).
+#if (defined(__clang__) && __clang_major__ >= 9) || \
+    (!defined(__clang__) && defined(__GNUC__) && __GNUC__ >= 9)
+#define MS_GEMM_VNNI 1
+#endif
+
 namespace ms {
 namespace ops {
 namespace detail {
@@ -123,6 +131,411 @@ void GemmRefFma(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   }
 }
 
+// Int8 skinny kernel: 16 panel columns per pass, rows in chunks of <= 4
+// (8 ymm s32 accumulators + 2 B vectors + 1 ones vector per chunk). Each
+// 64-byte quad-group holds 16 columns x 4 k as s8; one vpbroadcastd
+// splats a row's 4 unsigned activation codes into every 32-bit lane, and
+// maddubs(u8 a, s8 b) then yields the two k-pair partial sums per column
+// in s16. Activations are bounded to [0, 127] by construction (quant.cc
+// quantizes rows asymmetrically to 7 bits), so the pair sum is at most
+// 2 * 127 * 127 = 32258 < 32767 — maddubs's s16 saturation provably never
+// fires. madd against ones widens the two pairs to one s32 per column
+// (<= 64516, no overflow). Integer math is exact, so this matches the
+// portable loop in quant.cc bit for bit.
+// Broadcasts row i's 4 unsigned activation codes for quad p into every
+// 32-bit lane.
+inline __m256i BroadcastQuad(const uint8_t* aq, int64_t lda_q, int64_t p,
+                             int i) {
+  int32_t quad;
+  __builtin_memcpy(&quad, aq + i * lda_q + 4 * p, sizeof(quad));
+  return _mm256_set1_epi32(quad);
+}
+
+// One chunk of LIVE rows. The accumulators are NAMED variables behind
+// compile-time `LIVE > i` guards, not a __m256i array indexed by a row
+// loop: gcc re-rolls the latter and keeps the accumulators on the stack
+// (a load + store around every multiply-add), which costs ~3x on the
+// quad loop. Named registers pin all 2*LIVE accumulators in ymm.
+template <int LIVE>
+void Int8Chunk16(int64_t quads, const uint8_t* aq, int64_t lda_q,
+                 const int8_t* bseg, int32_t* acc) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  const __m256i z = _mm256_setzero_si256();
+  __m256i c00 = z, c01 = z, c10 = z, c11 = z;
+  __m256i c20 = z, c21 = z, c30 = z, c31 = z;
+  for (int64_t p = 0; p < quads; ++p) {
+    // Columns 0-7 then 8-15 of this quad-group.
+    const __m256i b0 = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(bseg + p * 64));
+    const __m256i b1 = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(bseg + p * 64 + 32));
+    __m256i av = BroadcastQuad(aq, lda_q, p, 0);
+    c00 = _mm256_add_epi32(
+        c00, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b0), ones));
+    c01 = _mm256_add_epi32(
+        c01, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b1), ones));
+    if (LIVE > 1) {
+      av = BroadcastQuad(aq, lda_q, p, 1);
+      c10 = _mm256_add_epi32(
+          c10, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b0), ones));
+      c11 = _mm256_add_epi32(
+          c11, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b1), ones));
+    }
+    if (LIVE > 2) {
+      av = BroadcastQuad(aq, lda_q, p, 2);
+      c20 = _mm256_add_epi32(
+          c20, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b0), ones));
+      c21 = _mm256_add_epi32(
+          c21, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b1), ones));
+    }
+    if (LIVE > 3) {
+      av = BroadcastQuad(aq, lda_q, p, 3);
+      c30 = _mm256_add_epi32(
+          c30, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b0), ones));
+      c31 = _mm256_add_epi32(
+          c31, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b1), ones));
+    }
+  }
+  _mm256_store_si256(reinterpret_cast<__m256i*>(acc), c00);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(acc + 8), c01);
+  if (LIVE > 1) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(acc + 16), c10);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(acc + 24), c11);
+  }
+  if (LIVE > 2) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(acc + 32), c20);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(acc + 40), c21);
+  }
+  if (LIVE > 3) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(acc + 48), c30);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(acc + 56), c31);
+  }
+}
+
+void Int8Skinny16(int64_t quads, int m, const uint8_t* aq, int64_t lda_q,
+                  const int8_t* bseg, int32_t* acc) {
+  for (int i0 = 0; i0 < m; i0 += 4) {
+    const uint8_t* a0 = aq + i0 * lda_q;
+    int32_t* acc0 = acc + i0 * 16;
+    switch (m - i0 < 4 ? m - i0 : 4) {
+      case 1: Int8Chunk16<1>(quads, a0, lda_q, bseg, acc0); break;
+      case 2: Int8Chunk16<2>(quads, a0, lda_q, bseg, acc0); break;
+      case 3: Int8Chunk16<3>(quads, a0, lda_q, bseg, acc0); break;
+      default: Int8Chunk16<4>(quads, a0, lda_q, bseg, acc0); break;
+    }
+  }
+}
+
+// VNNI flavor: vpdpbusd fuses the whole maddubs -> madd(ones) -> add
+// chain into ONE u8*s8 dot-accumulate per ymm — the quad products are
+// summed into s32 with NO intermediate s16 saturation (that is the
+// saturating vpdpbusds variant, which this kernel never uses), so the
+// result is the exact integer contraction again, bit-identical to both
+// kernels above. Same quad-major operands, one third the inner-loop uops.
+#if defined(MS_GEMM_VNNI)
+// AVX-512VL gives this flavor 32 ymm registers, so the chunk holds up to
+// EIGHT rows (16 named accumulators + 2 B vectors + 1 broadcast = 19
+// registers) — the maddubs chunk above is capped at 4 rows by AVX2's 16.
+// Double the rows per pass means each B panel segment is streamed half as
+// often at serving batch sizes.
+template <int LIVE>
+__attribute__((target("avx512vnni,avx512vl")))
+void Int8ChunkVnni16(int64_t quads, const uint8_t* aq, int64_t lda_q,
+                     const int8_t* bseg, int32_t* acc) {
+  const __m256i z = _mm256_setzero_si256();
+  __m256i c00 = z, c01 = z, c10 = z, c11 = z;
+  __m256i c20 = z, c21 = z, c30 = z, c31 = z;
+  __m256i c40 = z, c41 = z, c50 = z, c51 = z;
+  __m256i c60 = z, c61 = z, c70 = z, c71 = z;
+  for (int64_t p = 0; p < quads; ++p) {
+    const __m256i b0 = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(bseg + p * 64));
+    const __m256i b1 = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(bseg + p * 64 + 32));
+    __m256i av = BroadcastQuad(aq, lda_q, p, 0);
+    c00 = _mm256_dpbusd_epi32(c00, av, b0);
+    c01 = _mm256_dpbusd_epi32(c01, av, b1);
+    if (LIVE > 1) {
+      av = BroadcastQuad(aq, lda_q, p, 1);
+      c10 = _mm256_dpbusd_epi32(c10, av, b0);
+      c11 = _mm256_dpbusd_epi32(c11, av, b1);
+    }
+    if (LIVE > 2) {
+      av = BroadcastQuad(aq, lda_q, p, 2);
+      c20 = _mm256_dpbusd_epi32(c20, av, b0);
+      c21 = _mm256_dpbusd_epi32(c21, av, b1);
+    }
+    if (LIVE > 3) {
+      av = BroadcastQuad(aq, lda_q, p, 3);
+      c30 = _mm256_dpbusd_epi32(c30, av, b0);
+      c31 = _mm256_dpbusd_epi32(c31, av, b1);
+    }
+    if (LIVE > 4) {
+      av = BroadcastQuad(aq, lda_q, p, 4);
+      c40 = _mm256_dpbusd_epi32(c40, av, b0);
+      c41 = _mm256_dpbusd_epi32(c41, av, b1);
+    }
+    if (LIVE > 5) {
+      av = BroadcastQuad(aq, lda_q, p, 5);
+      c50 = _mm256_dpbusd_epi32(c50, av, b0);
+      c51 = _mm256_dpbusd_epi32(c51, av, b1);
+    }
+    if (LIVE > 6) {
+      av = BroadcastQuad(aq, lda_q, p, 6);
+      c60 = _mm256_dpbusd_epi32(c60, av, b0);
+      c61 = _mm256_dpbusd_epi32(c61, av, b1);
+    }
+    if (LIVE > 7) {
+      av = BroadcastQuad(aq, lda_q, p, 7);
+      c70 = _mm256_dpbusd_epi32(c70, av, b0);
+      c71 = _mm256_dpbusd_epi32(c71, av, b1);
+    }
+  }
+  const __m256i cs[16] = {c00, c01, c10, c11, c20, c21, c30, c31,
+                          c40, c41, c50, c51, c60, c61, c70, c71};
+  for (int i = 0; i < LIVE; ++i) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(acc + i * 16),
+                       cs[2 * i]);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(acc + i * 16 + 8),
+                       cs[2 * i + 1]);
+  }
+}
+
+__attribute__((target("avx512vnni,avx512vl")))
+void Int8SkinnyVnni16(int64_t quads, int m, const uint8_t* aq,
+                      int64_t lda_q, const int8_t* bseg, int32_t* acc) {
+  for (int i0 = 0; i0 < m; i0 += 8) {
+    const uint8_t* a0 = aq + i0 * lda_q;
+    int32_t* acc0 = acc + i0 * 16;
+    switch (m - i0 < 8 ? m - i0 : 8) {
+      case 1: Int8ChunkVnni16<1>(quads, a0, lda_q, bseg, acc0); break;
+      case 2: Int8ChunkVnni16<2>(quads, a0, lda_q, bseg, acc0); break;
+      case 3: Int8ChunkVnni16<3>(quads, a0, lda_q, bseg, acc0); break;
+      case 4: Int8ChunkVnni16<4>(quads, a0, lda_q, bseg, acc0); break;
+      case 5: Int8ChunkVnni16<5>(quads, a0, lda_q, bseg, acc0); break;
+      case 6: Int8ChunkVnni16<6>(quads, a0, lda_q, bseg, acc0); break;
+      case 7: Int8ChunkVnni16<7>(quads, a0, lda_q, bseg, acc0); break;
+      default: Int8ChunkVnni16<8>(quads, a0, lda_q, bseg, acc0); break;
+    }
+  }
+}
+#endif  // MS_GEMM_VNNI
+
+// 8-wide min/max reduction. Seeds from the first vector (or element) like
+// the scalar loop; the overlapping tail load revisits elements, which is
+// harmless for min/max.
+void MinMaxF32Avx2(const float* v, int64_t n, float* plo, float* phi) {
+  if (n >= 8) {
+    __m256 lo8 = _mm256_loadu_ps(v);
+    __m256 hi8 = lo8;
+    int64_t p = 8;
+    for (; p + 8 <= n; p += 8) {
+      const __m256 x = _mm256_loadu_ps(v + p);
+      lo8 = _mm256_min_ps(lo8, x);
+      hi8 = _mm256_max_ps(hi8, x);
+    }
+    if (p < n) {
+      const __m256 x = _mm256_loadu_ps(v + n - 8);
+      lo8 = _mm256_min_ps(lo8, x);
+      hi8 = _mm256_max_ps(hi8, x);
+    }
+    __m128 lo4 = _mm_min_ps(_mm256_castps256_ps128(lo8),
+                            _mm256_extractf128_ps(lo8, 1));
+    __m128 hi4 = _mm_max_ps(_mm256_castps256_ps128(hi8),
+                            _mm256_extractf128_ps(hi8, 1));
+    lo4 = _mm_min_ps(lo4, _mm_movehl_ps(lo4, lo4));
+    hi4 = _mm_max_ps(hi4, _mm_movehl_ps(hi4, hi4));
+    lo4 = _mm_min_ss(lo4, _mm_shuffle_ps(lo4, lo4, 1));
+    hi4 = _mm_max_ss(hi4, _mm_shuffle_ps(hi4, hi4, 1));
+    *plo = _mm_cvtss_f32(lo4);
+    *phi = _mm_cvtss_f32(hi4);
+    return;
+  }
+  float lo = v[0], hi = v[0];
+  for (int64_t p = 1; p < n; ++p) {
+    lo = v[p] < lo ? v[p] : lo;
+    hi = v[p] > hi ? v[p] : hi;
+  }
+  *plo = lo;
+  *phi = hi;
+}
+
+// Clamps q to [0, 127] then packs 4x8 s32 down to 32 u8. The saturating
+// packs (s32->s16, s16->u8) are lossless after the clamp; the final
+// permute undoes their per-128-lane interleave.
+void EncodeU7Avx2(const float* v, int64_t n, float lo, float inv,
+                  uint8_t* out) {
+  const __m256 vlo = _mm256_set1_ps(lo);
+  const __m256 vinv = _mm256_set1_ps(inv);
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i v127 = _mm256_set1_epi32(127);
+  const __m256i perm = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+  const auto enc8 = [&](const float* p) {
+    const __m256 x =
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(p), vlo), vinv);
+    const __m256i q = _mm256_cvtps_epi32(x);
+    return _mm256_min_epi32(_mm256_max_epi32(q, zero), v127);
+  };
+  int64_t p = 0;
+  for (; p + 32 <= n; p += 32) {
+    const __m256i q0 = enc8(v + p);
+    const __m256i q1 = enc8(v + p + 8);
+    const __m256i q2 = enc8(v + p + 16);
+    const __m256i q3 = enc8(v + p + 24);
+    const __m256i w0 = _mm256_packs_epi32(q0, q1);
+    const __m256i w1 = _mm256_packs_epi32(q2, q3);
+    const __m256i b = _mm256_packus_epi16(w0, w1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + p),
+                        _mm256_permutevar8x32_epi32(b, perm));
+  }
+  for (; p + 8 <= n; p += 8) {
+    const __m256i q = enc8(v + p);
+    const __m128i w = _mm_packs_epi32(_mm256_castsi256_si128(q),
+                                      _mm256_extracti128_si256(q, 1));
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + p),
+                     _mm_packus_epi16(w, w));
+  }
+  for (; p < n; ++p) {
+    long q = std::lrintf((v[p] - lo) * inv);
+    q = q < 0 ? 0 : (q > 127 ? 127 : q);
+    out[p] = static_cast<uint8_t>(q);
+  }
+}
+
+// 8 columns -> 8 contiguous rows via in-register 8x8 transposes; the
+// k % 8 tail rows go element-wise. When kMinMax is set, a per-column
+// min/max scan rides the same loads (lane j of the running accumulators
+// tracks column j), letting the quantizer skip its separate sweep over
+// the scratch rows; lo8/hi8 then receive 8 results each and k must be
+// >= 1. Seeded from row 0 and folded with vminps/vmaxps — value-equal to
+// the scalar seed-then-compare loop up to the +-0 tie caveat on
+// MinMaxF32Fn.
+template <bool kMinMax>
+void Transpose8ColImpl(const float* src, int64_t ld, int64_t k, float* dst,
+                       int64_t dst_stride, float* lo8, float* hi8) {
+  __m256 vlo = _mm256_setzero_ps();
+  __m256 vhi = _mm256_setzero_ps();
+  if (kMinMax) {
+    vlo = _mm256_loadu_ps(src);
+    vhi = vlo;
+  }
+  int64_t p = 0;
+  for (; p + 8 <= k; p += 8) {
+    __m256 r0 = _mm256_loadu_ps(src + (p + 0) * ld);
+    __m256 r1 = _mm256_loadu_ps(src + (p + 1) * ld);
+    __m256 r2 = _mm256_loadu_ps(src + (p + 2) * ld);
+    __m256 r3 = _mm256_loadu_ps(src + (p + 3) * ld);
+    __m256 r4 = _mm256_loadu_ps(src + (p + 4) * ld);
+    __m256 r5 = _mm256_loadu_ps(src + (p + 5) * ld);
+    __m256 r6 = _mm256_loadu_ps(src + (p + 6) * ld);
+    __m256 r7 = _mm256_loadu_ps(src + (p + 7) * ld);
+    if (kMinMax) {
+      vlo = _mm256_min_ps(vlo, r0);
+      vhi = _mm256_max_ps(vhi, r0);
+      vlo = _mm256_min_ps(vlo, r1);
+      vhi = _mm256_max_ps(vhi, r1);
+      vlo = _mm256_min_ps(vlo, r2);
+      vhi = _mm256_max_ps(vhi, r2);
+      vlo = _mm256_min_ps(vlo, r3);
+      vhi = _mm256_max_ps(vhi, r3);
+      vlo = _mm256_min_ps(vlo, r4);
+      vhi = _mm256_max_ps(vhi, r4);
+      vlo = _mm256_min_ps(vlo, r5);
+      vhi = _mm256_max_ps(vhi, r5);
+      vlo = _mm256_min_ps(vlo, r6);
+      vhi = _mm256_max_ps(vhi, r6);
+      vlo = _mm256_min_ps(vlo, r7);
+      vhi = _mm256_max_ps(vhi, r7);
+    }
+    __m256 t0 = _mm256_unpacklo_ps(r0, r1);
+    __m256 t1 = _mm256_unpackhi_ps(r0, r1);
+    __m256 t2 = _mm256_unpacklo_ps(r2, r3);
+    __m256 t3 = _mm256_unpackhi_ps(r2, r3);
+    __m256 t4 = _mm256_unpacklo_ps(r4, r5);
+    __m256 t5 = _mm256_unpackhi_ps(r4, r5);
+    __m256 t6 = _mm256_unpacklo_ps(r6, r7);
+    __m256 t7 = _mm256_unpackhi_ps(r6, r7);
+    __m256 s0 = _mm256_shuffle_ps(t0, t2, 0x44);
+    __m256 s1 = _mm256_shuffle_ps(t0, t2, 0xEE);
+    __m256 s2 = _mm256_shuffle_ps(t1, t3, 0x44);
+    __m256 s3 = _mm256_shuffle_ps(t1, t3, 0xEE);
+    __m256 s4 = _mm256_shuffle_ps(t4, t6, 0x44);
+    __m256 s5 = _mm256_shuffle_ps(t4, t6, 0xEE);
+    __m256 s6 = _mm256_shuffle_ps(t5, t7, 0x44);
+    __m256 s7 = _mm256_shuffle_ps(t5, t7, 0xEE);
+    _mm256_storeu_ps(dst + 0 * dst_stride + p,
+                     _mm256_permute2f128_ps(s0, s4, 0x20));
+    _mm256_storeu_ps(dst + 1 * dst_stride + p,
+                     _mm256_permute2f128_ps(s1, s5, 0x20));
+    _mm256_storeu_ps(dst + 2 * dst_stride + p,
+                     _mm256_permute2f128_ps(s2, s6, 0x20));
+    _mm256_storeu_ps(dst + 3 * dst_stride + p,
+                     _mm256_permute2f128_ps(s3, s7, 0x20));
+    _mm256_storeu_ps(dst + 4 * dst_stride + p,
+                     _mm256_permute2f128_ps(s0, s4, 0x31));
+    _mm256_storeu_ps(dst + 5 * dst_stride + p,
+                     _mm256_permute2f128_ps(s1, s5, 0x31));
+    _mm256_storeu_ps(dst + 6 * dst_stride + p,
+                     _mm256_permute2f128_ps(s2, s6, 0x31));
+    _mm256_storeu_ps(dst + 7 * dst_stride + p,
+                     _mm256_permute2f128_ps(s3, s7, 0x31));
+  }
+  for (; p < k; ++p) {
+    if (kMinMax) {
+      const __m256 v = _mm256_loadu_ps(src + p * ld);
+      vlo = _mm256_min_ps(vlo, v);
+      vhi = _mm256_max_ps(vhi, v);
+    }
+    for (int j = 0; j < 8; ++j) dst[j * dst_stride + p] = src[p * ld + j];
+  }
+  if (kMinMax) {
+    _mm256_storeu_ps(lo8, vlo);
+    _mm256_storeu_ps(hi8, vhi);
+  }
+}
+
+void Transpose8ColAvx2(const float* src, int64_t ld, int64_t k, float* dst,
+                       int64_t dst_stride) {
+  Transpose8ColImpl<false>(src, ld, k, dst, dst_stride, nullptr, nullptr);
+}
+
+void Transpose8ColMinMaxAvx2(const float* src, int64_t ld, int64_t k,
+                             float* dst, int64_t dst_stride, float* lo8,
+                             float* hi8) {
+  Transpose8ColImpl<true>(src, ld, k, dst, dst_stride, lo8, hi8);
+}
+
+// Mirrors the scalar dequant epilogue op-for-op: mul, mul, add, mul, add
+// per element — deliberately no fma, so this flavor and the portable loop
+// return identical bits.
+void Int8EpilogueAvx2(int mc, const int32_t* acc, const float* gs,
+                      const int32_t* gsum, const float* as,
+                      const float* amin, float* ftile) {
+  const __m256 gs0 = _mm256_loadu_ps(gs);
+  const __m256 gs1 = _mm256_loadu_ps(gs + 8);
+  const __m256 gf0 = _mm256_cvtepi32_ps(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(gsum)));
+  const __m256 gf1 = _mm256_cvtepi32_ps(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(gsum + 8)));
+  for (int i = 0; i < mc; ++i) {
+    const __m256 asv = _mm256_set1_ps(as[i]);
+    const __m256 amv = _mm256_set1_ps(amin[i]);
+    const __m256 a0 = _mm256_cvtepi32_ps(_mm256_load_si256(
+        reinterpret_cast<const __m256i*>(acc + i * 16)));
+    const __m256 a1 = _mm256_cvtepi32_ps(_mm256_load_si256(
+        reinterpret_cast<const __m256i*>(acc + i * 16 + 8)));
+    const __m256 t0 = _mm256_add_ps(_mm256_mul_ps(asv, a0),
+                                    _mm256_mul_ps(amv, gf0));
+    const __m256 t1 = _mm256_add_ps(_mm256_mul_ps(asv, a1),
+                                    _mm256_mul_ps(amv, gf1));
+    float* f = ftile + i * 16;
+    _mm256_storeu_ps(f, _mm256_add_ps(_mm256_loadu_ps(f),
+                                      _mm256_mul_ps(gs0, t0)));
+    _mm256_storeu_ps(f + 8, _mm256_add_ps(_mm256_loadu_ps(f + 8),
+                                          _mm256_mul_ps(gs1, t1)));
+  }
+}
+
 }  // namespace
 
 const MicroKernelDesc* Avx2Kernel() {
@@ -131,6 +544,50 @@ const MicroKernelDesc* Avx2Kernel() {
   static const MicroKernelDesc desc{kMr, kNr, &MicroKernel6x16,
                                     &GemmRefFma, &SkinnyKernel16, 4};
   return supported ? &desc : nullptr;
+}
+
+Int8SkinnyFn Avx2Int8Kernel() {
+  // maddubs/madd need AVX2 only (no FMA), so int8 inference can still be
+  // vectorized on machines where the fp32 path fell back to portable.
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported ? &Int8Skinny16 : nullptr;
+}
+
+Int8SkinnyFn VnniInt8Kernel() {
+#if defined(MS_GEMM_VNNI)
+  // The ymm (VL) form of vpdpbusd needs both the VNNI and VL halves of
+  // AVX-512 at runtime.
+  static const bool supported = __builtin_cpu_supports("avx512vnni") &&
+                                __builtin_cpu_supports("avx512vl");
+  return supported ? &Int8SkinnyVnni16 : nullptr;
+#else
+  return nullptr;
+#endif
+}
+
+MinMaxF32Fn Avx2MinMaxF32() {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported ? &MinMaxF32Avx2 : nullptr;
+}
+
+EncodeU7Fn Avx2EncodeU7() {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported ? &EncodeU7Avx2 : nullptr;
+}
+
+Transpose8ColFn Avx2Transpose8Col() {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported ? &Transpose8ColAvx2 : nullptr;
+}
+
+Transpose8ColMMFn Avx2Transpose8ColMinMax() {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported ? &Transpose8ColMinMaxAvx2 : nullptr;
+}
+
+Int8EpilogueFn Avx2Int8Epilogue() {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported ? &Int8EpilogueAvx2 : nullptr;
 }
 
 }  // namespace detail
@@ -144,6 +601,20 @@ namespace ops {
 namespace detail {
 
 const MicroKernelDesc* Avx2Kernel() { return nullptr; }
+
+Int8SkinnyFn Avx2Int8Kernel() { return nullptr; }
+
+Int8SkinnyFn VnniInt8Kernel() { return nullptr; }
+
+MinMaxF32Fn Avx2MinMaxF32() { return nullptr; }
+
+EncodeU7Fn Avx2EncodeU7() { return nullptr; }
+
+Transpose8ColFn Avx2Transpose8Col() { return nullptr; }
+
+Transpose8ColMMFn Avx2Transpose8ColMinMax() { return nullptr; }
+
+Int8EpilogueFn Avx2Int8Epilogue() { return nullptr; }
 
 }  // namespace detail
 }  // namespace ops

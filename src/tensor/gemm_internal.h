@@ -65,6 +65,79 @@ struct MicroKernelDesc {
 /// off / unsupported compiler) or the CPU lacks AVX2+FMA at runtime.
 const MicroKernelDesc* Avx2Kernel();
 
+/// Int8 skinny microkernel for the quantized prepacked path (quant.cc).
+/// Contracts `quads` k-quads of a segment against one packed 16-column
+/// panel segment:
+///   acc[i*16 + c] = sum_q sum_{t<4} aq[i][4q+t] * bseg[q][4c+t]
+/// aq: m rows at stride lda_q bytes, each row holding 4*quads UNSIGNED
+/// activation codes in [0, 127] for this segment (lengths are zero-padded
+/// to a quad). bseg: quads * 64 s8 weights, quad-major
+/// [c0k0, c0k1, c0k2, c0k3, c1k0, ...], 32-byte aligned. acc: m x 16 s32,
+/// row-major, 64-byte aligned. The [0, 127] activation bound makes the
+/// u8*s8 maddubs pair sums provably saturation-free (2 * 127 * 127 =
+/// 32258 < 32767), so all arithmetic is exact integer math and every
+/// implementation returns identical bits.
+using Int8SkinnyFn = void (*)(int64_t quads, int m, const uint8_t* aq,
+                              int64_t lda_q, const int8_t* bseg,
+                              int32_t* acc);
+
+/// The AVX2 int8 kernel (u8*s8 maddubs -> s16, madd(ones) -> s32), or
+/// nullptr when not compiled in or the CPU lacks AVX2.
+Int8SkinnyFn Avx2Int8Kernel();
+
+/// The AVX-512 VNNI int8 kernel (one non-saturating vpdpbusd u8*s8->s32
+/// dot-accumulate per ymm — same exact contraction, a third of the
+/// inner-loop uops), or nullptr when the compiler predates the target
+/// attribute or the CPU lacks avx512vnni+avx512vl.
+Int8SkinnyFn VnniInt8Kernel();
+
+/// min/max over n contiguous floats (n >= 1). Value-equal to the scalar
+/// seed-then-compare loop; on a +-0.0 tie the representative may differ
+/// in sign, which every downstream use (x - lo, range width) absorbs.
+using MinMaxF32Fn = void (*)(const float* v, int64_t n, float* lo,
+                             float* hi);
+
+/// out[p] = clamp(lrintf((v[p] - lo) * inv), 0, 127) for n contiguous
+/// floats — element-exact to ops' scalar QuantizeValueU7 (vcvtps2dq and
+/// lrintf share round-to-nearest-even, and the clamp makes the saturating
+/// s16/u8 packs lossless).
+using EncodeU7Fn = void (*)(const float* v, int64_t n, float lo, float inv,
+                            uint8_t* out);
+
+/// Gathers 8 columns of src (k rows, leading dimension ld) into 8
+/// contiguous rows: dst[j*dst_stride + p] = src[p*ld + j] for j < 8,
+/// p < k. Lets the column-quantizing (conv) path run the contiguous
+/// min/max + encode helpers instead of a strided scalar loop.
+using Transpose8ColFn = void (*)(const float* src, int64_t ld, int64_t k,
+                                 float* dst, int64_t dst_stride);
+
+/// Transpose8ColFn with the per-column min/max scan fused into the gather
+/// pass: lo8[j]/hi8[j] receive column j's min/max (value-equal to the
+/// seed-then-compare scalar loop up to the MinMaxF32Fn +-0 tie caveat),
+/// saving the quantizer a separate sweep over the scratch rows. k >= 1.
+using Transpose8ColMMFn = void (*)(const float* src, int64_t ld, int64_t k,
+                                   float* dst, int64_t dst_stride,
+                                   float* lo8, float* hi8);
+
+/// Dequant epilogue for one (row-chunk, segment) pair of a 16-column
+/// panel: ftile[i*16+c] += gs[c] * (as[i]*acc[i*16+c] + amin[i]*gsum[c])
+/// for i < mc. Multiplies and adds in the same order as the scalar loop
+/// (no fma contraction), so the flavors stay bitwise interchangeable.
+using Int8EpilogueFn = void (*)(int mc, const int32_t* acc,
+                                const float* gs, const int32_t* gsum,
+                                const float* as, const float* amin,
+                                float* ftile);
+
+/// AVX2 flavors of the activation-quantization loops above (the portable
+/// TU can't vectorize them: fp min/max reductions need fast-math and
+/// lrintf stays a scalar call). nullptr when AVX2 is compiled out or
+/// unavailable at runtime.
+MinMaxF32Fn Avx2MinMaxF32();
+EncodeU7Fn Avx2EncodeU7();
+Transpose8ColFn Avx2Transpose8Col();
+Transpose8ColMMFn Avx2Transpose8ColMinMax();
+Int8EpilogueFn Avx2Int8Epilogue();
+
 /// The kernel Gemm dispatches to in this process (AVX2 when available,
 /// else the portable 4x8). Prepacked buffers are laid out for this
 /// kernel's mr/nr.

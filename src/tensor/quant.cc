@@ -1,0 +1,623 @@
+// Quantized prepacked operands. See quant.h for the layout/staleness
+// story. All contraction arithmetic here is exact integer math; the only
+// floating-point work is the quantize pass and the dequant epilogue, both
+// of which run in a fixed order so results are bitwise identical at every
+// thread count and kernel flavor.
+#include "src/tensor/quant.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+#include "src/obs/metrics.h"
+#include "src/tensor/gemm.h"
+#include "src/tensor/gemm_internal.h"
+#include "src/tensor/prepack.h"
+#include "src/tensor/scratch.h"
+#include "src/util/status.h"
+
+namespace ms {
+
+const char* PrecisionName(Precision p) {
+  return p == Precision::kInt8 ? "int8" : "fp32";
+}
+
+bool ParsePrecision(const std::string& s, Precision* out) {
+  if (s == "fp32") {
+    *out = Precision::kFp32;
+    return true;
+  }
+  if (s == "int8") {
+    *out = Precision::kInt8;
+    return true;
+  }
+  return false;
+}
+
+namespace ops {
+namespace {
+
+/// Quantized panel width. Fixed at 16 (not the active fp32 kernel's nr):
+/// the int8 panel feeds one 32-byte madd load per k-pair regardless of
+/// which fp32 kernel this process runs.
+constexpr int kQNr = 16;
+/// Rows of op(A) processed per kernel pass; bounds the accumulator tile.
+/// Larger chunks amortize B-panel streaming (every chunk re-reads all
+/// panels), which dominates the conv-shaped WeightA path; 32 keeps the
+/// acc + ftile scratch at 4 KB total. Chunking does not affect results:
+/// the integer contraction is exact per row and the float epilogue order
+/// per element is unchanged.
+constexpr int kQRowChunk = 32;
+
+std::atomic<uint64_t> g_qpacks{0};
+std::atomic<uint64_t> g_qpacked_bytes{0};
+std::atomic<uint64_t> g_qhits{0};
+std::atomic<uint64_t> g_qgemm_calls{0};
+
+/// Symmetric round-to-nearest weight quantization; clamped to [-127, 127]
+/// so the representable range is sign-symmetric (no -128).
+inline int8_t QuantizeValue(float v, float inv_scale) {
+  const long q = std::lrintf(v * inv_scale);
+  return static_cast<int8_t>(q < -127 ? -127 : (q > 127 ? 127 : q));
+}
+
+/// Asymmetric round-to-nearest activation quantization to 7 bits: code =
+/// clamp(lrintf((v - lo) * inv_scale), 0, 127). The [0, 127] bound is the
+/// saturation-freedom invariant the maddubs kernel relies on.
+inline uint8_t QuantizeValueU7(float v, float lo, float inv_scale) {
+  const long q = std::lrintf((v - lo) * inv_scale);
+  return static_cast<uint8_t>(q < 0 ? 0 : (q > 127 ? 127 : q));
+}
+
+/// Portable int8 kernel: the exact integer contraction of
+/// detail::Int8SkinnyFn in plain loops. Bit-identical to the AVX2
+/// maddubs/madd kernel by construction (the 7-bit activation bound rules
+/// out saturation, and unsaturated integer arithmetic has no rounding).
+void Int8SkinnyPortable(int64_t quads, int m, const uint8_t* aq,
+                        int64_t lda_q, const int8_t* bseg, int32_t* acc) {
+  for (int i = 0; i < m; ++i) {
+    int32_t* arow = acc + i * kQNr;
+    for (int c = 0; c < kQNr; ++c) arow[c] = 0;
+    const uint8_t* ar = aq + i * lda_q;
+    for (int64_t p = 0; p < quads; ++p) {
+      const int32_t a0 = ar[4 * p];
+      const int32_t a1 = ar[4 * p + 1];
+      const int32_t a2 = ar[4 * p + 2];
+      const int32_t a3 = ar[4 * p + 3];
+      const int8_t* bquad = bseg + p * 4 * kQNr;
+      for (int c = 0; c < kQNr; ++c) {
+        arow[c] += a0 * bquad[4 * c] + a1 * bquad[4 * c + 1] +
+                   a2 * bquad[4 * c + 2] + a3 * bquad[4 * c + 3];
+      }
+    }
+  }
+}
+
+detail::Int8SkinnyFn ActiveInt8Kernel() {
+  // VNNI -> AVX2 maddubs -> portable. All three compute the same exact
+  // integer contraction, so the pick is pure speed, never semantics.
+  static const detail::Int8SkinnyFn fn = [] {
+    if (const detail::Int8SkinnyFn vnni = detail::VnniInt8Kernel()) {
+      return vnni;
+    }
+    const detail::Int8SkinnyFn avx2 = detail::Avx2Int8Kernel();
+    return avx2 != nullptr ? avx2 : &Int8SkinnyPortable;
+  }();
+  return fn;
+}
+
+bool WorthParallel(int64_t flops, int64_t tasks) {
+  return flops >= detail::kParallelFlops && tasks > 1;
+}
+
+/// beta-only merge for k == 0 problems (beta restricted to {0, 1}).
+void BetaMergeQ(int64_t m, int64_t n, float beta, float* c, int64_t ldc) {
+  if (beta != 0.0f) return;  // beta == 1: C unchanged.
+  for (int64_t i = 0; i < m; ++i) {
+    float* row = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) row[j] = 0.0f;
+  }
+}
+
+/// Quantizes rows [i0, i1) of op(A) (m x k) into the segment-padded u8
+/// layout: row i at aq + i*row_bytes, segment g's quads at byte offset
+/// seg_quad_off[g]*4. One affine (min, scale) per row over the active k,
+/// codes in [0, 127]; aeff[i] = alpha * scale[i] and amineff[i] =
+/// alpha * min[i] feed the dequant epilogue directly. Padded positions
+/// hold code 0 — harmless because the matching weight bytes are 0, so
+/// both the integer products and the colsum correction ignore them.
+void QuantizeRowsPadded(bool trans_a, const float* a, int64_t lda,
+                        int64_t i0, int64_t i1, float alpha,
+                        const std::vector<int64_t>& seg_ends, int64_t s_act,
+                        const std::vector<int64_t>& seg_quad_off,
+                        int64_t row_bytes, uint8_t* aq, float* aeff,
+                        float* amineff) {
+  const int64_t k = seg_ends[static_cast<size_t>(s_act - 1)];
+  const detail::MinMaxF32Fn minmax_fn = detail::Avx2MinMaxF32();
+  const detail::EncodeU7Fn encode_fn = detail::Avx2EncodeU7();
+
+  // One contiguous source row -> one padded u8 row. Element-exact across
+  // the AVX2 and scalar flavors (vcvtps2dq and lrintf share
+  // round-to-nearest-even), so the dispatch is pure speed.
+  const auto quant_row_bounded = [&](int64_t i, const float* arow, float lo,
+                                     float hi) {
+    const float scale = (hi - lo) / 127.0f;
+    aeff[i] = alpha * scale;
+    amineff[i] = alpha * lo;
+    const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+    uint8_t* row = aq + i * row_bytes;
+    for (int64_t g = 0; g < s_act; ++g) {
+      const int64_t s0 = g > 0 ? seg_ends[static_cast<size_t>(g - 1)] : 0;
+      const int64_t s1 = seg_ends[static_cast<size_t>(g)];
+      uint8_t* seg = row + seg_quad_off[static_cast<size_t>(g)] * 4;
+      int64_t idx = 0;
+      if (encode_fn != nullptr) {
+        encode_fn(arow + s0, s1 - s0, lo, inv, seg);
+        idx = s1 - s0;
+      } else {
+        for (int64_t p = s0; p < s1; ++p) {
+          seg[idx++] = QuantizeValueU7(arow[p], lo, inv);
+        }
+      }
+      while (idx & 3) seg[idx++] = 0;  // pad segments to a full quad
+    }
+  };
+  const auto quant_row = [&](int64_t i, const float* arow) {
+    float lo = 0.0f, hi = 0.0f;
+    if (minmax_fn != nullptr) {
+      minmax_fn(arow, k, &lo, &hi);
+    } else {
+      for (int64_t p = 0; p < k; ++p) {
+        const float v = arow[p];
+        if (p == 0 || v < lo) lo = v;
+        if (p == 0 || v > hi) hi = v;
+      }
+    }
+    quant_row_bounded(i, arow, lo, hi);
+  };
+  // Strided fallback for op(A) columns no 8-wide transpose covers.
+  const auto quant_col_scalar = [&](int64_t i) {
+    float lo = 0.0f, hi = 0.0f;
+    for (int64_t p = 0; p < k; ++p) {
+      const float v = a[p * lda + i];
+      if (p == 0 || v < lo) lo = v;
+      if (p == 0 || v > hi) hi = v;
+    }
+    const float scale = (hi - lo) / 127.0f;
+    aeff[i] = alpha * scale;
+    amineff[i] = alpha * lo;
+    const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+    uint8_t* row = aq + i * row_bytes;
+    for (int64_t g = 0; g < s_act; ++g) {
+      const int64_t s0 = g > 0 ? seg_ends[static_cast<size_t>(g - 1)] : 0;
+      const int64_t s1 = seg_ends[static_cast<size_t>(g)];
+      uint8_t* seg = row + seg_quad_off[static_cast<size_t>(g)] * 4;
+      int64_t idx = 0;
+      for (int64_t p = s0; p < s1; ++p) {
+        seg[idx++] = QuantizeValueU7(a[p * lda + i], lo, inv);
+      }
+      while (idx & 3) seg[idx++] = 0;
+    }
+  };
+
+  if (!trans_a) {
+    for (int64_t i = i0; i < i1; ++i) quant_row(i, a + i * lda);
+    return;
+  }
+  // Transposed source (the conv path quantizes op(A) COLUMNS): gather 8
+  // columns at a time into contiguous scratch rows so the vector encode
+  // loop applies, with the per-column min/max scan fused into the gather
+  // pass; leftover columns take the strided scalar loop. Same per-element
+  // math either way.
+  const detail::Transpose8ColMMFn tpose_fn = detail::Avx2Transpose8ColMinMax();
+  int64_t i = i0;
+  if (tpose_fn != nullptr && encode_fn != nullptr && i1 - i0 >= 8 && k > 0) {
+    ScratchArena& arena = ScratchArena::ForThread();
+    ScratchArena::Scope scope(arena);
+    float* tp = arena.Alloc(8 * k);
+    float lo8[8], hi8[8];
+    for (; i + 8 <= i1; i += 8) {
+      tpose_fn(a + i, lda, k, tp, k, lo8, hi8);
+      for (int j = 0; j < 8; ++j) {
+        quant_row_bounded(i + j, tp + j * k, lo8[j], hi8[j]);
+      }
+    }
+  }
+  for (; i < i1; ++i) quant_col_scalar(i);
+}
+
+/// Number of whole segments covered by the sliced k; dies unless k lands
+/// exactly on a segment boundary (slice rates do by construction).
+int64_t ActiveSegments(const std::vector<int64_t>& seg_ends, int64_t k) {
+  if (k == 0) return 0;
+  int64_t s = 0;
+  const int64_t n = static_cast<int64_t>(seg_ends.size());
+  while (s < n && seg_ends[static_cast<size_t>(s)] <= k) ++s;
+  MS_CHECK_MSG(s >= 1 && seg_ends[static_cast<size_t>(s - 1)] == k,
+               "quantized k must land on a slice-group boundary");
+  return s;
+}
+
+}  // namespace
+
+float QuantizedPack::scale(int64_t segment, int64_t col) const {
+  MS_CHECK(valid_ && segment >= 0 &&
+           segment < static_cast<int64_t>(seg_ends_.size()) && col >= 0 &&
+           col < cols_);
+  const int64_t s = static_cast<int64_t>(seg_ends_.size());
+  return scales_[static_cast<size_t>(((col / kQNr) * s + segment) * kQNr +
+                                     col % kQNr)];
+}
+
+int8_t* QuantizedPack::Reserve(int64_t bytes) {
+  MS_CHECK(bytes >= 0);
+  if (bytes > capacity_) {
+    constexpr int64_t kAlign = 64;
+    storage_ = std::make_unique<int8_t[]>(static_cast<size_t>(bytes + kAlign));
+    const auto addr = reinterpret_cast<uintptr_t>(storage_.get());
+    const uintptr_t aligned = (addr + kAlign - 1) & ~(kAlign - 1);
+    data_ = reinterpret_cast<int8_t*>(aligned);
+    capacity_ = bytes;
+  }
+  return data_;
+}
+
+void QuantizePackB(bool trans_b, int64_t k, int64_t n, const float* b,
+                   int64_t ldb, const std::vector<int64_t>& k_group_ends,
+                   QuantizedPack* pack) {
+  MS_CHECK(pack != nullptr && b != nullptr);
+  MS_CHECK(k >= 1 && n >= 1 && ldb >= 1);
+  MS_CHECK_MSG(!k_group_ends.empty() && k_group_ends.back() == k,
+               "k_group_ends must partition [0, k)");
+  const int64_t s_count = static_cast<int64_t>(k_group_ends.size());
+  std::vector<int64_t> seg_quad_off(static_cast<size_t>(s_count) + 1, 0);
+  for (int64_t g = 0; g < s_count; ++g) {
+    const int64_t s0 = g > 0 ? k_group_ends[static_cast<size_t>(g - 1)] : 0;
+    const int64_t s1 = k_group_ends[static_cast<size_t>(g)];
+    MS_CHECK_MSG(s1 > s0, "k_group_ends must be strictly ascending");
+    seg_quad_off[static_cast<size_t>(g + 1)] =
+        seg_quad_off[static_cast<size_t>(g)] + (s1 - s0 + 3) / 4;
+  }
+  const int64_t panel_bytes = seg_quad_off.back() * 4 * kQNr;
+  const int64_t n_panels = detail::CeilDiv(n, kQNr);
+  const int64_t total = n_panels * panel_bytes;
+  int8_t* out = pack->Reserve(total);
+  pack->scales_.assign(static_cast<size_t>(n_panels * s_count * kQNr), 0.0f);
+  pack->colsums_.assign(static_cast<size_t>(n_panels * s_count * kQNr), 0);
+
+  const auto at = [&](int64_t p, int64_t j) -> float {
+    return trans_b ? b[j * ldb + p] : b[p * ldb + j];
+  };
+  auto pack_range = [&](int64_t p0, int64_t p1) {
+    for (int64_t pj = p0; pj < p1; ++pj) {
+      const int64_t j0 = pj * kQNr;
+      const int64_t live = std::min<int64_t>(kQNr, n - j0);
+      int8_t* panel = out + pj * panel_bytes;
+      float* pscales = pack->scales_.data() + pj * s_count * kQNr;
+      int32_t* psums = pack->colsums_.data() + pj * s_count * kQNr;
+      for (int64_t g = 0; g < s_count; ++g) {
+        const int64_t s0 =
+            g > 0 ? k_group_ends[static_cast<size_t>(g - 1)] : 0;
+        const int64_t s1 = k_group_ends[static_cast<size_t>(g)];
+        float* gs = pscales + g * kQNr;
+        int32_t* gsum = psums + g * kQNr;
+        float inv[kQNr];
+        for (int64_t c = 0; c < live; ++c) {
+          float amax = 0.0f;
+          for (int64_t p = s0; p < s1; ++p) {
+            const float v = std::fabs(at(p, j0 + c));
+            if (v > amax) amax = v;
+          }
+          gs[c] = amax / 127.0f;
+          inv[c] = amax > 0.0f ? 127.0f / amax : 0.0f;
+        }
+        for (int64_t c = live; c < kQNr; ++c) inv[c] = 0.0f;
+        int8_t* seg = panel + seg_quad_off[static_cast<size_t>(g)] * 4 * kQNr;
+        const int64_t quads = seg_quad_off[static_cast<size_t>(g + 1)] -
+                              seg_quad_off[static_cast<size_t>(g)];
+        for (int64_t p = 0; p < quads; ++p) {
+          int8_t* dst = seg + p * 4 * kQNr;
+          for (int64_t c = 0; c < kQNr; ++c) {
+            for (int t = 0; t < 4; ++t) {
+              const int64_t kk = s0 + 4 * p + t;
+              const int8_t q = (c < live && kk < s1)
+                                   ? QuantizeValue(at(kk, j0 + c), inv[c])
+                                   : static_cast<int8_t>(0);
+              dst[4 * c + t] = q;
+              gsum[c] += q;  // zero-point correction operand (pads add 0)
+            }
+          }
+        }
+      }
+    }
+  };
+  // Pure data movement: panels land in identical bytes under any
+  // partition, so fan out when the matrix is big enough to care.
+  if (WorthParallel(2 * k * n, n_panels)) {
+    ParallelForCompute(n_panels, pack_range);
+  } else {
+    pack_range(0, n_panels);
+  }
+
+  pack->valid_ = true;
+  pack->trans_ = trans_b;
+  pack->rows_ = k;
+  pack->cols_ = n;
+  pack->ld_ = ldb;
+  pack->src_ = b;
+  pack->packed_bytes_ = total;
+  pack->generation_ = WeightGeneration();
+  pack->seg_ends_ = k_group_ends;
+  pack->seg_quad_off_ = std::move(seg_quad_off);
+  g_qpacks.fetch_add(1, std::memory_order_relaxed);
+  g_qpacked_bytes.fetch_add(static_cast<uint64_t>(total),
+                            std::memory_order_relaxed);
+}
+
+bool EnsureQuantizedB(bool trans_b, int64_t k, int64_t n, const float* b,
+                      int64_t ldb, const std::vector<int64_t>& k_group_ends,
+                      QuantizedPack* pack) {
+  MS_CHECK(pack != nullptr);
+  if (pack->valid_ && pack->trans_ == trans_b && pack->rows_ == k &&
+      pack->cols_ == n && pack->ld_ == ldb && pack->src_ == b &&
+      pack->generation_ == WeightGeneration() &&
+      pack->seg_ends_ == k_group_ends) {
+    g_qhits.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  QuantizePackB(trans_b, k, n, b, ldb, k_group_ends, pack);
+  return true;
+}
+
+void GemmQuantizedB(bool trans_a, int64_t m, int64_t n, int64_t k,
+                    float alpha, const float* a, int64_t lda,
+                    const QuantizedPack& bpack, float beta, float* c,
+                    int64_t ldc) {
+  MS_CHECK(bpack.valid_);
+  MS_CHECK_MSG(beta == 0.0f || beta == 1.0f,
+               "GemmQuantizedB supports beta in {0, 1}");
+  MS_CHECK(k <= bpack.rows_ && n <= bpack.cols_);
+  if (m <= 0 || n <= 0) return;
+  g_qgemm_calls.fetch_add(1, std::memory_order_relaxed);
+  const int64_t s_act = ActiveSegments(bpack.seg_ends_, k);
+  if (s_act == 0) {
+    BetaMergeQ(m, n, beta, c, ldc);
+    return;
+  }
+  const int64_t s_count = static_cast<int64_t>(bpack.seg_ends_.size());
+  const int64_t row_bytes = bpack.seg_quad_off_.back() * 4;
+  const int64_t panel_bytes = row_bytes * kQNr;
+  const int64_t n_panels = detail::CeilDiv(n, kQNr);
+  const detail::Int8SkinnyFn kernel = ActiveInt8Kernel();
+  const detail::Int8EpilogueFn epilogue = detail::Avx2Int8Epilogue();
+
+  ScratchArena& arena = ScratchArena::ForThread();
+  ScratchArena::Scope scope(arena);
+  uint8_t* aq = reinterpret_cast<uint8_t*>(
+      arena.Alloc(detail::CeilDiv(m * row_bytes, 4)));
+  float* aeff = arena.Alloc(m);
+  float* amineff = arena.Alloc(m);
+
+  auto quant_rows = [&](int64_t i0, int64_t i1) {
+    QuantizeRowsPadded(trans_a, a, lda, i0, i1, alpha, bpack.seg_ends_,
+                       s_act, bpack.seg_quad_off_, row_bytes, aq, aeff,
+                       amineff);
+  };
+  const int64_t flops = 2 * m * n * k;
+  // Quantization makes ~3 passes per element (min/max, encode, and for
+  // the transposed flavor a gather), so weigh it at 6 ops/element when
+  // deciding to fan out.
+  if (WorthParallel(6 * m * k, m)) {
+    ParallelForCompute(m, quant_rows);
+  } else {
+    quant_rows(0, m);
+  }
+
+  auto run = [&](int64_t p0, int64_t p1) {
+    alignas(64) int32_t acc[kQRowChunk * kQNr];
+    float ftile[kQRowChunk * kQNr];
+    for (int64_t pj = p0; pj < p1; ++pj) {
+      const int8_t* panel = bpack.data_ + pj * panel_bytes;
+      const float* pscales = bpack.scales_.data() + pj * s_count * kQNr;
+      const int32_t* psums = bpack.colsums_.data() + pj * s_count * kQNr;
+      const int64_t j0 = pj * kQNr;
+      const int64_t live = std::min<int64_t>(kQNr, n - j0);
+      for (int64_t i0 = 0; i0 < m; i0 += kQRowChunk) {
+        const int mc = static_cast<int>(std::min<int64_t>(kQRowChunk, m - i0));
+        std::fill(ftile, ftile + mc * kQNr, 0.0f);
+        for (int64_t g = 0; g < s_act; ++g) {
+          const int64_t off = bpack.seg_quad_off_[static_cast<size_t>(g)];
+          const int64_t quads =
+              bpack.seg_quad_off_[static_cast<size_t>(g + 1)] - off;
+          kernel(quads, mc, aq + i0 * row_bytes + off * 4, row_bytes,
+                 panel + off * 4 * kQNr, acc);
+          const float* gs = pscales + g * kQNr;
+          const int32_t* gsum = psums + g * kQNr;
+          if (epilogue != nullptr) {
+            epilogue(mc, acc, gs, gsum, aeff + i0, amineff + i0, ftile);
+            continue;
+          }
+          for (int i = 0; i < mc; ++i) {
+            const float as = aeff[i0 + i];
+            const float amin = amineff[i0 + i];
+            for (int cc = 0; cc < kQNr; ++cc) {
+              ftile[i * kQNr + cc] +=
+                  gs[cc] * (as * static_cast<float>(acc[i * kQNr + cc]) +
+                            amin * static_cast<float>(gsum[cc]));
+            }
+          }
+        }
+        for (int i = 0; i < mc; ++i) {
+          float* crow = c + (i0 + i) * ldc + j0;
+          const float* frow = ftile + i * kQNr;
+          if (beta == 0.0f) {
+            for (int64_t cc = 0; cc < live; ++cc) crow[cc] = frow[cc];
+          } else {
+            for (int64_t cc = 0; cc < live; ++cc) crow[cc] += frow[cc];
+          }
+        }
+      }
+    }
+  };
+  if (WorthParallel(flops, n_panels)) {
+    ParallelForCompute(n_panels, run);
+  } else {
+    run(0, n_panels);
+  }
+}
+
+void GemmQuantizedWeightA(int64_t m, int64_t n, int64_t k,
+                          const QuantizedPack& wpack_t, const float* b,
+                          int64_t ldb, float beta, float* c, int64_t ldc) {
+  MS_CHECK(wpack_t.valid_);
+  MS_CHECK_MSG(beta == 0.0f || beta == 1.0f,
+               "GemmQuantizedWeightA supports beta in {0, 1}");
+  MS_CHECK(k <= wpack_t.rows_ && m <= wpack_t.cols_);
+  if (m <= 0 || n <= 0) return;
+  g_qgemm_calls.fetch_add(1, std::memory_order_relaxed);
+  const int64_t s_act = ActiveSegments(wpack_t.seg_ends_, k);
+  if (s_act == 0) {
+    BetaMergeQ(m, n, beta, c, ldc);
+    return;
+  }
+  const int64_t s_count = static_cast<int64_t>(wpack_t.seg_ends_.size());
+  const int64_t row_bytes = wpack_t.seg_quad_off_.back() * 4;
+  const int64_t panel_bytes = row_bytes * kQNr;
+  const int64_t m_panels = detail::CeilDiv(m, kQNr);
+  const detail::Int8SkinnyFn kernel = ActiveInt8Kernel();
+  const detail::Int8EpilogueFn epilogue = detail::Avx2Int8Epilogue();
+  const detail::Transpose8ColFn tpose = detail::Avx2Transpose8Col();
+
+  ScratchArena& arena = ScratchArena::ForThread();
+  ScratchArena::Scope scope(arena);
+  // "Rows" of the transposed problem are b's columns (output pixels):
+  // quantize each column of b over the active k with one dynamic affine.
+  uint8_t* bq = reinterpret_cast<uint8_t*>(
+      arena.Alloc(detail::CeilDiv(n * row_bytes, 4)));
+  float* beff = arena.Alloc(n);
+  float* bmineff = arena.Alloc(n);
+  auto quant_cols = [&](int64_t i0, int64_t i1) {
+    QuantizeRowsPadded(/*trans_a=*/true, b, ldb, i0, i1, /*alpha=*/1.0f,
+                       wpack_t.seg_ends_, s_act, wpack_t.seg_quad_off_,
+                       row_bytes, bq, beff, bmineff);
+  };
+  const int64_t flops = 2 * m * n * k;
+  // Same 6 ops/element weighting as GemmQuantizedB: the column quantize
+  // streams the whole im2col matrix, which serial execution leaves as
+  // the dominant cost of conv-shaped calls.
+  if (WorthParallel(6 * n * k, n)) {
+    ParallelForCompute(n, quant_cols);
+  } else {
+    quant_cols(0, n);
+  }
+
+  // Pixel chunks own disjoint column ranges of every C row, so the
+  // parallel partition below writes disjoint memory.
+  const int64_t n_chunks = detail::CeilDiv(n, kQRowChunk);
+  auto run = [&](int64_t ch0, int64_t ch1) {
+    alignas(64) int32_t acc[kQRowChunk * kQNr];
+    float ftile[kQRowChunk * kQNr];
+    for (int64_t chunk = ch0; chunk < ch1; ++chunk) {
+      const int64_t i0 = chunk * kQRowChunk;
+      const int mc = static_cast<int>(std::min<int64_t>(kQRowChunk, n - i0));
+      for (int64_t pj = 0; pj < m_panels; ++pj) {
+        const int8_t* panel = wpack_t.data_ + pj * panel_bytes;
+        const float* pscales = wpack_t.scales_.data() + pj * s_count * kQNr;
+        const int32_t* psums =
+            wpack_t.colsums_.data() + pj * s_count * kQNr;
+        const int64_t j0 = pj * kQNr;
+        const int64_t live = std::min<int64_t>(kQNr, m - j0);
+        std::fill(ftile, ftile + mc * kQNr, 0.0f);
+        for (int64_t g = 0; g < s_act; ++g) {
+          const int64_t off = wpack_t.seg_quad_off_[static_cast<size_t>(g)];
+          const int64_t quads =
+              wpack_t.seg_quad_off_[static_cast<size_t>(g + 1)] - off;
+          kernel(quads, mc, bq + i0 * row_bytes + off * 4, row_bytes,
+                 panel + off * 4 * kQNr, acc);
+          const float* gs = pscales + g * kQNr;
+          const int32_t* gsum = psums + g * kQNr;
+          if (epilogue != nullptr) {
+            epilogue(mc, acc, gs, gsum, beff + i0, bmineff + i0, ftile);
+            continue;
+          }
+          for (int i = 0; i < mc; ++i) {
+            const float bs = beff[i0 + i];
+            const float bmin = bmineff[i0 + i];
+            for (int cc = 0; cc < kQNr; ++cc) {
+              ftile[i * kQNr + cc] +=
+                  gs[cc] * (bs * static_cast<float>(acc[i * kQNr + cc]) +
+                            bmin * static_cast<float>(gsum[cc]));
+            }
+          }
+        }
+        // Transposed merge: ftile rows are pixels, lanes are W rows (C's
+        // rows): C[j0+cc][i0+i] = ftile[i][cc]. Full 8x8 blocks of the
+        // overwrite flavor go through the vector transpose straight into
+        // C; everything else (beta == 1, ragged edges) stays scalar —
+        // same element moves either way.
+        int64_t cc0 = 0;
+        if (tpose != nullptr && beta == 0.0f) {
+          for (; cc0 + 8 <= live; cc0 += 8) {
+            int i = 0;
+            for (; i + 8 <= mc; i += 8) {
+              tpose(ftile + i * kQNr + cc0, kQNr, 8,
+                    c + (j0 + cc0) * ldc + i0 + i, ldc);
+            }
+            for (; i < mc; ++i) {
+              for (int64_t cc = cc0; cc < cc0 + 8; ++cc) {
+                c[(j0 + cc) * ldc + i0 + i] = ftile[i * kQNr + cc];
+              }
+            }
+          }
+        }
+        for (int64_t cc = cc0; cc < live; ++cc) {
+          float* crow = c + (j0 + cc) * ldc + i0;
+          if (beta == 0.0f) {
+            for (int i = 0; i < mc; ++i) crow[i] = ftile[i * kQNr + cc];
+          } else {
+            for (int i = 0; i < mc; ++i) crow[i] += ftile[i * kQNr + cc];
+          }
+        }
+      }
+    }
+  };
+  if (WorthParallel(flops, n_chunks)) {
+    ParallelForCompute(n_chunks, run);
+  } else {
+    run(0, n_chunks);
+  }
+}
+
+bool GemmHasInt8Avx2() { return detail::Avx2Int8Kernel() != nullptr; }
+
+bool GemmHasInt8Vnni() { return detail::VnniInt8Kernel() != nullptr; }
+
+// ---------------------------------------------------------------------------
+
+QuantStats GetQuantStats() {
+  QuantStats s;
+  s.packs = g_qpacks.load(std::memory_order_relaxed);
+  s.packed_bytes = g_qpacked_bytes.load(std::memory_order_relaxed);
+  s.hits = g_qhits.load(std::memory_order_relaxed);
+  s.quantized_calls = g_qgemm_calls.load(std::memory_order_relaxed);
+  return s;
+}
+
+uint64_t TotalQuantPackCount() {
+  return g_qpacks.load(std::memory_order_relaxed);
+}
+
+void PublishQuantMetrics() {
+  const QuantStats s = GetQuantStats();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("ms_quant_pack_count")->Set(static_cast<double>(s.packs));
+  registry.GetGauge("ms_quant_pack_bytes")
+      ->Set(static_cast<double>(s.packed_bytes));
+  registry.GetGauge("ms_quant_pack_hits")->Set(static_cast<double>(s.hits));
+  registry.GetGauge("ms_quant_gemm_calls")
+      ->Set(static_cast<double>(s.quantized_calls));
+}
+
+}  // namespace ops
+}  // namespace ms

@@ -90,6 +90,26 @@ TEST(DegradationManager, RunSummariesAreConsistent) {
   EXPECT_LE(s.mean_rate, 1.0);
 }
 
+TEST(DegradationManager, Int8HoldsRateAndExtendsCapacity) {
+  auto opts = DefaultOptions();
+  opts.serving.full_sample_time_int8 = 0.25;  // second ladder rung
+  opts.max_queue = 10000;
+  auto mgr = DegradationManager::Make(opts).MoveValueOrDie();
+  // 64 samples overran fp32 at r=1 (the fp32-only manager sheds to 0.5,
+  // see HeavyLoadSlicesDown); the joint ladder instead drops precision
+  // at the CURRENT rate: 64 * 1 * 0.25 = 16 fits the tick budget.
+  const DegradationTick t = mgr.Step(64);
+  EXPECT_EQ(t.processed, 64);
+  EXPECT_DOUBLE_EQ(t.rate, 1.0);
+  EXPECT_EQ(t.precision, Precision::kInt8);
+  EXPECT_EQ(t.backlog, 0);
+  // Capacity floor scales with the cheapest column: base-rate int8 admits
+  // 4x the fp32-only max batch (16 / (0.0625 * 0.25) = 1024 vs 256).
+  EXPECT_EQ(DegradationManager::MaxBatchWithinBudget(opts.serving), 1024);
+  EXPECT_EQ(
+      DegradationManager::MaxBatchWithinBudget(DefaultOptions().serving), 256);
+}
+
 TEST(DegradationManager, RejectsBadOptions) {
   auto opts = DefaultOptions();
   opts.max_queue = 0;

@@ -97,6 +97,7 @@ TEST(Wire, StatsRoundTrip) {
   msg.rejected = 2;
   msg.failed = 1;
   msg.calibrated_t = 0.004;
+  msg.calibrated_t_int8 = 0.0013;
   msg.tick_seconds = 0.02;
   msg.rates = {0.25, 0.5, 1.0};
   ShardView view;
@@ -117,6 +118,8 @@ TEST(Wire, StatsRoundTrip) {
   ASSERT_TRUE(DecodeStats(out.payload, &decoded).ok());
   EXPECT_EQ(decoded.role, StatsRole::kRouter);
   EXPECT_EQ(decoded.submitted, 100);
+  EXPECT_DOUBLE_EQ(decoded.calibrated_t, 0.004);
+  EXPECT_DOUBLE_EQ(decoded.calibrated_t_int8, 0.0013);
   EXPECT_EQ(decoded.rates, msg.rates);
   ASSERT_EQ(decoded.shards.size(), 2u);
   EXPECT_EQ(decoded.shards[0].forwarded, 55);
@@ -168,6 +171,22 @@ TEST(Wire, BadMagicIsFatal) {
   Frame out;
   EXPECT_EQ(decoder.Next(&out), DecodeResult::kFatal);
   // Poisoned for good: even valid bytes afterwards cannot be trusted.
+  const std::string good = EncodeRequest(SampleRequest());
+  decoder.Feed(good.data(), good.size());
+  EXPECT_EQ(decoder.Next(&out), DecodeResult::kFatal);
+}
+
+TEST(Wire, OldVersionFrameIsFatalNotMisparsed) {
+  // v2 moved the StatsMsg layout (calibrated_t_int8). A v1 peer's frame
+  // must die at the version check — if it reached the payload parsers the
+  // shifted fields would decode as garbage numbers, not an error.
+  std::string frame = EncodeRequest(SampleRequest());
+  frame[2] = 1;  // kWireVersion was 1 before the per-precision stats bump
+  FrameDecoder decoder;
+  decoder.Feed(frame.data(), frame.size());
+  Frame out;
+  EXPECT_EQ(decoder.Next(&out), DecodeResult::kFatal);
+  // Poisoned for good, same as bad magic: no resync with an old peer.
   const std::string good = EncodeRequest(SampleRequest());
   decoder.Feed(good.data(), good.size());
   EXPECT_EQ(decoder.Next(&out), DecodeResult::kFatal);
@@ -371,6 +390,35 @@ TEST(Frontend, CorruptFrameGetsRejectedInvalidReplyAndServerSurvives) {
     ASSERT_TRUE(DecodeReply(out.payload, &reply).ok());
     EXPECT_EQ(reply.admit, AdmitResult::kRejectedInvalid);
     EXPECT_EQ(reply.id, 99u);
+  }
+
+  // Old-version frame: fatal — server answers one kRejectedInvalid (id 0,
+  // since an old peer's layout can't be trusted) and closes that stream.
+  {
+    std::string old_frame = EncodeRequest(msg);
+    old_frame[2] = 1;  // pre-v2 version byte
+    auto raw = TcpConnect("127.0.0.1", frames.port(), 2.0);
+    ASSERT_TRUE(raw.ok());
+    Socket sock = raw.MoveValueOrDie();
+    ASSERT_TRUE(SendAll(sock.fd(), old_frame.data(), old_frame.size()).ok());
+    FrameDecoder decoder;
+    char buf[256];
+    Frame out;
+    DecodeResult got = DecodeResult::kNeedMore;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (got == DecodeResult::kNeedMore &&
+           std::chrono::steady_clock::now() < deadline) {
+      const ssize_t r = ::recv(sock.fd(), buf, sizeof(buf), 0);
+      if (r <= 0) continue;
+      decoder.Feed(buf, static_cast<size_t>(r));
+      got = decoder.Next(&out);
+    }
+    ASSERT_EQ(got, DecodeResult::kFrame);
+    ReplyMsg reply;
+    ASSERT_TRUE(DecodeReply(out.payload, &reply).ok());
+    EXPECT_EQ(reply.admit, AdmitResult::kRejectedInvalid);
+    EXPECT_EQ(reply.id, 0u);
   }
 
   // The server must still serve clean traffic afterwards.

@@ -9,8 +9,11 @@
 #include <thread>
 #include <vector>
 
+#include <string>
+
 #include "gtest/gtest.h"
 #include "src/models/mlp.h"
+#include "src/obs/flight_recorder.h"
 #include "src/serving/server.h"
 
 namespace ms {
@@ -204,12 +207,20 @@ TEST(SliceServer, RejectsNonFiniteDeadlines) {
 }
 
 TEST(SliceServer, OverloadLowersSliceRate) {
+  // Injected fixed calibration instead of a measured one: on a loaded
+  // 1-core CI box the measured t wobbles enough that "4x capacity" is
+  // sometimes not an overload at all (flaky). With calibrate=false the
+  // Eq. 3 arithmetic is exact — the burst below is 4x the full-rate tick
+  // capacity BY CONSTRUCTION, so the scheduler must pick r <= 0.5 — while
+  // the real forwards stay far cheaper than the fake t and drain quickly.
+  auto opts = MakeOptions(0.02, 1 << 20);
+  opts.calibrate = false;
+  opts.serving.full_sample_time = 1e-3;  // trusted verbatim.
   auto server =
-      SliceServer::Create(MakeReplicas(1), MakeOptions(0.02, 1 << 20))
-          .MoveValueOrDie();
+      SliceServer::Create(MakeReplicas(1), std::move(opts)).MoveValueOrDie();
   ASSERT_TRUE(server->Start().ok());
-  // 4x the full-rate tick capacity in one burst: Eq. 3 forces r <= 0.5.
   const double t = server->calibrated_sample_seconds();
+  ASSERT_DOUBLE_EQ(t, 1e-3);
   const int n = static_cast<int>(4.0 * server->tick_seconds() / t) + 1;
   for (int i = 0; i < n; ++i) {
     ASSERT_EQ(server->Submit(), AdmitResult::kAccepted);
@@ -219,7 +230,68 @@ TEST(SliceServer, OverloadLowersSliceRate) {
   server->Stop();
   const ServerStats s = server->stats();
   EXPECT_LT(s.min_rate, 1.0);
+  EXPECT_EQ(s.batches_int8, 0);  // the axis is opt-in and was not enabled.
   ExpectConservation(s);
+}
+
+TEST(SliceServer, Int8ChosenAtCurrentRateBeforeRateShed) {
+  // Joint (rate, precision) ladder: with a fake dual calibration where the
+  // burst overruns the fp32 column at r = 1 but fits the int8 column at
+  // r = 1, the scheduler must drop precision — NOT rate. Visible in the
+  // decision log (chosen point + both cost columns among the candidates)
+  // and in the flight recorder's decision events.
+  obs::FlightRecorder::Global().EnableRecording();
+  auto opts = MakeOptions(0.02, 1 << 20);  // tick = 10 ms
+  opts.calibrate = false;
+  opts.enable_int8 = true;
+  opts.serving.full_sample_time = 1e-3;        // fp32: 20 samples -> 20 ms
+  opts.serving.full_sample_time_int8 = 2.5e-4;  // int8: 20 samples -> 5 ms
+  auto server =
+      SliceServer::Create(MakeReplicas(1), std::move(opts)).MoveValueOrDie();
+  ASSERT_TRUE(server->Start().ok());
+  EXPECT_DOUBLE_EQ(server->calibrated_sample_seconds_int8(), 2.5e-4);
+  const int n = 20;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(server->Submit(), AdmitResult::kAccepted);
+  }
+  EXPECT_TRUE(
+      WaitFor([&] { return server->stats().served >= n; }, /*timeout_ms=*/10000));
+  server->Stop();
+  const ServerStats s = server->stats();
+  EXPECT_GE(s.batches_int8, 1);
+  // No rate was shed: int8 at the current rate absorbed the overload.
+  EXPECT_DOUBLE_EQ(s.min_rate, 1.0);
+  ExpectConservation(s);
+
+  // Decision log: some batch chose (r = 1, int8), and its candidate list
+  // carries both cost columns for every lattice rate.
+  bool saw_int8_full_rate = false;
+  for (const DecisionRecord& rec : server->decision_log().Snapshot()) {
+    if (rec.chosen_precision != Precision::kInt8) continue;
+    EXPECT_DOUBLE_EQ(rec.chosen_rate, 1.0);
+    saw_int8_full_rate = true;
+    bool fp32_candidate = false, int8_candidate = false;
+    for (const DecisionCandidate& c : rec.candidates) {
+      if (c.precision == Precision::kFp32) fp32_candidate = true;
+      if (c.precision == Precision::kInt8) int8_candidate = true;
+    }
+    EXPECT_TRUE(fp32_candidate);
+    EXPECT_TRUE(int8_candidate);
+  }
+  EXPECT_TRUE(saw_int8_full_rate);
+  const std::string jsonl = server->decision_log().ToJsonl();
+  EXPECT_NE(jsonl.find("\"precision\":\"int8\""), std::string::npos);
+
+  // Flight recorder: the scheduling event itself names the int8 path.
+  bool flight_saw_int8 = false;
+  for (const auto& ev : obs::FlightRecorder::Global().Snapshot()) {
+    if (ev.kind == obs::FlightEventKind::kDecision &&
+        std::string(ev.detail) == "batch scheduled int8") {
+      flight_saw_int8 = true;
+    }
+  }
+  EXPECT_TRUE(flight_saw_int8);
+  obs::FlightRecorder::Global().Disable();
 }
 
 TEST(SliceServer, ClosedLoopTraceAccountsForEveryTick) {

@@ -141,6 +141,77 @@ TEST(LatencyScheduler, RejectsNonFiniteTimes) {
   }
 }
 
+TEST(LatencyScheduler, Int8DisabledIsExactlyTheFp32Rule) {
+  // full_sample_time_int8 == 0 must degenerate to the historical Eq. 3
+  // rule: same rates, never an int8 decision, even when infeasible.
+  auto sched = LatencyScheduler::Make(DefaultServing()).MoveValueOrDie();
+  EXPECT_FALSE(sched.int8_enabled());
+  for (int n : {1, 10, 64, 256, 300}) {
+    const TickDecision d = sched.Schedule(n);
+    EXPECT_EQ(d.precision, Precision::kFp32) << n;
+  }
+  EXPECT_DOUBLE_EQ(sched.Schedule(64).rate, 0.5);
+  EXPECT_DOUBLE_EQ(sched.Schedule(300).rate, 0.25);
+}
+
+TEST(LatencyScheduler, DropsToInt8AtCurrentRateBeforeDroppingRate) {
+  auto cfg = DefaultServing();
+  cfg.full_sample_time_int8 = 0.25;  // 4x cheaper than fp32's t = 1.
+  auto sched = LatencyScheduler::Make(cfg).MoveValueOrDie();
+  EXPECT_TRUE(sched.int8_enabled());
+
+  // Light load: fp32 fits at full rate, so fp32 is preferred.
+  const TickDecision light = sched.Schedule(10);
+  EXPECT_DOUBLE_EQ(light.rate, 1.0);
+  EXPECT_EQ(light.precision, Precision::kFp32);
+
+  // 64 samples: fp32 at r=1 costs 64 > 16, int8 at r=1 costs exactly 16.
+  // The fp32-only rule would shed to r=0.5; the joint rule must instead
+  // hold the rate and drop precision.
+  const TickDecision d = sched.Schedule(64);
+  EXPECT_DOUBLE_EQ(d.rate, 1.0);
+  EXPECT_EQ(d.precision, Precision::kInt8);
+  EXPECT_DOUBLE_EQ(d.processing_time, 16.0);
+  EXPECT_TRUE(d.slo_met);
+
+  // 100 samples: both columns fail at r=1 (100, 25), fp32 fails at
+  // r=0.75 too (56.25) but int8 fits there (14.06) — the ladder
+  // interleaves precision inside each rate step, so one rate step plus a
+  // precision drop settles it instead of the fp32-only rule's r=0.5.
+  const TickDecision d2 = sched.Schedule(100);
+  EXPECT_DOUBLE_EQ(d2.rate, 0.75);
+  EXPECT_EQ(d2.precision, Precision::kInt8);
+  EXPECT_TRUE(d2.slo_met);
+
+  // Beyond every operating point: serve at the cheapest one, SLO violated.
+  const TickDecision worst = sched.Schedule(2000);
+  EXPECT_DOUBLE_EQ(worst.rate, 0.25);
+  EXPECT_EQ(worst.precision, Precision::kInt8);
+  EXPECT_FALSE(worst.slo_met);
+}
+
+TEST(LatencyScheduler, ScheduleFixedUsesThePrecisionCostColumn) {
+  auto cfg = DefaultServing();
+  cfg.full_sample_time_int8 = 0.25;
+  auto sched = LatencyScheduler::Make(cfg).MoveValueOrDie();
+  EXPECT_FALSE(sched.ScheduleFixed(64, 1.0).slo_met);  // fp32: 64 > 16
+  const TickDecision d = sched.ScheduleFixed(64, 1.0, Precision::kInt8);
+  EXPECT_TRUE(d.slo_met);  // int8: 16 <= 16
+  EXPECT_DOUBLE_EQ(d.processing_time, 16.0);
+  EXPECT_DOUBLE_EQ(sched.SampleTime(Precision::kInt8), 0.25);
+  EXPECT_DOUBLE_EQ(sched.SampleTime(Precision::kFp32), 1.0);
+}
+
+TEST(LatencyScheduler, RejectsBadInt8Times) {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  for (double bad : {kNan, kInf, -kInf, -1.0}) {
+    auto cfg = DefaultServing();
+    cfg.full_sample_time_int8 = bad;
+    EXPECT_FALSE(LatencyScheduler::Make(cfg).ok()) << bad;
+  }
+}
+
 TEST(ServingSimulation, ElasticBeatsFixedTradeoffs) {
   auto sched = LatencyScheduler::Make(DefaultServing()).MoveValueOrDie();
   auto workload = GenerateWorkload(DefaultWorkload()).MoveValueOrDie();
