@@ -20,6 +20,16 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/models/cnn.h"
+#include "src/models/mlp.h"
+#include "src/nn/activations.h"
+#include "src/nn/dense.h"
+#include "src/nn/fusion.h"
+#include "src/nn/lstm.h"
+#include "src/nn/norm.h"
+#include "src/tensor/activation_arena.h"
+#include "src/tensor/activation_planner.h"
+#include "src/tensor/epilogue.h"
 #include "src/tensor/gemm.h"
 #include "src/tensor/prepack.h"
 #include "src/tensor/quant.h"
@@ -421,6 +431,260 @@ int Main() {
     } else {
       std::printf("gate: geomean %.2fx >= %.2fx, min %.2fx >= %.2fx -- pass\n",
                   geomean_serving, want, min_serving, floor);
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Fused epilogues + planned activation arena (epilogue.h, fusion.h,
+  // activation_planner.h). Each row times one serving-shaped model forward
+  // with the epilogue toggle on vs off: "unfused" runs the pre-fusion
+  // pipeline (separate bias loops, standalone ReLU/Tanh passes with their
+  // tensor copy and mask), "fused" applies the same math at C-writeback
+  // (bitwise identical — tests/fusion_test.cc). The geomean feeds
+  // MS_BENCH_FUSION_GATE; MS_BENCH_FUSION_OUT writes the rows plus the
+  // planned arena footprint at each slice rate as JSONL (the checked-in
+  // bench_results/BENCH_FUSION.json).
+  bench::PrintTitle("fused epilogues: serving-shape layer fwd, toggle on vs off");
+  std::printf("%-16s %12s %14s %9s\n", "layer", "fused ms/s", "unfused ms/s",
+              "speedup");
+  bench::PrintRule();
+  ops::SetComputeThreads(1);
+
+  // Keeps the timed forwards observable so the optimizer cannot drop them.
+  static volatile float fusion_sink;
+
+  struct FusionRow {
+    std::string label;
+    double fused_ms = 0.0;    // per sample
+    double unfused_ms = 0.0;  // per sample
+    double speedup() const { return unfused_ms / fused_ms; }
+  };
+  // Layer rows enter the gated geomean; full-model rows are reported (and
+  // exported) but stay out of the gate: vgg13's conv GEMMs carry an EMPTY
+  // epilogue (bias=false, a norm follows every conv) and are ~90% of its
+  // runtime, so the whole-model ratio measures GEMM throughput, not the
+  // killed post-GEMM passes the gate is about.
+  std::vector<FusionRow> fusion_rows;
+  std::vector<FusionRow> model_rows;
+  auto time_toggle = [&](const std::string& label, Module* net,
+                         const Tensor& x, int64_t samples, bool gated) {
+    FusionRow row;
+    row.label = label;
+    auto call = [&] {
+      Tensor y = net->Forward(x, /*training=*/false);
+      fusion_sink += y.data()[0];
+    };
+    ops::SetFuseEpilogues(true);
+    row.fused_ms = 1e3 * TimeCall(min_s, call) / samples;
+    ops::SetFuseEpilogues(false);
+    row.unfused_ms = 1e3 * TimeCall(min_s, call) / samples;
+    ops::SetFuseEpilogues(true);
+    (gated ? fusion_rows : model_rows).push_back(row);
+  };
+
+  // Dense + ReLU at serving batches: bias and activation fold into the
+  // prepacked GEMM's C-writeback; unfused runs the separate bias pass and
+  // the standalone ReLU module (tensor copy + mask + pass).
+  auto dense_relu = std::make_unique<Sequential>("dense_relu");
+  {
+    DenseOptions o;
+    o.in_features = 512;
+    o.out_features = 512;
+    o.bias = true;
+    dense_relu->Emplace<Dense>(o, &rng, "dense");
+    dense_relu->Emplace<ReLU>();
+    FuseActivations(dense_relu.get());
+  }
+  Tensor dense_x1 = Tensor::Randn({1, 512}, &rng);
+  Tensor dense_x8 = Tensor::Randn({8, 512}, &rng);
+  time_toggle("dense512-b1", dense_relu.get(), dense_x1, 1, /*gated=*/true);
+  time_toggle("dense512-b8", dense_relu.get(), dense_x8, 8, /*gated=*/true);
+
+  // GroupNorm + ReLU block tails at vgg13's stage map shapes: fused
+  // applies the activation at the norm's own write site (one extra
+  // in-cache sweep) instead of the module's copy + mask + pass.
+  std::vector<std::unique_ptr<Sequential>> gn_blocks;
+  auto gn_relu_row = [&](int64_t ch, int64_t hw, const char* label) {
+    auto block = std::make_unique<Sequential>(label);
+    NormOptions n;
+    n.channels = ch;
+    n.groups = 8;
+    block->Emplace<GroupNorm>(n, label);
+    block->Emplace<ReLU>();
+    FuseActivations(block.get());
+    Tensor x = Tensor::Randn({1, ch, hw, hw}, &rng);
+    time_toggle(label, block.get(), x, 1, /*gated=*/true);
+    gn_blocks.push_back(std::move(block));
+  };
+  gn_relu_row(64, 32, "gn64x32x32-b1");
+  gn_relu_row(128, 16, "gn128x16x16-b1");
+
+  LstmOptions lcfg;
+  lcfg.input_size = 512;
+  lcfg.hidden_size = 512;
+  lcfg.groups = 8;
+  lcfg.slice_in = false;
+  Lstm lstm_layer(lcfg, &rng);
+  // One serving step: the four gate activations (sigmoid x3, tanh) fuse
+  // into the gate GEMMs' writeback; the libm calls themselves are paid by
+  // both paths, so this row prices only the killed pre-activation sweeps.
+  Tensor lstm_cell_x = Tensor::Randn({1, 1, 512}, &rng);
+  time_toggle("lstm-cell-b1", &lstm_layer, lstm_cell_x, 1, /*gated=*/true);
+
+  MlpConfig mcfg;
+  mcfg.in_features = 512;
+  mcfg.hidden = {512, 512};
+  mcfg.num_classes = 10;
+  mcfg.group_norm = true;
+  auto mlp = MakeMlp(mcfg).MoveValueOrDie();
+  Tensor mlp_x1 = Tensor::Randn({1, 512}, &rng);
+  Tensor mlp_x8 = Tensor::Randn({8, 512}, &rng);
+  time_toggle("mlp-b8", mlp.get(), mlp_x8, 8, /*gated=*/true);
+
+  // Full-model rows (reported, ungated).
+  CnnConfig vcfg;
+  vcfg.in_channels = 3;
+  vcfg.num_classes = 10;
+  vcfg.base_width = 64;
+  vcfg.stages = 3;
+  vcfg.blocks_per_stage = 2;
+  auto vgg = MakeVggSmall(vcfg).MoveValueOrDie();
+  Tensor vgg_x = Tensor::Randn({1, 3, 32, 32}, &rng);
+  time_toggle("vgg13-b1", vgg.get(), vgg_x, 1, /*gated=*/false);
+  time_toggle("mlp-b1", mlp.get(), mlp_x1, 1, /*gated=*/false);
+  const int64_t lstm_t = bench::FastMode() ? 4 : 16;
+  Tensor lstm_x = Tensor::Randn({lstm_t, 1, 512}, &rng);
+  time_toggle("lstm-b1", &lstm_layer, lstm_x, 1, /*gated=*/false);
+
+  double fusion_log_sum = 0.0;
+  auto print_row = [&](const FusionRow& row) {
+    std::printf("%-16s %12.3f %14.3f %8.2fx\n", row.label.c_str(),
+                row.fused_ms, row.unfused_ms, row.speedup());
+    const std::string base = "bench_fusion." + row.label;
+    registry.GetGauge(base + ".fused_ms_per_sample")->Set(row.fused_ms);
+    registry.GetGauge(base + ".unfused_ms_per_sample")->Set(row.unfused_ms);
+    registry.GetGauge(base + ".speedup")->Set(row.speedup());
+  };
+  for (const FusionRow& row : fusion_rows) {
+    print_row(row);
+    fusion_log_sum += std::log(row.speedup());
+  }
+  const double fusion_geomean =
+      fusion_rows.empty() ? 0.0
+                          : std::exp(fusion_log_sum / fusion_rows.size());
+  std::printf("\nfull-model rows (reported, not gated -- conv GEMMs carry "
+              "an empty epilogue):\n");
+  for (const FusionRow& row : model_rows) print_row(row);
+  std::printf("\nfused-epilogue speedup geomean (layer rows): %.2fx\n",
+              fusion_geomean);
+  registry.GetGauge("bench_fusion.geomean_speedup")->Set(fusion_geomean);
+
+  // Planned activation footprint vs slice rate: one PlanForward per
+  // (model, r) on a fresh arena. packed_bytes is the per-replica
+  // activation peak a planned server reserves; total_alloc_bytes is what
+  // a reuse-free allocator would touch. Weights scale ~r^2, activations
+  // ~r — these rows record the honest activation component of the
+  // paper's footprint curve.
+  bench::PrintTitle("planned activation arena footprint vs slice rate");
+  std::printf("%-14s %6s %14s %14s %14s\n", "model", "r", "packed KiB",
+              "peak-live KiB", "no-reuse KiB");
+  bench::PrintRule();
+  struct ArenaRow {
+    std::string label;
+    double rate;
+    ActivationPlan plan;
+  };
+  std::vector<ArenaRow> arena_rows;
+  struct PlanTarget {
+    const char* label;
+    Module* net;
+    const Tensor* x;
+  };
+  const PlanTarget plan_targets[] = {
+      {"vgg13-b1", vgg.get(), &vgg_x},
+      {"mlp-b8", mlp.get(), &mlp_x8},
+      {"lstm-b1", &lstm_layer, &lstm_x},
+  };
+  for (const PlanTarget& target : plan_targets) {
+    for (const double r : {0.25, 0.5, 0.75, 1.0}) {
+      target.net->SetSliceRate(r);
+      // Warm lazy caches outside the arena so the recording sees only
+      // per-request activations (what steady-state serving allocates).
+      Tensor warm = target.net->Forward(*target.x, /*training=*/false);
+      fusion_sink += warm.data()[0];
+      ActivationArena arena;
+      ActivationPlan plan = PlanForward(&arena, [&] {
+        Tensor y = target.net->Forward(*target.x, /*training=*/false);
+        fusion_sink += y.data()[0];
+      });
+      std::printf("%-14s %6.2f %14.1f %14.1f %14.1f\n", target.label, r,
+                  plan.packed_bytes / 1024.0, plan.peak_live_bytes / 1024.0,
+                  plan.total_alloc_bytes / 1024.0);
+      char gbase[80];
+      std::snprintf(gbase, sizeof(gbase), "bench_fusion.arena.%s-r%.2f",
+                    target.label, r);
+      registry.GetGauge(std::string(gbase) + ".packed_bytes")
+          ->Set(static_cast<double>(plan.packed_bytes));
+      registry.GetGauge(std::string(gbase) + ".peak_live_bytes")
+          ->Set(static_cast<double>(plan.peak_live_bytes));
+      registry.GetGauge(std::string(gbase) + ".total_alloc_bytes")
+          ->Set(static_cast<double>(plan.total_alloc_bytes));
+      arena_rows.push_back({target.label, r, plan});
+    }
+    target.net->SetSliceRate(1.0);
+  }
+
+  if (const char* path = std::getenv("MS_BENCH_FUSION_OUT")) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "fusion dump: cannot open %s\n", path);
+    } else {
+      for (const FusionRow& row : fusion_rows) {
+        std::fprintf(f,
+                     "{\"type\":\"gauge\",\"name\":\"bench_fusion.%s"
+                     ".fused_ms_per_sample\",\"value\":%.9g}\n",
+                     row.label.c_str(), row.fused_ms);
+        std::fprintf(f,
+                     "{\"type\":\"gauge\",\"name\":\"bench_fusion.%s"
+                     ".unfused_ms_per_sample\",\"value\":%.9g}\n",
+                     row.label.c_str(), row.unfused_ms);
+        std::fprintf(f,
+                     "{\"type\":\"gauge\",\"name\":\"bench_fusion.%s"
+                     ".speedup\",\"value\":%.9g}\n",
+                     row.label.c_str(), row.speedup());
+      }
+      std::fprintf(f,
+                   "{\"type\":\"gauge\",\"name\":\"bench_fusion."
+                   "geomean_speedup\",\"value\":%.9g}\n",
+                   fusion_geomean);
+      for (const ArenaRow& row : arena_rows) {
+        std::fprintf(
+            f,
+            "{\"type\":\"gauge\",\"name\":\"bench_fusion.arena.%s-r%.2f"
+            ".peak_activation_bytes\",\"value\":%lld,"
+            "\"peak_live_bytes\":%lld,\"total_alloc_bytes\":%lld}\n",
+            row.label.c_str(), row.rate,
+            static_cast<long long>(row.plan.packed_bytes),
+            static_cast<long long>(row.plan.peak_live_bytes),
+            static_cast<long long>(row.plan.total_alloc_bytes));
+      }
+      std::fclose(f);
+    }
+  }
+
+  // The fusion acceptance gate: killing the post-GEMM passes must buy at
+  // least the given geomean across the serving rows (CI uses 1.15).
+  if (const char* gate = std::getenv("MS_BENCH_FUSION_GATE")) {
+    const double want = std::atof(gate);
+    if (fusion_geomean < want) {
+      std::fprintf(stderr,
+                   "FAIL: fused-epilogue speedup geomean %.2fx < gate "
+                   "%.2fx\n",
+                   fusion_geomean, want);
+      rc = 1;
+    } else {
+      std::printf("gate: fusion geomean %.2fx >= %.2fx -- pass\n",
+                  fusion_geomean, want);
     }
   }
 

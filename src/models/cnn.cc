@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/nn/activations.h"
+#include "src/nn/fusion.h"
 #include "src/nn/conv2d.h"
 #include "src/nn/dense.h"
 #include "src/nn/depthwise_conv.h"
@@ -107,6 +108,7 @@ Result<std::unique_ptr<Sequential>> MakeVggSmall(const CnnConfig& config) {
   // rescaling to NNLM dense layers only, Sec. 5.2.2).
   dopts.rescale = false;
   net->Emplace<Dense>(dopts, &rng, "classifier");
+  FuseActivations(net.get());
   return net;
 }
 
@@ -222,6 +224,7 @@ Result<std::unique_ptr<Sequential>> MakeResNeXtSmall(
   dopts.bias = true;
   dopts.rescale = false;
   net->Emplace<Dense>(dopts, &rng, "classifier");
+  FuseActivations(net.get());
   return net;
 }
 
@@ -291,6 +294,7 @@ Result<std::unique_ptr<Sequential>> MakeMobileNetSmall(
   dopts.bias = true;
   dopts.rescale = false;
   net->Emplace<Dense>(dopts, &rng, "classifier");
+  FuseActivations(net.get());
   return net;
 }
 
@@ -411,6 +415,7 @@ Result<std::unique_ptr<Sequential>> MakeResNet(const CnnConfig& config) {
   dopts.bias = true;
   dopts.rescale = false;
   net->Emplace<Dense>(dopts, &rng, "classifier");
+  FuseActivations(net.get());
   return net;
 }
 

@@ -2,6 +2,7 @@
 
 #include "src/nn/activations.h"
 #include "src/nn/dense.h"
+#include "src/nn/fusion.h"
 #include "src/nn/norm.h"
 #include "src/util/rng.h"
 
@@ -48,6 +49,7 @@ Result<std::unique_ptr<Sequential>> MakeMlp(const MlpConfig& config) {
   d.bias = true;
   d.rescale = config.rescale;
   net->Emplace<Dense>(d, &rng, "classifier");
+  FuseActivations(net.get());
   return net;
 }
 

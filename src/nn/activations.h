@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "src/nn/module.h"
+#include "src/tensor/epilogue.h"
 
 namespace ms {
 
@@ -36,8 +37,17 @@ class ReLU : public Module {
 
   std::string name() const override { return "relu"; }
 
+  /// Marked by the fusion pass (nn/fusion.h): the preceding layer applies
+  /// this activation in its GEMM epilogue, so the inference forward skips
+  /// this module. Training and the toggle-off path still run it.
+  void set_fused(bool fused) { fused_ = fused; }
+  bool BypassedAtInference() const override {
+    return fused_ && ops::FuseEpiloguesEnabled();
+  }
+
  private:
   std::vector<uint8_t> mask_;
+  bool fused_ = false;
 };
 
 /// \brief tanh(x); backward uses 1 - tanh^2 from the cached output.
@@ -62,8 +72,15 @@ class Tanh : public Module {
 
   std::string name() const override { return "tanh"; }
 
+  /// See ReLU::set_fused.
+  void set_fused(bool fused) { fused_ = fused; }
+  bool BypassedAtInference() const override {
+    return fused_ && ops::FuseEpiloguesEnabled();
+  }
+
  private:
   Tensor cached_y_;
+  bool fused_ = false;
 };
 
 }  // namespace ms

@@ -72,7 +72,17 @@ Tensor Conv2d::DoForward(const Tensor& x, bool training) {
   const int64_t out_area = oh * ow;
   const int64_t ld_w = opts_.in_channels * k * k;
 
-  Tensor y({batch, n, oh, ow});
+  // Inference fuses bias (per output channel == C row) and any planted
+  // activation into the GEMM's C-writeback; training keeps the separate
+  // bias pass.
+  const bool fuse = !training && ops::FuseEpiloguesEnabled();
+  ops::Epilogue epi;
+  if (fuse) {
+    if (opts_.bias) epi.bias = b_.data();
+    epi.act = fused_act_;
+    epi.per_row = true;
+  }
+  Tensor y = Tensor::Uninit({batch, n, oh, ow});
   const float* xd = x.data();
   float* yd = y.data();
   // Pack W once, outside the parallel region (workers then only read).
@@ -98,15 +108,15 @@ Tensor Conv2d::DoForward(const Tensor& x, bool training) {
       // y_img(n, out_area) = W[0:n, 0:m*k*k] * cols. The prefix of the
       // full-stride pack keeps the inactive input-channel columns out.
       if (int8) {
-        ops::GemmQuantizedWeightA(n, out_area, col_rows, qpack_t_, cols,
-                                  out_area, 0.0f, yd + img * n * out_area,
-                                  out_area);
+        ops::GemmQuantizedWeightAEx(n, out_area, col_rows, qpack_t_, cols,
+                                    out_area, 0.0f, yd + img * n * out_area,
+                                    out_area, epi);
       } else {
-        ops::GemmPrepackedA(n, out_area, col_rows, wpack_, false, cols,
-                            out_area, 0.0f, yd + img * n * out_area,
-                            out_area);
+        ops::GemmPrepackedAEx(n, out_area, col_rows, wpack_, false, cols,
+                              out_area, 0.0f, yd + img * n * out_area,
+                              out_area, epi);
       }
-      if (opts_.bias) {
+      if (opts_.bias && !fuse) {
         float* yi = yd + img * n * out_area;
         for (int64_t c = 0; c < n; ++c) {
           const float bv = b_[c];

@@ -46,6 +46,11 @@ class Conv2d : public Module {
   int64_t active_out() const { return active_out_; }
   const Conv2dOptions& options() const { return opts_; }
 
+  /// Fusion-pass hook: apply `act` in the forward GEMM's epilogue at
+  /// inference (the following activation module is then bypassed).
+  void SetFusedActivation(ops::EpiAct act) { fused_act_ = act; }
+  ops::EpiAct fused_activation() const { return fused_act_; }
+
   /// Weight matrix (out_channels, in_channels * k * k); exposed for the
   /// channel-pruning baseline which rebuilds compact networks.
   const Tensor& weight() const { return w_; }
@@ -86,6 +91,7 @@ class Conv2d : public Module {
   std::vector<int64_t> in_k_ends_;
 
   Tensor cached_x_;       ///< compact input (B, m, H, W)
+  ops::EpiAct fused_act_ = ops::EpiAct::kNone;
   int64_t cached_h_ = 0;
   int64_t cached_w_ = 0;
   int64_t last_oh_ = 0;   ///< spatial dims of last output, for FLOPs.

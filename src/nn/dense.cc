@@ -48,7 +48,6 @@ void Dense::DoSetSliceRate(double r) {
 }
 
 Tensor Dense::DoForward(const Tensor& x, bool training) {
-  (void)training;
   const int64_t m = active_in();
   const int64_t n = active_out_;
   MS_CHECK(x.ndim() == 2);
@@ -56,23 +55,33 @@ Tensor Dense::DoForward(const Tensor& x, bool training) {
   const int64_t batch = x.dim(0);
   cached_x_ = x;
 
-  Tensor y({batch, n});
+  // Inference fuses bias (and the following activation, when the fusion
+  // pass planted one) into the GEMM's C-writeback; training keeps the
+  // separate bias pass so the fused/unfused split stays bitwise-testable.
+  const bool fuse = !training && ops::FuseEpiloguesEnabled();
+  ops::Epilogue epi;
+  if (fuse) {
+    if (opts_.bias) epi.bias = b_.data();
+    epi.act = fused_act_;
+    epi.per_row = false;  // bias/act indexed by output column
+  }
+  Tensor y = Tensor::Uninit({batch, n});
   // y(B,n) = x(B,m) * W[0:n, 0:m]^T — W^T packed once, sliced by prefix.
   // Int8 is inference-only; training always contracts in fp32.
   if (precision_ == Precision::kInt8 && !training) {
     ops::EnsureQuantizedB(/*trans_b=*/true, opts_.in_features,
                           opts_.out_features, w_.data(), opts_.in_features,
                           in_k_ends_, &qpack_t_);
-    ops::GemmQuantizedB(/*trans_a=*/false, batch, n, m, rescale_factor_,
-                        x.data(), m, qpack_t_, 0.0f, y.data(), n);
+    ops::GemmQuantizedBEx(/*trans_a=*/false, batch, n, m, rescale_factor_,
+                          x.data(), m, qpack_t_, 0.0f, y.data(), n, epi);
   } else {
     ops::EnsurePackedB(/*trans_b=*/true, opts_.in_features,
                        opts_.out_features, w_.data(), opts_.in_features,
                        &wpack_t_);
-    ops::GemmPrepackedB(/*trans_a=*/false, batch, n, m, rescale_factor_,
-                        x.data(), m, wpack_t_, 0.0f, y.data(), n);
+    ops::GemmPrepackedBEx(/*trans_a=*/false, batch, n, m, rescale_factor_,
+                          x.data(), m, wpack_t_, 0.0f, y.data(), n, epi);
   }
-  if (opts_.bias) {
+  if (opts_.bias && !fuse) {
     const float* bias = b_.data();
     float* yd = y.data();
     ops::ParallelForCompute(batch, [&](int64_t i0, int64_t i1) {

@@ -48,6 +48,10 @@ class Dense : public Module {
 
   int64_t active_in() const { return active_in_units_ * opts_.in_unit; }
   int64_t active_out() const { return active_out_; }
+  /// Fusion-pass hook: apply `act` in the forward GEMM's epilogue at
+  /// inference (the following activation module is then bypassed).
+  void SetFusedActivation(ops::EpiAct act) { fused_act_ = act; }
+  ops::EpiAct fused_activation() const { return fused_act_; }
   const Tensor& weight() const { return w_; }
   /// Write-intent accessor: bumps the weight generation so prepacked
   /// panels (see prepack.h) can never serve the old values.
@@ -74,6 +78,7 @@ class Dense : public Module {
 
   Tensor cached_x_;  ///< compact input from last Forward.
   float rescale_factor_ = 1.0f;
+  ops::EpiAct fused_act_ = ops::EpiAct::kNone;
 
   // Prepacked full-size W panels; any slice rate reads a prefix. Two
   // flavors because forward consumes op(B) = W^T and backward-dx op(B)

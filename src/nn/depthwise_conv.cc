@@ -38,14 +38,18 @@ Tensor DepthwiseConv2d::DoForward(const Tensor& x, bool training) {
   const int64_t oh = (h + 2 * opts_.pad - k) / opts_.stride + 1;
   const int64_t ow = (w + 2 * opts_.pad - k) / opts_.stride + 1;
   MS_CHECK(oh >= 1 && ow >= 1);
-  (void)training;
   cached_x_ = x;
   cached_h_ = h;
   cached_w_ = w;
   last_oh_ = oh;
   last_ow_ = ow;
 
-  Tensor y({batch, active_channels_, oh, ow});
+  // Direct-loop analogue of the GEMM epilogue: a planted activation is
+  // applied at each output write (kNone when training or fusion is off).
+  const ops::EpiAct act = (!training && ops::FuseEpiloguesEnabled())
+                              ? fused_act_
+                              : ops::EpiAct::kNone;
+  Tensor y = Tensor::Uninit({batch, active_channels_, oh, ow});
   const float* xd = x.data();
   float* yd = y.data();
   const int64_t stride = opts_.stride;
@@ -77,7 +81,7 @@ Tensor DepthwiseConv2d::DoForward(const Tensor& x, bool training) {
             acc += xc[ii * w + jj] * wc[ki * k + kj];
           }
         }
-        yc[oi * ow + oj] = acc;
+        yc[oi * ow + oj] = ops::detail::EpiActApply(act, acc);
       };
       for (int64_t oi = 0; oi < oh; ++oi) {
         const bool row_interior = oi >= oi_lo && oi <= oi_hi;
@@ -95,7 +99,7 @@ Tensor DepthwiseConv2d::DoForward(const Tensor& x, bool training) {
             const float* wrow = wc + ki * k;
             for (int64_t kj = 0; kj < k; ++kj) acc += xrow[kj] * wrow[kj];
           }
-          yc[oi * ow + oj] = acc;
+          yc[oi * ow + oj] = ops::detail::EpiActApply(act, acc);
         }
         for (int64_t oj = oj_hi + 1; oj < ow; ++oj) checked_pixel(oi, oj);
       }

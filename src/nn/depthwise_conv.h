@@ -11,6 +11,7 @@
 
 #include "src/nn/module.h"
 #include "src/nn/slice_spec.h"
+#include "src/tensor/epilogue.h"
 #include "src/util/rng.h"
 
 namespace ms {
@@ -39,6 +40,12 @@ class DepthwiseConv2d : public Module {
 
   int64_t active_channels() const { return active_channels_; }
 
+  /// Fusion-pass hook: the direct-loop kernel applies `act` at each output
+  /// write at inference (the following activation module is bypassed). No
+  /// bias in this layer, so the fusion is activation-only.
+  void SetFusedActivation(ops::EpiAct act) { fused_act_ = act; }
+  ops::EpiAct fused_activation() const { return fused_act_; }
+
  private:
   DepthwiseConv2dOptions opts_;
   std::string name_;
@@ -49,6 +56,7 @@ class DepthwiseConv2d : public Module {
   Tensor w_grad_;
 
   Tensor cached_x_;
+  ops::EpiAct fused_act_ = ops::EpiAct::kNone;
   int64_t cached_h_ = 0, cached_w_ = 0, last_oh_ = 0, last_ow_ = 0;
 };
 

@@ -51,7 +51,12 @@ Tensor GroupedConv2d::DoForward(const Tensor& x, bool training) {
 
   const int64_t out_area = oh * ow;
   const int64_t col_rows = in_per_group_ * k * k;
-  Tensor y({batch, active_out(), oh, ow});
+  // No bias in this layer: the inference epilogue carries only a planted
+  // activation (see nn/fusion.h).
+  const bool fuse = !training && ops::FuseEpiloguesEnabled();
+  ops::Epilogue epi;
+  if (fuse) epi.act = fused_act_;
+  Tensor y = Tensor::Uninit({batch, active_out(), oh, ow});
   const float* xd = x.data();
   float* yd = y.data();
   // Pack the active branches' weights once, before the fan-out.
@@ -90,13 +95,13 @@ Tensor GroupedConv2d::DoForward(const Tensor& x, bool training) {
         ops::Im2Col(xg, in_per_group_, h, w, k, opts_.stride, opts_.pad, cols);
         float* yg = yd + (img * active_out() + g * out_per_group_) * out_area;
         if (int8) {
-          ops::GemmQuantizedWeightA(out_per_group_, out_area, col_rows,
-                                    qpacks_t_[static_cast<size_t>(g)], cols,
-                                    out_area, 0.0f, yg, out_area);
+          ops::GemmQuantizedWeightAEx(out_per_group_, out_area, col_rows,
+                                      qpacks_t_[static_cast<size_t>(g)], cols,
+                                      out_area, 0.0f, yg, out_area, epi);
         } else {
-          ops::GemmPrepackedA(out_per_group_, out_area, col_rows,
-                              wpacks_[static_cast<size_t>(g)], false, cols,
-                              out_area, 0.0f, yg, out_area);
+          ops::GemmPrepackedAEx(out_per_group_, out_area, col_rows,
+                                wpacks_[static_cast<size_t>(g)], false, cols,
+                                out_area, 0.0f, yg, out_area, epi);
         }
       }
     }

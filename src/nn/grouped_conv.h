@@ -46,6 +46,12 @@ class GroupedConv2d : public Module {
   int64_t active_in() const { return active_groups_ * in_per_group_; }
   int64_t active_out() const { return active_groups_ * out_per_group_; }
 
+  /// Fusion-pass hook: apply `act` in each branch GEMM's epilogue at
+  /// inference (the following activation module is then bypassed). The
+  /// layer has no bias, so the epilogue is activation-only.
+  void SetFusedActivation(ops::EpiAct act) { fused_act_ = act; }
+  ops::EpiAct fused_activation() const { return fused_act_; }
+
  private:
   GroupedConv2dOptions opts_;
   std::string name_;
@@ -68,6 +74,7 @@ class GroupedConv2d : public Module {
   std::vector<ops::QuantizedPack> qpacks_t_;
 
   Tensor cached_x_;
+  ops::EpiAct fused_act_ = ops::EpiAct::kNone;
   int64_t cached_h_ = 0, cached_w_ = 0, last_oh_ = 0, last_ow_ = 0;
 };
 

@@ -61,37 +61,51 @@ void Gru::DoSetSliceRate(double r) {
 }
 
 void Gru::InputGemm(int gate, const float* x, int64_t batch, bool int8,
-                    float* z) const {
+                    bool fuse, float* z) const {
   const int64_t n = active_hidden_;
   const int64_t m = active_in_;
   const float* bias = bx_.data() + gate * opts_.hidden_size;
-  if (int8) {
-    ops::GemmQuantizedB(false, batch, n, m, rescale_x_, x, m, qwx_t_[gate],
-                        0.0f, z, n);
-  } else {
-    ops::GemmPrepackedB(false, batch, n, m, rescale_x_, x, m,
-                        wx_pack_t_[gate], 0.0f, z, n);
+  ops::Epilogue epi;
+  if (fuse) {
+    epi.bias = bias;
+    epi.per_row = false;  // bias indexed by hidden unit == C column
   }
-  for (int64_t b = 0; b < batch; ++b) {
-    float* row = z + b * n;
-    for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
+  if (int8) {
+    ops::GemmQuantizedBEx(false, batch, n, m, rescale_x_, x, m, qwx_t_[gate],
+                          0.0f, z, n, epi);
+  } else {
+    ops::GemmPrepackedBEx(false, batch, n, m, rescale_x_, x, m,
+                          wx_pack_t_[gate], 0.0f, z, n, epi);
+  }
+  if (!fuse) {
+    for (int64_t b = 0; b < batch; ++b) {
+      float* row = z + b * n;
+      for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
+    }
   }
 }
 
 void Gru::HiddenGemm(int gate, const float* h, int64_t batch, bool int8,
-                     float* z) const {
+                     bool fuse, float* z) const {
   const int64_t n = active_hidden_;
   const float* bias = bh_.data() + gate * opts_.hidden_size;
-  if (int8) {
-    ops::GemmQuantizedB(false, batch, n, n, rescale_h_, h, n, qwh_t_[gate],
-                        0.0f, z, n);
-  } else {
-    ops::GemmPrepackedB(false, batch, n, n, rescale_h_, h, n,
-                        wh_pack_t_[gate], 0.0f, z, n);
+  ops::Epilogue epi;
+  if (fuse) {
+    epi.bias = bias;
+    epi.per_row = false;
   }
-  for (int64_t b = 0; b < batch; ++b) {
-    float* row = z + b * n;
-    for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
+  if (int8) {
+    ops::GemmQuantizedBEx(false, batch, n, n, rescale_h_, h, n, qwh_t_[gate],
+                          0.0f, z, n, epi);
+  } else {
+    ops::GemmPrepackedBEx(false, batch, n, n, rescale_h_, h, n,
+                          wh_pack_t_[gate], 0.0f, z, n, epi);
+  }
+  if (!fuse) {
+    for (int64_t b = 0; b < batch; ++b) {
+      float* row = z + b * n;
+      for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
+    }
   }
 }
 
@@ -103,11 +117,11 @@ Tensor Gru::DoForward(const Tensor& x, bool training) {
   const int64_t m = active_in_;
   const int64_t n = active_hidden_;
 
-  (void)training;
   cached_x_ = x;
   cached_t_ = t_steps;
   cached_b_ = batch;
   const int64_t bn = batch * n;
+  const bool fuse = !training && ops::FuseEpiloguesEnabled();
 
   // Pack each gate's Wx/Wh once up front (a cache hit in steady state);
   // all T timesteps below reuse the panels. Int8 is inference-only;
@@ -152,16 +166,16 @@ Tensor Gru::DoForward(const Tensor& x, bool training) {
     steps_.resize(static_cast<size_t>(t_steps));
   }
 
-  Tensor out({t_steps, batch, n});
+  Tensor out = Tensor::Uninit({t_steps, batch, n});
   for (int64_t t = 0; t < t_steps; ++t) {
     const float* xt = x.data() + t * batch * m;
     const float* h_prev = (t == 0) ? zeros : out.data() + (t - 1) * bn;
-    InputGemm(kGateR, xt, batch, int8, xr);
-    InputGemm(kGateZ, xt, batch, int8, xz);
-    InputGemm(kGateN, xt, batch, int8, xn);
-    HiddenGemm(kGateR, h_prev, batch, int8, hr);
-    HiddenGemm(kGateZ, h_prev, batch, int8, hz);
-    HiddenGemm(kGateN, h_prev, batch, int8, hn);
+    InputGemm(kGateR, xt, batch, int8, fuse, xr);
+    InputGemm(kGateZ, xt, batch, int8, fuse, xz);
+    InputGemm(kGateN, xt, batch, int8, fuse, xn);
+    HiddenGemm(kGateR, h_prev, batch, int8, fuse, hr);
+    HiddenGemm(kGateZ, h_prev, batch, int8, fuse, hz);
+    HiddenGemm(kGateN, h_prev, batch, int8, fuse, hn);
 
     float* h_out = out.data() + t * bn;
     StepCache& sc = steps_[static_cast<size_t>(t)];

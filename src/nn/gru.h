@@ -50,11 +50,13 @@ class Gru : public Module {
  private:
   // z_out(B, n) = rescale_x * x * Wx[gate]^T + bx[gate]; input contribution.
   // `int8` routes through the quantized packs (ensured by DoForward).
+  // `fuse` folds the bias add into the GEMM epilogue (bias-only: GRU gate
+  // nonlinearities act on xr + hr *sums*, so they cannot fuse per-GEMM).
   void InputGemm(int gate, const float* x, int64_t batch, bool int8,
-                 float* z) const;
+                 bool fuse, float* z) const;
   // z_out(B, n) = rescale_h * h * Wh[gate]^T + bh[gate]; hidden contribution.
   void HiddenGemm(int gate, const float* h, int64_t batch, bool int8,
-                  float* z) const;
+                  bool fuse, float* z) const;
 
   GruOptions opts_;
   std::string name_;

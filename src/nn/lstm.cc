@@ -60,25 +60,36 @@ void Lstm::DoSetSliceRate(double r) {
 }
 
 void Lstm::GateGemm(int gate, const float* x, int64_t m, const float* h,
-                    int64_t batch, bool int8, float* z) const {
+                    int64_t batch, bool int8, bool fuse, float* z) const {
   const int64_t n = active_hidden_;
   const float* bias = b_.data() + gate * opts_.hidden_size;
+  // Only the *second* (recurrent, beta = 1) GEMM carries the epilogue: its
+  // merge sees the completed pre-activation, so bias-then-nonlinearity at
+  // C-writeback is the same float sequence as the unfused post-passes.
+  ops::Epilogue epi;
+  if (fuse) {
+    epi.bias = bias;
+    epi.per_row = false;  // bias indexed by hidden unit == C column
+    epi.act = (gate == 2) ? ops::EpiAct::kTanh : ops::EpiAct::kSigmoid;
+  }
   // z(B, n) = rescale_x * x(B, m) * Wx[0:n, 0:m]^T
   // z += rescale_h * h(B, n) * Wh[0:n, 0:n]^T
   if (int8) {
     ops::GemmQuantizedB(false, batch, n, m, rescale_x_, x, m, qwx_t_[gate],
                         0.0f, z, n);
-    ops::GemmQuantizedB(false, batch, n, n, rescale_h_, h, n, qwh_t_[gate],
-                        1.0f, z, n);
+    ops::GemmQuantizedBEx(false, batch, n, n, rescale_h_, h, n, qwh_t_[gate],
+                          1.0f, z, n, epi);
   } else {
     ops::GemmPrepackedB(false, batch, n, m, rescale_x_, x, m,
                         wx_pack_t_[gate], 0.0f, z, n);
-    ops::GemmPrepackedB(false, batch, n, n, rescale_h_, h, n,
-                        wh_pack_t_[gate], 1.0f, z, n);
+    ops::GemmPrepackedBEx(false, batch, n, n, rescale_h_, h, n,
+                          wh_pack_t_[gate], 1.0f, z, n, epi);
   }
-  for (int64_t bi = 0; bi < batch; ++bi) {
-    float* row = z + bi * n;
-    for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
+  if (!fuse) {
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      float* row = z + bi * n;
+      for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
+    }
   }
 }
 
@@ -90,11 +101,13 @@ Tensor Lstm::DoForward(const Tensor& x, bool training) {
   const int64_t m = active_in_;
   const int64_t n = active_hidden_;
 
-  (void)training;
   cached_x_ = x;
   cached_t_ = t_steps;
   cached_b_ = batch;
   const int64_t bn = batch * n;
+  // With fusion on, the gate GEMMs return already-activated values and the
+  // pointwise loop below skips its Sigmoid/tanh calls.
+  const bool fuse = !training && ops::FuseEpiloguesEnabled();
 
   // Pack each gate's Wx/Wh once up front (a cache hit in steady state);
   // every one of the T timesteps below then reuses the panels. Int8 is
@@ -137,15 +150,15 @@ Tensor Lstm::DoForward(const Tensor& x, bool training) {
     steps_.resize(static_cast<size_t>(t_steps));
   }
 
-  Tensor out({t_steps, batch, n});
+  Tensor out = Tensor::Uninit({t_steps, batch, n});
   const float* c_prev = zeros;
   for (int64_t t = 0; t < t_steps; ++t) {
     const float* xt = x.data() + t * batch * m;
     const float* h_prev = (t == 0) ? zeros : out.data() + (t - 1) * bn;
-    GateGemm(0, xt, m, h_prev, batch, int8, zi);
-    GateGemm(1, xt, m, h_prev, batch, int8, zf);
-    GateGemm(2, xt, m, h_prev, batch, int8, zg);
-    GateGemm(3, xt, m, h_prev, batch, int8, zo);
+    GateGemm(0, xt, m, h_prev, batch, int8, fuse, zi);
+    GateGemm(1, xt, m, h_prev, batch, int8, fuse, zf);
+    GateGemm(2, xt, m, h_prev, batch, int8, fuse, zg);
+    GateGemm(3, xt, m, h_prev, batch, int8, fuse, zo);
 
     float* h_out = out.data() + t * bn;
     StepCache& sc = steps_[static_cast<size_t>(t)];
@@ -157,10 +170,10 @@ Tensor Lstm::DoForward(const Tensor& x, bool training) {
     sc.tanh_c.EnsureShape({batch, n});
     sc.h.EnsureShape({batch, n});
     for (int64_t idx = 0; idx < bn; ++idx) {
-      const float iv = Sigmoid(zi[idx]);
-      const float fv = Sigmoid(zf[idx]);
-      const float gv = std::tanh(zg[idx]);
-      const float ov = Sigmoid(zo[idx]);
+      const float iv = fuse ? zi[idx] : Sigmoid(zi[idx]);
+      const float fv = fuse ? zf[idx] : Sigmoid(zf[idx]);
+      const float gv = fuse ? zg[idx] : std::tanh(zg[idx]);
+      const float ov = fuse ? zo[idx] : Sigmoid(zo[idx]);
       const float cv = fv * c_prev[idx] + iv * gv;
       const float tc = std::tanh(cv);
       sc.i[idx] = iv;

@@ -45,9 +45,12 @@ class Lstm : public Module {
  private:
   // Pre-activation z = rescale_x * Wx[gate] x + rescale_h * Wh[gate] h + b.
   // `int8` routes both GEMMs through the quantized packs (ensured by
-  // DoForward before the timestep loop).
+  // DoForward before the timestep loop). With `fuse` set (inference +
+  // epilogue fusion enabled) the second GEMM's epilogue adds the gate bias
+  // and applies the gate nonlinearity (sigmoid for i/f/o, tanh for g), so z
+  // holds *activated* gate values and the separate bias pass is skipped.
   void GateGemm(int gate, const float* x, int64_t m, const float* h,
-                int64_t batch, bool int8, float* z) const;
+                int64_t batch, bool int8, bool fuse, float* z) const;
 
   LstmOptions opts_;
   std::string name_;

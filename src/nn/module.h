@@ -67,6 +67,12 @@ class Module {
   /// Number of parameters touched at the current slice rate.
   virtual int64_t ActiveParams() const { return 0; }
 
+  /// True when an inference forward may skip this layer entirely because a
+  /// preceding layer absorbed its work (an activation fused into the
+  /// producing GEMM's epilogue — see nn/fusion.h). Containers consult it
+  /// per child; training forwards never skip.
+  virtual bool BypassedAtInference() const { return false; }
+
   virtual std::string name() const = 0;
 
  protected:
@@ -124,14 +130,25 @@ class Sequential : public Module {
  protected:
   Tensor DoForward(const Tensor& x, bool training) override {
     Tensor h = x;
-    for (auto& child : children_) h = child->Forward(h, training);
+    bypassed_last_.assign(children_.size(), 0);
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (!training && children_[i]->BypassedAtInference()) {
+        bypassed_last_[i] = 1;
+        continue;
+      }
+      h = children_[i]->Forward(h, training);
+    }
     return h;
   }
 
   Tensor DoBackward(const Tensor& grad_out) override {
+    // Children bypassed by the last forward did not run and hold no cached
+    // state — skip them on the way back too (only reachable after an
+    // inference forward, where gradients are shape-propagation only).
     Tensor g = grad_out;
-    for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
-      g = (*it)->Backward(g);
+    for (size_t i = children_.size(); i-- > 0;) {
+      if (i < bypassed_last_.size() && bypassed_last_[i]) continue;
+      g = children_[i]->Backward(g);
     }
     return g;
   }
@@ -147,6 +164,7 @@ class Sequential : public Module {
  private:
   std::string name_ = "sequential";
   std::vector<std::unique_ptr<Module>> children_;
+  std::vector<uint8_t> bypassed_last_;  ///< per-child skip flags, last forward
 };
 
 }  // namespace ms

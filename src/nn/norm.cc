@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/tensor/gemm_internal.h"
+
 namespace ms {
 namespace {
 
@@ -10,6 +12,66 @@ int64_t SpatialArea(const Tensor& x) {
   int64_t area = 1;
   for (int i = 2; i < x.ndim(); ++i) area *= x.dim(i);
   return area;
+}
+
+// Portable twin of detail::SumSqF32Avx2: the identical 4-lane decomposition
+// (lane j accumulates elements p ≡ j mod 4, pairwise fold, scalar tail), so
+// the AVX2 and portable flavors produce the same doubles bit for bit.
+void SumSqF32Portable(const float* v, int64_t n, double* sum, double* sumsq) {
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  double q[4] = {0.0, 0.0, 0.0, 0.0};
+  int64_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    for (int j = 0; j < 4; ++j) {
+      const double x = static_cast<double>(v[p + j]);
+      s[j] += x;
+      q[j] += x * x;
+    }
+  }
+  double ts = (s[0] + s[1]) + (s[2] + s[3]);
+  double tq = (q[0] + q[1]) + (q[2] + q[3]);
+  for (; p < n; ++p) {
+    const double x = static_cast<double>(v[p]);
+    ts += x;
+    tq += x * x;
+  }
+  *sum = ts;
+  *sumsq = tq;
+}
+
+ops::detail::SumSqF32Fn ActiveSumSq() {
+  static const ops::detail::SumSqF32Fn fn = [] {
+    const ops::detail::SumSqF32Fn avx2 = ops::detail::Avx2SumSqF32();
+    return avx2 != nullptr ? avx2 : &SumSqF32Portable;
+  }();
+  return fn;
+}
+
+template <ops::EpiAct Act>
+void ApplyActInPlace(float* __restrict__ v, int64_t n) {
+  for (int64_t p = 0; p < n; ++p) v[p] = ops::detail::EpiActApplyCT<Act>(v[p]);
+}
+
+// Fused activation as one vectorized sweep AFTER the normalization write,
+// instead of a per-element runtime switch inside it: the act dispatch
+// happens once per forward, the write loop stays branch-free for both the
+// fused and unfused paths (identical pre-activation values by
+// construction), and the activation itself is applied to the exact floats
+// the unfused activation module would have read.
+void ApplyFusedAct(ops::EpiAct act, float* v, int64_t n) {
+  switch (act) {
+    case ops::EpiAct::kRelu:
+      ApplyActInPlace<ops::EpiAct::kRelu>(v, n);
+      break;
+    case ops::EpiAct::kSigmoid:
+      ApplyActInPlace<ops::EpiAct::kSigmoid>(v, n);
+      break;
+    case ops::EpiAct::kTanh:
+      ApplyActInPlace<ops::EpiAct::kTanh>(v, n);
+      break;
+    case ops::EpiAct::kNone:
+      break;
+  }
 }
 
 }  // namespace
@@ -46,23 +108,25 @@ Tensor GroupNorm::DoForward(const Tensor& x, bool training) {
   cached_area_ = area;
   cached_inv_std_.assign(static_cast<size_t>(batch * active_groups_), 0.0f);
 
-  Tensor y = x;
-  cached_xhat_ = Tensor(x.shape());
+  // Both outputs are fully overwritten below, so neither gets a zero-fill:
+  // y is fresh-uninitialized, the xhat cache reuses its warmed buffer.
+  Tensor y = Tensor::Uninit(x.shape());
+  cached_xhat_.EnsureShape(x.shape());
+  const ops::detail::SumSqF32Fn sumsq_fn = ActiveSumSq();
+  const ops::EpiAct act = (!training && ops::FuseEpiloguesEnabled())
+                              ? fused_act_
+                              : ops::EpiAct::kNone;
   for (int64_t b = 0; b < batch; ++b) {
     for (int64_t g = 0; g < active_groups_; ++g) {
       const int64_t c0 = spec_.GroupBoundary(g);
       const int64_t c1 = spec_.GroupBoundary(g + 1);
       const int64_t count = (c1 - c0) * area;
       const float* xg = x.data() + (b * active_channels_ + c0) * area;
-      double mean = 0.0;
-      for (int64_t i = 0; i < count; ++i) mean += xg[i];
-      mean /= static_cast<double>(count);
-      double var = 0.0;
-      for (int64_t i = 0; i < count; ++i) {
-        const double d = xg[i] - mean;
-        var += d * d;
-      }
-      var /= static_cast<double>(count);
+      double sum = 0.0, sumsq = 0.0;
+      sumsq_fn(xg, count, &sum, &sumsq);
+      const double mean = sum / static_cast<double>(count);
+      double var = sumsq / static_cast<double>(count) - mean * mean;
+      if (var < 0.0) var = 0.0;  // guard the one-pass identity's rounding
       const float inv_std =
           1.0f / std::sqrt(static_cast<float>(var) + opts_.eps);
       cached_inv_std_[static_cast<size_t>(b * active_groups_ + g)] = inv_std;
@@ -82,6 +146,7 @@ Tensor GroupNorm::DoForward(const Tensor& x, bool training) {
       }
     }
   }
+  ApplyFusedAct(act, y.data(), y.size());
   return y;
 }
 
@@ -175,11 +240,15 @@ Tensor BatchNorm::DoForward(const Tensor& x, bool training) {
   cached_batch_ = batch;
   cached_area_ = area;
 
-  Tensor y = x;
+  // Fully overwritten over the active prefix (== the whole tensor).
+  Tensor y = Tensor::Uninit(x.shape());
   if (training) {
-    cached_xhat_ = Tensor(x.shape());
+    cached_xhat_.EnsureShape(x.shape());
     cached_inv_std_.assign(static_cast<size_t>(active_channels_), 0.0f);
   }
+  const ops::EpiAct act = (!training && ops::FuseEpiloguesEnabled())
+                              ? fused_act_
+                              : ops::EpiAct::kNone;
   for (int64_t c = 0; c < active_channels_; ++c) {
     float mean, inv_std;
     if (training) {
@@ -224,6 +293,7 @@ Tensor BatchNorm::DoForward(const Tensor& x, bool training) {
       }
     }
   }
+  ApplyFusedAct(act, y.data(), y.size());
   return y;
 }
 

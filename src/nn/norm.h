@@ -17,6 +17,7 @@
 
 #include "src/nn/module.h"
 #include "src/nn/slice_spec.h"
+#include "src/tensor/epilogue.h"
 
 namespace ms {
 
@@ -46,12 +47,18 @@ class GroupNorm : public Module {
   /// Per-channel scale γ — Figure 6 visualizes these during training.
   const Tensor& gamma() const { return gamma_; }
 
+  /// Fusion-pass hook: apply `act` at the normalization's own write site
+  /// during inference (the following activation module is then bypassed).
+  void SetFusedActivation(ops::EpiAct act) { fused_act_ = act; }
+  ops::EpiAct fused_activation() const { return fused_act_; }
+
  private:
   NormOptions opts_;
   std::string name_;
   SliceSpec spec_;
   int64_t active_channels_ = 0;
   int64_t active_groups_ = 0;
+  ops::EpiAct fused_act_ = ops::EpiAct::kNone;
 
   Tensor gamma_;       ///< (C)
   Tensor beta_;        ///< (C)
@@ -79,6 +86,10 @@ class BatchNorm : public Module {
 
   int64_t active_channels() const { return active_channels_; }
 
+  /// See GroupNorm::SetFusedActivation.
+  void SetFusedActivation(ops::EpiAct act) { fused_act_ = act; }
+  ops::EpiAct fused_activation() const { return fused_act_; }
+
   /// Accessors for the channel-pruning baseline (Network Slimming reads the
   /// γ magnitudes and rebuilds compact BN layers).
   const Tensor& gamma() const { return gamma_; }
@@ -99,6 +110,7 @@ class BatchNorm : public Module {
 
   Tensor gamma_, beta_, gamma_grad_, beta_grad_;
   Tensor running_mean_, running_var_;
+  ops::EpiAct fused_act_ = ops::EpiAct::kNone;
 
   Tensor cached_xhat_;
   std::vector<float> cached_inv_std_;  ///< (active channels)
@@ -112,6 +124,11 @@ class MultiBatchNorm : public Module {
  public:
   MultiBatchNorm(NormOptions opts, const std::vector<double>& rates,
                  std::string name = "mbn");
+
+  /// Propagates to every per-rate BatchNorm.
+  void SetFusedActivation(ops::EpiAct act) {
+    for (auto& n : norms_) n->SetFusedActivation(act);
+  }
 
   Tensor DoForward(const Tensor& x, bool training) override;
   Tensor DoBackward(const Tensor& grad_out) override;

@@ -1,0 +1,202 @@
+// Activation arena implementation. See activation_arena.h for the
+// lifetime/binding story.
+#include "src/tensor/activation_arena.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/util/status.h"
+
+namespace ms {
+namespace {
+
+std::atomic<uint64_t> g_slab_allocs{0};
+
+thread_local std::shared_ptr<ArenaCore> t_current_arena;  // NOLINT
+
+}  // namespace
+
+float* ArenaCore::Alloc(int64_t floats) {
+  MS_CHECK(floats >= 0);
+  const int64_t need = RoundUp(std::max<int64_t>(floats, 1));
+  std::lock_guard<std::mutex> lock(mu_);
+  float* p = AllocLocked(need);
+  Live entry;
+  entry.floats = need;
+  for (size_t s = 0; s < slabs_.size(); ++s) {
+    const Slab& slab = slabs_[s];
+    if (p >= slab.aligned && p < slab.aligned + slab.floats) {
+      entry.slab = static_cast<int32_t>(s);
+      break;
+    }
+  }
+  live_floats_ += need;
+  peak_live_floats_ = std::max(peak_live_floats_, live_floats_);
+  if (recording_) {
+    entry.event = static_cast<int64_t>(events_.size());
+    ArenaEvent ev;
+    ev.id = next_id_++;
+    ev.floats = need;
+    ev.alloc_tick = tick_++;
+    events_.push_back(ev);
+  }
+  live_.emplace_back(p, entry);
+  return p;
+}
+
+float* ArenaCore::AllocLocked(int64_t need) {
+  // Best fit: the smallest free span that holds the request. Ties go to
+  // the lower address, which keeps steady-state placements deterministic.
+  size_t best = free_.size();
+  for (size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i].floats < need) continue;
+    if (best == free_.size() || free_[i].floats < free_[best].floats) best = i;
+  }
+  if (best == free_.size()) {
+    AddSlab(need);
+    for (size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].floats >= need &&
+          (best == free_.size() || free_[i].floats < free_[best].floats)) {
+        best = i;
+      }
+    }
+    MS_CHECK(best != free_.size());
+  }
+  Span& span = free_[best];
+  float* p = span.ptr;
+  if (span.floats - need >= kMinSplit) {
+    span.ptr += need;
+    span.floats -= need;
+  } else {
+    free_.erase(free_.begin() + static_cast<int64_t>(best));
+  }
+  return p;
+}
+
+void ArenaCore::AddSlab(int64_t need) {
+  int64_t cap = std::max(kMinSlab, RoundUp(need));
+  if (!slabs_.empty()) cap = std::max(cap, slabs_.back().floats);
+  Slab slab;
+  slab.storage =
+      std::make_unique<float[]>(static_cast<size_t>(cap + kAlign));
+  const auto addr = reinterpret_cast<uintptr_t>(slab.storage.get());
+  const uintptr_t aligned =
+      (addr + kAlign * sizeof(float) - 1) & ~(kAlign * sizeof(float) - 1);
+  slab.aligned = reinterpret_cast<float*>(aligned);
+  slab.floats = cap;
+  Span span;
+  span.ptr = slab.aligned;
+  span.floats = cap;
+  span.slab = static_cast<int32_t>(slabs_.size());
+  slabs_.push_back(std::move(slab));
+  free_.push_back(span);
+  slab_floats_ += cap;
+  g_slab_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ArenaCore::Free(float* p) {
+  if (p == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t idx = live_.size();
+  for (size_t i = 0; i < live_.size(); ++i) {
+    if (live_[i].first == p) {
+      idx = i;
+      break;
+    }
+  }
+  MS_CHECK_MSG(idx != live_.size(), "ArenaCore::Free of unknown pointer");
+  const Live entry = live_[idx].second;
+  live_[idx] = live_.back();
+  live_.pop_back();
+  live_floats_ -= entry.floats;
+  if (recording_ && entry.event >= 0) {
+    events_[static_cast<size_t>(entry.event)].free_tick = tick_++;
+  }
+  // Insert in address order and coalesce with same-slab neighbors.
+  Span span;
+  span.ptr = p;
+  span.floats = entry.floats;
+  span.slab = entry.slab;
+  size_t pos = 0;
+  while (pos < free_.size() && free_[pos].ptr < p) ++pos;
+  if (pos > 0) {
+    Span& prev = free_[pos - 1];
+    if (prev.slab == span.slab && prev.ptr + prev.floats == span.ptr) {
+      prev.floats += span.floats;
+      if (pos < free_.size()) {
+        Span& next = free_[pos];
+        if (next.slab == prev.slab && prev.ptr + prev.floats == next.ptr) {
+          prev.floats += next.floats;
+          free_.erase(free_.begin() + static_cast<int64_t>(pos));
+        }
+      }
+      return;
+    }
+  }
+  if (pos < free_.size()) {
+    Span& next = free_[pos];
+    if (next.slab == span.slab && span.ptr + span.floats == next.ptr) {
+      next.ptr = span.ptr;
+      next.floats += span.floats;
+      return;
+    }
+  }
+  free_.insert(free_.begin() + static_cast<int64_t>(pos), span);
+}
+
+void ArenaCore::Reserve(int64_t floats) {
+  if (floats <= 0) return;
+  const int64_t need = RoundUp(floats);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Span& span : free_) {
+    if (span.floats >= need) return;
+  }
+  AddSlab(need);
+}
+
+void ArenaCore::StartRecording() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recording_ = true;
+  tick_ = 0;
+  next_id_ = 0;
+  events_.clear();
+}
+
+std::vector<ArenaEvent> ArenaCore::TakeRecording() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recording_ = false;
+  for (auto& kv : live_) kv.second.event = -1;
+  return std::move(events_);
+}
+
+int64_t ArenaCore::live_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_floats_ * static_cast<int64_t>(sizeof(float));
+}
+
+int64_t ArenaCore::peak_live_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_live_floats_ * static_cast<int64_t>(sizeof(float));
+}
+
+int64_t ArenaCore::slab_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slab_floats_ * static_cast<int64_t>(sizeof(float));
+}
+
+uint64_t ArenaCore::TotalSlabAllocs() {
+  return g_slab_allocs.load(std::memory_order_relaxed);
+}
+
+ActivationScope::ActivationScope(const ActivationArena& arena)
+    : prev_(t_current_arena) {
+  t_current_arena = arena.core();
+}
+
+ActivationScope::~ActivationScope() { t_current_arena = prev_; }
+
+const std::shared_ptr<ArenaCore>& CurrentActivationArena() {
+  return t_current_arena;
+}
+
+}  // namespace ms

@@ -1,0 +1,165 @@
+// Activation arena: a best-fit free-list allocator for intermediate layer
+// outputs. ScratchArena (scratch.h) covers strictly stack-shaped kernel
+// workspace; activations are different — a tensor produced by layer i is
+// freed after layer i+1 consumes it (or later, residual shortcuts), so
+// lifetimes form an interval graph, not a stack. The arena serves those
+// interval lifetimes out of a few large slabs: once a forward pass at a
+// given (batch, slice rate) has warmed the free list, every later forward
+// at the same operating point allocates ZERO heap memory —
+// TotalSlabAllocs() is the test hook that asserts it, mirroring
+// ScratchArena::TotalBlockAllocs and the PackStats re-pack gate.
+//
+// Ownership: tensors carry a shared_ptr to the ArenaCore they were carved
+// from, so a tensor that escapes its scope (a returned activation, a
+// cached pointer) stays valid and its eventual Free lands in the right
+// arena even from another thread — ArenaCore is internally locked.
+//
+// Binding: ActivationScope binds an arena to the calling thread; while
+// bound, fresh Tensor buffer allocations on that thread come from the
+// arena instead of the heap (tensor.h consults CurrentActivationArena()).
+// Scopes nest and restore the previous binding on destruction.
+//
+// Recording: with StartRecording() armed, the core journals every
+// alloc/free with a logical tick. activation_planner.h turns one recorded
+// forward into lifetime intervals, packs them offline (first-fit
+// decreasing), and Reserve()s the packed footprint so the very first
+// serving request already runs slab-alloc-free.
+#ifndef MODELSLICING_TENSOR_ACTIVATION_ARENA_H_
+#define MODELSLICING_TENSOR_ACTIVATION_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace ms {
+
+/// One recorded allocation lifetime: ticks are logical event times
+/// (monotone per arena while recording). free_tick == -1 means the buffer
+/// was still live when recording stopped (an escaping output).
+struct ArenaEvent {
+  int64_t id = 0;          ///< allocation order index within the recording
+  int64_t floats = 0;      ///< rounded allocation size
+  int64_t alloc_tick = 0;  ///< logical time of Alloc
+  int64_t free_tick = -1;  ///< logical time of Free, -1 if never freed
+};
+
+/// The lockable allocator state shared by an ActivationArena handle and
+/// every tensor carved from it. Heap-allocated once per arena and held by
+/// shared_ptr so frees from escaped tensors outlive the handle.
+class ArenaCore {
+ public:
+  ArenaCore() = default;
+  ArenaCore(const ArenaCore&) = delete;
+  ArenaCore& operator=(const ArenaCore&) = delete;
+
+  /// 64-byte-aligned buffer of `floats` floats (uninitialized). Best-fit
+  /// over the free list; grows a new slab only when nothing fits.
+  float* Alloc(int64_t floats);
+
+  /// Returns a buffer obtained from Alloc. Coalesces with free neighbors
+  /// from the same slab, so steady-state shapes converge to a fixed span
+  /// set. Safe from any thread.
+  void Free(float* p);
+
+  /// Ensures one contiguous free span of at least `floats` exists, so a
+  /// subsequent forward whose packed footprint fits never grows a slab.
+  void Reserve(int64_t floats);
+
+  /// Arms the journal; recorded events accumulate until TakeRecording.
+  void StartRecording();
+  /// Disarms the journal and returns the events since StartRecording.
+  std::vector<ArenaEvent> TakeRecording();
+
+  /// Bytes currently handed out.
+  int64_t live_bytes() const;
+  /// High-water mark of live_bytes() since construction.
+  int64_t peak_live_bytes() const;
+  /// Bytes reserved across slabs (monotone; never shrinks).
+  int64_t slab_bytes() const;
+
+  /// Process-wide count of slab allocations across ALL arenas. Steady-state
+  /// serving must keep it flat; the bench and CI assert exactly that.
+  static uint64_t TotalSlabAllocs();
+
+ private:
+  struct Span {
+    float* ptr = nullptr;
+    int64_t floats = 0;
+    int32_t slab = 0;  // spans coalesce only within one slab
+  };
+  struct Slab {
+    std::unique_ptr<float[]> storage;
+    float* aligned = nullptr;
+    int64_t floats = 0;
+  };
+  struct Live {
+    int64_t floats = 0;
+    int32_t slab = 0;
+    int64_t event = -1;  // index into events_ while recording, else -1
+  };
+
+  // 64-byte alignment, in floats.
+  static constexpr int64_t kAlign = 16;
+  static constexpr int64_t kMinSlab = 1 << 16;  // 256 KiB
+  // Tail remainders below this stay attached to the allocation instead of
+  // littering the free list with unusable slivers.
+  static constexpr int64_t kMinSplit = 64;
+
+  static int64_t RoundUp(int64_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+
+  float* AllocLocked(int64_t need);
+  void AddSlab(int64_t need);
+
+  mutable std::mutex mu_;
+  std::vector<Slab> slabs_;
+  std::vector<Span> free_;  // address-ordered within each slab
+  // Live allocations keyed by pointer; linear scan — a forward pass holds
+  // tens of live tensors, not thousands.
+  std::vector<std::pair<float*, Live>> live_;
+  int64_t live_floats_ = 0;
+  int64_t peak_live_floats_ = 0;
+  int64_t slab_floats_ = 0;
+  bool recording_ = false;
+  int64_t tick_ = 0;
+  int64_t next_id_ = 0;
+  std::vector<ArenaEvent> events_;
+};
+
+/// Owning handle to an arena. Copyable (handles share the core); the core
+/// lives until the last handle AND the last tensor carved from it die.
+class ActivationArena {
+ public:
+  ActivationArena() : core_(std::make_shared<ArenaCore>()) {}
+
+  const std::shared_ptr<ArenaCore>& core() const { return core_; }
+
+  int64_t live_bytes() const { return core_->live_bytes(); }
+  int64_t peak_live_bytes() const { return core_->peak_live_bytes(); }
+  int64_t slab_bytes() const { return core_->slab_bytes(); }
+
+ private:
+  std::shared_ptr<ArenaCore> core_;
+};
+
+/// Binds `arena` to the calling thread for the scope's lifetime: fresh
+/// Tensor buffers allocated on this thread come from the arena. Nests;
+/// restores the previous binding on destruction.
+class ActivationScope {
+ public:
+  explicit ActivationScope(const ActivationArena& arena);
+  ~ActivationScope();
+  ActivationScope(const ActivationScope&) = delete;
+  ActivationScope& operator=(const ActivationScope&) = delete;
+
+ private:
+  std::shared_ptr<ArenaCore> prev_;
+};
+
+/// The arena bound to the calling thread, or null when none is. Consulted
+/// by Tensor on every fresh buffer allocation.
+const std::shared_ptr<ArenaCore>& CurrentActivationArena();
+
+}  // namespace ms
+
+#endif  // MODELSLICING_TENSOR_ACTIVATION_ARENA_H_

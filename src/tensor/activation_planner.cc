@@ -1,0 +1,105 @@
+// Interval packing for activation lifetimes. See activation_planner.h.
+#include "src/tensor/activation_planner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/status.h"
+
+namespace ms {
+namespace {
+
+bool TimeOverlap(const ActivationInterval& a, const ActivationInterval& b) {
+  return a.start < b.end && b.start < a.end;
+}
+
+}  // namespace
+
+ActivationPlan PlanActivations(const std::vector<ArenaEvent>& events) {
+  ActivationPlan plan;
+  plan.intervals.reserve(events.size());
+  for (const ArenaEvent& ev : events) {
+    ActivationInterval iv;
+    iv.id = ev.id;
+    iv.bytes = ev.floats * static_cast<int64_t>(sizeof(float));
+    iv.start = ev.alloc_tick;
+    iv.end = ev.free_tick >= 0 ? ev.free_tick
+                               : std::numeric_limits<int64_t>::max();
+    plan.intervals.push_back(iv);
+    plan.total_alloc_bytes += iv.bytes;
+  }
+
+  // Peak live bytes: sweep the event timeline.
+  {
+    std::vector<std::pair<int64_t, int64_t>> deltas;  // (tick, +/- bytes)
+    deltas.reserve(plan.intervals.size() * 2);
+    for (const ActivationInterval& iv : plan.intervals) {
+      deltas.emplace_back(iv.start, iv.bytes);
+      if (iv.end != std::numeric_limits<int64_t>::max()) {
+        deltas.emplace_back(iv.end, -iv.bytes);
+      }
+    }
+    std::sort(deltas.begin(), deltas.end());
+    int64_t live = 0;
+    for (const auto& d : deltas) {
+      live += d.second;
+      plan.peak_live_bytes = std::max(plan.peak_live_bytes, live);
+    }
+  }
+
+  // First-fit decreasing: place big tensors first (ties by alloc order for
+  // determinism); each goes at the lowest offset that clears every
+  // already-placed, time-overlapping interval.
+  std::vector<int64_t> order(plan.intervals.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    const ActivationInterval& ia = plan.intervals[static_cast<size_t>(a)];
+    const ActivationInterval& ib = plan.intervals[static_cast<size_t>(b)];
+    if (ia.bytes != ib.bytes) return ia.bytes > ib.bytes;
+    return ia.id < ib.id;
+  });
+  std::vector<int64_t> placed;
+  placed.reserve(order.size());
+  for (int64_t oi : order) {
+    ActivationInterval& iv = plan.intervals[static_cast<size_t>(oi)];
+    // Gather time-overlapping placed intervals sorted by offset, then walk
+    // upward over them to the first gap that fits.
+    std::vector<const ActivationInterval*> conflicts;
+    for (int64_t pi : placed) {
+      const ActivationInterval& p = plan.intervals[static_cast<size_t>(pi)];
+      if (TimeOverlap(iv, p)) conflicts.push_back(&p);
+    }
+    std::sort(conflicts.begin(), conflicts.end(),
+              [](const ActivationInterval* a, const ActivationInterval* b) {
+                return a->offset < b->offset;
+              });
+    int64_t at = 0;
+    for (const ActivationInterval* p : conflicts) {
+      if (at + iv.bytes <= p->offset) break;  // fits in the gap below p
+      at = std::max(at, p->offset + p->bytes);
+    }
+    iv.offset = at;
+    plan.packed_bytes = std::max(plan.packed_bytes, at + iv.bytes);
+    placed.push_back(oi);
+  }
+  MS_CHECK(plan.packed_bytes >= plan.peak_live_bytes);
+  return plan;
+}
+
+ActivationPlan PlanForward(ActivationArena* arena,
+                           const std::function<void()>& forward) {
+  MS_CHECK(arena != nullptr);
+  arena->core()->StartRecording();
+  {
+    ActivationScope scope(*arena);
+    forward();
+  }
+  const std::vector<ArenaEvent> events = arena->core()->TakeRecording();
+  ActivationPlan plan = PlanActivations(events);
+  arena->core()->Reserve(
+      (plan.packed_bytes + static_cast<int64_t>(sizeof(float)) - 1) /
+      static_cast<int64_t>(sizeof(float)));
+  return plan;
+}
+
+}  // namespace ms

@@ -1,0 +1,65 @@
+// Offline lifetime planning for activation memory (memonger-style interval
+// packing). One recorded forward pass at a given (batch, slice rate) yields
+// per-tensor lifetimes; the planner packs those intervals into a single
+// linear footprint — two tensors share bytes exactly when their lifetimes
+// are disjoint — and pre-sizes the arena to the packed footprint so the
+// very first serving request runs without growing a slab.
+//
+// This is where the paper's r^2 memory claim becomes measurable: the
+// packed footprint at slice rate r is the per-replica activation peak the
+// benches export (BENCH_FUSION.json) and the server publishes per
+// (replica, rate). Weights scale ~r^2 and the dominant activations ~r, so
+// the total per-replica footprint follows the paper's curve; the plan
+// records the honest activation component instead of asserting it.
+//
+// Determinism: packing is first-fit decreasing over (bytes, alloc order) —
+// no hashing, no pointer order — so the same recorded forward always
+// produces the same plan.
+#ifndef MODELSLICING_TENSOR_ACTIVATION_PLANNER_H_
+#define MODELSLICING_TENSOR_ACTIVATION_PLANNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/tensor/activation_arena.h"
+
+namespace ms {
+
+/// One planned tensor lifetime. Ticks are the arena's logical event times;
+/// end == INT64_MAX marks a buffer still live when recording stopped (the
+/// forward's returned output). offset is the packed placement.
+struct ActivationInterval {
+  int64_t id = 0;
+  int64_t bytes = 0;
+  int64_t start = 0;
+  int64_t end = 0;
+  int64_t offset = 0;
+};
+
+struct ActivationPlan {
+  std::vector<ActivationInterval> intervals;
+  /// Footprint of the packed placement (max over intervals of
+  /// offset + bytes) — what one replica needs for activations.
+  int64_t packed_bytes = 0;
+  /// Max over time of the sum of live bytes — the lower bound any
+  /// placement must exceed. packed_bytes / peak_live_bytes is the
+  /// packing's overhead ratio (1.0 == perfect).
+  int64_t peak_live_bytes = 0;
+  /// Total bytes the recorded forward allocated (no reuse) — what a
+  /// naive allocator would touch; the headline reduction denominator.
+  int64_t total_alloc_bytes = 0;
+};
+
+/// Packs recorded arena events into a plan. Pure function of the events.
+ActivationPlan PlanActivations(const std::vector<ArenaEvent>& events);
+
+/// Records one `forward` run inside `arena`, plans it, and Reserve()s the
+/// packed footprint on the arena so steady-state repeats of the same
+/// forward never grow a slab. Returns the plan.
+ActivationPlan PlanForward(ActivationArena* arena,
+                           const std::function<void()>& forward);
+
+}  // namespace ms
+
+#endif  // MODELSLICING_TENSOR_ACTIVATION_PLANNER_H_

@@ -210,6 +210,124 @@ void MergeTile(const float* acc, int nr, int64_t i0, int64_t rows,
   }
 }
 
+// Merge + epilogue in one pass over the tile, fully specialized on the
+// descriptor config so the hot loops carry no per-element branches and
+// stay vectorizable (acc never aliases C — it is the kernel's private
+// accumulator — and the Epilogue vectors must not alias C either, per
+// the descriptor contract). Per-element op order is exactly the scalar
+// path's: beta merge, bias, scale-shift, activation. This TU builds with
+// -ffp-contract=off, so none of those steps contract.
+template <bool kBias, bool kScale, bool kPerRow, EpiAct Act>
+void MergeTileEpiT(const float* __restrict__ acc, int nr, int64_t i0,
+                   int64_t rows, int64_t j0, int64_t cols, float beta,
+                   float* c, int64_t ldc, const Epilogue& epi) {
+  const float* __restrict__ bias_v =
+      kBias && !kPerRow ? epi.bias + j0 : nullptr;
+  const float* __restrict__ scale_v =
+      kScale && !kPerRow ? epi.scale + j0 : nullptr;
+  const float* __restrict__ shift_v =
+      kScale && !kPerRow ? epi.shift + j0 : nullptr;
+  for (int64_t ii = 0; ii < rows; ++ii) {
+    const float* __restrict__ arow = acc + ii * nr;
+    float* __restrict__ crow = c + (i0 + ii) * ldc + j0;
+    const int64_t i = i0 + ii;
+    const float bias_c = kBias && kPerRow ? epi.bias[i] : 0.0f;
+    const float scale_c = kScale && kPerRow ? epi.scale[i] : 0.0f;
+    const float shift_c = kScale && kPerRow ? epi.shift[i] : 0.0f;
+    auto apply = [&](int64_t jj, float x) {
+      if constexpr (kBias) {
+        if constexpr (kPerRow) {
+          x += bias_c;
+        } else {
+          x += bias_v[jj];
+        }
+      }
+      if constexpr (kScale) {
+        if constexpr (kPerRow) {
+          x = x * scale_c + shift_c;
+        } else {
+          x = x * scale_v[jj] + shift_v[jj];
+        }
+      }
+      return EpiActApplyCT<Act>(x);
+    };
+    if (beta == 0.0f) {
+      for (int64_t jj = 0; jj < cols; ++jj) crow[jj] = apply(jj, arow[jj]);
+    } else if (beta == 1.0f) {
+      for (int64_t jj = 0; jj < cols; ++jj) {
+        crow[jj] = apply(jj, crow[jj] + arow[jj]);
+      }
+    } else {
+      for (int64_t jj = 0; jj < cols; ++jj) {
+        crow[jj] = apply(jj, beta * crow[jj] + arow[jj]);
+      }
+    }
+  }
+}
+
+template <bool kBias, bool kScale, bool kPerRow>
+void MergeTileEpiAct(const float* acc, int nr, int64_t i0, int64_t rows,
+                     int64_t j0, int64_t cols, float beta, float* c,
+                     int64_t ldc, const Epilogue& epi) {
+  switch (epi.act) {
+    case EpiAct::kRelu:
+      MergeTileEpiT<kBias, kScale, kPerRow, EpiAct::kRelu>(
+          acc, nr, i0, rows, j0, cols, beta, c, ldc, epi);
+      break;
+    case EpiAct::kSigmoid:
+      MergeTileEpiT<kBias, kScale, kPerRow, EpiAct::kSigmoid>(
+          acc, nr, i0, rows, j0, cols, beta, c, ldc, epi);
+      break;
+    case EpiAct::kTanh:
+      MergeTileEpiT<kBias, kScale, kPerRow, EpiAct::kTanh>(
+          acc, nr, i0, rows, j0, cols, beta, c, ldc, epi);
+      break;
+    case EpiAct::kNone:
+      MergeTileEpiT<kBias, kScale, kPerRow, EpiAct::kNone>(
+          acc, nr, i0, rows, j0, cols, beta, c, ldc, epi);
+      break;
+  }
+}
+
+void MergeTileEpi(const float* acc, int nr, int64_t i0, int64_t rows,
+                  int64_t j0, int64_t cols, float beta, float* c,
+                  int64_t ldc, const Epilogue& epi) {
+  // One dispatch per tile, then branch-free specialized loops.
+  const int cfg = (epi.bias != nullptr ? 1 : 0) |
+                  (epi.scale != nullptr ? 2 : 0) | (epi.per_row ? 4 : 0);
+  switch (cfg) {
+    case 0:
+    case 4:
+      MergeTileEpiAct<false, false, false>(acc, nr, i0, rows, j0, cols,
+                                           beta, c, ldc, epi);
+      break;
+    case 1:
+      MergeTileEpiAct<true, false, false>(acc, nr, i0, rows, j0, cols, beta,
+                                          c, ldc, epi);
+      break;
+    case 2:
+      MergeTileEpiAct<false, true, false>(acc, nr, i0, rows, j0, cols, beta,
+                                          c, ldc, epi);
+      break;
+    case 3:
+      MergeTileEpiAct<true, true, false>(acc, nr, i0, rows, j0, cols, beta,
+                                         c, ldc, epi);
+      break;
+    case 5:
+      MergeTileEpiAct<true, false, true>(acc, nr, i0, rows, j0, cols, beta,
+                                         c, ldc, epi);
+      break;
+    case 6:
+      MergeTileEpiAct<false, true, true>(acc, nr, i0, rows, j0, cols, beta,
+                                         c, ldc, epi);
+      break;
+    default:
+      MergeTileEpiAct<true, true, true>(acc, nr, i0, rows, j0, cols, beta,
+                                        c, ldc, epi);
+      break;
+  }
+}
+
 }  // namespace detail
 
 int ComputeThreads() {
@@ -231,6 +349,32 @@ void SetComputeThreads(int n) {
 
 bool GemmHasAvx2() { return detail::Avx2Kernel() != nullptr; }
 
+namespace {
+
+std::atomic<int> g_fuse_epilogues{-1};  // -1 = read env on first use
+
+int FuseDefaultFromEnv() {
+  if (const char* env = std::getenv("MS_FUSE_EPILOGUES")) {
+    return (env[0] == '0' && env[1] == '\0') ? 0 : 1;
+  }
+  return 1;
+}
+
+}  // namespace
+
+bool FuseEpiloguesEnabled() {
+  int v = g_fuse_epilogues.load(std::memory_order_acquire);
+  if (v < 0) {
+    v = FuseDefaultFromEnv();
+    g_fuse_epilogues.store(v, std::memory_order_release);
+  }
+  return v != 0;
+}
+
+void SetFuseEpilogues(bool enabled) {
+  g_fuse_epilogues.store(enabled ? 1 : 0, std::memory_order_release);
+}
+
 void ParallelForCompute(int64_t n,
                         const std::function<void(int64_t, int64_t)>& fn) {
   if (n <= 0) return;
@@ -249,9 +393,33 @@ void GemmRef(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
                              ldb, beta, c, ldc);
 }
 
+void GemmRefEx(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+               float alpha, const float* a, int64_t lda, const float* b,
+               int64_t ldb, float beta, float* c, int64_t ldc,
+               const Epilogue& epi) {
+  GemmRef(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  if (epi.empty()) return;
+  // Post-pass: each element was merged exactly once above, so applying
+  // the epilogue here is bitwise identical to applying it at merge time.
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) {
+      crow[j] = detail::EpiApply(epi, i, j, crow[j]);
+    }
+  }
+}
+
 void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           float alpha, const float* a, int64_t lda, const float* b,
           int64_t ldb, float beta, float* c, int64_t ldc) {
+  GemmEx(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+         Epilogue{});
+}
+
+void GemmEx(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+            float alpha, const float* a, int64_t lda, const float* b,
+            int64_t ldb, float beta, float* c, int64_t ldc,
+            const Epilogue& epi) {
   using detail::CeilDiv;
   using detail::kMC;
   using detail::kNC;
@@ -259,7 +427,8 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   const int64_t flops = 2 * m * n * k;
   if (k <= 0 || flops < detail::kTinyFlops) {
     // Bitwise identical to the packed path (shared per-element contract).
-    GemmRef(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    GemmRefEx(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
+              ldc, epi);
     return;
   }
 
@@ -310,9 +479,15 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
         for (int64_t pi = 0; pi * mr < rows; ++pi) {
           kd.kernel(k, apack + bi * band_stride_a + pi * mr * k, bpanel,
                     acc);
-          detail::MergeTile(acc, nr, i_base + pi * mr,
-                            std::min<int64_t>(mr, rows - pi * mr), j0,
-                            live_cols, beta, c, ldc);
+          if (epi.empty()) {
+            detail::MergeTile(acc, nr, i_base + pi * mr,
+                              std::min<int64_t>(mr, rows - pi * mr), j0,
+                              live_cols, beta, c, ldc);
+          } else {
+            detail::MergeTileEpi(acc, nr, i_base + pi * mr,
+                                 std::min<int64_t>(mr, rows - pi * mr), j0,
+                                 live_cols, beta, c, ldc, epi);
+          }
         }
       }
     }

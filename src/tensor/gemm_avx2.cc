@@ -505,6 +505,34 @@ void Transpose8ColMinMaxAvx2(const float* src, int64_t ld, int64_t k,
   Transpose8ColImpl<true>(src, ld, k, dst, dst_stride, lo8, hi8);
 }
 
+/// Norm-statistics reduction: sum and sum-of-squares accumulated as 4
+// packed doubles (lane j holds elements p ≡ j mod 4), folded pairwise at
+// the end, scalar tail last. float->double widening is exact, so only the
+// documented lane decomposition (not rounding of inputs) distinguishes
+// this from a serial scalar loop.
+void SumSqF32Avx2(const float* v, int64_t n, double* sum, double* sumsq) {
+  __m256d s = _mm256_setzero_pd();
+  __m256d q = _mm256_setzero_pd();
+  int64_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    const __m256d x = _mm256_cvtps_pd(_mm_loadu_ps(v + p));
+    s = _mm256_add_pd(s, x);
+    q = _mm256_add_pd(q, _mm256_mul_pd(x, x));
+  }
+  alignas(32) double ls[4], lq[4];
+  _mm256_store_pd(ls, s);
+  _mm256_store_pd(lq, q);
+  double ts = (ls[0] + ls[1]) + (ls[2] + ls[3]);
+  double tq = (lq[0] + lq[1]) + (lq[2] + lq[3]);
+  for (; p < n; ++p) {
+    const double x = static_cast<double>(v[p]);
+    ts += x;
+    tq += x * x;
+  }
+  *sum = ts;
+  *sumsq = tq;
+}
+
 // Mirrors the scalar dequant epilogue op-for-op: mul, mul, add, mul, add
 // per element — deliberately no fma, so this flavor and the portable loop
 // return identical bits.
@@ -590,6 +618,11 @@ Int8EpilogueFn Avx2Int8Epilogue() {
   return supported ? &Int8EpilogueAvx2 : nullptr;
 }
 
+SumSqF32Fn Avx2SumSqF32() {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported ? &SumSqF32Avx2 : nullptr;
+}
+
 }  // namespace detail
 }  // namespace ops
 }  // namespace ms
@@ -615,6 +648,8 @@ Transpose8ColFn Avx2Transpose8Col() { return nullptr; }
 Transpose8ColMMFn Avx2Transpose8ColMinMax() { return nullptr; }
 
 Int8EpilogueFn Avx2Int8Epilogue() { return nullptr; }
+
+SumSqF32Fn Avx2SumSqF32() { return nullptr; }
 
 }  // namespace detail
 }  // namespace ops

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "src/tensor/epilogue.h"
+
 namespace ms {
 namespace ops {
 namespace detail {
@@ -138,6 +140,17 @@ Transpose8ColFn Avx2Transpose8Col();
 Transpose8ColMMFn Avx2Transpose8ColMinMax();
 Int8EpilogueFn Avx2Int8Epilogue();
 
+/// sum and sum-of-squares over n contiguous floats, accumulated in double
+/// in a fixed 4-lane-then-fold order (the GroupNorm/BatchNorm statistics
+/// reduction). Both flavors use the identical lane decomposition, so the
+/// result is deterministic per build flavor and independent of callers.
+using SumSqF32Fn = void (*)(const float* v, int64_t n, double* sum,
+                            double* sumsq);
+
+/// AVX2 flavor of the statistics reduction (4 packed-double lanes per
+/// accumulator), or nullptr when AVX2 is compiled out or unavailable.
+SumSqF32Fn Avx2SumSqF32();
+
 /// The kernel Gemm dispatches to in this process (AVX2 when available,
 /// else the portable 4x8). Prepacked buffers are laid out for this
 /// kernel's mr/nr.
@@ -157,6 +170,13 @@ void PackBPanel(bool trans_b, const float* b, int64_t ldb, int64_t j0,
 /// into C with the shared beta semantics (beta == 0 never reads C).
 void MergeTile(const float* acc, int nr, int64_t i0, int64_t rows,
                int64_t j0, int64_t cols, float beta, float* c, int64_t ldc);
+
+/// MergeTile plus the fused epilogue, applied per element to the merged
+/// value while the tile is hot. Bitwise identical to MergeTile followed by
+/// a post-pass over the same region (see epilogue.h).
+void MergeTileEpi(const float* acc, int nr, int64_t i0, int64_t rows,
+                  int64_t j0, int64_t cols, float beta, float* c,
+                  int64_t ldc, const Epilogue& epi);
 
 }  // namespace detail
 }  // namespace ops

@@ -44,6 +44,20 @@ void BetaMerge(int64_t m, int64_t n, float beta, float* c, int64_t ldc) {
   }
 }
 
+/// BetaMerge then the epilogue post-pass — the k == 0 form of the fused
+/// writeback, matching GemmRefEx on a k == 0 problem bitwise.
+void BetaMergeEpi(int64_t m, int64_t n, float beta, float* c, int64_t ldc,
+                  const Epilogue& epi) {
+  BetaMerge(m, n, beta, c, ldc);
+  if (epi.empty()) return;
+  for (int64_t i = 0; i < m; ++i) {
+    float* row = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) {
+      row[j] = detail::EpiApply(epi, i, j, row[j]);
+    }
+  }
+}
+
 }  // namespace
 
 uint64_t WeightGeneration() {
@@ -126,13 +140,21 @@ void GemmPrepackedB(bool trans_a, int64_t m, int64_t n, int64_t k,
                     float alpha, const float* a, int64_t lda,
                     const PackedMatrix& bpack, float beta, float* c,
                     int64_t ldc) {
+  GemmPrepackedBEx(trans_a, m, n, k, alpha, a, lda, bpack, beta, c, ldc,
+                   Epilogue{});
+}
+
+void GemmPrepackedBEx(bool trans_a, int64_t m, int64_t n, int64_t k,
+                      float alpha, const float* a, int64_t lda,
+                      const PackedMatrix& bpack, float beta, float* c,
+                      int64_t ldc, const Epilogue& epi) {
   using detail::CeilDiv;
   MS_CHECK(bpack.role_ == PackedMatrix::Role::kB);
   MS_CHECK(k <= bpack.rows_ && n <= bpack.cols_);
   if (m <= 0 || n <= 0) return;
   g_prepacked_calls.fetch_add(1, std::memory_order_relaxed);
   if (k <= 0) {
-    BetaMerge(m, n, beta, c, ldc);
+    BetaMergeEpi(m, n, beta, c, ldc, epi);
     return;
   }
   const detail::MicroKernelDesc& kd = detail::ActiveKernel();
@@ -154,8 +176,14 @@ void GemmPrepackedB(bool trans_a, int64_t m, int64_t n, int64_t k,
         kd.skinny(k, static_cast<int>(m), trans_a, a, lda, alpha,
                   bpack.data_ + pj * pstride, acc);
         const int64_t j0 = pj * nr;
-        detail::MergeTile(acc, nr, 0, m, j0, std::min<int64_t>(nr, n - j0),
-                          beta, c, ldc);
+        if (epi.empty()) {
+          detail::MergeTile(acc, nr, 0, m, j0,
+                            std::min<int64_t>(nr, n - j0), beta, c, ldc);
+        } else {
+          detail::MergeTileEpi(acc, nr, 0, m, j0,
+                               std::min<int64_t>(nr, n - j0), beta, c, ldc,
+                               epi);
+        }
       }
     };
     if (WorthParallel(flops, n_panels)) {
@@ -201,9 +229,15 @@ void GemmPrepackedB(bool trans_a, int64_t m, int64_t n, int64_t k,
         for (int64_t pi = 0; pi * mr < rows; ++pi) {
           kd.kernel(k, apack + bi * band_stride_a + pi * mr * k, bpanel,
                     acc);
-          detail::MergeTile(acc, nr, i_base + pi * mr,
-                            std::min<int64_t>(mr, rows - pi * mr), j0,
-                            live_cols, beta, c, ldc);
+          if (epi.empty()) {
+            detail::MergeTile(acc, nr, i_base + pi * mr,
+                              std::min<int64_t>(mr, rows - pi * mr), j0,
+                              live_cols, beta, c, ldc);
+          } else {
+            detail::MergeTileEpi(acc, nr, i_base + pi * mr,
+                                 std::min<int64_t>(mr, rows - pi * mr), j0,
+                                 live_cols, beta, c, ldc, epi);
+          }
         }
       }
     }
@@ -271,13 +305,21 @@ bool EnsurePackedA(bool trans_a, int64_t m, int64_t k, const float* a,
 void GemmPrepackedA(int64_t m, int64_t n, int64_t k,
                     const PackedMatrix& apack, bool trans_b, const float* b,
                     int64_t ldb, float beta, float* c, int64_t ldc) {
+  GemmPrepackedAEx(m, n, k, apack, trans_b, b, ldb, beta, c, ldc,
+                   Epilogue{});
+}
+
+void GemmPrepackedAEx(int64_t m, int64_t n, int64_t k,
+                      const PackedMatrix& apack, bool trans_b,
+                      const float* b, int64_t ldb, float beta, float* c,
+                      int64_t ldc, const Epilogue& epi) {
   using detail::CeilDiv;
   MS_CHECK(apack.role_ == PackedMatrix::Role::kA);
   MS_CHECK(m <= apack.rows_ && k <= apack.cols_);
   if (m <= 0 || n <= 0) return;
   g_prepacked_calls.fetch_add(1, std::memory_order_relaxed);
   if (k <= 0) {
-    BetaMerge(m, n, beta, c, ldc);
+    BetaMergeEpi(m, n, beta, c, ldc, epi);
     return;
   }
   const detail::MicroKernelDesc& kd = detail::ActiveKernel();
@@ -326,9 +368,15 @@ void GemmPrepackedA(int64_t m, int64_t n, int64_t k,
           kd.kernel(k,
                     apack.data_ + bi * band_stride + pi * panel_stride,
                     bpanel, acc);
-          detail::MergeTile(acc, nr, i_base + pi * mr,
-                            std::min<int64_t>(mr, rows - pi * mr), j0,
-                            live_cols, beta, c, ldc);
+          if (epi.empty()) {
+            detail::MergeTile(acc, nr, i_base + pi * mr,
+                              std::min<int64_t>(mr, rows - pi * mr), j0,
+                              live_cols, beta, c, ldc);
+          } else {
+            detail::MergeTileEpi(acc, nr, i_base + pi * mr,
+                                 std::min<int64_t>(mr, rows - pi * mr), j0,
+                                 live_cols, beta, c, ldc, epi);
+          }
         }
       }
     }

@@ -40,6 +40,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "src/tensor/epilogue.h"
+
 namespace ms {
 namespace ops {
 
@@ -84,6 +86,9 @@ class PackedMatrix {
   friend void GemmPrepackedB(bool, int64_t, int64_t, int64_t, float,
                              const float*, int64_t, const PackedMatrix&,
                              float, float*, int64_t);
+  friend void GemmPrepackedBEx(bool, int64_t, int64_t, int64_t, float,
+                               const float*, int64_t, const PackedMatrix&,
+                               float, float*, int64_t, const Epilogue&);
   friend void PackA(bool, int64_t, int64_t, const float*, int64_t,
                     PackedMatrix*);
   friend bool EnsurePackedA(bool, int64_t, int64_t, const float*, int64_t,
@@ -91,6 +96,10 @@ class PackedMatrix {
   friend void GemmPrepackedA(int64_t, int64_t, int64_t, const PackedMatrix&,
                              bool, const float*, int64_t, float, float*,
                              int64_t);
+  friend void GemmPrepackedAEx(int64_t, int64_t, int64_t,
+                               const PackedMatrix&, bool, const float*,
+                               int64_t, float, float*, int64_t,
+                               const Epilogue&);
 
   /// 64-byte-aligned buffer of at least `floats` floats (reuses the
   /// existing allocation when large enough).
@@ -134,6 +143,13 @@ void GemmPrepackedB(bool trans_a, int64_t m, int64_t n, int64_t k,
                     const PackedMatrix& bpack, float beta, float* c,
                     int64_t ldc);
 
+/// GemmPrepackedB with a fused epilogue at C-writeback; bitwise identical
+/// to GemmPrepackedB followed by the same post-pass (see epilogue.h).
+void GemmPrepackedBEx(bool trans_a, int64_t m, int64_t n, int64_t k,
+                      float alpha, const float* a, int64_t lda,
+                      const PackedMatrix& bpack, float beta, float* c,
+                      int64_t ldc, const Epilogue& epi);
+
 // ---------------------------------------------------------------------------
 // A-role packs (op(A) is M x K). Weights used as the left operand: conv
 // layers multiply W (out_channels x in_channels*k*k) by im2col columns.
@@ -154,6 +170,13 @@ bool EnsurePackedA(bool trans_a, int64_t m, int64_t k, const float* a,
 void GemmPrepackedA(int64_t m, int64_t n, int64_t k,
                     const PackedMatrix& apack, bool trans_b, const float* b,
                     int64_t ldb, float beta, float* c, int64_t ldc);
+
+/// GemmPrepackedA with a fused epilogue at C-writeback (conv bias is the
+/// per_row case: one value per output channel / C row).
+void GemmPrepackedAEx(int64_t m, int64_t n, int64_t k,
+                      const PackedMatrix& apack, bool trans_b,
+                      const float* b, int64_t ldb, float beta, float* c,
+                      int64_t ldc, const Epilogue& epi);
 
 // ---------------------------------------------------------------------------
 // Observability. Process-wide counters (relaxed atomics, cheap enough for

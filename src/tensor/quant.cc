@@ -120,6 +120,18 @@ void BetaMergeQ(int64_t m, int64_t n, float beta, float* c, int64_t ldc) {
   }
 }
 
+/// BetaMergeQ followed by the epilogue post-pass (the k == 0 degenerate
+/// case of the fused entry points).
+void BetaMergeQEpi(int64_t m, int64_t n, float beta, float* c, int64_t ldc,
+                   const Epilogue& epi) {
+  BetaMergeQ(m, n, beta, c, ldc);
+  if (epi.empty()) return;
+  for (int64_t i = 0; i < m; ++i) {
+    float* row = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) row[j] = detail::EpiApply(epi, i, j, row[j]);
+  }
+}
+
 /// Quantizes rows [i0, i1) of op(A) (m x k) into the segment-padded u8
 /// layout: row i at aq + i*row_bytes, segment g's quads at byte offset
 /// seg_quad_off[g]*4. One affine (min, scale) per row over the active k,
@@ -374,6 +386,14 @@ void GemmQuantizedB(bool trans_a, int64_t m, int64_t n, int64_t k,
                     float alpha, const float* a, int64_t lda,
                     const QuantizedPack& bpack, float beta, float* c,
                     int64_t ldc) {
+  GemmQuantizedBEx(trans_a, m, n, k, alpha, a, lda, bpack, beta, c, ldc,
+                   Epilogue{});
+}
+
+void GemmQuantizedBEx(bool trans_a, int64_t m, int64_t n, int64_t k,
+                      float alpha, const float* a, int64_t lda,
+                      const QuantizedPack& bpack, float beta, float* c,
+                      int64_t ldc, const Epilogue& epi) {
   MS_CHECK(bpack.valid_);
   MS_CHECK_MSG(beta == 0.0f || beta == 1.0f,
                "GemmQuantizedB supports beta in {0, 1}");
@@ -382,7 +402,7 @@ void GemmQuantizedB(bool trans_a, int64_t m, int64_t n, int64_t k,
   g_qgemm_calls.fetch_add(1, std::memory_order_relaxed);
   const int64_t s_act = ActiveSegments(bpack.seg_ends_, k);
   if (s_act == 0) {
-    BetaMergeQ(m, n, beta, c, ldc);
+    BetaMergeQEpi(m, n, beta, c, ldc, epi);
     return;
   }
   const int64_t s_count = static_cast<int64_t>(bpack.seg_ends_.size());
@@ -451,10 +471,15 @@ void GemmQuantizedB(bool trans_a, int64_t m, int64_t n, int64_t k,
         for (int i = 0; i < mc; ++i) {
           float* crow = c + (i0 + i) * ldc + j0;
           const float* frow = ftile + i * kQNr;
+          // Plain merge, then the row-specialized epilogue over the hot
+          // row — same per-element op order as the scalar EpiApply path.
           if (beta == 0.0f) {
             for (int64_t cc = 0; cc < live; ++cc) crow[cc] = frow[cc];
           } else {
             for (int64_t cc = 0; cc < live; ++cc) crow[cc] += frow[cc];
+          }
+          if (!epi.empty()) {
+            detail::EpiApplyRow(epi, i0 + i, j0, live, crow);
           }
         }
       }
@@ -470,6 +495,13 @@ void GemmQuantizedB(bool trans_a, int64_t m, int64_t n, int64_t k,
 void GemmQuantizedWeightA(int64_t m, int64_t n, int64_t k,
                           const QuantizedPack& wpack_t, const float* b,
                           int64_t ldb, float beta, float* c, int64_t ldc) {
+  GemmQuantizedWeightAEx(m, n, k, wpack_t, b, ldb, beta, c, ldc, Epilogue{});
+}
+
+void GemmQuantizedWeightAEx(int64_t m, int64_t n, int64_t k,
+                            const QuantizedPack& wpack_t, const float* b,
+                            int64_t ldb, float beta, float* c, int64_t ldc,
+                            const Epilogue& epi) {
   MS_CHECK(wpack_t.valid_);
   MS_CHECK_MSG(beta == 0.0f || beta == 1.0f,
                "GemmQuantizedWeightA supports beta in {0, 1}");
@@ -478,7 +510,7 @@ void GemmQuantizedWeightA(int64_t m, int64_t n, int64_t k,
   g_qgemm_calls.fetch_add(1, std::memory_order_relaxed);
   const int64_t s_act = ActiveSegments(wpack_t.seg_ends_, k);
   if (s_act == 0) {
-    BetaMergeQ(m, n, beta, c, ldc);
+    BetaMergeQEpi(m, n, beta, c, ldc, epi);
     return;
   }
   const int64_t s_count = static_cast<int64_t>(wpack_t.seg_ends_.size());
@@ -555,7 +587,20 @@ void GemmQuantizedWeightA(int64_t m, int64_t n, int64_t k,
         // rows): C[j0+cc][i0+i] = ftile[i][cc]. Full 8x8 blocks of the
         // overwrite flavor go through the vector transpose straight into
         // C; everything else (beta == 1, ragged edges) stays scalar —
-        // same element moves either way.
+        // same element moves either way. The overwrite epilogue applies in
+        // ftile before the transpose (per element, same float either
+        // side); the accumulate flavor applies at the scalar merge below.
+        if (!epi.empty() && beta == 0.0f) {
+          // ftile axes are swapped vs C (rows are pixels / C columns), so
+          // flip per_row and the indexing collapses to the same idx per
+          // element: per_row bias follows the cc axis (C rows, offset
+          // j0), per-column follows the broadcast i0 + i.
+          Epilogue epi_t = epi;
+          epi_t.per_row = !epi.per_row;
+          for (int i = 0; i < mc; ++i) {
+            detail::EpiApplyRow(epi_t, i0 + i, j0, live, ftile + i * kQNr);
+          }
+        }
         int64_t cc0 = 0;
         if (tpose != nullptr && beta == 0.0f) {
           for (; cc0 + 8 <= live; cc0 += 8) {
@@ -577,6 +622,11 @@ void GemmQuantizedWeightA(int64_t m, int64_t n, int64_t k,
             for (int i = 0; i < mc; ++i) crow[i] = ftile[i * kQNr + cc];
           } else {
             for (int i = 0; i < mc; ++i) crow[i] += ftile[i * kQNr + cc];
+            if (!epi.empty()) {
+              // crow runs along C columns with the C row fixed at
+              // j0 + cc, which is exactly EpiApplyRow's contract.
+              detail::EpiApplyRow(epi, j0 + cc, i0, mc, crow);
+            }
           }
         }
       }

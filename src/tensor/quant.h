@@ -46,6 +46,8 @@
 #include <string>
 #include <vector>
 
+#include "src/tensor/epilogue.h"
+
 namespace ms {
 
 /// Numeric precision of a layer's inference path. A second elastic axis
@@ -96,9 +98,16 @@ class QuantizedPack {
   friend void GemmQuantizedB(bool, int64_t, int64_t, int64_t, float,
                              const float*, int64_t, const QuantizedPack&,
                              float, float*, int64_t);
+  friend void GemmQuantizedBEx(bool, int64_t, int64_t, int64_t, float,
+                               const float*, int64_t, const QuantizedPack&,
+                               float, float*, int64_t, const Epilogue&);
   friend void GemmQuantizedWeightA(int64_t, int64_t, int64_t,
                                    const QuantizedPack&, const float*,
                                    int64_t, float, float*, int64_t);
+  friend void GemmQuantizedWeightAEx(int64_t, int64_t, int64_t,
+                                     const QuantizedPack&, const float*,
+                                     int64_t, float, float*, int64_t,
+                                     const Epilogue&);
 
   /// 64-byte-aligned buffer of at least `bytes` (reuses the existing
   /// allocation when large enough).
@@ -154,6 +163,14 @@ void GemmQuantizedB(bool trans_a, int64_t m, int64_t n, int64_t k,
                     const QuantizedPack& bpack, float beta, float* c,
                     int64_t ldc);
 
+/// GemmQuantizedB with a fused epilogue applied at the dequantized-tile
+/// merge into C; bitwise identical to GemmQuantizedB followed by the same
+/// per-element post-pass (epilogue.h), at any thread count.
+void GemmQuantizedBEx(bool trans_a, int64_t m, int64_t n, int64_t k,
+                      float alpha, const float* a, int64_t lda,
+                      const QuantizedPack& bpack, float beta, float* c,
+                      int64_t ldc, const Epilogue& epi);
+
 /// Conv flavor, weight on the left: C(m, n) = W[:m, :k] * b[:k, :n] +
 /// beta * C, where `wpack_t` packs op(B) = W^T — i.e. the SAME
 /// QuantizePackB(trans_b=true, K, M, w, K, ends) call the dense layers
@@ -163,6 +180,14 @@ void GemmQuantizedB(bool trans_a, int64_t m, int64_t n, int64_t k,
 void GemmQuantizedWeightA(int64_t m, int64_t n, int64_t k,
                           const QuantizedPack& wpack_t, const float* b,
                           int64_t ldb, float beta, float* c, int64_t ldc);
+
+/// GemmQuantizedWeightA with a fused epilogue (conv bias is the per_row
+/// case: one value per output channel / C row). Bitwise identical to the
+/// unfused call followed by the same post-pass.
+void GemmQuantizedWeightAEx(int64_t m, int64_t n, int64_t k,
+                            const QuantizedPack& wpack_t, const float* b,
+                            int64_t ldb, float beta, float* c, int64_t ldc,
+                            const Epilogue& epi);
 
 /// True when the int8 path runs the AVX2 madd kernel in this process.
 bool GemmHasInt8Avx2();

@@ -3,12 +3,17 @@
 #ifndef MODELSLICING_TENSOR_TENSOR_H_
 #define MODELSLICING_TENSOR_TENSOR_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/tensor/activation_arena.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -19,23 +24,84 @@ namespace ms {
 /// Kept deliberately simple: contiguous storage, explicit shape, no views or
 /// broadcasting machinery. Layers slice by operating on index prefixes
 /// (contiguous groups), which maps directly onto row-major layout.
+///
+/// Storage comes from the heap, or — when the calling thread is inside an
+/// ActivationScope — from the bound activation arena, so a warmed serving
+/// replica's forward pass performs zero heap allocations. A tensor carved
+/// from an arena holds a shared_ptr to the arena core: escaping the scope
+/// is safe, and the buffer is returned to the arena (from any thread) when
+/// the tensor dies or reallocates. Copy assignment reuses the existing
+/// buffer whenever the capacity suffices.
 class Tensor {
  public:
   Tensor() = default;
 
-  explicit Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
-    data_.assign(static_cast<size_t>(NumElements(shape_)), 0.0f);
+  explicit Tensor(std::vector<int64_t> shape) {
+    shape_ = std::move(shape);
+    Allocate(NumElements(shape_));
+    if (size_ > 0) {
+      fill_events_.fetch_add(1, std::memory_order_relaxed);
+      std::fill(ptr_, ptr_ + size_, 0.0f);
+    }
   }
 
   Tensor(std::initializer_list<int64_t> shape)
       : Tensor(std::vector<int64_t>(shape)) {}
 
+  ~Tensor() { Release(); }
+
+  Tensor(const Tensor& other) { CopyFrom(other); }
+
+  Tensor& operator=(const Tensor& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  Tensor(Tensor&& other) noexcept
+      : shape_(std::move(other.shape_)),
+        heap_(std::move(other.heap_)),
+        owner_(std::move(other.owner_)),
+        ptr_(other.ptr_),
+        size_(other.size_),
+        cap_(other.cap_) {
+    other.ptr_ = nullptr;
+    other.size_ = 0;
+    other.cap_ = 0;
+    other.shape_.clear();
+  }
+
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      Release();
+      shape_ = std::move(other.shape_);
+      heap_ = std::move(other.heap_);
+      owner_ = std::move(other.owner_);
+      ptr_ = other.ptr_;
+      size_ = other.size_;
+      cap_ = other.cap_;
+      other.ptr_ = nullptr;
+      other.size_ = 0;
+      other.cap_ = 0;
+      other.shape_.clear();
+    }
+    return *this;
+  }
+
+  /// A tensor whose contents are NOT initialized — for outputs every
+  /// element of which the producing kernel overwrites (fused GEMM
+  /// epilogues write the whole C), killing the zero-fill pass.
+  static Tensor Uninit(std::vector<int64_t> shape) {
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.Allocate(NumElements(t.shape_));
+    return t;
+  }
+
   static Tensor FromVector(std::vector<int64_t> shape,
                            std::vector<float> values) {
-    Tensor t;
     MS_CHECK(NumElements(shape) == static_cast<int64_t>(values.size()));
-    t.shape_ = std::move(shape);
-    t.data_ = std::move(values);
+    Tensor t = Uninit(std::move(shape));
+    std::copy(values.begin(), values.end(), t.ptr_);
     return t;
   }
 
@@ -44,24 +110,26 @@ class Tensor {
   }
 
   static Tensor Full(std::vector<int64_t> shape, float value) {
-    Tensor t(std::move(shape));
+    Tensor t = Uninit(std::move(shape));
     t.Fill(value);
     return t;
   }
 
   static Tensor Randn(std::vector<int64_t> shape, Rng* rng,
                       float stddev = 1.0f) {
-    Tensor t(std::move(shape));
-    for (auto& v : t.data_) {
-      v = static_cast<float>(rng->Gaussian(0.0, stddev));
+    Tensor t = Uninit(std::move(shape));
+    for (int64_t i = 0; i < t.size_; ++i) {
+      t.ptr_[i] = static_cast<float>(rng->Gaussian(0.0, stddev));
     }
     return t;
   }
 
   static Tensor RandUniform(std::vector<int64_t> shape, Rng* rng, float lo,
                             float hi) {
-    Tensor t(std::move(shape));
-    for (auto& v : t.data_) v = static_cast<float>(rng->Uniform(lo, hi));
+    Tensor t = Uninit(std::move(shape));
+    for (int64_t i = 0; i < t.size_; ++i) {
+      t.ptr_[i] = static_cast<float>(rng->Uniform(lo, hi));
+    }
     return t;
   }
 
@@ -80,42 +148,40 @@ class Tensor {
     MS_CHECK(i >= 0 && i < ndim());
     return shape_[static_cast<size_t>(i)];
   }
-  int64_t size() const { return static_cast<int64_t>(data_.size()); }
-  bool empty() const { return data_.empty(); }
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
 
   float& at(int64_t i) {
     MS_CHECK(i >= 0 && i < size());
-    return data_[static_cast<size_t>(i)];
+    return ptr_[i];
   }
   float at(int64_t i) const {
     MS_CHECK(i >= 0 && i < size());
-    return data_[static_cast<size_t>(i)];
+    return ptr_[i];
   }
 
   /// Unchecked flat accessors for hot loops.
-  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
-  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+  float& operator[](int64_t i) { return ptr_[i]; }
+  float operator[](int64_t i) const { return ptr_[i]; }
 
   /// 2-D accessor (row, col) for matrices.
-  float& at2(int64_t r, int64_t c) {
-    return data_[static_cast<size_t>(r * shape_[1] + c)];
-  }
-  float at2(int64_t r, int64_t c) const {
-    return data_[static_cast<size_t>(r * shape_[1] + c)];
-  }
+  float& at2(int64_t r, int64_t c) { return ptr_[r * shape_[1] + c]; }
+  float at2(int64_t r, int64_t c) const { return ptr_[r * shape_[1] + c]; }
 
-  void Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+  void Fill(float value) {
+    if (size_ > 0) fill_events_.fetch_add(1, std::memory_order_relaxed);
+    std::fill(ptr_, ptr_ + size_, value);
+  }
   void Zero() { Fill(0.0f); }
 
   /// Reinterpret with a new shape of identical element count.
   Tensor Reshaped(std::vector<int64_t> new_shape) const {
     MS_CHECK(NumElements(new_shape) == size());
-    Tensor t;
+    Tensor t(*this);
     t.shape_ = std::move(new_shape);
-    t.data_ = data_;
     return t;
   }
 
@@ -126,13 +192,20 @@ class Tensor {
   }
 
   /// Take on `shape`, reallocating only when the element count grows past
-  /// the current capacity. Existing values are not preserved. Lets
-  /// per-step caches (RNN StepCache, conv activations) be reused across
-  /// iterations without heap churn once warmed up.
+  /// the current capacity. Existing values are NOT preserved and the new
+  /// contents are unspecified — callers overwrite everything (that is the
+  /// point: per-step caches like the RNN StepCache reuse their buffers
+  /// across iterations with neither heap churn nor a redundant zero-fill;
+  /// TotalFillEvents() is the hook the regression test watches).
   void EnsureShape(std::vector<int64_t> shape) {
     const int64_t n = NumElements(shape);
     shape_ = std::move(shape);
-    if (n != size()) data_.resize(static_cast<size_t>(n));
+    if (n > cap_) {
+      Release();
+      Allocate(n);
+    } else {
+      size_ = n;
+    }
   }
 
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
@@ -146,9 +219,61 @@ class Tensor {
     return s + "]";
   }
 
+  /// Process-wide count of whole-buffer fills (zeroing constructions plus
+  /// Fill/Zero calls). Steady-state fully-overwritten paths must keep it
+  /// flat; scratch_test.cc asserts exactly that.
+  static uint64_t TotalFillEvents() {
+    return fill_events_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Binds fresh storage of `n` floats: from the thread's bound activation
+  /// arena when one is in scope, else the heap. Contents unspecified.
+  void Allocate(int64_t n) {
+    if (n > 0) {
+      const std::shared_ptr<ArenaCore>& arena = CurrentActivationArena();
+      if (arena != nullptr) {
+        owner_ = arena;
+        ptr_ = owner_->Alloc(n);
+      } else {
+        heap_ = std::make_unique<float[]>(static_cast<size_t>(n));
+        ptr_ = heap_.get();
+      }
+    }
+    size_ = n;
+    cap_ = n;
+  }
+
+  void Release() {
+    if (owner_ != nullptr) {
+      owner_->Free(ptr_);
+      owner_.reset();
+    }
+    heap_.reset();
+    ptr_ = nullptr;
+    size_ = 0;
+    cap_ = 0;
+  }
+
+  void CopyFrom(const Tensor& other) {
+    if (other.size_ > cap_) {
+      Release();
+      Allocate(other.size_);
+    } else {
+      size_ = other.size_;
+    }
+    shape_ = other.shape_;
+    if (size_ > 0) std::copy(other.ptr_, other.ptr_ + size_, ptr_);
+  }
+
+  static inline std::atomic<uint64_t> fill_events_{0};
+
   std::vector<int64_t> shape_;
-  std::vector<float> data_;
+  std::unique_ptr<float[]> heap_;       // heap-owned storage (may be null)
+  std::shared_ptr<ArenaCore> owner_;    // arena-owned storage (may be null)
+  float* ptr_ = nullptr;
+  int64_t size_ = 0;
+  int64_t cap_ = 0;
 };
 
 }  // namespace ms

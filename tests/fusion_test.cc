@@ -1,0 +1,554 @@
+// Oracle suite for fused GEMM epilogues (src/tensor/epilogue.h) and the
+// activation lifetime planner (src/tensor/activation_planner.h).
+//
+// The contract under test:
+//   * Every Ex entry point (GemmEx, GemmPrepackedBEx, GemmPrepackedAEx,
+//     GemmQuantizedBEx, GemmQuantizedWeightAEx) is bitwise identical to
+//     its unfused sibling followed by the same per-element post-pass
+//     (detail::EpiApply), for every epilogue shape (bias per-row/per-col,
+//     scale-shift, each activation), transpose combination, slice prefix,
+//     and thread count. GemmRefEx is the independent oracle for GemmEx.
+//   * PlanActivations never aliases overlapping lifetimes, reuses bytes
+//     for disjoint ones, and packed_bytes >= peak_live_bytes always.
+//   * With an arena bound (and planned), model forwards are bitwise equal
+//     to heap runs, steady-state repeats allocate zero slabs, and
+//     gradient checks stay green.
+//   * Whole zoo models run fused vs unfused (SetFuseEpilogues toggle)
+//     bitwise identically at several slice rates and both precisions.
+//
+// This TU applies detail::EpiApply as a reference post-pass; its
+// scale-shift is a contractible mul+add, so tests/CMakeLists.txt compiles
+// this file with -ffp-contract=off (matching gemm.cc/prepack.cc/quant.cc).
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/models/cnn.h"
+#include "src/models/mlp.h"
+#include "src/nn/dense.h"
+#include "src/nn/fusion.h"
+#include "src/nn/gru.h"
+#include "src/nn/lstm.h"
+#include "src/tensor/activation_arena.h"
+#include "src/tensor/activation_planner.h"
+#include "src/tensor/epilogue.h"
+#include "src/tensor/gemm.h"
+#include "src/tensor/prepack.h"
+#include "src/tensor/quant.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+#include "tests/gradcheck_util.h"
+
+namespace ms {
+namespace {
+
+using ops::Epilogue;
+using ops::EpiAct;
+
+// Restores the global thread count / fusion toggle on scope exit so a
+// failing ASSERT cannot leak state into later tests.
+struct GlobalStateGuard {
+  int threads = ops::ComputeThreads();
+  ~GlobalStateGuard() {
+    ops::SetComputeThreads(threads);
+    ops::SetFuseEpilogues(true);
+  }
+};
+
+// Reference post-pass over the logical (m, n) block of C. Same scalar
+// helper the kernels call at merge time; this TU builds contract-off.
+void ApplyEpilogueReference(const Epilogue& e, int64_t m, int64_t n,
+                            float* c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      c[i * ldc + j] = ops::detail::EpiApply(e, i, j, c[i * ldc + j]);
+    }
+  }
+}
+
+struct EpiConfig {
+  bool bias = false;
+  bool scale_shift = false;
+  bool per_row = false;
+  EpiAct act = EpiAct::kNone;
+};
+
+// All epilogue shapes a layer can request, plus the empty descriptor
+// (which must degrade to the unfused kernel exactly).
+std::vector<EpiConfig> AllEpiConfigs() {
+  std::vector<EpiConfig> out;
+  for (int bias = 0; bias < 2; ++bias) {
+    for (int ss = 0; ss < 2; ++ss) {
+      for (int pr = 0; pr < 2; ++pr) {
+        for (EpiAct act :
+             {EpiAct::kNone, EpiAct::kRelu, EpiAct::kSigmoid, EpiAct::kTanh}) {
+          if (pr == 1 && bias == 0 && ss == 0) continue;  // per_row is moot
+          out.push_back({bias != 0, ss != 0, pr != 0, act});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// Vectors sized for the larger of the two C extents so one config serves
+// both per_row and per_column indexing.
+struct EpiVectors {
+  Tensor bias, scale, shift;
+  Epilogue Build(const EpiConfig& cfg) const {
+    Epilogue e;
+    if (cfg.bias) e.bias = bias.data();
+    if (cfg.scale_shift) {
+      e.scale = scale.data();
+      e.shift = shift.data();
+    }
+    e.per_row = cfg.per_row;
+    e.act = cfg.act;
+    return e;
+  }
+};
+
+EpiVectors MakeEpiVectors(int64_t extent, Rng* rng) {
+  EpiVectors v;
+  v.bias = Tensor::Randn({extent}, rng, 0.5f);
+  v.scale = Tensor::Randn({extent}, rng, 0.7f);
+  v.shift = Tensor::Randn({extent}, rng, 0.3f);
+  return v;
+}
+
+void ExpectBitwise(const Tensor& got, const Tensor& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(0, std::memcmp(got.data(), want.data(),
+                           static_cast<size_t>(got.size()) * sizeof(float)))
+      << what;
+}
+
+// ---------------------------------------------------------------------------
+// GemmEx vs GemmRefEx (oracle) and vs unfused + reference post-pass.
+// ---------------------------------------------------------------------------
+
+TEST(FusedGemm, GemmExMatchesOracleEverywhere) {
+  GlobalStateGuard guard;
+  Rng rng(401);
+  struct Shape {
+    int64_t m, n, k;
+  };
+  const Shape shapes[] = {{5, 7, 9}, {17, 33, 24}, {48, 31, 32}};
+  for (const Shape& s : shapes) {
+    for (int ta = 0; ta < 2; ++ta) {
+      for (int tb = 0; tb < 2; ++tb) {
+        const int64_t lda = ta ? s.m + 2 : s.k + 2;
+        const int64_t ldb = tb ? s.k + 1 : s.n + 1;
+        const int64_t ldc = s.n + 3;
+        Tensor a = Tensor::Randn({(ta ? s.k : s.m), lda}, &rng);
+        Tensor b = Tensor::Randn({(tb ? s.n : s.k), ldb}, &rng);
+        Tensor c0 = Tensor::Randn({s.m, ldc}, &rng);
+        EpiVectors vecs = MakeEpiVectors(std::max(s.m, s.n), &rng);
+        for (const EpiConfig& cfg : AllEpiConfigs()) {
+          const Epilogue epi = vecs.Build(cfg);
+          for (float beta : {0.0f, 0.5f}) {
+            // Unfused + post-pass reference.
+            Tensor c_post = c0;
+            ops::Gemm(ta, tb, s.m, s.n, s.k, 1.0f, a.data(), lda, b.data(),
+                      ldb, beta, c_post.data(), ldc);
+            ApplyEpilogueReference(epi, s.m, s.n, c_post.data(), ldc);
+            // Independent scalar oracle.
+            Tensor c_ref = c0;
+            ops::GemmRefEx(ta, tb, s.m, s.n, s.k, 1.0f, a.data(), lda,
+                           b.data(), ldb, beta, c_ref.data(), ldc, epi);
+            ExpectBitwise(c_ref, c_post, "GemmRefEx vs unfused+post-pass");
+            for (int threads : {1, 3}) {
+              ops::SetComputeThreads(threads);
+              Tensor c = c0;
+              ops::GemmEx(ta, tb, s.m, s.n, s.k, 1.0f, a.data(), lda,
+                          b.data(), ldb, beta, c.data(), ldc, epi);
+              ExpectBitwise(c, c_ref, "GemmEx vs GemmRefEx");
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prepacked flavors, including slice prefixes of the packed extents.
+// ---------------------------------------------------------------------------
+
+TEST(FusedGemm, PrepackedBExMatchesUnfusedPlusPostPass) {
+  GlobalStateGuard guard;
+  Rng rng(402);
+  const int64_t m = 21, n_full = 40, k_full = 48;
+  for (int tb = 0; tb < 2; ++tb) {
+    const int64_t ldb = tb ? k_full : n_full;
+    Tensor a = Tensor::Randn({m, k_full}, &rng);
+    Tensor b = Tensor::Randn({(tb ? n_full : k_full), ldb}, &rng);
+    ops::PackedMatrix pack;
+    ops::EnsurePackedB(tb, k_full, n_full, b.data(), ldb, &pack);
+    EpiVectors vecs = MakeEpiVectors(std::max(m, n_full), &rng);
+    for (int64_t n : {n_full, n_full / 2}) {
+      Tensor c0 = Tensor::Randn({m, n}, &rng);
+      for (const EpiConfig& cfg : AllEpiConfigs()) {
+        const Epilogue epi = vecs.Build(cfg);
+        for (float beta : {0.0f, 1.0f}) {
+          Tensor c_ref = c0;
+          ops::GemmPrepackedB(false, m, n, k_full, 1.0f, a.data(), k_full,
+                              pack, beta, c_ref.data(), n);
+          ApplyEpilogueReference(epi, m, n, c_ref.data(), n);
+          for (int threads : {1, 3}) {
+            ops::SetComputeThreads(threads);
+            Tensor c = c0;
+            ops::GemmPrepackedBEx(false, m, n, k_full, 1.0f, a.data(),
+                                  k_full, pack, beta, c.data(), n, epi);
+            ExpectBitwise(c, c_ref, "GemmPrepackedBEx");
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FusedGemm, PrepackedAExMatchesUnfusedPlusPostPass) {
+  GlobalStateGuard guard;
+  Rng rng(403);
+  const int64_t m = 24, n = 33, k = 40;
+  for (int ta = 0; ta < 2; ++ta) {
+    const int64_t lda = ta ? m : k;
+    Tensor a = Tensor::Randn({(ta ? k : m), lda}, &rng);
+    Tensor b = Tensor::Randn({k, n}, &rng);
+    ops::PackedMatrix pack;
+    ops::EnsurePackedA(ta, m, k, a.data(), lda, &pack);
+    Tensor c0 = Tensor::Randn({m, n}, &rng);
+    EpiVectors vecs = MakeEpiVectors(std::max(m, n), &rng);
+    for (const EpiConfig& cfg : AllEpiConfigs()) {
+      const Epilogue epi = vecs.Build(cfg);
+      for (float beta : {0.0f, 1.0f}) {
+        Tensor c_ref = c0;
+        ops::GemmPrepackedA(m, n, k, pack, false, b.data(), n, beta,
+                            c_ref.data(), n);
+        ApplyEpilogueReference(epi, m, n, c_ref.data(), n);
+        for (int threads : {1, 3}) {
+          ops::SetComputeThreads(threads);
+          Tensor c = c0;
+          ops::GemmPrepackedAEx(m, n, k, pack, false, b.data(), n, beta,
+                                c.data(), n, epi);
+          ExpectBitwise(c, c_ref, "GemmPrepackedAEx");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized flavors: k must hit a pack segment end, beta in {0, 1}.
+// ---------------------------------------------------------------------------
+
+TEST(FusedGemm, QuantizedBExMatchesUnfusedPlusPostPass) {
+  GlobalStateGuard guard;
+  Rng rng(404);
+  const int64_t m = 19, n_full = 36, k_full = 48;
+  const std::vector<int64_t> ends = {16, 32, 48};
+  for (int tb = 0; tb < 2; ++tb) {
+    const int64_t ldb = tb ? k_full : n_full;
+    Tensor a = Tensor::Randn({m, k_full}, &rng);
+    Tensor b = Tensor::Randn({(tb ? n_full : k_full), ldb}, &rng);
+    ops::QuantizedPack pack;
+    ops::EnsureQuantizedB(tb, k_full, n_full, b.data(), ldb, ends, &pack);
+    EpiVectors vecs = MakeEpiVectors(std::max(m, n_full), &rng);
+    for (int64_t k : {int64_t{32}, k_full}) {
+      for (int64_t n : {n_full, n_full / 2}) {
+        Tensor c0 = Tensor::Randn({m, n}, &rng);
+        for (const EpiConfig& cfg : AllEpiConfigs()) {
+          const Epilogue epi = vecs.Build(cfg);
+          for (float beta : {0.0f, 1.0f}) {
+            Tensor c_ref = c0;
+            ops::GemmQuantizedB(false, m, n, k, 1.0f, a.data(), k_full,
+                                pack, beta, c_ref.data(), n);
+            ApplyEpilogueReference(epi, m, n, c_ref.data(), n);
+            for (int threads : {1, 3}) {
+              ops::SetComputeThreads(threads);
+              Tensor c = c0;
+              ops::GemmQuantizedBEx(false, m, n, k, 1.0f, a.data(), k_full,
+                                    pack, beta, c.data(), n, epi);
+              ExpectBitwise(c, c_ref, "GemmQuantizedBEx");
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FusedGemm, QuantizedWeightAExMatchesUnfusedPlusPostPass) {
+  GlobalStateGuard guard;
+  Rng rng(405);
+  // Conv shape: C(m, n) = W[:m, :k] * b[:k, :n]; the pack holds W^T.
+  const int64_t m_full = 24, n = 30, k_full = 32;
+  const std::vector<int64_t> ends = {16, 32};
+  Tensor w = Tensor::Randn({m_full, k_full}, &rng);
+  Tensor b = Tensor::Randn({k_full, n}, &rng);
+  ops::QuantizedPack pack;
+  // Same call the conv layers make: pack op(B) = W^T via trans_b.
+  ops::EnsureQuantizedB(true, k_full, m_full, w.data(), k_full, ends, &pack);
+  EpiVectors vecs = MakeEpiVectors(std::max(m_full, n), &rng);
+  for (int64_t k : {int64_t{16}, k_full}) {
+    Tensor c0 = Tensor::Randn({m_full, n}, &rng);
+    for (const EpiConfig& cfg : AllEpiConfigs()) {
+      const Epilogue epi = vecs.Build(cfg);
+      for (float beta : {0.0f, 1.0f}) {
+        Tensor c_ref = c0;
+        ops::GemmQuantizedWeightA(m_full, n, k, pack, b.data(), n, beta,
+                                  c_ref.data(), n);
+        ApplyEpilogueReference(epi, m_full, n, c_ref.data(), n);
+        for (int threads : {1, 3}) {
+          ops::SetComputeThreads(threads);
+          Tensor c = c0;
+          ops::GemmQuantizedWeightAEx(m_full, n, k, pack, b.data(), n, beta,
+                                      c.data(), n, epi);
+          ExpectBitwise(c, c_ref, "GemmQuantizedWeightAEx");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Activation planner: packing invariants.
+// ---------------------------------------------------------------------------
+
+ArenaEvent Ev(int64_t id, int64_t floats, int64_t alloc, int64_t free) {
+  ArenaEvent e;
+  e.id = id;
+  e.floats = floats;
+  e.alloc_tick = alloc;
+  e.free_tick = free;
+  return e;
+}
+
+bool TimesOverlap(const ActivationInterval& a, const ActivationInterval& b) {
+  return a.start < b.end && b.start < a.end;
+}
+
+bool BytesOverlap(const ActivationInterval& a, const ActivationInterval& b) {
+  return a.offset < b.offset + b.bytes && b.offset < a.offset + a.bytes;
+}
+
+TEST(ActivationPlanner, OverlappingLifetimesNeverAlias) {
+  std::vector<ArenaEvent> events = {
+      Ev(0, 256, 0, 4), Ev(1, 256, 1, 5), Ev(2, 512, 2, 3),
+      Ev(3, 128, 4, 8), Ev(4, 256, 6, -1),
+  };
+  ActivationPlan plan = PlanActivations(events);
+  ASSERT_EQ(plan.intervals.size(), events.size());
+  for (size_t i = 0; i < plan.intervals.size(); ++i) {
+    for (size_t j = i + 1; j < plan.intervals.size(); ++j) {
+      if (TimesOverlap(plan.intervals[i], plan.intervals[j])) {
+        EXPECT_FALSE(BytesOverlap(plan.intervals[i], plan.intervals[j]))
+            << "intervals " << plan.intervals[i].id << " and "
+            << plan.intervals[j].id << " overlap in time AND bytes";
+      }
+    }
+  }
+  EXPECT_GE(plan.packed_bytes, plan.peak_live_bytes);
+  EXPECT_LE(plan.packed_bytes, plan.total_alloc_bytes);
+}
+
+TEST(ActivationPlanner, DisjointLifetimesReuseExactly) {
+  // A strict chain: each buffer dies before the next is born. A perfect
+  // packing places all five at offset 0; the footprint is one buffer.
+  std::vector<ArenaEvent> events;
+  for (int64_t i = 0; i < 5; ++i) {
+    events.push_back(Ev(i, 1024, 2 * i, 2 * i + 1));
+  }
+  ActivationPlan plan = PlanActivations(events);
+  EXPECT_EQ(plan.packed_bytes, 1024 * static_cast<int64_t>(sizeof(float)));
+  EXPECT_EQ(plan.packed_bytes, plan.peak_live_bytes);
+  EXPECT_EQ(plan.total_alloc_bytes, 5 * 1024 *
+                                        static_cast<int64_t>(sizeof(float)));
+  for (const ActivationInterval& iv : plan.intervals) {
+    EXPECT_EQ(iv.offset, 0);
+  }
+}
+
+TEST(ActivationPlanner, PackedNeverBelowPeakLiveOnRandomInstances) {
+  Rng rng(406);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<ArenaEvent> events;
+    const int n = 3 + static_cast<int>(rng.UniformInt(12));
+    int64_t tick = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t alloc = tick++;
+      const int64_t free =
+          rng.Bernoulli(0.15) ? -1 : alloc + 1 + static_cast<int64_t>(
+                                                     rng.UniformInt(6));
+      events.push_back(
+          Ev(i, 16 * (1 + static_cast<int64_t>(rng.UniformInt(64))), alloc,
+             free));
+      tick = std::max(tick, alloc + 1);
+    }
+    ActivationPlan plan = PlanActivations(events);
+    EXPECT_GE(plan.packed_bytes, plan.peak_live_bytes);
+    for (size_t i = 0; i < plan.intervals.size(); ++i) {
+      for (size_t j = i + 1; j < plan.intervals.size(); ++j) {
+        if (TimesOverlap(plan.intervals[i], plan.intervals[j])) {
+          EXPECT_FALSE(BytesOverlap(plan.intervals[i], plan.intervals[j]));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arena-backed forwards: bitwise equality, zero steady-state slabs,
+// gradients stay green.
+// ---------------------------------------------------------------------------
+
+TEST(ActivationPlanner, PlannedForwardIsBitwiseEqualAndSlabFree) {
+  MlpConfig cfg;
+  cfg.in_features = 24;
+  cfg.hidden = {32, 32};
+  cfg.num_classes = 10;
+  cfg.group_norm = true;
+  auto net = MakeMlp(cfg).MoveValueOrDie();
+  Rng rng(407);
+  Tensor x = Tensor::Randn({4, cfg.in_features}, &rng);
+
+  // Heap reference (warm caches first so both runs hit steady state).
+  Tensor y_heap = net->Forward(x, /*training=*/false);
+  y_heap = net->Forward(x, /*training=*/false);
+
+  ActivationArena arena;
+  ActivationPlan plan = PlanForward(&arena, [&] {
+    Tensor y = net->Forward(x, /*training=*/false);
+    ASSERT_GT(y.size(), 0);
+  });
+  EXPECT_GT(plan.packed_bytes, 0);
+  EXPECT_GE(plan.packed_bytes, plan.peak_live_bytes);
+
+  const uint64_t slabs_before = ArenaCore::TotalSlabAllocs();
+  Tensor y_arena;
+  for (int iter = 0; iter < 3; ++iter) {
+    ActivationScope scope(arena);
+    y_arena = net->Forward(x, /*training=*/false);
+  }
+  EXPECT_EQ(ArenaCore::TotalSlabAllocs(), slabs_before)
+      << "steady-state planned forwards must not grow slabs";
+  ExpectBitwise(y_arena, y_heap, "arena forward vs heap forward");
+}
+
+TEST(ActivationPlanner, GradcheckGreenUnderArena) {
+  Rng rng(408);
+  DenseOptions opts;
+  opts.in_features = 12;
+  opts.out_features = 8;
+  opts.groups = 4;
+  opts.bias = true;
+  Dense layer(opts, &rng);
+  layer.SetSliceRate(0.5);
+  Tensor x = Tensor::Randn({3, layer.active_in()}, &rng);
+  ActivationArena arena;
+  ActivationScope scope(arena);
+  testing_util::CheckModuleGradients(&layer, x, 409);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-model fused vs unfused bitwise equality across rates/precisions.
+// ---------------------------------------------------------------------------
+
+void ExpectFusedMatchesUnfused(Module* net, const Tensor& x) {
+  for (double rate : {1.0, 0.5}) {
+    net->SetSliceRate(rate);
+    ops::SetFuseEpilogues(true);
+    Tensor y_fused = net->Forward(x, /*training=*/false);
+    ops::SetFuseEpilogues(false);
+    Tensor y_plain = net->Forward(x, /*training=*/false);
+    ops::SetFuseEpilogues(true);
+    ExpectBitwise(y_fused, y_plain, "fused vs unfused model forward");
+  }
+}
+
+TEST(ModelFusion, MlpFusedBitwiseEqualsUnfused) {
+  GlobalStateGuard guard;
+  MlpConfig cfg;
+  cfg.in_features = 20;
+  cfg.hidden = {32, 24};
+  cfg.num_classes = 8;
+  cfg.group_norm = true;
+  auto net = MakeMlp(cfg).MoveValueOrDie();
+  Rng rng(410);
+  Tensor x = Tensor::Randn({5, cfg.in_features}, &rng);
+  ExpectFusedMatchesUnfused(net.get(), x);
+  // The build-time pass must have fused every Dense/GN -> ReLU pair, and
+  // re-running it is a no-op (idempotence).
+  EXPECT_EQ(FuseActivations(net.get()), FuseActivations(net.get()));
+}
+
+TEST(ModelFusion, VggFusedBitwiseEqualsUnfusedBothPrecisions) {
+  GlobalStateGuard guard;
+  CnnConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 10;
+  cfg.base_width = 8;
+  cfg.stages = 2;
+  cfg.blocks_per_stage = 1;
+  cfg.slice_groups = 4;
+  auto net = MakeVggSmall(cfg).MoveValueOrDie();
+  Rng rng(411);
+  Tensor x = Tensor::Randn({2, 3, 12, 12}, &rng);
+  ExpectFusedMatchesUnfused(net.get(), x);
+  net->SetPrecision(Precision::kInt8);
+  ExpectFusedMatchesUnfused(net.get(), x);
+}
+
+TEST(ModelFusion, LstmFusedBitwiseEqualsUnfusedBothPrecisions) {
+  GlobalStateGuard guard;
+  Rng rng(412);
+  LstmOptions opts;
+  opts.input_size = 16;
+  opts.hidden_size = 20;
+  opts.groups = 4;
+  opts.slice_in = false;  // keep the test input full-width at every rate
+  Lstm lstm(opts, &rng);
+  Tensor x = Tensor::Randn({6, 3, opts.input_size}, &rng);
+  ExpectFusedMatchesUnfused(&lstm, x);
+  lstm.SetPrecision(Precision::kInt8);
+  ExpectFusedMatchesUnfused(&lstm, x);
+}
+
+TEST(ModelFusion, GruFusedBitwiseEqualsUnfusedBothPrecisions) {
+  GlobalStateGuard guard;
+  Rng rng(413);
+  GruOptions opts;
+  opts.input_size = 14;
+  opts.hidden_size = 18;
+  opts.groups = 2;
+  opts.slice_in = false;  // keep the test input full-width at every rate
+  Gru gru(opts, &rng);
+  Tensor x = Tensor::Randn({5, 2, opts.input_size}, &rng);
+  ExpectFusedMatchesUnfused(&gru, x);
+  gru.SetPrecision(Precision::kInt8);
+  ExpectFusedMatchesUnfused(&gru, x);
+}
+
+// Thread-count invariance of the fused model path (the kernel contract
+// lifts to whole models because every kernel is thread-invariant).
+TEST(ModelFusion, FusedForwardThreadCountInvariant) {
+  GlobalStateGuard guard;
+  MlpConfig cfg;
+  cfg.in_features = 24;
+  cfg.hidden = {40};
+  cfg.num_classes = 6;
+  auto net = MakeMlp(cfg).MoveValueOrDie();
+  Rng rng(414);
+  Tensor x = Tensor::Randn({7, cfg.in_features}, &rng);
+  ops::SetComputeThreads(1);
+  Tensor y1 = net->Forward(x, /*training=*/false);
+  ops::SetComputeThreads(4);
+  Tensor y4 = net->Forward(x, /*training=*/false);
+  ExpectBitwise(y4, y1, "fused forward across thread counts");
+}
+
+}  // namespace
+}  // namespace ms

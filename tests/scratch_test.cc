@@ -125,5 +125,34 @@ TEST(SteadyState, GruInferenceZeroArenaGrowth) {
   });
 }
 
+// The RNN scratch buffers (gate pre-activations, step caches) are shape
+// containers, not accumulators: every element is written before it is
+// read, so EnsureShape must hand back capacity without a redundant
+// zero-fill. Tensor::TotalFillEvents() counts every Fill/Zero/zeroing
+// construction; once the layer is warm, repeated forwards must not bump
+// it (the outputs themselves are Tensor::Uninit).
+TEST(SteadyState, RnnForwardNoRedundantZeroFill) {
+  Rng rng(4);
+  LstmOptions lopts;
+  lopts.input_size = 24;
+  lopts.hidden_size = 32;
+  Lstm lstm(lopts, &rng);
+  GruOptions gopts;
+  gopts.input_size = 24;
+  gopts.hidden_size = 32;
+  Gru gru(gopts, &rng);
+  Tensor x = Tensor::Randn({6, 4, 24}, &rng);
+  // Warm-up: packs, caches and scratch shapes settle.
+  lstm.Forward(x, /*training=*/false);
+  gru.Forward(x, /*training=*/false);
+  const uint64_t fills_before = Tensor::TotalFillEvents();
+  for (int iter = 0; iter < 3; ++iter) {
+    Tensor yl = lstm.Forward(x, /*training=*/false);
+    Tensor yg = gru.Forward(x, /*training=*/false);
+  }
+  EXPECT_EQ(Tensor::TotalFillEvents(), fills_before)
+      << "steady-state RNN inference re-zeroed a scratch buffer";
+}
+
 }  // namespace
 }  // namespace ms
