@@ -25,8 +25,22 @@
 //     and asserts readmit/ledgers from the --stats_out artifacts); chaos
 //     and the readmit gate are the harness's job in this mode.
 //
+// After the throughput phases, a CHAOS section (DESIGN.md §13) drives the
+// reliability layer end to end: network faults (drop / trickled-slow /
+// truncate / recv-blackhole / heartbeat-skip) are armed over the wire via
+// kControl frames with a fixed seed, and a ReliableClient-driven load
+// checks the reliability gates by exit code:
+//   - exact client-side accounting under armed faults (synthesis included),
+//   - zero double-serves (router first-reply-wins + client dedup),
+//   - chaos goodput >= 70% of the fault-free reference phase,
+//   - with only net.send.slow armed, a hedging router's served p99 is
+//     measurably below the non-hedging router's under the same arming.
+//
 // MS_BENCH_FAST=1 shortens the phases. MS_CLUSTER_PORT_BASE moves the
-// port range (default 18171).
+// port range (default 18171). In connect mode the chaos section runs only
+// when MS_CLUSTER_ROUTER_HEDGED and MS_CLUSTER_CHAOS_TARGETS (csv of
+// shard control endpoints) are set; MS_CLUSTER_FAULTS overrides the
+// default fault spec (MS_FAULTS syntax).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -37,12 +51,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/net/client.h"
+#include "src/net/reliable_client.h"
 #include "src/net/wire.h"
 #include "src/obs/metrics.h"
 
@@ -213,6 +229,322 @@ void PrintPhase(const char* name, const PhaseResult& r) {
       static_cast<long long>(r.lost), r.served_p99_ms);
 }
 
+// ---- Chaos section (DESIGN.md §13) ------------------------------------
+
+/// Faults armed on SHARD processes during the mixed-chaos phase. Trickle
+/// delay stays small here: a shard's reply connection is shared, so
+/// p * per-shard-qps * delay must stay well under 1 or the trickles
+/// head-of-line-block every reply behind them.
+constexpr char kDefaultChaosSpec[] =
+    "net.send.drop=0.02,net.send.slow=0.05@0.3,net.frame.truncate=0.01,"
+    "net.recv.blackhole=0.02,net.heartbeat.skip=0.1";
+/// Slow-only arming for the hedging A/B phases: a fat 1s trickle tail that
+/// hedged attempts can beat.
+constexpr char kTailSpec[] = "net.send.slow=0.04@1.0";
+
+struct ChaosConfig {
+  bool enabled = false;
+  std::vector<std::string> shard_targets;  ///< shard control endpoints
+  std::string router_plain;                ///< failover-only router
+  std::string router_hedged;               ///< --hedge router
+  std::string fault_spec = kDefaultChaosSpec;
+  uint64_t seed = 7;
+};
+
+/// Drops `point=...` entries from an MS_FAULTS spec. Routers get the chaos
+/// spec minus net.send.slow: their reply connection to THE single load
+/// client would otherwise head-of-line-block on every trickle.
+std::string StripPoint(const std::string& spec, const std::string& point) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    if (entry.rfind(point + "=", 0) != 0) {
+      if (!out.empty()) out += ',';
+      out += entry;
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// One-shot chaos-control RPC with retries: the ack rides the target's
+/// (possibly already-faulted) send path, and arming is idempotent.
+bool ControlEndpoint(const std::string& addr, net::ControlOp op,
+                     uint64_t seed, const std::string& spec) {
+  static std::atomic<uint64_t> next_id{1000};
+  auto hp = net::ParseHostPort(addr);
+  if (!hp.ok()) return false;
+  const auto [host, port] = hp.ValueOrDie();
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    net::ControlMsg msg;
+    msg.id = next_id.fetch_add(1);
+    msg.op = op;
+    msg.seed = seed;
+    msg.spec = spec;
+    if (net::SendControl(host, port, msg, 2.0).ok()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::fprintf(stderr, "chaos control to %s failed\n", addr.c_str());
+  return false;
+}
+
+/// Phase result + the ReliableClient's own ledger (dup detection etc.).
+struct ChaosPhase {
+  PhaseResult base;
+  net::ReliableClient::Stats stats;
+};
+
+/// Open-loop driver over ReliableClient: reconnects, resends within
+/// budget, synthesizes kFailed at budget + grace — so every submitted
+/// request reaches exactly one terminal classification even when frames
+/// or whole connections vanish.
+Status RunReliablePhase(const std::string& host, uint16_t port, double qps,
+                        double seconds, double deadline_seconds,
+                        ChaosPhase* out) {
+  net::ReliableClient::Options copts;
+  copts.host = host;
+  copts.port = port;
+  copts.seed = 11;
+  net::ReliableClient client(copts);
+  MS_RETURN_NOT_OK(client.Start());
+
+  std::mutex mu;
+  PhaseResult result;
+  std::vector<double> served_rtts_ms;
+  obs::Histogram* rtt = obs::MetricsRegistry::Global().GetHistogram(
+      "ms_cluster_client_rtt_ms");
+
+  const double start = Now();
+  const double interval = 1.0 / qps;
+  double next_send = start;
+  while (Now() - start < seconds) {
+    const double now = Now();
+    if (now < next_send) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(next_send - now, 0.002)));
+      continue;
+    }
+    const double sent_at = now;
+    ++result.submitted;
+    client.Submit(deadline_seconds,
+                  [&, sent_at](const net::ReplyMsg& reply) {
+      const double rtt_ms = (Now() - sent_at) * 1e3;
+      std::lock_guard<std::mutex> lock(mu);
+      rtt->Observe(rtt_ms);
+      if (reply.admit != AdmitResult::kAccepted) {
+        if (reply.admit == AdmitResult::kShedQueueFull) {
+          ++result.shed;
+        } else {
+          ++result.rejected;
+        }
+        return;
+      }
+      switch (reply.outcome) {
+        case RequestOutcome::kServed:
+          ++result.served;
+          served_rtts_ms.push_back(rtt_ms);
+          break;
+        case RequestOutcome::kExpired: ++result.expired; break;
+        case RequestOutcome::kShedStop: ++result.shed; break;
+        case RequestOutcome::kFailed: ++result.failed; break;
+      }
+    });
+    next_send += interval;
+    if (next_send < Now() - 10 * interval) next_send = Now();
+  }
+  result.seconds = Now() - start;
+
+  // Drain: timeout synthesis bounds every pending request at budget +
+  // grace; anything still pending past that (+ slack) counts as lost.
+  const double drain_deadline =
+      Now() + deadline_seconds + copts.reply_grace_seconds + 5.0;
+  while (client.pending() > 0 && Now() < drain_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  result.lost = static_cast<int64_t>(client.pending());
+  client.Stop();
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!served_rtts_ms.empty()) {
+      std::sort(served_rtts_ms.begin(), served_rtts_ms.end());
+      const size_t idx = static_cast<size_t>(
+          0.99 * static_cast<double>(served_rtts_ms.size() - 1));
+      result.served_p99_ms = served_rtts_ms[idx];
+    }
+    out->base = result;
+  }
+  out->stats = client.stats();
+  return Status::OK();
+}
+
+void PrintChaosPhase(const char* name, const ChaosPhase& p) {
+  PrintPhase(name, p.base);
+  std::printf(
+      "%-9s   dups %lld, synthesized %lld, late replies %lld, reconnects "
+      "%lld, resends %lld\n",
+      "", static_cast<long long>(p.stats.duplicates),
+      static_cast<long long>(p.stats.synthesized),
+      static_cast<long long>(p.stats.late_replies),
+      static_cast<long long>(p.stats.reconnects),
+      static_cast<long long>(p.stats.resends));
+}
+
+/// Disarms every fault registry the bench can reach (shards + routers).
+bool DisarmAll(const ChaosConfig& cfg) {
+  bool ok = true;
+  for (const std::string& t : cfg.shard_targets) {
+    ok = ControlEndpoint(t, net::ControlOp::kDisarmFaults, 0, "") && ok;
+  }
+  ok = ControlEndpoint(cfg.router_plain, net::ControlOp::kDisarmFaults, 0,
+                       "") && ok;
+  ok = ControlEndpoint(cfg.router_hedged, net::ControlOp::kDisarmFaults, 0,
+                       "") && ok;
+  return ok;
+}
+
+/// The reliability gauntlet: ref -> mixed chaos -> slow-only hedging A/B.
+/// Returns 0 on success; prints a FAIL line per violated gate.
+int RunChaosSection(const ChaosConfig& cfg, double capacity_qps) {
+  // Modest fixed load: the chaos gates probe RELIABILITY, not capacity —
+  // goodput loss must come from armed faults, not from overload shedding.
+  const double chaos_qps = std::min(60.0, std::max(10.0, 0.6 * capacity_qps));
+  const double tail_qps = std::min(30.0, chaos_qps);
+  // A fat budget so the failover/hedge timers fire well before settle and
+  // rescued attempts still have budget to serve in.
+  const double deadline = 2.0;
+  const double seconds = bench::FastMode() ? 5.0 : 10.0;
+
+  auto plain_hp = net::ParseHostPort(cfg.router_plain);
+  auto hedged_hp = net::ParseHostPort(cfg.router_hedged);
+  if (!plain_hp.ok() || !hedged_hp.ok()) {
+    std::fprintf(stderr, "chaos: bad router address\n");
+    return 1;
+  }
+  const auto [phost, pport] = plain_hp.ValueOrDie();
+  const auto [hhost, hport] = hedged_hp.ValueOrDie();
+
+  std::printf(
+      "\nchaos section: %.0f qps mixed-fault phase, %.0f qps hedging A/B, "
+      "deadline %.1fs, %.0fs per phase, seed %llu\n  spec: %s\n",
+      chaos_qps, tail_qps, deadline, seconds,
+      static_cast<unsigned long long>(cfg.seed), cfg.fault_spec.c_str());
+  std::fflush(stdout);
+
+  // Fault-free reference under the same load and deadline.
+  if (!DisarmAll(cfg)) return 1;
+  ChaosPhase ref;
+  Status st = RunReliablePhase(phost, pport, chaos_qps, seconds, deadline,
+                               &ref);
+  if (!st.ok()) {
+    std::fprintf(stderr, "chaos ref phase: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  PrintChaosPhase("ref", ref);
+
+  // Mixed chaos: full spec on the shards, the same spec minus the send
+  // trickle on the router the client talks to.
+  bool armed = true;
+  for (const std::string& t : cfg.shard_targets) {
+    armed = ControlEndpoint(t, net::ControlOp::kArmFaults, cfg.seed,
+                            cfg.fault_spec) && armed;
+  }
+  armed = ControlEndpoint(cfg.router_plain, net::ControlOp::kArmFaults,
+                          cfg.seed + 1,
+                          StripPoint(cfg.fault_spec, "net.send.slow")) &&
+          armed;
+  if (!armed) return 1;
+  ChaosPhase chaos;
+  st = RunReliablePhase(phost, pport, chaos_qps, seconds, deadline, &chaos);
+  if (!st.ok()) {
+    std::fprintf(stderr, "chaos phase: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  PrintChaosPhase("chaos", chaos);
+
+  // Hedging A/B: ONLY the slow trickle armed, identical seed and load, one
+  // run through the failover-only router and one through the hedged one.
+  if (!DisarmAll(cfg)) return 1;
+  for (const std::string& t : cfg.shard_targets) {
+    if (!ControlEndpoint(t, net::ControlOp::kArmFaults, cfg.seed,
+                         kTailSpec)) {
+      return 1;
+    }
+  }
+  ChaosPhase tail_off;
+  st = RunReliablePhase(phost, pport, tail_qps, seconds, deadline,
+                        &tail_off);
+  if (!st.ok()) {
+    std::fprintf(stderr, "tail-off phase: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  PrintChaosPhase("tail-off", tail_off);
+  ChaosPhase tail_on;
+  st = RunReliablePhase(hhost, hport, tail_qps, seconds, deadline, &tail_on);
+  if (!st.ok()) {
+    std::fprintf(stderr, "tail-on phase: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  PrintChaosPhase("tail-on", tail_on);
+  DisarmAll(cfg);  // leave the cluster clean for whoever runs next
+
+  // The hedged router must actually have hedged.
+  int64_t hedges = -1;
+  auto hstats = AwaitEndpoint(hhost, hport, 30.0);
+  if (hstats.ok()) hedges = hstats.ValueOrDie().hedges;
+
+  // ---- Reliability gates ----
+  bool ok = true;
+  struct Named { const char* name; const ChaosPhase* p; };
+  for (const Named& n : std::initializer_list<Named>{
+           {"ref", &ref}, {"chaos", &chaos}, {"tail-off", &tail_off},
+           {"tail-on", &tail_on}}) {
+    const PhaseResult& r = n.p->base;
+    if (r.submitted != r.accounted() || r.lost != 0) {
+      std::printf(
+          "FAIL chaos accounting (%s): %lld submitted vs %lld accounted, "
+          "%lld lost\n",
+          n.name, static_cast<long long>(r.submitted),
+          static_cast<long long>(r.accounted()),
+          static_cast<long long>(r.lost));
+      ok = false;
+    }
+    if (n.p->stats.duplicates != 0) {
+      std::printf("FAIL double-serve (%s): %lld duplicate replies\n", n.name,
+                  static_cast<long long>(n.p->stats.duplicates));
+      ok = false;
+    }
+  }
+  const double goodput = ref.base.served_qps() > 0
+                             ? chaos.base.served_qps() / ref.base.served_qps()
+                             : 0.0;
+  std::printf("chaos goodput: %.0f%% of fault-free (gate: >= 70%%)\n",
+              goodput * 100.0);
+  if (goodput < 0.70) {
+    std::printf("FAIL goodput: armed faults cost more than 30%%\n");
+    ok = false;
+  }
+  std::printf(
+      "hedging p99 under net.send.slow: off %.0f ms, on %.0f ms "
+      "(gate: on < off - 100 ms), hedges %lld\n",
+      tail_off.base.served_p99_ms, tail_on.base.served_p99_ms,
+      static_cast<long long>(hedges));
+  if (tail_on.base.served_p99_ms >= tail_off.base.served_p99_ms - 100.0) {
+    std::printf("FAIL hedging: no measurable p99 win\n");
+    ok = false;
+  }
+  if (hedges < 1) {
+    std::printf("FAIL hedging: the hedged router never hedged\n");
+    ok = false;
+  }
+  if (ok) std::printf("chaos section PASS\n");
+  std::fflush(stdout);
+  return ok ? 0 : 1;
+}
+
 #ifdef __linux__
 
 std::string SelfDir() {
@@ -253,7 +585,8 @@ void StopProcess(pid_t pid, int sig) {
 int RunGauntlet(const std::string& baseline_addr,
                 const std::string& router_addr, bool spawned,
                 const std::function<void()>& kill_shard,
-                const std::function<void()>& relaunch_shard) {
+                const std::function<void()>& relaunch_shard,
+                const ChaosConfig& chaos_cfg) {
   auto baseline_hp = net::ParseHostPort(baseline_addr);
   auto router_hp = net::ParseHostPort(router_addr);
   if (!baseline_hp.ok() || !router_hp.ok()) {
@@ -273,6 +606,41 @@ int RunGauntlet(const std::string& baseline_addr,
   if (!router_stats.ok()) {
     std::fprintf(stderr, "%s\n", router_stats.status().ToString().c_str());
     return 1;
+  }
+  if (chaos_cfg.enabled) {
+    // The harness may have LAUNCHED the shards with MS_FAULTS armed (the
+    // CI net-chaos stage does): the throughput phases must run clean, so
+    // disarm everything up front; the chaos section re-arms on its own
+    // schedule.
+    auto hedged_hp = net::ParseHostPort(chaos_cfg.router_hedged);
+    if (!hedged_hp.ok()) {
+      std::fprintf(stderr, "bad hedged router address\n");
+      return 1;
+    }
+    const auto [hhost, hport] = hedged_hp.ValueOrDie();
+    auto hedged_stats = AwaitEndpoint(hhost, hport, 180.0);
+    if (!hedged_stats.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   hedged_stats.status().ToString().c_str());
+      return 1;
+    }
+    // The shard control endpoints must be LISTENING before the disarm
+    // RPCs go out — shard startup (model build + calibration) can lag the
+    // routers by tens of seconds.
+    for (const std::string& t : chaos_cfg.shard_targets) {
+      auto shp = net::ParseHostPort(t);
+      if (!shp.ok()) {
+        std::fprintf(stderr, "bad chaos target %s\n", t.c_str());
+        return 1;
+      }
+      const auto [shost, sport] = shp.ValueOrDie();
+      auto up = AwaitEndpoint(shost, sport, 180.0);
+      if (!up.ok()) {
+        std::fprintf(stderr, "%s\n", up.status().ToString().c_str());
+        return 1;
+      }
+    }
+    if (!DisarmAll(chaos_cfg)) return 1;
   }
 
   // Size the load off the baseline's own advertisement: full-rate capacity
@@ -395,6 +763,10 @@ int RunGauntlet(const std::string& baseline_addr,
     std::printf("cluster gauntlet PASS%s\n",
                 spawned ? " (kill + readmit survived)" : "");
   }
+  if (chaos_cfg.enabled) {
+    const int chaos_rc = RunChaosSection(chaos_cfg, capacity_qps);
+    if (chaos_rc != 0) ok = false;
+  }
   return ok ? 0 : 1;
 }
 
@@ -403,12 +775,30 @@ int Main() {
       "cluster serving: rate-aware router + elastic shards vs fixed "
       "full-rate single server (real processes, real sockets)");
 
-  // Connect mode: the harness (CI cluster job) owns the processes.
+  // Connect mode: the harness (CI cluster job) owns the processes. The
+  // chaos section runs only when the harness also names a hedged router
+  // and the shard control endpoints.
   const char* router_env = std::getenv("MS_CLUSTER_ROUTER");
   const char* baseline_env = std::getenv("MS_CLUSTER_BASELINE");
   if (router_env != nullptr && baseline_env != nullptr) {
+    ChaosConfig cfg;
+    const char* hedged_env = std::getenv("MS_CLUSTER_ROUTER_HEDGED");
+    const char* targets_env = std::getenv("MS_CLUSTER_CHAOS_TARGETS");
+    if (hedged_env != nullptr && targets_env != nullptr) {
+      cfg.enabled = true;
+      cfg.router_plain = router_env;
+      cfg.router_hedged = hedged_env;
+      std::stringstream ss(targets_env);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        if (!item.empty()) cfg.shard_targets.push_back(item);
+      }
+      if (const char* spec = std::getenv("MS_CLUSTER_FAULTS")) {
+        cfg.fault_spec = spec;
+      }
+    }
     return RunGauntlet(baseline_env, router_env, /*spawned=*/false, nullptr,
-                       nullptr);
+                       nullptr, cfg);
   }
 
 #ifndef __linux__
@@ -446,12 +836,17 @@ int Main() {
         "--workers=1",
         std::string("--budget_ms=") + budget_ms,
         "--queue=4096",
+        "--chaos_control",
         std::string("--listen=") + std::to_string(port)};
   };
   const int bport = port_base;
   const int sport1 = port_base + 1, sport2 = port_base + 2,
             sport3 = port_base + 3;
   const int rport = port_base + 4;
+  const int rhport = port_base + 5;  // hedged router (chaos A/B)
+  const std::string shard_csv = std::string(":") + std::to_string(sport1) +
+                                ",:" + std::to_string(sport2) + ",:" +
+                                std::to_string(sport3);
 
   std::vector<pid_t> pids;
   pid_t baseline_pid = SpawnProcess(shard_args(bport, "1.0"));
@@ -460,9 +855,12 @@ int Main() {
   pid_t shard3 = SpawnProcess(shard_args(sport3, "0.25"));
   pid_t router = SpawnProcess(
       {msrouter, std::string("--listen=") + std::to_string(rport),
-       std::string("--shards=:") + std::to_string(sport1) + ",:" +
-           std::to_string(sport2) + ",:" + std::to_string(sport3)});
-  pids = {baseline_pid, shard1, shard2, router};  // shard3 handled below
+       std::string("--shards=") + shard_csv, "--chaos_control"});
+  pid_t hedged = SpawnProcess(
+      {msrouter, std::string("--listen=") + std::to_string(rhport),
+       std::string("--shards=") + shard_csv, "--hedge", "--chaos_control"});
+  // shard3 handled below
+  pids = {baseline_pid, shard1, shard2, router, hedged};
 
   std::atomic<pid_t> shard3_pid{shard3};
   auto kill_shard3 = [&shard3_pid] {
@@ -473,9 +871,20 @@ int Main() {
     shard3_pid.store(SpawnProcess(shard_args(sport3, "0.25")));
   };
 
+  ChaosConfig cfg;
+  cfg.enabled = true;
+  cfg.shard_targets = {":" + std::to_string(sport1),
+                       ":" + std::to_string(sport2),
+                       ":" + std::to_string(sport3)};
+  cfg.router_plain = ":" + std::to_string(rport);
+  cfg.router_hedged = ":" + std::to_string(rhport);
+  if (const char* spec = std::getenv("MS_CLUSTER_FAULTS")) {
+    cfg.fault_spec = spec;
+  }
+
   const int rc = RunGauntlet(
       ":" + std::to_string(bport), ":" + std::to_string(rport),
-      /*spawned=*/true, kill_shard3, relaunch_shard3);
+      /*spawned=*/true, kill_shard3, relaunch_shard3, cfg);
 
   for (pid_t pid : pids) StopProcess(pid, SIGTERM);
   kill_shard3();  // SIGKILL is fine for teardown of the chaos shard

@@ -71,6 +71,8 @@ int Usage() {
       "           --deadline_ticks=3; or --simulate --budget=<samples per\n"
       "           tick at full cost> for the arithmetic-only simulator;\n"
       "           or --listen=PORT to serve remote traffic over the wire\n"
+      "           (--chaos_control additionally honors kControl\n"
+      "           fault-arming frames — bench/CI only)\n"
       "           protocol until SIGTERM/SIGINT (0 = ephemeral port; the\n"
       "           bound port is printed). --stats_out=/p.jsonl writes the\n"
       "           final accounting ledger as one JSON line at shutdown\n"
@@ -420,7 +422,9 @@ int Serve(const Flags& flags) {
     // drain gracefully — SliceServer first (terminal replies flush through
     // the still-open sockets), frame server second.
     net::ShardFrontend frontend(server.get());
-    net::NetServer frames(&frontend);
+    net::NetServer::Options net_opts;
+    net_opts.allow_fault_control = flags.Has("chaos_control");
+    net::NetServer frames(&frontend, net_opts);
     const Status bound =
         frames.Start(static_cast<uint16_t>(flags.GetInt("listen", 0)));
     if (!bound.ok()) {

@@ -40,6 +40,17 @@ int Usage() {
       "  --heartbeat_failures=2   consecutive misses before a drain\n"
       "  --max_outstanding=512    per-shard admission cap\n"
       "  --require_shards         fail startup if no shard is reachable\n"
+      "reliability (DESIGN.md §13):\n"
+      "  --failover={0,1}         one-shot re-route of unreplied attempts\n"
+      "                           (default 1)\n"
+      "  --failover_fraction=0.45 failover timer as a fraction of budget\n"
+      "  --reply_grace_ms=500     settle slack past the deadline budget\n"
+      "  --hedge                  speculative tail hedging (duplicate work\n"
+      "                           for tail latency; off by default)\n"
+      "  --hedge_quantile=0.95    hedge once elapsed exceeds this observed\n"
+      "                           attempt-latency quantile\n"
+      "  --chaos_control          honor kControl fault-arming frames\n"
+      "                           (bench/CI only)\n"
       "  --stats_out=/p.jsonl     final ledger (router line + one line per\n"
       "                           shard) written at shutdown\n"
       "  --metrics_out=/p.jsonl   metrics registry dump\n"
@@ -58,12 +69,20 @@ std::vector<std::string> SplitCsv(const std::string& csv) {
 }
 
 void WriteLedger(const net::StatsMsg& s, std::ostream& out) {
-  const bool accounted =
+  // The cluster invariant, plus the satellite guard: no per-shard
+  // outstanding count may ever be negative.
+  bool accounted =
       s.submitted == s.served + s.shed + s.expired + s.rejected + s.failed;
+  for (const net::ShardView& v : s.shards) {
+    if (v.outstanding < 0) accounted = false;
+  }
   out << "{\"role\":\"router\",\"submitted\":" << s.submitted
       << ",\"served\":" << s.served << ",\"shed\":" << s.shed
       << ",\"expired\":" << s.expired << ",\"rejected\":" << s.rejected
       << ",\"failed\":" << s.failed
+      << ",\"timeouts\":" << s.timeouts << ",\"failovers\":" << s.failovers
+      << ",\"hedges\":" << s.hedges << ",\"hedge_wins\":" << s.hedge_wins
+      << ",\"dup_replies\":" << s.dup_replies
       << ",\"accounted\":" << (accounted ? "true" : "false")
       << ",\"shards_up\":" << s.healthy_workers
       << ",\"shards_total\":" << s.total_workers << "}\n";
@@ -76,7 +95,9 @@ void WriteLedger(const net::StatsMsg& s, std::ostream& out) {
         << ",\"shed\":" << v.shed << ",\"expired\":" << v.expired
         << ",\"failed\":" << v.failed << ",\"rejected\":" << v.rejected
         << ",\"lost\":" << v.lost << ",\"drains\":" << v.drains
-        << ",\"readmits\":" << v.readmits << "}\n";
+        << ",\"readmits\":" << v.readmits << ",\"timeouts\":" << v.timeouts
+        << ",\"failovers\":" << v.failovers << ",\"hedges\":" << v.hedges
+        << "}\n";
   }
 }
 
@@ -110,6 +131,11 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.GetInt("heartbeat_failures", 2));
   opts.max_outstanding = flags.GetInt("max_outstanding", 512);
   opts.require_shard_at_start = flags.Has("require_shards");
+  opts.failover = flags.GetInt("failover", 1) != 0;
+  opts.failover_fraction = flags.GetDouble("failover_fraction", 0.45);
+  opts.reply_grace_seconds = flags.GetDouble("reply_grace_ms", 500.0) / 1e3;
+  opts.hedge = flags.Has("hedge");
+  opts.hedge_quantile = flags.GetDouble("hedge_quantile", 0.95);
 
   net::ShardRouter router(shard_addrs, opts);
   Status started = router.Start();
@@ -117,7 +143,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", started.ToString().c_str());
     return 1;
   }
-  net::NetServer frames(&router);
+  net::NetServer::Options net_opts;
+  net_opts.allow_fault_control = flags.Has("chaos_control");
+  net::NetServer frames(&router, net_opts);
   started = frames.Start(static_cast<uint16_t>(flags.GetInt("listen", 0)));
   if (!started.ok()) {
     std::fprintf(stderr, "%s\n", started.ToString().c_str());
@@ -140,9 +168,12 @@ int main(int argc, char** argv) {
   net::StatsMsg ledger = router.Snapshot();
   frames.Stop();
 
-  const bool accounted =
+  bool accounted =
       ledger.submitted == ledger.served + ledger.shed + ledger.expired +
                               ledger.rejected + ledger.failed;
+  for (const net::ShardView& v : ledger.shards) {
+    if (v.outstanding < 0) accounted = false;
+  }
   std::printf(
       "router: submitted %lld, served %lld, shed %lld, expired %lld, "
       "rejected %lld, failed %lld (accounted: %s); drains %lld, readmits "
@@ -155,6 +186,15 @@ int main(int argc, char** argv) {
       static_cast<long long>(ledger.failed), accounted ? "yes" : "NO",
       static_cast<long long>(router.total_drains()),
       static_cast<long long>(router.total_readmits()));
+  std::printf(
+      "reliability: timeouts %lld, failovers %lld (wins %lld), hedges %lld "
+      "(wins %lld), dup_replies %lld\n",
+      static_cast<long long>(router.total_timeouts()),
+      static_cast<long long>(router.total_failovers()),
+      static_cast<long long>(router.total_failover_wins()),
+      static_cast<long long>(router.total_hedges()),
+      static_cast<long long>(router.total_hedge_wins()),
+      static_cast<long long>(router.total_dup_replies()));
   if (flags.Has("stats_out")) {
     std::ofstream out(flags.GetString("stats_out"));
     WriteLedger(ledger, out);

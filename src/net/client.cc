@@ -4,6 +4,8 @@
 #include <sys/socket.h>
 #include <vector>
 
+#include "src/util/fault.h"
+
 namespace ms {
 namespace net {
 
@@ -58,8 +60,8 @@ Status WireClient::SendFrameLocked(const std::string& frame) {
   if (!connected_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("not connected");
   }
-  Status st = SendAll(sock_.fd(), frame.data(), frame.size(),
-                      opts_.send_timeout_seconds);
+  Status st = SendFrameBytes(sock_.fd(), frame.data(), frame.size(),
+                             opts_.send_timeout_seconds);
   if (!st.ok()) {
     // Reader will notice the shutdown and fire on_disconnect.
     ::shutdown(sock_.fd(), SHUT_RDWR);
@@ -107,6 +109,49 @@ Result<StatsMsg> WireClient::RequestStats(double timeout_seconds) {
   return stats_value_;
 }
 
+Status SendControl(const std::string& host, uint16_t port,
+                   const ControlMsg& msg, double timeout_seconds) {
+  auto sock = TcpConnect(host, port, timeout_seconds);
+  if (!sock.ok()) return sock.status();
+  Socket s = sock.MoveValueOrDie();
+  const std::string frame = EncodeControl(msg);
+  MS_RETURN_NOT_OK(SendAll(s.fd(), frame.data(), frame.size(),
+                           timeout_seconds));
+  SetRecvTimeout(s.fd(), timeout_seconds);
+  FrameDecoder decoder;
+  char buf[512];
+  for (;;) {
+    Frame got;
+    switch (decoder.Next(&got)) {
+      case DecodeResult::kFrame: {
+        if (got.type != FrameType::kReply) continue;
+        ReplyMsg reply;
+        MS_RETURN_NOT_OK(DecodeReply(got.payload, &reply));
+        if (reply.id != msg.id) continue;  // stray frame; keep waiting.
+        if (reply.admit != AdmitResult::kAccepted) {
+          return Status::InvalidArgument(
+              "control frame refused (bad spec, or server lacks "
+              "--chaos_control)");
+        }
+        return Status::OK();
+      }
+      case DecodeResult::kNeedMore: {
+        ssize_t r = ::recv(s.fd(), buf, sizeof(buf), 0);
+        if (r > 0) {
+          decoder.Feed(buf, static_cast<size_t>(r));
+          continue;
+        }
+        if (r < 0 && errno == EINTR) continue;
+        return Status::Internal("control ack timeout or peer closed");
+      }
+      case DecodeResult::kBadFrame:
+        continue;
+      case DecodeResult::kFatal:
+        return Status::Internal("control ack stream corrupt");
+    }
+  }
+}
+
 void WireClient::ReaderLoop() {
   std::vector<char> buf(kReadChunk);
   FrameDecoder decoder;
@@ -130,6 +175,13 @@ void WireClient::ReaderLoop() {
       switch (decoder.Next(&frame)) {
         case DecodeResult::kFrame:
           if (frame.type == FrameType::kReply) {
+            // net.recv.blackhole on the reply direction: the reply frame
+            // arrived but is never delivered; the sender's timeout layer
+            // must settle the request.
+            if (fault::Registry::Global().ShouldFire(
+                    fault::kNetRecvBlackhole)) {
+              break;
+            }
             ReplyMsg reply;
             if (DecodeReply(frame.payload, &reply).ok() && on_reply_) {
               on_reply_(reply);

@@ -82,6 +82,14 @@ class WireClient {
   StatsMsg stats_value_;
 };
 
+/// One-shot chaos-control RPC: connect, send a kControl frame, await the
+/// ack (a kReply echoing msg.id with kAccepted). The outgoing send bypasses
+/// the local fault registry (plain SendAll) so a controller can arm faults
+/// in its own process without sabotaging the arming itself; the SERVER's
+/// ack still rides its faulted send path, so callers should retry on error.
+Status SendControl(const std::string& host, uint16_t port,
+                   const ControlMsg& msg, double timeout_seconds);
+
 }  // namespace net
 }  // namespace ms
 

@@ -11,6 +11,7 @@
 #endif
 
 #include "src/obs/metrics.h"
+#include "src/util/fault.h"
 
 namespace ms {
 namespace net {
@@ -44,14 +45,17 @@ std::string InvalidReplyFrame(uint64_t id) {
 
 NetServer::NetServer(WireService* service) : service_(service) {}
 
+NetServer::NetServer(WireService* service, Options options)
+    : service_(service), options_(options) {}
+
 NetServer::~NetServer() { Stop(); }
 
 void NetServer::SendFrame(const std::shared_ptr<Conn>& conn,
                           const std::string& frame) {
   std::lock_guard<std::mutex> lock(conn->write_mu);
   if (conn->closed) return;
-  Status st =
-      SendAll(conn->sock.fd(), frame.data(), frame.size(), kSendTimeoutSeconds);
+  Status st = SendFrameBytes(conn->sock.fd(), frame.data(), frame.size(),
+                             kSendTimeoutSeconds);
   if (!st.ok()) {
     // Peer gone (or wedged past the timeout). Shut down the read side so
     // the event loop / reader thread notices and owns the actual close.
@@ -75,6 +79,12 @@ bool NetServer::HandleFrame(const std::shared_ptr<Conn>& conn,
         SendFrame(conn, InvalidReplyFrame(SalvageId(frame.payload)));
         return true;
       }
+      // net.recv.blackhole: the frame arrived intact but is never
+      // dispatched — the caller sees silence, exactly as if the network
+      // ate the bytes. The sender's timeout/retry layer must recover.
+      if (fault::Registry::Global().ShouldFire(fault::kNetRecvBlackhole)) {
+        return true;
+      }
       std::shared_ptr<Conn> conn_ref = conn;
       NetServer* self = this;
       service_->OnRequest(msg, [self, conn_ref](const ReplyMsg& reply) {
@@ -86,6 +96,28 @@ bool NetServer::HandleFrame(const std::shared_ptr<Conn>& conn,
       // OnStats returns a complete kStatsReply frame (EncodeStats frames
       // its own payload); forward it verbatim.
       SendFrame(conn, service_->OnStats());
+      return true;
+    }
+    case FrameType::kControl: {
+      ControlMsg msg;
+      Status st = DecodeControl(frame.payload, &msg);
+      if (!st.ok() || !options_.allow_fault_control) {
+        NetCounter("ms_net_bad_frames_total")->Inc();
+        SendFrame(conn, InvalidReplyFrame(SalvageId(frame.payload)));
+        return true;
+      }
+      fault::Registry& faults = fault::Registry::Global();
+      if (msg.op == ControlOp::kDisarmFaults) {
+        faults.DisarmAll();
+      } else {
+        faults.SetSeed(msg.seed);
+        st = faults.ArmFromSpec(msg.spec);
+      }
+      ReplyMsg ack;
+      ack.id = msg.id;
+      ack.admit =
+          st.ok() ? AdmitResult::kAccepted : AdmitResult::kRejectedInvalid;
+      SendFrame(conn, EncodeReply(ack));
       return true;
     }
     case FrameType::kReply:

@@ -7,9 +7,10 @@
 // them), so each connection carries its own write lock.
 //
 // Corrupt input is answered, not ignored: recoverable corruption (CRC
-// mismatch, unknown type, short payload) earns a kRejectedInvalid reply and
-// the stream continues; unrecoverable corruption (bad magic/version,
-// oversized length) earns the same reply followed by connection close.
+// mismatch, unknown type, short payload, version mismatch) earns a
+// kRejectedInvalid reply and the stream continues; unrecoverable corruption
+// (bad magic, oversized length) earns the same reply followed by
+// connection close.
 #ifndef MODELSLICING_NET_NET_SERVER_H_
 #define MODELSLICING_NET_NET_SERVER_H_
 
@@ -49,7 +50,16 @@ class WireService {
 
 class NetServer {
  public:
+  struct Options {
+    /// Honor kControl chaos-control frames (arm/disarm the process-local
+    /// fault registry over the wire). Off by default: only bench/CI
+    /// harnesses opt in (--chaos_control); a production server answers
+    /// kControl with kRejectedInvalid like any other bad frame.
+    bool allow_fault_control = false;
+  };
+
   explicit NetServer(WireService* service);
+  NetServer(WireService* service, Options options);
   ~NetServer();
 
   NetServer(const NetServer&) = delete;
@@ -66,6 +76,11 @@ class NetServer {
   uint16_t port() const { return port_; }
   int64_t connections_accepted() const {
     return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  /// Live connection count (slow-loris tests assert no leaks).
+  size_t open_connections() const {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    return conns_.size();
   }
 
  private:
@@ -103,12 +118,13 @@ class NetServer {
 #endif
 
   WireService* service_;
+  Options options_;
   Socket listener_;
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::thread loop_;
 
-  std::mutex conns_mu_;
+  mutable std::mutex conns_mu_;
   std::unordered_map<int, std::shared_ptr<Conn>> conns_;
 
   std::atomic<int64_t> connections_accepted_{0};

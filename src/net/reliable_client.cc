@@ -1,0 +1,287 @@
+#include "src/net/reliable_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace ms {
+namespace net {
+
+namespace {
+
+/// Settled ids are remembered this long for late-reply classification.
+constexpr double kForgetWindowSeconds = 5.0;
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ReliableClient::ReliableClient(Options opts)
+    : opts_(opts),
+      wheel_(MonotonicSeconds(),
+             opts.timer_tick_seconds > 0.0 ? opts.timer_tick_seconds : 0.005),
+      jitter_state_(opts.seed ^ 0x9E3779B97F4A7C15ULL) {}
+
+ReliableClient::~ReliableClient() { Stop(); }
+
+Status ReliableClient::Start() {
+  if (running_.exchange(true)) {
+    return Status::FailedPrecondition("already started");
+  }
+  TryReconnect(MonotonicSeconds());  // best effort; maintenance retries
+  maintenance_ = std::thread(&ReliableClient::MaintenanceLoop, this);
+  return Status::OK();
+}
+
+void ReliableClient::Stop() {
+  if (!running_.exchange(false)) return;
+  maint_cv_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
+  std::shared_ptr<WireClient> old;
+  std::vector<uint64_t> unsettled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    old = std::move(client_);
+    for (const auto& kv : pending_) unsettled.push_back(kv.first);
+  }
+  old.reset();  // joins the reader thread; never under mu_
+  // Settle whatever is left so the caller's ledger closes.
+  for (uint64_t id : unsettled) SynthesizeFailure(id);
+}
+
+double ReliableClient::NextJitter() {
+  return static_cast<double>(SplitMix64(&jitter_state_) >> 11) * 0x1.0p-53;
+}
+
+uint64_t ReliableClient::Submit(double deadline_seconds, DoneFn done,
+                                std::vector<float> payload) {
+  const double now = MonotonicSeconds();
+  uint64_t id;
+  std::shared_ptr<WireClient> client;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    PendingReq& p = pending_[id];
+    p.done = std::move(done);
+    p.deadline_seconds = deadline_seconds;
+    p.budget = deadline_seconds > 0.0 ? deadline_seconds
+                                      : opts_.no_deadline_timeout_seconds;
+    p.start = now;
+    p.payload = std::move(payload);
+    wheel_.Add(now + p.budget + opts_.reply_grace_seconds,
+               TimerItem{TimerKind::kSettle, id});
+    client = client_;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (client && conn_ok_.load(std::memory_order_acquire)) {
+    SendPending(client, id, now);
+  }
+  return id;
+}
+
+void ReliableClient::SendPending(const std::shared_ptr<WireClient>& client,
+                                 uint64_t id, double now) {
+  RequestMsg msg;
+  bool resend = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    PendingReq& p = it->second;
+    if (p.sends >= opts_.max_send_attempts) return;  // retry budget spent
+    const double remaining = p.start + p.budget - now;
+    if (remaining <= 0.0) return;  // the settle timer owns it now
+    resend = p.sends > 0;
+    ++p.sends;
+    msg.id = id;
+    // Forward the REMAINING budget: a resent request can never overspend
+    // its original deadline.
+    msg.deadline_seconds = p.deadline_seconds > 0.0 ? remaining : 0.0;
+    msg.payload = p.payload;
+  }
+  if (resend) resends_.fetch_add(1, std::memory_order_relaxed);
+  // Failure is fine: the reconnect path or timeout synthesis recovers.
+  (void)client->SendRequest(msg);
+}
+
+void ReliableClient::HandleReply(const ReplyMsg& msg) {
+  PendingReq entry;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(msg.id);
+    if (it != pending_.end()) {
+      entry = std::move(it->second);
+      pending_.erase(it);
+      found = true;
+      settled_[msg.id] = true;  // settled by wire
+      wheel_.Add(MonotonicSeconds() + kForgetWindowSeconds,
+                 TimerItem{TimerKind::kForget, msg.id});
+    } else {
+      auto sit = settled_.find(msg.id);
+      if (sit != settled_.end() && sit->second) {
+        // A wire reply already settled this id: a true double-serve
+        // escaping the server's dedup. The chaos bench gates this at zero.
+        duplicates_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // After local timeout synthesis (or beyond the forget window):
+        // expected under armed faults, harmless.
+        late_replies_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+  }
+  (void)found;
+  if (msg.admit != AdmitResult::kAccepted) {
+    if (msg.admit == AdmitResult::kShedQueueFull) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    switch (msg.outcome) {
+      case RequestOutcome::kServed:
+        served_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RequestOutcome::kExpired:
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RequestOutcome::kShedStop:
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RequestOutcome::kFailed:
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+  if (entry.done) entry.done(msg);
+}
+
+void ReliableClient::SynthesizeFailure(uint64_t id) {
+  PendingReq entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // a wire reply won the race
+    entry = std::move(it->second);
+    pending_.erase(it);
+    settled_[id] = false;  // settled locally, not by wire
+    wheel_.Add(MonotonicSeconds() + kForgetWindowSeconds,
+               TimerItem{TimerKind::kForget, id});
+  }
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  synthesized_.fetch_add(1, std::memory_order_relaxed);
+  ReplyMsg out;
+  out.id = id;
+  out.admit = AdmitResult::kAccepted;
+  out.outcome = RequestOutcome::kFailed;
+  if (entry.done) entry.done(out);
+}
+
+void ReliableClient::TryReconnect(double now) {
+  std::shared_ptr<WireClient> old;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (now < next_reconnect_at_) return;
+    old = std::move(client_);
+  }
+  old.reset();  // retire the dead client (joins its reader) outside mu_
+  WireClient::Options copts;
+  copts.connect_timeout_seconds = opts_.connect_timeout_seconds;
+  copts.send_timeout_seconds = opts_.send_timeout_seconds;
+  auto fresh = std::make_shared<WireClient>(copts);
+  fresh->set_on_reply([this](const ReplyMsg& msg) { HandleReply(msg); });
+  fresh->set_on_disconnect(
+      [this] { conn_ok_.store(false, std::memory_order_release); });
+  if (!fresh->Connect(opts_.host, opts_.port).ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    backoff_ = backoff_ <= 0.0
+                   ? opts_.backoff_min_seconds
+                   : std::min(backoff_ * 2.0, opts_.backoff_max_seconds);
+    // Jittered backoff: a fleet of clients must not reconnect in lockstep.
+    next_reconnect_at_ = now + backoff_ * (0.5 + NextJitter());
+    return;
+  }
+  bool was_connected_before;
+  std::vector<uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    was_connected_before = reconnects_.load() > 0 || backoff_ > 0.0;
+    client_ = fresh;
+    backoff_ = 0.0;
+    next_reconnect_at_ = 0.0;
+    for (const auto& kv : pending_) ids.push_back(kv.first);
+  }
+  conn_ok_.store(true, std::memory_order_release);
+  if (was_connected_before || !ids.empty()) {
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Resend whatever is still unsettled, within each request's budget.
+  for (uint64_t id : ids) SendPending(fresh, id, now);
+}
+
+void ReliableClient::MaintenanceLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      maint_cv_.wait_for(
+          lock, std::chrono::duration<double>(opts_.timer_tick_seconds),
+          [this] { return !running_.load(); });
+    }
+    if (!running_.load()) break;
+    const double now = MonotonicSeconds();
+    std::vector<TimerItem> due;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      due = wheel_.Advance(now);
+    }
+    for (const TimerItem& item : due) {
+      if (item.kind == TimerKind::kSettle) {
+        SynthesizeFailure(item.id);
+      } else {
+        std::lock_guard<std::mutex> lock(mu_);
+        settled_.erase(item.id);
+      }
+    }
+    if (!conn_ok_.load(std::memory_order_acquire)) TryReconnect(now);
+  }
+}
+
+bool ReliableClient::connected() const {
+  return conn_ok_.load(std::memory_order_acquire);
+}
+
+size_t ReliableClient::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+ReliableClient::Stats ReliableClient::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.synthesized = synthesized_.load(std::memory_order_relaxed);
+  s.duplicates = duplicates_.load(std::memory_order_relaxed);
+  s.late_replies = late_replies_.load(std::memory_order_relaxed);
+  s.reconnects = reconnects_.load(std::memory_order_relaxed);
+  s.resends = resends_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace net
+}  // namespace ms

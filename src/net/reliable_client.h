@@ -1,0 +1,175 @@
+// Reliable wire client: WireClient plus the client half of the
+// reliability layer (DESIGN.md §13).
+//
+//   - Reconnect with exponential backoff + jitter when the connection
+//     dies, on a background maintenance thread.
+//   - Per-request retry budget: requests still pending when a fresh
+//     connection comes up are resent with their REMAINING deadline budget,
+//     at most max_send_attempts sends total. Resends are duplicate-safe:
+//     they only happen after the old connection died, and the server's
+//     reply to the old attempt dies with that connection.
+//   - Timeout synthesis: a request unreplied at budget + grace is settled
+//     kFailed locally, so the caller's accounting invariant
+//       submitted == served + shed + expired + rejected + failed
+//     holds exactly even when frames (or whole connections) vanish.
+//   - Double-serve detection: a second wire reply for a request that a
+//     wire reply already settled increments `duplicates` — the cluster
+//     bench gates this at zero to prove the router's first-reply-wins
+//     dedup. Replies that arrive after local timeout synthesis are counted
+//     separately (`late_replies`); they are expected under armed faults.
+//
+// Settled-request ids are remembered for a bounded forget window (so late
+// replies can be classified), then pruned — memory stays proportional to
+// the in-flight window, not the run length.
+#ifndef MODELSLICING_NET_RELIABLE_CLIENT_H_
+#define MODELSLICING_NET_RELIABLE_CLIENT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/net/wire.h"
+#include "src/util/status.h"
+#include "src/util/timer_wheel.h"
+
+namespace ms {
+namespace net {
+
+class ReliableClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    double connect_timeout_seconds = 1.0;
+    double send_timeout_seconds = 5.0;
+    /// Reconnect backoff doubles from min to max, with jitter.
+    double backoff_min_seconds = 0.05;
+    double backoff_max_seconds = 1.0;
+    /// Total sends (first try + resends-on-reconnect) per request.
+    int max_send_attempts = 2;
+    /// Synthesize kFailed at budget + this grace. Keep it LARGER than the
+    /// server/router's own settle grace so the authoritative terminal
+    /// reply wins the race when the wire is merely slow.
+    double reply_grace_seconds = 1.0;
+    /// Budget stand-in for requests submitted without a deadline.
+    double no_deadline_timeout_seconds = 5.0;
+    /// Maintenance thread period (also the timer-wheel granularity).
+    double timer_tick_seconds = 0.005;
+    uint64_t seed = 1;  ///< backoff jitter stream.
+  };
+
+  /// Client-side ledger. submitted == served + shed + expired + rejected
+  /// + failed once every submitted request has settled; `synthesized` is
+  /// the subset of `failed` settled by local timeout.
+  struct Stats {
+    int64_t submitted = 0;
+    int64_t served = 0;
+    int64_t shed = 0;
+    int64_t expired = 0;
+    int64_t rejected = 0;
+    int64_t failed = 0;
+    int64_t synthesized = 0;
+    int64_t duplicates = 0;    ///< double-serves: 2nd wire reply post-settle.
+    int64_t late_replies = 0;  ///< wire reply after local timeout synthesis.
+    int64_t reconnects = 0;
+    int64_t resends = 0;
+  };
+
+  /// Invoked exactly once per submitted request, with the terminal reply
+  /// (wire or synthesized). Runs on the reader or maintenance thread — do
+  /// not call back into this client from it.
+  using DoneFn = std::function<void(const ReplyMsg&)>;
+
+  explicit ReliableClient(Options opts);
+  ~ReliableClient();
+
+  ReliableClient(const ReliableClient&) = delete;
+  ReliableClient& operator=(const ReliableClient&) = delete;
+
+  /// Connects (best effort — a down server is retried by the maintenance
+  /// thread) and starts maintenance. Always returns OK unless restarted.
+  Status Start();
+  void Stop();
+
+  /// Submits one request; returns its id. Safe while disconnected: the
+  /// request is queued and sent when the connection comes up (within its
+  /// budget). `deadline_seconds` is the relative budget (<= 0: none on the
+  /// wire, no_deadline_timeout_seconds locally).
+  uint64_t Submit(double deadline_seconds, DoneFn done,
+                  std::vector<float> payload = {});
+
+  bool connected() const;
+  Stats stats() const;
+  /// Requests still awaiting a terminal reply.
+  size_t pending() const;
+
+ private:
+  struct PendingReq {
+    DoneFn done;
+    double deadline_seconds = 0.0;  ///< original relative (<= 0 none).
+    double budget = 0.0;            ///< effective local budget, > 0.
+    double start = 0.0;             ///< monotonic submit time.
+    std::vector<float> payload;
+    int sends = 0;  ///< wire sends so far (0: never made it out yet).
+  };
+
+  enum class TimerKind : uint8_t { kSettle = 0, kForget };
+  struct TimerItem {
+    TimerKind kind = TimerKind::kSettle;
+    uint64_t id = 0;
+  };
+
+  void MaintenanceLoop();
+  void HandleReply(const ReplyMsg& msg);
+  /// Settles `id` locally as kFailed (timeout); no-op if already settled.
+  void SynthesizeFailure(uint64_t id);
+  /// (Re)connects and resends pending requests with remaining budget.
+  void TryReconnect(double now);
+  /// Sends one pending request over `client`; counts a resend when it is
+  /// not the first send. Caller must NOT hold mu_.
+  void SendPending(const std::shared_ptr<WireClient>& client, uint64_t id,
+                   double now);
+  double NextJitter();
+
+  Options opts_;
+  std::atomic<bool> running_{false};
+  std::thread maintenance_;
+  std::condition_variable maint_cv_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<WireClient> client_;          // guarded by mu_
+  std::unordered_map<uint64_t, PendingReq> pending_;  // guarded by mu_
+  /// Settled ids within the forget window; value = settled-by-wire.
+  std::unordered_map<uint64_t, bool> settled_;  // guarded by mu_
+  TimerWheel<TimerItem> wheel_;                 // guarded by mu_
+  uint64_t next_id_ = 1;                        // guarded by mu_
+  double backoff_ = 0.0;                        // guarded by mu_
+  double next_reconnect_at_ = 0.0;              // guarded by mu_
+  uint64_t jitter_state_ = 0;                   // guarded by mu_
+  std::atomic<bool> conn_ok_{false};
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> served_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> expired_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> synthesized_{0};
+  std::atomic<int64_t> duplicates_{0};
+  std::atomic<int64_t> late_replies_{0};
+  std::atomic<int64_t> reconnects_{0};
+  std::atomic<int64_t> resends_{0};
+};
+
+}  // namespace net
+}  // namespace ms
+
+#endif  // MODELSLICING_NET_RELIABLE_CLIENT_H_

@@ -2,26 +2,41 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <utility>
 
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/util/fault.h"
 
 namespace ms {
 namespace net {
 
 namespace {
 
+constexpr size_t kLatencyRingSize = 512;
+/// A second attempt is pointless below this remaining budget.
+constexpr double kMinRerouteBudget = 0.005;
+
 obs::Counter* RouterCounter(const char* name) {
   return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
 
 ShardRouter::ShardRouter(std::vector<std::string> shard_addrs,
                          RouterOptions opts)
-    : opts_(opts) {
+    : opts_(opts),
+      wheel_(MonotonicSeconds(),
+             opts.timer_tick_seconds > 0.0 ? opts.timer_tick_seconds : 0.005),
+      lat_ring_(kLatencyRingSize, 0.0) {
   for (const std::string& addr : shard_addrs) {
     auto shard = std::make_unique<Shard>(
         opts_.heartbeat_failures < 1 ? 1 : opts_.heartbeat_failures,
@@ -52,13 +67,16 @@ Status ShardRouter::Start() {
     return Status::Internal("no shard reachable at start");
   }
   heartbeat_ = std::thread(&ShardRouter::HeartbeatLoop, this);
+  timer_ = std::thread(&ShardRouter::TimerLoop, this);
   return Status::OK();
 }
 
 void ShardRouter::Stop() {
   if (!running_.exchange(false)) return;
   hb_cv_.notify_all();
+  timer_cv_.notify_all();
   if (heartbeat_.joinable()) heartbeat_.join();
+  if (timer_.joinable()) timer_.join();
   for (size_t i = 0; i < shards_.size(); ++i) {
     Shard* shard = shards_[i].get();
     shard->up.store(false);
@@ -68,7 +86,7 @@ void ShardRouter::Stop() {
       old = std::move(shard->client);
     }
     old.reset();  // Close() joins the reader; no on_disconnect on local close
-    FailPending(shard);
+    FailPending(i);
   }
 }
 
@@ -92,6 +110,10 @@ void ShardRouter::HeartbeatOnce() {
 void ShardRouter::HeartbeatShard(size_t idx) {
   Shard* shard = shards_[idx].get();
   if (shard->port == 0) return;  // unresolvable address
+  // net.heartbeat.skip: this gossip round is "lost" for this shard — its
+  // advertised calibration and health go stale by one period, exactly like
+  // a dropped UDP gossip packet would.
+  if (fault::Registry::Global().ShouldFire(fault::kNetHeartbeatSkip)) return;
   std::shared_ptr<WireClient> client;
   {
     std::lock_guard<std::mutex> lock(shard->mu);
@@ -143,7 +165,7 @@ void ShardRouter::HeartbeatShard(size_t idx) {
         old = std::move(shard->client);
       }
       old.reset();
-      FailPending(shard);
+      FailPending(idx);
     }
     return;
   }
@@ -199,50 +221,113 @@ void ShardRouter::DrainShard(size_t idx, const char* reason) {
   obs::FlightRecorder::Global().Trip("shard_down");
 }
 
-int64_t ShardRouter::FailPending(Shard* shard) {
+void ShardRouter::DecOutstandingLocked(Shard* shard) {
+  if (shard->view.outstanding > 0) {
+    --shard->view.outstanding;
+  } else {
+    // A late reply raced FailPending's orphan swap (or a timer GC): the
+    // entry was accounted gone already. Count the miss, never go negative.
+    RouterCounter("ms_router_outstanding_underflow_total")->Inc();
+  }
+}
+
+void ShardRouter::SettleFailed(const std::shared_ptr<Request>& req) {
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  ReplyMsg out;
+  out.id = req->client_id;
+  out.admit = AdmitResult::kAccepted;
+  out.outcome = RequestOutcome::kFailed;
+  req->reply(out);
+}
+
+int64_t ShardRouter::FailPending(size_t idx) {
+  Shard* shard = shards_[idx].get();
   std::unordered_map<uint64_t, Pending> orphans;
   {
     std::lock_guard<std::mutex> lock(shard->pending_mu);
     orphans.swap(shard->pending);
     const int64_t n = static_cast<int64_t>(orphans.size());
-    shard->view.outstanding -= n;
+    for (int64_t i = 0; i < n; ++i) DecOutstandingLocked(shard);
     shard->view.lost += n;
-    shard->view.failed += n;
   }
   const int64_t n = static_cast<int64_t>(orphans.size());
-  if (n > 0) {
-    failed_.fetch_add(n, std::memory_order_relaxed);
-    RouterCounter("ms_router_lost_total")->Inc(n);
-  }
+  if (n > 0) RouterCounter("ms_router_lost_total")->Inc(n);
+  const double now = MonotonicSeconds();
   for (auto& kv : orphans) {
-    ReplyMsg out;
-    out.id = kv.second.client_id;
-    out.admit = AdmitResult::kAccepted;
-    out.outcome = RequestOutcome::kFailed;
-    kv.second.reply(out);
+    const std::shared_ptr<Request>& req = kv.second.req;
+    const int prev_live = req->live.fetch_sub(1, std::memory_order_acq_rel);
+    if (prev_live > 1) continue;  // a sibling attempt is still in flight
+    if (req->settled.load(std::memory_order_acquire)) continue;
+    // Last attempt died with the shard: spend the one-shot second attempt
+    // re-routing instead of failing, when budget remains.
+    if (LaunchSecondAttempt(req, static_cast<int>(idx),
+                            AttemptKind::kFailover, now)) {
+      continue;
+    }
+    if (!req->settled.exchange(true)) {
+      std::lock_guard<std::mutex> lock(shard->pending_mu);
+      ++shard->view.failed;
+    } else {
+      continue;
+    }
+    SettleFailed(req);
   }
   return n;
 }
 
+bool ShardRouter::LaunchSecondAttempt(const std::shared_ptr<Request>& req,
+                                      int exclude_shard, AttemptKind kind,
+                                      double now) {
+  if (!running_.load(std::memory_order_relaxed)) return false;
+  if (kind == AttemptKind::kFailover && !opts_.failover) return false;
+  if (req->effective_budget <= 0.0) return false;
+  const double remaining = req->start + req->effective_budget - now;
+  if (remaining <= kMinRerouteBudget) return false;
+  int expected = 1;
+  if (!req->attempts.compare_exchange_strong(expected, 2)) return false;
+  // Forward the REMAINING budget (0 stays "no deadline"): the second
+  // shard's scheduler sees the truncated budget and picks a lower rate.
+  const double wire_deadline = req->deadline_seconds > 0.0 ? remaining : 0.0;
+  const int pick = PickShard(wire_deadline, exclude_shard);
+  if (pick < 0) return false;
+  if (!ForwardAttempt(req, pick, wire_deadline, kind, now)) return false;
+  if (kind == AttemptKind::kHedge) {
+    hedges_.fetch_add(1, std::memory_order_relaxed);
+    RouterCounter("ms_router_hedge_attempts_total")->Inc();
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventKind::kHedge, "hedge",
+        static_cast<int64_t>(req->client_id), static_cast<int64_t>(pick));
+  } else {
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+    RouterCounter("ms_router_failovers_total")->Inc();
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventKind::kFailover, "failover",
+        static_cast<int64_t>(req->client_id), static_cast<int64_t>(pick));
+  }
+  return true;
+}
+
 void ShardRouter::HandleShardDisconnect(size_t idx) {
   // Runs on the dying client's reader thread: flip the shard out of
-  // rotation and fail its in-flight requests. The client object itself is
-  // retired by the heartbeat thread (destroying it here would join the
-  // thread we are running on).
+  // rotation and fail/re-route its in-flight requests. The client object
+  // itself is retired by the heartbeat thread (destroying it here would
+  // join the thread we are running on).
   DrainShard(idx, "disconnect");
-  FailPending(shards_[idx].get());
+  FailPending(idx);
 }
 
 void ShardRouter::HandleShardReply(size_t idx, const ReplyMsg& msg) {
   Shard* shard = shards_[idx].get();
-  Pending pending;
+  Pending entry;
   {
     std::lock_guard<std::mutex> lock(shard->pending_mu);
     auto it = shard->pending.find(msg.id);
-    if (it == shard->pending.end()) return;  // settled as lost already
-    pending = std::move(it->second);
+    if (it == shard->pending.end()) return;  // settled/GCed already
+    entry = std::move(it->second);
     shard->pending.erase(it);
-    --shard->view.outstanding;
+    DecOutstandingLocked(shard);
+    // Attempt-level view: every reply counts here, dedup or not, so the
+    // per-shard ledger reconciles against the shard's own ServerStats.
     if (msg.admit != AdmitResult::kAccepted) {
       if (msg.admit == AdmitResult::kShedQueueFull) {
         ++shard->view.shed;
@@ -258,6 +343,28 @@ void ShardRouter::HandleShardReply(size_t idx, const ReplyMsg& msg) {
       }
     }
   }
+  const std::shared_ptr<Request> req = entry.req;
+  const int prev_live = req->live.fetch_sub(1, std::memory_order_acq_rel);
+  const bool positive = msg.admit == AdmitResult::kAccepted &&
+                        msg.outcome == RequestOutcome::kServed;
+  if (!positive && prev_live > 1 &&
+      !req->settled.load(std::memory_order_acquire)) {
+    // Negative-verdict suppression: a sibling attempt is still in flight,
+    // so drop this shed/reject/expired/failed verdict and let the sibling
+    // (or the settle timer) decide. A rescue attempt must never make the
+    // outcome worse — e.g. its instant queue-full shed settling a request
+    // the primary shard is about to serve.
+    RouterCounter("ms_router_suppressed_negative_total")->Inc();
+    return;
+  }
+  if (req->settled.exchange(true)) {
+    // First-reply-wins dedup: the sibling attempt already settled the
+    // client. This reply is dropped — never double-counted, never
+    // forwarded.
+    dup_replies_.fetch_add(1, std::memory_order_relaxed);
+    RouterCounter("ms_router_dup_replies_total")->Inc();
+    return;
+  }
   if (msg.admit != AdmitResult::kAccepted) {
     if (msg.admit == AdmitResult::kShedQueueFull) {
       shed_.fetch_add(1, std::memory_order_relaxed);
@@ -268,6 +375,7 @@ void ShardRouter::HandleShardReply(size_t idx, const ReplyMsg& msg) {
     switch (msg.outcome) {
       case RequestOutcome::kServed:
         served_.fetch_add(1, std::memory_order_relaxed);
+        RecordAttemptLatency(MonotonicSeconds() - entry.sent_at);
         break;
       case RequestOutcome::kExpired:
         expired_.fetch_add(1, std::memory_order_relaxed);
@@ -280,17 +388,24 @@ void ShardRouter::HandleShardReply(size_t idx, const ReplyMsg& msg) {
         break;
     }
   }
+  if (entry.kind == AttemptKind::kHedge) {
+    hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+    RouterCounter("ms_router_hedge_wins_total")->Inc();
+  } else if (entry.kind == AttemptKind::kFailover) {
+    failover_wins_.fetch_add(1, std::memory_order_relaxed);
+  }
   ReplyMsg out = msg;
-  out.id = pending.client_id;
-  pending.reply(out);
+  out.id = req->client_id;
+  req->reply(out);
 }
 
-int ShardRouter::PickShard(double deadline_seconds) {
+int ShardRouter::PickShard(double deadline_seconds, int exclude) {
   int best = -1;
   double best_rate = -1.0;
   int64_t best_outstanding = std::numeric_limits<int64_t>::max();
   bool any_up = false;
   for (size_t i = 0; i < shards_.size(); ++i) {
+    if (exclude >= 0 && i == static_cast<size_t>(exclude)) continue;
     Shard* shard = shards_[i].get();
     if (!shard->up.load(std::memory_order_relaxed)) continue;
     any_up = true;
@@ -331,6 +446,99 @@ int ShardRouter::PickShard(double deadline_seconds) {
   return best;
 }
 
+bool ShardRouter::ForwardAttempt(const std::shared_ptr<Request>& req,
+                                 int shard_idx, double wire_deadline,
+                                 AttemptKind kind, double now) {
+  Shard* shard = shards_[static_cast<size_t>(shard_idx)].get();
+  std::shared_ptr<WireClient> client;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    client = shard->client;
+  }
+  if (!client) {
+    if (kind == AttemptKind::kPrimary &&
+        !req->settled.exchange(true)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      ReplyMsg out;
+      out.id = req->client_id;
+      out.admit = AdmitResult::kRejectedClosed;
+      req->reply(out);
+    }
+    return false;
+  }
+  const uint64_t rid = next_rid_.fetch_add(1, std::memory_order_relaxed);
+  req->live.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(shard->pending_mu);
+    Pending& p = shard->pending[rid];
+    p.req = req;
+    p.kind = kind;
+    p.sent_at = now;
+    ++shard->view.forwarded;
+    ++shard->view.outstanding;
+    if (kind == AttemptKind::kFailover) ++shard->view.failovers;
+    if (kind == AttemptKind::kHedge) ++shard->view.hedges;
+  }
+  RequestMsg fwd;
+  fwd.id = rid;
+  fwd.deadline_seconds = wire_deadline;
+  fwd.payload = req->payload;
+  Status st = client->SendRequest(fwd);
+  if (!st.ok()) {
+    // The send never reached the shard; retract the pending entry (unless
+    // a racing disconnect already orphaned it, in which case FailPending
+    // owns the settling).
+    bool retracted = false;
+    {
+      std::lock_guard<std::mutex> lock(shard->pending_mu);
+      auto it = shard->pending.find(rid);
+      if (it != shard->pending.end()) {
+        shard->pending.erase(it);
+        DecOutstandingLocked(shard);
+        ++shard->view.rejected;
+        retracted = true;
+      }
+    }
+    if (retracted) {
+      const int prev_live = req->live.fetch_sub(1, std::memory_order_acq_rel);
+      if (kind == AttemptKind::kPrimary) {
+        if (!req->settled.exchange(true)) {
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          ReplyMsg out;
+          out.id = req->client_id;
+          out.admit = AdmitResult::kRejectedClosed;
+          req->reply(out);
+        }
+      } else if (prev_live <= 1 && !req->settled.exchange(true)) {
+        SettleFailed(req);
+      }
+    }
+    return false;
+  }
+  if (req->effective_budget > 0.0) {
+    // Settle timer: bounded worst-case client latency even when every
+    // attempt is blackholed.
+    ScheduleTimer(
+        req->start + req->effective_budget + opts_.reply_grace_seconds,
+        TimerItem{TimerKind::kSettle, static_cast<uint32_t>(shard_idx), rid});
+    if (kind == AttemptKind::kPrimary && shards_.size() > 1) {
+      if (opts_.hedge) {
+        ScheduleTimer(
+            req->start + HedgeDelay(req->effective_budget),
+            TimerItem{TimerKind::kHedge, static_cast<uint32_t>(shard_idx),
+                      rid});
+      }
+      if (opts_.failover) {
+        ScheduleTimer(
+            req->start + opts_.failover_fraction * req->effective_budget,
+            TimerItem{TimerKind::kFailover, static_cast<uint32_t>(shard_idx),
+                      rid});
+      }
+    }
+  }
+  return true;
+}
+
 void ShardRouter::OnRequest(const RequestMsg& msg,
                             std::function<void(const ReplyMsg&)> reply) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -351,57 +559,120 @@ void ShardRouter::OnRequest(const RequestMsg& msg,
     reply(out);
     return;
   }
-  Shard* shard = shards_[static_cast<size_t>(pick)].get();
-  std::shared_ptr<WireClient> client;
-  {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    client = shard->client;
-  }
-  if (!client) {
-    ReplyMsg out;
-    out.id = msg.id;
-    out.admit = AdmitResult::kRejectedClosed;
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    reply(out);
-    return;
-  }
-  uint64_t rid;
-  {
-    std::lock_guard<std::mutex> lock(shard->pending_mu);
-    rid = shard->next_id++;
-    Pending& p = shard->pending[rid];
-    p.reply = std::move(reply);
-    p.client_id = msg.id;
-    ++shard->view.forwarded;
-    ++shard->view.outstanding;
-  }
-  RequestMsg fwd = msg;
-  fwd.id = rid;
-  Status st = client->SendRequest(fwd);
-  if (!st.ok()) {
-    // The send never reached the shard; retract the pending entry (unless
-    // a racing disconnect already failed it) and reject to the client.
-    Pending orphan;
-    bool retracted = false;
+  auto req = std::make_shared<Request>();
+  req->reply = std::move(reply);
+  req->client_id = msg.id;
+  req->deadline_seconds = msg.deadline_seconds;
+  req->effective_budget = msg.deadline_seconds > 0.0
+                              ? msg.deadline_seconds
+                              : opts_.no_deadline_timeout_seconds;
+  req->start = MonotonicSeconds();
+  req->payload = msg.payload;
+  ForwardAttempt(req, pick, msg.deadline_seconds, AttemptKind::kPrimary,
+                 req->start);
+}
+
+void ShardRouter::ScheduleTimer(double when, TimerItem item) {
+  std::lock_guard<std::mutex> lock(timer_mu_);
+  wheel_.Add(when, item);
+}
+
+void ShardRouter::TimerLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
     {
-      std::lock_guard<std::mutex> lock(shard->pending_mu);
-      auto it = shard->pending.find(rid);
-      if (it != shard->pending.end()) {
-        orphan = std::move(it->second);
-        shard->pending.erase(it);
-        --shard->view.outstanding;
-        ++shard->view.rejected;
-        retracted = true;
-      }
+      std::unique_lock<std::mutex> lock(timer_mu_);
+      timer_cv_.wait_for(
+          lock, std::chrono::duration<double>(opts_.timer_tick_seconds),
+          [this] { return !running_.load(); });
     }
-    if (retracted) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      ReplyMsg out;
-      out.id = orphan.client_id;
-      out.admit = AdmitResult::kRejectedClosed;
-      orphan.reply(out);
+    if (!running_.load()) break;
+    const double now = MonotonicSeconds();
+    std::vector<TimerItem> due;
+    {
+      std::lock_guard<std::mutex> lock(timer_mu_);
+      due = wheel_.Advance(now);
+    }
+    for (const TimerItem& item : due) ProcessTimer(item, now);
+  }
+}
+
+void ShardRouter::ProcessTimer(const TimerItem& item, double now) {
+  Shard* shard = shards_[item.shard].get();
+  switch (item.kind) {
+    case TimerKind::kSettle: {
+      Pending entry;
+      {
+        std::lock_guard<std::mutex> lock(shard->pending_mu);
+        auto it = shard->pending.find(item.rid);
+        if (it == shard->pending.end()) return;  // replied/orphaned already
+        entry = std::move(it->second);
+        shard->pending.erase(it);
+        DecOutstandingLocked(shard);
+        ++shard->view.timeouts;
+      }
+      const std::shared_ptr<Request>& req = entry.req;
+      const int prev_live = req->live.fetch_sub(1, std::memory_order_acq_rel);
+      if (prev_live > 1) return;  // the sibling attempt settles or GCs
+      if (req->settled.exchange(true)) return;
+      // Every attempt is past budget + grace with no reply: the request is
+      // settled here so the client's wait is bounded.
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      RouterCounter("ms_router_timeouts_total")->Inc();
+      {
+        std::lock_guard<std::mutex> lock(shard->pending_mu);
+        ++shard->view.failed;
+      }
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventKind::kRequestTimeout, "settle",
+          static_cast<int64_t>(req->client_id),
+          static_cast<int64_t>(item.shard));
+      SettleFailed(req);
+      return;
+    }
+    case TimerKind::kFailover:
+    case TimerKind::kHedge: {
+      std::shared_ptr<Request> req;
+      {
+        std::lock_guard<std::mutex> lock(shard->pending_mu);
+        auto it = shard->pending.find(item.rid);
+        if (it == shard->pending.end()) return;  // already replied
+        req = it->second.req;
+      }
+      if (req->settled.load(std::memory_order_acquire)) return;
+      LaunchSecondAttempt(req, static_cast<int>(item.shard),
+                          item.kind == TimerKind::kHedge
+                              ? AttemptKind::kHedge
+                              : AttemptKind::kFailover,
+                          now);
+      return;
     }
   }
+}
+
+void ShardRouter::RecordAttemptLatency(double seconds) {
+  if (!opts_.hedge || seconds < 0.0) return;
+  std::lock_guard<std::mutex> lock(lat_mu_);
+  lat_ring_[lat_pos_] = seconds;
+  lat_pos_ = (lat_pos_ + 1) % lat_ring_.size();
+  if (lat_count_ < lat_ring_.size()) ++lat_count_;
+}
+
+double ShardRouter::HedgeDelay(double budget) {
+  const double cap = opts_.hedge_budget_cap_fraction * budget;
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(lat_mu_);
+    if (static_cast<int>(lat_count_) < opts_.hedge_min_samples) return cap;
+    samples.assign(lat_ring_.begin(),
+                   lat_ring_.begin() + static_cast<long>(lat_count_));
+  }
+  double q = opts_.hedge_quantile;
+  if (q < 0.5) q = 0.5;
+  if (q > 0.999) q = 0.999;
+  size_t k = static_cast<size_t>(q * static_cast<double>(samples.size() - 1));
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<long>(k), samples.end());
+  return std::min(samples[k], cap);
 }
 
 StatsMsg ShardRouter::Snapshot() const {
@@ -414,6 +685,11 @@ StatsMsg ShardRouter::Snapshot() const {
   s.expired = expired_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.hedges = hedges_.load(std::memory_order_relaxed);
+  s.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+  s.dup_replies = dup_replies_.load(std::memory_order_relaxed);
   s.healthy_workers = static_cast<uint16_t>(num_up());
   s.total_workers = static_cast<uint16_t>(shards_.size());
   for (const auto& shard_ptr : shards_) {
@@ -445,6 +721,30 @@ int64_t ShardRouter::total_readmits() const {
 
 int64_t ShardRouter::total_drains() const {
   return drains_.load(std::memory_order_relaxed);
+}
+
+int64_t ShardRouter::total_timeouts() const {
+  return timeouts_.load(std::memory_order_relaxed);
+}
+
+int64_t ShardRouter::total_failovers() const {
+  return failovers_.load(std::memory_order_relaxed);
+}
+
+int64_t ShardRouter::total_failover_wins() const {
+  return failover_wins_.load(std::memory_order_relaxed);
+}
+
+int64_t ShardRouter::total_hedges() const {
+  return hedges_.load(std::memory_order_relaxed);
+}
+
+int64_t ShardRouter::total_hedge_wins() const {
+  return hedge_wins_.load(std::memory_order_relaxed);
+}
+
+int64_t ShardRouter::total_dup_replies() const {
+  return dup_replies_.load(std::memory_order_relaxed);
 }
 
 }  // namespace net

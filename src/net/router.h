@@ -24,12 +24,34 @@
 // probe. Requests outstanding on a dead connection are failed ("lost") to
 // their clients — exactly once, like every other outcome.
 //
+// Reliability (DESIGN.md §13). Each forwarded request is one ATTEMPT of a
+// shared Request. A hashed timer wheel drives three per-request timers:
+//   - failover: if the primary attempt is unreplied at failover_fraction of
+//     the budget, launch ONE second attempt on another live, rate-feasible
+//     shard (first-reply-wins; the loser's reply is dropped and counted in
+//     dup_replies).
+//   - hedge (opt-in): same one-shot second attempt, but speculative — it
+//     fires at the observed attempt-latency quantile (capped at a fraction
+//     of the budget so the hedge is still deadline-feasible), trading
+//     duplicate work for tail latency.
+//   - settle: at budget + grace an unreplied request is settled kFailed to
+//     its client, so a blackholed frame costs bounded latency, not an
+//     orphan. Every attempt forwards the REMAINING budget, so a retried or
+//     hedged request can never overspend its original deadline — the
+//     second shard's scheduler sees the truncated budget and picks a lower
+//     slice rate.
+// A shard death re-routes its orphaned attempts through the same one-shot
+// failover instead of failing them, when budget remains.
+//
 // Cluster accounting. The router's client-facing ledger keeps the same
 // invariant as a single shard:
 //   submitted == served + shed + expired + rejected + failed
-// where `failed` folds in the lost-on-death requests. Per-shard ShardViews
-// (forwarded/outstanding/per-outcome/lost/drains/readmits) reconcile the
-// router ledger against the shards' own ServerStats.
+// where `failed` folds in the lost-on-death and timed-out requests.
+// Exactly one terminal reply per client request is guaranteed by a settled
+// flag (compare-exchange) on the shared Request. Per-shard ShardViews are
+// ATTEMPT-level (a failover counts as forwarded on both shards), so
+// sum(view.served) >= router served; the client-facing ledger stays
+// dedup-exact.
 #ifndef MODELSLICING_NET_ROUTER_H_
 #define MODELSLICING_NET_ROUTER_H_
 
@@ -49,6 +71,7 @@
 #include "src/net/wire.h"
 #include "src/serving/health.h"
 #include "src/util/status.h"
+#include "src/util/timer_wheel.h"
 
 namespace ms {
 namespace net {
@@ -65,6 +88,33 @@ struct RouterOptions {
   /// Require at least one successful heartbeat before Start() returns
   /// (false lets the router start ahead of its shards).
   bool require_shard_at_start = false;
+
+  // Reliability layer. Per-request timers only arm when the request has a
+  // budget: its own deadline, or no_deadline_timeout_seconds as a stand-in.
+  /// One-shot failover of unreplied attempts onto another shard.
+  bool failover = true;
+  /// Failover fires at this fraction of the budget — early enough that the
+  /// second attempt's remaining budget is still schedulable (> one tick).
+  double failover_fraction = 0.45;
+  /// Settle timer slack past the budget: the shard's own terminal reply
+  /// (served/expired) gets this long to arrive before the router
+  /// synthesizes kFailed.
+  double reply_grace_seconds = 0.5;
+  /// Budget stand-in for requests without a deadline (0 = no timers, the
+  /// pre-reliability behavior: such a request can wait forever).
+  double no_deadline_timeout_seconds = 0.0;
+  /// Speculative tail hedging (off by default: it spends duplicate work).
+  bool hedge = false;
+  /// Hedge once elapsed exceeds this quantile of observed attempt latency.
+  double hedge_quantile = 0.95;
+  /// Observed-latency samples required before the quantile is trusted;
+  /// until then the budget-cap fallback below is the hedge delay.
+  int hedge_min_samples = 32;
+  /// Hedge delay never exceeds this fraction of the budget, so the hedge
+  /// attempt keeps a schedulable remaining budget.
+  double hedge_budget_cap_fraction = 0.35;
+  /// Timer-wheel granularity (also the timer thread's poll period).
+  double timer_tick_seconds = 0.005;
 };
 
 class ShardRouter : public WireService {
@@ -97,11 +147,44 @@ class ShardRouter : public WireService {
   int num_up() const;
   int64_t total_readmits() const;
   int64_t total_drains() const;
+  int64_t total_timeouts() const;
+  int64_t total_failovers() const;
+  int64_t total_failover_wins() const;
+  int64_t total_hedges() const;
+  int64_t total_hedge_wins() const;
+  int64_t total_dup_replies() const;
 
  private:
-  struct Pending {
+  /// Which attempt of a Request a pending entry is.
+  enum class AttemptKind : uint8_t { kPrimary = 0, kFailover, kHedge };
+
+  /// State shared by every attempt of one client request. Settled exactly
+  /// once (the `settled` CAS); `attempts` caps the second attempt at one
+  /// (failover OR hedge, whichever fires first); `live` counts pending
+  /// entries so the last attempt to die can settle the request.
+  struct Request {
     std::function<void(const ReplyMsg&)> reply;
     uint64_t client_id = 0;
+    double deadline_seconds = 0.0;   ///< original relative budget (<=0 none).
+    double effective_budget = 0.0;   ///< >0 when reliability timers armed.
+    double start = 0.0;              ///< monotonic submit time.
+    std::vector<float> payload;      ///< kept for resend on failover/hedge.
+    std::atomic<int> attempts{1};
+    std::atomic<int> live{0};
+    std::atomic<bool> settled{false};
+  };
+
+  struct Pending {
+    std::shared_ptr<Request> req;
+    AttemptKind kind = AttemptKind::kPrimary;
+    double sent_at = 0.0;  ///< monotonic; feeds the hedge latency ring.
+  };
+
+  enum class TimerKind : uint8_t { kSettle = 0, kFailover, kHedge };
+  struct TimerItem {
+    TimerKind kind = TimerKind::kSettle;
+    uint32_t shard = 0;
+    uint64_t rid = 0;
   };
 
   struct Shard {
@@ -124,8 +207,7 @@ class ShardRouter : public WireService {
     /// Request-side ledger. NEVER held while connecting/destroying the
     /// client (the client's reader thread takes it in on_disconnect).
     std::mutex pending_mu;
-    std::unordered_map<uint64_t, Pending> pending;  // router id -> caller
-    uint64_t next_id = 1;
+    std::unordered_map<uint64_t, Pending> pending;  // attempt rid -> entry
     ShardView view;
 
     Shard(int failures, double cooloff)
@@ -136,12 +218,44 @@ class ShardRouter : public WireService {
   /// Probes/polls one shard; drains or readmits as the evidence demands.
   void HeartbeatShard(size_t idx);
   void DrainShard(size_t idx, const char* reason);
-  /// Fails all pending requests on `shard` as lost; returns how many.
-  int64_t FailPending(Shard* shard);
+  /// Orphans all pending attempts on shard `idx`: each is re-routed through
+  /// one-shot failover when budget remains, else its request is settled
+  /// lost. Returns how many entries were orphaned.
+  int64_t FailPending(size_t idx);
   void HandleShardReply(size_t idx, const ReplyMsg& msg);
   void HandleShardDisconnect(size_t idx);
-  /// Routing decision; -1 when no shard can take the request.
-  int PickShard(double deadline_seconds);
+  /// Routing decision; -1 when no shard can take the request, -2 when
+  /// every candidate is at its outstanding cap. `exclude` skips the shard
+  /// a failover/hedge is escaping from.
+  int PickShard(double deadline_seconds, int exclude = -1);
+
+  /// Sends one attempt of `req` to shard `shard_idx`, registers the
+  /// pending entry, and schedules its timers. `wire_deadline` is the
+  /// REMAINING budget forwarded on the wire. Returns false when the send
+  /// could not happen (no client / send error); a failed PRIMARY attempt
+  /// settles the request kRejectedClosed, a failed second attempt settles
+  /// it kFailed only when it was the last live attempt.
+  bool ForwardAttempt(const std::shared_ptr<Request>& req, int shard_idx,
+                      double wire_deadline, AttemptKind kind, double now);
+  void TimerLoop();
+  void ProcessTimer(const TimerItem& item, double now);
+  void ScheduleTimer(double when, TimerItem item);
+  /// One-shot second attempt (failover or hedge): CASes attempts 1 -> 2,
+  /// picks another shard, forwards the remaining budget. Shared by the
+  /// timer paths and FailPending's orphan re-route.
+  bool LaunchSecondAttempt(const std::shared_ptr<Request>& req,
+                           int exclude_shard, AttemptKind kind, double now);
+  /// Settles `req` with a synthesized terminal failure (caller holds the
+  /// settled CAS win).
+  void SettleFailed(const std::shared_ptr<Request>& req);
+  /// Clamped decrement of view.outstanding (caller holds pending_mu): a
+  /// late reply racing FailPending's orphan swap must never push the
+  /// ledger negative — the miss is counted instead.
+  static void DecOutstandingLocked(Shard* shard);
+  void RecordAttemptLatency(double seconds);
+  /// Hedge delay for a budget: observed-latency quantile, capped at
+  /// hedge_budget_cap_fraction * budget.
+  double HedgeDelay(double budget);
 
   RouterOptions opts_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -150,6 +264,19 @@ class ShardRouter : public WireService {
   std::thread heartbeat_;
   std::mutex hb_mu_;
   std::condition_variable hb_cv_;
+
+  std::atomic<uint64_t> next_rid_{1};  ///< router-wide attempt id.
+
+  std::thread timer_;
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  TimerWheel<TimerItem> wheel_;  // guarded by timer_mu_
+
+  // Attempt-latency ring feeding the hedge quantile (served replies only).
+  std::mutex lat_mu_;
+  std::vector<double> lat_ring_;  // guarded by lat_mu_
+  size_t lat_pos_ = 0;            // guarded by lat_mu_
+  size_t lat_count_ = 0;          // guarded by lat_mu_
 
   // Client-facing ledger (the cluster invariant's left/right sides).
   std::atomic<int64_t> submitted_{0};
@@ -160,6 +287,12 @@ class ShardRouter : public WireService {
   std::atomic<int64_t> failed_{0};
   std::atomic<int64_t> drains_{0};
   std::atomic<int64_t> readmits_{0};
+  std::atomic<int64_t> timeouts_{0};
+  std::atomic<int64_t> failovers_{0};
+  std::atomic<int64_t> failover_wins_{0};
+  std::atomic<int64_t> hedges_{0};
+  std::atomic<int64_t> hedge_wins_{0};
+  std::atomic<int64_t> dup_replies_{0};
 };
 
 }  // namespace net

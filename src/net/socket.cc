@@ -14,6 +14,9 @@
 
 #include <cstdlib>
 #include <string>
+#include <thread>
+
+#include "src/util/fault.h"
 
 namespace ms {
 namespace net {
@@ -186,6 +189,37 @@ Status SendAll(int fd, const char* data, size_t n, double timeout_seconds) {
     return Status::Internal(Errno("send"));
   }
   return Status::OK();
+}
+
+Status SendFrameBytes(int fd, const char* data, size_t n,
+                      double timeout_seconds) {
+  fault::Registry& faults = fault::Registry::Global();
+  if (faults.armed_count() != 0) {
+    if (faults.ShouldFire(fault::kNetSendDrop)) {
+      // The frame silently vanishes; the caller believes it was sent.
+      return Status::OK();
+    }
+    if (faults.ShouldFire(fault::kNetFrameTruncate)) {
+      // Half a frame, then nothing: the peer's decoder desyncs at the next
+      // frame boundary and goes kFatal.
+      return SendAll(fd, data, n / 2, timeout_seconds);
+    }
+    if (faults.ShouldFire(fault::kNetSendSlow)) {
+      const double total_delay = faults.Param(fault::kNetSendSlow, 0.05);
+      constexpr size_t kChunk = 16;
+      const size_t chunks = (n + kChunk - 1) / kChunk;
+      const auto nap = std::chrono::duration<double>(
+          chunks > 0 ? total_delay / static_cast<double>(chunks) : 0.0);
+      for (size_t off = 0; off < n; off += kChunk) {
+        std::this_thread::sleep_for(nap);
+        const size_t len = n - off < kChunk ? n - off : kChunk;
+        Status s = SendAll(fd, data + off, len, timeout_seconds);
+        if (!s.ok()) return s;
+      }
+      return Status::OK();
+    }
+  }
+  return SendAll(fd, data, n, timeout_seconds);
 }
 
 Result<std::pair<std::string, uint16_t>> ParseHostPort(

@@ -76,6 +76,16 @@ void SetRecvTimeout(int fd, double seconds);
 Status SendAll(int fd, const char* data, size_t n,
                double timeout_seconds = 10.0);
 
+/// SendAll for a complete wire FRAME, with the net.* fault-injection
+/// points threaded through (src/util/fault.h): `net.send.drop` reports
+/// success while writing nothing, `net.frame.truncate` sends only a prefix
+/// (desyncing the peer's stream), `net.send.slow` trickles the bytes in
+/// small chunks with sleeps totaling the point's @param seconds. With the
+/// registry disarmed this is exactly SendAll plus one relaxed atomic load,
+/// so every frame send routes through here.
+Status SendFrameBytes(int fd, const char* data, size_t n,
+                      double timeout_seconds = 10.0);
+
 /// Splits "host:port"; defaults host to 127.0.0.1 when `addr` is ":port"
 /// or a bare port number.
 Result<std::pair<std::string, uint16_t>> ParseHostPort(

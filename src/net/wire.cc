@@ -130,9 +130,29 @@ std::string EncodeStats(const StatsMsg& msg) {
     Append<int64_t>(&payload, s.lost);
     Append<int64_t>(&payload, s.drains);
     Append<int64_t>(&payload, s.readmits);
+    Append<int64_t>(&payload, s.timeouts);
+    Append<int64_t>(&payload, s.failovers);
+    Append<int64_t>(&payload, s.hedges);
   }
+  Append<int64_t>(&payload, msg.timeouts);
+  Append<int64_t>(&payload, msg.failovers);
+  Append<int64_t>(&payload, msg.hedges);
+  Append<int64_t>(&payload, msg.hedge_wins);
+  Append<int64_t>(&payload, msg.dup_replies);
   std::string out;
   EncodeFrame(FrameType::kStatsReply, payload, &out);
+  return out;
+}
+
+std::string EncodeControl(const ControlMsg& msg) {
+  std::string payload;
+  Append<uint64_t>(&payload, msg.id);
+  Append<uint8_t>(&payload, static_cast<uint8_t>(msg.op));
+  Append<uint64_t>(&payload, msg.seed);
+  Append<uint32_t>(&payload, static_cast<uint32_t>(msg.spec.size()));
+  payload.append(msg.spec);
+  std::string out;
+  EncodeFrame(FrameType::kControl, payload, &out);
   return out;
 }
 
@@ -191,12 +211,37 @@ Status DecodeStats(const std::string& payload, StatsMsg* out) {
     if (!r.Read(&s.up) || !r.Read(&s.forwarded) || !r.Read(&s.outstanding) ||
         !r.Read(&s.served) || !r.Read(&s.shed) || !r.Read(&s.expired) ||
         !r.Read(&s.failed) || !r.Read(&s.rejected) || !r.Read(&s.lost) ||
-        !r.Read(&s.drains) || !r.Read(&s.readmits)) {
+        !r.Read(&s.drains) || !r.Read(&s.readmits) || !r.Read(&s.timeouts) ||
+        !r.Read(&s.failovers) || !r.Read(&s.hedges)) {
       return ShortPayload("stats shard view");
     }
     out->shards.push_back(s);
   }
-  if (!r.AtEnd()) return ShortPayload("stats");
+  if (!r.Read(&out->timeouts) || !r.Read(&out->failovers) ||
+      !r.Read(&out->hedges) || !r.Read(&out->hedge_wins) ||
+      !r.Read(&out->dup_replies) || !r.AtEnd()) {
+    return ShortPayload("stats");
+  }
+  return Status::OK();
+}
+
+Status DecodeControl(const std::string& payload, ControlMsg* out) {
+  Reader r(payload);
+  uint8_t op = 0;
+  uint32_t len = 0;
+  if (!r.Read(&out->id) || !r.Read(&op) || !r.Read(&out->seed) ||
+      !r.Read(&len)) {
+    return ShortPayload("control");
+  }
+  if (op != static_cast<uint8_t>(ControlOp::kArmFaults) &&
+      op != static_cast<uint8_t>(ControlOp::kDisarmFaults)) {
+    return Status::InvalidArgument("control carries an unknown op");
+  }
+  out->op = static_cast<ControlOp>(op);
+  if (payload.size() < 21 || payload.size() - 21 != len) {
+    return ShortPayload("control");
+  }
+  out->spec = payload.substr(21, len);
   return Status::OK();
 }
 
@@ -219,22 +264,26 @@ DecodeResult FrameDecoder::Next(Frame* out) {
   std::memcpy(&type, h + 3, 1);
   std::memcpy(&length, h + 4, 4);
   std::memcpy(&crc, h + 8, 4);
-  if (magic != kWireMagic || version != kWireVersion ||
-      length > kMaxPayload) {
-    // The stream is garbage or from a future protocol: there is no frame
-    // boundary to resynchronize on.
+  if (magic != kWireMagic || length > kMaxPayload) {
+    // The stream is garbage: there is no frame boundary to resynchronize
+    // on.
     fatal_ = true;
     bad_request_id_ = 0;
     return DecodeResult::kFatal;
   }
   if (avail < kHeaderBytes + length) return DecodeResult::kNeedMore;
   const char* payload = h + kHeaderBytes;
+  // The header layout is version-invariant by fiat (wire.h), so a
+  // mismatched version still gives a trustworthy frame boundary: consume
+  // the whole frame and classify it recoverable rather than poisoning the
+  // connection.
+  const bool version_ok = version == kWireVersion;
   const bool crc_ok = Crc32(payload, length) == crc;
   const bool type_ok =
       type >= static_cast<uint8_t>(FrameType::kRequest) &&
-      type <= static_cast<uint8_t>(FrameType::kStatsReply);
+      type <= static_cast<uint8_t>(FrameType::kControl);
   pos_ += kHeaderBytes + length;
-  if (!crc_ok || !type_ok) {
+  if (!version_ok || !crc_ok || !type_ok) {
     // Boundary was intact, so salvage the request id when the payload is
     // long enough to carry one — the reject reply can then name it.
     bad_request_id_ = 0;

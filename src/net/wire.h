@@ -26,12 +26,19 @@
 //   kStatsReply role-tagged stats blob (StatsMsg below). Doubles as the
 //               health-gossip heartbeat: the router polls each shard and
 //               reads quarantine/breaker state out of the reply.
+//   kControl    id:u64 | op:u8 | seed:u64 | len:u32 | spec chars
+//               Chaos-control RPC (ControlOp below): arm/disarm the fault
+//               registry of the receiving process. Honored only when the
+//               server was started with allow_fault_control (bench/CI
+//               harnesses); otherwise answered kRejectedInvalid. Acked
+//               with a kReply echoing the id, so a controller can retry
+//               through the very faults it just armed.
 //
-// Anything that fails to parse — bad magic/version, oversized length, CRC
-// mismatch, short payload, unknown type — is answered with a kReply whose
-// admit code is AdmitResult::kRejectedInvalid (id 0 when the frame was too
-// mangled to trust its id), making the accounting invariant visible on the
-// wire even for garbage input.
+// Anything that fails to parse — bad magic, oversized length, CRC
+// mismatch, version mismatch, short payload, unknown type — is answered
+// with a kReply whose admit code is AdmitResult::kRejectedInvalid (id 0
+// when the frame was too mangled to trust its id), making the accounting
+// invariant visible on the wire even for garbage input.
 #ifndef MODELSLICING_NET_WIRE_H_
 #define MODELSLICING_NET_WIRE_H_
 
@@ -47,11 +54,16 @@ namespace ms {
 namespace net {
 
 inline constexpr uint16_t kWireMagic = 0x4D53;  // "MS"
-/// v2 added `calibrated_t_int8` to StatsMsg (the per-precision calibration
-/// advertisement). The protocol has no version negotiation: a v1 frame is
-/// from an old peer and is rejected at the decoder (kFatal → one
-/// kRejectedInvalid reply, then close), never parsed as v2.
-inline constexpr uint8_t kWireVersion = 2;
+/// v2 added `calibrated_t_int8` to StatsMsg; v3 added the reliability
+/// counters (ShardView timeouts/failovers/hedges, StatsMsg router totals)
+/// and the kControl frame. The protocol has no version negotiation, but
+/// the header layout is version-invariant by fiat, so a frame from an old
+/// or future peer still has a trustworthy boundary: the decoder consumes
+/// it whole and classifies it kBadFrame with a salvaged id (one
+/// kRejectedInvalid reply naming the id, stream continues) — it is never
+/// parsed under the wrong layout, and one old frame no longer poisons the
+/// connection.
+inline constexpr uint8_t kWireVersion = 3;
 inline constexpr size_t kHeaderBytes = 12;
 /// Largest accepted payload: a sample tensor of ~256K floats plus slack.
 /// Anything bigger is a malformed (or hostile) frame.
@@ -62,6 +74,20 @@ enum class FrameType : uint8_t {
   kReply = 2,
   kStats = 3,
   kStatsReply = 4,
+  kControl = 5,
+};
+
+/// Chaos-control operations (kControl frames).
+enum class ControlOp : uint8_t {
+  kArmFaults = 1,    ///< SetSeed(seed) then ArmFromSpec(spec).
+  kDisarmFaults = 2, ///< disarm every fault point (spec ignored).
+};
+
+struct ControlMsg {
+  uint64_t id = 0;
+  ControlOp op = ControlOp::kArmFaults;
+  uint64_t seed = 0;  ///< fault-registry seed (kArmFaults; replayability).
+  std::string spec;   ///< MS_FAULTS syntax: "point=prob[@param],...".
 };
 
 struct RequestMsg {
@@ -95,6 +121,10 @@ struct ShardView {
   int64_t lost = 0;      ///< outstanding when the connection died.
   int64_t drains = 0;    ///< times this shard left rotation.
   int64_t readmits = 0;  ///< times it was probed back in.
+  // Reliability layer (v3):
+  int64_t timeouts = 0;   ///< attempts settled by the router's timer wheel.
+  int64_t failovers = 0;  ///< failover attempts re-routed ONTO this shard.
+  int64_t hedges = 0;     ///< hedge attempts duplicated ONTO this shard.
 };
 
 /// One kStatsReply payload. For a shard, the counter fields mirror
@@ -129,6 +159,12 @@ struct StatsMsg {
   double tick_seconds = 0.0;   ///< T/2 batching interval.
   std::vector<double> rates;   ///< trained (prewarmed) slice-rate lattice.
   std::vector<ShardView> shards;  ///< router only.
+  // Router reliability totals (v3; zero for shards):
+  int64_t timeouts = 0;     ///< requests settled by the timer wheel.
+  int64_t failovers = 0;    ///< second attempts launched after a timeout.
+  int64_t hedges = 0;       ///< speculative second attempts (tail hedging).
+  int64_t hedge_wins = 0;   ///< hedges whose reply settled the request.
+  int64_t dup_replies = 0;  ///< late/duplicate replies dropped by dedup.
 };
 
 /// Appends a complete frame (header + payload) to `out`.
@@ -138,12 +174,14 @@ void EncodeFrame(FrameType type, const std::string& payload,
 std::string EncodeRequest(const RequestMsg& msg);
 std::string EncodeReply(const ReplyMsg& msg);
 std::string EncodeStats(const StatsMsg& msg);
+std::string EncodeControl(const ControlMsg& msg);
 
 /// Payload parsers. They validate every length before reading and reject
 /// trailing bytes, so a corrupt-but-CRC-valid frame cannot smuggle garbage.
 Status DecodeRequest(const std::string& payload, RequestMsg* out);
 Status DecodeReply(const std::string& payload, ReplyMsg* out);
 Status DecodeStats(const std::string& payload, StatsMsg* out);
+Status DecodeControl(const std::string& payload, ControlMsg* out);
 
 /// One parsed frame from the decoder.
 struct Frame {
@@ -155,11 +193,12 @@ struct Frame {
 enum class DecodeResult {
   kFrame = 0,     ///< a complete, CRC-clean frame was extracted.
   kNeedMore,      ///< buffer holds a partial frame; feed more bytes.
-  kBadFrame,      ///< recoverable corruption (CRC/type/payload): the frame
-                  ///< boundary was intact, so decoding may continue.
-  kFatal,         ///< unrecoverable (bad magic/version/oversized length):
-                  ///< the byte stream cannot be trusted; close the
-                  ///< connection after replying.
+  kBadFrame,      ///< recoverable corruption (CRC/type/payload/version):
+                  ///< the frame boundary was intact, so decoding may
+                  ///< continue on the next frame.
+  kFatal,         ///< unrecoverable (bad magic/oversized length): the byte
+                  ///< stream cannot be trusted; close the connection after
+                  ///< replying.
 };
 
 /// \brief Incremental frame reassembler for a TCP byte stream. Feed

@@ -59,6 +59,9 @@ const char* FlightEventKindName(FlightEventKind kind) {
     case FlightEventKind::kMark: return "mark";
     case FlightEventKind::kShardDown: return "shard_down";
     case FlightEventKind::kShardReadmit: return "shard_readmit";
+    case FlightEventKind::kRequestTimeout: return "request_timeout";
+    case FlightEventKind::kFailover: return "failover";
+    case FlightEventKind::kHedge: return "hedge";
   }
   return "unknown";
 }

@@ -48,6 +48,9 @@ enum class FlightEventKind : int {
   kMark,            ///< free-form marker (tests, embedders).
   kShardDown,       ///< router drained a backend shard; a = shard index.
   kShardReadmit,    ///< router readmitted a shard after probe; a = shard.
+  kRequestTimeout,  ///< router timer settled a request; a = id, b = shard.
+  kFailover,        ///< attempt re-routed; a = id, b = new shard.
+  kHedge,           ///< speculative duplicate; a = id, b = hedge shard.
 };
 
 /// Stable lowercase name for JSONL export ("admission", "decision", ...).

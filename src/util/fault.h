@@ -42,6 +42,22 @@ inline constexpr const char kForwardNan[] = "server.forward.nan";
 inline constexpr const char kCheckpointTruncate[] = "checkpoint.write.truncate";
 inline constexpr const char kQueueReject[] = "queue.submit.reject";
 inline constexpr const char kTrainNanLoss[] = "train.loss.nan";
+// Network faults (DESIGN.md §13). All fire per FRAME, inside the wire
+// send/dispatch paths (src/net/socket.cc, net_server.cc, client.cc):
+/// Outgoing frame silently vanishes (send reports success, writes nothing).
+inline constexpr const char kNetSendDrop[] = "net.send.drop";
+/// Outgoing frame is trickled in small chunks; @param is the total added
+/// delay in seconds (default 0.05). Models a congested or slow peer link —
+/// and, because sends on one connection serialize, head-of-line blocking.
+inline constexpr const char kNetSendSlow[] = "net.send.slow";
+/// A fully received, CRC-clean kRequest/kReply frame is dropped before
+/// dispatch: the bytes arrived but the message is never processed.
+inline constexpr const char kNetRecvBlackhole[] = "net.recv.blackhole";
+/// Only a prefix of the frame's bytes is sent: the peer's stream desyncs
+/// at the next frame and the connection dies (decoder kFatal).
+inline constexpr const char kNetFrameTruncate[] = "net.frame.truncate";
+/// The router skips one shard's heartbeat round (lost-gossip staleness).
+inline constexpr const char kNetHeartbeatSkip[] = "net.heartbeat.skip";
 
 class Registry {
  public:

@@ -1,0 +1,102 @@
+// Hashed timer wheel for per-request deadlines (DESIGN.md §13).
+//
+// The router (and the reliable client) schedule three kinds of timers per
+// in-flight request — failover, hedge, settle — at rates of thousands per
+// second. A heap would pay O(log n) per operation and churn allocations; a
+// wheel pays O(1) amortized: each entry lands in the bucket of its expiry
+// tick, and Advance() walks only the buckets between the last call and
+// `now`. Entries further out than one revolution simply stay in their
+// bucket until a walk passes their actual expiry time (classic "hashed
+// wheel" — no hierarchical cascade needed at our horizon of a few
+// seconds).
+//
+// Not thread-safe: callers (the router's timer thread, tests) guard the
+// wheel with their own mutex. Time is caller-supplied seconds on a
+// monotonic clock, so the wheel is trivially testable with fake time.
+#ifndef MODELSLICING_UTIL_TIMER_WHEEL_H_
+#define MODELSLICING_UTIL_TIMER_WHEEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ms {
+
+template <typename T>
+class TimerWheel {
+ public:
+  /// `now` anchors the wheel's cursor; `tick_seconds` is the firing
+  /// granularity; `slots` is the bucket count (one revolution spans
+  /// slots * tick_seconds).
+  explicit TimerWheel(double now, double tick_seconds = 0.005,
+                      size_t slots = 1024)
+      : tick_(tick_seconds > 0.0 ? tick_seconds : 0.005),
+        slots_(slots < 2 ? 2 : slots),
+        cursor_(TickOf(now)) {}
+
+  /// Schedules `item` to pop at absolute time `when` (seconds, same clock
+  /// as `now`). Items scheduled at or before the cursor pop on the next
+  /// Advance. Firing granularity is one tick LATE, never early.
+  void Add(double when, T item) {
+    // Bucket by the first tick boundary AFTER `when`: a bucket is visited
+    // exactly when the cursor crosses its tick, so bucketing by the floor
+    // tick would let the walk arrive a sub-tick phase BEFORE the expiry,
+    // keep the not-yet-due entry, and strand it for a whole revolution.
+    const uint64_t tick = TickOf(when) + 1;
+    const size_t slot = static_cast<size_t>(
+        (tick <= cursor_ ? cursor_ + 1 : tick) % slots_.size());
+    slots_[slot].push_back(Entry{when, std::move(item)});
+    ++count_;
+  }
+
+  /// Pops every item whose `when` <= `now`, walking the wheel forward.
+  /// Items in walked buckets that are not yet due (later revolutions) are
+  /// kept in place.
+  std::vector<T> Advance(double now) {
+    std::vector<T> due;
+    const uint64_t target = TickOf(now);
+    if (target <= cursor_) return due;
+    // A jump past a full revolution visits every bucket exactly once.
+    const uint64_t steps =
+        target - cursor_ >= slots_.size()
+            ? static_cast<uint64_t>(slots_.size())
+            : target - cursor_;
+    for (uint64_t i = 1; i <= steps; ++i) {
+      auto& bucket = slots_[static_cast<size_t>((cursor_ + i) % slots_.size())];
+      size_t kept = 0;
+      for (size_t j = 0; j < bucket.size(); ++j) {
+        if (bucket[j].when <= now) {
+          due.push_back(std::move(bucket[j].item));
+        } else {
+          bucket[kept++] = std::move(bucket[j]);
+        }
+      }
+      bucket.resize(kept);
+    }
+    cursor_ = target;
+    count_ -= due.size();
+    return due;
+  }
+
+  size_t size() const { return count_; }
+
+ private:
+  struct Entry {
+    double when;
+    T item;
+  };
+
+  uint64_t TickOf(double seconds) const {
+    return seconds <= 0.0 ? 0 : static_cast<uint64_t>(seconds / tick_);
+  }
+
+  double tick_;
+  std::vector<std::vector<Entry>> slots_;
+  uint64_t cursor_;
+  size_t count_ = 0;
+};
+
+}  // namespace ms
+
+#endif  // MODELSLICING_UTIL_TIMER_WHEEL_H_

@@ -124,6 +124,10 @@ RouterOptions ManualHeartbeat() {
   opts.heartbeat_seconds = 60.0;
   opts.heartbeat_failures = 1;
   opts.connect_timeout_seconds = 1.0;
+  // These tests assert strict single-forward routing and fail-as-lost on
+  // crash; the reliability layer (which would re-route or duplicate
+  // attempts) has its own coverage in router_reliability_test.cc.
+  opts.failover = false;
   return opts;
 }
 

@@ -1,0 +1,483 @@
+// Network-chaos tests (DESIGN.md §13): the net.* fault points at
+// probability 1 against a real NetServer, slow-loris clients (the event
+// loop must not pin on one dribbling connection, and stalled connections
+// must not leak), the kControl chaos-control RPC (honored only when the
+// server opts in), and the ReliableClient's reconnect / resend / timeout
+// synthesis machinery.
+//
+// The fault registry is process-global, so every test disarms on exit —
+// a leaked armed point would sabotage its neighbors.
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+
+#include <gtest/gtest.h>
+
+#include "src/models/mlp.h"
+#include "src/net/client.h"
+#include "src/net/frontend.h"
+#include "src/net/net_server.h"
+#include "src/net/reliable_client.h"
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/serving/server.h"
+#include "src/util/fault.h"
+
+namespace ms {
+namespace net {
+namespace {
+
+std::vector<std::unique_ptr<Module>> MakeReplicas(int n) {
+  MlpConfig cfg;
+  cfg.in_features = 16;
+  cfg.hidden = {32, 32};
+  cfg.num_classes = 4;
+  cfg.slice_groups = 4;
+  cfg.seed = 3;
+  std::vector<std::unique_ptr<Module>> replicas;
+  for (int i = 0; i < n; ++i) {
+    replicas.push_back(MakeMlp(cfg).MoveValueOrDie());
+  }
+  return replicas;
+}
+
+ServerOptions FastOptions() {
+  ServerOptions opts;
+  opts.serving.latency_budget = 0.05;
+  opts.serving.lattice = SliceConfig::Make(0.25, 0.25).MoveValueOrDie();
+  opts.max_queue = 256;
+  opts.sample_shape = {16};
+  return opts;
+}
+
+/// Disarms every fault point when a test scope ends, pass or fail.
+struct FaultGuard {
+  ~FaultGuard() { fault::Registry::Global().DisarmAll(); }
+};
+
+struct ReplyCollector {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<ReplyMsg> replies;
+
+  void Add(const ReplyMsg& msg) {
+    std::lock_guard<std::mutex> lock(mu);
+    replies.push_back(msg);
+    cv.notify_all();
+  }
+  bool WaitFor(size_t n, double seconds) {
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                       [&] { return replies.size() >= n; });
+  }
+};
+
+/// One shard behind a NetServer; the standard victim for every test here.
+struct TestShard {
+  std::unique_ptr<SliceServer> server;
+  std::unique_ptr<ShardFrontend> frontend;
+  std::unique_ptr<NetServer> frames;
+
+  void Start(NetServer::Options net_opts = {}, uint16_t port = 0) {
+    server = SliceServer::Create(MakeReplicas(1), FastOptions())
+                 .MoveValueOrDie();
+    ASSERT_TRUE(server->Start().ok());
+    frontend = std::make_unique<ShardFrontend>(server.get());
+    frames = std::make_unique<NetServer>(frontend.get(), net_opts);
+    ASSERT_TRUE(frames->Start(port).ok());
+  }
+  void Stop() {
+    if (server) server->Stop();
+    if (frames) frames->Stop();
+  }
+  ~TestShard() { Stop(); }
+};
+
+bool WaitUntil(double seconds, const std::function<bool()>& pred) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+// ---------------------------------------------------------------------------
+// Slow-loris: a dribbling or stalled connection must cost the server
+// nothing but the connection itself.
+
+TEST(SlowLoris, ByteAtATimeClientDoesNotStarveOthers) {
+  TestShard shard;
+  shard.Start();
+
+  // The loris: a valid request frame fed one byte at a time with pauses.
+  auto loris = TcpConnect("127.0.0.1", shard.frames->port(), 2.0);
+  ASSERT_TRUE(loris.ok());
+  Socket loris_sock = loris.MoveValueOrDie();
+  RequestMsg slow_req;
+  slow_req.id = 1000;
+  slow_req.deadline_seconds = 30.0;
+  const std::string slow_frame = EncodeRequest(slow_req);
+
+  std::atomic<bool> done{false};
+  std::thread dripper([&] {
+    for (size_t i = 0; i < slow_frame.size(); ++i) {
+      if (!SendAll(loris_sock.fd(), slow_frame.data() + i, 1, 2.0).ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    done.store(true);
+  });
+
+  // Meanwhile a well-behaved client must be served promptly: if the event
+  // loop were pinned on the loris, this would time out.
+  ReplyCollector collector;
+  WireClient client;
+  client.set_on_reply([&](const ReplyMsg& msg) { collector.Add(msg); });
+  ASSERT_TRUE(client.Connect("127.0.0.1", shard.frames->port()).ok());
+  for (uint64_t id = 1; id <= 5; ++id) {
+    RequestMsg msg;
+    msg.id = id;
+    msg.deadline_seconds = 5.0;
+    ASSERT_TRUE(client.SendRequest(msg).ok());
+  }
+  EXPECT_TRUE(collector.WaitFor(5, 10.0));
+
+  dripper.join();
+  EXPECT_TRUE(done.load());
+
+  // The loris frame, once complete, is served like any other.
+  FrameDecoder decoder;
+  char buf[256];
+  Frame out;
+  DecodeResult got = DecodeResult::kNeedMore;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (got == DecodeResult::kNeedMore &&
+         std::chrono::steady_clock::now() < deadline) {
+    const ssize_t r = ::recv(loris_sock.fd(), buf, sizeof(buf), 0);
+    if (r <= 0) continue;
+    decoder.Feed(buf, static_cast<size_t>(r));
+    got = decoder.Next(&out);
+  }
+  ASSERT_EQ(got, DecodeResult::kFrame);
+  ReplyMsg reply;
+  ASSERT_TRUE(DecodeReply(out.payload, &reply).ok());
+  EXPECT_EQ(reply.id, 1000u);
+
+  client.Close();
+}
+
+TEST(SlowLoris, StalledMidFrameConnectionDoesNotLeak) {
+  TestShard shard;
+  shard.Start();
+  const size_t baseline = shard.frames->open_connections();
+
+  {
+    // Half a frame, then silence, then an abrupt close: the server must
+    // reap the connection instead of holding the half-decoded state
+    // forever.
+    auto raw = TcpConnect("127.0.0.1", shard.frames->port(), 2.0);
+    ASSERT_TRUE(raw.ok());
+    Socket sock = raw.MoveValueOrDie();
+    RequestMsg msg;
+    msg.id = 77;
+    msg.deadline_seconds = 5.0;
+    const std::string frame = EncodeRequest(msg);
+    ASSERT_TRUE(SendAll(sock.fd(), frame.data(), frame.size() / 2, 2.0).ok());
+    ASSERT_TRUE(WaitUntil(5.0, [&] {
+      return shard.frames->open_connections() == baseline + 1;
+    }));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    // Socket destructor closes the fd here.
+  }
+
+  EXPECT_TRUE(WaitUntil(5.0, [&] {
+    return shard.frames->open_connections() == baseline;
+  }));
+  // And the stalled half-request never reached admission.
+  EXPECT_EQ(shard.server->stats().submitted, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-point units at probability 1: each point's observable effect.
+
+TEST(NetFaults, SendDropVanishesFrameAndRecoversOnDisarm) {
+  FaultGuard guard;
+  TestShard shard;
+  shard.Start();
+
+  ReplyCollector collector;
+  WireClient client;
+  client.set_on_reply([&](const ReplyMsg& msg) { collector.Add(msg); });
+  ASSERT_TRUE(client.Connect("127.0.0.1", shard.frames->port()).ok());
+
+  fault::Registry::Global().Arm(fault::kNetSendDrop, 1.0);
+  RequestMsg msg;
+  msg.id = 1;
+  msg.deadline_seconds = 5.0;
+  // The send "succeeds" but nothing hits the wire.
+  ASSERT_TRUE(client.SendRequest(msg).ok());
+  EXPECT_GE(fault::Registry::Global().fires(fault::kNetSendDrop), 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(shard.server->stats().submitted, 0);
+  EXPECT_TRUE(collector.replies.empty());
+
+  fault::Registry::Global().DisarmAll();
+  msg.id = 2;
+  ASSERT_TRUE(client.SendRequest(msg).ok());
+  ASSERT_TRUE(collector.WaitFor(1, 10.0));
+  std::lock_guard<std::mutex> lock(collector.mu);
+  EXPECT_EQ(collector.replies[0].id, 2u);
+  client.Close();
+}
+
+TEST(NetFaults, SendSlowTricklesButDelivers) {
+  FaultGuard guard;
+  TestShard shard;
+  shard.Start();
+
+  ReplyCollector collector;
+  WireClient client;
+  client.set_on_reply([&](const ReplyMsg& msg) { collector.Add(msg); });
+  ASSERT_TRUE(client.Connect("127.0.0.1", shard.frames->port()).ok());
+
+  fault::Registry::Global().Arm(fault::kNetSendSlow, 1.0, /*param=*/0.2);
+  RequestMsg msg;
+  msg.id = 1;
+  msg.deadline_seconds = 10.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(client.SendRequest(msg).ok());
+  const double send_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // The trickle spreads ~0.2s over the frame's chunks; the frame still
+  // arrives whole and gets served.
+  EXPECT_GE(send_seconds, 0.1);
+  ASSERT_TRUE(collector.WaitFor(1, 10.0));
+  std::lock_guard<std::mutex> lock(collector.mu);
+  EXPECT_EQ(collector.replies[0].id, 1u);
+  client.Close();
+}
+
+TEST(NetFaults, FrameTruncateDesyncsPeerStream) {
+  FaultGuard guard;
+  TestShard shard;
+  shard.Start();
+
+  std::atomic<bool> disconnected{false};
+  WireClient client;
+  client.set_on_reply([](const ReplyMsg&) {});
+  client.set_on_disconnect([&] { disconnected.store(true); });
+  ASSERT_TRUE(client.Connect("127.0.0.1", shard.frames->port()).ok());
+
+  fault::Registry::Global().Arm(fault::kNetFrameTruncate, 1.0);
+  RequestMsg msg;
+  msg.id = 1;
+  msg.deadline_seconds = 5.0;
+  ASSERT_TRUE(client.SendRequest(msg).ok());  // only half the frame leaves
+  fault::Registry::Global().DisarmAll();
+  // The next intact frame starts mid-stream on the server: its decoder
+  // desyncs (bad magic), goes kFatal, and tears the connection down.
+  msg.id = 2;
+  (void)client.SendRequest(msg);
+  EXPECT_TRUE(WaitUntil(10.0, [&] { return disconnected.load(); }));
+  client.Close();
+}
+
+TEST(NetFaults, RecvBlackholeDropsCleanFrameBeforeDispatch) {
+  FaultGuard guard;
+  TestShard shard;
+  shard.Start();
+
+  ReplyCollector collector;
+  WireClient client;
+  client.set_on_reply([&](const ReplyMsg& msg) { collector.Add(msg); });
+  ASSERT_TRUE(client.Connect("127.0.0.1", shard.frames->port()).ok());
+
+  fault::Registry::Global().Arm(fault::kNetRecvBlackhole, 1.0);
+  RequestMsg msg;
+  msg.id = 1;
+  msg.deadline_seconds = 5.0;
+  ASSERT_TRUE(client.SendRequest(msg).ok());
+  // The bytes arrive and decode cleanly, but the message never reaches
+  // admission and no reply is produced.
+  EXPECT_TRUE(WaitUntil(5.0, [&] {
+    return fault::Registry::Global().fires(fault::kNetRecvBlackhole) >= 1;
+  }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(shard.server->stats().submitted, 0);
+  EXPECT_TRUE(collector.replies.empty());
+
+  fault::Registry::Global().DisarmAll();
+  msg.id = 2;
+  ASSERT_TRUE(client.SendRequest(msg).ok());
+  ASSERT_TRUE(collector.WaitFor(1, 10.0));
+  client.Close();
+}
+
+// ---------------------------------------------------------------------------
+// kControl chaos-control RPC.
+
+TEST(ChaosControl, ArmAndDisarmOverTheWire) {
+  FaultGuard guard;
+  TestShard shard;
+  NetServer::Options opts;
+  opts.allow_fault_control = true;
+  shard.Start(opts);
+
+  ControlMsg arm;
+  arm.id = 1;
+  arm.op = ControlOp::kArmFaults;
+  arm.seed = 42;
+  arm.spec = "net.recv.blackhole=0.5";
+  ASSERT_TRUE(
+      SendControl("127.0.0.1", shard.frames->port(), arm, 5.0).ok());
+  EXPECT_TRUE(fault::Registry::Global().armed(fault::kNetRecvBlackhole));
+
+  ControlMsg disarm;
+  disarm.id = 2;
+  disarm.op = ControlOp::kDisarmFaults;
+  ASSERT_TRUE(
+      SendControl("127.0.0.1", shard.frames->port(), disarm, 5.0).ok());
+  EXPECT_FALSE(fault::Registry::Global().armed(fault::kNetRecvBlackhole));
+  EXPECT_EQ(fault::Registry::Global().armed_count(), 0);
+}
+
+TEST(ChaosControl, RefusedWithoutOptInAndOnBadSpec) {
+  FaultGuard guard;
+  TestShard locked_down;
+  locked_down.Start();  // allow_fault_control defaults to false
+
+  ControlMsg arm;
+  arm.id = 1;
+  arm.op = ControlOp::kArmFaults;
+  arm.spec = "net.send.drop=0.5";
+  EXPECT_FALSE(
+      SendControl("127.0.0.1", locked_down.frames->port(), arm, 5.0).ok());
+  EXPECT_EQ(fault::Registry::Global().armed_count(), 0);
+
+  TestShard open;
+  NetServer::Options opts;
+  opts.allow_fault_control = true;
+  open.Start(opts);
+  ControlMsg bad;
+  bad.id = 2;
+  bad.op = ControlOp::kArmFaults;
+  bad.spec = "not-a-spec";
+  EXPECT_FALSE(SendControl("127.0.0.1", open.frames->port(), bad, 5.0).ok());
+  EXPECT_EQ(fault::Registry::Global().armed_count(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// ReliableClient: reconnect, resend-within-budget, timeout synthesis.
+
+TEST(ReliableClientTest, ServesAndKeepsExactLedger) {
+  TestShard shard;
+  shard.Start();
+
+  ReliableClient::Options opts;
+  opts.port = shard.frames->port();
+  ReliableClient client(opts);
+  ASSERT_TRUE(client.Start().ok());
+
+  ReplyCollector collector;
+  for (int i = 0; i < 5; ++i) {
+    client.Submit(5.0, [&](const ReplyMsg& msg) { collector.Add(msg); });
+  }
+  ASSERT_TRUE(collector.WaitFor(5, 10.0));
+  client.Stop();
+
+  const ReliableClient::Stats st = client.stats();
+  EXPECT_EQ(st.submitted, 5);
+  EXPECT_EQ(st.served, 5);
+  EXPECT_EQ(st.duplicates, 0);
+  EXPECT_EQ(st.submitted,
+            st.served + st.shed + st.expired + st.rejected + st.failed);
+}
+
+TEST(ReliableClientTest, ReconnectsAndResendsWithinBudget) {
+  TestShard first;
+  first.Start();
+  const uint16_t port = first.frames->port();
+
+  ReliableClient::Options opts;
+  opts.port = port;
+  opts.backoff_min_seconds = 0.02;
+  opts.backoff_max_seconds = 0.1;
+  ReliableClient client(opts);
+  ASSERT_TRUE(client.Start().ok());
+
+  ReplyCollector collector;
+  client.Submit(5.0, [&](const ReplyMsg& msg) { collector.Add(msg); });
+  ASSERT_TRUE(collector.WaitFor(1, 10.0));
+
+  // Kill the frontend; the connection dies under the client.
+  first.Stop();
+  ASSERT_TRUE(WaitUntil(5.0, [&] { return !client.connected(); }));
+
+  // Submitted while down: queued locally, budget ticking.
+  client.Submit(10.0, [&](const ReplyMsg& msg) { collector.Add(msg); });
+
+  // Same port comes back up; the client must reconnect and flush the
+  // queued request with its REMAINING budget.
+  TestShard second;
+  second.Start({}, port);
+  ASSERT_TRUE(collector.WaitFor(2, 10.0));
+  {
+    std::lock_guard<std::mutex> lock(collector.mu);
+    EXPECT_EQ(collector.replies[1].admit, AdmitResult::kAccepted);
+    EXPECT_EQ(collector.replies[1].outcome, RequestOutcome::kServed);
+  }
+  client.Stop();
+
+  const ReliableClient::Stats st = client.stats();
+  EXPECT_GE(st.reconnects, 1);
+  EXPECT_EQ(st.served, 2);
+  EXPECT_EQ(st.duplicates, 0);
+  EXPECT_EQ(st.submitted,
+            st.served + st.shed + st.expired + st.rejected + st.failed);
+}
+
+TEST(ReliableClientTest, SynthesizesFailureWhenRepliesNeverCome) {
+  FaultGuard guard;
+  TestShard shard;
+  shard.Start();
+
+  ReliableClient::Options opts;
+  opts.port = shard.frames->port();
+  opts.reply_grace_seconds = 0.2;
+  ReliableClient client(opts);
+  ASSERT_TRUE(client.Start().ok());
+
+  // Every request frame decodes cleanly on the server, then vanishes.
+  fault::Registry::Global().Arm(fault::kNetRecvBlackhole, 1.0);
+
+  ReplyCollector collector;
+  client.Submit(0.3, [&](const ReplyMsg& msg) { collector.Add(msg); });
+  // Settled locally as kFailed at budget (0.3) + grace (0.2).
+  ASSERT_TRUE(collector.WaitFor(1, 10.0));
+  {
+    std::lock_guard<std::mutex> lock(collector.mu);
+    EXPECT_EQ(collector.replies[0].outcome, RequestOutcome::kFailed);
+  }
+  EXPECT_TRUE(WaitUntil(5.0, [&] { return client.pending() == 0; }));
+  client.Stop();
+
+  const ReliableClient::Stats st = client.stats();
+  EXPECT_EQ(st.failed, 1);
+  EXPECT_EQ(st.synthesized, 1);
+  EXPECT_EQ(st.duplicates, 0);
+  EXPECT_EQ(st.submitted,
+            st.served + st.shed + st.expired + st.rejected + st.failed);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace ms

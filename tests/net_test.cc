@@ -176,20 +176,26 @@ TEST(Wire, BadMagicIsFatal) {
   EXPECT_EQ(decoder.Next(&out), DecodeResult::kFatal);
 }
 
-TEST(Wire, OldVersionFrameIsFatalNotMisparsed) {
-  // v2 moved the StatsMsg layout (calibrated_t_int8). A v1 peer's frame
-  // must die at the version check — if it reached the payload parsers the
-  // shifted fields would decode as garbage numbers, not an error.
+TEST(Wire, OldVersionFrameIsBadFrameNotFatal) {
+  // The header layout (magic, version, type, length, crc) is
+  // version-invariant by fiat, so a mismatched version still frames
+  // correctly: the decoder consumes the whole frame, salvages the id for
+  // a kRejectedInvalid reply, and the stream stays alive. Only framing
+  // corruption (bad magic, oversized length) is fatal.
   std::string frame = EncodeRequest(SampleRequest());
   frame[2] = 1;  // kWireVersion was 1 before the per-precision stats bump
   FrameDecoder decoder;
   decoder.Feed(frame.data(), frame.size());
   Frame out;
-  EXPECT_EQ(decoder.Next(&out), DecodeResult::kFatal);
-  // Poisoned for good, same as bad magic: no resync with an old peer.
+  EXPECT_EQ(decoder.Next(&out), DecodeResult::kBadFrame);
+  EXPECT_EQ(decoder.bad_request_id(), 42u);
+  // The stream resyncs: a current-version frame after it decodes fine.
   const std::string good = EncodeRequest(SampleRequest());
   decoder.Feed(good.data(), good.size());
-  EXPECT_EQ(decoder.Next(&out), DecodeResult::kFatal);
+  ASSERT_EQ(decoder.Next(&out), DecodeResult::kFrame);
+  RequestMsg decoded;
+  ASSERT_TRUE(DecodeRequest(out.payload, &decoded).ok());
+  EXPECT_EQ(decoded.id, 42u);
 }
 
 TEST(Wire, OversizedLengthIsFatal) {
@@ -392,8 +398,10 @@ TEST(Frontend, CorruptFrameGetsRejectedInvalidReplyAndServerSurvives) {
     EXPECT_EQ(reply.id, 99u);
   }
 
-  // Old-version frame: fatal — server answers one kRejectedInvalid (id 0,
-  // since an old peer's layout can't be trusted) and closes that stream.
+  // Old-version frame: recoverable — the header layout is
+  // version-invariant, so the server consumes the frame whole, answers
+  // kRejectedInvalid with the salvaged id, and KEEPS the connection: a
+  // current-version frame on the same socket still gets served.
   {
     std::string old_frame = EncodeRequest(msg);
     old_frame[2] = 1;  // pre-v2 version byte
@@ -418,7 +426,28 @@ TEST(Frontend, CorruptFrameGetsRejectedInvalidReplyAndServerSurvives) {
     ReplyMsg reply;
     ASSERT_TRUE(DecodeReply(out.payload, &reply).ok());
     EXPECT_EQ(reply.admit, AdmitResult::kRejectedInvalid);
-    EXPECT_EQ(reply.id, 0u);
+    EXPECT_EQ(reply.id, 99u);
+
+    // Same socket, current version: the stream survived the mismatch.
+    RequestMsg follow;
+    follow.id = 7;
+    follow.deadline_seconds = 5.0;
+    const std::string good = EncodeRequest(follow);
+    ASSERT_TRUE(SendAll(sock.fd(), good.data(), good.size()).ok());
+    got = DecodeResult::kNeedMore;
+    const auto deadline2 =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (got == DecodeResult::kNeedMore &&
+           std::chrono::steady_clock::now() < deadline2) {
+      const ssize_t r = ::recv(sock.fd(), buf, sizeof(buf), 0);
+      if (r <= 0) continue;
+      decoder.Feed(buf, static_cast<size_t>(r));
+      got = decoder.Next(&out);
+    }
+    ASSERT_EQ(got, DecodeResult::kFrame);
+    ASSERT_TRUE(DecodeReply(out.payload, &reply).ok());
+    EXPECT_EQ(reply.id, 7u);
+    EXPECT_EQ(reply.admit, AdmitResult::kAccepted);
   }
 
   // The server must still serve clean traffic afterwards.

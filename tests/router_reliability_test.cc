@@ -1,0 +1,514 @@
+// Router reliability-layer tests (DESIGN.md §13) against FAKE wire-service
+// shards — blackhole (never replies), delayed echo, instant echo — so each
+// behavior is forced deterministically instead of hoping a real SliceServer
+// misbehaves on cue:
+//   - settle timer: an unreplied request costs bounded latency (kFailed at
+//     budget + grace), and the ledger stays exact;
+//   - one-shot failover: an unreplied primary is re-routed once, the rescue
+//     serves, and the client sees exactly one reply;
+//   - deadline-budget propagation: the failover target receives the
+//     REMAINING budget, not the original;
+//   - first-reply-wins dedup: the losing attempt's reply is dropped and
+//     counted in dup_replies, never forwarded;
+//   - hedging: a speculative second attempt beats a slow primary's tail.
+// Every test closes by asserting the cluster accounting invariant and that
+// no per-shard outstanding count is negative.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/net/client.h"
+#include "src/net/net_server.h"
+#include "src/net/router.h"
+#include "src/net/wire.h"
+
+namespace ms {
+namespace net {
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A shard that answers heartbeats like a healthy SliceServer but handles
+/// requests per its mode: instant echo, delayed echo, or blackhole.
+class FakeShardService : public WireService {
+ public:
+  struct Options {
+    bool blackhole = false;
+    double delay_seconds = 0.0;
+    /// Advertised slice-rate lattice: the router's PickShard scores by the
+    /// largest feasible rate, so a {1.0}-shard outranks a {0.25}-shard for
+    /// any deadline both can meet — tests steer routing with this.
+    std::vector<double> rates = {0.25, 0.5, 1.0};
+    /// Instantly reject every request with kShedQueueFull (an overloaded
+    /// shard's admission verdict).
+    bool shed = false;
+  };
+
+  explicit FakeShardService(Options opts) : opts_(opts) {
+    if (opts_.delay_seconds > 0.0) {
+      worker_ = std::thread(&FakeShardService::DelayLoop, this);
+    }
+  }
+  ~FakeShardService() override { Stop(); }
+
+  void Stop() {
+    if (!running_.exchange(false)) return;
+    cv_.notify_all();
+    if (worker_.joinable()) worker_.join();
+  }
+
+  void OnRequest(const RequestMsg& msg,
+                 std::function<void(const ReplyMsg&)> reply) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      seen_deadlines_.push_back(msg.deadline_seconds);
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (opts_.blackhole) return;  // the request vanishes past admission
+    ReplyMsg out;
+    out.id = msg.id;
+    if (opts_.shed) {
+      out.admit = AdmitResult::kShedQueueFull;
+      reply(out);
+      return;
+    }
+    out.admit = AdmitResult::kAccepted;
+    out.outcome = RequestOutcome::kServed;
+    out.rate = 1.0f;
+    if (opts_.delay_seconds <= 0.0) {
+      reply(out);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    delayed_.push_back(
+        Delayed{MonotonicSeconds() + opts_.delay_seconds, std::move(reply),
+                out});
+    cv_.notify_all();
+  }
+
+  std::string OnStats() override {
+    StatsMsg s;
+    s.role = StatsRole::kShard;
+    s.healthy_workers = 1;
+    s.total_workers = 1;
+    s.queue_capacity = 256;
+    s.calibrated_t = 0.001;
+    s.tick_seconds = 0.005;
+    s.rates = opts_.rates;
+    return EncodeStats(s);
+  }
+
+  int64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  std::vector<double> seen_deadlines() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return seen_deadlines_;
+  }
+
+ private:
+  struct Delayed {
+    double due;
+    std::function<void(const ReplyMsg&)> reply;
+    ReplyMsg msg;
+  };
+
+  void DelayLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (running_.load()) {
+      cv_.wait_for(lock, std::chrono::milliseconds(2));
+      const double now = MonotonicSeconds();
+      std::deque<Delayed> due;
+      for (auto it = delayed_.begin(); it != delayed_.end();) {
+        if (it->due <= now) {
+          due.push_back(std::move(*it));
+          it = delayed_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      lock.unlock();
+      for (Delayed& d : due) d.reply(d.msg);
+      lock.lock();
+    }
+  }
+
+  Options opts_;
+  std::atomic<bool> running_{true};
+  std::thread worker_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Delayed> delayed_;               // guarded by mu_
+  std::vector<double> seen_deadlines_;        // guarded by mu_
+  std::atomic<int64_t> requests_{0};
+};
+
+/// FakeShardService behind a real NetServer.
+struct FakeShard {
+  std::unique_ptr<FakeShardService> service;
+  std::unique_ptr<NetServer> frames;
+
+  void Start(FakeShardService::Options opts) {
+    service = std::make_unique<FakeShardService>(opts);
+    frames = std::make_unique<NetServer>(service.get());
+    ASSERT_TRUE(frames->Start(0).ok());
+  }
+  std::string addr() const {
+    return ":" + std::to_string(frames->port());
+  }
+  void Stop() {
+    // Service first: delayed replies flush (or drop) before sockets close.
+    if (service) service->Stop();
+    if (frames) frames->Stop();
+  }
+  ~FakeShard() { Stop(); }
+};
+
+struct ReplyLedger {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<ReplyMsg> replies;
+  std::vector<double> latencies;
+
+  std::function<void(const ReplyMsg&)> Sink(double start) {
+    return [this, start](const ReplyMsg& msg) {
+      std::lock_guard<std::mutex> lock(mu);
+      replies.push_back(msg);
+      latencies.push_back(MonotonicSeconds() - start);
+      cv.notify_all();
+    };
+  }
+  bool WaitFor(size_t n, double seconds) {
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                       [&] { return replies.size() >= n; });
+  }
+};
+
+/// The cluster accounting invariant + non-negative per-shard outstanding.
+void CheckLedger(const ShardRouter& router) {
+  const StatsMsg snap = router.Snapshot();
+  EXPECT_EQ(snap.submitted, snap.served + snap.shed + snap.expired +
+                                snap.rejected + snap.failed);
+  for (const ShardView& view : snap.shards) {
+    EXPECT_GE(view.outstanding, 0);
+  }
+}
+
+bool WaitUntil(double seconds, const std::function<bool()>& pred) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+RouterOptions FastHeartbeat() {
+  RouterOptions opts;
+  opts.heartbeat_seconds = 0.05;
+  opts.heartbeat_failures = 1;
+  opts.connect_timeout_seconds = 1.0;
+  return opts;
+}
+
+TEST(RouterReliability, SettleTimerBoundsBlackholedRequest) {
+  FakeShard shard;
+  shard.Start({/*blackhole=*/true, 0.0, {0.25, 0.5, 1.0}});
+
+  RouterOptions opts = FastHeartbeat();
+  opts.failover = true;  // single shard: failover has nowhere to go
+  opts.reply_grace_seconds = 0.15;
+  ShardRouter router({shard.addr()}, opts);
+  ASSERT_TRUE(router.Start().ok());
+  ASSERT_TRUE(WaitUntil(5.0, [&] { return router.num_up() == 1; }));
+
+  ReplyLedger ledger;
+  RequestMsg msg;
+  msg.id = 1;
+  msg.deadline_seconds = 0.2;
+  const double t0 = MonotonicSeconds();
+  router.OnRequest(msg, ledger.Sink(t0));
+  // The shard swallowed the request; the settle timer must synthesize
+  // kFailed at ~budget (0.2) + grace (0.15), bounding the client's wait.
+  ASSERT_TRUE(ledger.WaitFor(1, 5.0));
+  {
+    std::lock_guard<std::mutex> lock(ledger.mu);
+    EXPECT_EQ(ledger.replies[0].id, 1u);
+    EXPECT_EQ(ledger.replies[0].admit, AdmitResult::kAccepted);
+    EXPECT_EQ(ledger.replies[0].outcome, RequestOutcome::kFailed);
+    EXPECT_GE(ledger.latencies[0], 0.2);
+    EXPECT_LE(ledger.latencies[0], 2.0);
+  }
+  EXPECT_EQ(router.total_timeouts(), 1);
+  EXPECT_EQ(shard.service->requests(), 1);
+
+  const StatsMsg snap = router.Snapshot();
+  EXPECT_EQ(snap.failed, 1);
+  EXPECT_EQ(snap.shards[0].timeouts, 1);
+  EXPECT_EQ(snap.shards[0].outstanding, 0);
+  CheckLedger(router);
+  router.Stop();
+}
+
+TEST(RouterReliability, FailoverRescuesBlackholedPrimary) {
+  // The blackhole advertises the full lattice, the echo only rate 0.25, so
+  // every primary lands on the blackhole; the failover timer must re-route
+  // to the echo, which serves within the remaining budget.
+  FakeShard blackhole;
+  blackhole.Start({/*blackhole=*/true, 0.0, {0.25, 0.5, 1.0}});
+  FakeShard echo;
+  echo.Start({/*blackhole=*/false, 0.0, {0.25}});
+
+  RouterOptions opts = FastHeartbeat();
+  opts.failover = true;
+  opts.failover_fraction = 0.25;
+  opts.reply_grace_seconds = 0.2;
+  ShardRouter router({blackhole.addr(), echo.addr()}, opts);
+  ASSERT_TRUE(router.Start().ok());
+  ASSERT_TRUE(WaitUntil(5.0, [&] { return router.num_up() == 2; }));
+
+  constexpr int kRequests = 4;
+  ReplyLedger ledger;
+  const double t0 = MonotonicSeconds();
+  for (int i = 0; i < kRequests; ++i) {
+    RequestMsg msg;
+    msg.id = static_cast<uint64_t>(i + 1);
+    msg.deadline_seconds = 0.4;  // failover fires at 0.1
+    router.OnRequest(msg, ledger.Sink(t0));
+  }
+  ASSERT_TRUE(ledger.WaitFor(kRequests, 5.0));
+  {
+    std::lock_guard<std::mutex> lock(ledger.mu);
+    for (const ReplyMsg& r : ledger.replies) {
+      EXPECT_EQ(r.admit, AdmitResult::kAccepted);
+      EXPECT_EQ(r.outcome, RequestOutcome::kServed);
+    }
+  }
+  EXPECT_EQ(blackhole.service->requests(), kRequests);  // primaries
+  EXPECT_EQ(echo.service->requests(), kRequests);       // rescues
+  EXPECT_EQ(router.total_failovers(), kRequests);
+  EXPECT_EQ(router.total_failover_wins(), kRequests);
+  EXPECT_EQ(router.total_dup_replies(), 0);  // the blackhole never replies
+
+  // Once the abandoned primaries pass budget + grace, their settle timers
+  // GC the pending entries and the outstanding counts drain to zero.
+  ASSERT_TRUE(WaitUntil(5.0, [&] {
+    const StatsMsg snap = router.Snapshot();
+    return snap.shards[0].outstanding == 0 && snap.shards[1].outstanding == 0;
+  }));
+  const StatsMsg snap = router.Snapshot();
+  EXPECT_EQ(snap.served, kRequests);
+  EXPECT_EQ(snap.shards[0].timeouts, kRequests);  // GCed primary attempts
+  EXPECT_EQ(snap.shards[1].failovers, kRequests);
+  // Attempt-level views: both shards saw every request, so the sum exceeds
+  // the client-facing served count — by design.
+  EXPECT_GE(snap.shards[0].forwarded + snap.shards[1].forwarded,
+            snap.served);
+  CheckLedger(router);
+  router.Stop();
+}
+
+TEST(RouterReliability, FailoverForwardsRemainingBudgetOnly) {
+  FakeShard blackhole;
+  blackhole.Start({/*blackhole=*/true, 0.0, {0.25, 0.5, 1.0}});
+  FakeShard echo;
+  echo.Start({/*blackhole=*/false, 0.0, {0.25}});
+
+  RouterOptions opts = FastHeartbeat();
+  opts.failover = true;
+  opts.failover_fraction = 0.5;
+  ShardRouter router({blackhole.addr(), echo.addr()}, opts);
+  ASSERT_TRUE(router.Start().ok());
+  ASSERT_TRUE(WaitUntil(5.0, [&] { return router.num_up() == 2; }));
+
+  ReplyLedger ledger;
+  RequestMsg msg;
+  msg.id = 1;
+  msg.deadline_seconds = 0.4;  // failover at 0.2 -> ~0.2 remaining
+  router.OnRequest(msg, ledger.Sink(MonotonicSeconds()));
+  ASSERT_TRUE(ledger.WaitFor(1, 5.0));
+
+  // The primary saw the full budget; the rescue saw only what was left.
+  const std::vector<double> primary = blackhole.service->seen_deadlines();
+  const std::vector<double> rescue = echo.service->seen_deadlines();
+  ASSERT_EQ(primary.size(), 1u);
+  ASSERT_EQ(rescue.size(), 1u);
+  EXPECT_NEAR(primary[0], 0.4, 0.01);
+  EXPECT_GT(rescue[0], 0.0);
+  EXPECT_LT(rescue[0], 0.25);  // well under the original 0.4
+  CheckLedger(router);
+  router.Stop();
+}
+
+TEST(RouterReliability, FirstReplyWinsAndLoserCountsAsDup) {
+  // Both shards reply, the primary late: the failover attempt settles the
+  // client first and the primary's eventual reply must be swallowed as a
+  // dup — exactly one reply per client id.
+  FakeShard slow;
+  slow.Start({/*blackhole=*/false, /*delay=*/0.35, {0.25, 0.5, 1.0}});
+  FakeShard fast;
+  fast.Start({/*blackhole=*/false, 0.0, {0.25}});
+
+  RouterOptions opts = FastHeartbeat();
+  opts.failover = true;
+  opts.failover_fraction = 0.25;  // fires at 0.15 < the 0.35 delay
+  opts.reply_grace_seconds = 0.3;
+  ShardRouter router({slow.addr(), fast.addr()}, opts);
+  ASSERT_TRUE(router.Start().ok());
+  ASSERT_TRUE(WaitUntil(5.0, [&] { return router.num_up() == 2; }));
+
+  ReplyLedger ledger;
+  RequestMsg msg;
+  msg.id = 9;
+  msg.deadline_seconds = 0.6;
+  router.OnRequest(msg, ledger.Sink(MonotonicSeconds()));
+  ASSERT_TRUE(ledger.WaitFor(1, 5.0));
+  {
+    std::lock_guard<std::mutex> lock(ledger.mu);
+    EXPECT_EQ(ledger.replies[0].outcome, RequestOutcome::kServed);
+    // Settled by the rescue (~0.15), not the slow primary (~0.35).
+    EXPECT_LT(ledger.latencies[0], 0.33);
+  }
+  // The slow primary's reply eventually arrives and is dropped as a dup.
+  ASSERT_TRUE(WaitUntil(5.0, [&] { return router.total_dup_replies() >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  {
+    std::lock_guard<std::mutex> lock(ledger.mu);
+    EXPECT_EQ(ledger.replies.size(), 1u);  // the dup never reached the client
+  }
+  EXPECT_EQ(router.total_dup_replies(), 1);
+  const StatsMsg snap = router.Snapshot();
+  EXPECT_EQ(snap.served, 1);
+  EXPECT_EQ(snap.dup_replies, 1);
+  CheckLedger(router);
+  router.Stop();
+}
+
+TEST(RouterReliability, HedgeBeatsSlowPrimaryTail) {
+  FakeShard slow;
+  slow.Start({/*blackhole=*/false, /*delay=*/0.4, {0.25, 0.5, 1.0}});
+  FakeShard fast;
+  fast.Start({/*blackhole=*/false, 0.0, {0.25}});
+
+  RouterOptions opts = FastHeartbeat();
+  opts.failover = false;  // isolate hedging
+  opts.hedge = true;
+  opts.hedge_min_samples = 1 << 20;  // force the budget-cap fallback delay
+  opts.hedge_budget_cap_fraction = 0.25;
+  opts.reply_grace_seconds = 0.3;
+  ShardRouter router({slow.addr(), fast.addr()}, opts);
+  ASSERT_TRUE(router.Start().ok());
+  ASSERT_TRUE(WaitUntil(5.0, [&] { return router.num_up() == 2; }));
+
+  ReplyLedger ledger;
+  RequestMsg msg;
+  msg.id = 5;
+  msg.deadline_seconds = 0.6;  // hedge fires at 0.15, primary replies at 0.4
+  router.OnRequest(msg, ledger.Sink(MonotonicSeconds()));
+  ASSERT_TRUE(ledger.WaitFor(1, 5.0));
+  {
+    std::lock_guard<std::mutex> lock(ledger.mu);
+    EXPECT_EQ(ledger.replies[0].outcome, RequestOutcome::kServed);
+    // The hedge (fired 0.15, served instantly) beats the 0.4s primary.
+    EXPECT_LT(ledger.latencies[0], 0.38);
+  }
+  EXPECT_EQ(router.total_hedges(), 1);
+  EXPECT_EQ(router.total_hedge_wins(), 1);
+  EXPECT_EQ(fast.service->requests(), 1);
+  // The slow primary's reply lands later as a dup.
+  ASSERT_TRUE(WaitUntil(5.0, [&] { return router.total_dup_replies() >= 1; }));
+  const StatsMsg snap = router.Snapshot();
+  EXPECT_EQ(snap.hedges, 1);
+  EXPECT_EQ(snap.hedge_wins, 1);
+  EXPECT_EQ(snap.served, 1);
+  CheckLedger(router);
+  router.Stop();
+}
+
+TEST(RouterReliability, RescueShedCannotPoisonPrimaryServe) {
+  // The failover timer fires while the healthy-but-not-yet-replied primary
+  // is still computing, and the rescue target sheds instantly. That
+  // negative verdict must be SUPPRESSED (a sibling attempt is live) so the
+  // primary's served reply — not the rescue's queue-full — settles the
+  // client. Without suppression, overload + failover would flip
+  // would-be-served requests into sheds.
+  FakeShard slow;
+  slow.Start({/*blackhole=*/false, /*delay=*/0.3, {0.25, 0.5, 1.0}});
+  FakeShard shedder;
+  shedder.Start({/*blackhole=*/false, 0.0, {0.25}, /*shed=*/true});
+
+  RouterOptions opts = FastHeartbeat();
+  opts.failover = true;
+  opts.failover_fraction = 0.25;  // fires at 0.15, mid-compute
+  opts.reply_grace_seconds = 0.3;
+  ShardRouter router({slow.addr(), shedder.addr()}, opts);
+  ASSERT_TRUE(router.Start().ok());
+  ASSERT_TRUE(WaitUntil(5.0, [&] { return router.num_up() == 2; }));
+
+  ReplyLedger ledger;
+  RequestMsg msg;
+  msg.id = 11;
+  msg.deadline_seconds = 0.6;
+  router.OnRequest(msg, ledger.Sink(MonotonicSeconds()));
+  ASSERT_TRUE(ledger.WaitFor(1, 5.0));
+  {
+    std::lock_guard<std::mutex> lock(ledger.mu);
+    ASSERT_EQ(ledger.replies.size(), 1u);
+    EXPECT_EQ(ledger.replies[0].admit, AdmitResult::kAccepted);
+    EXPECT_EQ(ledger.replies[0].outcome, RequestOutcome::kServed);
+    EXPECT_GE(ledger.latencies[0], 0.25);  // the primary, not the shedder
+  }
+  EXPECT_EQ(shedder.service->requests(), 1);  // the rescue WAS attempted
+  EXPECT_EQ(router.total_failovers(), 1);
+  const StatsMsg snap = router.Snapshot();
+  EXPECT_EQ(snap.served, 1);
+  EXPECT_EQ(snap.shed, 0);  // the suppressed verdict never surfaced
+  // The shedder's view still records its attempt-level shed.
+  EXPECT_EQ(snap.shards[1].shed, 1);
+  CheckLedger(router);
+  router.Stop();
+}
+
+TEST(RouterReliability, NoDeadlineRequestsKeepPreReliabilityBehavior) {
+  // Without a deadline and with no_deadline_timeout_seconds = 0 (the
+  // default), no timers arm: the request waits for the shard, period.
+  FakeShard slowish;
+  slowish.Start({/*blackhole=*/false, /*delay=*/0.1, {0.25, 0.5, 1.0}});
+
+  ShardRouter router({slowish.addr()}, FastHeartbeat());
+  ASSERT_TRUE(router.Start().ok());
+  ASSERT_TRUE(WaitUntil(5.0, [&] { return router.num_up() == 1; }));
+
+  ReplyLedger ledger;
+  RequestMsg msg;
+  msg.id = 1;
+  msg.deadline_seconds = 0.0;
+  router.OnRequest(msg, ledger.Sink(MonotonicSeconds()));
+  ASSERT_TRUE(ledger.WaitFor(1, 5.0));
+  {
+    std::lock_guard<std::mutex> lock(ledger.mu);
+    EXPECT_EQ(ledger.replies[0].outcome, RequestOutcome::kServed);
+  }
+  EXPECT_EQ(router.total_timeouts(), 0);
+  EXPECT_EQ(router.total_failovers(), 0);
+  CheckLedger(router);
+  router.Stop();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace ms

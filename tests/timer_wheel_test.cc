@@ -1,0 +1,89 @@
+// Fake-time tests for the hashed timer wheel (src/util/timer_wheel.h):
+// ordering within a walk, past-due scheduling, multi-revolution entries,
+// and large Advance jumps. The wheel is caller-locked and takes explicit
+// clocks, so everything here is deterministic.
+#include "src/util/timer_wheel.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ms {
+namespace {
+
+TEST(TimerWheel, FiresAtExpiryNotBefore) {
+  TimerWheel<int> wheel(/*now=*/100.0, /*tick_seconds=*/0.01);
+  wheel.Add(100.25, 1);
+  EXPECT_EQ(wheel.size(), 1u);
+  EXPECT_TRUE(wheel.Advance(100.2).empty());
+  EXPECT_EQ(wheel.size(), 1u);
+  std::vector<int> due = wheel.Advance(100.3);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 1);
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(TimerWheel, PastDueFiresOnNextAdvance) {
+  TimerWheel<int> wheel(100.0, 0.01);
+  wheel.Add(99.0, 7);  // already expired at schedule time
+  std::vector<int> due = wheel.Advance(100.02);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 7);
+}
+
+TEST(TimerWheel, ManyTimersPopInWalkedWindowOnly) {
+  TimerWheel<int> wheel(0.0, 0.01);
+  for (int i = 0; i < 100; ++i) {
+    wheel.Add(0.1 + 0.01 * i, i);  // expiries at 0.10, 0.11, ..., 1.09
+  }
+  std::vector<int> first = wheel.Advance(0.5);  // covers items 0..40
+  std::vector<int> rest = wheel.Advance(2.0);   // the remainder
+  EXPECT_EQ(first.size() + rest.size(), 100u);
+  EXPECT_EQ(wheel.size(), 0u);
+  // Nothing in the first batch expires after 0.5.
+  for (int v : first) EXPECT_LE(0.1 + 0.01 * v, 0.5);
+  std::vector<int> all = first;
+  all.insert(all.end(), rest.begin(), rest.end());
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(TimerWheel, EntriesBeyondOneRevolutionStayUntilDue) {
+  // 16 slots x 10ms = one revolution per 0.16s. An entry 10 revolutions
+  // out shares a bucket with near-term entries but must not fire early.
+  TimerWheel<int> wheel(0.0, 0.01, /*slots=*/16);
+  wheel.Add(0.05, 1);
+  wheel.Add(0.05 + 1.6, 2);  // same bucket, 10 revolutions later
+  std::vector<int> due = wheel.Advance(0.2);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 1);
+  EXPECT_EQ(wheel.size(), 1u);
+  // Walks that pass the bucket before the expiry keep it in place.
+  EXPECT_TRUE(wheel.Advance(1.0).empty());
+  due = wheel.Advance(2.0);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 2);
+}
+
+TEST(TimerWheel, HugeJumpVisitsEveryBucketOnce) {
+  TimerWheel<int> wheel(0.0, 0.01, 8);
+  for (int i = 0; i < 8; ++i) wheel.Add(0.01 * (i + 1), i);
+  // A jump of thousands of ticks must still collect everything (and not
+  // loop over the wheel thousands of times).
+  std::vector<int> due = wheel.Advance(100.0);
+  EXPECT_EQ(due.size(), 8u);
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(TimerWheel, AdvanceIsMonotonic) {
+  TimerWheel<int> wheel(50.0, 0.01);
+  wheel.Add(50.05, 3);
+  EXPECT_TRUE(wheel.Advance(49.0).empty());  // time going backwards: no-op
+  std::vector<int> due = wheel.Advance(50.1);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 3);
+}
+
+}  // namespace
+}  // namespace ms
